@@ -1,0 +1,69 @@
+//! Ablation benches for the cost-model design choices DESIGN.md calls
+//! out: how much of the scheduler's win disappears when each modeled
+//! hardware effect is switched off.
+//!
+//! These are Criterion benches over the *simulation* (virtual time), so
+//! "time" here is harness overhead; the interesting output is printed
+//! once per ablation — the tuned QPS with the effect present vs absent.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drs_models::zoo;
+use drs_platform::CpuPlatform;
+use drs_sched::{DeepRecSched, SearchOptions};
+use drs_sim::ClusterConfig;
+use std::sync::Once;
+
+static PRINT_ONCE: Once = Once::new();
+
+fn print_ablation_summary() {
+    PRINT_ONCE.call_once(|| {
+        let mut opts = SearchOptions::quick();
+        opts.queries_per_probe = 400;
+        let sched = DeepRecSched::new(opts);
+        let cfg = zoo::dlrm_rmc1();
+
+        let tuned = |cpu: CpuPlatform| {
+            let cluster = ClusterConfig::cluster(1, cpu, None);
+            let t = sched.tune_cpu(&cfg, cluster, 100.0);
+            (t.policy.max_batch, t.qps)
+        };
+
+        let base = tuned(CpuPlatform::skylake());
+
+        // Ablation 1: zero per-request overhead — removes the pressure
+        // toward batching.
+        let mut no_overhead = CpuPlatform::skylake();
+        no_overhead.request_overhead_us = 0.0;
+        let a1 = tuned(no_overhead);
+
+        // Ablation 2: no bandwidth cap per core (gathers become free-ish)
+        // — removes the memory-bound character.
+        let mut wide_bw = CpuPlatform::skylake();
+        wide_bw.core_bw_gbs = 1e6;
+        wide_bw.dram_bw_gbs = 1e9;
+        let a2 = tuned(wide_bw);
+
+        println!("\n=== cost-model ablations (DLRM-RMC1, 100 ms SLA) ===");
+        println!("full model:        optimal batch {:4}, {:.0} QPS", base.0, base.1);
+        println!("no request ovhd:   optimal batch {:4}, {:.0} QPS", a1.0, a1.1);
+        println!("infinite DRAM bw:  optimal batch {:4}, {:.0} QPS", a2.0, a2.1);
+        println!("====================================================\n");
+    });
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    print_ablation_summary();
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    let mut opts = SearchOptions::quick();
+    opts.queries_per_probe = 200;
+    group.bench_function("tune_with_full_cost_model", |b| {
+        let sched = DeepRecSched::new(opts);
+        let cfg = zoo::dlrm_rmc1();
+        b.iter(|| sched.tune_cpu(&cfg, ClusterConfig::single_skylake(), 100.0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Micro-benchmark: load-generator sampler throughput (the simulator
+//! draws millions of sizes and gaps per experiment).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use drs_query::{ArrivalProcess, QueryGenerator, SizeDistribution};
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("load_generator");
+    group.throughput(Throughput::Elements(10_000));
+    for dist in [
+        SizeDistribution::production(),
+        SizeDistribution::lognormal_matched(),
+        SizeDistribution::normal_matched(),
+    ] {
+        group.bench_function(dist.name(), |b| {
+            b.iter(|| {
+                let gen = QueryGenerator::new(ArrivalProcess::poisson(1000.0), dist, 7);
+                gen.take(10_000).map(|q| q.size as u64).sum::<u64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Micro-benchmark: pooled embedding lookups — the irregular-access
+//! primitive that dominates DLRM-RMC1/RMC2 (Figures 1b and 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use drs_nn::{EmbeddingBag, Pooling};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("embedding_bag");
+    let mut rng = StdRng::seed_from_u64(5);
+    let bag = EmbeddingBag::new(100_000, 32, Pooling::Sum, &mut rng);
+    for &(batch, lookups) in &[(16usize, 80usize), (64, 80), (64, 20), (256, 80)] {
+        let indices: Vec<Vec<u32>> = (0..batch)
+            .map(|_| (0..lookups).map(|_| rng.gen_range(0..100_000)).collect())
+            .collect();
+        group.throughput(Throughput::Elements((batch * lookups) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("b{batch}_l{lookups}")),
+            &batch,
+            |bch, _| bch.iter(|| bag.forward_plain(&indices)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup);
+criterion_main!(benches);

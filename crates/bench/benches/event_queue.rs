@@ -1,0 +1,52 @@
+//! Micro-benchmark: the discrete-event simulator's core data structure
+//! and a full end-to-end simulation window.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use drs_models::zoo;
+use drs_query::{ArrivalProcess, QueryGenerator, SizeDistribution};
+use drs_sim::{ClusterConfig, EventQueue, RunOptions, SchedulerPolicy, Simulation};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("push_pop_100k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            // Interleaved, non-monotone times exercise the heap.
+            for i in 0u64..100_000 {
+                q.push(i.wrapping_mul(2_654_435_761) % 1_000_000, i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            sum
+        })
+    });
+    group.finish();
+}
+
+fn bench_sim_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(2_000));
+    group.bench_function("rmc1_2k_queries", |b| {
+        let sim = Simulation::new(
+            &zoo::dlrm_rmc1(),
+            ClusterConfig::single_skylake(),
+            SchedulerPolicy::cpu_only(64),
+        );
+        b.iter(|| {
+            let mut gen = QueryGenerator::new(
+                ArrivalProcess::poisson(5_000.0),
+                SizeDistribution::production(),
+                9,
+            );
+            sim.run(&mut gen, RunOptions::queries(2_000))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_sim_window);
+criterion_main!(benches);

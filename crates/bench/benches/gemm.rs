@@ -1,0 +1,27 @@
+//! Micro-benchmark: the GEMM kernel underlying every FC stack
+//! (substrate for the Figure 3/4 measurements).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use drs_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    for &(m, k, n) in &[(16usize, 256usize, 256usize), (64, 256, 256), (64, 1640, 1024), (256, 512, 128)] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Matrix::xavier_uniform(m, k, &mut rng);
+        let b = Matrix::xavier_uniform(k, n, &mut rng);
+        let mut out = Matrix::zeros(m, n);
+        group.throughput(Throughput::Elements((2 * m * k * n) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{k}x{n}")),
+            &(m, k, n),
+            |bch, _| bch.iter(|| a.matmul_into(&b, &mut out)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

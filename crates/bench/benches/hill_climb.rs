@@ -1,0 +1,28 @@
+//! Micro-benchmark: cost of one full DeepRecSched tuning pass (the
+//! control-plane overhead of the scheduler itself).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drs_models::zoo;
+use drs_sched::{DeepRecSched, SearchOptions};
+use drs_sim::ClusterConfig;
+
+fn bench_tune(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deeprecsched_tune");
+    group.sample_size(10);
+    let mut opts = SearchOptions::quick();
+    opts.queries_per_probe = 300; // keep each probe small for the bench
+    group.bench_function("tune_cpu_rmc1", |b| {
+        let sched = DeepRecSched::new(opts);
+        let cfg = zoo::dlrm_rmc1();
+        b.iter(|| sched.tune_cpu(&cfg, ClusterConfig::single_skylake(), 100.0))
+    });
+    group.bench_function("tune_full_rmc1_gpu", |b| {
+        let sched = DeepRecSched::new(opts);
+        let cfg = zoo::dlrm_rmc1();
+        b.iter(|| sched.tune(&cfg, ClusterConfig::skylake_with_gpu(), 100.0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tune);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Micro-benchmark: real forward-pass latency per model across batch
+//! sizes — the measured ground truth behind the Figure 3 and Figure 4
+//! characterizations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use drs_models::{zoo, ModelScale, RecModel};
+use drs_nn::OpProfiler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_forward");
+    group.sample_size(10);
+    for cfg in zoo::all() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Tiny scale keeps bench wall-time sane; batch scaling shape is
+        // preserved (weights are identical across batch sizes).
+        let model = RecModel::instantiate(&cfg, ModelScale::tiny(), &mut rng);
+        for &batch in &[1usize, 16, 64] {
+            let inputs = model.generate_inputs(batch, &mut rng);
+            group.throughput(Throughput::Elements(batch as u64));
+            group.bench_with_input(
+                BenchmarkId::new(cfg.name, batch),
+                &batch,
+                |bch, _| {
+                    bch.iter(|| {
+                        let mut prof = OpProfiler::new();
+                        model.forward(&inputs, &mut prof)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Regenerates **Figure 1**: (a) roofline placement of the eight
+//! recommendation models against CNN/RNN reference points on a Skylake
+//! roofline; (b) memory-access breakdown (dense vs sparse traffic).
+
+use deeprecsys::models::characterize::{characterize, reference_points};
+use deeprecsys::prelude::*;
+use deeprecsys::table::{fmt3, TextTable};
+
+fn main() {
+    let opts = drs_bench::parse_args();
+    drs_bench::header(
+        "Figure 1 — roofline + memory-access breakdown",
+        "(a) rec models are memory-intensive (low arithmetic intensity) vs \
+         CNNs/RNNs; (b) dense traffic dominates WND/NCF/RMC3/DIEN, sparse \
+         traffic dominates RMC1/RMC2/DIN",
+        &opts,
+    );
+
+    let cpu = CpuPlatform::skylake();
+    let peak = cpu.peak_core_gflops() * cpu.cores as f64;
+    let bw = cpu.dram_bw_gbs;
+
+    println!("## (a) Roofline (Skylake: {peak:.0} GFLOP/s peak, {bw:.0} GB/s DRAM)\n");
+    let mut t = TextTable::new(vec![
+        "workload",
+        "AI @ batch 1",
+        "AI @ batch 64",
+        "attainable GFLOP/s @64",
+        "bound",
+    ]);
+    for cfg in zoo::all() {
+        let ch = characterize(&cfg);
+        let ai = ch.arithmetic_intensity(64);
+        let att = ch.attainable_gflops(64, peak, bw);
+        t.row(vec![
+            cfg.name.to_string(),
+            fmt3(ch.arithmetic_intensity(1)),
+            fmt3(ai),
+            fmt3(att),
+            if att < peak { "memory".into() } else { "compute".into() },
+        ]);
+    }
+    for (name, ai, _gflops) in reference_points() {
+        let att = peak.min(ai * bw);
+        t.row(vec![
+            format!("{name} (ref)"),
+            fmt3(ai),
+            fmt3(ai),
+            fmt3(att),
+            if att < peak { "memory".into() } else { "compute".into() },
+        ]);
+    }
+    println!("{t}");
+
+    println!("## (b) Memory-access breakdown @ batch 64\n");
+    let mut t = TextTable::new(vec!["model", "dense bytes %", "sparse (embedding) bytes %"]);
+    for cfg in zoo::all() {
+        let ch = characterize(&cfg);
+        let sparse = ch.sparse_byte_fraction(64);
+        t.row(vec![
+            cfg.name.to_string(),
+            format!("{:.0}%", (1.0 - sparse) * 100.0),
+            format!("{:.0}%", sparse * 100.0),
+        ]);
+    }
+    println!("{t}");
+}

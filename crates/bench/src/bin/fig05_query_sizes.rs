@@ -1,0 +1,61 @@
+//! Regenerates **Figure 5**: the production query working-set size
+//! distribution versus the canonical log-normal / normal assumptions.
+
+use deeprecsys::prelude::*;
+use deeprecsys::query::tail_work_share;
+use deeprecsys::table::TextTable;
+use drs_metrics::percentile_of_sorted;
+use rand::SeedableRng;
+
+fn main() {
+    let opts = drs_bench::parse_args();
+    drs_bench::header(
+        "Figure 5 — query working-set size distributions",
+        "production sizes have a heavier tail than log-normal, cap at ~1000 \
+         items, and the top quartile of queries carries ~half the total work",
+        &opts,
+    );
+
+    let n = if opts.full { 1_000_000 } else { 100_000 };
+    let dists = [
+        SizeDistribution::production(),
+        SizeDistribution::lognormal_matched(),
+        SizeDistribution::normal_matched(),
+    ];
+
+    let mut t = TextTable::new(vec![
+        "distribution",
+        "mean",
+        "p50",
+        "p75",
+        "p95",
+        "p99",
+        "p99.9",
+        "max",
+        ">p75 work share",
+    ]);
+    for d in dists {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(opts.search.seed);
+        let sizes = d.sample_n(n, &mut rng);
+        let mut sorted: Vec<f64> = sizes.iter().map(|&s| s as f64).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let q = |p: f64| percentile_of_sorted(&sorted, p);
+        t.row(vec![
+            d.name().to_string(),
+            format!("{:.1}", sorted.iter().sum::<f64>() / n as f64),
+            format!("{:.0}", q(0.50)),
+            format!("{:.0}", q(0.75)),
+            format!("{:.0}", q(0.95)),
+            format!("{:.0}", q(0.99)),
+            format!("{:.0}", q(0.999)),
+            format!("{:.0}", sorted.last().unwrap()),
+            format!("{:.0}%", tail_work_share(&sizes, 0.75) * 100.0),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "The production mixture's p99/p99.9 dwarf the log-normal's at a \n\
+         comparable mean — the heavy tail that drives every DeepRecSched \n\
+         design decision."
+    );
+}

@@ -1,0 +1,66 @@
+//! Regenerates **Figure 6**: aggregated execution time of small
+//! (≤ p75) versus large (> p75) queries on CPU and GPU, per model.
+
+use deeprecsys::prelude::*;
+use deeprecsys::table::TextTable;
+use rand::SeedableRng;
+
+fn main() {
+    let opts = drs_bench::parse_args();
+    drs_bench::header(
+        "Figure 6 — execution-time split: <=p75 vs >p75 queries, CPU vs GPU",
+        "despite the long tail, small queries are over half of CPU time; the \
+         25% of large queries are ~50% of time; GPUs accelerate large queries \
+         most (up to ~6x)",
+        &opts,
+    );
+
+    let n = if opts.full { 50_000 } else { 10_000 };
+    let cpu = CpuPlatform::skylake();
+    let gpu = GpuPlatform::gtx_1080ti();
+
+    // Draw the query set once and find the p75 size.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(opts.search.seed);
+    let mut sizes = SizeDistribution::production().sample_n(n, &mut rng);
+    sizes.sort_unstable();
+    let p75 = sizes[(sizes.len() - 1) * 3 / 4];
+
+    let mut t = TextTable::new(vec![
+        "model",
+        "CPU small %",
+        "CPU large %",
+        "GPU small %",
+        "GPU large %",
+        "GPU speedup on large",
+    ]);
+    for cfg in zoo::all() {
+        let cost = ModelCost::new(&cfg);
+        let (mut cpu_small, mut cpu_large) = (0.0f64, 0.0f64);
+        let (mut gpu_small, mut gpu_large) = (0.0f64, 0.0f64);
+        for &s in &sizes {
+            // CPU path: whole query on one core (the paper's Figure 6
+            // compares per-query execution cost, not split requests).
+            let c = cost.cpu_request_us(&cpu, s as usize, 1);
+            let g = cost.gpu_query_us(&cpu, &gpu, s as usize);
+            if s <= p75 {
+                cpu_small += c;
+                gpu_small += g;
+            } else {
+                cpu_large += c;
+                gpu_large += g;
+            }
+        }
+        let cpu_tot = cpu_small + cpu_large;
+        let gpu_tot = gpu_small + gpu_large;
+        t.row(vec![
+            cfg.name.to_string(),
+            format!("{:.0}%", cpu_small / cpu_tot * 100.0),
+            format!("{:.0}%", cpu_large / cpu_tot * 100.0),
+            format!("{:.0}%", gpu_small / gpu_tot * 100.0),
+            format!("{:.0}%", gpu_large / gpu_tot * 100.0),
+            format!("{:.2}x", cpu_large / gpu_large),
+        ]);
+    }
+    println!("query-set p75 size: {p75} items over {n} queries\n");
+    println!("{t}");
+}

@@ -1,0 +1,69 @@
+//! Regenerates **Figure 9**: max QPS under the SLA as a function of the
+//! per-request batch size — the request- vs batch-parallelism trade-off.
+//!
+//! Top panel: the optimum shifts with the tail-latency target
+//! (DLRM-RMC3 at Low vs Medium). Bottom panel: the optimum differs
+//! across model classes (RMC1 embedding-, RMC3 MLP-, DIEN
+//! attention-dominated).
+
+use deeprecsys::prelude::*;
+use deeprecsys::table::{fmt3, TextTable};
+
+fn sweep(cfg: &ModelConfig, sla_ms: f64, opts: &drs_bench::ExpOptions) -> Vec<(u32, f64)> {
+    let ladder: Vec<u32> = (0..=10).map(|p| 1u32 << p).collect();
+    ladder
+        .iter()
+        .map(|&b| {
+            let r = max_qps_under_sla(
+                cfg,
+                ClusterConfig::single_skylake(),
+                SchedulerPolicy::cpu_only(b),
+                sla_ms,
+                &opts.search,
+            );
+            (b, r.max_qps)
+        })
+        .collect()
+}
+
+fn print_sweep(label: &str, curve: &[(u32, f64)]) {
+    let mut t = TextTable::new(vec!["batch", "max QPS"]);
+    let best = curve
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap()
+        .0;
+    for &(b, q) in curve {
+        let marker = if b == best { " <= optimal" } else { "" };
+        t.row(vec![b.to_string(), format!("{}{marker}", fmt3(q))]);
+    }
+    println!("### {label} (optimal batch {best})\n\n{t}");
+}
+
+fn main() {
+    let opts = drs_bench::parse_args();
+    drs_bench::header(
+        "Figure 9 — request- vs batch-level parallelism",
+        "optimal batch grows as the SLA relaxes (RMC3: 128 @ low -> 256 @ \
+         medium in the paper) and differs across models (embedding-bound \
+         models prefer larger batches than MLP/attention-bound ones)",
+        &opts,
+    );
+
+    println!("## (top) DLRM-RMC3 across tail-latency targets\n");
+    let rmc3 = zoo::dlrm_rmc3();
+    for tier in [SlaTier::Low, SlaTier::Medium] {
+        print_sweep(
+            &format!("RMC3 @ {} SLA ({} ms)", tier, tier.sla_ms(&rmc3)),
+            &sweep(&rmc3, tier.sla_ms(&rmc3), &opts),
+        );
+    }
+
+    println!("## (bottom) model classes at their Medium SLA\n");
+    for cfg in [zoo::dlrm_rmc1(), zoo::dlrm_rmc3(), zoo::dien()] {
+        print_sweep(
+            &format!("{} ({} ms)", cfg.name, cfg.sla_ms),
+            &sweep(&cfg, cfg.sla_ms, &opts),
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Regenerates **Figure 10**: max QPS under the SLA as a function of
+//! the GPU query-size offload threshold, per model class.
+//!
+//! Threshold 0 sends everything to the accelerator ("All GPU");
+//! threshold 1000 sends nothing ("All CPU"); the optimum sits in
+//! between and differs across models.
+
+use deeprecsys::prelude::*;
+use deeprecsys::table::{fmt3, TextTable};
+
+fn main() {
+    let opts = drs_bench::parse_args();
+    drs_bench::header(
+        "Figure 10 — GPU query-size threshold sweep",
+        "QPS rises from the all-GPU extreme, peaks at a model-specific \
+         threshold, and falls toward the all-CPU extreme; the paper's optima \
+         differ across RMC1/RMC3/DIEN",
+        &opts,
+    );
+
+    let thresholds = [0u32, 25, 50, 100, 150, 200, 300, 400, 500, 650, 800, 1000];
+    for cfg in [zoo::dlrm_rmc1(), zoo::dlrm_rmc3(), zoo::dien()] {
+        // Use the model's tuned CPU batch so the sweep isolates the
+        // threshold knob (the paper fixes batch from phase 1).
+        let tuned = DeepRecSched::new(opts.search).tune_cpu(
+            &cfg,
+            ClusterConfig::skylake_with_gpu(),
+            cfg.sla_ms,
+        );
+        let batch = tuned.policy.max_batch;
+
+        let mut t = TextTable::new(vec!["GPU threshold", "max QPS"]);
+        let mut curve = Vec::new();
+        for &th in &thresholds {
+            let r = max_qps_under_sla(
+                &cfg,
+                ClusterConfig::skylake_with_gpu(),
+                SchedulerPolicy::with_gpu(batch, th),
+                cfg.sla_ms,
+                &opts.search,
+            );
+            curve.push((th, r.max_qps));
+        }
+        let best = curve
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0;
+        for &(th, q) in &curve {
+            let label = match th {
+                0 => "0 (all GPU)".to_string(),
+                1000 => "1000 (all CPU)".to_string(),
+                _ => th.to_string(),
+            };
+            let marker = if th == best { " <= optimal" } else { "" };
+            t.row(vec![label, format!("{}{marker}", fmt3(q))]);
+        }
+        println!(
+            "## {} (batch {batch}, SLA {} ms; optimal threshold {best})\n\n{t}",
+            cfg.name, cfg.sla_ms
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Regenerates **Figure 13**: the production-datacenter study — a
+//! cluster of machines serving live diurnal traffic for 24 (virtual)
+//! hours, comparing tail latency under the fixed production batch size
+//! against the DeepRecSched-tuned batch size.
+
+use deeprecsys::prelude::*;
+use deeprecsys::metrics as drs_metrics;
+use deeprecsys::table::{fmt3, TextTable};
+
+fn main() {
+    let opts = drs_bench::parse_args();
+    drs_bench::header(
+        "Figure 13 — tail-latency reduction in an at-scale production cluster",
+        "across models and servers over 24h of live traffic, the tuned batch \
+         size reduces p95 by 1.39x and p99 by 1.31x versus the fixed baseline",
+        &opts,
+    );
+
+    // A mixed fleet: several models sharing the diurnal day. The paper
+    // aggregates across "a wide collection of recommendation models and
+    // server-class Intel CPUs"; we aggregate across the DLRM family on
+    // a Skylake cluster.
+    let machines = 20;
+    let cluster = ClusterConfig::cluster(machines, CpuPlatform::skylake(), None);
+    let day_s = if opts.full { 86_400.0 } else { 600.0 };
+    let queries = if opts.full { 2_000_000 } else { 80_000 };
+
+    let mut all_base = LatencyRecorder::new();
+    let mut all_tuned = LatencyRecorder::new();
+    let mut p95_ratios: Vec<f64> = Vec::new();
+    let mut p99_ratios: Vec<f64> = Vec::new();
+    let mut t = TextTable::new(vec![
+        "model",
+        "load (QPS)",
+        "baseline p95/p99 (ms)",
+        "tuned p95/p99 (ms)",
+        "p95 reduction",
+        "p99 reduction",
+    ]);
+
+    // Offered loads sit at ~85% of the *baseline's* per-machine
+    // capacity — the regime production fleets run in, where the fixed
+    // batch size queues at the diurnal peak while the tuned batch
+    // (higher capacity) stays comfortable.
+    for (cfg, base_qps) in [
+        (zoo::dlrm_rmc1(), 14_900.0),
+        (zoo::dlrm_rmc2(), 3_700.0),
+        (zoo::dlrm_rmc3(), 16_000.0),
+    ] {
+        let tuned_policy = DeepRecSched::new(opts.search)
+            .tune_cpu(&cfg, cluster, SlaTier::Medium.sla_ms(&cfg))
+            .policy;
+        let run = |policy: SchedulerPolicy| {
+            let sim = Simulation::new(&cfg, cluster, policy);
+            let mut gen = QueryGenerator::new(
+                ArrivalProcess::diurnal(base_qps, 0.3, day_s),
+                SizeDistribution::production(),
+                opts.search.seed,
+            );
+            sim.run(&mut gen, RunOptions::queries(queries))
+        };
+        let base = run(SchedulerPolicy::static_baseline(cluster.cpu.cores));
+        let tuned = run(tuned_policy);
+        for &x in &base.latencies_ms {
+            all_base.record_ms(x);
+        }
+        for &x in &tuned.latencies_ms {
+            all_tuned.record_ms(x);
+        }
+        p95_ratios.push(base.latency.p95_ms / tuned.latency.p95_ms);
+        p99_ratios.push(base.latency.p99_ms / tuned.latency.p99_ms);
+        t.row(vec![
+            cfg.name.to_string(),
+            fmt3(base_qps),
+            format!("{}/{}", fmt3(base.latency.p95_ms), fmt3(base.latency.p99_ms)),
+            format!("{}/{}", fmt3(tuned.latency.p95_ms), fmt3(tuned.latency.p99_ms)),
+            format!("{:.2}x", base.latency.p95_ms / tuned.latency.p95_ms),
+            format!("{:.2}x", base.latency.p99_ms / tuned.latency.p99_ms),
+        ]);
+    }
+
+    println!(
+        "{machines} Skylake machines per model group, diurnal load +/-30% over {day_s} s\n"
+    );
+    println!("{t}");
+    let b = all_base.summary();
+    let u = all_tuned.summary();
+    println!("## Aggregated across the fleet (paper: 1.39x p95, 1.31x p99)\n");
+    println!(
+        "- geomean per-model reduction: p95 {:.2}x, p99 {:.2}x",
+        drs_metrics::geomean(&p95_ratios).unwrap_or(f64::NAN),
+        drs_metrics::geomean(&p99_ratios).unwrap_or(f64::NAN)
+    );
+    println!(
+        "- pooled-latency view (mixes model latency scales): p95 {} -> {} ms ({:.2}x), p99 {} -> {} ms ({:.2}x)",
+        fmt3(b.p95_ms),
+        fmt3(u.p95_ms),
+        b.p95_ms / u.p95_ms,
+        fmt3(b.p99_ms),
+        fmt3(u.p99_ms),
+        b.p99_ms / u.p99_ms
+    );
+}

@@ -1,0 +1,86 @@
+//! Regenerates **Table I**: architectural features of the eight
+//! recommendation models.
+
+use deeprecsys::prelude::*;
+use deeprecsys::table::TextTable;
+use drs_models::{PoolingKind, TableRole};
+
+fn pooling_label(cfg: &ModelConfig) -> &'static str {
+    match cfg.pooling {
+        PoolingKind::Sum => "Sum",
+        PoolingKind::Concat => "Concat",
+        PoolingKind::Gmf => "Concat (GMF)",
+        PoolingKind::Attention => "Attention+FC",
+        PoolingKind::AttentionRnn => "Attention+RNN",
+    }
+}
+
+fn fc_label(widths: &[usize], tasks: usize) -> String {
+    if widths.is_empty() {
+        return "-".into();
+    }
+    let joined = widths
+        .iter()
+        .map(|w| w.to_string())
+        .collect::<Vec<_>>()
+        .join("-");
+    if tasks > 1 {
+        format!("{tasks} x ({joined})")
+    } else {
+        joined
+    }
+}
+
+fn main() {
+    let opts = drs_bench::parse_args();
+    drs_bench::header(
+        "Table I — model zoo architecture",
+        "eight industry models spanning GMF, WnD, DLRM and attention families \
+         with the Dense-FC / Predict-FC / table geometries of Table I",
+        &opts,
+    );
+
+    let mut t = TextTable::new(vec![
+        "Model",
+        "Domain",
+        "Dense-FC",
+        "Predict-FC",
+        "Tables",
+        "Lookups",
+        "Pooling",
+    ]);
+    for cfg in zoo::all() {
+        let max_lookups = cfg
+            .tables
+            .iter()
+            .map(|tb| tb.lookups)
+            .max()
+            .unwrap_or(0);
+        let behavior = cfg
+            .tables
+            .iter()
+            .any(|tb| tb.role == TableRole::Behavior);
+        t.row(vec![
+            cfg.name.to_string(),
+            cfg.domain.to_string(),
+            fc_label(&cfg.dense_fc, 1),
+            fc_label(&cfg.predict_fc, cfg.num_tasks),
+            cfg.tables.len().to_string(),
+            if behavior {
+                format!("{max_lookups} (seq)")
+            } else {
+                max_lookups.to_string()
+            },
+            pooling_label(&cfg).to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "paper-scale embedding storage: {}",
+        zoo::all()
+            .iter()
+            .map(|m| format!("{} {:.1} GB", m.name, m.embedding_bytes() as f64 / 1e9))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    );
+}

@@ -1,0 +1,68 @@
+//! Shared plumbing for the DeepRecSys experiment harness.
+//!
+//! Every paper table and figure has a binary under `src/bin/` that
+//! regenerates it (see DESIGN.md §5 for the index). Binaries accept:
+//!
+//! * `--full` — experiment-grade windows (`SearchOptions::standard()`);
+//!   the default is the faster `quick()` profile so a laptop can sweep
+//!   everything in minutes;
+//! * `--seed N` — override the workload seed.
+//!
+//! Criterion micro-benchmarks live under `benches/`.
+
+#![warn(missing_docs)]
+
+use drs_sched::SearchOptions;
+
+/// Parsed command-line options shared by every experiment binary.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpOptions {
+    /// Search/simulation options (quick unless `--full`).
+    pub search: SearchOptions,
+    /// Whether `--full` was requested.
+    pub full: bool,
+}
+
+/// Parses `--full` / `--seed N` from the process arguments.
+pub fn parse_args() -> ExpOptions {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let mut search = if full {
+        SearchOptions::standard()
+    } else {
+        SearchOptions::quick()
+    };
+    if let Some(i) = args.iter().position(|a| a == "--seed") {
+        if let Some(seed) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+            search = search.with_seed(seed);
+        }
+    }
+    ExpOptions { search, full }
+}
+
+/// Prints the standard experiment header: what this binary reproduces
+/// and the paper's reference statement to compare against.
+pub fn header(id: &str, claim: &str, opts: &ExpOptions) {
+    println!("# {id}");
+    println!();
+    println!("paper reference: {claim}");
+    println!(
+        "mode: {} (pass --full for experiment-grade windows)",
+        if opts.full { "full" } else { "quick" }
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_are_quick() {
+        // parse_args reads real argv (the test binary's), which carries
+        // no --full flag.
+        let o = parse_args();
+        assert!(!o.full);
+        assert_eq!(o.search.queries_per_probe, SearchOptions::quick().queries_per_probe);
+    }
+}

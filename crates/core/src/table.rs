@@ -1,0 +1,136 @@
+//! Plain-text/Markdown table formatting for experiment output.
+//!
+//! Every experiment binary prints its figure or table as a Markdown
+//! table next to the paper's reference values; this tiny formatter keeps
+//! that output consistent without pulling a serialization dependency.
+
+use std::fmt;
+
+/// A Markdown table under construction.
+///
+/// # Examples
+///
+/// ```
+/// use deeprecsys::table::TextTable;
+///
+/// let mut t = TextTable::new(vec!["model", "QPS"]);
+/// t.row(vec!["NCF".into(), "123.4".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("| model | QPS |"));
+/// assert!(s.contains("| NCF | 123.4 |"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<&'static str>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(headers: Vec<&'static str>) -> Self {
+        assert!(!headers.is_empty(), "a table needs columns");
+        TextTable {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "|")?;
+        for h in &self.headers {
+            write!(f, " {h} |")?;
+        }
+        writeln!(f)?;
+        write!(f, "|")?;
+        for _ in &self.headers {
+            write!(f, "---|")?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write!(f, "|")?;
+            for c in row {
+                write!(f, " {c} |")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with three significant-ish decimals for tables.
+pub fn fmt3(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["x".into(), "y".into()]);
+        let s = t.to_string();
+        assert!(s.starts_with("| a | b |\n|---|---|\n"));
+        assert!(s.contains("| x | y |\n"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt3(0.0), "0");
+        assert_eq!(fmt3(1234.5), "1234"); // ties-to-even at .5
+        assert_eq!(fmt3(12.345), "12.35");
+        assert_eq!(fmt3(0.1234), "0.123");
+    }
+}

@@ -1,0 +1,198 @@
+//! The worker pool: threads executing real model forward passes.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use drs_models::{BatchInputs, RecModel};
+use drs_nn::OpProfiler;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One inference request: a batch of inputs tagged with the query it
+/// belongs to.
+#[derive(Debug)]
+pub struct EngineRequest {
+    /// The query this request is a split of.
+    pub query_id: u64,
+    /// Batch inputs matching the engine's model geometry.
+    pub inputs: BatchInputs,
+}
+
+/// A finished request.
+#[derive(Debug)]
+pub struct EngineCompletion {
+    /// The query this request belonged to.
+    pub query_id: u64,
+    /// Items scored in this request.
+    pub batch: usize,
+    /// Predicted CTRs, one per item.
+    pub ctrs: Vec<f32>,
+    /// Pure service time (excludes queueing).
+    pub service: Duration,
+    /// Per-operator breakdown of `service`.
+    pub profile: OpProfiler,
+}
+
+/// A pool of worker threads serving inference requests for one model.
+///
+/// Requests submitted with [`InferenceEngine::submit`] are distributed
+/// to idle workers through an unbounded MPMC channel; completions
+/// arrive on [`InferenceEngine::completions`] in finish order.
+///
+/// # Examples
+///
+/// ```
+/// use drs_engine::{EngineRequest, InferenceEngine};
+/// use drs_models::{zoo, ModelScale, RecModel};
+/// use rand::SeedableRng;
+/// use std::sync::Arc;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let model = Arc::new(RecModel::instantiate(&zoo::ncf(), ModelScale::tiny(), &mut rng));
+/// let engine = InferenceEngine::start(Arc::clone(&model), 2);
+/// let inputs = model.generate_inputs(4, &mut rng);
+/// engine.submit(EngineRequest { query_id: 0, inputs });
+/// let done = engine.completions().recv().unwrap();
+/// assert_eq!(done.query_id, 0);
+/// assert_eq!(done.ctrs.len(), 4);
+/// engine.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct InferenceEngine {
+    tx: Option<Sender<EngineRequest>>,
+    rx_done: Receiver<EngineCompletion>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl InferenceEngine {
+    /// Spawns `workers` threads serving `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn start(model: Arc<RecModel>, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        let (tx, rx) = unbounded::<EngineRequest>();
+        let (tx_done, rx_done) = unbounded::<EngineCompletion>();
+        let handles = (0..workers)
+            .map(|_| {
+                let rx = rx.clone();
+                let tx_done = tx_done.clone();
+                let model = Arc::clone(&model);
+                std::thread::spawn(move || {
+                    while let Ok(req) = rx.recv() {
+                        let mut profile = OpProfiler::new();
+                        let start = Instant::now();
+                        let ctrs = model.forward(&req.inputs, &mut profile);
+                        let service = start.elapsed();
+                        let _ = tx_done.send(EngineCompletion {
+                            query_id: req.query_id,
+                            batch: req.inputs.batch,
+                            ctrs,
+                            service,
+                            profile,
+                        });
+                    }
+                })
+            })
+            .collect();
+        InferenceEngine {
+            tx: Some(tx),
+            rx_done,
+            workers: handles,
+        }
+    }
+
+    /// Enqueues a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`InferenceEngine::shutdown`].
+    pub fn submit(&self, request: EngineRequest) {
+        self.tx
+            .as_ref()
+            .expect("engine is running")
+            .send(request)
+            .expect("workers alive");
+    }
+
+    /// The completion channel (finish order, not submit order).
+    pub fn completions(&self) -> &Receiver<EngineCompletion> {
+        &self.rx_done
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Stops accepting work, drains the workers, and joins them.
+    pub fn shutdown(mut self) {
+        self.tx.take(); // close the channel; workers exit on recv Err
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for InferenceEngine {
+    fn drop(&mut self) {
+        self.tx.take();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drs_models::{zoo, ModelScale};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_model() -> Arc<RecModel> {
+        let mut rng = StdRng::seed_from_u64(5);
+        Arc::new(RecModel::instantiate(
+            &zoo::ncf(),
+            ModelScale::tiny(),
+            &mut rng,
+        ))
+    }
+
+    #[test]
+    fn completes_all_requests() {
+        let model = tiny_model();
+        let engine = InferenceEngine::start(Arc::clone(&model), 4);
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 32;
+        for qid in 0..n {
+            engine.submit(EngineRequest {
+                query_id: qid,
+                inputs: model.generate_inputs(3, &mut rng),
+            });
+        }
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..n {
+            let done = engine.completions().recv().unwrap();
+            assert_eq!(done.ctrs.len(), 3);
+            assert!(done.ctrs.iter().all(|p| (0.0..=1.0).contains(p)));
+            assert!(done.service.as_nanos() > 0);
+            seen.insert(done.query_id);
+        }
+        assert_eq!(seen.len(), n as usize);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let model = tiny_model();
+        let engine = InferenceEngine::start(model, 2);
+        drop(engine); // must not hang or leak
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = InferenceEngine::start(tiny_model(), 0);
+    }
+}

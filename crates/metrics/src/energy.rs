@@ -1,0 +1,135 @@
+//! Energy accounting for QPS/Watt power-efficiency results.
+
+/// Integrates device power over (possibly virtual) time to produce the
+/// average power draw behind the paper's QPS/Watt metric (Figure 11
+/// bottom, Figure 14b).
+///
+/// Callers feed piecewise-constant power segments: "device drew `watts`
+/// for `seconds`". The meter accumulates energy in joules; average power
+/// is energy divided by total observed time.
+///
+/// # Examples
+///
+/// ```
+/// use drs_metrics::EnergyMeter;
+///
+/// let mut e = EnergyMeter::new();
+/// e.add_segment(100.0, 2.0); // 100 W for 2 s
+/// e.add_segment(50.0, 2.0);  // 50 W for 2 s
+/// assert!((e.energy_j() - 300.0).abs() < 1e-9);
+/// assert!((e.average_power_w() - 75.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnergyMeter {
+    energy_j: f64,
+    elapsed_s: f64,
+}
+
+impl EnergyMeter {
+    /// Creates a meter with no accumulated energy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates `watts` drawn over `seconds`.
+    ///
+    /// Negative or non-finite segments are ignored.
+    pub fn add_segment(&mut self, watts: f64, seconds: f64) {
+        if watts.is_finite() && seconds.is_finite() && watts >= 0.0 && seconds > 0.0 {
+            self.energy_j += watts * seconds;
+            self.elapsed_s += seconds;
+        }
+    }
+
+    /// Merges another meter's accumulation into this one.
+    ///
+    /// Use when summing per-device meters that cover the *same* wall/virtual
+    /// time span is not desired; for parallel devices over the same span,
+    /// prefer [`EnergyMeter::add_parallel`].
+    pub fn merge_serial(&mut self, other: &EnergyMeter) {
+        self.energy_j += other.energy_j;
+        self.elapsed_s += other.elapsed_s;
+    }
+
+    /// Adds energy from a device that ran *in parallel* over the same
+    /// time span (energy adds, elapsed time does not).
+    pub fn add_parallel(&mut self, other: &EnergyMeter) {
+        self.energy_j += other.energy_j;
+        self.elapsed_s = self.elapsed_s.max(other.elapsed_s);
+    }
+
+    /// Total accumulated energy in joules.
+    pub fn energy_j(&self) -> f64 {
+        self.energy_j
+    }
+
+    /// Total observed time in seconds.
+    pub fn elapsed_s(&self) -> f64 {
+        self.elapsed_s
+    }
+
+    /// Average power in watts (0.0 before any segment).
+    pub fn average_power_w(&self) -> f64 {
+        if self.elapsed_s <= 0.0 {
+            0.0
+        } else {
+            self.energy_j / self.elapsed_s
+        }
+    }
+
+    /// Power efficiency: queries per second per watt.
+    ///
+    /// Returns 0.0 when no energy has been observed (avoids dividing by
+    /// zero when a device never turned on).
+    pub fn qps_per_watt(&self, qps: f64) -> f64 {
+        let p = self.average_power_w();
+        if p <= 0.0 {
+            0.0
+        } else {
+            qps / p
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrates_segments() {
+        let mut e = EnergyMeter::new();
+        e.add_segment(120.0, 10.0);
+        assert_eq!(e.energy_j(), 1200.0);
+        assert_eq!(e.average_power_w(), 120.0);
+    }
+
+    #[test]
+    fn parallel_devices_sum_power() {
+        let mut cpu = EnergyMeter::new();
+        cpu.add_segment(125.0, 30.0);
+        let mut gpu = EnergyMeter::new();
+        gpu.add_segment(250.0, 30.0);
+        let mut total = EnergyMeter::new();
+        total.add_parallel(&cpu);
+        total.add_parallel(&gpu);
+        assert!((total.average_power_w() - 375.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qps_per_watt() {
+        let mut e = EnergyMeter::new();
+        e.add_segment(100.0, 1.0);
+        assert!((e.qps_per_watt(500.0) - 5.0).abs() < 1e-12);
+        let empty = EnergyMeter::new();
+        assert_eq!(empty.qps_per_watt(500.0), 0.0);
+    }
+
+    #[test]
+    fn rejects_garbage_segments() {
+        let mut e = EnergyMeter::new();
+        e.add_segment(-5.0, 1.0);
+        e.add_segment(f64::NAN, 1.0);
+        e.add_segment(10.0, 0.0);
+        assert_eq!(e.energy_j(), 0.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Measurement primitives for the DeepRecSys reproduction.
+//!
+//! The paper evaluates every design point as *throughput (QPS) under a p95
+//! tail-latency SLA* and as *power efficiency (QPS/Watt)*. This crate
+//! provides the measurement substrate shared by the real serving engine
+//! (`drs-engine`) and the discrete-event simulator (`drs-sim`):
+//!
+//! * [`LatencyRecorder`] — exact percentile computation over a recorded
+//!   window of latencies,
+//! * [`P2Quantile`] — the P² streaming quantile estimator for
+//!   constant-memory percentile tracking in long simulations,
+//! * [`Histogram`] — log-bucketed latency histograms for distribution
+//!   comparisons (used by the Figure 7 subsampling experiment),
+//! * [`ThroughputMeter`] and [`EnergyMeter`] — QPS and QPS/Watt
+//!   accounting.
+//!
+//! # Examples
+//!
+//! ```
+//! use drs_metrics::LatencyRecorder;
+//!
+//! let mut rec = LatencyRecorder::new();
+//! for ms in [1.0, 2.0, 3.0, 4.0, 100.0] {
+//!     rec.record_ms(ms);
+//! }
+//! let s = rec.summary();
+//! assert_eq!(s.count, 5);
+//! assert!(s.p50_ms >= 2.0 && s.p50_ms <= 4.0);
+//! assert_eq!(s.max_ms, 100.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod energy;
+mod histogram;
+mod p2;
+mod percentile;
+mod throughput;
+
+pub use energy::EnergyMeter;
+pub use histogram::Histogram;
+pub use p2::P2Quantile;
+pub use percentile::{percentile_of_sorted, LatencyRecorder, LatencySummary};
+pub use throughput::ThroughputMeter;
+
+/// Geometric mean of a slice of positive values.
+///
+/// Used for the "GeoMean" aggregate column of Figure 11. Returns `None`
+/// for an empty slice or when any value is non-positive (the geometric
+/// mean is undefined there).
+///
+/// # Examples
+///
+/// ```
+/// let g = drs_metrics::geomean(&[1.0, 4.0]).unwrap();
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|v| *v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Arithmetic mean of a slice; `None` when empty.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(drs_metrics::mean(&[1.0, 3.0]), Some(2.0));
+/// assert_eq!(drs_metrics::mean(&[]), None);
+/// ```
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geomean(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), None);
+        assert_eq!(geomean(&[1.0, 0.0]), None);
+        assert_eq!(geomean(&[1.0, -2.0]), None);
+    }
+
+    #[test]
+    fn geomean_single() {
+        assert!((geomean(&[7.5]).unwrap() - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[2.0, 4.0, 6.0]), Some(4.0));
+    }
+}

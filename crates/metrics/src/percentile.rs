@@ -1,0 +1,256 @@
+//! Exact percentile computation over recorded latency windows.
+
+/// Exact percentile of an **ascending-sorted** slice using linear
+/// interpolation between closest ranks (the "linear" / type-7 method used
+/// by NumPy's default `percentile`).
+///
+/// `q` is the quantile in `[0, 1]` (e.g. `0.95` for p95).
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use drs_metrics::percentile_of_sorted;
+/// let v = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile_of_sorted(&v, 0.0), 1.0);
+/// assert_eq!(percentile_of_sorted(&v, 1.0), 4.0);
+/// assert_eq!(percentile_of_sorted(&v, 0.5), 2.5);
+/// ```
+pub fn percentile_of_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = q * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+    }
+}
+
+/// Summary statistics of a latency window, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of recorded samples.
+    pub count: usize,
+    /// Arithmetic mean latency.
+    pub mean_ms: f64,
+    /// Median (p50) latency.
+    pub p50_ms: f64,
+    /// 75th-percentile latency.
+    pub p75_ms: f64,
+    /// 95th-percentile (tail) latency — the paper's SLA metric.
+    pub p95_ms: f64,
+    /// 99th-percentile latency (Figure 13 reports p99 as well).
+    pub p99_ms: f64,
+    /// Maximum observed latency.
+    pub max_ms: f64,
+    /// Minimum observed latency.
+    pub min_ms: f64,
+}
+
+impl LatencySummary {
+    /// A summary representing "no data" (all fields zero).
+    pub fn empty() -> Self {
+        LatencySummary {
+            count: 0,
+            mean_ms: 0.0,
+            p50_ms: 0.0,
+            p75_ms: 0.0,
+            p95_ms: 0.0,
+            p99_ms: 0.0,
+            max_ms: 0.0,
+            min_ms: 0.0,
+        }
+    }
+}
+
+/// Records a window of latencies and computes exact percentiles on demand.
+///
+/// Latencies are stored as `f64` milliseconds. This is the ground-truth
+/// estimator: the simulator uses it for experiment windows (tens of
+/// thousands of samples), and [`crate::P2Quantile`] is validated against
+/// it in tests.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples_ms: Vec<f64>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty recorder with capacity for `n` samples.
+    pub fn with_capacity(n: usize) -> Self {
+        LatencyRecorder {
+            samples_ms: Vec::with_capacity(n),
+        }
+    }
+
+    /// Records one latency in milliseconds.
+    ///
+    /// Non-finite or negative samples are ignored (they indicate a
+    /// measurement bug upstream, and must not corrupt tail statistics).
+    pub fn record_ms(&mut self, ms: f64) {
+        if ms.is_finite() && ms >= 0.0 {
+            self.samples_ms.push(ms);
+        }
+    }
+
+    /// Records one latency expressed in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.record_ms(ns as f64 / 1.0e6);
+    }
+
+    /// Records a [`std::time::Duration`].
+    pub fn record_duration(&mut self, d: std::time::Duration) {
+        self.record_ms(d.as_secs_f64() * 1e3);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples_ms.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_ms.is_empty()
+    }
+
+    /// Returns the raw samples (unsorted, in record order).
+    pub fn samples_ms(&self) -> &[f64] {
+        &self.samples_ms
+    }
+
+    /// Discards all recorded samples.
+    pub fn clear(&mut self) {
+        self.samples_ms.clear();
+    }
+
+    /// Merges the samples of `other` into `self`.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples_ms.extend_from_slice(&other.samples_ms);
+    }
+
+    /// Exact percentile of the recorded window; `None` when empty.
+    pub fn percentile_ms(&self, q: f64) -> Option<f64> {
+        if self.samples_ms.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        Some(percentile_of_sorted(&sorted, q))
+    }
+
+    /// Full summary (computes all percentiles from one sort).
+    pub fn summary(&self) -> LatencySummary {
+        if self.samples_ms.is_empty() {
+            return LatencySummary::empty();
+        }
+        let mut sorted = self.samples_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let sum: f64 = sorted.iter().sum();
+        LatencySummary {
+            count: sorted.len(),
+            mean_ms: sum / sorted.len() as f64,
+            p50_ms: percentile_of_sorted(&sorted, 0.50),
+            p75_ms: percentile_of_sorted(&sorted, 0.75),
+            p95_ms: percentile_of_sorted(&sorted, 0.95),
+            p99_ms: percentile_of_sorted(&sorted, 0.99),
+            max_ms: *sorted.last().expect("non-empty"),
+            min_ms: sorted[0],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_endpoints() {
+        let v = [5.0];
+        assert_eq!(percentile_of_sorted(&v, 0.5), 5.0);
+        let v = [1.0, 9.0];
+        assert_eq!(percentile_of_sorted(&v, 0.0), 1.0);
+        assert_eq!(percentile_of_sorted(&v, 1.0), 9.0);
+        assert_eq!(percentile_of_sorted(&v, 0.5), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile_of_sorted(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn percentile_bad_q_panics() {
+        percentile_of_sorted(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn recorder_summary_uniform() {
+        let mut r = LatencyRecorder::new();
+        // 1..=100 ms: p95 should be ~95 ms.
+        for i in 1..=100 {
+            r.record_ms(i as f64);
+        }
+        let s = r.summary();
+        assert_eq!(s.count, 100);
+        assert!((s.mean_ms - 50.5).abs() < 1e-9);
+        assert!((s.p95_ms - 95.05).abs() < 0.1, "p95={}", s.p95_ms);
+        assert_eq!(s.max_ms, 100.0);
+        assert_eq!(s.min_ms, 1.0);
+    }
+
+    #[test]
+    fn recorder_rejects_garbage() {
+        let mut r = LatencyRecorder::new();
+        r.record_ms(f64::NAN);
+        r.record_ms(f64::INFINITY);
+        r.record_ms(-1.0);
+        assert!(r.is_empty());
+        r.record_ms(3.0);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn recorder_merge() {
+        let mut a = LatencyRecorder::new();
+        let mut b = LatencyRecorder::new();
+        a.record_ms(1.0);
+        b.record_ms(2.0);
+        b.record_ms(3.0);
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.summary().max_ms, 3.0);
+    }
+
+    #[test]
+    fn record_units_agree() {
+        let mut a = LatencyRecorder::new();
+        a.record_ns(2_500_000); // 2.5 ms
+        a.record_duration(std::time::Duration::from_micros(1500)); // 1.5 ms
+        let s = a.summary();
+        assert!((s.max_ms - 2.5).abs() < 1e-9);
+        assert!((s.min_ms - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let r = LatencyRecorder::new();
+        assert_eq!(r.summary(), LatencySummary::empty());
+        assert_eq!(r.percentile_ms(0.95), None);
+    }
+}

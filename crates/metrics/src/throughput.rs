@@ -1,0 +1,113 @@
+//! Throughput (QPS) accounting.
+
+/// Counts completed queries over a time window and reports queries per
+/// second.
+///
+/// Both the real engine (wall-clock seconds) and the simulator (virtual
+/// seconds) use this; the caller supplies the elapsed time, so the meter
+/// itself is clock-agnostic.
+///
+/// # Examples
+///
+/// ```
+/// use drs_metrics::ThroughputMeter;
+///
+/// let mut m = ThroughputMeter::new();
+/// for _ in 0..500 {
+///     m.record_completion();
+/// }
+/// assert_eq!(m.completed(), 500);
+/// assert!((m.qps(2.0) - 250.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThroughputMeter {
+    completed: u64,
+    items: u64,
+}
+
+impl ThroughputMeter {
+    /// Creates a meter with zero completions.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the completion of one query.
+    pub fn record_completion(&mut self) {
+        self.completed += 1;
+    }
+
+    /// Records the completion of one query carrying `items`
+    /// candidate items (the query's working-set size).
+    pub fn record_query(&mut self, items: u64) {
+        self.completed += 1;
+        self.items += items;
+    }
+
+    /// Total completed queries.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Total completed candidate items across all queries.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Queries per second over `elapsed_s` seconds.
+    ///
+    /// Returns 0.0 for a non-positive window.
+    pub fn qps(&self, elapsed_s: f64) -> f64 {
+        if elapsed_s <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / elapsed_s
+        }
+    }
+
+    /// Candidate items per second over `elapsed_s` seconds (throughput in
+    /// work units rather than queries, useful when comparing
+    /// configurations under different size distributions).
+    pub fn items_per_second(&self, elapsed_s: f64) -> f64 {
+        if elapsed_s <= 0.0 {
+            0.0
+        } else {
+            self.items as f64 / elapsed_s
+        }
+    }
+
+    /// Resets the meter to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qps_zero_window() {
+        let m = ThroughputMeter::new();
+        assert_eq!(m.qps(0.0), 0.0);
+        assert_eq!(m.qps(-1.0), 0.0);
+    }
+
+    #[test]
+    fn items_accounting() {
+        let mut m = ThroughputMeter::new();
+        m.record_query(100);
+        m.record_query(300);
+        assert_eq!(m.completed(), 2);
+        assert_eq!(m.items(), 400);
+        assert!((m.items_per_second(4.0) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut m = ThroughputMeter::new();
+        m.record_query(10);
+        m.reset();
+        assert_eq!(m.completed(), 0);
+        assert_eq!(m.items(), 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the metrics crate.
+
+use drs_metrics::{percentile_of_sorted, Histogram, LatencyRecorder, P2Quantile};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any percentile of a window lies within [min, max].
+    #[test]
+    fn percentile_bounded(samples in prop::collection::vec(0.0f64..1e6, 1..500), q in 0.0f64..=1.0) {
+        let mut rec = LatencyRecorder::new();
+        for &s in &samples {
+            rec.record_ms(s);
+        }
+        let p = rec.percentile_ms(q).unwrap();
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p >= min - 1e-9 && p <= max + 1e-9, "p{q}={p} outside [{min}, {max}]");
+    }
+
+    /// Percentiles are monotone non-decreasing in the quantile.
+    #[test]
+    fn percentile_monotone(samples in prop::collection::vec(0.0f64..1e4, 2..200)) {
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let p = percentile_of_sorted(&sorted, q);
+            prop_assert!(p >= prev - 1e-9);
+            prev = p;
+        }
+    }
+
+    /// The P2 estimate of the median converges near the exact median for
+    /// uniform data.
+    #[test]
+    fn p2_median_close_to_exact(seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let samples: Vec<f64> = (0..4000).map(|_| rng.gen_range(0.0..100.0)).collect();
+        let mut est = P2Quantile::new(0.5);
+        let mut rec = LatencyRecorder::new();
+        for &s in &samples {
+            est.observe(s);
+            rec.record_ms(s);
+        }
+        let exact = rec.percentile_ms(0.5).unwrap();
+        let got = est.value().unwrap();
+        prop_assert!((got - exact).abs() < 5.0, "P2 median {got} vs exact {exact}");
+    }
+
+    /// Histogram CDF terminates at 1.0 and is monotone.
+    #[test]
+    fn histogram_cdf_valid(samples in prop::collection::vec(0.01f64..1e4, 1..300)) {
+        let mut h = Histogram::new(0.01, 1e4, 32);
+        for &s in &samples {
+            h.record(s);
+        }
+        let cdf = h.cdf();
+        prop_assert!(!cdf.is_empty());
+        let mut prev = 0.0;
+        for &(_, f) in &cdf {
+            prop_assert!(f >= prev - 1e-12);
+            prev = f;
+        }
+        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+
+    /// KS distance is symmetric and zero against self.
+    #[test]
+    fn ks_distance_properties(a in prop::collection::vec(0.1f64..999.0, 1..200),
+                              b in prop::collection::vec(0.1f64..999.0, 1..200)) {
+        let mut ha = Histogram::new(0.1, 1000.0, 24);
+        let mut hb = Histogram::new(0.1, 1000.0, 24);
+        for &x in &a { ha.record(x); }
+        for &x in &b { hb.record(x); }
+        prop_assert!(ha.max_cdf_distance(&ha) < 1e-12);
+        let d1 = ha.max_cdf_distance(&hb);
+        let d2 = hb.max_cdf_distance(&ha);
+        prop_assert!((d1 - d2).abs() < 1e-12);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&d1));
+    }
+}

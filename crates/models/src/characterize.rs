@@ -1,0 +1,307 @@
+//! Analytic workload characterization (Figure 1, Table II).
+//!
+//! Everything here is computed from the **paper-scale** [`ModelConfig`]
+//! alone — no weights are allocated — so 10⁹-row tables cost nothing to
+//! reason about. Two kinds of outputs:
+//!
+//! * FLOP and byte counts per inference, feeding the roofline plot
+//!   (Figure 1a), the memory-access breakdown (Figure 1b), and the
+//!   platform cost models in `drs-platform`;
+//! * bottleneck classification from measured operator fractions
+//!   (Table II's "Runtime Bottleneck" column).
+
+use crate::config::{ModelConfig, PoolingKind, TableRole};
+
+/// Analytic per-inference cost profile of a model at paper scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Characterization {
+    /// Model name.
+    pub name: &'static str,
+    /// FLOPs per scored item (batch-1 forward pass).
+    pub flops_per_item: f64,
+    /// MLP/attention/GRU weight bytes (read once per request, amortized
+    /// across the batch).
+    pub weight_bytes: f64,
+    /// Dense activation traffic per item (reads + writes).
+    pub act_bytes_per_item: f64,
+    /// Embedding rows gathered per item (irregular DRAM traffic).
+    pub emb_bytes_per_item: f64,
+}
+
+impl Characterization {
+    /// Total FLOPs for a batch of `b`.
+    pub fn flops(&self, b: usize) -> f64 {
+        self.flops_per_item * b as f64
+    }
+
+    /// Total bytes moved for a batch of `b` (weights amortized once).
+    pub fn bytes(&self, b: usize) -> f64 {
+        self.weight_bytes + (self.act_bytes_per_item + self.emb_bytes_per_item) * b as f64
+    }
+
+    /// Arithmetic intensity (FLOPs / byte) at batch `b` — the x-axis of
+    /// Figure 1a. Grows with batch because weights are reused.
+    pub fn arithmetic_intensity(&self, b: usize) -> f64 {
+        self.flops(b) / self.bytes(b)
+    }
+
+    /// Fraction of batch-`b` traffic that is *sparse* (embedding
+    /// gathers) — Figure 1b's breakdown.
+    pub fn sparse_byte_fraction(&self, b: usize) -> f64 {
+        self.emb_bytes_per_item * b as f64 / self.bytes(b)
+    }
+
+    /// Attainable GFLOP/s under a roofline with the given peak compute
+    /// and memory bandwidth — `min(peak, AI × bw)`.
+    pub fn attainable_gflops(&self, b: usize, peak_gflops: f64, bw_gbs: f64) -> f64 {
+        peak_gflops.min(self.arithmetic_intensity(b) * bw_gbs)
+    }
+}
+
+fn mlp_flops(dims: &[usize]) -> f64 {
+    dims.windows(2).map(|w| 2.0 * (w[0] * w[1]) as f64).sum()
+}
+
+fn mlp_params(dims: &[usize]) -> f64 {
+    dims.windows(2)
+        .map(|w| (w[0] * w[1] + w[1]) as f64)
+        .sum()
+}
+
+fn mlp_act_elems(dims: &[usize]) -> f64 {
+    dims.iter().map(|&d| d as f64).sum()
+}
+
+/// Width of the predictor input at paper scale (uncapped sequences).
+fn paper_interaction_width(cfg: &ModelConfig) -> usize {
+    let lookups: Vec<usize> = cfg.tables.iter().map(|t| t.lookups).collect();
+    crate::model::interaction_width_for(cfg, &lookups)
+}
+
+/// Computes the analytic profile of a model at paper scale.
+pub fn characterize(cfg: &ModelConfig) -> Characterization {
+    let mut flops = 0.0;
+    let mut weight_bytes = 0.0;
+    let mut act_elems = 0.0;
+
+    // Dense bottom MLP.
+    if cfg.dense_input_dim > 0 && !cfg.dense_fc.is_empty() {
+        let mut dims = vec![cfg.dense_input_dim];
+        dims.extend_from_slice(&cfg.dense_fc);
+        flops += mlp_flops(&dims);
+        weight_bytes += 4.0 * mlp_params(&dims);
+        act_elems += mlp_act_elems(&dims);
+    } else if cfg.dense_input_dim > 0 {
+        act_elems += cfg.dense_input_dim as f64;
+    }
+
+    // Embedding pooling (sum adds dim FLOPs per gathered row).
+    let mut emb_bytes = 0.0;
+    for t in &cfg.tables {
+        emb_bytes += (t.lookups * t.dim * 4) as f64;
+        flops += (t.lookups * t.dim) as f64; // pooling adds / copies
+    }
+
+    // Attention path.
+    if matches!(
+        cfg.pooling,
+        PoolingKind::Attention | PoolingKind::AttentionRnn
+    ) {
+        let d = cfg
+            .tables
+            .iter()
+            .find(|t| t.role == TableRole::Candidate)
+            .expect("validated")
+            .dim;
+        let scorer = [4 * d, cfg.attention_hidden, 1];
+        weight_bytes += 4.0 * mlp_params(&scorer);
+        for t in cfg.tables.iter().filter(|t| t.role == TableRole::Behavior) {
+            let seq = t.lookups as f64;
+            // Pair-feature build + scorer MLP + weighted sum per step.
+            flops += seq * (mlp_flops(&scorer) + 4.0 * d as f64);
+            act_elems += seq * (4 * d) as f64;
+        }
+    }
+
+    // Recurrent path (DIEN: interest-extraction GRU + AUGRU).
+    if cfg.pooling == PoolingKind::AttentionRnn {
+        let d = cfg
+            .tables
+            .iter()
+            .find(|t| t.role == TableRole::Candidate)
+            .expect("validated")
+            .dim;
+        let h = cfg.gru_hidden;
+        let step_flops = 3.0 * 2.0 * ((d * h) as f64 + (h * h) as f64) + 10.0 * h as f64;
+        let gru_params = 3.0 * ((d * h) as f64 + (h * h) as f64 + h as f64);
+        weight_bytes += 4.0 * 2.0 * gru_params;
+        for t in cfg.tables.iter().filter(|t| t.role == TableRole::Behavior) {
+            let seq = t.lookups as f64;
+            flops += 2.0 * seq * step_flops;
+            act_elems += 2.0 * seq * h as f64;
+        }
+    }
+
+    // Predictor stack(s).
+    let mut pdims = vec![paper_interaction_width(cfg)];
+    pdims.extend_from_slice(&cfg.predict_fc);
+    flops += cfg.num_tasks as f64 * mlp_flops(&pdims);
+    weight_bytes += 4.0 * cfg.num_tasks as f64 * mlp_params(&pdims);
+    act_elems += cfg.num_tasks as f64 * mlp_act_elems(&pdims);
+
+    Characterization {
+        name: cfg.name,
+        flops_per_item: flops,
+        weight_bytes,
+        // Activations are written once and read once.
+        act_bytes_per_item: 2.0 * 4.0 * act_elems,
+        emb_bytes_per_item: emb_bytes,
+    }
+}
+
+/// Reference roofline points for non-recommendation DNNs (Figure 1a's
+/// CNN/RNN comparisons). Arithmetic intensities are the commonly cited
+/// inference-time values; they exist only to position the rec models'
+/// points relative to compute-bound workloads.
+pub fn reference_points() -> Vec<(&'static str, f64, f64)> {
+    vec![
+        // (name, arithmetic intensity FLOPs/B, GFLOPs per inference)
+        ("ResNet50", 40.0, 4.1),
+        ("DeepSpeech2", 4.0, 2.4),
+    ]
+}
+
+/// Maps a measured operator-time breakdown (fractions in
+/// [`drs_nn::OpKind::ALL`] order) to the paper's Table-II bottleneck
+/// labels.
+pub fn classify_bottleneck(fractions: &[f64; 6]) -> &'static str {
+    let mlp = fractions[0] + fractions[1];
+    let emb = fractions[2];
+    let att = fractions[3];
+    let rec = fractions[4];
+    let max = mlp.max(emb).max(att).max(rec);
+    if rec == max {
+        "Attention-based GRU dominated"
+    } else if (emb == max && att > 0.15) || (att == max && emb > 0.15) {
+        "Embedding + Attention dominated"
+    } else if att == max {
+        "Attention dominated"
+    } else if emb == max {
+        "Embedding dominated"
+    } else {
+        "MLP dominated"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn every_model_characterizes() {
+        for cfg in zoo::all() {
+            let c = characterize(&cfg);
+            assert!(c.flops_per_item > 0.0, "{}", cfg.name);
+            assert!(c.weight_bytes > 0.0, "{}", cfg.name);
+            assert!(c.emb_bytes_per_item >= 0.0, "{}", cfg.name);
+            assert!(c.arithmetic_intensity(1) > 0.0, "{}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn rec_models_less_compute_intense_than_cnn() {
+        // Figure 1a: recommendation models sit far left of ResNet50.
+        let resnet_ai = 40.0;
+        for cfg in zoo::all() {
+            let ai = characterize(&cfg).arithmetic_intensity(1);
+            assert!(
+                ai < resnet_ai / 4.0,
+                "{} AI {ai} not memory-bound vs CNN {resnet_ai}",
+                cfg.name
+            );
+        }
+    }
+
+    #[test]
+    fn arithmetic_intensity_grows_with_batch() {
+        // Weight reuse across the batch raises AI — the reason GPUs need
+        // large batches (Figure 4).
+        for cfg in zoo::all() {
+            let c = characterize(&cfg);
+            assert!(
+                c.arithmetic_intensity(256) > c.arithmetic_intensity(1),
+                "{}",
+                cfg.name
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_fraction_separates_model_classes() {
+        // Figure 1b: DLRM-RMC1/2 and DIN are sparse-dominated; NCF, WND,
+        // RMC3 dense-dominated.
+        let frac = |cfg: &ModelConfig| characterize(cfg).sparse_byte_fraction(64);
+        assert!(frac(&zoo::dlrm_rmc1()) > 0.5, "RMC1 {}", frac(&zoo::dlrm_rmc1()));
+        assert!(frac(&zoo::dlrm_rmc2()) > 0.5, "RMC2 {}", frac(&zoo::dlrm_rmc2()));
+        assert!(frac(&zoo::ncf()) < 0.3, "NCF {}", frac(&zoo::ncf()));
+        assert!(frac(&zoo::wide_and_deep()) < 0.3, "WND {}", frac(&zoo::wide_and_deep()));
+        assert!(frac(&zoo::dlrm_rmc3()) < frac(&zoo::dlrm_rmc1()), "RMC3 vs RMC1");
+    }
+
+    #[test]
+    fn wnd_is_most_compute_heavy_per_item() {
+        // WnD's 1024-512-256 predictor over a 1640-wide input is the
+        // biggest per-item FLOP load of the one-task models; it is the
+        // model the paper calls "compute intensive" (Figure 4).
+        let wnd = characterize(&zoo::wide_and_deep()).flops_per_item;
+        for cfg in [zoo::ncf(), zoo::dlrm_rmc1(), zoo::dien()] {
+            assert!(
+                wnd > characterize(&cfg).flops_per_item,
+                "WND {wnd} vs {} {}",
+                cfg.name,
+                characterize(&cfg).flops_per_item
+            );
+        }
+    }
+
+    #[test]
+    fn classify_bottleneck_labels() {
+        assert_eq!(
+            classify_bottleneck(&[0.4, 0.3, 0.1, 0.05, 0.05, 0.1]),
+            "MLP dominated"
+        );
+        assert_eq!(
+            classify_bottleneck(&[0.05, 0.1, 0.7, 0.05, 0.0, 0.1]),
+            "Embedding dominated"
+        );
+        assert_eq!(
+            classify_bottleneck(&[0.05, 0.1, 0.4, 0.35, 0.0, 0.1]),
+            "Embedding + Attention dominated"
+        );
+        assert_eq!(
+            classify_bottleneck(&[0.05, 0.1, 0.1, 0.15, 0.5, 0.1]),
+            "Attention-based GRU dominated"
+        );
+        assert_eq!(
+            classify_bottleneck(&[0.1, 0.1, 0.1, 0.6, 0.0, 0.1]),
+            "Attention dominated"
+        );
+    }
+
+    #[test]
+    fn roofline_attainable_caps_at_peak() {
+        let c = characterize(&zoo::wide_and_deep());
+        let at = c.attainable_gflops(1024, 100.0, 50.0);
+        assert!(at <= 100.0);
+        let low = c.attainable_gflops(1, 100.0, 50.0);
+        assert!(low < at);
+    }
+
+    #[test]
+    fn reference_points_present() {
+        let refs = reference_points();
+        assert!(refs.iter().any(|(n, _, _)| *n == "ResNet50"));
+        assert!(refs.iter().any(|(n, _, _)| *n == "DeepSpeech2"));
+    }
+}

@@ -1,0 +1,337 @@
+//! Architecture configuration for the generalized recommendation model
+//! (Figure 2 / Table I).
+
+/// How a model combines the rows gathered from its embedding tables
+/// (the "sparse feature pooling" operator of Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoolingKind {
+    /// Per-table element-wise sum of gathered rows (DLRM).
+    Sum,
+    /// Concatenate the (one-hot) rows of all tables (WnD, MT-WnD).
+    Concat,
+    /// Generalized matrix factorization: consecutive table pairs are
+    /// combined by element-wise product, then concatenated (NCF).
+    Gmf,
+    /// DIN: behavior-sequence tables are pooled by a local-activation
+    /// (attention) unit against the candidate item; profile tables
+    /// concatenate.
+    Attention,
+    /// DIEN: behavior sequences run through attention-gated GRU layers;
+    /// profile tables concatenate.
+    AttentionRnn,
+}
+
+/// How dense and pooled-sparse features are combined before the
+/// predictor stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InteractionKind {
+    /// Concatenate all feature vectors (widths may differ).
+    Concat,
+    /// Element-wise sum (requires equal widths; DLRM-style).
+    Sum,
+}
+
+/// What a table represents in the generalized architecture. Only the
+/// attention models distinguish roles; for the others every table is
+/// [`TableRole::Profile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TableRole {
+    /// Ordinary categorical feature (user/item profile).
+    Profile,
+    /// The candidate item being scored (one lookup; attention models).
+    Candidate,
+    /// User behavior history: `lookups` is the sequence length and the
+    /// gathered rows feed the attention / GRU path.
+    Behavior,
+}
+
+/// One embedding table at paper scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableConfig {
+    /// Row count (feature cardinality) **at paper scale** — up to 10⁹.
+    /// Instantiation caps this via [`ModelScale`].
+    pub rows: u64,
+    /// Latent dimension (16–64 in production, Section II-A).
+    pub dim: usize,
+    /// Lookups per scored item (1 for one-hot; ~80 for DLRM multi-hot;
+    /// the behavior-sequence length for attention models).
+    pub lookups: usize,
+    /// Role in the architecture.
+    pub role: TableRole,
+}
+
+impl TableConfig {
+    /// A one-hot profile table.
+    pub fn one_hot(rows: u64, dim: usize) -> Self {
+        TableConfig {
+            rows,
+            dim,
+            lookups: 1,
+            role: TableRole::Profile,
+        }
+    }
+
+    /// A multi-hot profile table with `lookups` gathered rows per item.
+    pub fn multi_hot(rows: u64, dim: usize, lookups: usize) -> Self {
+        TableConfig {
+            rows,
+            dim,
+            lookups,
+            role: TableRole::Profile,
+        }
+    }
+
+    /// Paper-scale storage footprint in bytes (f32 entries).
+    pub fn bytes(&self) -> u64 {
+        self.rows * self.dim as u64 * 4
+    }
+}
+
+/// Complete architecture description of one recommendation model, at
+/// paper scale.
+///
+/// Widths follow Table I's notation: `dense_fc = [256, 128, 32]` means
+/// the bottom MLP maps `dense_input_dim → 256 → 128 → 32`; the predictor
+/// input width is whatever the interaction stage produces, so
+/// `predict_fc` lists only the subsequent layer widths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelConfig {
+    /// Model name as used in the paper ("DLRM-RMC1", "WND", …).
+    pub name: &'static str,
+    /// Organization / domain (Table I's provenance columns).
+    pub domain: &'static str,
+    /// Width of the continuous feature vector (0 = no dense features).
+    pub dense_input_dim: usize,
+    /// Bottom-MLP widths (empty = dense features bypass straight to the
+    /// interaction stage, as in WnD).
+    pub dense_fc: Vec<usize>,
+    /// Predictor-MLP widths after the interaction stage (Table I's
+    /// "Predict-FC"). If the final width exceeds 1 the CTR is read from
+    /// output unit 0 through a sigmoid (DIN/DIEN's 2-logit heads).
+    pub predict_fc: Vec<usize>,
+    /// Number of parallel predictor stacks (MT-WnD's multi-task heads).
+    pub num_tasks: usize,
+    /// Embedding tables.
+    pub tables: Vec<TableConfig>,
+    /// Sparse pooling operator.
+    pub pooling: PoolingKind,
+    /// Dense/sparse interaction operator.
+    pub interaction: InteractionKind,
+    /// Hidden width of the attention scoring MLP (attention models).
+    pub attention_hidden: usize,
+    /// Hidden width of the GRU state (DIEN).
+    pub gru_hidden: usize,
+    /// Published p95 SLA target in milliseconds (Table II's "Medium").
+    pub sla_ms: f64,
+    /// The paper's bottleneck label for Table II (validated against our
+    /// measured operator breakdown in the Table II experiment).
+    pub paper_bottleneck: &'static str,
+}
+
+impl ModelConfig {
+    /// Behavior-sequence length (lookups of the first behavior table;
+    /// 0 when the model has no attention path).
+    pub fn seq_len(&self) -> usize {
+        self.tables
+            .iter()
+            .find(|t| t.role == TableRole::Behavior)
+            .map_or(0, |t| t.lookups)
+    }
+
+    /// Total paper-scale embedding storage in bytes.
+    pub fn embedding_bytes(&self) -> u64 {
+        self.tables.iter().map(TableConfig::bytes).sum()
+    }
+
+    /// Total embedding-row gathers per scored item.
+    pub fn lookups_per_item(&self) -> usize {
+        self.tables.iter().map(|t| t.lookups).sum()
+    }
+
+    /// Validates internal consistency; called by `RecModel::instantiate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message when the configuration cannot
+    /// be built (no features at all, attention model without
+    /// candidate/behavior tables, sum interaction with mismatched
+    /// widths, …).
+    pub fn validate(&self) {
+        assert!(!self.name.is_empty(), "model needs a name");
+        assert!(
+            self.dense_input_dim > 0 || !self.tables.is_empty(),
+            "{}: a model needs dense or sparse inputs",
+            self.name
+        );
+        assert!(
+            !self.predict_fc.is_empty(),
+            "{}: predictor stack cannot be empty",
+            self.name
+        );
+        assert!(self.num_tasks >= 1, "{}: needs at least one task", self.name);
+        if matches!(
+            self.pooling,
+            PoolingKind::Attention | PoolingKind::AttentionRnn
+        ) {
+            assert!(
+                self.tables.iter().any(|t| t.role == TableRole::Candidate),
+                "{}: attention pooling needs a candidate table",
+                self.name
+            );
+            assert!(
+                self.tables.iter().any(|t| t.role == TableRole::Behavior),
+                "{}: attention pooling needs a behavior table",
+                self.name
+            );
+            assert!(
+                self.attention_hidden > 0,
+                "{}: attention hidden width must be positive",
+                self.name
+            );
+            let cand_dim = self
+                .tables
+                .iter()
+                .find(|t| t.role == TableRole::Candidate)
+                .expect("candidate table")
+                .dim;
+            assert!(
+                self.tables
+                    .iter()
+                    .filter(|t| t.role == TableRole::Behavior)
+                    .all(|t| t.dim == cand_dim),
+                "{}: behavior and candidate embedding widths must match",
+                self.name
+            );
+        }
+        if self.pooling == PoolingKind::Gmf {
+            assert!(
+                self.tables.len() % 2 == 0 && !self.tables.is_empty(),
+                "{}: GMF pairs tables, so the count must be even",
+                self.name
+            );
+            assert!(
+                self.tables.windows(2).step_by(2).all(|w| w[0].dim == w[1].dim),
+                "{}: GMF pair dims must match",
+                self.name
+            );
+        }
+    }
+}
+
+/// Instantiation scale for [`crate::RecModel`].
+///
+/// Production tables reach 10⁹ rows (tens of GB); a laptop cannot hold
+/// eight such models. Capping rows preserves what matters for systems
+/// behaviour — the *number* of irregular gathers and the bytes they
+/// touch per query — while the paper-scale numbers remain available
+/// analytically through [`crate::characterize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelScale {
+    /// Maximum instantiated rows per embedding table.
+    pub table_rows_cap: usize,
+    /// Maximum instantiated behavior-sequence length.
+    pub seq_len_cap: usize,
+}
+
+impl ModelScale {
+    /// Default experiment scale: tables ≤ 100 k rows, sequences ≤ 64.
+    pub fn default_scale() -> Self {
+        ModelScale {
+            table_rows_cap: 100_000,
+            seq_len_cap: 64,
+        }
+    }
+
+    /// Unit-test scale: tables ≤ 1 000 rows, sequences ≤ 8.
+    pub fn tiny() -> Self {
+        ModelScale {
+            table_rows_cap: 1_000,
+            seq_len_cap: 8,
+        }
+    }
+}
+
+impl Default for ModelScale {
+    fn default() -> Self {
+        Self::default_scale()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal() -> ModelConfig {
+        ModelConfig {
+            name: "mini",
+            domain: "-",
+            dense_input_dim: 4,
+            dense_fc: vec![4],
+            predict_fc: vec![8, 1],
+            num_tasks: 1,
+            tables: vec![TableConfig::one_hot(10, 4)],
+            pooling: PoolingKind::Sum,
+            interaction: InteractionKind::Concat,
+            attention_hidden: 0,
+            gru_hidden: 0,
+            sla_ms: 10.0,
+            paper_bottleneck: "-",
+        }
+    }
+
+    #[test]
+    fn minimal_validates() {
+        minimal().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "needs dense or sparse inputs")]
+    fn no_features_panics() {
+        let mut c = minimal();
+        c.dense_input_dim = 0;
+        c.tables.clear();
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a candidate table")]
+    fn attention_without_candidate_panics() {
+        let mut c = minimal();
+        c.pooling = PoolingKind::Attention;
+        c.attention_hidden = 8;
+        c.tables = vec![TableConfig {
+            rows: 10,
+            dim: 4,
+            lookups: 5,
+            role: TableRole::Behavior,
+        }];
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "count must be even")]
+    fn gmf_odd_tables_panics() {
+        let mut c = minimal();
+        c.pooling = PoolingKind::Gmf;
+        c.tables = vec![TableConfig::one_hot(10, 4); 3];
+        c.validate();
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let mut c = minimal();
+        c.tables = vec![
+            TableConfig::multi_hot(100, 8, 80),
+            TableConfig::one_hot(50, 8),
+        ];
+        assert_eq!(c.lookups_per_item(), 81);
+        assert_eq!(c.embedding_bytes(), (100 * 8 + 50 * 8) * 4);
+        assert_eq!(c.seq_len(), 0);
+    }
+
+    #[test]
+    fn scales_ordered() {
+        assert!(ModelScale::tiny().table_rows_cap < ModelScale::default_scale().table_rows_cap);
+        assert_eq!(ModelScale::default(), ModelScale::default_scale());
+    }
+}

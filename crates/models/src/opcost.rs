@@ -1,0 +1,235 @@
+//! Per-operator analytic cost breakdown.
+//!
+//! The plain [`crate::characterize::Characterization`] aggregates a
+//! model's FLOPs and bytes; this module keeps them *split by operator
+//! class* (the same six classes as [`drs_nn::OpKind`]), which enables
+//! two things:
+//!
+//! * predicting Table II's "Runtime Bottleneck" column purely
+//!   analytically from the paper-scale configuration (no execution),
+//!   cross-validated against the real-execution profile in
+//!   `drs-platform`'s tests;
+//! * per-operator cost attribution in the cost model's documentation
+//!   and ablation experiments.
+
+use crate::config::{ModelConfig, PoolingKind, TableRole};
+
+/// Operator-class index, mirroring `drs_nn::OpKind::ALL` order:
+/// `[DenseFc, PredictFc, Embedding, Attention, Recurrent, Interaction]`.
+pub const OP_CLASSES: [&str; 6] = [
+    "DenseFC",
+    "PredictFC",
+    "Embedding",
+    "Attention",
+    "Recurrent",
+    "Interaction",
+];
+
+/// FLOPs and bytes per inference item, split by operator class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpBreakdown {
+    /// Model name.
+    pub name: &'static str,
+    /// FLOPs per item per class (OpKind::ALL order).
+    pub flops_per_item: [f64; 6],
+    /// Bytes moved per item per class (embedding gathers land in
+    /// class 2; weights are amortized per *request*, so they are
+    /// reported separately).
+    pub bytes_per_item: [f64; 6],
+    /// Weight bytes per class (streamed once per request).
+    pub weight_bytes: [f64; 6],
+}
+
+fn mlp_flops(dims: &[usize]) -> f64 {
+    dims.windows(2).map(|w| 2.0 * (w[0] * w[1]) as f64).sum()
+}
+
+fn mlp_params(dims: &[usize]) -> f64 {
+    dims.windows(2)
+        .map(|w| (w[0] * w[1] + w[1]) as f64)
+        .sum()
+}
+
+fn mlp_act_bytes(dims: &[usize]) -> f64 {
+    8.0 * dims.iter().map(|&d| d as f64).sum::<f64>()
+}
+
+/// Computes the per-operator breakdown from a paper-scale config.
+pub fn op_breakdown(cfg: &ModelConfig) -> OpBreakdown {
+    let mut flops = [0.0f64; 6];
+    let mut bytes = [0.0f64; 6];
+    let mut weights = [0.0f64; 6];
+
+    // Dense bottom MLP (class 0).
+    if cfg.dense_input_dim > 0 && !cfg.dense_fc.is_empty() {
+        let mut dims = vec![cfg.dense_input_dim];
+        dims.extend_from_slice(&cfg.dense_fc);
+        flops[0] += mlp_flops(&dims);
+        weights[0] += 4.0 * mlp_params(&dims);
+        bytes[0] += mlp_act_bytes(&dims);
+    } else if cfg.dense_input_dim > 0 {
+        bytes[5] += 8.0 * cfg.dense_input_dim as f64; // passthrough copy
+    }
+
+    // Embedding gathers + pooling adds (class 2).
+    for t in &cfg.tables {
+        bytes[2] += (t.lookups * t.dim * 4) as f64;
+        flops[2] += (t.lookups * t.dim) as f64;
+    }
+
+    // Attention path (class 3).
+    if matches!(
+        cfg.pooling,
+        PoolingKind::Attention | PoolingKind::AttentionRnn
+    ) {
+        let d = cfg
+            .tables
+            .iter()
+            .find(|t| t.role == TableRole::Candidate)
+            .expect("validated")
+            .dim;
+        let scorer = [4 * d, cfg.attention_hidden, 1];
+        weights[3] += 4.0 * mlp_params(&scorer);
+        for t in cfg.tables.iter().filter(|t| t.role == TableRole::Behavior) {
+            let seq = t.lookups as f64;
+            flops[3] += seq * (mlp_flops(&scorer) + 4.0 * d as f64);
+            bytes[3] += seq * 8.0 * (4 * d) as f64;
+        }
+    }
+
+    // Recurrent path (class 4): interest-extraction GRU + AUGRU.
+    if cfg.pooling == PoolingKind::AttentionRnn {
+        let d = cfg
+            .tables
+            .iter()
+            .find(|t| t.role == TableRole::Candidate)
+            .expect("validated")
+            .dim;
+        let h = cfg.gru_hidden;
+        let step_flops = 3.0 * 2.0 * ((d * h) as f64 + (h * h) as f64) + 10.0 * h as f64;
+        let gru_params = 3.0 * ((d * h) as f64 + (h * h) as f64 + h as f64);
+        weights[4] += 4.0 * 2.0 * gru_params;
+        for t in cfg.tables.iter().filter(|t| t.role == TableRole::Behavior) {
+            let seq = t.lookups as f64;
+            flops[4] += 2.0 * seq * step_flops;
+            bytes[4] += 2.0 * seq * 8.0 * h as f64;
+        }
+    }
+
+    // Predictor stack(s) (class 1).
+    let lookups: Vec<usize> = cfg.tables.iter().map(|t| t.lookups).collect();
+    let mut pdims = vec![crate::model::interaction_width_for(cfg, &lookups)];
+    pdims.extend_from_slice(&cfg.predict_fc);
+    flops[1] += cfg.num_tasks as f64 * mlp_flops(&pdims);
+    weights[1] += 4.0 * cfg.num_tasks as f64 * mlp_params(&pdims);
+    bytes[1] += cfg.num_tasks as f64 * mlp_act_bytes(&pdims);
+
+    // Interaction concat/sum traffic (class 5): copy of the feature
+    // vector.
+    bytes[5] += 8.0 * pdims[0] as f64;
+
+    OpBreakdown {
+        name: cfg.name,
+        flops_per_item: flops,
+        bytes_per_item: bytes,
+        weight_bytes: weights,
+    }
+}
+
+impl OpBreakdown {
+    /// Estimated time share per operator class at a given batch size,
+    /// using a simple two-resource model: compute at `peak_gflops`
+    /// (GEMM-class FLOPs) and memory at `gather_bw`/`stream_bw` GB/s.
+    ///
+    /// This is the *analytic* counterpart of
+    /// `drs_nn::OpProfiler::fractions` — the Table II cross-validation
+    /// compares the two.
+    pub fn time_fractions(
+        &self,
+        batch: usize,
+        peak_gflops: f64,
+        gather_bw_gbs: f64,
+        stream_bw_gbs: f64,
+    ) -> [f64; 6] {
+        let b = batch.max(1) as f64;
+        let mut t = [0.0f64; 6];
+        for i in 0..6 {
+            let compute_us = self.flops_per_item[i] * b / (peak_gflops * 1e3);
+            // Embedding gathers are irregular; everything else streams.
+            let bw = if i == 2 { gather_bw_gbs } else { stream_bw_gbs };
+            let mem_us = (self.bytes_per_item[i] * b + self.weight_bytes[i]) / (bw * 1e3);
+            t[i] = compute_us + mem_us;
+        }
+        let total: f64 = t.iter().sum();
+        if total > 0.0 {
+            for x in &mut t {
+                *x /= total;
+            }
+        }
+        t
+    }
+
+    /// Sums must agree with the aggregate characterization.
+    pub fn total_flops_per_item(&self) -> f64 {
+        self.flops_per_item.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::{characterize, classify_bottleneck};
+    use crate::zoo;
+
+    #[test]
+    fn breakdown_sums_match_aggregate() {
+        for cfg in zoo::all() {
+            let agg = characterize(&cfg);
+            let ops = op_breakdown(&cfg);
+            let rel = (ops.total_flops_per_item() - agg.flops_per_item).abs()
+                / agg.flops_per_item;
+            assert!(rel < 1e-9, "{}: {} vs {}", cfg.name, ops.total_flops_per_item(), agg.flops_per_item);
+            let w: f64 = ops.weight_bytes.iter().sum();
+            assert!((w - agg.weight_bytes).abs() / agg.weight_bytes < 1e-9, "{}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn analytic_fractions_are_distributions() {
+        for cfg in zoo::all() {
+            let fr = op_breakdown(&cfg).time_fractions(64, 60.0, 3.0, 60.0);
+            let sum: f64 = fr.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{}", cfg.name);
+            assert!(fr.iter().all(|&x| (0.0..=1.0).contains(&x)), "{}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn analytic_bottleneck_reproduces_table_ii() {
+        // The Table II column, derived with zero execution: a
+        // Skylake-like two-resource model (60 GFLOP/s effective core,
+        // 3 GB/s contended gather bandwidth, 60 GB/s streaming).
+        for cfg in zoo::all() {
+            let fr = op_breakdown(&cfg).time_fractions(64, 60.0, 3.0, 60.0);
+            let label = classify_bottleneck(&fr);
+            let ok = label == cfg.paper_bottleneck
+                || (label.contains("MLP") && cfg.paper_bottleneck.contains("MLP"))
+                || (label.contains("Embedding") && cfg.paper_bottleneck.contains("Embedding"))
+                || (label.contains("GRU") && cfg.paper_bottleneck.contains("GRU"))
+                || (label.contains("Attention") && cfg.paper_bottleneck.contains("Attention"));
+            assert!(ok, "{}: analytic {label:?} vs paper {:?}", cfg.name, cfg.paper_bottleneck);
+        }
+    }
+
+    #[test]
+    fn class_placement_is_structural() {
+        let ops = op_breakdown(&zoo::dien());
+        assert!(ops.flops_per_item[4] > 0.0, "DIEN has recurrent FLOPs");
+        assert!(ops.flops_per_item[3] > 0.0, "DIEN has attention FLOPs");
+        let ops = op_breakdown(&zoo::ncf());
+        assert_eq!(ops.flops_per_item[4], 0.0, "NCF has no recurrence");
+        assert_eq!(ops.flops_per_item[0], 0.0, "NCF has no dense MLP");
+        let ops = op_breakdown(&zoo::dlrm_rmc1());
+        assert!(ops.bytes_per_item[2] > ops.bytes_per_item[0], "RMC1 gathers dominate");
+    }
+}

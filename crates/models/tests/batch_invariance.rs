@@ -1,0 +1,102 @@
+//! Property tests on the model zoo.
+//!
+//! The central invariant behind DeepRecSched's query splitting: a
+//! recommendation model scores every user–item pair *independently*, so
+//! splitting a query into smaller requests must not change any CTR.
+//! If this broke, the scheduler's batch-size knob would change model
+//! quality, not just performance.
+
+use drs_models::{zoo, BatchInputs, ModelScale, RecModel};
+use drs_nn::OpProfiler;
+use drs_tensor::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Slices a batch into `[0, cut)` and `[cut, batch)`.
+fn split_inputs(inputs: &BatchInputs, cut: usize) -> (BatchInputs, BatchInputs) {
+    assert!(cut > 0 && cut < inputs.batch);
+    let slice_dense = |range: std::ops::Range<usize>| {
+        inputs.dense.as_ref().map(|d| {
+            Matrix::from_fn(range.len(), d.cols(), |r, c| d.get(range.start + r, c))
+        })
+    };
+    let slice_sparse = |range: std::ops::Range<usize>| {
+        inputs
+            .sparse
+            .iter()
+            .map(|per_sample| per_sample[range.clone()].to_vec())
+            .collect::<Vec<_>>()
+    };
+    (
+        BatchInputs {
+            batch: cut,
+            dense: slice_dense(0..cut),
+            sparse: slice_sparse(0..cut),
+        },
+        BatchInputs {
+            batch: inputs.batch - cut,
+            dense: slice_dense(cut..inputs.batch),
+            sparse: slice_sparse(cut..inputs.batch),
+        },
+    )
+}
+
+fn check_batch_invariance(model: &RecModel, batch: usize, cut: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let inputs = model.generate_inputs(batch, &mut rng);
+    let mut prof = OpProfiler::new();
+    let whole = model.forward(&inputs, &mut prof);
+    let (a, b) = split_inputs(&inputs, cut);
+    let mut got = model.forward(&a, &mut prof);
+    got.extend(model.forward(&b, &mut prof));
+    assert_eq!(whole.len(), got.len());
+    for (i, (w, g)) in whole.iter().zip(&got).enumerate() {
+        assert!(
+            (w - g).abs() < 1e-5,
+            "{}: sample {i} differs when split at {cut}: {w} vs {g}",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn splitting_a_batch_never_changes_ctrs() {
+    for cfg in zoo::all() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let model = RecModel::instantiate(&cfg, ModelScale::tiny(), &mut rng);
+        check_batch_invariance(&model, 8, 3, 101);
+        check_batch_invariance(&model, 8, 7, 102);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Batch invariance for random batch sizes and cut points on the
+    /// two structurally trickiest models (attention and recurrent
+    /// pooling, where per-sample independence is easiest to break).
+    #[test]
+    fn attention_models_batch_invariant(batch in 2usize..10, cut_frac in 0.1f64..0.9, seed in 0u64..50) {
+        let cut = ((batch as f64 * cut_frac) as usize).clamp(1, batch - 1);
+        for cfg in [zoo::din(), zoo::dien()] {
+            let mut rng = StdRng::seed_from_u64(7);
+            let model = RecModel::instantiate(&cfg, ModelScale::tiny(), &mut rng);
+            check_batch_invariance(&model, batch, cut, seed);
+        }
+    }
+
+    /// CTRs are deterministic across repeated forwards of the same
+    /// inputs for a randomly chosen zoo model.
+    #[test]
+    fn forward_is_pure(model_idx in 0usize..8, batch in 1usize..6, seed in 0u64..100) {
+        let cfg = &zoo::all()[model_idx];
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = RecModel::instantiate(cfg, ModelScale::tiny(), &mut rng);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inputs = model.generate_inputs(batch, &mut rng);
+        let mut p1 = OpProfiler::new();
+        let mut p2 = OpProfiler::new();
+        prop_assert_eq!(model.forward(&inputs, &mut p1), model.forward(&inputs, &mut p2));
+    }
+}

@@ -1,0 +1,233 @@
+//! DIN-style local activation (attention) unit.
+//!
+//! Deep Interest Network models user interest by weighting each item in
+//! the user's behavior history by its relevance to the *candidate* item
+//! being scored (Section III-A1). The weight comes from a small MLP over
+//! the pair features `[behavior, candidate, behavior − candidate,
+//! behavior ⊙ candidate]`; the weighted behaviors are then sum-pooled.
+//! The paper notes this is why DIN's runtime splits across concat, FC,
+//! and sum operators rather than a single dominant one (Figure 3).
+
+use crate::linear::Mlp;
+use crate::profile::{OpKind, OpProfiler};
+use drs_tensor::{add_scaled, softmax_in_place, Activation, Matrix};
+use rand::Rng;
+
+/// Attention scorer + weighted pooling over a behavior sequence.
+///
+/// # Examples
+///
+/// ```
+/// use drs_nn::{AttentionUnit, OpProfiler};
+/// use drs_tensor::Matrix;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let att = AttentionUnit::new(8, 16, &mut rng);
+/// let batch = 2;
+/// let seq = 5;
+/// let candidate = Matrix::zeros(batch, 8);
+/// let behaviors = Matrix::zeros(batch * seq, 8);
+/// let mut prof = OpProfiler::new();
+/// let pooled = att.forward(&candidate, &behaviors, seq, &mut prof);
+/// assert_eq!((pooled.rows(), pooled.cols()), (2, 8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AttentionUnit {
+    scorer: Mlp,
+    dim: usize,
+}
+
+impl AttentionUnit {
+    /// Creates a unit for embeddings of width `dim` with a
+    /// `4·dim → hidden → 1` scoring MLP.
+    pub fn new(dim: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+        AttentionUnit {
+            scorer: Mlp::from_dims(
+                &[4 * dim, hidden, 1],
+                Activation::Relu,
+                Activation::None,
+                rng,
+            ),
+            dim,
+        }
+    }
+
+    /// Embedding width this unit operates on.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Trainable parameters of the scoring MLP.
+    pub fn param_count(&self) -> usize {
+        self.scorer.param_count()
+    }
+
+    /// Computes per-behavior attention weights, softmax-normalized within
+    /// each sample.
+    ///
+    /// * `candidate` — `B × dim`, the item being scored.
+    /// * `behaviors` — `(B·seq) × dim`, sample-major (sample 0's `seq`
+    ///   behaviors first).
+    ///
+    /// Returns `B·seq` weights in the same layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or `seq == 0`.
+    pub fn scores(
+        &self,
+        candidate: &Matrix,
+        behaviors: &Matrix,
+        seq: usize,
+        prof: &mut OpProfiler,
+    ) -> Vec<f32> {
+        assert!(seq > 0, "empty behavior sequence");
+        assert_eq!(candidate.cols(), self.dim, "candidate width mismatch");
+        assert_eq!(behaviors.cols(), self.dim, "behavior width mismatch");
+        assert_eq!(
+            behaviors.rows(),
+            candidate.rows() * seq,
+            "behavior count must be batch × seq"
+        );
+        prof.time(OpKind::Attention, || {
+            let batch = candidate.rows();
+            // Pair features for every (sample, behavior): one big batch
+            // through the scoring MLP (this mirrors how the production
+            // implementation batches the local activation unit).
+            let mut feats = Matrix::zeros(batch * seq, 4 * self.dim);
+            for b in 0..batch {
+                let cand = candidate.row(b);
+                for t in 0..seq {
+                    let beh = behaviors.row(b * seq + t);
+                    let row = feats.row_mut(b * seq + t);
+                    let d = self.dim;
+                    row[..d].copy_from_slice(beh);
+                    row[d..2 * d].copy_from_slice(cand);
+                    for i in 0..d {
+                        row[2 * d + i] = beh[i] - cand[i];
+                        row[3 * d + i] = beh[i] * cand[i];
+                    }
+                }
+            }
+            let logits = self.scorer.forward_plain(&feats);
+            let mut weights: Vec<f32> = logits.as_slice().to_vec();
+            for b in 0..batch {
+                softmax_in_place(&mut weights[b * seq..(b + 1) * seq]);
+            }
+            weights
+        })
+    }
+
+    /// Attention-weighted sum pooling: `B × dim` interest vector per
+    /// sample.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`AttentionUnit::scores`].
+    pub fn forward(
+        &self,
+        candidate: &Matrix,
+        behaviors: &Matrix,
+        seq: usize,
+        prof: &mut OpProfiler,
+    ) -> Matrix {
+        let weights = self.scores(candidate, behaviors, seq, prof);
+        prof.time(OpKind::Attention, || {
+            let batch = candidate.rows();
+            let mut out = Matrix::zeros(batch, self.dim);
+            for b in 0..batch {
+                let row = out.row_mut(b);
+                for t in 0..seq {
+                    add_scaled(row, behaviors.row(b * seq + t), weights[b * seq + t]);
+                }
+            }
+            out
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn unit(dim: usize) -> AttentionUnit {
+        let mut rng = StdRng::seed_from_u64(3);
+        AttentionUnit::new(dim, 8, &mut rng)
+    }
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::xavier_uniform(rows, cols, &mut rng)
+    }
+
+    #[test]
+    fn scores_are_distributions() {
+        let att = unit(4);
+        let cand = random_matrix(3, 4, 1);
+        let beh = random_matrix(3 * 6, 4, 2);
+        let mut prof = OpProfiler::new();
+        let w = att.scores(&cand, &beh, 6, &mut prof);
+        assert_eq!(w.len(), 18);
+        for b in 0..3 {
+            let s: f32 = w[b * 6..(b + 1) * 6].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "sample {b} sums to {s}");
+            assert!(w[b * 6..(b + 1) * 6].iter().all(|x| *x >= 0.0));
+        }
+        assert!(prof.count_for(OpKind::Attention) >= 1);
+    }
+
+    #[test]
+    fn pooled_output_in_convex_hull_for_uniform_rows() {
+        // If every behavior is the same vector v, the weighted sum is v.
+        let att = unit(4);
+        let cand = random_matrix(2, 4, 5);
+        let mut beh = Matrix::zeros(2 * 3, 4);
+        for r in 0..6 {
+            beh.row_mut(r).copy_from_slice(&[0.5, -0.25, 0.125, 1.0]);
+        }
+        let mut prof = OpProfiler::new();
+        let out = att.forward(&cand, &beh, 3, &mut prof);
+        for b in 0..2 {
+            for (o, e) in out.row(b).iter().zip(&[0.5, -0.25, 0.125, 1.0]) {
+                assert!((o - e).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn relevance_ordering_is_input_dependent() {
+        // Different candidates must produce different weights (the whole
+        // point of "local" activation): check the scorer is not constant.
+        let att = unit(4);
+        let beh = random_matrix(1 * 4, 4, 8);
+        let mut prof = OpProfiler::new();
+        let w1 = att.scores(&random_matrix(1, 4, 10), &beh, 4, &mut prof);
+        let w2 = att.scores(&random_matrix(1, 4, 11), &beh, 4, &mut prof);
+        let diff: f32 = w1.iter().zip(&w2).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1e-6, "weights identical for different candidates");
+    }
+
+    #[test]
+    #[should_panic(expected = "batch × seq")]
+    fn wrong_behavior_count_panics() {
+        let att = unit(4);
+        let mut prof = OpProfiler::new();
+        let _ = att.scores(
+            &Matrix::zeros(2, 4),
+            &Matrix::zeros(5, 4), // not 2 × seq
+            3,
+            &mut prof,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty behavior")]
+    fn zero_seq_panics() {
+        let att = unit(4);
+        let mut prof = OpProfiler::new();
+        let _ = att.scores(&Matrix::zeros(1, 4), &Matrix::zeros(0, 4), 0, &mut prof);
+    }
+}

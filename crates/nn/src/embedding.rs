@@ -1,0 +1,272 @@
+//! Embedding tables and pooled lookup (the sparse-feature path).
+//!
+//! Embedding operations are the defining workload of recommendation
+//! inference (Section II-A of the paper): each categorical feature owns a
+//! table of latent vectors; a query performs one-hot or multi-hot lookups
+//! into it, and the gathered rows are combined by a *pooling* operator.
+//! The accesses are data-dependent and effectively random — on
+//! production-scale tables every lookup is a DRAM access, which is why
+//! DLRM-RMC1/2 and DIN are memory-bandwidth-bound.
+
+use crate::profile::{OpKind, OpProfiler};
+use drs_tensor::{add_scaled, Matrix};
+use rand::Rng;
+
+/// How gathered embedding rows are combined (Figure 2's "sparse feature
+/// pooling").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Pooling {
+    /// Element-wise sum of the gathered rows (DLRM's `SparseLengthsSum`).
+    #[default]
+    Sum,
+    /// Element-wise mean of the gathered rows.
+    Mean,
+    /// Concatenation — requires every sample to gather the same number of
+    /// rows (used by the one-hot models: NCF, WnD, MT-WnD).
+    Concat,
+}
+
+/// One embedding table: `rows × dim` latent vectors.
+#[derive(Debug, Clone)]
+pub struct EmbeddingTable {
+    rows: usize,
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl EmbeddingTable {
+    /// Creates a table with entries drawn from `U(-0.1, 0.1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `dim` is zero.
+    pub fn new(rows: usize, dim: usize, rng: &mut impl Rng) -> Self {
+        assert!(rows > 0 && dim > 0, "embedding table must be non-empty");
+        let data = (0..rows * dim).map(|_| rng.gen_range(-0.1..0.1)).collect();
+        EmbeddingTable { rows, dim, data }
+    }
+
+    /// Number of rows (feature cardinality).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Latent dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Storage footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Borrow the embedding vector for `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn lookup(&self, index: u32) -> &[f32] {
+        let i = index as usize;
+        assert!(i < self.rows, "embedding index {i} >= {}", self.rows);
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+}
+
+/// An embedding table plus its pooling operator: the batched sparse
+/// lookup primitive.
+///
+/// # Examples
+///
+/// ```
+/// use drs_nn::{EmbeddingBag, Pooling};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let bag = EmbeddingBag::new(100, 8, Pooling::Sum, &mut rng);
+/// // Batch of two samples, each looking up three rows.
+/// let idx = vec![vec![1, 5, 9], vec![0, 0, 2]];
+/// let pooled = bag.forward_plain(&idx);
+/// assert_eq!((pooled.rows(), pooled.cols()), (2, 8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EmbeddingBag {
+    table: EmbeddingTable,
+    pooling: Pooling,
+}
+
+impl EmbeddingBag {
+    /// Creates a bag over a freshly initialized table.
+    pub fn new(rows: usize, dim: usize, pooling: Pooling, rng: &mut impl Rng) -> Self {
+        EmbeddingBag {
+            table: EmbeddingTable::new(rows, dim, rng),
+            pooling,
+        }
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &EmbeddingTable {
+        &self.table
+    }
+
+    /// The pooling operator.
+    pub fn pooling(&self) -> Pooling {
+        self.pooling
+    }
+
+    /// Output width for samples gathering `lookups` rows each.
+    pub fn out_dim(&self, lookups: usize) -> usize {
+        match self.pooling {
+            Pooling::Sum | Pooling::Mean => self.table.dim,
+            Pooling::Concat => self.table.dim * lookups,
+        }
+    }
+
+    /// Batched pooled lookup. `indices[b]` lists the rows gathered by
+    /// sample `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty, any index list is empty, any index
+    /// is out of range, or (for [`Pooling::Concat`]) lookup counts
+    /// differ across samples.
+    pub fn forward_plain(&self, indices: &[Vec<u32>]) -> Matrix {
+        assert!(!indices.is_empty(), "empty batch");
+        let dim = self.table.dim;
+        match self.pooling {
+            Pooling::Sum | Pooling::Mean => {
+                let mut out = Matrix::zeros(indices.len(), dim);
+                for (b, idx) in indices.iter().enumerate() {
+                    assert!(!idx.is_empty(), "sample {b} gathers zero rows");
+                    let row = out.row_mut(b);
+                    for &i in idx {
+                        add_scaled(row, self.table.lookup(i), 1.0);
+                    }
+                    if self.pooling == Pooling::Mean {
+                        let inv = 1.0 / idx.len() as f32;
+                        for v in row.iter_mut() {
+                            *v *= inv;
+                        }
+                    }
+                }
+                out
+            }
+            Pooling::Concat => {
+                let lookups = indices[0].len();
+                assert!(lookups > 0, "sample 0 gathers zero rows");
+                assert!(
+                    indices.iter().all(|l| l.len() == lookups),
+                    "concat pooling requires equal lookup counts"
+                );
+                let mut out = Matrix::zeros(indices.len(), dim * lookups);
+                for (b, idx) in indices.iter().enumerate() {
+                    let row = out.row_mut(b);
+                    for (j, &i) in idx.iter().enumerate() {
+                        row[j * dim..(j + 1) * dim].copy_from_slice(self.table.lookup(i));
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Batched pooled lookup, attributed to [`OpKind::Embedding`].
+    pub fn forward(&self, indices: &[Vec<u32>], prof: &mut OpProfiler) -> Matrix {
+        prof.time(OpKind::Embedding, || self.forward_plain(indices))
+    }
+
+    /// Bytes of table data touched by a batch gathering `lookups` rows
+    /// per sample (the irregular-access traffic of Figure 1b).
+    pub fn bytes_gathered(&self, batch: usize, lookups: usize) -> u64 {
+        (batch * lookups * self.table.dim * std::mem::size_of::<f32>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bag(pooling: Pooling) -> EmbeddingBag {
+        let mut rng = StdRng::seed_from_u64(9);
+        EmbeddingBag::new(16, 4, pooling, &mut rng)
+    }
+
+    #[test]
+    fn sum_pooling_adds_rows() {
+        let b = bag(Pooling::Sum);
+        let idx = vec![vec![3, 3]];
+        let out = b.forward_plain(&idx);
+        let row3 = b.table().lookup(3);
+        for (o, r) in out.row(0).iter().zip(row3) {
+            assert!((o - 2.0 * r).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mean_pooling_divides() {
+        let b = bag(Pooling::Mean);
+        let out = b.forward_plain(&vec![vec![1, 1, 1, 1]]);
+        for (o, r) in out.row(0).iter().zip(b.table().lookup(1)) {
+            assert!((o - r).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn concat_pooling_widens() {
+        let b = bag(Pooling::Concat);
+        let out = b.forward_plain(&vec![vec![0, 1], vec![2, 3]]);
+        assert_eq!(out.cols(), 8);
+        assert_eq!(&out.row(1)[0..4], b.table().lookup(2));
+        assert_eq!(&out.row(1)[4..8], b.table().lookup(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lookup counts")]
+    fn concat_ragged_panics() {
+        let b = bag(Pooling::Concat);
+        let _ = b.forward_plain(&vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 16")]
+    fn out_of_range_index_panics() {
+        let b = bag(Pooling::Sum);
+        let _ = b.forward_plain(&vec![vec![16]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero rows")]
+    fn empty_lookup_panics() {
+        let b = bag(Pooling::Sum);
+        let _ = b.forward_plain(&vec![vec![]]);
+    }
+
+    #[test]
+    fn out_dim_by_pooling() {
+        assert_eq!(bag(Pooling::Sum).out_dim(80), 4);
+        assert_eq!(bag(Pooling::Mean).out_dim(80), 4);
+        assert_eq!(bag(Pooling::Concat).out_dim(3), 12);
+    }
+
+    #[test]
+    fn bytes_gathered_scales() {
+        let b = bag(Pooling::Sum);
+        assert_eq!(b.bytes_gathered(2, 80), 2 * 80 * 4 * 4);
+    }
+
+    #[test]
+    fn table_bytes() {
+        let b = bag(Pooling::Sum);
+        assert_eq!(b.table().bytes(), 16 * 4 * 4);
+    }
+
+    #[test]
+    fn profiled_records_embedding_time() {
+        let b = bag(Pooling::Sum);
+        let mut prof = OpProfiler::new();
+        let _ = b.forward(&vec![vec![1, 2]], &mut prof);
+        assert_eq!(prof.count_for(OpKind::Embedding), 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! Neural-network operators for recommendation models, with per-operator
+//! wall-clock profiling.
+//!
+//! The generalized recommendation architecture of the paper (Figure 2)
+//! composes a small set of operators:
+//!
+//! * [`Mlp`] — stacks of fully-connected layers (the Dense-FC and
+//!   Predict-FC stacks),
+//! * [`EmbeddingTable`] / [`EmbeddingBag`] — sparse categorical feature
+//!   lookup with sum/mean/concat pooling,
+//! * [`AttentionUnit`] — DIN's local activation unit (attention over a
+//!   user-behavior sequence against a candidate item),
+//! * [`GruCell`] / [`AuGru`] — DIEN's attention-gated recurrent layers,
+//! * feature interaction (concat / sum) via `drs-tensor`.
+//!
+//! Every operator reports its execution time to an [`OpProfiler`] keyed
+//! by [`OpKind`]; the Figure 3 operator-breakdown experiment is exactly a
+//! dump of those profiles after running each model at batch size 64.
+//!
+//! # Examples
+//!
+//! ```
+//! use drs_nn::{Mlp, OpKind, OpProfiler};
+//! use drs_tensor::{Activation, Matrix};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mlp = Mlp::from_dims(&[8, 4, 1], Activation::Relu, Activation::Sigmoid, &mut rng);
+//! let x = Matrix::zeros(16, 8); // batch of 16
+//! let mut prof = OpProfiler::new();
+//! let y = mlp.forward(&x, OpKind::PredictFc, &mut prof);
+//! assert_eq!(y.rows(), 16);
+//! assert_eq!(y.cols(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod attention;
+mod embedding;
+mod gru;
+mod linear;
+mod profile;
+
+pub use attention::AttentionUnit;
+pub use embedding::{EmbeddingBag, EmbeddingTable, Pooling};
+pub use gru::{AuGru, GruCell};
+pub use linear::{Linear, Mlp};
+pub use profile::{OpKind, OpProfiler};

@@ -1,0 +1,112 @@
+//! GPU accelerator model (GTX 1080Ti preset).
+
+/// A GPU accelerator as the cost model sees it.
+///
+/// The paper's experimental setup: "a GPU accelerator model based on
+/// real empirical characterization … server-class NVIDIA GTX 1080Ti
+/// with 3584 CUDA cores, 11 GB of DDR5 … includes both data loading and
+/// model computation" (Section V). Data loading — host-side tensor
+/// serialization plus PCIe transfer — consumes 60–80 % of end-to-end
+/// GPU inference time across models (Section III-A3), which is why
+/// these overheads are first-class parameters here.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuPlatform {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Peak f32 throughput in GFLOP/s.
+    pub peak_gflops: f64,
+    /// Device memory bandwidth in GB/s (sequential streams).
+    pub mem_bw_gbs: f64,
+    /// Effective device bandwidth for irregular embedding gathers, GB/s.
+    pub gather_bw_gbs: f64,
+    /// Host→device PCIe bandwidth in GB/s.
+    pub pcie_bw_gbs: f64,
+    /// Fixed PCIe/driver round-trip latency per query, microseconds.
+    pub pcie_lat_us: f64,
+    /// Host-side fixed cost to assemble/pin a query's tensors, µs.
+    pub serialize_fixed_us: f64,
+    /// Host-side per-feature-tensor, per-item serialization cost, µs.
+    pub prep_us_per_feature_item: f64,
+    /// Launch overhead per ordinary kernel, µs.
+    pub kernel_launch_us: f64,
+    /// Launch + index-setup overhead per embedding-table kernel, µs.
+    pub table_kernel_us: f64,
+    /// Batch size at which kernels reach half of peak occupancy.
+    pub occupancy_half_batch: f64,
+    /// Board TDP in watts.
+    pub tdp_w: f64,
+    /// Idle board power in watts.
+    pub idle_w: f64,
+}
+
+impl GpuPlatform {
+    /// The paper's NVIDIA GTX 1080Ti.
+    pub fn gtx_1080ti() -> Self {
+        GpuPlatform {
+            name: "GTX-1080Ti",
+            peak_gflops: 10_600.0,
+            mem_bw_gbs: 484.0,
+            gather_bw_gbs: 60.0,
+            pcie_bw_gbs: 12.0,
+            pcie_lat_us: 30.0,
+            serialize_fixed_us: 200.0,
+            prep_us_per_feature_item: 0.2,
+            kernel_launch_us: 10.0,
+            table_kernel_us: 20.0,
+            occupancy_half_batch: 64.0,
+            tdp_w: 250.0,
+            idle_w: 55.0,
+        }
+    }
+
+    /// Kernel occupancy (fraction of peak compute) at a given batch
+    /// size: GPUs need thousands of parallel threads, so small batches
+    /// leave most SMs idle — the reason "GPUs often require higher batch
+    /// sizes to exhibit speedup over general-purpose CPUs" (Section
+    /// IV-B).
+    pub fn occupancy(&self, batch: usize) -> f64 {
+        let b = batch.max(1) as f64;
+        b / (b + self.occupancy_half_batch)
+    }
+
+    /// Board power at a utilization in `[0, 1]`.
+    pub fn power_w(&self, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        self.idle_w + (self.tdp_w - self.idle_w) * u
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_sane() {
+        let g = GpuPlatform::gtx_1080ti();
+        assert!(g.peak_gflops > 10_000.0);
+        assert!(g.gather_bw_gbs < g.mem_bw_gbs);
+        assert!(g.pcie_bw_gbs < g.mem_bw_gbs);
+        assert!(g.idle_w < g.tdp_w);
+    }
+
+    #[test]
+    fn occupancy_saturates() {
+        let g = GpuPlatform::gtx_1080ti();
+        assert!(g.occupancy(1) < 0.05);
+        assert!(g.occupancy(64) >= 0.49 && g.occupancy(64) <= 0.51);
+        assert!(g.occupancy(1024) > 0.9);
+        let mut prev = 0.0;
+        for b in [1, 8, 64, 512, 4096] {
+            let o = g.occupancy(b);
+            assert!(o > prev);
+            prev = o;
+        }
+    }
+
+    #[test]
+    fn power_endpoints() {
+        let g = GpuPlatform::gtx_1080ti();
+        assert_eq!(g.power_w(0.0), 55.0);
+        assert_eq!(g.power_w(1.0), 250.0);
+    }
+}

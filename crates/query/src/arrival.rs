@@ -1,0 +1,193 @@
+//! Query arrival processes (Section III-C).
+
+use crate::sampler;
+use rand::Rng;
+
+/// Inter-arrival process for inference queries.
+///
+/// Production recommendation traffic follows a Poisson process; the
+/// fixed-gap variant exists for controlled experiments, and the diurnal
+/// variant modulates the Poisson rate over a 24-hour cycle for the
+/// Figure 13 production study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals at a constant rate (exponential gaps).
+    Poisson {
+        /// Offered load in queries per second.
+        rate_qps: f64,
+    },
+    /// Deterministic arrivals: one query every `1/rate_qps` seconds.
+    Fixed {
+        /// Offered load in queries per second.
+        rate_qps: f64,
+    },
+    /// Poisson arrivals whose rate follows a sinusoidal diurnal cycle:
+    /// `rate(t) = base_qps · (1 + amplitude · sin(2πt / period_s))`.
+    DiurnalPoisson {
+        /// Mean offered load in queries per second.
+        base_qps: f64,
+        /// Relative swing in `[0, 1)`; 0.3 means ±30 %.
+        amplitude: f64,
+        /// Cycle length in seconds (86 400 for a day).
+        period_s: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Poisson arrivals at `rate_qps` queries per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate_qps` is finite and positive.
+    pub fn poisson(rate_qps: f64) -> Self {
+        assert!(
+            rate_qps > 0.0 && rate_qps.is_finite(),
+            "rate must be finite and > 0"
+        );
+        ArrivalProcess::Poisson { rate_qps }
+    }
+
+    /// Deterministic arrivals at `rate_qps` queries per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate_qps` is finite and positive.
+    pub fn fixed(rate_qps: f64) -> Self {
+        assert!(
+            rate_qps > 0.0 && rate_qps.is_finite(),
+            "rate must be finite and > 0"
+        );
+        ArrivalProcess::Fixed { rate_qps }
+    }
+
+    /// Diurnal Poisson arrivals (see [`ArrivalProcess::DiurnalPoisson`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `base_qps > 0`, `0 <= amplitude < 1`, and
+    /// `period_s > 0`.
+    pub fn diurnal(base_qps: f64, amplitude: f64, period_s: f64) -> Self {
+        assert!(base_qps > 0.0 && base_qps.is_finite(), "base rate must be > 0");
+        assert!((0.0..1.0).contains(&amplitude), "amplitude must be in [0, 1)");
+        assert!(period_s > 0.0, "period must be > 0");
+        ArrivalProcess::DiurnalPoisson {
+            base_qps,
+            amplitude,
+            period_s,
+        }
+    }
+
+    /// Mean offered load in queries per second.
+    pub fn mean_rate_qps(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_qps } | ArrivalProcess::Fixed { rate_qps } => rate_qps,
+            ArrivalProcess::DiurnalPoisson { base_qps, .. } => base_qps,
+        }
+    }
+
+    /// Returns a copy of this process with the mean rate replaced —
+    /// used by the max-QPS binary search to probe different loads while
+    /// keeping the process shape.
+    pub fn with_rate(&self, rate_qps: f64) -> Self {
+        match *self {
+            ArrivalProcess::Poisson { .. } => ArrivalProcess::poisson(rate_qps),
+            ArrivalProcess::Fixed { .. } => ArrivalProcess::fixed(rate_qps),
+            ArrivalProcess::DiurnalPoisson {
+                amplitude,
+                period_s,
+                ..
+            } => ArrivalProcess::diurnal(rate_qps, amplitude, period_s),
+        }
+    }
+
+    /// Instantaneous rate at absolute time `now_s`.
+    pub fn rate_at(&self, now_s: f64) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_qps } | ArrivalProcess::Fixed { rate_qps } => rate_qps,
+            ArrivalProcess::DiurnalPoisson {
+                base_qps,
+                amplitude,
+                period_s,
+            } => base_qps * (1.0 + amplitude * (2.0 * std::f64::consts::PI * now_s / period_s).sin()),
+        }
+    }
+
+    /// Samples the gap to the next arrival given the current time.
+    ///
+    /// For the diurnal variant this uses the instantaneous rate at
+    /// `now_s` (a standard piecewise approximation: the rate changes on
+    /// a scale of hours while gaps are milliseconds).
+    pub fn next_gap_s(&self, now_s: f64, rng: &mut impl Rng) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_qps } => sampler::exponential(rng, rate_qps),
+            ArrivalProcess::Fixed { rate_qps } => 1.0 / rate_qps,
+            ArrivalProcess::DiurnalPoisson { .. } => {
+                sampler::exponential(rng, self.rate_at(now_s))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_gap() {
+        let p = ArrivalProcess::poisson(100.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let total: f64 = (0..n).map(|_| p.next_gap_s(0.0, &mut rng)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 0.01).abs() / 0.01 < 0.02, "mean gap {mean}");
+    }
+
+    #[test]
+    fn fixed_gap_is_deterministic() {
+        let p = ArrivalProcess::fixed(200.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(p.next_gap_s(0.0, &mut rng), 0.005);
+        assert_eq!(p.next_gap_s(123.0, &mut rng), 0.005);
+    }
+
+    #[test]
+    fn diurnal_rate_oscillates() {
+        let p = ArrivalProcess::diurnal(1000.0, 0.3, 86_400.0);
+        let peak = p.rate_at(86_400.0 / 4.0); // sin = 1
+        let trough = p.rate_at(3.0 * 86_400.0 / 4.0); // sin = -1
+        assert!((peak - 1300.0).abs() < 1e-6);
+        assert!((trough - 700.0).abs() < 1e-6);
+        assert!((p.rate_at(0.0) - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn with_rate_preserves_shape() {
+        let p = ArrivalProcess::diurnal(100.0, 0.2, 3600.0).with_rate(500.0);
+        match p {
+            ArrivalProcess::DiurnalPoisson {
+                base_qps,
+                amplitude,
+                period_s,
+            } => {
+                assert_eq!(base_qps, 500.0);
+                assert_eq!(amplitude, 0.2);
+                assert_eq!(period_s, 3600.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and > 0")]
+    fn rejects_zero_rate() {
+        ArrivalProcess::poisson(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn rejects_amplitude_one() {
+        ArrivalProcess::diurnal(10.0, 1.0, 60.0);
+    }
+}

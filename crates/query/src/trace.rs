@@ -1,0 +1,297 @@
+//! Query-trace recording and replay.
+//!
+//! DeepRecInfra's load generator is calibrated *from* production
+//! profiles (Section III-C); this module closes the loop for users with
+//! their own traffic: capture a query stream to a simple text format,
+//! inspect it, and replay it byte-for-byte through the engine or the
+//! simulator instead of a synthetic distribution.
+//!
+//! The format is one query per line — `arrival_seconds,size` — with `#`
+//! comments, so traces can be produced by anything that can print two
+//! numbers.
+
+use crate::generator::Query;
+use std::io::{BufRead, Write};
+
+/// An in-memory query trace: arrival-ordered queries.
+///
+/// # Examples
+///
+/// ```
+/// use drs_query::{trace::Trace, ArrivalProcess, QueryGenerator, SizeDistribution};
+///
+/// let gen = QueryGenerator::new(
+///     ArrivalProcess::poisson(100.0),
+///     SizeDistribution::production(),
+///     7,
+/// );
+/// let trace = Trace::record(gen, 50);
+/// let mut buf = Vec::new();
+/// trace.write(&mut buf).unwrap();
+/// let back = Trace::read(buf.as_slice()).unwrap();
+/// assert_eq!(back.len(), trace.len());
+/// // Sizes survive exactly; arrivals to nanosecond precision.
+/// for (a, b) in trace.queries().iter().zip(back.queries()) {
+///     assert_eq!(a.size, b.size);
+///     assert!((a.arrival_s - b.arrival_s).abs() < 1e-9);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    queries: Vec<Query>,
+}
+
+/// Errors arising when parsing a trace file.
+#[derive(Debug)]
+pub enum ParseTraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line was not `arrival_seconds,size`.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// Arrivals were not non-decreasing.
+    OutOfOrder {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseTraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            ParseTraceError::Malformed { line, content } => {
+                write!(f, "malformed trace line {line}: {content:?}")
+            }
+            ParseTraceError::OutOfOrder { line } => {
+                write!(f, "trace arrivals out of order at line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseTraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseTraceError {
+    fn from(e: std::io::Error) -> Self {
+        ParseTraceError::Io(e)
+    }
+}
+
+impl Trace {
+    /// Captures the first `n` queries of a stream.
+    pub fn record(gen: impl IntoIterator<Item = Query>, n: usize) -> Self {
+        Trace {
+            queries: gen.into_iter().take(n).collect(),
+        }
+    }
+
+    /// Builds a trace from raw `(arrival_s, size)` pairs (ids are
+    /// assigned sequentially).
+    ///
+    /// # Panics
+    ///
+    /// Panics if arrivals are not non-decreasing or any size is zero.
+    pub fn from_pairs(pairs: &[(f64, u32)]) -> Self {
+        let mut prev = 0.0f64;
+        let queries = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(arrival_s, size))| {
+                assert!(arrival_s >= prev, "arrivals must be non-decreasing");
+                assert!(size > 0, "query size must be positive");
+                prev = arrival_s;
+                Query {
+                    id: i as u64,
+                    size,
+                    arrival_s,
+                }
+            })
+            .collect();
+        Trace { queries }
+    }
+
+    /// The recorded queries, arrival-ordered.
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// Number of recorded queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Mean offered rate over the trace span, queries per second.
+    pub fn mean_rate_qps(&self) -> f64 {
+        match (self.queries.first(), self.queries.last()) {
+            (Some(first), Some(last)) if last.arrival_s > first.arrival_s => {
+                (self.queries.len() - 1) as f64 / (last.arrival_s - first.arrival_s)
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Serializes as `arrival_seconds,size` lines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures.
+    pub fn write(&self, mut w: impl Write) -> std::io::Result<()> {
+        writeln!(w, "# deeprecsys query trace: arrival_seconds,size")?;
+        for q in &self.queries {
+            writeln!(w, "{:.9},{}", q.arrival_s, q.size)?;
+        }
+        Ok(())
+    }
+
+    /// Parses a trace written by [`Trace::write`] (or by hand).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTraceError`] on I/O failure, malformed lines, or
+    /// out-of-order arrivals.
+    pub fn read(r: impl BufRead) -> Result<Self, ParseTraceError> {
+        let mut queries = Vec::new();
+        let mut prev = f64::NEG_INFINITY;
+        for (i, line) in r.lines().enumerate() {
+            let line = line?;
+            let text = line.trim();
+            if text.is_empty() || text.starts_with('#') {
+                continue;
+            }
+            let parse = || -> Option<(f64, u32)> {
+                let (a, s) = text.split_once(',')?;
+                let arrival: f64 = a.trim().parse().ok()?;
+                let size: u32 = s.trim().parse().ok()?;
+                (arrival.is_finite() && arrival >= 0.0 && size > 0).then_some((arrival, size))
+            };
+            let (arrival_s, size) = parse().ok_or_else(|| ParseTraceError::Malformed {
+                line: i + 1,
+                content: text.to_string(),
+            })?;
+            if arrival_s < prev {
+                return Err(ParseTraceError::OutOfOrder { line: i + 1 });
+            }
+            prev = arrival_s;
+            queries.push(Query {
+                id: queries.len() as u64,
+                size,
+                arrival_s,
+            });
+        }
+        Ok(Trace { queries })
+    }
+
+    /// Returns an iterator replaying the trace (by value).
+    pub fn replay(&self) -> impl Iterator<Item = Query> + '_ {
+        self.queries.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArrivalProcess, QueryGenerator, SizeDistribution};
+
+    fn sample_trace() -> Trace {
+        let gen = QueryGenerator::new(
+            ArrivalProcess::poisson(1000.0),
+            SizeDistribution::production(),
+            42,
+        );
+        Trace::record(gen, 200)
+    }
+
+    #[test]
+    fn round_trip_is_lossless_enough() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.write(&mut buf).unwrap();
+        let back = Trace::read(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), t.len());
+        for (a, b) in t.queries().iter().zip(back.queries()) {
+            assert_eq!(a.size, b.size);
+            assert!((a.arrival_s - b.arrival_s).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mean_rate_recovers_generator_rate() {
+        let t = sample_trace();
+        let rate = t.mean_rate_qps();
+        assert!((rate - 1000.0).abs() / 1000.0 < 0.2, "rate {rate}");
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header\n\n0.5,10\n# mid comment\n1.0,20\n";
+        let t = Trace::read(text.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.queries()[1].size, 20);
+        assert_eq!(t.queries()[1].id, 1);
+    }
+
+    #[test]
+    fn malformed_line_reported_with_position() {
+        let text = "0.5,10\nnot-a-line\n";
+        match Trace::read(text.as_bytes()) {
+            Err(ParseTraceError::Malformed { line, .. }) => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_order_rejected() {
+        let text = "1.0,10\n0.5,20\n";
+        match Trace::read(text.as_bytes()) {
+            Err(ParseTraceError::OutOfOrder { line }) => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let text = "1.0,0\n";
+        assert!(matches!(
+            Trace::read(text.as_bytes()),
+            Err(ParseTraceError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn from_pairs_assigns_ids() {
+        let t = Trace::from_pairs(&[(0.0, 5), (0.1, 7)]);
+        assert_eq!(t.queries()[0].id, 0);
+        assert_eq!(t.queries()[1].id, 1);
+        assert_eq!(t.mean_rate_qps(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn from_pairs_rejects_disorder() {
+        let _ = Trace::from_pairs(&[(1.0, 5), (0.5, 7)]);
+    }
+
+    #[test]
+    fn empty_trace_edge_cases() {
+        let t = Trace::read("".as_bytes()).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.mean_rate_qps(), 0.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Property-based tests for the load generator.
+
+use drs_query::{ArrivalProcess, QueryGenerator, SizeDistribution, MAX_QUERY_SIZE};
+use proptest::prelude::*;
+
+proptest! {
+    /// Sizes always land in [1, MAX_QUERY_SIZE] for any parameters.
+    #[test]
+    fn sizes_always_bounded(seed in 0u64..10_000, mu in 0.0f64..8.0, sigma in 0.0f64..2.0) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let d = SizeDistribution::LogNormal { mu, sigma };
+        for _ in 0..200 {
+            let s = d.sample(&mut rng);
+            prop_assert!((1..=MAX_QUERY_SIZE).contains(&s));
+        }
+    }
+
+    /// Arrival times are strictly increasing for Poisson streams.
+    #[test]
+    fn arrivals_monotone(seed in 0u64..10_000, rate in 1.0f64..100_000.0) {
+        let gen = QueryGenerator::new(
+            ArrivalProcess::poisson(rate),
+            SizeDistribution::Fixed(1),
+            seed,
+        );
+        let qs: Vec<_> = gen.take(100).collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[1].arrival_s > w[0].arrival_s);
+        }
+    }
+
+    /// Query ids are a gapless sequence from zero.
+    #[test]
+    fn ids_gapless(seed in 0u64..10_000) {
+        let gen = QueryGenerator::new(
+            ArrivalProcess::poisson(100.0),
+            SizeDistribution::production(),
+            seed,
+        );
+        for (i, q) in gen.take(50).enumerate() {
+            prop_assert_eq!(q.id, i as u64);
+        }
+    }
+
+    /// The diurnal rate never leaves [base(1-amp), base(1+amp)].
+    #[test]
+    fn diurnal_rate_bounded(base in 1.0f64..10_000.0, amp in 0.0f64..0.99, t in 0.0f64..1e6) {
+        let p = ArrivalProcess::diurnal(base, amp, 86_400.0);
+        let r = p.rate_at(t);
+        prop_assert!(r >= base * (1.0 - amp) - 1e-9);
+        prop_assert!(r <= base * (1.0 + amp) + 1e-9);
+    }
+
+    /// with_rate round-trips the mean rate.
+    #[test]
+    fn with_rate_sets_rate(rate in 1.0f64..1e6) {
+        let p = ArrivalProcess::poisson(123.0).with_rate(rate);
+        prop_assert_eq!(p.mean_rate_qps(), rate);
+    }
+}

@@ -1,0 +1,283 @@
+//! The two-phase hill climber (Section IV-C).
+
+use crate::search::{max_qps_under_sla, QpsSearchResult, SearchOptions};
+use drs_models::ModelConfig;
+use drs_query::MAX_QUERY_SIZE;
+use drs_sim::{ClusterConfig, SchedulerPolicy, SimReport};
+
+/// Generic 1-D hill climb over an ascending `ladder`.
+///
+/// Evaluates rungs in order, keeping the best score seen; stops after
+/// `patience + 1` consecutive non-improving rungs (Section IV-C:
+/// "increases the batch size to improve system throughput until the
+/// achievable QPS degrades"). Ties keep the *earlier* (smaller) rung,
+/// so a plateau never inflates the chosen knob.
+///
+/// Returns `(best rung, best result, full trajectory)` — the
+/// trajectories are exactly the Figure 9/10 curves.
+pub fn hill_climb_1d<F>(
+    ladder: &[u32],
+    patience: usize,
+    mut eval: F,
+) -> (u32, QpsSearchResult, Vec<(u32, f64)>)
+where
+    F: FnMut(u32) -> QpsSearchResult,
+{
+    assert!(!ladder.is_empty(), "empty ladder");
+    let mut best_val = ladder[0];
+    let mut best = eval(ladder[0]);
+    let mut trajectory = vec![(ladder[0], best.max_qps)];
+    let mut bad_steps = 0;
+    for &v in &ladder[1..] {
+        let r = eval(v);
+        trajectory.push((v, r.max_qps));
+        if r.max_qps > best.max_qps {
+            best_val = v;
+            best = r;
+            bad_steps = 0;
+        } else {
+            bad_steps += 1;
+            if bad_steps > patience {
+                break;
+            }
+        }
+    }
+    (best_val, best, trajectory)
+}
+
+/// A tuned configuration and the evidence behind it.
+#[derive(Debug, Clone)]
+pub struct TunedConfig {
+    /// The chosen policy.
+    pub policy: SchedulerPolicy,
+    /// Max QPS under the SLA at that policy.
+    pub qps: f64,
+    /// Simulation report at the operating point (None if nothing was
+    /// feasible).
+    pub at_max: Option<SimReport>,
+    /// `(knob value, max QPS)` pairs visited by the climb, in order —
+    /// the Figure 9 / Figure 10 curves fall out of this.
+    pub trajectory: Vec<(u32, f64)>,
+}
+
+/// The DeepRecSched tuner.
+///
+/// "DeepRecSched starts with a unit batch-size … and increases the
+/// batch size to improve system throughput until the achievable QPS
+/// degrades, while also maintaining the target tail latency.
+/// DeepRecSched then tunes the query-size threshold … starting with a
+/// unit query size threshold (i.e., all queries are processed on the
+/// accelerator), applying hill-climbing to gradually increase the
+/// threshold until the achievable QPS degrades." (Section IV-C)
+#[derive(Debug, Clone)]
+pub struct DeepRecSched {
+    opts: SearchOptions,
+    /// Candidate batch sizes, ascending.
+    batch_ladder: Vec<u32>,
+    /// Candidate GPU query-size thresholds, ascending.
+    threshold_ladder: Vec<u32>,
+    /// Consecutive non-improving rungs tolerated before stopping.
+    patience: usize,
+}
+
+impl DeepRecSched {
+    /// Creates a tuner with the canonical ladders: powers of two from 1
+    /// to 1024 for batch size; 0 to the maximum query size for the
+    /// offload threshold.
+    pub fn new(opts: SearchOptions) -> Self {
+        DeepRecSched {
+            opts,
+            batch_ladder: (0..=10).map(|p| 1u32 << p).collect(),
+            threshold_ladder: vec![0, 25, 50, 100, 150, 200, 300, 400, 500, 650, 800, MAX_QUERY_SIZE],
+            patience: 1,
+        }
+    }
+
+    /// The search options in use.
+    pub fn options(&self) -> &SearchOptions {
+        &self.opts
+    }
+
+    /// Overrides the batch ladder (ablation experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ladder is empty or not strictly ascending.
+    pub fn with_batch_ladder(mut self, ladder: Vec<u32>) -> Self {
+        assert!(!ladder.is_empty(), "empty ladder");
+        assert!(
+            ladder.windows(2).all(|w| w[0] < w[1]),
+            "ladder must be strictly ascending"
+        );
+        self.batch_ladder = ladder;
+        self
+    }
+
+    /// Generic 1-D hill climb over `ladder`, scoring with `eval`.
+    /// Returns the best value, its score/result, and the trajectory.
+    fn climb<F>(&self, ladder: &[u32], eval: F) -> (u32, QpsSearchResult, Vec<(u32, f64)>)
+    where
+        F: FnMut(u32) -> QpsSearchResult,
+    {
+        hill_climb_1d(ladder, self.patience, eval)
+    }
+
+    /// Phase 1: tune the per-request batch size on a CPU-only path.
+    pub fn tune_cpu(
+        &self,
+        cfg: &ModelConfig,
+        cluster: ClusterConfig,
+        sla_ms: f64,
+    ) -> TunedConfig {
+        let (batch, result, trajectory) = self.climb(&self.batch_ladder, |b| {
+            max_qps_under_sla(
+                cfg,
+                cluster,
+                SchedulerPolicy::cpu_only(b),
+                sla_ms,
+                &self.opts,
+            )
+        });
+        TunedConfig {
+            policy: SchedulerPolicy::cpu_only(batch),
+            qps: result.max_qps,
+            at_max: result.at_max,
+            trajectory,
+        }
+    }
+
+    /// Phase 2: with the batch size fixed, tune the GPU offload
+    /// threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster has no GPU.
+    pub fn tune_gpu(
+        &self,
+        cfg: &ModelConfig,
+        cluster: ClusterConfig,
+        sla_ms: f64,
+        batch: u32,
+    ) -> TunedConfig {
+        assert!(cluster.gpu.is_some(), "tune_gpu needs a GPU in the cluster");
+        let (threshold, result, trajectory) = self.climb(&self.threshold_ladder, |t| {
+            max_qps_under_sla(
+                cfg,
+                cluster,
+                SchedulerPolicy::with_gpu(batch, t),
+                sla_ms,
+                &self.opts,
+            )
+        });
+        TunedConfig {
+            policy: SchedulerPolicy::with_gpu(batch, threshold),
+            qps: result.max_qps,
+            at_max: result.at_max,
+            trajectory,
+        }
+    }
+
+    /// Full two-phase tune: batch size first (on the CPU path), then —
+    /// when the cluster has a GPU — the offload threshold. Keeps the
+    /// CPU-only policy if offloading never beats it.
+    pub fn tune(&self, cfg: &ModelConfig, cluster: ClusterConfig, sla_ms: f64) -> TunedConfig {
+        let cpu = self.tune_cpu(cfg, cluster, sla_ms);
+        if cluster.gpu.is_none() {
+            return cpu;
+        }
+        let gpu = self.tune_gpu(cfg, cluster, sla_ms, cpu.policy.max_batch);
+        if gpu.qps > cpu.qps {
+            gpu
+        } else {
+            cpu
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drs_models::zoo;
+    use drs_sim::ClusterConfig;
+
+    fn quick() -> DeepRecSched {
+        DeepRecSched::new(SearchOptions::quick())
+    }
+
+    #[test]
+    fn climber_finds_near_optimum_on_trajectory() {
+        // The chosen rung must be within tolerance of the best rung it
+        // visited (hill climbing with patience can never return a
+        // visited-but-worse point).
+        let cfg = zoo::dlrm_rmc1();
+        let tuned = quick().tune_cpu(&cfg, ClusterConfig::single_skylake(), 100.0);
+        let best_seen = tuned
+            .trajectory
+            .iter()
+            .map(|&(_, q)| q)
+            .fold(0.0f64, f64::max);
+        assert!(
+            tuned.qps >= best_seen * 0.999,
+            "returned {} but saw {}",
+            tuned.qps,
+            best_seen
+        );
+        assert!(tuned.policy.max_batch >= 1);
+    }
+
+    #[test]
+    fn tuned_beats_static_baseline() {
+        // The headline claim, in miniature: tuned batch ≥ baseline QPS.
+        let cfg = zoo::dlrm_rmc1();
+        let cluster = ClusterConfig::single_skylake();
+        let opts = SearchOptions::quick();
+        let baseline = max_qps_under_sla(
+            &cfg,
+            cluster,
+            SchedulerPolicy::static_baseline(cluster.cpu.cores),
+            100.0,
+            &opts,
+        );
+        let tuned = quick().tune_cpu(&cfg, cluster, 100.0);
+        assert!(
+            tuned.qps >= baseline.max_qps,
+            "tuned {} vs baseline {}",
+            tuned.qps,
+            baseline.max_qps
+        );
+    }
+
+    #[test]
+    fn gpu_tune_never_worse_than_cpu_tune() {
+        let cfg = zoo::wide_and_deep();
+        let sched = quick();
+        let cpu = sched.tune_cpu(&cfg, ClusterConfig::single_skylake(), 25.0);
+        let full = sched.tune(&cfg, ClusterConfig::skylake_with_gpu(), 25.0);
+        assert!(
+            full.qps >= cpu.qps * 0.98,
+            "full {} vs cpu {}",
+            full.qps,
+            cpu.qps
+        );
+    }
+
+    #[test]
+    fn trajectory_starts_at_unit_values() {
+        let cfg = zoo::ncf();
+        let tuned = quick().tune_cpu(&cfg, ClusterConfig::single_skylake(), 5.0);
+        assert_eq!(tuned.trajectory[0].0, 1, "climb starts at unit batch");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a GPU")]
+    fn tune_gpu_requires_gpu() {
+        let cfg = zoo::ncf();
+        let _ = quick().tune_gpu(&cfg, ClusterConfig::single_skylake(), 5.0, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn bad_ladder_rejected() {
+        let _ = quick().with_batch_ladder(vec![4, 2]);
+    }
+}

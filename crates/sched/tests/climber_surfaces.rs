@@ -1,0 +1,106 @@
+//! Hill-climber behaviour on synthetic response surfaces.
+//!
+//! The production tuner only ever sees noisy simulator measurements;
+//! these tests pin down the optimizer's contract on surfaces where the
+//! true optimum is known.
+
+use drs_sched::{hill_climb_1d, QpsSearchResult};
+use proptest::prelude::*;
+
+fn ladder() -> Vec<u32> {
+    (0..=10).map(|p| 1u32 << p).collect()
+}
+
+fn result(q: f64) -> QpsSearchResult {
+    QpsSearchResult {
+        max_qps: q,
+        at_max: None,
+    }
+}
+
+#[test]
+fn finds_peak_of_unimodal_surface() {
+    // Peak at 64: f(b) = -(log2 b - 6)^2.
+    let f = |b: u32| result(1000.0 - ((b as f64).log2() - 6.0).powi(2) * 10.0);
+    let (best, _, traj) = hill_climb_1d(&ladder(), 1, f);
+    assert_eq!(best, 64);
+    // With patience 1 the climb stops two rungs past the peak.
+    assert_eq!(traj.last().unwrap().0, 256);
+}
+
+#[test]
+fn plateau_keeps_smallest_rung() {
+    // Flat surface: every rung scores the same; the climber must keep
+    // the first (strict improvement required), and patience stops it
+    // early instead of walking the whole ladder.
+    let f = |_b: u32| result(500.0);
+    let (best, _, traj) = hill_climb_1d(&ladder(), 1, f);
+    assert_eq!(best, 1);
+    assert_eq!(traj.len(), 3, "1 evaluated + patience+1 non-improving");
+}
+
+#[test]
+fn monotone_increasing_surface_reaches_the_end() {
+    let f = |b: u32| result(b as f64);
+    let (best, _, traj) = hill_climb_1d(&ladder(), 1, f);
+    assert_eq!(best, 1024);
+    assert_eq!(traj.len(), 11);
+}
+
+#[test]
+fn monotone_decreasing_surface_stops_immediately() {
+    let f = |b: u32| result(1e6 / b as f64);
+    let (best, _, traj) = hill_climb_1d(&ladder(), 1, f);
+    assert_eq!(best, 1);
+    assert_eq!(traj.len(), 3);
+}
+
+#[test]
+fn patience_skips_single_dips() {
+    // A one-rung dip at 8 must not stop the climb to the peak at 64.
+    let f = |b: u32| {
+        let base = 1000.0 - ((b as f64).log2() - 6.0).powi(2) * 10.0;
+        result(if b == 8 { base - 100.0 } else { base })
+    };
+    let (best, _, _) = hill_climb_1d(&ladder(), 1, f);
+    assert_eq!(best, 64);
+}
+
+#[test]
+fn zero_patience_stops_at_first_degradation() {
+    let f = |b: u32| {
+        let base = 1000.0 - ((b as f64).log2() - 6.0).powi(2) * 10.0;
+        result(if b == 8 { base - 100.0 } else { base })
+    };
+    let (best, _, traj) = hill_climb_1d(&ladder(), 0, f);
+    // Stops at the dip; best seen so far is 4.
+    assert_eq!(best, 4);
+    assert_eq!(traj.last().unwrap().0, 8);
+}
+
+proptest! {
+    /// On any unimodal surface the climber (patience 1) returns the
+    /// true ladder optimum.
+    #[test]
+    fn unimodal_always_solved(peak_idx in 0usize..11, scale in 1.0f64..100.0) {
+        let lad = ladder();
+        let peak = (lad[peak_idx] as f64).log2();
+        let f = |b: u32| result(1e4 - scale * ((b as f64).log2() - peak).powi(2));
+        let (best, _, _) = hill_climb_1d(&lad, 1, f);
+        prop_assert_eq!(best, lad[peak_idx]);
+    }
+
+    /// The returned best is always the max of the visited trajectory.
+    #[test]
+    fn best_equals_trajectory_max(seed in 0u64..1000) {
+        // Arbitrary deterministic surface derived from the seed.
+        let f = |b: u32| {
+            let x = (b as u64).wrapping_mul(seed.wrapping_add(1)).wrapping_mul(2654435761);
+            result((x % 10_000) as f64)
+        };
+        let (best, res, traj) = hill_climb_1d(&ladder(), 1, f);
+        let max = traj.iter().map(|&(_, q)| q).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(res.max_qps, max);
+        prop_assert!(traj.iter().any(|&(v, q)| v == best && q == max));
+    }
+}

@@ -1,0 +1,61 @@
+//! Discrete-event simulator for at-scale recommendation inference.
+//!
+//! The paper evaluates DeepRecSched on clusters of production machines;
+//! this crate is our substitute datacenter (DESIGN.md §2): a
+//! deterministic, virtual-time simulation of one or more
+//! [`drs_platform::CpuPlatform`] machines (optionally with an attached
+//! GPU), fed by a [`drs_query::QueryGenerator`] and scheduled by a
+//! [`SchedulerPolicy`].
+//!
+//! The model follows the serving pipeline of Figure 8:
+//!
+//! 1. A query arrives (Poisson arrivals, production size distribution)
+//!    and is dispatched to the least-loaded machine.
+//! 2. If the machine has a GPU and the query exceeds the policy's
+//!    *query-size threshold*, the whole query joins the GPU queue
+//!    (served FIFO, one query at a time).
+//! 3. Otherwise the query is split into `⌈size/batch⌉` balanced CPU
+//!    requests that queue for worker cores; service times come from
+//!    [`drs_platform::ModelCost`] and depend on the batch size and on
+//!    how many cores are concurrently active (cache/bandwidth
+//!    contention).
+//! 4. The query completes when its last request completes (fork–join);
+//!    end-to-end latency includes queueing.
+//!
+//! Power is integrated event-by-event from per-device utilization, so
+//! every run reports QPS, tail latency, GPU work share, and QPS/Watt —
+//! the axes of Figures 9–14.
+//!
+//! # Examples
+//!
+//! ```
+//! use drs_models::zoo;
+//! use drs_query::{ArrivalProcess, QueryGenerator, SizeDistribution};
+//! use drs_sim::{ClusterConfig, RunOptions, SchedulerPolicy, Simulation};
+//!
+//! let sim = Simulation::new(
+//!     &zoo::dlrm_rmc1(),
+//!     ClusterConfig::single_skylake(),
+//!     SchedulerPolicy::cpu_only(64),
+//! );
+//! let mut gen = QueryGenerator::new(
+//!     ArrivalProcess::poisson(200.0),
+//!     SizeDistribution::production(),
+//!     7,
+//! );
+//! let report = sim.run(&mut gen, RunOptions::queries(500));
+//! assert!(report.completed > 0);
+//! assert!(report.latency.p95_ms > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod event;
+mod policy;
+mod report;
+mod runner;
+
+pub use event::{EventQueue, SimTime, NS_PER_SEC};
+pub use policy::SchedulerPolicy;
+pub use report::SimReport;
+pub use runner::{ClusterConfig, RunOptions, Simulation};

@@ -1,0 +1,108 @@
+//! The scheduler policy knobs DeepRecSched tunes.
+
+use drs_query::MAX_QUERY_SIZE;
+
+/// A scheduling configuration: the two knobs of Figure 8.
+///
+/// * `max_batch` — per-request batch size; queries are split into
+///   `⌈size / max_batch⌉` parallel CPU requests (request- vs
+///   batch-level parallelism).
+/// * `gpu_threshold` — queries strictly larger than this are offloaded
+///   whole to the accelerator; `None` disables offload (CPU-only).
+///
+/// # Examples
+///
+/// ```
+/// use drs_sim::SchedulerPolicy;
+///
+/// let p = SchedulerPolicy::with_gpu(128, 300);
+/// assert_eq!(p.max_batch, 128);
+/// assert!(p.offloads(301));
+/// assert!(!p.offloads(300));
+/// assert!(!SchedulerPolicy::cpu_only(128).offloads(999));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SchedulerPolicy {
+    /// Maximum items per CPU request.
+    pub max_batch: u32,
+    /// Offload queries larger than this to the GPU (`None` = never).
+    pub gpu_threshold: Option<u32>,
+}
+
+impl SchedulerPolicy {
+    /// CPU-only policy with the given per-request batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero.
+    pub fn cpu_only(max_batch: u32) -> Self {
+        assert!(max_batch > 0, "batch size must be positive");
+        SchedulerPolicy {
+            max_batch,
+            gpu_threshold: None,
+        }
+    }
+
+    /// Policy that offloads queries larger than `threshold` to the GPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero.
+    pub fn with_gpu(max_batch: u32, threshold: u32) -> Self {
+        assert!(max_batch > 0, "batch size must be positive");
+        SchedulerPolicy {
+            max_batch,
+            gpu_threshold: Some(threshold),
+        }
+    }
+
+    /// The production static baseline (Section V): a fixed batch size
+    /// chosen by splitting the largest query evenly across all cores —
+    /// `⌈1000 / cores⌉`, i.e. 25 on a 40-core Skylake — and no GPU.
+    pub fn static_baseline(cores: usize) -> Self {
+        assert!(cores > 0, "a machine needs cores");
+        SchedulerPolicy::cpu_only(MAX_QUERY_SIZE.div_ceil(cores as u32))
+    }
+
+    /// Whether a query of `size` items is offloaded to the GPU.
+    pub fn offloads(&self, size: u32) -> bool {
+        match self.gpu_threshold {
+            Some(t) => size > t,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_paper() {
+        assert_eq!(SchedulerPolicy::static_baseline(40).max_batch, 25);
+        assert_eq!(SchedulerPolicy::static_baseline(28).max_batch, 36);
+        assert_eq!(SchedulerPolicy::static_baseline(40).gpu_threshold, None);
+    }
+
+    #[test]
+    fn offload_boundary_is_strict() {
+        let p = SchedulerPolicy::with_gpu(64, 100);
+        assert!(!p.offloads(100));
+        assert!(p.offloads(101));
+    }
+
+    #[test]
+    fn threshold_zero_offloads_everything() {
+        // "Starting with a unit query-size threshold (i.e., all queries
+        // are processed on the accelerator)" — threshold 0 sends every
+        // non-empty query to the GPU.
+        let p = SchedulerPolicy::with_gpu(64, 0);
+        assert!(p.offloads(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_rejected() {
+        SchedulerPolicy::cpu_only(0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Simulation output: the measurements every experiment consumes.
+
+use drs_metrics::LatencySummary;
+
+/// Results of one simulation window.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Offered load (mean arrival rate) in queries per second.
+    pub offered_qps: f64,
+    /// Queries completed inside the measurement window (post-warm-up).
+    pub completed: u64,
+    /// Sustained throughput: completed queries / measured span.
+    pub qps: f64,
+    /// End-to-end query latency statistics (queueing + service).
+    pub latency: LatencySummary,
+    /// Fraction of candidate items processed on the GPU ("percent of
+    /// work processed by the GPU", Figure 14a). Zero without a GPU.
+    pub gpu_work_fraction: f64,
+    /// Mean busy fraction of CPU cores across machines.
+    pub cpu_utilization: f64,
+    /// Mean busy fraction of the GPU(s).
+    pub gpu_utilization: f64,
+    /// Average cluster power draw over the window, watts.
+    pub avg_power_w: f64,
+    /// Power efficiency: sustained QPS per average watt.
+    pub qps_per_watt: f64,
+    /// Virtual duration of the measured window, seconds.
+    pub window_s: f64,
+    /// Per-query latencies in milliseconds (measurement window only),
+    /// for distribution-level experiments (Figure 7). In record order.
+    pub latencies_ms: Vec<f64>,
+}
+
+impl SimReport {
+    /// Whether the window met a p95 SLA target, requiring a minimally
+    /// meaningful sample.
+    pub fn meets_sla(&self, sla_ms: f64) -> bool {
+        self.completed >= 20 && self.latency.p95_ms <= sla_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(p95: f64, completed: u64) -> SimReport {
+        SimReport {
+            offered_qps: 100.0,
+            completed,
+            qps: 99.0,
+            latency: LatencySummary {
+                count: completed as usize,
+                mean_ms: p95 / 2.0,
+                p50_ms: p95 / 2.0,
+                p75_ms: p95 * 0.75,
+                p95_ms: p95,
+                p99_ms: p95 * 1.2,
+                max_ms: p95 * 2.0,
+                min_ms: 0.1,
+            },
+            gpu_work_fraction: 0.0,
+            cpu_utilization: 0.5,
+            gpu_utilization: 0.0,
+            avg_power_w: 100.0,
+            qps_per_watt: 0.99,
+            window_s: 10.0,
+            latencies_ms: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn sla_check() {
+        assert!(report(80.0, 1000).meets_sla(100.0));
+        assert!(!report(120.0, 1000).meets_sla(100.0));
+        assert!(
+            !report(1.0, 5).meets_sla(100.0),
+            "tiny samples are not trustworthy"
+        );
+    }
+}

@@ -1,0 +1,846 @@
+//! The simulation loop.
+
+use crate::event::{secs_to_ns, us_to_ns, EventQueue, SimTime, NS_PER_SEC};
+use crate::policy::SchedulerPolicy;
+use crate::report::SimReport;
+use drs_metrics::LatencyRecorder;
+use drs_models::ModelConfig;
+use drs_platform::{CpuPlatform, GpuPlatform, ModelCost};
+use drs_query::{split_query, QueryGenerator};
+use std::collections::{HashMap, VecDeque};
+
+/// The hardware under simulation: `machines` identical servers, each
+/// with one [`CpuPlatform`] and optionally one attached GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of identical machines.
+    pub machines: usize,
+    /// CPU model of every machine.
+    pub cpu: CpuPlatform,
+    /// Accelerator attached to every machine (if any).
+    pub gpu: Option<GpuPlatform>,
+}
+
+impl ClusterConfig {
+    /// One Skylake server, no accelerator — the paper's default
+    /// single-node experimental platform.
+    pub fn single_skylake() -> Self {
+        ClusterConfig {
+            machines: 1,
+            cpu: CpuPlatform::skylake(),
+            gpu: None,
+        }
+    }
+
+    /// One Skylake server with a GTX 1080Ti.
+    pub fn skylake_with_gpu() -> Self {
+        ClusterConfig {
+            machines: 1,
+            cpu: CpuPlatform::skylake(),
+            gpu: Some(GpuPlatform::gtx_1080ti()),
+        }
+    }
+
+    /// A homogeneous cluster of `n` machines.
+    pub fn cluster(n: usize, cpu: CpuPlatform, gpu: Option<GpuPlatform>) -> Self {
+        assert!(n > 0, "a cluster needs machines");
+        ClusterConfig {
+            machines: n,
+            cpu,
+            gpu,
+        }
+    }
+}
+
+/// Length and measurement parameters of one simulation window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOptions {
+    /// Queries injected into the simulation.
+    pub num_queries: usize,
+    /// Leading fraction of queries excluded from statistics (warm-up).
+    pub warmup_frac: f64,
+}
+
+impl RunOptions {
+    /// A standard window of `n` queries with 10 % warm-up.
+    pub fn queries(n: usize) -> Self {
+        assert!(n > 0, "need at least one query");
+        RunOptions {
+            num_queries: n,
+            warmup_frac: 0.1,
+        }
+    }
+}
+
+/// Pending CPU request: (query id, batch items).
+#[derive(Debug, Clone, Copy)]
+struct CpuRequest {
+    qid: u64,
+    batch: u32,
+}
+
+#[derive(Debug)]
+struct MachineState {
+    cores: usize,
+    cores_busy: usize,
+    cpu_queue: VecDeque<CpuRequest>,
+    gpu_busy: bool,
+    gpu_queue: VecDeque<(u64, u32)>,
+    /// Requests (CPU parts or GPU queries) dispatched here and not yet
+    /// finished — the least-loaded dispatch metric.
+    outstanding: usize,
+    /// Power integration state.
+    last_ns: SimTime,
+    busy_core_ns: u128,
+    gpu_busy_ns: u128,
+}
+
+impl MachineState {
+    fn new(cores: usize) -> Self {
+        MachineState {
+            cores,
+            cores_busy: 0,
+            cpu_queue: VecDeque::new(),
+            gpu_busy: false,
+            gpu_queue: VecDeque::new(),
+            outstanding: 0,
+            last_ns: 0,
+            busy_core_ns: 0,
+            gpu_busy_ns: 0,
+        }
+    }
+
+    /// Advances the utilization integrals to `now`.
+    fn advance(&mut self, now: SimTime) {
+        let dt = now.saturating_sub(self.last_ns) as u128;
+        self.busy_core_ns += dt * self.cores_busy as u128;
+        if self.gpu_busy {
+            self.gpu_busy_ns += dt;
+        }
+        self.last_ns = now;
+    }
+}
+
+#[derive(Debug)]
+struct QueryState {
+    arrival_ns: SimTime,
+    parts_left: u32,
+    measured: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Arrival { qid: u64, size: u32 },
+    CpuDone { machine: usize, qid: u64 },
+    GpuDone { machine: usize, qid: u64 },
+}
+
+/// A configured simulation: model cost + cluster + scheduling policy.
+///
+/// `run` is `&self`, so one `Simulation` can evaluate many workloads
+/// (the hill climber re-runs it with different generators).
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    cost: ModelCost,
+    cluster: ClusterConfig,
+    /// Per-machine CPU models (all equal to `cluster.cpu` for
+    /// homogeneous fleets; see [`Simulation::new_heterogeneous`]).
+    cpus: Vec<CpuPlatform>,
+    policy: SchedulerPolicy,
+}
+
+impl Simulation {
+    /// Builds a simulation for one model on one cluster under one
+    /// policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy requests GPU offload but the cluster has no
+    /// GPU.
+    pub fn new(cfg: &ModelConfig, cluster: ClusterConfig, policy: SchedulerPolicy) -> Self {
+        assert!(
+            policy.gpu_threshold.is_none() || cluster.gpu.is_some(),
+            "policy offloads to a GPU the cluster does not have"
+        );
+        Simulation {
+            cost: ModelCost::new(cfg),
+            cluster,
+            cpus: vec![cluster.cpu; cluster.machines],
+            policy,
+        }
+    }
+
+    /// Builds a simulation over a *heterogeneous* fleet — one CPU model
+    /// per machine, as found in production datacenters ("recommendation
+    /// models are run across a variety of server class CPUs such as
+    /// Intel Broadwell and Skylake", Section IV-A). Dispatch remains
+    /// least-outstanding, so faster machines naturally absorb more
+    /// queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpus` is empty or the policy offloads without a GPU.
+    pub fn new_heterogeneous(
+        cfg: &ModelConfig,
+        cpus: Vec<CpuPlatform>,
+        gpu: Option<GpuPlatform>,
+        policy: SchedulerPolicy,
+    ) -> Self {
+        assert!(!cpus.is_empty(), "a fleet needs machines");
+        assert!(
+            policy.gpu_threshold.is_none() || gpu.is_some(),
+            "policy offloads to a GPU the cluster does not have"
+        );
+        let cluster = ClusterConfig {
+            machines: cpus.len(),
+            cpu: cpus[0],
+            gpu,
+        };
+        Simulation {
+            cost: ModelCost::new(cfg),
+            cluster,
+            cpus,
+            policy,
+        }
+    }
+
+    /// The scheduling policy under simulation.
+    pub fn policy(&self) -> SchedulerPolicy {
+        self.policy
+    }
+
+    /// The cluster under simulation.
+    pub fn cluster(&self) -> ClusterConfig {
+        self.cluster
+    }
+
+    /// The per-model cost model in use.
+    pub fn cost(&self) -> &ModelCost {
+        &self.cost
+    }
+
+    /// Runs one window of queries drawn from `gen` and reports
+    /// measurements. Deterministic given the generator's seed.
+    pub fn run(&self, gen: &mut QueryGenerator, opts: RunOptions) -> SimReport {
+        let offered_qps = gen.arrival().mean_rate_qps();
+        let queries: Vec<drs_query::Query> = gen.take(opts.num_queries).collect();
+        self.run_queries(&queries, offered_qps, opts)
+    }
+
+    /// Replays a recorded [`drs_query::trace::Trace`] through the
+    /// simulated cluster — the "query patterns profiled from a
+    /// production datacenter" path of Figure 8. `opts.num_queries` is
+    /// clamped to the trace length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn run_trace(&self, trace: &drs_query::trace::Trace, opts: RunOptions) -> SimReport {
+        assert!(!trace.is_empty(), "cannot replay an empty trace");
+        let n = opts.num_queries.min(trace.len());
+        let opts = RunOptions {
+            num_queries: n,
+            ..opts
+        };
+        let queries: Vec<drs_query::Query> = trace.replay().take(n).collect();
+        self.run_queries(&queries, trace.mean_rate_qps(), opts)
+    }
+
+    fn run_queries(
+        &self,
+        query_list: &[drs_query::Query],
+        offered_qps: f64,
+        opts: RunOptions,
+    ) -> SimReport {
+        let warmup_n = (opts.num_queries as f64 * opts.warmup_frac) as u64;
+
+        let mut events: EventQueue<Ev> = EventQueue::new();
+        let mut queries: HashMap<u64, QueryState> = HashMap::new();
+        for q in query_list.iter().copied() {
+            let t = secs_to_ns(q.arrival_s);
+            queries.insert(
+                q.id,
+                QueryState {
+                    arrival_ns: t,
+                    parts_left: 0,
+                    measured: q.id >= warmup_n,
+                },
+            );
+            events.push(t, Ev::Arrival { qid: q.id, size: q.size });
+        }
+
+        let mut machines: Vec<MachineState> = self
+            .cpus
+            .iter()
+            .map(|cpu| MachineState::new(cpu.cores))
+            .collect();
+
+        let mut latency = LatencyRecorder::with_capacity(opts.num_queries);
+        let mut latencies_ms: Vec<f64> = Vec::new();
+        let mut completed_measured: u64 = 0;
+        let mut items_gpu: u64 = 0;
+        let mut items_total: u64 = 0;
+        let mut window_start: Option<SimTime> = None;
+        let mut window_end: SimTime = 0;
+        let mut end_ns: SimTime = 0;
+
+        while let Some((now, ev)) = events.pop() {
+            end_ns = now;
+            match ev {
+                Ev::Arrival { qid, size } => {
+                    // Least-loaded dispatch (stable tie-break by index).
+                    let m = (0..machines.len())
+                        .min_by_key(|&i| machines[i].outstanding)
+                        .expect("non-empty cluster");
+                    machines[m].advance(now);
+                    let state = queries.get_mut(&qid).expect("known query");
+                    if state.measured {
+                        items_total += size as u64;
+                        if window_start.is_none() {
+                            window_start = Some(now);
+                        }
+                    }
+                    if self.policy.offloads(size) && self.cluster.gpu.is_some() {
+                        state.parts_left = 1;
+                        if state.measured {
+                            items_gpu += size as u64;
+                        }
+                        machines[m].outstanding += 1;
+                        machines[m].gpu_queue.push_back((qid, size));
+                        self.try_start_gpu(m, now, &mut machines, &mut events);
+                    } else {
+                        let parts = split_query(size, self.policy.max_batch);
+                        state.parts_left = parts.len() as u32;
+                        machines[m].outstanding += parts.len();
+                        for batch in parts {
+                            machines[m].cpu_queue.push_back(CpuRequest { qid, batch });
+                        }
+                        self.try_dispatch_cpu(m, now, &mut machines, &mut events);
+                    }
+                }
+                Ev::CpuDone { machine, qid } => {
+                    machines[machine].advance(now);
+                    machines[machine].cores_busy -= 1;
+                    machines[machine].outstanding -= 1;
+                    Self::finish_part(
+                        qid,
+                        now,
+                        &mut queries,
+                        &mut latency,
+                        &mut latencies_ms,
+                        &mut completed_measured,
+                        &mut window_end,
+                    );
+                    self.try_dispatch_cpu(machine, now, &mut machines, &mut events);
+                }
+                Ev::GpuDone { machine, qid } => {
+                    machines[machine].advance(now);
+                    machines[machine].gpu_busy = false;
+                    machines[machine].outstanding -= 1;
+                    Self::finish_part(
+                        qid,
+                        now,
+                        &mut queries,
+                        &mut latency,
+                        &mut latencies_ms,
+                        &mut completed_measured,
+                        &mut window_end,
+                    );
+                    self.try_start_gpu(machine, now, &mut machines, &mut events);
+                }
+            }
+        }
+
+        // Finalize utilization integrals.
+        for m in &mut machines {
+            m.advance(end_ns);
+        }
+
+        let span_s = (end_ns as f64 / NS_PER_SEC as f64).max(1e-9);
+        let cpu_util = machines
+            .iter()
+            .map(|m| m.busy_core_ns as f64 / (m.cores as f64 * end_ns.max(1) as f64))
+            .sum::<f64>()
+            / machines.len() as f64;
+        let gpu_util = if self.cluster.gpu.is_some() {
+            machines
+                .iter()
+                .map(|m| m.gpu_busy_ns as f64 / end_ns.max(1) as f64)
+                .sum::<f64>()
+                / machines.len() as f64
+        } else {
+            0.0
+        };
+        // Per-machine power with per-machine utilization (machines in a
+        // heterogeneous fleet differ in both TDP and observed load).
+        let mut avg_power_w: f64 = machines
+            .iter()
+            .zip(&self.cpus)
+            .map(|(m, cpu)| {
+                let util = m.busy_core_ns as f64 / (m.cores as f64 * end_ns.max(1) as f64);
+                cpu.power_w(util)
+            })
+            .sum();
+        if let Some(gpu) = &self.cluster.gpu {
+            avg_power_w += machines.len() as f64 * gpu.power_w(gpu_util);
+        }
+
+        let window_s = match window_start {
+            Some(start) if window_end > start => (window_end - start) as f64 / NS_PER_SEC as f64,
+            _ => span_s,
+        };
+        let qps = completed_measured as f64 / window_s.max(1e-9);
+        SimReport {
+            offered_qps,
+            completed: completed_measured,
+            qps,
+            latency: latency.summary(),
+            gpu_work_fraction: if items_total > 0 {
+                items_gpu as f64 / items_total as f64
+            } else {
+                0.0
+            },
+            cpu_utilization: cpu_util,
+            gpu_utilization: gpu_util,
+            avg_power_w,
+            qps_per_watt: if avg_power_w > 0.0 { qps / avg_power_w } else { 0.0 },
+            window_s,
+            latencies_ms,
+        }
+    }
+
+    fn try_dispatch_cpu(
+        &self,
+        m: usize,
+        now: SimTime,
+        machines: &mut [MachineState],
+        events: &mut EventQueue<Ev>,
+    ) {
+        let mach = &mut machines[m];
+        while mach.cores_busy < mach.cores {
+            let Some(req) = mach.cpu_queue.pop_front() else {
+                break;
+            };
+            mach.cores_busy += 1;
+            let service_us =
+                self.cost
+                    .cpu_request_us(&self.cpus[m], req.batch as usize, mach.cores_busy);
+            events.push(
+                now + us_to_ns(service_us),
+                Ev::CpuDone {
+                    machine: m,
+                    qid: req.qid,
+                },
+            );
+        }
+    }
+
+    fn try_start_gpu(
+        &self,
+        m: usize,
+        now: SimTime,
+        machines: &mut [MachineState],
+        events: &mut EventQueue<Ev>,
+    ) {
+        let mach = &mut machines[m];
+        if mach.gpu_busy {
+            return;
+        }
+        let Some((qid, size)) = mach.gpu_queue.pop_front() else {
+            return;
+        };
+        mach.gpu_busy = true;
+        let gpu = self.cluster.gpu.as_ref().expect("GPU present");
+        let service_us = self
+            .cost
+            .gpu_query_us(&self.cpus[m], gpu, size as usize);
+        events.push(
+            now + us_to_ns(service_us),
+            Ev::GpuDone { machine: m, qid },
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish_part(
+        qid: u64,
+        now: SimTime,
+        queries: &mut HashMap<u64, QueryState>,
+        latency: &mut LatencyRecorder,
+        latencies_ms: &mut Vec<f64>,
+        completed_measured: &mut u64,
+        window_end: &mut SimTime,
+    ) {
+        let state = queries.get_mut(&qid).expect("known query");
+        state.parts_left -= 1;
+        if state.parts_left == 0 && state.measured {
+            let ms = (now - state.arrival_ns) as f64 / 1e6;
+            latency.record_ms(ms);
+            latencies_ms.push(ms);
+            *completed_measured += 1;
+            *window_end = (*window_end).max(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drs_models::zoo;
+    use drs_query::{ArrivalProcess, SizeDistribution};
+
+    fn gen(rate: f64, seed: u64) -> QueryGenerator {
+        QueryGenerator::new(
+            ArrivalProcess::poisson(rate),
+            SizeDistribution::production(),
+            seed,
+        )
+    }
+
+    #[test]
+    fn completes_every_measured_query() {
+        let sim = Simulation::new(
+            &zoo::dlrm_rmc1(),
+            ClusterConfig::single_skylake(),
+            SchedulerPolicy::cpu_only(64),
+        );
+        let opts = RunOptions::queries(1000);
+        let report = sim.run(&mut gen(100.0, 1), opts);
+        assert_eq!(report.completed, 900, "10% warm-up excluded");
+        assert_eq!(report.latencies_ms.len(), 900);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            let sim = Simulation::new(
+                &zoo::ncf(),
+                ClusterConfig::single_skylake(),
+                SchedulerPolicy::cpu_only(128),
+            );
+            sim.run(&mut gen(500.0, 42), RunOptions::queries(800))
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.latency.p95_ms, b.latency.p95_ms);
+        assert_eq!(a.qps, b.qps);
+        assert_eq!(a.latencies_ms, b.latencies_ms);
+    }
+
+    #[test]
+    fn low_load_latency_is_service_time() {
+        // At very low load, no queueing: mean latency ≈ a one-part
+        // service time band.
+        let sim = Simulation::new(
+            &zoo::ncf(),
+            ClusterConfig::single_skylake(),
+            SchedulerPolicy::cpu_only(1024),
+        );
+        let report = sim.run(&mut gen(5.0, 3), RunOptions::queries(300));
+        // NCF service for a ≤1000-item request is well under 10 ms.
+        assert!(report.latency.p95_ms < 10.0, "p95 {}", report.latency.p95_ms);
+        assert!(report.cpu_utilization < 0.1);
+    }
+
+    #[test]
+    fn overload_explodes_latency_but_not_qps() {
+        let sim = Simulation::new(
+            &zoo::dlrm_rmc2(),
+            ClusterConfig::single_skylake(),
+            SchedulerPolicy::cpu_only(64),
+        );
+        let light = sim.run(&mut gen(50.0, 5), RunOptions::queries(1500));
+        let heavy = sim.run(&mut gen(5000.0, 5), RunOptions::queries(1500));
+        assert!(heavy.latency.p95_ms > 10.0 * light.latency.p95_ms);
+        // Sustained QPS saturates at service capacity, far below the
+        // offered 5000.
+        assert!(heavy.qps < 4000.0);
+    }
+
+    #[test]
+    fn throughput_matches_offered_when_underloaded() {
+        let sim = Simulation::new(
+            &zoo::dlrm_rmc1(),
+            ClusterConfig::single_skylake(),
+            SchedulerPolicy::cpu_only(128),
+        );
+        let report = sim.run(&mut gen(200.0, 7), RunOptions::queries(3000));
+        assert!(
+            (report.qps - 200.0).abs() / 200.0 < 0.1,
+            "qps {} vs offered 200",
+            report.qps
+        );
+    }
+
+    #[test]
+    fn more_machines_sustain_more_load() {
+        let policy = SchedulerPolicy::cpu_only(64);
+        let one = Simulation::new(
+            &zoo::dlrm_rmc1(),
+            ClusterConfig::single_skylake(),
+            policy,
+        );
+        let four = Simulation::new(
+            &zoo::dlrm_rmc1(),
+            ClusterConfig::cluster(4, CpuPlatform::skylake(), None),
+            policy,
+        );
+        // Above one machine's knee (~9.5k QPS at batch 64), far below
+        // four machines' aggregate capacity.
+        let load = 12_000.0;
+        let r1 = one.run(&mut gen(load, 11), RunOptions::queries(2000));
+        let r4 = four.run(&mut gen(load, 11), RunOptions::queries(2000));
+        assert!(
+            r4.latency.p95_ms < r1.latency.p95_ms / 2.0,
+            "4 machines p95 {} vs 1 machine {}",
+            r4.latency.p95_ms,
+            r1.latency.p95_ms
+        );
+    }
+
+    #[test]
+    fn gpu_offload_accounts_work_share() {
+        let sim = Simulation::new(
+            &zoo::dlrm_rmc1(),
+            ClusterConfig::skylake_with_gpu(),
+            SchedulerPolicy::with_gpu(64, 150),
+        );
+        let report = sim.run(&mut gen(100.0, 13), RunOptions::queries(1500));
+        assert!(
+            report.gpu_work_fraction > 0.1,
+            "gpu share {}",
+            report.gpu_work_fraction
+        );
+        assert!(report.gpu_work_fraction < 0.9);
+        assert!(report.gpu_utilization > 0.0);
+    }
+
+    #[test]
+    fn gpu_helps_under_heavy_tail_load() {
+        // The core DeepRecSched-GPU effect: offloading big queries
+        // relieves the CPU tail at loads where CPU-only saturates.
+        // Just above the CPU-only knee for RMC1 at batch 64 (~9.5k QPS);
+        // a threshold of 500 sends ~1 % of queries (≈12 % of items) to
+        // the GPU, relieving the CPU tail without saturating the device.
+        let load = 11_000.0;
+        let cpu_only = Simulation::new(
+            &zoo::dlrm_rmc1(),
+            ClusterConfig::single_skylake(),
+            SchedulerPolicy::cpu_only(64),
+        );
+        let with_gpu = Simulation::new(
+            &zoo::dlrm_rmc1(),
+            ClusterConfig::skylake_with_gpu(),
+            SchedulerPolicy::with_gpu(64, 500),
+        );
+        let r_cpu = cpu_only.run(&mut gen(load, 17), RunOptions::queries(2500));
+        let r_gpu = with_gpu.run(&mut gen(load, 17), RunOptions::queries(2500));
+        assert!(
+            r_gpu.latency.p95_ms < r_cpu.latency.p95_ms,
+            "GPU p95 {} vs CPU p95 {}",
+            r_gpu.latency.p95_ms,
+            r_cpu.latency.p95_ms
+        );
+    }
+
+    #[test]
+    fn power_accounting_positive_and_bounded() {
+        let sim = Simulation::new(
+            &zoo::ncf(),
+            ClusterConfig::skylake_with_gpu(),
+            SchedulerPolicy::with_gpu(128, 100),
+        );
+        let report = sim.run(&mut gen(300.0, 19), RunOptions::queries(1000));
+        let cpu = CpuPlatform::skylake();
+        let gpu = GpuPlatform::gtx_1080ti();
+        assert!(report.avg_power_w >= cpu.idle_w + gpu.idle_w - 1e-9);
+        assert!(report.avg_power_w <= cpu.tdp_w + gpu.tdp_w + 1e-9);
+        assert!(report.qps_per_watt > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "GPU the cluster does not have")]
+    fn offload_without_gpu_rejected() {
+        let _ = Simulation::new(
+            &zoo::ncf(),
+            ClusterConfig::single_skylake(),
+            SchedulerPolicy::with_gpu(64, 100),
+        );
+    }
+}
+
+#[cfg(test)]
+mod probe {
+    use super::*;
+    use drs_models::zoo;
+    use drs_query::{ArrivalProcess, SizeDistribution};
+
+    #[test]
+    #[ignore]
+    fn capacity_probe() {
+        for (name, cfg) in [("RMC1", zoo::dlrm_rmc1()), ("RMC2", zoo::dlrm_rmc2()), ("RMC3", zoo::dlrm_rmc3()), ("NCF", zoo::ncf()), ("WND", zoo::wide_and_deep()), ("DIEN", zoo::dien())] {
+            for load in [500.0, 2000.0, 8000.0, 16000.0, 32000.0] {
+                let sim = Simulation::new(&cfg, ClusterConfig::single_skylake(), SchedulerPolicy::cpu_only(64));
+                let mut gen = QueryGenerator::new(ArrivalProcess::poisson(load), SizeDistribution::production(), 7);
+                let r = sim.run(&mut gen, RunOptions::queries(2000));
+                println!("{name} load {load}: qps {:.0} p95 {:.1}ms util {:.2}", r.qps, r.latency.p95_ms, r.cpu_utilization);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod hetero_tests {
+    use super::*;
+    use drs_models::zoo;
+    use drs_query::{ArrivalProcess, SizeDistribution};
+
+    fn gen(rate: f64, seed: u64) -> QueryGenerator {
+        QueryGenerator::new(
+            ArrivalProcess::poisson(rate),
+            SizeDistribution::production(),
+            seed,
+        )
+    }
+
+    fn capacity_proxy(sim: &Simulation, load: f64) -> f64 {
+        let mut g = gen(load, 31);
+        sim.run(&mut g, RunOptions::queries(2000)).qps
+    }
+
+    #[test]
+    fn mixed_fleet_capacity_between_pure_fleets() {
+        // 2 Skylake + 2 Broadwell should sustain throughput between
+        // 4x Broadwell and 4x Skylake under deep saturation.
+        let cfg = zoo::dlrm_rmc1();
+        let policy = SchedulerPolicy::cpu_only(128);
+        let load = 12_000.0; // saturates all three fleets
+        let skl = Simulation::new(
+            &cfg,
+            ClusterConfig::cluster(4, CpuPlatform::skylake(), None),
+            policy,
+        );
+        let bdw = Simulation::new(
+            &cfg,
+            ClusterConfig::cluster(4, CpuPlatform::broadwell(), None),
+            policy,
+        );
+        let mix = Simulation::new_heterogeneous(
+            &cfg,
+            vec![
+                CpuPlatform::skylake(),
+                CpuPlatform::skylake(),
+                CpuPlatform::broadwell(),
+                CpuPlatform::broadwell(),
+            ],
+            None,
+            policy,
+        );
+        let (q_skl, q_bdw, q_mix) = (
+            capacity_proxy(&skl, load),
+            capacity_proxy(&bdw, load),
+            capacity_proxy(&mix, load),
+        );
+        let (lo, hi) = (q_skl.min(q_bdw), q_skl.max(q_bdw));
+        assert!(
+            q_mix > lo * 0.95 && q_mix < hi * 1.05,
+            "mixed fleet {q_mix} outside [{lo}, {hi}]"
+        );
+    }
+
+    #[test]
+    fn hetero_fleet_completes_and_accounts_power() {
+        let cfg = zoo::ncf();
+        let sim = Simulation::new_heterogeneous(
+            &cfg,
+            vec![CpuPlatform::skylake(), CpuPlatform::broadwell()],
+            None,
+            SchedulerPolicy::cpu_only(64),
+        );
+        let r = sim.run(&mut gen(500.0, 9), RunOptions::queries(1000));
+        assert_eq!(r.completed, 900);
+        // Power must be at least both machines idling, at most both at
+        // TDP.
+        let idle = CpuPlatform::skylake().idle_w + CpuPlatform::broadwell().idle_w;
+        let tdp = CpuPlatform::skylake().tdp_w + CpuPlatform::broadwell().tdp_w;
+        assert!(r.avg_power_w >= idle - 1e-9 && r.avg_power_w <= tdp + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "a fleet needs machines")]
+    fn empty_fleet_rejected() {
+        let _ = Simulation::new_heterogeneous(
+            &zoo::ncf(),
+            vec![],
+            None,
+            SchedulerPolicy::cpu_only(64),
+        );
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use drs_models::zoo;
+    use drs_query::trace::Trace;
+    use drs_query::{ArrivalProcess, SizeDistribution};
+
+    #[test]
+    fn trace_replay_matches_generator_run() {
+        // Recording a stream and replaying it must produce the exact
+        // same simulation results as running the stream directly.
+        let cfg = zoo::dlrm_rmc1();
+        let sim = Simulation::new(
+            &cfg,
+            ClusterConfig::single_skylake(),
+            SchedulerPolicy::cpu_only(64),
+        );
+        let mk_gen = || {
+            QueryGenerator::new(
+                ArrivalProcess::poisson(500.0),
+                SizeDistribution::production(),
+                17,
+            )
+        };
+        let direct = sim.run(&mut mk_gen(), RunOptions::queries(800));
+        let trace = Trace::record(mk_gen(), 800);
+        let replayed = sim.run_trace(&trace, RunOptions::queries(800));
+        assert_eq!(direct.completed, replayed.completed);
+        assert_eq!(direct.latency.p95_ms, replayed.latency.p95_ms);
+        assert_eq!(direct.latencies_ms, replayed.latencies_ms);
+    }
+
+    #[test]
+    fn trace_replay_survives_serialization() {
+        let cfg = zoo::ncf();
+        let sim = Simulation::new(
+            &cfg,
+            ClusterConfig::single_skylake(),
+            SchedulerPolicy::cpu_only(128),
+        );
+        let gen = QueryGenerator::new(
+            ArrivalProcess::poisson(2000.0),
+            SizeDistribution::production(),
+            23,
+        );
+        let trace = Trace::record(gen, 500);
+        let mut buf = Vec::new();
+        trace.write(&mut buf).unwrap();
+        let parsed = Trace::read(buf.as_slice()).unwrap();
+        let a = sim.run_trace(&trace, RunOptions::queries(500));
+        let b = sim.run_trace(&parsed, RunOptions::queries(500));
+        // Nanosecond-rounded arrivals: distributions agree tightly.
+        assert_eq!(a.completed, b.completed);
+        assert!((a.latency.p95_ms - b.latency.p95_ms).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_rejected() {
+        let sim = Simulation::new(
+            &zoo::ncf(),
+            ClusterConfig::single_skylake(),
+            SchedulerPolicy::cpu_only(64),
+        );
+        let _ = sim.run_trace(&Trace::from_pairs(&[]), RunOptions::queries(10));
+    }
+}

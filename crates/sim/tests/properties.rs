@@ -1,0 +1,112 @@
+//! Property-based tests for the discrete-event simulator.
+
+use drs_models::zoo;
+use drs_platform::{CpuPlatform, ModelCost};
+use drs_query::{ArrivalProcess, QueryGenerator, SizeDistribution};
+use drs_sim::{ClusterConfig, RunOptions, SchedulerPolicy, Simulation};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Measured-window accounting is self-consistent: completed count,
+    /// raw-latency count, and QPS×window agree.
+    #[test]
+    fn accounting_consistent(batch in 1u32..1024, rate in 20.0f64..20_000.0, seed in 0u64..500) {
+        let sim = Simulation::new(
+            &zoo::ncf(),
+            ClusterConfig::single_skylake(),
+            SchedulerPolicy::cpu_only(batch),
+        );
+        let mut gen = QueryGenerator::new(
+            ArrivalProcess::poisson(rate),
+            SizeDistribution::production(),
+            seed,
+        );
+        let r = sim.run(&mut gen, RunOptions::queries(400));
+        prop_assert_eq!(r.completed, 360); // 10% warm-up
+        prop_assert_eq!(r.latencies_ms.len(), 360);
+        let implied = r.qps * r.window_s;
+        prop_assert!((implied - 360.0).abs() < 1.0, "qps x window = {implied}");
+    }
+
+    /// No simulated query ever finishes faster than one request's
+    /// un-contended service time (physics: queueing adds, never
+    /// subtracts).
+    #[test]
+    fn latency_bounded_below_by_service(batch in 8u32..512, seed in 0u64..200) {
+        let cfg = zoo::dlrm_rmc1();
+        let cost = ModelCost::new(&cfg);
+        let cpu = CpuPlatform::skylake();
+        // The fastest possible part: one item, no contention.
+        let floor_ms = cost.cpu_request_us(&cpu, 1, 1) / 1e3;
+        let sim = Simulation::new(
+            &cfg,
+            ClusterConfig::single_skylake(),
+            SchedulerPolicy::cpu_only(batch),
+        );
+        let mut gen = QueryGenerator::new(
+            ArrivalProcess::poisson(100.0),
+            SizeDistribution::production(),
+            seed,
+        );
+        let r = sim.run(&mut gen, RunOptions::queries(300));
+        prop_assert!(
+            r.latency.min_ms >= floor_ms * 0.99,
+            "min latency {} below service floor {floor_ms}",
+            r.latency.min_ms
+        );
+    }
+
+    /// Utilization and work shares stay in [0, 1]; power stays between
+    /// fleet idle and fleet TDP.
+    #[test]
+    fn physical_quantities_bounded(machines in 1usize..6, rate in 100.0f64..30_000.0, thr in 0u32..1000) {
+        let cluster = ClusterConfig::cluster(machines, CpuPlatform::skylake(), Some(drs_platform::GpuPlatform::gtx_1080ti()));
+        let sim = Simulation::new(
+            &zoo::dlrm_rmc3(),
+            cluster,
+            SchedulerPolicy::with_gpu(64, thr),
+        );
+        let mut gen = QueryGenerator::new(
+            ArrivalProcess::poisson(rate),
+            SizeDistribution::production(),
+            7,
+        );
+        let r = sim.run(&mut gen, RunOptions::queries(500));
+        prop_assert!((0.0..=1.0).contains(&r.cpu_utilization));
+        prop_assert!((0.0..=1.0).contains(&r.gpu_utilization));
+        prop_assert!((0.0..=1.0).contains(&r.gpu_work_fraction));
+        let m = machines as f64;
+        let idle = m * (CpuPlatform::skylake().idle_w + 55.0);
+        let tdp = m * (CpuPlatform::skylake().tdp_w + 250.0);
+        prop_assert!(r.avg_power_w >= idle - 1e-6 && r.avg_power_w <= tdp + 1e-6,
+                     "power {} outside [{idle}, {tdp}]", r.avg_power_w);
+    }
+
+    /// Raising the offload threshold monotonically lowers the GPU work
+    /// share (same workload, same seed).
+    #[test]
+    fn gpu_share_monotone_in_threshold(seed in 0u64..100) {
+        let mut prev_share = f64::INFINITY;
+        for thr in [0u32, 100, 400, 1000] {
+            let sim = Simulation::new(
+                &zoo::dlrm_rmc1(),
+                ClusterConfig::skylake_with_gpu(),
+                SchedulerPolicy::with_gpu(64, thr),
+            );
+            let mut gen = QueryGenerator::new(
+                ArrivalProcess::poisson(200.0),
+                SizeDistribution::production(),
+                seed,
+            );
+            let r = sim.run(&mut gen, RunOptions::queries(400));
+            prop_assert!(
+                r.gpu_work_fraction <= prev_share + 1e-12,
+                "share rose at threshold {thr}"
+            );
+            prev_share = r.gpu_work_fraction;
+        }
+        prop_assert_eq!(prev_share, 0.0, "threshold 1000 must offload nothing");
+    }
+}

@@ -1,0 +1,31 @@
+//! Minimal dense f32 tensor kernels for the DeepRecSys reproduction.
+//!
+//! The paper's models run on Caffe2 with Intel MKL as the CPU backend.
+//! This crate is our from-scratch substitute: just enough dense linear
+//! algebra to execute the eight recommendation models *for real* in
+//! `drs-engine` — a row-major [`Matrix`] with a cache-friendly GEMM,
+//! fused bias+activation, and the vector helpers the attention and GRU
+//! operators need.
+//!
+//! Performance is deliberately "good naive" (ikj loop order, streaming
+//! writes): the reproduction's claims rest on *relative* operator costs,
+//! which this preserves, not on matching MKL's absolute GFLOP/s.
+//!
+//! # Examples
+//!
+//! ```
+//! use drs_tensor::Matrix;
+//!
+//! let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+//! let b = Matrix::identity(3);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.as_slice(), a.as_slice());
+//! ```
+
+#![warn(missing_docs)]
+
+mod matrix;
+mod ops;
+
+pub use matrix::Matrix;
+pub use ops::{add_scaled, dot, softmax_in_place, Activation};

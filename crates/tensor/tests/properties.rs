@@ -1,0 +1,88 @@
+//! Property-based tests for the tensor kernels.
+
+use drs_tensor::{dot, softmax_in_place, Activation, Matrix};
+use proptest::prelude::*;
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    /// (A + B) × C == A×C + B×C — GEMM distributes over addition.
+    #[test]
+    fn matmul_distributive(a in small_matrix(3, 4), b in small_matrix(3, 4), c in small_matrix(4, 2)) {
+        let left = Matrix::sum_elementwise(&[&a, &b]).matmul(&c);
+        let right = Matrix::sum_elementwise(&[&a.matmul(&c), &b.matmul(&c)]);
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// Multiplying by the identity preserves the matrix.
+    #[test]
+    fn matmul_identity_right(a in small_matrix(4, 5)) {
+        let c = a.matmul(&Matrix::identity(5));
+        for (x, y) in c.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    /// Transposition is an involution and swaps shape.
+    #[test]
+    fn transpose_involution(a in small_matrix(3, 7)) {
+        let t = a.transposed();
+        prop_assert_eq!(t.rows(), 7);
+        prop_assert_eq!(t.cols(), 3);
+        prop_assert_eq!(t.transposed(), a);
+    }
+
+    /// dot(a, b) == dot(b, a) and dot(a, a) >= 0.
+    #[test]
+    fn dot_symmetric_nonneg(v in prop::collection::vec(-100.0f32..100.0, 0..64),
+                            w in prop::collection::vec(-100.0f32..100.0, 0..64)) {
+        let n = v.len().min(w.len());
+        let (a, b) = (&v[..n], &w[..n]);
+        prop_assert!((dot(a, b) - dot(b, a)).abs() < 1e-2);
+        prop_assert!(dot(a, a) >= 0.0);
+    }
+
+    /// Softmax outputs a probability vector for any finite input.
+    #[test]
+    fn softmax_is_distribution(mut v in prop::collection::vec(-50.0f32..50.0, 1..64)) {
+        softmax_in_place(&mut v);
+        let sum: f32 = v.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4, "sum {sum}");
+        prop_assert!(v.iter().all(|x| (0.0..=1.0).contains(x)));
+    }
+
+    /// ReLU output is non-negative and idempotent.
+    #[test]
+    fn relu_idempotent(mut v in prop::collection::vec(-10.0f32..10.0, 0..64)) {
+        Activation::Relu.apply_slice(&mut v);
+        prop_assert!(v.iter().all(|x| *x >= 0.0));
+        let once = v.clone();
+        Activation::Relu.apply_slice(&mut v);
+        prop_assert_eq!(v, once);
+    }
+
+    /// concat_cols preserves every element and total width.
+    #[test]
+    fn concat_preserves(a in small_matrix(2, 3), b in small_matrix(2, 4)) {
+        let c = Matrix::concat_cols(&[&a, &b]);
+        prop_assert_eq!(c.cols(), 7);
+        for r in 0..2 {
+            prop_assert_eq!(&c.row(r)[..3], a.row(r));
+            prop_assert_eq!(&c.row(r)[3..], b.row(r));
+        }
+    }
+
+    /// `linear` with identity weights and zero bias is the activation alone.
+    #[test]
+    fn linear_reduces_to_activation(a in small_matrix(3, 4)) {
+        let out = a.linear(&Matrix::identity(4), &[0.0; 4], Activation::Relu);
+        for (x, y) in out.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - y.max(0.0)).abs() < 1e-6);
+        }
+    }
+}

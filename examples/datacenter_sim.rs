@@ -1,0 +1,65 @@
+//! Simulate a small datacenter: eight Skylake machines serving DLRM-RMC2
+//! under a diurnal production-like load, comparing the static baseline
+//! against a DeepRecSched-tuned batch size over a full (virtual) day.
+//!
+//! Run with: `cargo run --release --example datacenter_sim`
+
+use deeprecsys::prelude::*;
+use deeprecsys::table::{fmt3, TextTable};
+
+fn main() {
+    let cfg = zoo::dlrm_rmc2();
+    let machines = 8;
+    let cluster = ClusterConfig::cluster(machines, CpuPlatform::skylake(), None);
+
+    // Offered load: ~70% of the cluster's tuned capacity, swinging ±35%
+    // over a (scaled-down) day so the peak stresses the tail.
+    let base_qps = 12_000.0;
+    let day_s = 240.0; // a "day" compressed into 4 virtual minutes
+    let queries = 60_000;
+
+    println!("# Datacenter simulation: {} on {machines} Skylake machines", cfg.name);
+    println!("diurnal Poisson load: {base_qps} QPS +/- 35% over a {day_s}s cycle\n");
+
+    let mut t = TextTable::new(vec![
+        "policy",
+        "batch",
+        "p50 ms",
+        "p95 ms",
+        "p99 ms",
+        "QPS",
+        "CPU util",
+        "QPS/W",
+    ]);
+
+    let tuned = DeepRecSched::new(SearchOptions::quick())
+        .tune_cpu(&cfg, cluster, SlaTier::Medium.sla_ms(&cfg));
+
+    for (label, policy) in [
+        ("static baseline", SchedulerPolicy::static_baseline(40)),
+        ("DeepRecSched", tuned.policy),
+    ] {
+        let sim = Simulation::new(&cfg, cluster, policy);
+        let mut gen = QueryGenerator::new(
+            ArrivalProcess::diurnal(base_qps, 0.35, day_s),
+            SizeDistribution::production(),
+            2024,
+        );
+        let r = sim.run(&mut gen, RunOptions::queries(queries));
+        t.row(vec![
+            label.to_string(),
+            policy.max_batch.to_string(),
+            fmt3(r.latency.p50_ms),
+            fmt3(r.latency.p95_ms),
+            fmt3(r.latency.p99_ms),
+            fmt3(r.qps),
+            format!("{:.0}%", r.cpu_utilization * 100.0),
+            fmt3(r.qps_per_watt),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "The tuned batch size cuts the diurnal-peak tail latency — the same\n\
+         effect the paper measured on hundreds of production machines (Fig. 13)."
+    );
+}

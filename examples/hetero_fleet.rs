@@ -1,0 +1,74 @@
+//! Extension beyond the paper's evaluation: a *mixed* Broadwell +
+//! Skylake fleet (Section IV-A notes production datacenters run both)
+//! served by a single DeepRecSched policy, compared against pure fleets
+//! of either platform.
+//!
+//! Run with: `cargo run --release --example hetero_fleet`
+
+use deeprecsys::prelude::*;
+use deeprecsys::table::{fmt3, TextTable};
+
+fn main() {
+    let cfg = zoo::dlrm_rmc1();
+    let sla = SlaTier::Medium.sla_ms(&cfg);
+    let load = 6_000.0;
+    let queries = 20_000;
+
+    println!("# Mixed-platform fleet: {} @ {sla} ms p95 target", cfg.name);
+    println!("offered load {load} QPS across 8 machines\n");
+
+    let fleets: Vec<(&str, Vec<CpuPlatform>)> = vec![
+        ("8x Skylake", vec![CpuPlatform::skylake(); 8]),
+        ("8x Broadwell", vec![CpuPlatform::broadwell(); 8]),
+        (
+            "4x Skylake + 4x Broadwell",
+            (0..8)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        CpuPlatform::skylake()
+                    } else {
+                        CpuPlatform::broadwell()
+                    }
+                })
+                .collect(),
+        ),
+    ];
+
+    let tuned = DeepRecSched::new(SearchOptions::quick())
+        .tune_cpu(&cfg, ClusterConfig::cluster(8, CpuPlatform::skylake(), None), sla)
+        .policy;
+
+    let mut t = TextTable::new(vec![
+        "fleet",
+        "p50 ms",
+        "p95 ms",
+        "meets SLA",
+        "QPS",
+        "avg power W",
+        "QPS/W",
+    ]);
+    for (label, cpus) in fleets {
+        let sim = Simulation::new_heterogeneous(&cfg, cpus, None, tuned);
+        let mut gen = QueryGenerator::new(
+            ArrivalProcess::poisson(load),
+            SizeDistribution::production(),
+            77,
+        );
+        let r = sim.run(&mut gen, RunOptions::queries(queries));
+        t.row(vec![
+            label.to_string(),
+            fmt3(r.latency.p50_ms),
+            fmt3(r.latency.p95_ms),
+            if r.latency.p95_ms <= sla { "yes".into() } else { "no".into() },
+            fmt3(r.qps),
+            fmt3(r.avg_power_w),
+            fmt3(r.qps_per_watt),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "Least-outstanding dispatch lets the faster Skylake nodes absorb more\n\
+         of the load, so the mixed fleet lands between the pure fleets on both\n\
+         tail latency and power efficiency."
+    );
+}

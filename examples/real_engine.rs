@@ -1,0 +1,76 @@
+//! Serve a production-shaped query stream on the *real* multi-threaded
+//! inference engine (actual forward passes on your CPU) and print the
+//! measured throughput, latency distribution, and per-operator time
+//! breakdown — a live miniature of Figures 3 and 8.
+//!
+//! Run with: `cargo run --release --example real_engine [model] [workers]`
+//! (defaults: DIEN, 4 workers)
+
+use deeprecsys::prelude::*;
+use deeprecsys::table::{fmt3, TextTable};
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "DIEN".into());
+    let workers: usize = std::env::args()
+        .nth(2)
+        .and_then(|w| w.parse().ok())
+        .unwrap_or(4);
+    let cfg = zoo::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown model {name}");
+        std::process::exit(1);
+    });
+
+    // Laptop-scale weights (tables capped; access pattern preserved).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let model = Arc::new(RecModel::instantiate(
+        &cfg,
+        ModelScale::default_scale(),
+        &mut rng,
+    ));
+    println!(
+        "# Real engine: {} | {} workers | {} MB of embeddings instantiated",
+        cfg.name,
+        workers,
+        model.embedding_bytes() / (1 << 20)
+    );
+
+    // A production-shaped burst of queries.
+    let mut qgen = QueryGenerator::new(
+        ArrivalProcess::poisson(1000.0),
+        SizeDistribution::production(),
+        11,
+    );
+    let sizes: Vec<u32> = (&mut qgen).take(64).map(|q| q.size).collect();
+    let total_items: u64 = sizes.iter().map(|&s| s as u64).sum();
+    println!(
+        "serving {} queries ({} items, max query {})\n",
+        sizes.len(),
+        total_items,
+        sizes.iter().max().unwrap()
+    );
+
+    let report = serve_closed_loop(
+        Arc::clone(&model),
+        &sizes,
+        ServeOptions::new(workers, 64, 3),
+    );
+
+    println!("throughput: {:.1} queries/s | {:.0} items/s", report.qps, report.items_per_s);
+    println!(
+        "latency: p50 {} ms | p95 {} ms | max {} ms\n",
+        fmt3(report.latency.p50_ms),
+        fmt3(report.latency.p95_ms),
+        fmt3(report.latency.max_ms)
+    );
+
+    let mut t = TextTable::new(vec!["operator", "share of execution time"]);
+    let fr = report.profile.fractions();
+    for (kind, share) in OpKind::ALL.iter().zip(fr) {
+        t.row(vec![kind.to_string(), format!("{:.1}%", share * 100.0)]);
+    }
+    println!("## Operator breakdown (Figure 3 view)\n\n{t}");
+    let (dom, share) = report.profile.dominant().expect("profiled");
+    println!("bottleneck: {dom} ({:.0}%) — paper says \"{}\"", share * 100.0, cfg.paper_bottleneck);
+}

@@ -1,0 +1,66 @@
+//! Watch DeepRecSched hill-climb: batch-size phase on the CPU, then the
+//! GPU query-size threshold phase, with the full trajectory printed.
+//!
+//! Run with: `cargo run --release --example tune_scheduler [model]`
+//! (default model: DLRM-RMC1)
+
+use deeprecsys::prelude::*;
+use deeprecsys::table::{fmt3, TextTable};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "DLRM-RMC1".into());
+    let cfg = zoo::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown model {name}; known: {:?}", zoo::all().iter().map(|m| m.name).collect::<Vec<_>>());
+        std::process::exit(1);
+    });
+    let sla = SlaTier::Medium.sla_ms(&cfg);
+    let opts = SearchOptions::quick();
+    let sched = DeepRecSched::new(opts);
+
+    println!("# DeepRecSched tuning {} (p95 SLA {} ms)\n", cfg.name, sla);
+
+    // Phase 1: batch size on CPU only.
+    let cpu = sched.tune_cpu(&cfg, ClusterConfig::single_skylake(), sla);
+    let mut t = TextTable::new(vec!["batch size", "max QPS under SLA"]);
+    for &(b, q) in &cpu.trajectory {
+        let marker = if b == cpu.policy.max_batch { " <= chosen" } else { "" };
+        t.row(vec![b.to_string(), format!("{}{marker}", fmt3(q))]);
+    }
+    println!("## Phase 1: request- vs batch-parallelism (hill climb)\n\n{t}");
+
+    // Phase 2: GPU query-size threshold.
+    let gpu = sched.tune_gpu(
+        &cfg,
+        ClusterConfig::skylake_with_gpu(),
+        sla,
+        cpu.policy.max_batch,
+    );
+    let mut t = TextTable::new(vec!["GPU threshold", "max QPS under SLA"]);
+    for &(th, q) in &gpu.trajectory {
+        let marker = if Some(th) == gpu.policy.gpu_threshold { " <= chosen" } else { "" };
+        t.row(vec![th.to_string(), format!("{}{marker}", fmt3(q))]);
+    }
+    println!("## Phase 2: accelerator offload threshold (hill climb)\n\n{t}");
+
+    let baseline = max_qps_under_sla(
+        &cfg,
+        ClusterConfig::single_skylake(),
+        SchedulerPolicy::static_baseline(40),
+        sla,
+        &opts,
+    );
+    println!("## Summary\n");
+    println!("- static baseline (batch 25):       {:>8} QPS", fmt3(baseline.max_qps));
+    println!(
+        "- DeepRecSched-CPU (batch {:>4}):    {:>8} QPS ({:.2}x)",
+        cpu.policy.max_batch,
+        fmt3(cpu.qps),
+        cpu.qps / baseline.max_qps.max(1e-9)
+    );
+    println!(
+        "- DeepRecSched-GPU (thresh {:>4}):   {:>8} QPS ({:.2}x)",
+        gpu.policy.gpu_threshold.unwrap_or(0),
+        fmt3(gpu.qps),
+        gpu.qps / baseline.max_qps.max(1e-9)
+    );
+}

@@ -1,0 +1,3 @@
+//! Root umbrella for the DeepRecSys reproduction; see the `deeprecsys` crate docs.
+#![warn(missing_docs)]
+pub use deeprecsys::prelude;

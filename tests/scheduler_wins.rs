@@ -1,0 +1,71 @@
+//! Integration: the paper's headline claims hold end to end in the
+//! simulator — DeepRecSched beats the static baseline, and the GPU path
+//! beats CPU-only.
+
+use deeprecsys::prelude::*;
+
+fn quick() -> SearchOptions {
+    SearchOptions::quick()
+}
+
+#[test]
+fn deeprecsched_cpu_beats_static_baseline_across_model_classes() {
+    // One representative per bottleneck class (full 8-model sweep lives
+    // in the fig11 experiment binary).
+    for cfg in [zoo::dlrm_rmc1(), zoo::dlrm_rmc3(), zoo::dien()] {
+        let infra = DeepRecInfra::new(cfg.clone());
+        let sla = SlaTier::Medium.sla_ms(&cfg);
+        let baseline = infra.max_qps(infra.baseline_policy(), sla, &quick());
+        let tuned = infra.tune(sla, &quick());
+        assert!(
+            tuned.qps >= baseline.max_qps,
+            "{}: tuned {} < baseline {}",
+            cfg.name,
+            tuned.qps,
+            baseline.max_qps
+        );
+    }
+}
+
+#[test]
+fn gpu_offload_improves_over_cpu_only_for_rmc1() {
+    let cfg = zoo::dlrm_rmc1();
+    let sla = SlaTier::Medium.sla_ms(&cfg);
+    let cpu_infra = DeepRecInfra::new(cfg.clone());
+    let gpu_infra = DeepRecInfra::new(cfg.clone()).with_cluster(ClusterConfig::skylake_with_gpu());
+    let cpu = cpu_infra.tune(sla, &quick());
+    let gpu = gpu_infra.tune(sla, &quick());
+    assert!(
+        gpu.qps >= cpu.qps,
+        "GPU tune {} < CPU tune {}",
+        gpu.qps,
+        cpu.qps
+    );
+}
+
+#[test]
+fn tuned_batch_size_responds_to_sla_tier() {
+    // Figure 9 / 12a: tighter SLAs push the optimum toward smaller
+    // batches (more request-level parallelism). Allow equality — the
+    // coarse quick ladder can land on the same rung.
+    let cfg = zoo::dlrm_rmc3();
+    let infra = DeepRecInfra::new(cfg.clone());
+    let low = infra.tune(SlaTier::Low.sla_ms(&cfg), &quick());
+    let high = infra.tune(SlaTier::High.sla_ms(&cfg), &quick());
+    assert!(
+        low.policy.max_batch <= high.policy.max_batch,
+        "low-SLA batch {} > high-SLA batch {}",
+        low.policy.max_batch,
+        high.policy.max_batch
+    );
+}
+
+#[test]
+fn results_are_reproducible() {
+    let cfg = zoo::ncf();
+    let infra = DeepRecInfra::new(cfg.clone());
+    let a = infra.tune(5.0, &quick());
+    let b = infra.tune(5.0, &quick());
+    assert_eq!(a.policy, b.policy);
+    assert_eq!(a.qps, b.qps);
+}

@@ -1,0 +1,65 @@
+//! Integration: every Table-I model runs end to end through the real
+//! engine and produces valid CTRs.
+
+use deeprecsys::prelude::*;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+#[test]
+fn all_models_serve_on_the_real_engine() {
+    for cfg in zoo::all() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let model = Arc::new(RecModel::instantiate(&cfg, ModelScale::tiny(), &mut rng));
+        let sizes = [1u32, 17, 40];
+        let report = serve_closed_loop(Arc::clone(&model), &sizes, ServeOptions::new(2, 16, 5));
+        assert_eq!(report.latency.count, sizes.len(), "{}", cfg.name);
+        assert!(report.qps > 0.0, "{}", cfg.name);
+        assert!(report.profile.total().as_nanos() > 0, "{}", cfg.name);
+    }
+}
+
+#[test]
+fn measured_bottleneck_matches_paper_for_extreme_models() {
+    // At realistic (default) scale the measured operator mix should
+    // reproduce Table II for the clearest-cut models. We use DIEN
+    // (recurrent-dominated) and WND (MLP-dominated): their dominance is
+    // structural, not a close call.
+    use deeprecsys::engine::profile_operators;
+    use deeprecsys::models::characterize::classify_bottleneck;
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let dien = RecModel::instantiate(&zoo::dien(), ModelScale::tiny(), &mut rng);
+    let prof = profile_operators(&dien, 64, 2, 3);
+    assert_eq!(
+        classify_bottleneck(&prof.fractions()),
+        "Attention-based GRU dominated"
+    );
+
+    let wnd = RecModel::instantiate(&zoo::wide_and_deep(), ModelScale::tiny(), &mut rng);
+    let prof = profile_operators(&wnd, 64, 2, 3);
+    assert_eq!(classify_bottleneck(&prof.fractions()), "MLP dominated");
+}
+
+#[test]
+fn batch_scaling_monotone_on_real_hardware() {
+    // Real measured latency grows with batch; per-item latency shrinks —
+    // the same shape the analytic cost model encodes. This ties the
+    // simulator's assumptions back to physical execution.
+    use deeprecsys::engine::measure_batch_latency;
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let model = RecModel::instantiate(&zoo::dlrm_rmc1(), ModelScale::tiny(), &mut rng);
+    let med = |batch: usize| {
+        let mut v = measure_batch_latency(&model, batch, 7, 9);
+        v.sort();
+        v[v.len() / 2].as_secs_f64()
+    };
+    let t1 = med(1);
+    let t64 = med(64);
+    assert!(t64 > t1, "batch 64 {t64} vs batch 1 {t1}");
+    assert!(
+        t64 / 64.0 < t1,
+        "per-item cost should amortize: {} vs {t1}",
+        t64 / 64.0
+    );
+}
