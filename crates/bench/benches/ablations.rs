@@ -44,9 +44,18 @@ fn print_ablation_summary() {
         let a2 = tuned(wide_bw);
 
         println!("\n=== cost-model ablations (DLRM-RMC1, 100 ms SLA) ===");
-        println!("full model:        optimal batch {:4}, {:.0} QPS", base.0, base.1);
-        println!("no request ovhd:   optimal batch {:4}, {:.0} QPS", a1.0, a1.1);
-        println!("infinite DRAM bw:  optimal batch {:4}, {:.0} QPS", a2.0, a2.1);
+        println!(
+            "full model:        optimal batch {:4}, {:.0} QPS",
+            base.0, base.1
+        );
+        println!(
+            "no request ovhd:   optimal batch {:4}, {:.0} QPS",
+            a1.0, a1.1
+        );
+        println!(
+            "infinite DRAM bw:  optimal batch {:4}, {:.0} QPS",
+            a2.0, a2.1
+        );
         println!("====================================================\n");
     });
 }

@@ -8,7 +8,12 @@ use rand::SeedableRng;
 
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm");
-    for &(m, k, n) in &[(16usize, 256usize, 256usize), (64, 256, 256), (64, 1640, 1024), (256, 512, 128)] {
+    for &(m, k, n) in &[
+        (16usize, 256usize, 256usize),
+        (64, 256, 256),
+        (64, 1640, 1024),
+        (256, 512, 128),
+    ] {
         let mut rng = StdRng::seed_from_u64(1);
         let a = Matrix::xavier_uniform(m, k, &mut rng);
         let b = Matrix::xavier_uniform(k, n, &mut rng);

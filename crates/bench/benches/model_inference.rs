@@ -19,16 +19,12 @@ fn bench_models(c: &mut Criterion) {
         for &batch in &[1usize, 16, 64] {
             let inputs = model.generate_inputs(batch, &mut rng);
             group.throughput(Throughput::Elements(batch as u64));
-            group.bench_with_input(
-                BenchmarkId::new(cfg.name, batch),
-                &batch,
-                |bch, _| {
-                    bch.iter(|| {
-                        let mut prof = OpProfiler::new();
-                        model.forward(&inputs, &mut prof)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(cfg.name, batch), &batch, |bch, _| {
+                bch.iter(|| {
+                    let mut prof = OpProfiler::new();
+                    model.forward(&inputs, &mut prof)
+                })
+            });
         }
     }
     group.finish();

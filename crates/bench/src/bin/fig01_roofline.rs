@@ -37,7 +37,11 @@ fn main() {
             fmt3(ch.arithmetic_intensity(1)),
             fmt3(ai),
             fmt3(att),
-            if att < peak { "memory".into() } else { "compute".into() },
+            if att < peak {
+                "memory".into()
+            } else {
+                "compute".into()
+            },
         ]);
     }
     for (name, ai, _gflops) in reference_points() {
@@ -47,7 +51,11 @@ fn main() {
             fmt3(ai),
             fmt3(ai),
             fmt3(att),
-            if att < peak { "memory".into() } else { "compute".into() },
+            if att < peak {
+                "memory".into()
+            } else {
+                "compute".into()
+            },
         ]);
     }
     println!("{t}");

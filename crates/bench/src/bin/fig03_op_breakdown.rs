@@ -17,12 +17,12 @@ fn main() {
 
     // --full uses realistically sized tables (DRAM-resident gathers);
     // quick mode keeps tables tiny so the sweep finishes in seconds.
-    let scale = if opts.full {
+    let scale = if opts.full() {
         ModelScale::default_scale()
     } else {
         ModelScale::tiny()
     };
-    let iters = if opts.full { 5 } else { 2 };
+    let iters = opts.pick(5, 2, 1);
 
     let mut t = TextTable::new(vec![
         "model",

@@ -16,7 +16,7 @@ fn main() {
         &opts,
     );
 
-    let n = if opts.full { 1_000_000 } else { 100_000 };
+    let n = opts.pick(1_000_000, 100_000, 5_000);
     let dists = [
         SizeDistribution::production(),
         SizeDistribution::lognormal_matched(),

@@ -15,7 +15,7 @@ fn main() {
         &opts,
     );
 
-    let n = if opts.full { 50_000 } else { 10_000 };
+    let n = opts.pick(50_000, 10_000, 2_000);
     let cpu = CpuPlatform::skylake();
     let gpu = GpuPlatform::gtx_1080ti();
 

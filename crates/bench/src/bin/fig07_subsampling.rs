@@ -6,7 +6,13 @@ use deeprecsys::prelude::*;
 use deeprecsys::table::{fmt3, TextTable};
 use drs_metrics::Histogram;
 
-fn run_cluster(cfg: &ModelConfig, machines: usize, per_machine_qps: f64, n: usize, seed: u64) -> Vec<f64> {
+fn run_cluster(
+    cfg: &ModelConfig,
+    machines: usize,
+    per_machine_qps: f64,
+    n: usize,
+    seed: u64,
+) -> Vec<f64> {
     let cluster = ClusterConfig::cluster(machines, CpuPlatform::skylake(), None);
     let sim = Simulation::new(cfg, cluster, SchedulerPolicy::cpu_only(64));
     let mut gen = QueryGenerator::new(
@@ -28,7 +34,7 @@ fn main() {
 
     let (dc_machines, few_machines) = (100usize, 4usize);
     let per_machine_qps = 600.0;
-    let n_dc = if opts.full { 100_000 } else { 20_000 };
+    let n_dc = opts.pick(100_000, 20_000, 4_000);
     let n_few = n_dc / (dc_machines / few_machines);
 
     let mut t = TextTable::new(vec![
@@ -40,7 +46,13 @@ fn main() {
     ]);
     for cfg in [zoo::dlrm_rmc1(), zoo::dlrm_rmc3()] {
         let dc = run_cluster(&cfg, dc_machines, per_machine_qps, n_dc, opts.search.seed);
-        let few = run_cluster(&cfg, few_machines, per_machine_qps, n_few.max(2_000), opts.search.seed + 1);
+        let few = run_cluster(
+            &cfg,
+            few_machines,
+            per_machine_qps,
+            n_few.max(2_000),
+            opts.search.seed + 1,
+        );
 
         let mut h_dc = Histogram::new(0.05, 10_000.0, 96);
         let mut h_few = Histogram::new(0.05, 10_000.0, 96);

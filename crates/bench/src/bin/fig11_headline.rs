@@ -19,10 +19,22 @@ fn main() {
     );
 
     let mut qps_table = TextTable::new(vec![
-        "model", "tier", "baseline QPS", "DRS-CPU QPS", "DRS-CPU x", "DRS-GPU QPS", "DRS-GPU x",
+        "model",
+        "tier",
+        "baseline QPS",
+        "DRS-CPU QPS",
+        "DRS-CPU x",
+        "DRS-GPU QPS",
+        "DRS-GPU x",
     ]);
     let mut power_table = TextTable::new(vec![
-        "model", "tier", "baseline QPS/W", "DRS-CPU QPS/W", "x", "DRS-GPU QPS/W", "x",
+        "model",
+        "tier",
+        "baseline QPS/W",
+        "DRS-CPU QPS/W",
+        "x",
+        "DRS-GPU QPS/W",
+        "x",
     ]);
     let mut cpu_gains: Vec<f64> = Vec::new();
     let mut gpu_gains: Vec<f64> = Vec::new();
@@ -114,8 +126,20 @@ fn main() {
     println!("## (bottom) power efficiency\n\n{power_table}");
     let g = |v: &[f64]| geomean(v).unwrap_or(f64::NAN);
     println!("## GeoMean across models and tiers\n");
-    println!("- DRS-CPU QPS gain:   {:.2}x (paper: 1.7-2.7x)", g(&cpu_gains));
-    println!("- DRS-GPU QPS gain:   {:.2}x (paper: 4.0-5.8x)", g(&gpu_gains));
-    println!("- DRS-CPU QPS/W gain: {:.2}x (paper: 1.7-2.7x)", g(&cpu_pgains));
-    println!("- DRS-GPU QPS/W gain: {:.2}x (paper: 2.0-2.9x)", g(&gpu_pgains));
+    println!(
+        "- DRS-CPU QPS gain:   {:.2}x (paper: 1.7-2.7x)",
+        g(&cpu_gains)
+    );
+    println!(
+        "- DRS-GPU QPS gain:   {:.2}x (paper: 4.0-5.8x)",
+        g(&gpu_gains)
+    );
+    println!(
+        "- DRS-CPU QPS/W gain: {:.2}x (paper: 1.7-2.7x)",
+        g(&cpu_pgains)
+    );
+    println!(
+        "- DRS-GPU QPS/W gain: {:.2}x (paper: 2.0-2.9x)",
+        g(&gpu_pgains)
+    );
 }

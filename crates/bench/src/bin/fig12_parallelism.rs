@@ -46,8 +46,11 @@ fn main() {
     for tier in SlaTier::ALL {
         let sla = tier.sla_ms(&cfg);
         let prod_opts = opts.search;
-        let logn_opts = opts.search.with_size_dist(SizeDistribution::lognormal_matched());
-        let (b_prod, q_prod) = optimal_batch(&cfg, ClusterConfig::single_skylake(), sla, &prod_opts);
+        let logn_opts = opts
+            .search
+            .with_size_dist(SizeDistribution::lognormal_matched());
+        let (b_prod, q_prod) =
+            optimal_batch(&cfg, ClusterConfig::single_skylake(), sla, &prod_opts);
         let (b_logn, _) = optimal_batch(&cfg, ClusterConfig::single_skylake(), sla, &logn_opts);
         // Apply the lognormal-optimal batch to production traffic — the
         // paper's 1.2-1.7x degradation experiment.
@@ -58,7 +61,11 @@ fn main() {
             sla,
             &prod_opts,
         );
-        let penalty = if cross.max_qps > 0.0 { q_prod / cross.max_qps } else { f64::NAN };
+        let penalty = if cross.max_qps > 0.0 {
+            q_prod / cross.max_qps
+        } else {
+            f64::NAN
+        };
         t.row(vec![
             format!("{tier} ({sla} ms)"),
             b_prod.to_string(),

@@ -3,8 +3,8 @@
 //! hours, comparing tail latency under the fixed production batch size
 //! against the DeepRecSched-tuned batch size.
 
-use deeprecsys::prelude::*;
 use deeprecsys::metrics as drs_metrics;
+use deeprecsys::prelude::*;
 use deeprecsys::table::{fmt3, TextTable};
 
 fn main() {
@@ -22,8 +22,8 @@ fn main() {
     // a Skylake cluster.
     let machines = 20;
     let cluster = ClusterConfig::cluster(machines, CpuPlatform::skylake(), None);
-    let day_s = if opts.full { 86_400.0 } else { 600.0 };
-    let queries = if opts.full { 2_000_000 } else { 80_000 };
+    let day_s = opts.pick(86_400.0, 600.0, 60.0);
+    let queries = opts.pick(2_000_000, 80_000, 4_000);
 
     let mut all_base = LatencyRecorder::new();
     let mut all_tuned = LatencyRecorder::new();
@@ -72,16 +72,22 @@ fn main() {
         t.row(vec![
             cfg.name.to_string(),
             fmt3(base_qps),
-            format!("{}/{}", fmt3(base.latency.p95_ms), fmt3(base.latency.p99_ms)),
-            format!("{}/{}", fmt3(tuned.latency.p95_ms), fmt3(tuned.latency.p99_ms)),
+            format!(
+                "{}/{}",
+                fmt3(base.latency.p95_ms),
+                fmt3(base.latency.p99_ms)
+            ),
+            format!(
+                "{}/{}",
+                fmt3(tuned.latency.p95_ms),
+                fmt3(tuned.latency.p99_ms)
+            ),
             format!("{:.2}x", base.latency.p95_ms / tuned.latency.p95_ms),
             format!("{:.2}x", base.latency.p99_ms / tuned.latency.p99_ms),
         ]);
     }
 
-    println!(
-        "{machines} Skylake machines per model group, diurnal load +/-30% over {day_s} s\n"
-    );
+    println!("{machines} Skylake machines per model group, diurnal load +/-30% over {day_s} s\n");
     println!("{t}");
     let b = all_base.summary();
     let u = all_tuned.summary();

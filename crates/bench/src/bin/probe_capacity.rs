@@ -4,11 +4,26 @@ use deeprecsys::prelude::*;
 
 fn main() {
     let opts = drs_bench::parse_args();
+    drs_bench::header(
+        "Capacity probe — fig13 cluster calibration",
+        "internal tool: per-model baseline vs tuned capacity used to pick \
+         the fig13 offered loads (no paper counterpart)",
+        &opts,
+    );
     let cluster = ClusterConfig::cluster(20, CpuPlatform::skylake(), None);
     for cfg in [zoo::dlrm_rmc1(), zoo::dlrm_rmc2(), zoo::dlrm_rmc3()] {
         let sla = SlaTier::Medium.sla_ms(&cfg);
-        let base = max_qps_under_sla(&cfg, cluster, SchedulerPolicy::static_baseline(40), sla, &opts.search);
+        let base = max_qps_under_sla(
+            &cfg,
+            cluster,
+            SchedulerPolicy::static_baseline(40),
+            sla,
+            &opts.search,
+        );
         let tuned = DeepRecSched::new(opts.search).tune_cpu(&cfg, cluster, sla);
-        println!("{:10} baseline {:8.0} | tuned {:8.0} (b={})", cfg.name, base.max_qps, tuned.qps, tuned.policy.max_batch);
+        println!(
+            "{:10} baseline {:8.0} | tuned {:8.0} (b={})",
+            cfg.name, base.max_qps, tuned.qps, tuned.policy.max_batch
+        );
     }
 }

@@ -50,16 +50,8 @@ fn main() {
         "Pooling",
     ]);
     for cfg in zoo::all() {
-        let max_lookups = cfg
-            .tables
-            .iter()
-            .map(|tb| tb.lookups)
-            .max()
-            .unwrap_or(0);
-        let behavior = cfg
-            .tables
-            .iter()
-            .any(|tb| tb.role == TableRole::Behavior);
+        let max_lookups = cfg.tables.iter().map(|tb| tb.lookups).max().unwrap_or(0);
+        let behavior = cfg.tables.iter().any(|tb| tb.role == TableRole::Behavior);
         t.row(vec![
             cfg.name.to_string(),
             cfg.domain.to_string(),

@@ -24,12 +24,12 @@ fn main() {
     // quick mode uses tiny weights (classification of the clear-cut
     // models is unchanged, DLRM variants may lean MLP when their tables
     // fit in cache — noted in EXPERIMENTS.md).
-    let scale = if opts.full {
+    let scale = if opts.full() {
         ModelScale::default_scale()
     } else {
         ModelScale::tiny()
     };
-    let iters = if opts.full { 5 } else { 2 };
+    let iters = opts.pick(5, 2, 1);
 
     let mut t = TextTable::new(vec![
         "Model",

@@ -6,6 +6,9 @@
 //! * `--full` — experiment-grade windows (`SearchOptions::standard()`);
 //!   the default is the faster `quick()` profile so a laptop can sweep
 //!   everything in minutes;
+//! * `--smoke` — minimal windows (`SearchOptions::smoke()`); numbers
+//!   are meaningless, but every code path runs. Used by the bin smoke
+//!   tests (`tests/bin_smoke.rs`) so figure code cannot silently rot;
 //! * `--seed N` — override the workload seed.
 //!
 //! Criterion micro-benchmarks live under `benches/`.
@@ -14,30 +17,76 @@
 
 use drs_sched::SearchOptions;
 
+/// The three run profiles an experiment binary can be launched in.
+/// `--full` wins if both `--full` and `--smoke` appear.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// `--full`: experiment-grade windows.
+    Full,
+    /// Default: laptop-friendly windows.
+    Quick,
+    /// `--smoke`: minimal windows for the bin smoke tests.
+    Smoke,
+}
+
+impl Mode {
+    /// Human label of the mode.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::Full => "full",
+            Mode::Quick => "quick",
+            Mode::Smoke => "smoke",
+        }
+    }
+}
+
 /// Parsed command-line options shared by every experiment binary.
 #[derive(Debug, Clone, Copy)]
 pub struct ExpOptions {
-    /// Search/simulation options (quick unless `--full`).
+    /// Search/simulation options, preset to match [`Self::mode`].
     pub search: SearchOptions,
-    /// Whether `--full` was requested.
-    pub full: bool,
+    /// The requested run profile.
+    pub mode: Mode,
 }
 
-/// Parses `--full` / `--seed N` from the process arguments.
+/// Parses `--full` / `--smoke` / `--seed N` from the process arguments.
 pub fn parse_args() -> ExpOptions {
     let args: Vec<String> = std::env::args().collect();
-    let full = args.iter().any(|a| a == "--full");
-    let mut search = if full {
-        SearchOptions::standard()
+    let mode = if args.iter().any(|a| a == "--full") {
+        Mode::Full
+    } else if args.iter().any(|a| a == "--smoke") {
+        Mode::Smoke
     } else {
-        SearchOptions::quick()
+        Mode::Quick
+    };
+    let mut search = match mode {
+        Mode::Full => SearchOptions::standard(),
+        Mode::Quick => SearchOptions::quick(),
+        Mode::Smoke => SearchOptions::smoke(),
     };
     if let Some(i) = args.iter().position(|a| a == "--seed") {
         if let Some(seed) = args.get(i + 1).and_then(|s| s.parse().ok()) {
             search = search.with_seed(seed);
         }
     }
-    ExpOptions { search, full }
+    ExpOptions { search, mode }
+}
+
+impl ExpOptions {
+    /// Picks a mode-dependent constant: experiment-grade for `--full`,
+    /// minimal for `--smoke`, the laptop-friendly default otherwise.
+    pub fn pick<T>(&self, full: T, quick: T, smoke: T) -> T {
+        match self.mode {
+            Mode::Full => full,
+            Mode::Quick => quick,
+            Mode::Smoke => smoke,
+        }
+    }
+
+    /// Whether experiment-grade (`--full`) windows were requested.
+    pub fn full(&self) -> bool {
+        self.mode == Mode::Full
+    }
 }
 
 /// Prints the standard experiment header: what this binary reproduces
@@ -48,7 +97,7 @@ pub fn header(id: &str, claim: &str, opts: &ExpOptions) {
     println!("paper reference: {claim}");
     println!(
         "mode: {} (pass --full for experiment-grade windows)",
-        if opts.full { "full" } else { "quick" }
+        opts.mode.label()
     );
     println!();
 }
@@ -62,7 +111,10 @@ mod tests {
         // parse_args reads real argv (the test binary's), which carries
         // no --full flag.
         let o = parse_args();
-        assert!(!o.full);
-        assert_eq!(o.search.queries_per_probe, SearchOptions::quick().queries_per_probe);
+        assert_eq!(o.mode, Mode::Quick);
+        assert_eq!(
+            o.search.queries_per_probe,
+            SearchOptions::quick().queries_per_probe
+        );
     }
 }

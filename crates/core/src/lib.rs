@@ -122,8 +122,7 @@ impl DeepRecInfra {
         seed: u64,
     ) -> SimReport {
         let sim = Simulation::new(&self.model, self.cluster, policy);
-        let mut gen =
-            QueryGenerator::new(ArrivalProcess::poisson(rate_qps), self.size_dist, seed);
+        let mut gen = QueryGenerator::new(ArrivalProcess::poisson(rate_qps), self.size_dist, seed);
         sim.run(&mut gen, RunOptions::queries(num_queries))
     }
 
@@ -172,11 +171,7 @@ mod tests {
         let infra = DeepRecInfra::new(zoo::dlrm_rmc1());
         let report = infra.simulate(infra.baseline_policy(), 300.0, 600, 3);
         assert!(report.completed > 0);
-        let cap = infra.max_qps(
-            infra.baseline_policy(),
-            100.0,
-            &SearchOptions::quick(),
-        );
+        let cap = infra.max_qps(infra.baseline_policy(), 100.0, &SearchOptions::quick());
         assert!(cap.max_qps > 0.0);
     }
 
@@ -184,8 +179,11 @@ mod tests {
     fn baseline_matches_cluster_cores() {
         let skl = DeepRecInfra::new(zoo::ncf());
         assert_eq!(skl.baseline_policy().max_batch, 25);
-        let bdw = DeepRecInfra::new(zoo::ncf())
-            .with_cluster(ClusterConfig::cluster(1, drs_platform::CpuPlatform::broadwell(), None));
+        let bdw = DeepRecInfra::new(zoo::ncf()).with_cluster(ClusterConfig::cluster(
+            1,
+            drs_platform::CpuPlatform::broadwell(),
+            None,
+        ));
         assert_eq!(bdw.baseline_policy().max_batch, 36);
     }
 }

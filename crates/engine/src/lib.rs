@@ -95,7 +95,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let model = RecModel::instantiate(&zoo::dien(), ModelScale::tiny(), &mut rng);
         let prof = profile_operators(&model, 4, 2, 11);
-        assert!(prof.total_for(OpKind::Recurrent).as_nanos() > 0, "DIEN runs GRUs");
+        assert!(
+            prof.total_for(OpKind::Recurrent).as_nanos() > 0,
+            "DIEN runs GRUs"
+        );
         assert!(prof.total_for(OpKind::Embedding).as_nanos() > 0);
         assert!(prof.total_for(OpKind::PredictFc).as_nanos() > 0);
     }

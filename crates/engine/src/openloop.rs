@@ -86,10 +86,10 @@ pub fn serve_open_loop(
     let mut outstanding_requests: usize = 0;
 
     let absorb = |done: EngineCompletion,
-                      parts_left: &mut HashMap<u64, u32>,
-                      latency: &mut LatencyRecorder,
-                      meter: &mut ThroughputMeter,
-                      arrived_at: &HashMap<u64, Instant>| {
+                  parts_left: &mut HashMap<u64, u32>,
+                  latency: &mut LatencyRecorder,
+                  meter: &mut ThroughputMeter,
+                  arrived_at: &HashMap<u64, Instant>| {
         let left = parts_left.get_mut(&done.query_id).expect("known query");
         *left -= 1;
         if *left == 0 {
@@ -162,13 +162,9 @@ mod tests {
     }
 
     fn queries(rate: f64, n: usize) -> Vec<Query> {
-        QueryGenerator::new(
-            ArrivalProcess::poisson(rate),
-            SizeDistribution::Fixed(8),
-            5,
-        )
-        .take(n)
-        .collect()
+        QueryGenerator::new(ArrivalProcess::poisson(rate), SizeDistribution::Fixed(8), 5)
+            .take(n)
+            .collect()
     }
 
     #[test]

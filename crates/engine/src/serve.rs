@@ -96,9 +96,9 @@ pub fn serve_closed_loop(
     let mut items: u64 = 0;
 
     let submit_one = |engine: &InferenceEngine,
-                          next: &mut usize,
-                          rng: &mut StdRng,
-                          first_submit: &mut HashMap<u64, Instant>| {
+                      next: &mut usize,
+                      rng: &mut StdRng,
+                      first_submit: &mut HashMap<u64, Instant>| {
         if *next >= todo.len() {
             return false;
         }
@@ -175,7 +175,13 @@ mod tests {
     #[test]
     fn parallel_workers_increase_throughput() {
         // With real threads this can be noisy; require only a clear win
-        // on a comfortably parallel workload.
+        // on a comfortably parallel workload. On a box without enough
+        // cores the win physically cannot appear, so skip.
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores < 4 {
+            eprintln!("skipping: needs >= 4 cores, have {cores}");
+            return;
+        }
         let sizes: Vec<u32> = vec![64; 48];
         let m = model();
         let r1 = serve_closed_loop(Arc::clone(&m), &sizes, ServeOptions::new(1, 64, 2));

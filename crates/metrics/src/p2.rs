@@ -78,8 +78,7 @@ impl P2Quantile {
             self.init[self.count] = x;
             self.count += 1;
             if self.count == 5 {
-                self.init
-                    .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                self.init.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
                 self.heights = self.init;
             }
             return;

@@ -4,6 +4,10 @@ use drs_metrics::{percentile_of_sorted, Histogram, LatencyRecorder, P2Quantile};
 use proptest::prelude::*;
 
 proptest! {
+    // Case budget audited so the whole workspace suite stays fast in
+    // debug CI; raise at runtime with PROPTEST_CASES for a deeper soak.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
     /// Any percentile of a window lies within [min, max].
     #[test]
     fn percentile_bounded(samples in prop::collection::vec(0.0f64..1e6, 1..500), q in 0.0f64..=1.0) {

@@ -63,9 +63,7 @@ fn mlp_flops(dims: &[usize]) -> f64 {
 }
 
 fn mlp_params(dims: &[usize]) -> f64 {
-    dims.windows(2)
-        .map(|w| (w[0] * w[1] + w[1]) as f64)
-        .sum()
+    dims.windows(2).map(|w| (w[0] * w[1] + w[1]) as f64).sum()
 }
 
 fn mlp_act_elems(dims: &[usize]) -> f64 {
@@ -242,11 +240,26 @@ mod tests {
         // Figure 1b: DLRM-RMC1/2 and DIN are sparse-dominated; NCF, WND,
         // RMC3 dense-dominated.
         let frac = |cfg: &ModelConfig| characterize(cfg).sparse_byte_fraction(64);
-        assert!(frac(&zoo::dlrm_rmc1()) > 0.5, "RMC1 {}", frac(&zoo::dlrm_rmc1()));
-        assert!(frac(&zoo::dlrm_rmc2()) > 0.5, "RMC2 {}", frac(&zoo::dlrm_rmc2()));
+        assert!(
+            frac(&zoo::dlrm_rmc1()) > 0.5,
+            "RMC1 {}",
+            frac(&zoo::dlrm_rmc1())
+        );
+        assert!(
+            frac(&zoo::dlrm_rmc2()) > 0.5,
+            "RMC2 {}",
+            frac(&zoo::dlrm_rmc2())
+        );
         assert!(frac(&zoo::ncf()) < 0.3, "NCF {}", frac(&zoo::ncf()));
-        assert!(frac(&zoo::wide_and_deep()) < 0.3, "WND {}", frac(&zoo::wide_and_deep()));
-        assert!(frac(&zoo::dlrm_rmc3()) < frac(&zoo::dlrm_rmc1()), "RMC3 vs RMC1");
+        assert!(
+            frac(&zoo::wide_and_deep()) < 0.3,
+            "WND {}",
+            frac(&zoo::wide_and_deep())
+        );
+        assert!(
+            frac(&zoo::dlrm_rmc3()) < frac(&zoo::dlrm_rmc1()),
+            "RMC3 vs RMC1"
+        );
     }
 
     #[test]

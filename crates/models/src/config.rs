@@ -168,7 +168,11 @@ impl ModelConfig {
             "{}: predictor stack cannot be empty",
             self.name
         );
-        assert!(self.num_tasks >= 1, "{}: needs at least one task", self.name);
+        assert!(
+            self.num_tasks >= 1,
+            "{}: needs at least one task",
+            self.name
+        );
         if matches!(
             self.pooling,
             PoolingKind::Attention | PoolingKind::AttentionRnn
@@ -205,12 +209,15 @@ impl ModelConfig {
         }
         if self.pooling == PoolingKind::Gmf {
             assert!(
-                self.tables.len() % 2 == 0 && !self.tables.is_empty(),
+                self.tables.len().is_multiple_of(2) && !self.tables.is_empty(),
                 "{}: GMF pairs tables, so the count must be even",
                 self.name
             );
             assert!(
-                self.tables.windows(2).step_by(2).all(|w| w[0].dim == w[1].dim),
+                self.tables
+                    .windows(2)
+                    .step_by(2)
+                    .all(|w| w[0].dim == w[1].dim),
                 "{}: GMF pair dims must match",
                 self.name
             );

@@ -46,14 +46,12 @@
 #![warn(missing_docs)]
 
 pub mod characterize;
-pub mod opcost;
 mod config;
 mod inputs;
 mod model;
+pub mod opcost;
 pub mod zoo;
 
-pub use config::{
-    InteractionKind, ModelConfig, ModelScale, PoolingKind, TableConfig, TableRole,
-};
+pub use config::{InteractionKind, ModelConfig, ModelScale, PoolingKind, TableConfig, TableRole};
 pub use inputs::BatchInputs;
 pub use model::RecModel;

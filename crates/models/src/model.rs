@@ -42,7 +42,10 @@ impl RecModel {
     /// from the candidate embedding width).
     pub fn instantiate(cfg: &ModelConfig, scale: ModelScale, rng: &mut impl Rng) -> Self {
         cfg.validate();
-        assert!(scale.table_rows_cap > 0 && scale.seq_len_cap > 0, "degenerate scale");
+        assert!(
+            scale.table_rows_cap > 0 && scale.seq_len_cap > 0,
+            "degenerate scale"
+        );
 
         let mut bags = Vec::with_capacity(cfg.tables.len());
         let mut table_lookups = Vec::with_capacity(cfg.tables.len());
@@ -78,7 +81,11 @@ impl RecModel {
         let (attention, gru, augru) = match cfg.pooling {
             PoolingKind::Attention => {
                 let dim = candidate_dim(cfg);
-                (Some(AttentionUnit::new(dim, cfg.attention_hidden, rng)), None, None)
+                (
+                    Some(AttentionUnit::new(dim, cfg.attention_hidden, rng)),
+                    None,
+                    None,
+                )
             }
             PoolingKind::AttentionRnn => {
                 let dim = candidate_dim(cfg);
@@ -153,7 +160,10 @@ impl RecModel {
     pub fn mlp_param_count(&self) -> usize {
         self.dense_mlp.as_ref().map_or(0, Mlp::param_count)
             + self.predict.iter().map(Mlp::param_count).sum::<usize>()
-            + self.attention.as_ref().map_or(0, AttentionUnit::param_count)
+            + self
+                .attention
+                .as_ref()
+                .map_or(0, AttentionUnit::param_count)
             + self.gru.as_ref().map_or(0, GruCell::param_count)
             + self.augru.as_ref().map_or(0, |g| g.cell().param_count())
     }
@@ -405,7 +415,10 @@ mod tests {
         let inputs = model.generate_inputs(4, &mut rng);
         let mut p1 = OpProfiler::new();
         let mut p2 = OpProfiler::new();
-        assert_eq!(model.forward(&inputs, &mut p1), model.forward(&inputs, &mut p2));
+        assert_eq!(
+            model.forward(&inputs, &mut p1),
+            model.forward(&inputs, &mut p2)
+        );
     }
 
     #[test]
@@ -418,8 +431,8 @@ mod tests {
             .all(|&r| r <= ModelScale::tiny().table_rows_cap));
         // Behavior tables capped at 8 (tiny seq cap); profile stay 1.
         let b = model.table_lookups();
-        assert!(b.iter().any(|&l| l == 8));
-        assert!(b.iter().any(|&l| l == 1));
+        assert!(b.contains(&8));
+        assert!(b.contains(&1));
     }
 
     #[test]

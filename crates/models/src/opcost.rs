@@ -45,9 +45,7 @@ fn mlp_flops(dims: &[usize]) -> f64 {
 }
 
 fn mlp_params(dims: &[usize]) -> f64 {
-    dims.windows(2)
-        .map(|w| (w[0] * w[1] + w[1]) as f64)
-        .sum()
+    dims.windows(2).map(|w| (w[0] * w[1] + w[1]) as f64).sum()
 }
 
 fn mlp_act_bytes(dims: &[usize]) -> f64 {
@@ -153,12 +151,12 @@ impl OpBreakdown {
     ) -> [f64; 6] {
         let b = batch.max(1) as f64;
         let mut t = [0.0f64; 6];
-        for i in 0..6 {
+        for (i, slot) in t.iter_mut().enumerate() {
             let compute_us = self.flops_per_item[i] * b / (peak_gflops * 1e3);
             // Embedding gathers are irregular; everything else streams.
             let bw = if i == 2 { gather_bw_gbs } else { stream_bw_gbs };
             let mem_us = (self.bytes_per_item[i] * b + self.weight_bytes[i]) / (bw * 1e3);
-            t[i] = compute_us + mem_us;
+            *slot = compute_us + mem_us;
         }
         let total: f64 = t.iter().sum();
         if total > 0.0 {
@@ -186,11 +184,20 @@ mod tests {
         for cfg in zoo::all() {
             let agg = characterize(&cfg);
             let ops = op_breakdown(&cfg);
-            let rel = (ops.total_flops_per_item() - agg.flops_per_item).abs()
-                / agg.flops_per_item;
-            assert!(rel < 1e-9, "{}: {} vs {}", cfg.name, ops.total_flops_per_item(), agg.flops_per_item);
+            let rel = (ops.total_flops_per_item() - agg.flops_per_item).abs() / agg.flops_per_item;
+            assert!(
+                rel < 1e-9,
+                "{}: {} vs {}",
+                cfg.name,
+                ops.total_flops_per_item(),
+                agg.flops_per_item
+            );
             let w: f64 = ops.weight_bytes.iter().sum();
-            assert!((w - agg.weight_bytes).abs() / agg.weight_bytes < 1e-9, "{}", cfg.name);
+            assert!(
+                (w - agg.weight_bytes).abs() / agg.weight_bytes < 1e-9,
+                "{}",
+                cfg.name
+            );
         }
     }
 
@@ -217,7 +224,11 @@ mod tests {
                 || (label.contains("Embedding") && cfg.paper_bottleneck.contains("Embedding"))
                 || (label.contains("GRU") && cfg.paper_bottleneck.contains("GRU"))
                 || (label.contains("Attention") && cfg.paper_bottleneck.contains("Attention"));
-            assert!(ok, "{}: analytic {label:?} vs paper {:?}", cfg.name, cfg.paper_bottleneck);
+            assert!(
+                ok,
+                "{}: analytic {label:?} vs paper {:?}",
+                cfg.name, cfg.paper_bottleneck
+            );
         }
     }
 
@@ -230,6 +241,9 @@ mod tests {
         assert_eq!(ops.flops_per_item[4], 0.0, "NCF has no recurrence");
         assert_eq!(ops.flops_per_item[0], 0.0, "NCF has no dense MLP");
         let ops = op_breakdown(&zoo::dlrm_rmc1());
-        assert!(ops.bytes_per_item[2] > ops.bytes_per_item[0], "RMC1 gathers dominate");
+        assert!(
+            ops.bytes_per_item[2] > ops.bytes_per_item[0],
+            "RMC1 gathers dominate"
+        );
     }
 }

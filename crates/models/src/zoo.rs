@@ -8,9 +8,7 @@
 //!
 //! SLA targets come from Table II.
 
-use crate::config::{
-    InteractionKind, ModelConfig, PoolingKind, TableConfig, TableRole,
-};
+use crate::config::{InteractionKind, ModelConfig, PoolingKind, TableConfig, TableRole};
 
 /// Neural Collaborative Filtering: matrix factorization generalized with
 /// MLPs. Four one-hot tables (two user, two item), GMF pooling, a small
@@ -368,6 +366,10 @@ mod extension_tests {
     #[test]
     fn mlperf_not_in_table_i_sweep() {
         assert!(all().iter().all(|m| m.name != "DLRM-MLPerf"));
-        assert_eq!(by_name("dlrm-mlperf"), None, "only Table-I models are looked up");
+        assert_eq!(
+            by_name("dlrm-mlperf"),
+            None,
+            "only Table-I models are looked up"
+        );
     }
 }

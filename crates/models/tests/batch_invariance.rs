@@ -17,9 +17,10 @@ use rand::SeedableRng;
 fn split_inputs(inputs: &BatchInputs, cut: usize) -> (BatchInputs, BatchInputs) {
     assert!(cut > 0 && cut < inputs.batch);
     let slice_dense = |range: std::ops::Range<usize>| {
-        inputs.dense.as_ref().map(|d| {
-            Matrix::from_fn(range.len(), d.cols(), |r, c| d.get(range.start + r, c))
-        })
+        inputs
+            .dense
+            .as_ref()
+            .map(|d| Matrix::from_fn(range.len(), d.cols(), |r, c| d.get(range.start + r, c)))
     };
     let slice_sparse = |range: std::ops::Range<usize>| {
         inputs

@@ -202,7 +202,7 @@ mod tests {
         // Different candidates must produce different weights (the whole
         // point of "local" activation): check the scorer is not constant.
         let att = unit(4);
-        let beh = random_matrix(1 * 4, 4, 8);
+        let beh = random_matrix(4, 4, 8);
         let mut prof = OpProfiler::new();
         let w1 = att.scores(&random_matrix(1, 4, 10), &beh, 4, &mut prof);
         let w2 = att.scores(&random_matrix(1, 4, 11), &beh, 4, &mut prof);

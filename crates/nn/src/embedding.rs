@@ -207,7 +207,7 @@ mod tests {
     #[test]
     fn mean_pooling_divides() {
         let b = bag(Pooling::Mean);
-        let out = b.forward_plain(&vec![vec![1, 1, 1, 1]]);
+        let out = b.forward_plain(&[vec![1, 1, 1, 1]]);
         for (o, r) in out.row(0).iter().zip(b.table().lookup(1)) {
             assert!((o - r).abs() < 1e-6);
         }
@@ -216,7 +216,7 @@ mod tests {
     #[test]
     fn concat_pooling_widens() {
         let b = bag(Pooling::Concat);
-        let out = b.forward_plain(&vec![vec![0, 1], vec![2, 3]]);
+        let out = b.forward_plain(&[vec![0, 1], vec![2, 3]]);
         assert_eq!(out.cols(), 8);
         assert_eq!(&out.row(1)[0..4], b.table().lookup(2));
         assert_eq!(&out.row(1)[4..8], b.table().lookup(3));
@@ -226,21 +226,21 @@ mod tests {
     #[should_panic(expected = "equal lookup counts")]
     fn concat_ragged_panics() {
         let b = bag(Pooling::Concat);
-        let _ = b.forward_plain(&vec![vec![0, 1], vec![2]]);
+        let _ = b.forward_plain(&[vec![0, 1], vec![2]]);
     }
 
     #[test]
     #[should_panic(expected = ">= 16")]
     fn out_of_range_index_panics() {
         let b = bag(Pooling::Sum);
-        let _ = b.forward_plain(&vec![vec![16]]);
+        let _ = b.forward_plain(&[vec![16]]);
     }
 
     #[test]
     #[should_panic(expected = "zero rows")]
     fn empty_lookup_panics() {
         let b = bag(Pooling::Sum);
-        let _ = b.forward_plain(&vec![vec![]]);
+        let _ = b.forward_plain(&[vec![]]);
     }
 
     #[test]
@@ -266,7 +266,7 @@ mod tests {
     fn profiled_records_embedding_time() {
         let b = bag(Pooling::Sum);
         let mut prof = OpProfiler::new();
-        let _ = b.forward(&vec![vec![1, 2]], &mut prof);
+        let _ = b.forward(&[vec![1, 2]], &mut prof);
         assert_eq!(prof.count_for(OpKind::Embedding), 1);
     }
 }

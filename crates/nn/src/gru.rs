@@ -65,7 +65,15 @@ impl GruCell {
         3 * (self.in_dim() * self.hidden() + self.hidden() * self.hidden() + self.hidden())
     }
 
-    fn gate(&self, x: &Matrix, h: &Matrix, w: &Matrix, u: &Matrix, b: &[f32], act: Activation) -> Matrix {
+    fn gate(
+        &self,
+        x: &Matrix,
+        h: &Matrix,
+        w: &Matrix,
+        u: &Matrix,
+        b: &[f32],
+        act: Activation,
+    ) -> Matrix {
         let xw = x.matmul(w);
         let hu = h.matmul(u);
         let mut g = Matrix::sum_elementwise(&[&xw, &hu]);

@@ -92,7 +92,10 @@ impl Mlp {
         final_act: Activation,
         rng: &mut impl Rng,
     ) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output widths");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output widths"
+        );
         let mut layers = Vec::with_capacity(dims.len() - 1);
         for w in dims.windows(2) {
             let is_last = w[1] == dims[dims.len() - 1] && layers.len() == dims.len() - 2;
@@ -161,7 +164,12 @@ mod tests {
     #[test]
     fn mlp_stacks_layers() {
         let mut rng = StdRng::seed_from_u64(1);
-        let m = Mlp::from_dims(&[10, 7, 4, 1], Activation::Relu, Activation::Sigmoid, &mut rng);
+        let m = Mlp::from_dims(
+            &[10, 7, 4, 1],
+            Activation::Relu,
+            Activation::Sigmoid,
+            &mut rng,
+        );
         assert_eq!(m.depth(), 3);
         assert_eq!(m.in_dim(), 10);
         assert_eq!(m.out_dim(), 1);

@@ -183,7 +183,7 @@ mod tests {
         let fr = p.fractions();
         let sum: f64 = fr.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);
-        assert!((fr[OpKind::Embedding as usize as usize] - 0.0).abs() >= 0.0); // index sanity below
+        assert!((fr[OpKind::Embedding as usize] - 0.0).abs() >= 0.0); // index sanity below
         assert!((p.fractions()[2] - 0.7).abs() < 1e-9);
     }
 
@@ -222,8 +222,7 @@ mod tests {
 
     #[test]
     fn labels_unique() {
-        let labels: std::collections::HashSet<_> =
-            OpKind::ALL.iter().map(|k| k.label()).collect();
+        let labels: std::collections::HashSet<_> = OpKind::ALL.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), OpKind::ALL.len());
     }
 }

@@ -211,8 +211,8 @@ impl ModelCost {
         let t_flops = self.ch.flops(q) / (gpu.peak_gflops * 1e3 * eff);
         let t_gather = self.ch.emb_bytes_per_item * q as f64
             / (gpu.gather_bw_gbs * self.class.gather_bw_scale() * 1e3);
-        let t_stream = (self.ch.weight_bytes + self.ch.act_bytes_per_item * q as f64)
-            / (gpu.mem_bw_gbs * 1e3);
+        let t_stream =
+            (self.ch.weight_bytes + self.ch.act_bytes_per_item * q as f64) / (gpu.mem_bw_gbs * 1e3);
         SW_COMPUTE_FACTOR * (launch + t_flops) + SW_MEMORY_FACTOR * (t_gather + t_stream)
     }
 
@@ -320,8 +320,7 @@ mod tests {
         // Broadwell (inclusive LLC) more than Skylake on an
         // embedding-bound model.
         let c = cost(&zoo::dlrm_rmc1());
-        let skl_ratio =
-            c.cpu_request_us(&skl(), 64, 40) / c.cpu_request_us(&skl(), 64, 1);
+        let skl_ratio = c.cpu_request_us(&skl(), 64, 40) / c.cpu_request_us(&skl(), 64, 1);
         let bdw = CpuPlatform::broadwell();
         let bdw_ratio = c.cpu_request_us(&bdw, 64, 28) / c.cpu_request_us(&bdw, 64, 1);
         assert!(
@@ -391,11 +390,7 @@ mod tests {
             .map(|cfg| cost(cfg).gpu_data_fraction(&skl(), &gpu(), 256))
             .collect();
         for (cfg, f) in zoo::all().iter().zip(&fracs) {
-            assert!(
-                (0.2..0.95).contains(f),
-                "{}: data fraction {f}",
-                cfg.name
-            );
+            assert!((0.2..0.95).contains(f), "{}: data fraction {f}", cfg.name);
         }
         let mean = fracs.iter().sum::<f64>() / fracs.len() as f64;
         assert!((0.45..0.85).contains(&mean), "mean data fraction {mean}");
@@ -415,7 +410,11 @@ mod tests {
         for cfg in zoo::all() {
             let c = cost(&cfg);
             if let Some(b) = c.gpu_crossover_batch(&skl(), &gpu()) {
-                assert!(c.gpu_speedup(&skl(), &gpu(), b as usize) >= 1.0, "{}", cfg.name);
+                assert!(
+                    c.gpu_speedup(&skl(), &gpu(), b as usize) >= 1.0,
+                    "{}",
+                    cfg.name
+                );
                 if b > 1 {
                     assert!(
                         c.gpu_speedup(&skl(), &gpu(), (b - 1) as usize) < 1.0,

@@ -201,10 +201,7 @@ mod tests {
         let skl = CpuPlatform::skylake();
         let bdw = CpuPlatform::broadwell();
         for b in [1, 2, 4, 8] {
-            assert!(
-                bdw.simd_efficiency(b) > skl.simd_efficiency(b),
-                "batch {b}"
-            );
+            assert!(bdw.simd_efficiency(b) > skl.simd_efficiency(b), "batch {b}");
         }
     }
 

@@ -67,8 +67,14 @@ impl ArrivalProcess {
     /// Panics unless `base_qps > 0`, `0 <= amplitude < 1`, and
     /// `period_s > 0`.
     pub fn diurnal(base_qps: f64, amplitude: f64, period_s: f64) -> Self {
-        assert!(base_qps > 0.0 && base_qps.is_finite(), "base rate must be > 0");
-        assert!((0.0..1.0).contains(&amplitude), "amplitude must be in [0, 1)");
+        assert!(
+            base_qps > 0.0 && base_qps.is_finite(),
+            "base rate must be > 0"
+        );
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "amplitude must be in [0, 1)"
+        );
         assert!(period_s > 0.0, "period must be > 0");
         ArrivalProcess::DiurnalPoisson {
             base_qps,
@@ -108,7 +114,9 @@ impl ArrivalProcess {
                 base_qps,
                 amplitude,
                 period_s,
-            } => base_qps * (1.0 + amplitude * (2.0 * std::f64::consts::PI * now_s / period_s).sin()),
+            } => {
+                base_qps * (1.0 + amplitude * (2.0 * std::f64::consts::PI * now_s / period_s).sin())
+            }
         }
     }
 
@@ -121,9 +129,7 @@ impl ArrivalProcess {
         match *self {
             ArrivalProcess::Poisson { rate_qps } => sampler::exponential(rng, rate_qps),
             ArrivalProcess::Fixed { rate_qps } => 1.0 / rate_qps,
-            ArrivalProcess::DiurnalPoisson { .. } => {
-                sampler::exponential(rng, self.rate_at(now_s))
-            }
+            ArrivalProcess::DiurnalPoisson { .. } => sampler::exponential(rng, self.rate_at(now_s)),
         }
     }
 }

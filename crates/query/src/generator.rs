@@ -131,11 +131,8 @@ mod tests {
 
     #[test]
     fn take_until_respects_horizon() {
-        let mut gen = QueryGenerator::new(
-            ArrivalProcess::fixed(100.0),
-            SizeDistribution::Fixed(10),
-            0,
-        );
+        let mut gen =
+            QueryGenerator::new(ArrivalProcess::fixed(100.0), SizeDistribution::Fixed(10), 0);
         let qs = gen.take_until(1.0);
         // Arrivals at 0.01, 0.02, …, 0.99 → 99 queries.
         assert_eq!(qs.len(), 99);

@@ -50,6 +50,7 @@ pub use arrival::ArrivalProcess;
 pub use generator::{Query, QueryGenerator};
 pub use size::{tail_work_share, SizeDistribution};
 pub use split::split_query;
+pub use trace::{ParseTraceError, Trace};
 
 /// The maximum query working-set size observed in production (Figure 5);
 /// all size distributions in this crate truncate to this value.

@@ -46,7 +46,10 @@ pub fn lognormal(rng: &mut impl Rng, mu: f64, sigma: f64) -> f64 {
 ///
 /// Panics unless `rate` is finite and positive.
 pub fn exponential(rng: &mut impl Rng, rate: f64) -> f64 {
-    assert!(rate > 0.0 && rate.is_finite(), "rate must be finite and > 0");
+    assert!(
+        rate > 0.0 && rate.is_finite(),
+        "rate must be finite and > 0"
+    );
     let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
     -u.ln() / rate
 }
@@ -73,8 +76,8 @@ mod tests {
 
     fn moments(samples: &[f64]) -> (f64, f64) {
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / (samples.len() - 1) as f64;
+        let var =
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (samples.len() - 1) as f64;
         (mean, var)
     }
 
@@ -107,9 +110,15 @@ mod tests {
         let rate = 250.0;
         let s: Vec<f64> = (0..N).map(|_| exponential(&mut rng, rate)).collect();
         let (mean, var) = moments(&s);
-        assert!((mean - 1.0 / rate).abs() / (1.0 / rate) < 0.02, "mean {mean}");
+        assert!(
+            (mean - 1.0 / rate).abs() / (1.0 / rate) < 0.02,
+            "mean {mean}"
+        );
         // For Exp, var = mean^2.
-        assert!((var - mean * mean).abs() / (mean * mean) < 0.05, "var {var}");
+        assert!(
+            (var - mean * mean).abs() / (mean * mean) < 0.05,
+            "var {var}"
+        );
         assert!(s.iter().all(|x| *x >= 0.0));
     }
 

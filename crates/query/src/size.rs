@@ -150,11 +150,7 @@ pub fn tail_work_share(sizes: &[u32], q: f64) -> f64 {
     sorted.sort_unstable();
     let cut = sorted[((sorted.len() - 1) as f64 * q) as usize];
     let total: u64 = sizes.iter().map(|&s| s as u64).sum();
-    let tail: u64 = sizes
-        .iter()
-        .filter(|&&s| s > cut)
-        .map(|&s| s as u64)
-        .sum();
+    let tail: u64 = sizes.iter().filter(|&&s| s > cut).map(|&s| s as u64).sum();
     tail as f64 / total as f64
 }
 
@@ -182,7 +178,10 @@ mod tests {
             SizeDistribution::production(),
         ] {
             let s = draw(d, 50_000, 9);
-            assert!(s.iter().all(|&x| (1..=MAX_QUERY_SIZE).contains(&x)), "{d:?}");
+            assert!(
+                s.iter().all(|&x| (1..=MAX_QUERY_SIZE).contains(&x)),
+                "{d:?}"
+            );
         }
     }
 

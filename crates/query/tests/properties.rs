@@ -4,6 +4,10 @@ use drs_query::{ArrivalProcess, QueryGenerator, SizeDistribution, MAX_QUERY_SIZE
 use proptest::prelude::*;
 
 proptest! {
+    // Case budget audited so the whole workspace suite stays fast in
+    // debug CI; raise at runtime with PROPTEST_CASES for a deeper soak.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
     /// Sizes always land in [1, MAX_QUERY_SIZE] for any parameters.
     #[test]
     fn sizes_always_bounded(seed in 0u64..10_000, mu in 0.0f64..8.0, sigma in 0.0f64..2.0) {

@@ -18,28 +18,63 @@ use drs_sim::{ClusterConfig, SchedulerPolicy, SimReport};
 pub fn hill_climb_1d<F>(
     ladder: &[u32],
     patience: usize,
+    eval: F,
+) -> (u32, QpsSearchResult, Vec<(u32, f64)>)
+where
+    F: FnMut(u32) -> QpsSearchResult,
+{
+    hill_climb_1d_rel(ladder, patience, 0.0, eval)
+}
+
+/// [`hill_climb_1d`] with a relative improvement threshold.
+///
+/// A rung only displaces the incumbent when its score exceeds the
+/// incumbent's by more than `rel_tol` (e.g. `0.10` = 10 %). The
+/// production tuner passes the QPS search's own resolution here: the
+/// binary search quantizes throughput to steps of `tolerance`, so two
+/// rungs within one step of each other are indistinguishable
+/// measurements and the smaller knob value — strictly better on
+/// latency — must win the tie. Without this the chosen batch size can
+/// *grow* as the SLA tightens, purely from measurement quantization.
+///
+/// The acceptance threshold and the stopping rule are deliberately
+/// decoupled: patience counts rungs that fail to beat the best score
+/// *observed* (strictly), not the incumbent. A slowly rising surface —
+/// several consecutive sub-threshold gains — therefore keeps climbing
+/// and is accepted once its *cumulative* gain over the incumbent
+/// clears `rel_tol`, instead of being miscounted as degradation and
+/// stopping the climb below the optimum.
+pub fn hill_climb_1d_rel<F>(
+    ladder: &[u32],
+    patience: usize,
+    rel_tol: f64,
     mut eval: F,
 ) -> (u32, QpsSearchResult, Vec<(u32, f64)>)
 where
     F: FnMut(u32) -> QpsSearchResult,
 {
     assert!(!ladder.is_empty(), "empty ladder");
+    assert!(rel_tol >= 0.0, "negative tolerance");
     let mut best_val = ladder[0];
     let mut best = eval(ladder[0]);
+    let mut peak_seen = best.max_qps;
     let mut trajectory = vec![(ladder[0], best.max_qps)];
     let mut bad_steps = 0;
     for &v in &ladder[1..] {
         let r = eval(v);
         trajectory.push((v, r.max_qps));
-        if r.max_qps > best.max_qps {
-            best_val = v;
-            best = r;
+        if r.max_qps > peak_seen {
+            peak_seen = r.max_qps;
             bad_steps = 0;
         } else {
             bad_steps += 1;
-            if bad_steps > patience {
-                break;
-            }
+        }
+        if r.max_qps > best.max_qps * (1.0 + rel_tol) {
+            best_val = v;
+            best = r;
+        }
+        if bad_steps > patience {
+            break;
         }
     }
     (best_val, best, trajectory)
@@ -88,7 +123,20 @@ impl DeepRecSched {
         DeepRecSched {
             opts,
             batch_ladder: (0..=10).map(|p| 1u32 << p).collect(),
-            threshold_ladder: vec![0, 25, 50, 100, 150, 200, 300, 400, 500, 650, 800, MAX_QUERY_SIZE],
+            threshold_ladder: vec![
+                0,
+                25,
+                50,
+                100,
+                150,
+                200,
+                300,
+                400,
+                500,
+                650,
+                800,
+                MAX_QUERY_SIZE,
+            ],
             patience: 1,
         }
     }
@@ -115,20 +163,18 @@ impl DeepRecSched {
 
     /// Generic 1-D hill climb over `ladder`, scoring with `eval`.
     /// Returns the best value, its score/result, and the trajectory.
+    ///
+    /// Improvements are only credited beyond the QPS search's own
+    /// resolution (`opts.tolerance`); see [`hill_climb_1d_rel`].
     fn climb<F>(&self, ladder: &[u32], eval: F) -> (u32, QpsSearchResult, Vec<(u32, f64)>)
     where
         F: FnMut(u32) -> QpsSearchResult,
     {
-        hill_climb_1d(ladder, self.patience, eval)
+        hill_climb_1d_rel(ladder, self.patience, self.opts.tolerance, eval)
     }
 
     /// Phase 1: tune the per-request batch size on a CPU-only path.
-    pub fn tune_cpu(
-        &self,
-        cfg: &ModelConfig,
-        cluster: ClusterConfig,
-        sla_ms: f64,
-    ) -> TunedConfig {
+    pub fn tune_cpu(&self, cfg: &ModelConfig, cluster: ClusterConfig, sla_ms: f64) -> TunedConfig {
         let (batch, result, trajectory) = self.climb(&self.batch_ladder, |b| {
             max_qps_under_sla(
                 cfg,

@@ -39,6 +39,6 @@ mod climber;
 mod search;
 mod sla;
 
-pub use climber::{hill_climb_1d, DeepRecSched, TunedConfig};
+pub use climber::{hill_climb_1d, hill_climb_1d_rel, DeepRecSched, TunedConfig};
 pub use search::{max_qps_under_sla, QpsSearchResult, SearchOptions};
 pub use sla::SlaTier;

@@ -44,6 +44,27 @@ impl SearchOptions {
         }
     }
 
+    /// Smoke-test settings: the absolute minimum that still exercises
+    /// every code path (floor finding, binary search, hill climbing).
+    /// Numbers produced at this profile are **not** meaningful — it
+    /// exists so the figure/table binaries can prove they still run
+    /// end to end in a few seconds (`--smoke`).
+    ///
+    /// The probe window cannot shrink much below this: with the
+    /// heavy-tailed production size distribution, windows of a few
+    /// dozen queries make the measured p95 swing on a single tail
+    /// query, collapsing every search to "infeasible" for unlucky
+    /// seeds — which would leave the climbers' accept paths untested.
+    pub fn smoke() -> Self {
+        SearchOptions {
+            queries_per_probe: 240,
+            tolerance: 0.3,
+            size_dist: SizeDistribution::production(),
+            seed: 0xDEEC,
+            max_qps_bound: 1.0e5,
+        }
+    }
+
     /// Returns a copy with a different size distribution (the Figure
     /// 12a lognormal-vs-production comparison).
     pub fn with_size_dist(mut self, d: SizeDistribution) -> Self {
@@ -79,11 +100,7 @@ fn probe(
     opts: &SearchOptions,
 ) -> SimReport {
     let sim = Simulation::new(cfg, cluster, policy);
-    let mut gen = QueryGenerator::new(
-        ArrivalProcess::poisson(rate_qps),
-        opts.size_dist,
-        opts.seed,
-    );
+    let mut gen = QueryGenerator::new(ArrivalProcess::poisson(rate_qps), opts.size_dist, opts.seed);
     sim.run(&mut gen, RunOptions::queries(opts.queries_per_probe))
 }
 
@@ -190,20 +207,8 @@ mod tests {
         let cfg = zoo::dlrm_rmc3();
         let opts = SearchOptions::quick();
         let policy = SchedulerPolicy::cpu_only(128);
-        let tight = max_qps_under_sla(
-            &cfg,
-            ClusterConfig::single_skylake(),
-            policy,
-            50.0,
-            &opts,
-        );
-        let loose = max_qps_under_sla(
-            &cfg,
-            ClusterConfig::single_skylake(),
-            policy,
-            150.0,
-            &opts,
-        );
+        let tight = max_qps_under_sla(&cfg, ClusterConfig::single_skylake(), policy, 50.0, &opts);
+        let loose = max_qps_under_sla(&cfg, ClusterConfig::single_skylake(), policy, 150.0, &opts);
         assert!(
             loose.max_qps >= tight.max_qps * 0.95,
             "tight {} loose {}",

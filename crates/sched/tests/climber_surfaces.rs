@@ -79,6 +79,10 @@ fn zero_patience_stops_at_first_degradation() {
 }
 
 proptest! {
+    // Case budget audited so the whole workspace suite stays fast in
+    // debug CI; raise at runtime with PROPTEST_CASES for a deeper soak.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
     /// On any unimodal surface the climber (patience 1) returns the
     /// true ladder optimum.
     #[test]
@@ -102,5 +106,60 @@ proptest! {
         let max = traj.iter().map(|&(_, q)| q).fold(f64::NEG_INFINITY, f64::max);
         prop_assert_eq!(res.max_qps, max);
         prop_assert!(traj.iter().any(|&(v, q)| v == best && q == max));
+    }
+}
+
+mod tolerance {
+    //! Contract of `hill_climb_1d_rel`'s relative threshold: ties
+    //! within measurement resolution keep the smaller knob, but
+    //! cumulative sub-threshold gains must still climb.
+
+    use super::{ladder, result};
+    use drs_sched::hill_climb_1d_rel;
+
+    #[test]
+    fn sub_resolution_tie_keeps_smaller_rung() {
+        // 64 and 128 are within 10% of each other (1280 vs 1408 — one
+        // binary-search step); the smaller batch must win the tie.
+        let f = |b: u32| {
+            result(match b {
+                1..=32 => b as f64 * 20.0,
+                64 => 1280.0,
+                128 => 1408.0,
+                _ => 900.0,
+            })
+        };
+        let (best, res, _) = hill_climb_1d_rel(&ladder(), 1, 0.10, f);
+        assert_eq!(best, 64, "sub-resolution gain must not move the knob");
+        assert_eq!(res.max_qps, 1280.0);
+    }
+
+    #[test]
+    fn cumulative_sub_threshold_gains_still_climb() {
+        // Each rung gains <10%, but the rises compound; the climb must
+        // not stall at the first rung nor stop via patience.
+        let surface = [100.0, 104.0, 109.0, 118.0, 140.0, 60.0, 50.0];
+        let lad: Vec<u32> = (1..=surface.len() as u32).collect();
+        let f = |b: u32| result(surface[(b - 1) as usize]);
+        let (best, res, _) = hill_climb_1d_rel(&lad, 1, 0.10, f);
+        assert_eq!(best, 5, "cumulative gain beyond tolerance must be taken");
+        assert_eq!(res.max_qps, 140.0);
+    }
+
+    #[test]
+    fn plateau_still_stops_via_patience() {
+        let f = |_b: u32| result(500.0);
+        let (best, _, traj) = hill_climb_1d_rel(&ladder(), 1, 0.10, f);
+        assert_eq!(best, 1);
+        assert_eq!(traj.len(), 3, "1 evaluated + patience+1 non-improving");
+    }
+
+    #[test]
+    fn zero_tolerance_matches_plain_climb() {
+        let f = |b: u32| result(1000.0 - ((b as f64).log2() - 6.0).powi(2) * 10.0);
+        let strict = hill_climb_1d_rel(&ladder(), 1, 0.0, f);
+        let plain = drs_sched::hill_climb_1d(&ladder(), 1, f);
+        assert_eq!(strict.0, plain.0);
+        assert_eq!(strict.2, plain.2);
     }
 }

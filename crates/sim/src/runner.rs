@@ -266,7 +266,13 @@ impl Simulation {
                     measured: q.id >= warmup_n,
                 },
             );
-            events.push(t, Ev::Arrival { qid: q.id, size: q.size });
+            events.push(
+                t,
+                Ev::Arrival {
+                    qid: q.id,
+                    size: q.size,
+                },
+            );
         }
 
         let mut machines: Vec<MachineState> = self
@@ -403,7 +409,11 @@ impl Simulation {
             cpu_utilization: cpu_util,
             gpu_utilization: gpu_util,
             avg_power_w,
-            qps_per_watt: if avg_power_w > 0.0 { qps / avg_power_w } else { 0.0 },
+            qps_per_watt: if avg_power_w > 0.0 {
+                qps / avg_power_w
+            } else {
+                0.0
+            },
             window_s,
             latencies_ms,
         }
@@ -451,13 +461,8 @@ impl Simulation {
         };
         mach.gpu_busy = true;
         let gpu = self.cluster.gpu.as_ref().expect("GPU present");
-        let service_us = self
-            .cost
-            .gpu_query_us(&self.cpus[m], gpu, size as usize);
-        events.push(
-            now + us_to_ns(service_us),
-            Ev::GpuDone { machine: m, qid },
-        );
+        let service_us = self.cost.gpu_query_us(&self.cpus[m], gpu, size as usize);
+        events.push(now + us_to_ns(service_us), Ev::GpuDone { machine: m, qid });
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -537,7 +542,11 @@ mod tests {
         );
         let report = sim.run(&mut gen(5.0, 3), RunOptions::queries(300));
         // NCF service for a ≤1000-item request is well under 10 ms.
-        assert!(report.latency.p95_ms < 10.0, "p95 {}", report.latency.p95_ms);
+        assert!(
+            report.latency.p95_ms < 10.0,
+            "p95 {}",
+            report.latency.p95_ms
+        );
         assert!(report.cpu_utilization < 0.1);
     }
 
@@ -574,11 +583,7 @@ mod tests {
     #[test]
     fn more_machines_sustain_more_load() {
         let policy = SchedulerPolicy::cpu_only(64);
-        let one = Simulation::new(
-            &zoo::dlrm_rmc1(),
-            ClusterConfig::single_skylake(),
-            policy,
-        );
+        let one = Simulation::new(&zoo::dlrm_rmc1(), ClusterConfig::single_skylake(), policy);
         let four = Simulation::new(
             &zoo::dlrm_rmc1(),
             ClusterConfig::cluster(4, CpuPlatform::skylake(), None),
@@ -677,12 +682,30 @@ mod probe {
     #[test]
     #[ignore]
     fn capacity_probe() {
-        for (name, cfg) in [("RMC1", zoo::dlrm_rmc1()), ("RMC2", zoo::dlrm_rmc2()), ("RMC3", zoo::dlrm_rmc3()), ("NCF", zoo::ncf()), ("WND", zoo::wide_and_deep()), ("DIEN", zoo::dien())] {
+        for (name, cfg) in [
+            ("RMC1", zoo::dlrm_rmc1()),
+            ("RMC2", zoo::dlrm_rmc2()),
+            ("RMC3", zoo::dlrm_rmc3()),
+            ("NCF", zoo::ncf()),
+            ("WND", zoo::wide_and_deep()),
+            ("DIEN", zoo::dien()),
+        ] {
             for load in [500.0, 2000.0, 8000.0, 16000.0, 32000.0] {
-                let sim = Simulation::new(&cfg, ClusterConfig::single_skylake(), SchedulerPolicy::cpu_only(64));
-                let mut gen = QueryGenerator::new(ArrivalProcess::poisson(load), SizeDistribution::production(), 7);
+                let sim = Simulation::new(
+                    &cfg,
+                    ClusterConfig::single_skylake(),
+                    SchedulerPolicy::cpu_only(64),
+                );
+                let mut gen = QueryGenerator::new(
+                    ArrivalProcess::poisson(load),
+                    SizeDistribution::production(),
+                    7,
+                );
                 let r = sim.run(&mut gen, RunOptions::queries(2000));
-                println!("{name} load {load}: qps {:.0} p95 {:.1}ms util {:.2}", r.qps, r.latency.p95_ms, r.cpu_utilization);
+                println!(
+                    "{name} load {load}: qps {:.0} p95 {:.1}ms util {:.2}",
+                    r.qps, r.latency.p95_ms, r.cpu_utilization
+                );
             }
         }
     }
@@ -768,12 +791,8 @@ mod hetero_tests {
     #[test]
     #[should_panic(expected = "a fleet needs machines")]
     fn empty_fleet_rejected() {
-        let _ = Simulation::new_heterogeneous(
-            &zoo::ncf(),
-            vec![],
-            None,
-            SchedulerPolicy::cpu_only(64),
-        );
+        let _ =
+            Simulation::new_heterogeneous(&zoo::ncf(), vec![], None, SchedulerPolicy::cpu_only(64));
     }
 }
 

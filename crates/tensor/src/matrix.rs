@@ -106,7 +106,10 @@ impl Matrix {
     ///
     /// Panics if out of bounds.
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -116,7 +119,10 @@ impl Matrix {
     ///
     /// Panics if out of bounds.
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -228,8 +234,7 @@ impl Matrix {
         for r in 0..rows {
             let mut offset = 0;
             for m in parts {
-                out.data[r * cols + offset..r * cols + offset + m.cols]
-                    .copy_from_slice(m.row(r));
+                out.data[r * cols + offset..r * cols + offset + m.cols].copy_from_slice(m.row(r));
                 offset += m.cols;
             }
         }

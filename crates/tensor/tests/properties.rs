@@ -9,6 +9,10 @@ fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
 }
 
 proptest! {
+    // Case budget audited so the whole workspace suite stays fast in
+    // debug CI; raise at runtime with PROPTEST_CASES for a deeper soak.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
     /// (A + B) × C == A×C + B×C — GEMM distributes over addition.
     #[test]
     fn matmul_distributive(a in small_matrix(3, 4), b in small_matrix(3, 4), c in small_matrix(4, 2)) {

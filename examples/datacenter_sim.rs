@@ -18,22 +18,21 @@ fn main() {
     let day_s = 240.0; // a "day" compressed into 4 virtual minutes
     let queries = 60_000;
 
-    println!("# Datacenter simulation: {} on {machines} Skylake machines", cfg.name);
+    println!(
+        "# Datacenter simulation: {} on {machines} Skylake machines",
+        cfg.name
+    );
     println!("diurnal Poisson load: {base_qps} QPS +/- 35% over a {day_s}s cycle\n");
 
     let mut t = TextTable::new(vec![
-        "policy",
-        "batch",
-        "p50 ms",
-        "p95 ms",
-        "p99 ms",
-        "QPS",
-        "CPU util",
-        "QPS/W",
+        "policy", "batch", "p50 ms", "p95 ms", "p99 ms", "QPS", "CPU util", "QPS/W",
     ]);
 
-    let tuned = DeepRecSched::new(SearchOptions::quick())
-        .tune_cpu(&cfg, cluster, SlaTier::Medium.sla_ms(&cfg));
+    let tuned = DeepRecSched::new(SearchOptions::quick()).tune_cpu(
+        &cfg,
+        cluster,
+        SlaTier::Medium.sla_ms(&cfg),
+    );
 
     for (label, policy) in [
         ("static baseline", SchedulerPolicy::static_baseline(40)),

@@ -35,7 +35,11 @@ fn main() {
     ];
 
     let tuned = DeepRecSched::new(SearchOptions::quick())
-        .tune_cpu(&cfg, ClusterConfig::cluster(8, CpuPlatform::skylake(), None), sla)
+        .tune_cpu(
+            &cfg,
+            ClusterConfig::cluster(8, CpuPlatform::skylake(), None),
+            sla,
+        )
         .policy;
 
     let mut t = TextTable::new(vec![
@@ -59,7 +63,11 @@ fn main() {
             label.to_string(),
             fmt3(r.latency.p50_ms),
             fmt3(r.latency.p95_ms),
-            if r.latency.p95_ms <= sla { "yes".into() } else { "no".into() },
+            if r.latency.p95_ms <= sla {
+                "yes".into()
+            } else {
+                "no".into()
+            },
             fmt3(r.qps),
             fmt3(r.avg_power_w),
             fmt3(r.qps_per_watt),

@@ -25,7 +25,10 @@ fn main() {
         println!("  item {i}: CTR = {ctr:.4}");
     }
     let (dominant, frac) = prof.dominant().expect("profiled");
-    println!("dominant operator: {dominant} ({:.0}% of time)", frac * 100.0);
+    println!(
+        "dominant operator: {dominant} ({:.0}% of time)",
+        frac * 100.0
+    );
 
     // --- 2. At-scale serving ----------------------------------------------
     // The same model served on a 40-core Skylake under production

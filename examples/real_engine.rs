@@ -57,7 +57,10 @@ fn main() {
         ServeOptions::new(workers, 64, 3),
     );
 
-    println!("throughput: {:.1} queries/s | {:.0} items/s", report.qps, report.items_per_s);
+    println!(
+        "throughput: {:.1} queries/s | {:.0} items/s",
+        report.qps, report.items_per_s
+    );
     println!(
         "latency: p50 {} ms | p95 {} ms | max {} ms\n",
         fmt3(report.latency.p50_ms),
@@ -72,5 +75,9 @@ fn main() {
     }
     println!("## Operator breakdown (Figure 3 view)\n\n{t}");
     let (dom, share) = report.profile.dominant().expect("profiled");
-    println!("bottleneck: {dom} ({:.0}%) — paper says \"{}\"", share * 100.0, cfg.paper_bottleneck);
+    println!(
+        "bottleneck: {dom} ({:.0}%) — paper says \"{}\"",
+        share * 100.0,
+        cfg.paper_bottleneck
+    );
 }

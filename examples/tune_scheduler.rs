@@ -8,9 +8,14 @@ use deeprecsys::prelude::*;
 use deeprecsys::table::{fmt3, TextTable};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "DLRM-RMC1".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "DLRM-RMC1".into());
     let cfg = zoo::by_name(&name).unwrap_or_else(|| {
-        eprintln!("unknown model {name}; known: {:?}", zoo::all().iter().map(|m| m.name).collect::<Vec<_>>());
+        eprintln!(
+            "unknown model {name}; known: {:?}",
+            zoo::all().iter().map(|m| m.name).collect::<Vec<_>>()
+        );
         std::process::exit(1);
     });
     let sla = SlaTier::Medium.sla_ms(&cfg);
@@ -23,7 +28,11 @@ fn main() {
     let cpu = sched.tune_cpu(&cfg, ClusterConfig::single_skylake(), sla);
     let mut t = TextTable::new(vec!["batch size", "max QPS under SLA"]);
     for &(b, q) in &cpu.trajectory {
-        let marker = if b == cpu.policy.max_batch { " <= chosen" } else { "" };
+        let marker = if b == cpu.policy.max_batch {
+            " <= chosen"
+        } else {
+            ""
+        };
         t.row(vec![b.to_string(), format!("{}{marker}", fmt3(q))]);
     }
     println!("## Phase 1: request- vs batch-parallelism (hill climb)\n\n{t}");
@@ -37,7 +46,11 @@ fn main() {
     );
     let mut t = TextTable::new(vec!["GPU threshold", "max QPS under SLA"]);
     for &(th, q) in &gpu.trajectory {
-        let marker = if Some(th) == gpu.policy.gpu_threshold { " <= chosen" } else { "" };
+        let marker = if Some(th) == gpu.policy.gpu_threshold {
+            " <= chosen"
+        } else {
+            ""
+        };
         t.row(vec![th.to_string(), format!("{}{marker}", fmt3(q))]);
     }
     println!("## Phase 2: accelerator offload threshold (hill climb)\n\n{t}");
@@ -50,7 +63,10 @@ fn main() {
         &opts,
     );
     println!("## Summary\n");
-    println!("- static baseline (batch 25):       {:>8} QPS", fmt3(baseline.max_qps));
+    println!(
+        "- static baseline (batch 25):       {:>8} QPS",
+        fmt3(baseline.max_qps)
+    );
     println!(
         "- DeepRecSched-CPU (batch {:>4}):    {:>8} QPS ({:.2}x)",
         cpu.policy.max_batch,

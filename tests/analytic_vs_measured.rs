@@ -25,9 +25,12 @@ fn analytic_and_measured_agree_on_clear_cut_models() {
         (zoo::wide_and_deep(), "MLP dominated"),
         (zoo::dien(), "Attention-based GRU dominated"),
     ] {
-        let analytic = classify_bottleneck(
-            &op_breakdown(&cfg).time_fractions(64, PEAK_GFLOPS, GATHER_BW, STREAM_BW),
-        );
+        let analytic = classify_bottleneck(&op_breakdown(&cfg).time_fractions(
+            64,
+            PEAK_GFLOPS,
+            GATHER_BW,
+            STREAM_BW,
+        ));
         assert_eq!(analytic, expect, "{} analytic", cfg.name);
 
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);

@@ -1,0 +1,421 @@
+//! Vendored, offline stand-in for the parts of [`proptest`] this
+//! workspace uses.
+//!
+//! The build environment cannot reach crates.io, so this crate provides
+//! a deterministic, generation-only property-testing harness with the
+//! same surface syntax as upstream `proptest`:
+//!
+//! * the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header),
+//! * range and [`prop::collection::vec`] strategies plus
+//!   [`Strategy::prop_map`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports its case index and seed;
+//!   re-running is already minimal effort because generation is fully
+//!   deterministic (seeded per test name + case index).
+//! * **Capped case counts.** The default is [`DEFAULT_CASES`] cases per
+//!   property (upstream defaults to 256) so the whole workspace suite
+//!   stays fast in debug builds. Set the `PROPTEST_CASES` environment
+//!   variable to raise it for a deeper soak.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Default number of cases per property (upstream uses 256; this
+/// workspace caps lower to keep `cargo test` fast in debug mode).
+pub const DEFAULT_CASES: u32 = 32;
+
+/// Runtime configuration for a `proptest!` block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Cases to actually run: the configured count, unless the
+    /// `PROPTEST_CASES` environment variable raises it (it can only
+    /// deepen a soak, never undercut an audited per-file budget).
+    /// Unparsable values are rejected loudly rather than silently
+    /// pretending the requested soak ran.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => match v.parse::<u32>() {
+                Ok(n) => self.cases.max(n),
+                Err(_) => panic!("PROPTEST_CASES={v:?} is not a case count"),
+            },
+            Err(_) => self.cases,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+/// Error produced by a failing `prop_assert!`-family macro.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure carrying `msg`.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError(msg)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The RNG driving strategy generation. Deterministic per (test name,
+/// case index): failures are reproducible by construction.
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// A runner for case `case` of the property named `name`.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        // FNV-1a over the test name keeps streams independent between
+        // properties without any global state.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner {
+            rng: StdRng::seed_from_u64(h ^ ((case as u64) << 32) ^ 0x5eed),
+        }
+    }
+
+    /// The underlying RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// A source of random values of one type — the generation half of
+/// upstream proptest's `Strategy` (no shrinking).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`, as upstream's `prop_map`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.sample(runner))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Number of elements a collection strategy should produce.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, runner: &mut TestRunner) -> usize {
+        if self.lo + 1 >= self.hi_exclusive {
+            self.lo
+        } else {
+            runner.rng().gen_range(self.lo..self.hi_exclusive)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        SizeRange {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+/// Namespace mirror of upstream `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, TestRunner};
+
+        /// Strategy for `Vec`s whose length is drawn from `size` and
+        /// whose elements are drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// Strategy produced by [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+                let n = self.size.sample(runner);
+                (0..n).map(|_| self.element.sample(runner)).collect()
+            }
+        }
+    }
+}
+
+/// One-import prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError, TestRunner,
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current
+/// case (with its deterministic seed reported) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                left,
+                right
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                left
+            )));
+        }
+    }};
+}
+
+/// Declares property tests. Mirrors upstream `proptest!` syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///
+///     /// Doc comment.
+///     #[test]
+///     fn my_property(x in 0u32..100, v in prop::collection::vec(0f64..1.0, 1..50)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let __cases = __cfg.effective_cases();
+                for __case in 0..__cases {
+                    let mut __runner =
+                        $crate::TestRunner::for_case(stringify!($name), __case);
+                    $(let $pat = $crate::Strategy::sample(&($strat), &mut __runner);)+
+                    let __result: ::core::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(e) = __result {
+                        panic!(
+                            "proptest {} failed at case {}/{} (deterministic; rerun reproduces): {}",
+                            stringify!($name), __case, __cases, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, y in -1.5f64..=1.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.5..=1.5).contains(&y), "y out of range: {y}");
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in prop::collection::vec(0u8..10, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 10));
+        }
+
+        #[test]
+        fn prop_map_applies(s in (1usize..5).prop_map(|n| "x".repeat(n))) {
+            prop_assert_eq!(s.chars().filter(|&c| c == 'x').count(), s.len());
+        }
+
+        #[test]
+        fn exact_len_vec(v in prop::collection::vec(0f32..1.0, 12)) {
+            prop_assert_eq!(v.len(), 12);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = prop::collection::vec(0u64..1_000_000, 5..30);
+        let a = s.sample(&mut TestRunner::for_case("det", 3));
+        let b = s.sample(&mut TestRunner::for_case("det", 3));
+        assert_eq!(a, b);
+        let c = s.sample(&mut TestRunner::for_case("det", 4));
+        assert_ne!(a, c);
+    }
+}
