@@ -1,0 +1,69 @@
+//! Micro-benchmark: the serving runtime's dynamic batching queue —
+//! the per-arrival hot path (split + coalesce) and the retune-time
+//! backlog repack.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use drs_query::{ArrivalProcess, QueryGenerator, SizeDistribution};
+use drs_server::BatchQueue;
+
+fn bench_enqueue_coalesce(c: &mut Criterion) {
+    // A production-shaped arrival stream, pre-generated outside the
+    // timing loop.
+    let queries: Vec<(u64, u64, u32)> = QueryGenerator::new(
+        ArrivalProcess::poisson(10_000.0),
+        SizeDistribution::production(),
+        7,
+    )
+    .take(10_000)
+    .map(|q| (q.id, (q.arrival_s * 1e9) as u64, q.size))
+    .collect();
+
+    let mut group = c.benchmark_group("batching_queue");
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    group.bench_function("push_10k_production_queries", |b| {
+        b.iter(|| {
+            let mut q = BatchQueue::new(64, 200_000);
+            let mut out = Vec::new();
+            for &(id, t_ns, size) in &queries {
+                q.push(t_ns, id, size, &mut out);
+                q.flush_due(t_ns, &mut out);
+            }
+            q.flush_all(&mut out);
+            out.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_reform(c: &mut Criterion) {
+    // Backlog repack: the retune path — thousands of tiny batches
+    // consolidated to the new knob.
+    let mut seed_queue = BatchQueue::new(1, 0);
+    let mut backlog = Vec::new();
+    let sizes: Vec<(u64, u32)> = QueryGenerator::new(
+        ArrivalProcess::poisson(10_000.0),
+        SizeDistribution::production(),
+        9,
+    )
+    .take(200)
+    .map(|q| (q.id, q.size))
+    .collect();
+    for &(id, size) in &sizes {
+        seed_queue.push(0, id, size, &mut backlog);
+    }
+
+    let mut group = c.benchmark_group("batching_queue");
+    group.throughput(Throughput::Elements(backlog.len() as u64));
+    group.bench_function("reform_backlog_to_batch_64", |b| {
+        b.iter(|| {
+            let mut q = BatchQueue::new(64, 200_000);
+            let mut out = Vec::new();
+            q.reform(backlog.clone(), &mut out);
+            out.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_enqueue_coalesce, bench_reform);
+criterion_main!(benches);

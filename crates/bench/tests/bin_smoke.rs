@@ -58,6 +58,7 @@ bin_smoke_tests! {
     fig11_headline => "fig11_headline",
     fig12_parallelism => "fig12_parallelism",
     fig13_production => "fig13_production",
+    fig13_online_tuning => "fig13_online_tuning",
     fig14_gpu_tradeoff => "fig14_gpu_tradeoff",
     probe_capacity => "probe_capacity",
     table1_models => "table1_models",

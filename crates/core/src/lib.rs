@@ -36,6 +36,7 @@
 
 pub mod table;
 
+pub use drs_core as core_types;
 pub use drs_engine as engine;
 pub use drs_metrics as metrics;
 pub use drs_models as models;
@@ -43,6 +44,7 @@ pub use drs_nn as nn;
 pub use drs_platform as platform;
 pub use drs_query as query;
 pub use drs_sched as sched;
+pub use drs_server as server;
 pub use drs_sim as sim;
 pub use drs_tensor as tensor;
 
@@ -58,6 +60,7 @@ pub mod prelude {
     pub use drs_platform::{CpuPlatform, GpuPlatform, ModelCost};
     pub use drs_query::{ArrivalProcess, QueryGenerator, SizeDistribution};
     pub use drs_sched::{max_qps_under_sla, DeepRecSched, SearchOptions, SlaTier, TunedConfig};
+    pub use drs_server::{BatchingConfig, ControllerConfig, Server, ServerOptions, ServerReport};
     pub use drs_sim::{ClusterConfig, RunOptions, SchedulerPolicy, SimReport, Simulation};
 }
 

@@ -1,0 +1,283 @@
+//! The hill-climb stepping rule (Section IV-C), factored out of the
+//! offline tuner so the online controller can replay the exact same
+//! accept/tie/patience decisions one measurement window at a time.
+
+use drs_query::MAX_QUERY_SIZE;
+
+/// The canonical batch-size ladder both tuners climb: powers of two
+/// from the unit batch to 1024 (Section IV-C starts "with a unit
+/// batch-size").
+pub fn canonical_batch_ladder() -> Vec<u32> {
+    (0..=10).map(|p| 1u32 << p).collect()
+}
+
+/// The canonical GPU query-size-threshold ladder: 0 (offload
+/// everything) up to the maximum production query size (offload
+/// nothing). Shared by the offline tuner and the online controller so
+/// the two cannot silently drift apart.
+pub fn canonical_threshold_ladder() -> Vec<u32> {
+    vec![
+        0,
+        25,
+        50,
+        100,
+        150,
+        200,
+        300,
+        400,
+        500,
+        650,
+        800,
+        MAX_QUERY_SIZE,
+    ]
+}
+
+/// Outcome of feeding one observation to [`LadderClimb::observe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClimbStep {
+    /// The observed rung displaced the incumbent best.
+    Accepted,
+    /// The observation failed to beat the incumbent beyond tolerance.
+    Rejected,
+}
+
+impl ClimbStep {
+    /// Whether this step displaced the incumbent.
+    pub fn accepted(self) -> bool {
+        self == ClimbStep::Accepted
+    }
+}
+
+/// Incremental 1-D hill climb over a monotonic ladder of knob values
+/// (ascending for the canonical grow-the-knob tune; descending for a
+/// local walk back down from an over-climbed operating point).
+///
+/// The caller drives the loop: read the rung under evaluation with
+/// [`current`](LadderClimb::current), measure its score however long
+/// that takes (a simulated QPS search offline, a live latency window
+/// online), then feed the score to [`observe`](LadderClimb::observe).
+/// The stepper applies the tuner's rules:
+///
+/// * a rung only displaces the incumbent when its score exceeds the
+///   incumbent's by more than `rel_tol` (ties keep the earlier —
+///   smaller — rung, so measurement quantization never inflates the
+///   chosen knob);
+/// * the climb stops after `patience + 1` consecutive rungs that fail
+///   to beat the best score *observed* (strictly), or when the ladder
+///   is exhausted. Acceptance and stopping are deliberately decoupled:
+///   a slowly rising surface keeps climbing and is accepted once its
+///   cumulative gain clears `rel_tol`.
+///
+/// Scores are "higher is better" and the first rung always becomes the
+/// initial incumbent.
+///
+/// # Examples
+///
+/// ```
+/// use drs_core::LadderClimb;
+///
+/// // A surface peaking at rung 4.
+/// let scores = [10.0, 30.0, 50.0, 40.0, 20.0];
+/// let mut climb = LadderClimb::new(vec![1, 2, 4, 8, 16], 0, 0.0);
+/// let mut i = 0;
+/// while !climb.is_done() {
+///     let _ = climb.observe(scores[i]);
+///     i += 1;
+/// }
+/// assert_eq!(climb.best().0, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LadderClimb {
+    ladder: Vec<u32>,
+    idx: usize,
+    patience: usize,
+    rel_tol: f64,
+    best_idx: usize,
+    best_score: f64,
+    peak_seen: f64,
+    bad_steps: usize,
+    observed: usize,
+    done: bool,
+}
+
+impl LadderClimb {
+    /// Starts a climb over `ladder` with the given stopping patience and
+    /// relative acceptance tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ladder is empty, not strictly monotonic (in
+    /// either direction), or `rel_tol` is negative.
+    pub fn new(ladder: Vec<u32>, patience: usize, rel_tol: f64) -> Self {
+        assert!(!ladder.is_empty(), "empty ladder");
+        assert!(
+            ladder.windows(2).all(|w| w[0] < w[1]) || ladder.windows(2).all(|w| w[0] > w[1]),
+            "ladder must be strictly ascending or strictly descending"
+        );
+        assert!(rel_tol >= 0.0, "negative tolerance");
+        LadderClimb {
+            ladder,
+            idx: 0,
+            patience,
+            rel_tol,
+            best_idx: 0,
+            best_score: 0.0,
+            peak_seen: 0.0,
+            bad_steps: 0,
+            observed: 0,
+            done: false,
+        }
+    }
+
+    /// The rung currently under evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics once the climb [`is_done`](LadderClimb::is_done).
+    pub fn current(&self) -> u32 {
+        assert!(!self.done, "climb finished; use best()");
+        self.ladder[self.idx]
+    }
+
+    /// Records the measured score of the current rung and advances.
+    ///
+    /// # Panics
+    ///
+    /// Panics once the climb [`is_done`](LadderClimb::is_done).
+    pub fn observe(&mut self, score: f64) -> ClimbStep {
+        assert!(!self.done, "climb finished; use best()");
+        let step = if self.observed == 0 {
+            self.best_idx = self.idx;
+            self.best_score = score;
+            self.peak_seen = score;
+            ClimbStep::Accepted
+        } else {
+            if score > self.peak_seen {
+                self.peak_seen = score;
+                self.bad_steps = 0;
+            } else {
+                self.bad_steps += 1;
+            }
+            if score > self.best_score * (1.0 + self.rel_tol) {
+                self.best_idx = self.idx;
+                self.best_score = score;
+                ClimbStep::Accepted
+            } else {
+                ClimbStep::Rejected
+            }
+        };
+        self.observed += 1;
+        self.idx += 1;
+        if self.bad_steps > self.patience || self.idx >= self.ladder.len() {
+            self.done = true;
+        }
+        step
+    }
+
+    /// Whether the climb has stopped (patience exhausted or ladder
+    /// walked to the end).
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// The best `(rung, score)` seen so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics before the first observation.
+    pub fn best(&self) -> (u32, f64) {
+        assert!(self.observed > 0, "nothing observed yet");
+        (self.ladder[self.best_idx], self.best_score)
+    }
+
+    /// The ladder being climbed.
+    pub fn ladder(&self) -> &[u32] {
+        &self.ladder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(ladder: Vec<u32>, patience: usize, rel_tol: f64, scores: &[f64]) -> LadderClimb {
+        let mut c = LadderClimb::new(ladder, patience, rel_tol);
+        let mut i = 0;
+        while !c.is_done() {
+            c.observe(scores[i]);
+            i += 1;
+        }
+        c
+    }
+
+    #[test]
+    fn stops_after_patience_and_keeps_best() {
+        // Peak at rung 2; patience 1 stops after two non-improving rungs.
+        let c = run(
+            vec![1, 2, 4, 8, 16],
+            1,
+            0.0,
+            &[10.0, 40.0, 30.0, 20.0, 99.0],
+        );
+        assert_eq!(c.best(), (2, 40.0));
+        assert!(c.is_done(), "never reached the 99.0 rung");
+    }
+
+    #[test]
+    fn tie_keeps_smaller_rung() {
+        let c = run(vec![1, 2, 4], 5, 0.10, &[10.0, 10.5, 10.9]);
+        // Neither later rung beats 10.0 by more than 10 %.
+        assert_eq!(c.best().0, 1);
+    }
+
+    #[test]
+    fn slow_rise_accumulates_past_tolerance() {
+        // Each step gains < 10 % over its predecessor, but cumulative
+        // gains over the incumbent clear the threshold; the patience
+        // counter must not misread sub-threshold gains as degradation
+        // (every rung here improves on the peak, so bad_steps stays 0).
+        let c = run(vec![1, 2, 4, 8], 0, 0.10, &[10.0, 10.9, 11.9, 13.2]);
+        // 10.9 fails 10.0·1.1; 11.9 clears it (incumbent → 4);
+        // 13.2 clears 11.9·1.1 (incumbent → 8).
+        assert_eq!(c.best().0, 8);
+    }
+
+    #[test]
+    fn first_rung_is_incumbent_even_at_zero() {
+        let mut c = LadderClimb::new(vec![1, 2], 0, 0.0);
+        assert_eq!(c.observe(0.0), ClimbStep::Accepted);
+        assert_eq!(c.observe(5.0), ClimbStep::Accepted);
+        assert_eq!(c.best(), (2, 5.0));
+    }
+
+    #[test]
+    fn exhausted_ladder_finishes() {
+        let mut c = LadderClimb::new(vec![7], 3, 0.0);
+        assert_eq!(c.current(), 7);
+        c.observe(1.0);
+        assert!(c.is_done());
+        assert_eq!(c.best(), (7, 1.0));
+    }
+
+    #[test]
+    fn descending_ladder_walks_down() {
+        // Walking down from an over-climbed knob: 256 is fine, 128 is
+        // better, 64 worse again.
+        let c = run(vec![256, 128, 64, 32], 0, 0.05, &[10.0, 11.0, 9.0, 8.0]);
+        assert_eq!(c.best().0, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending or strictly descending")]
+    fn bad_ladder_rejected() {
+        let _ = LadderClimb::new(vec![4, 2, 3], 0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "climb finished")]
+    fn observe_after_done_panics() {
+        let mut c = LadderClimb::new(vec![1], 0, 0.0);
+        c.observe(1.0);
+        c.observe(2.0);
+    }
+}

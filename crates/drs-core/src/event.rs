@@ -1,4 +1,5 @@
-//! The simulation clock and event queue.
+//! The virtual-time clock and event queue shared by the simulator and
+//! the server's deterministic fast-forward mode.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -17,7 +18,7 @@ pub const NS_PER_SEC: u64 = 1_000_000_000;
 /// # Examples
 ///
 /// ```
-/// use drs_sim::EventQueue;
+/// use drs_core::EventQueue;
 ///
 /// let mut q = EventQueue::new();
 /// q.push(20, "late");
@@ -104,7 +105,7 @@ impl<E> Default for EventQueue<E> {
 
 /// Converts seconds (f64) to [`SimTime`] nanoseconds, saturating at
 /// zero for negative input.
-pub(crate) fn secs_to_ns(s: f64) -> SimTime {
+pub fn secs_to_ns(s: f64) -> SimTime {
     if s <= 0.0 {
         0
     } else {
@@ -114,7 +115,7 @@ pub(crate) fn secs_to_ns(s: f64) -> SimTime {
 
 /// Converts microseconds (f64) to nanoseconds, flooring at 1 ns so a
 /// service time is never zero.
-pub(crate) fn us_to_ns(us: f64) -> SimTime {
+pub fn us_to_ns(us: f64) -> SimTime {
     ((us * 1e3).round() as SimTime).max(1)
 }
 

@@ -1,0 +1,29 @@
+//! Shared serving vocabulary for the DeepRecSys reproduction.
+//!
+//! Three execution layers consume the same handful of types: the
+//! discrete-event simulator (`drs-sim`), the offline tuner
+//! (`drs-sched`), and the open-loop serving runtime (`drs-server`).
+//! This crate is the bottom of that dependency fan — it owns
+//!
+//! * [`SchedulerPolicy`] — the two knobs every scheduler tunes
+//!   (per-request batch size, GPU query-size threshold),
+//! * [`SimReport`] — the measurement shape every experiment consumes,
+//! * [`EventQueue`] — the deterministic virtual-time event queue,
+//! * [`LadderClimb`] — the incremental hill-climb stepper whose
+//!   accept/tie/patience rules are shared by the offline tuner and the
+//!   online controller,
+//!
+//! so that `drs-server` can schedule and report without depending on
+//! the whole simulator.
+
+#![warn(missing_docs)]
+
+mod climb;
+mod event;
+mod policy;
+mod report;
+
+pub use climb::{canonical_batch_ladder, canonical_threshold_ladder, ClimbStep, LadderClimb};
+pub use event::{secs_to_ns, us_to_ns, EventQueue, SimTime, NS_PER_SEC};
+pub use policy::SchedulerPolicy;
+pub use report::SimReport;

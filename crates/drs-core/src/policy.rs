@@ -13,7 +13,7 @@ use drs_query::MAX_QUERY_SIZE;
 /// # Examples
 ///
 /// ```
-/// use drs_sim::SchedulerPolicy;
+/// use drs_core::SchedulerPolicy;
 ///
 /// let p = SchedulerPolicy::with_gpu(128, 300);
 /// assert_eq!(p.max_batch, 128);

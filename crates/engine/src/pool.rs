@@ -38,6 +38,13 @@ pub struct EngineCompletion {
 /// to idle workers through an unbounded MPMC channel; completions
 /// arrive on [`InferenceEngine::completions`] in finish order.
 ///
+/// Open-loop callers (the `drs-server` runtime) should prefer the
+/// bounded path — [`InferenceEngine::with_queue_bound`] plus
+/// [`InferenceEngine::try_submit`] — so a load spike surfaces as
+/// backpressure at the dispatcher instead of unbounded buffering, and
+/// [`InferenceEngine::try_completion`] to drain finished work without
+/// blocking the submission loop.
+///
 /// # Examples
 ///
 /// ```
@@ -59,7 +66,11 @@ pub struct EngineCompletion {
 #[derive(Debug)]
 pub struct InferenceEngine {
     tx: Option<Sender<EngineRequest>>,
+    /// Observer clone of the request channel, kept only for its depth
+    /// gauge (never received from).
+    rx_requests: Receiver<EngineRequest>,
     rx_done: Receiver<EngineCompletion>,
+    queue_bound: Option<usize>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -97,9 +108,25 @@ impl InferenceEngine {
             .collect();
         InferenceEngine {
             tx: Some(tx),
+            rx_requests: rx,
             rx_done,
+            queue_bound: None,
             workers: handles,
         }
+    }
+
+    /// Caps the request queue at `bound` pending requests: once the
+    /// depth gauge reaches the bound, [`InferenceEngine::try_submit`]
+    /// refuses work instead of buffering it. ([`InferenceEngine::submit`]
+    /// stays unbounded for closed-loop callers that self-limit.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn with_queue_bound(mut self, bound: usize) -> Self {
+        assert!(bound > 0, "queue bound must be positive");
+        self.queue_bound = Some(bound);
+        self
     }
 
     /// Enqueues a request.
@@ -113,6 +140,43 @@ impl InferenceEngine {
             .expect("engine is running")
             .send(request)
             .expect("workers alive");
+    }
+
+    /// Bounded submit: enqueues the request unless the pending-request
+    /// queue is at the configured bound, in which case the request is
+    /// handed back so the caller can hold it and exert backpressure.
+    /// Without a configured bound this never refuses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`InferenceEngine::shutdown`].
+    pub fn try_submit(&self, request: EngineRequest) -> Result<(), EngineRequest> {
+        if let Some(bound) = self.queue_bound {
+            if self.queue_depth() >= bound {
+                return Err(request);
+            }
+        }
+        self.submit(request);
+        Ok(())
+    }
+
+    /// Requests accepted but not yet picked up by a worker — the
+    /// backpressure gauge behind [`InferenceEngine::try_submit`].
+    pub fn queue_depth(&self) -> usize {
+        self.rx_requests.len()
+    }
+
+    /// The configured request-queue bound, if any.
+    pub fn queue_bound(&self) -> Option<usize> {
+        self.queue_bound
+    }
+
+    /// Non-blocking completion drain: returns a finished request if one
+    /// is ready, `None` otherwise. Open-loop serving interleaves this
+    /// with arrival pacing so the completion channel never backs up
+    /// while the submitter sleeps.
+    pub fn try_completion(&self) -> Option<EngineCompletion> {
+        self.rx_done.try_recv().ok()
     }
 
     /// The completion channel (finish order, not submit order).
@@ -188,6 +252,74 @@ mod tests {
         let model = tiny_model();
         let engine = InferenceEngine::start(model, 2);
         drop(engine); // must not hang or leak
+    }
+
+    #[test]
+    fn bounded_submit_exerts_backpressure() {
+        let model = tiny_model();
+        let bound = 2;
+        let engine = InferenceEngine::start(Arc::clone(&model), 1).with_queue_bound(bound);
+        assert_eq!(engine.queue_bound(), Some(bound));
+        let mut rng = StdRng::seed_from_u64(7);
+        // A single worker runs real forward passes (reads weights and
+        // computes) while submission clones a prebuilt input (a strict
+        // subset of that work): pushing in a tight loop must hit the
+        // bound long before the worker drains 10k batches.
+        let inputs = model.generate_inputs(64, &mut rng);
+        let mut accepted = 0u32;
+        let mut refused = false;
+        for _ in 0..10_000 {
+            let req = EngineRequest {
+                query_id: accepted as u64,
+                inputs: inputs.clone(),
+            };
+            match engine.try_submit(req) {
+                Ok(()) => accepted += 1,
+                Err(back) => {
+                    // The refused request comes back intact for retry.
+                    assert_eq!(back.inputs.batch, 64);
+                    refused = true;
+                    break;
+                }
+            }
+            assert!(engine.queue_depth() <= bound);
+        }
+        assert!(refused, "bound {bound} never refused in 10k submissions");
+        // Everything accepted still completes.
+        let mut done = 0;
+        while done < accepted {
+            if engine.try_completion().is_some() {
+                done += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        assert!(engine.try_completion().is_none());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn unbounded_try_submit_never_refuses() {
+        let model = tiny_model();
+        let engine = InferenceEngine::start(Arc::clone(&model), 1);
+        let mut rng = StdRng::seed_from_u64(9);
+        for qid in 0..64 {
+            let req = EngineRequest {
+                query_id: qid,
+                inputs: model.generate_inputs(2, &mut rng),
+            };
+            assert!(engine.try_submit(req).is_ok());
+        }
+        for _ in 0..64 {
+            let _ = engine.completions().recv().unwrap();
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "queue bound must be positive")]
+    fn zero_bound_rejected() {
+        let _ = InferenceEngine::start(tiny_model(), 1).with_queue_bound(0);
     }
 
     #[test]

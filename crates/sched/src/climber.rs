@@ -1,8 +1,8 @@
 //! The two-phase hill climber (Section IV-C).
 
 use crate::search::{max_qps_under_sla, QpsSearchResult, SearchOptions};
+use drs_core::{canonical_batch_ladder, canonical_threshold_ladder, LadderClimb};
 use drs_models::ModelConfig;
-use drs_query::MAX_QUERY_SIZE;
 use drs_sim::{ClusterConfig, SchedulerPolicy, SimReport};
 
 /// Generic 1-D hill climb over an ascending `ladder`.
@@ -44,6 +44,17 @@ where
 /// and is accepted once its *cumulative* gain over the incumbent
 /// clears `rel_tol`, instead of being miscounted as degradation and
 /// stopping the climb below the optimum.
+///
+/// The stepping rules themselves live in [`drs_core::LadderClimb`], so
+/// the online controller (`drs-server`) replays the exact same
+/// decisions one live measurement window at a time; this function is
+/// the offline driver that evaluates rungs eagerly.
+///
+/// # Panics
+///
+/// Panics if the ladder is empty or not strictly monotonic (plateaus
+/// and duplicate rungs are rejected — they would be evaluated twice
+/// and can only lose ties), or if `rel_tol` is negative.
 pub fn hill_climb_1d_rel<F>(
     ladder: &[u32],
     patience: usize,
@@ -53,31 +64,23 @@ pub fn hill_climb_1d_rel<F>(
 where
     F: FnMut(u32) -> QpsSearchResult,
 {
-    assert!(!ladder.is_empty(), "empty ladder");
-    assert!(rel_tol >= 0.0, "negative tolerance");
-    let mut best_val = ladder[0];
-    let mut best = eval(ladder[0]);
-    let mut peak_seen = best.max_qps;
-    let mut trajectory = vec![(ladder[0], best.max_qps)];
-    let mut bad_steps = 0;
-    for &v in &ladder[1..] {
+    let mut climb = LadderClimb::new(ladder.to_vec(), patience, rel_tol);
+    let mut best: Option<QpsSearchResult> = None;
+    let mut trajectory = Vec::with_capacity(ladder.len());
+    while !climb.is_done() {
+        let v = climb.current();
         let r = eval(v);
         trajectory.push((v, r.max_qps));
-        if r.max_qps > peak_seen {
-            peak_seen = r.max_qps;
-            bad_steps = 0;
-        } else {
-            bad_steps += 1;
-        }
-        if r.max_qps > best.max_qps * (1.0 + rel_tol) {
-            best_val = v;
-            best = r;
-        }
-        if bad_steps > patience {
-            break;
+        if climb.observe(r.max_qps).accepted() {
+            best = Some(r);
         }
     }
-    (best_val, best, trajectory)
+    let (best_val, _) = climb.best();
+    (
+        best_val,
+        best.expect("a non-empty ladder yields at least one accept"),
+        trajectory,
+    )
 }
 
 /// A tuned configuration and the evidence behind it.
@@ -122,21 +125,8 @@ impl DeepRecSched {
     pub fn new(opts: SearchOptions) -> Self {
         DeepRecSched {
             opts,
-            batch_ladder: (0..=10).map(|p| 1u32 << p).collect(),
-            threshold_ladder: vec![
-                0,
-                25,
-                50,
-                100,
-                150,
-                200,
-                300,
-                400,
-                500,
-                650,
-                800,
-                MAX_QUERY_SIZE,
-            ],
+            batch_ladder: canonical_batch_ladder(),
+            threshold_ladder: canonical_threshold_ladder(),
             patience: 1,
         }
     }

@@ -1,0 +1,452 @@
+//! The online scheduling controller: DeepRecSched's hill climb, run
+//! against the live tail instead of a simulator.
+//!
+//! The offline tuner (`drs-sched`) evaluates each candidate knob with
+//! a full simulated QPS search. At serving time no such oracle exists;
+//! what the server *can* measure is its own completion rate and tail
+//! latency. The controller samples both over fixed-size windows of
+//! completed queries, scores each window as
+//! `(completions/arrivals) · (1 + 1/(1 + p95_ms))`, and feeds
+//! the scores to the exact same [`drs_core::LadderClimb`] stepping
+//! rules the offline tuner uses — batch size first, then (with an
+//! accelerator) the GPU query-size threshold, mirroring the two-phase
+//! structure of Section IV-C. Once settled it keeps watching the
+//! arrival rate and the tail, and restarts a *local* climb anchored at
+//! the incumbent — upward when load rose, walking back down when load
+//! fell or the tail shows the last climb over-committed — which is the
+//! paper's diurnal retuning scenario (Figure 13).
+//!
+//! Why that score and not plain `1/p95`: early rungs of the climb can
+//! be *underprovisioned* (a unit batch at production load), and the
+//! backlog they build inflates the measured tail of every window that
+//! follows — a naive latency score would crown whichever rung ran
+//! first. The sustained-fraction factor measures whether a rung keeps
+//! up with offered load even while a backlog drains (an overloaded
+//! rung completes fewer queries than arrive), and dividing by the
+//! window's own arrival rate keeps a diurnal trend from biasing the
+//! comparison between rungs measured at different phases of the
+//! cycle. Deliberately uncapped: while a backlog drains, a
+//! high-capacity rung completes *more* queries than arrive and must
+//! outscore the underprovisioned rung that built the backlog. The
+//! bounded latency factor (at most 2×) breaks ties between rungs that
+//! all keep up, favouring the lower tail.
+
+use drs_core::{
+    canonical_batch_ladder, canonical_threshold_ladder, LadderClimb, SchedulerPolicy, SimTime,
+    NS_PER_SEC,
+};
+use drs_metrics::LatencyRecorder;
+
+/// Tuning parameters of the online controller.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// Completed queries per control window (one climb observation).
+    pub window: usize,
+    /// Candidate batch sizes, ascending.
+    pub batch_ladder: Vec<u32>,
+    /// Candidate GPU query-size thresholds, ascending (climbed only
+    /// when the node has an accelerator).
+    pub threshold_ladder: Vec<u32>,
+    /// Consecutive non-improving rungs tolerated before settling.
+    pub patience: usize,
+    /// Relative score improvement required to displace the incumbent.
+    pub rel_tol: f64,
+    /// Relative arrival-rate drift (vs. the rate at settle time) that
+    /// triggers a re-tune.
+    pub shift_tolerance: f64,
+    /// The p95 target the score normalizes latency against: a rung at
+    /// a tenth of the SLA scores visibly better than one at half of
+    /// it, while sub-millisecond differences stay inside `rel_tol`.
+    pub sla_ms: f64,
+}
+
+impl ControllerConfig {
+    /// Serving-grade defaults: 200-query windows, the offline tuner's
+    /// canonical ladders, ±25 % load-shift tolerance.
+    pub fn standard() -> Self {
+        ControllerConfig {
+            window: 200,
+            batch_ladder: canonical_batch_ladder(),
+            threshold_ladder: canonical_threshold_ladder(),
+            patience: 1,
+            rel_tol: 0.05,
+            shift_tolerance: 0.25,
+            sla_ms: 100.0,
+        }
+    }
+
+    /// Sets the p95 target the latency score is normalized against.
+    pub fn with_sla_ms(mut self, sla_ms: f64) -> Self {
+        assert!(sla_ms > 0.0, "SLA must be positive");
+        self.sla_ms = sla_ms;
+        self
+    }
+
+    /// Small windows for smoke tests: converges in a few hundred
+    /// queries; the numbers are statistically weak.
+    pub fn smoke() -> Self {
+        ControllerConfig {
+            window: 40,
+            ..ControllerConfig::standard()
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    TuningBatch,
+    TuningThreshold,
+    Settled,
+}
+
+/// The tail of `full` starting `below` rungs under the rung holding
+/// `current` — the cheap local re-climb used after load shifts
+/// (diving deep under live load risks piloting an underprovisioned
+/// knob and building backlog on every diurnal swing).
+fn anchored_ladder(full: &[u32], current: u32, below: usize) -> Vec<u32> {
+    let pos = full
+        .iter()
+        .position(|&v| v >= current)
+        .unwrap_or(full.len() - 1);
+    full[pos.saturating_sub(below)..].to_vec()
+}
+
+/// The rungs of `full` from the one holding `current` back down to the
+/// base — the walk-down used when load falls or an over-climbed knob
+/// should be re-judged on clean measurements.
+fn descending_ladder(full: &[u32], current: u32) -> Vec<u32> {
+    let pos = full
+        .iter()
+        .position(|&v| v >= current)
+        .unwrap_or(full.len() - 1);
+    full[..=pos].iter().rev().copied().collect()
+}
+
+/// Live hill-climbing retuner for one server's [`SchedulerPolicy`].
+#[derive(Debug)]
+pub struct OnlineController {
+    cfg: ControllerConfig,
+    gpu_present: bool,
+    policy: SchedulerPolicy,
+    phase: Phase,
+    climb: LadderClimb,
+    window: LatencyRecorder,
+    /// Close time of the previous control window (stream start for the
+    /// first), so rates are measured close-to-close.
+    window_start: SimTime,
+    window_arrivals: u64,
+    settled_rate_qps: f64,
+    /// Window p95 observed when the controller last settled.
+    settled_p95_ms: f64,
+    /// `(batch rung, window p95 ms)` per batch-phase observation.
+    pub batch_trajectory: Vec<(u32, f64)>,
+    /// `(threshold rung, window p95 ms)` per threshold-phase
+    /// observation.
+    pub threshold_trajectory: Vec<(u32, f64)>,
+    /// Times the controller restarted the climb after a load shift.
+    pub retunes: u64,
+}
+
+impl OnlineController {
+    /// Starts a controller that pilots the ladder from its base; the
+    /// initial policy's GPU threshold is kept during the batch phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.window` is zero, a ladder is empty/unsorted, or
+    /// tolerances are negative.
+    pub fn new(cfg: ControllerConfig, initial: SchedulerPolicy, gpu_present: bool) -> Self {
+        assert!(cfg.window > 0, "control window must be positive");
+        assert!(cfg.shift_tolerance >= 0.0, "negative tolerance");
+        let climb = LadderClimb::new(cfg.batch_ladder.clone(), cfg.patience, cfg.rel_tol);
+        let policy = SchedulerPolicy {
+            max_batch: climb.current(),
+            gpu_threshold: initial.gpu_threshold,
+        };
+        OnlineController {
+            window: LatencyRecorder::with_capacity(cfg.window),
+            cfg,
+            gpu_present,
+            policy,
+            phase: Phase::TuningBatch,
+            climb,
+            window_start: 0,
+            window_arrivals: 0,
+            settled_rate_qps: 0.0,
+            settled_p95_ms: 0.0,
+            batch_trajectory: Vec::new(),
+            threshold_trajectory: Vec::new(),
+            retunes: 0,
+        }
+    }
+
+    /// The policy the server should apply right now.
+    pub fn policy(&self) -> SchedulerPolicy {
+        self.policy
+    }
+
+    /// Whether both climbs finished and the controller is holding its
+    /// best policy (until a load shift).
+    pub fn is_settled(&self) -> bool {
+        self.phase == Phase::Settled
+    }
+
+    /// Records one query arrival (the load estimate's numerator).
+    pub fn on_arrival(&mut self, _now: SimTime) {
+        self.window_arrivals += 1;
+    }
+
+    /// Records one completed query's end-to-end latency; closes the
+    /// control window when full. Returns `true` when the policy
+    /// changed and the server must re-read it.
+    pub fn on_complete(&mut self, now: SimTime, latency_ms: f64) -> bool {
+        self.window.record_ms(latency_ms);
+        if self.window.len() < self.cfg.window {
+            return false;
+        }
+        let p95 = self.window.summary().p95_ms;
+        let (rate, completion_rate) = self.close_window(now);
+        // Load-normalized capacity first (robust while a backlog
+        // drains — a draining rung completes *more* than arrive, an
+        // overloaded one fewer — and immune to the diurnal trend),
+        // tail as a bounded tiebreaker — see the module docs. A
+        // deadband snaps near-1 ratios to exactly 1: in steady state
+        // the ratio is all Poisson noise (±2σ ≈ 15 % at a 200-query
+        // window), and letting it through would drown the latency
+        // signal that actually distinguishes healthy rungs.
+        let raw = if rate > 0.0 {
+            completion_rate / rate
+        } else {
+            1.0
+        };
+        let sustained = if (raw - 1.0).abs() <= 0.15 { 1.0 } else { raw };
+        // Latency term normalized to a tenth of the SLA: rungs well
+        // inside the target are strongly preferred, rungs past it all
+        // look equally bad, and sub-scale jitter stays inside rel_tol.
+        let tail_factor = 1.0 + 1.0 / (1.0 + 10.0 * p95.max(0.0) / self.cfg.sla_ms);
+        let score = sustained * tail_factor;
+        match self.phase {
+            Phase::TuningBatch => {
+                self.batch_trajectory.push((self.climb.current(), p95));
+                self.climb.observe(score);
+                if !self.climb.is_done() {
+                    self.policy.max_batch = self.climb.current();
+                } else {
+                    self.policy.max_batch = self.climb.best().0;
+                    self.enter_next_phase(rate, p95);
+                }
+                true
+            }
+            Phase::TuningThreshold => {
+                self.threshold_trajectory.push((self.climb.current(), p95));
+                self.climb.observe(score);
+                if !self.climb.is_done() {
+                    self.policy.gpu_threshold = Some(self.climb.current());
+                } else {
+                    self.policy.gpu_threshold = Some(self.climb.best().0);
+                    self.settle(rate, p95);
+                }
+                true
+            }
+            Phase::Settled => {
+                // Two staleness signals. (1) Load shifted past the
+                // tolerance: rising load explores upward from the
+                // incumbent (never piloting a smaller, sooner-
+                // overloaded knob at the peak); falling load walks
+                // back down for latency. (2) The tail drifted ≥2× from
+                // its settle-time value with no rate change: a climb
+                // that finished while a cold-start backlog was still
+                // draining over-committed to a big batch — once clean,
+                // walk down and re-judge. Either way the re-climb is
+                // *local*; restarting a live server at a unit batch
+                // would re-poison it with backlog on every swing.
+                let rate_shift = self.settled_rate_qps > 0.0
+                    && (rate - self.settled_rate_qps).abs() / self.settled_rate_qps
+                        > self.cfg.shift_tolerance;
+                let tail_drift = self.settled_p95_ms > 0.0
+                    && (p95 > 2.0 * self.settled_p95_ms || p95 < 0.5 * self.settled_p95_ms);
+                if rate_shift || tail_drift {
+                    self.retunes += 1;
+                    let downward = if rate_shift {
+                        rate < self.settled_rate_qps
+                    } else {
+                        p95 < self.settled_p95_ms
+                    };
+                    let ladder = if downward {
+                        descending_ladder(&self.cfg.batch_ladder, self.policy.max_batch)
+                    } else {
+                        anchored_ladder(&self.cfg.batch_ladder, self.policy.max_batch, 0)
+                    };
+                    self.climb = LadderClimb::new(ladder, self.cfg.patience, self.cfg.rel_tol);
+                    self.policy.max_batch = self.climb.current();
+                    self.phase = Phase::TuningBatch;
+                    return true;
+                }
+                false
+            }
+        }
+    }
+
+    fn enter_next_phase(&mut self, rate: f64, p95: f64) {
+        if self.gpu_present {
+            // First tune walks from a unit threshold (all queries on
+            // the accelerator, Section IV-C); after a load shift the
+            // re-climb anchors at the incumbent like the batch phase.
+            let ladder = if self.retunes == 0 {
+                self.cfg.threshold_ladder.clone()
+            } else {
+                anchored_ladder(
+                    &self.cfg.threshold_ladder,
+                    self.policy.gpu_threshold.unwrap_or(0),
+                    1,
+                )
+            };
+            self.climb = LadderClimb::new(ladder, self.cfg.patience, self.cfg.rel_tol);
+            self.policy.gpu_threshold = Some(self.climb.current());
+            self.phase = Phase::TuningThreshold;
+        } else {
+            self.settle(rate, p95);
+        }
+    }
+
+    fn settle(&mut self, rate: f64, p95: f64) {
+        self.phase = Phase::Settled;
+        self.settled_rate_qps = rate;
+        self.settled_p95_ms = p95;
+    }
+
+    /// Resets window state, returning the window's mean arrival rate
+    /// and completion rate (QPS).
+    fn close_window(&mut self, now: SimTime) -> (f64, f64) {
+        let (rate, completion_rate) = if now > self.window_start {
+            let span = (now - self.window_start) as f64 / NS_PER_SEC as f64;
+            (
+                self.window_arrivals as f64 / span,
+                self.window.len() as f64 / span,
+            )
+        } else {
+            (0.0, 0.0)
+        };
+        self.window.clear();
+        self.window_start = now;
+        self.window_arrivals = 0;
+        (rate, completion_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drs_query::MAX_QUERY_SIZE;
+
+    fn cfg(window: usize) -> ControllerConfig {
+        ControllerConfig {
+            window,
+            batch_ladder: vec![1, 2, 4, 8],
+            threshold_ladder: vec![0, 100, MAX_QUERY_SIZE],
+            patience: 1,
+            rel_tol: 0.0,
+            shift_tolerance: 0.25,
+            sla_ms: 100.0,
+        }
+    }
+
+    /// Feeds `n` completions with the given latency; arrivals pace at
+    /// 1 ms apart so the rate estimate is stable.
+    fn feed(c: &mut OnlineController, start: SimTime, n: usize, ms: f64) -> SimTime {
+        let mut t = start;
+        for _ in 0..n {
+            t += 1_000_000;
+            c.on_arrival(t);
+            c.on_complete(t, ms);
+        }
+        t
+    }
+
+    #[test]
+    fn starts_at_ladder_base() {
+        let c = OnlineController::new(cfg(10), SchedulerPolicy::cpu_only(512), false);
+        assert_eq!(c.policy().max_batch, 1);
+        assert_eq!(c.policy().gpu_threshold, None);
+        assert!(!c.is_settled());
+    }
+
+    #[test]
+    fn climbs_to_lowest_tail_rung() {
+        // p95 per rung: batch 4 is the sweet spot.
+        let mut c = OnlineController::new(cfg(5), SchedulerPolicy::cpu_only(1), false);
+        let mut t = 0;
+        for ms in [40.0, 20.0, 10.0, 15.0] {
+            t = feed(&mut c, t, 5, ms);
+        }
+        assert!(c.is_settled(), "patience 1 + worse rung 8 ends the climb");
+        assert_eq!(c.policy().max_batch, 4);
+        assert_eq!(
+            c.batch_trajectory,
+            vec![(1, 40.0), (2, 20.0), (4, 10.0), (8, 15.0)]
+        );
+    }
+
+    #[test]
+    fn gpu_node_gets_threshold_phase() {
+        let mut c = OnlineController::new(cfg(5), SchedulerPolicy::cpu_only(1), true);
+        let mut t = 0;
+        // Batch phase: 4 rungs (8 is worse than 4, patience 1 means the
+        // full short ladder is walked).
+        for ms in [40.0, 20.0, 10.0, 15.0] {
+            t = feed(&mut c, t, 5, ms);
+        }
+        assert!(!c.is_settled());
+        assert_eq!(c.policy().gpu_threshold, Some(0), "threshold climb begins");
+        // Threshold phase: rung 100 is best.
+        for ms in [30.0, 12.0, 25.0] {
+            t = feed(&mut c, t, 5, ms);
+        }
+        assert!(c.is_settled());
+        assert_eq!(c.policy().max_batch, 4);
+        assert_eq!(c.policy().gpu_threshold, Some(100));
+    }
+
+    #[test]
+    fn load_shift_restarts_climb() {
+        let mut c = OnlineController::new(cfg(5), SchedulerPolicy::cpu_only(1), false);
+        let mut t = feed(&mut c, 0, 5, 40.0);
+        t = feed(&mut c, t, 5, 20.0);
+        t = feed(&mut c, t, 5, 10.0);
+        t = feed(&mut c, t, 5, 15.0);
+        assert!(c.is_settled());
+        // Same pacing: settled windows pass quietly.
+        t = feed(&mut c, t, 5, 10.0);
+        assert!(c.is_settled());
+        assert_eq!(c.retunes, 0);
+        // Double the arrival rate (0.5 ms gaps): the next settled
+        // window sees a >25 % shift and restarts the climb.
+        for _ in 0..5 {
+            t += 500_000;
+            c.on_arrival(t);
+            c.on_complete(t, 10.0);
+        }
+        assert_eq!(c.retunes, 1);
+        assert!(!c.is_settled());
+        assert_eq!(
+            c.policy().max_batch,
+            4,
+            "rising load: re-climb anchored at the incumbent (4)"
+        );
+    }
+
+    #[test]
+    fn policy_change_signalled_only_on_window_close() {
+        let mut c = OnlineController::new(cfg(3), SchedulerPolicy::cpu_only(1), false);
+        c.on_arrival(1);
+        assert!(!c.on_complete(1, 5.0));
+        assert!(!c.on_complete(2, 5.0));
+        assert!(c.on_complete(3, 5.0), "third completion closes the window");
+    }
+
+    #[test]
+    #[should_panic(expected = "control window must be positive")]
+    fn zero_window_rejected() {
+        let _ = OnlineController::new(cfg(0), SchedulerPolicy::cpu_only(1), false);
+    }
+}

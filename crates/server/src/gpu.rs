@@ -1,0 +1,137 @@
+//! GPU offload executor: a virtual-time FIFO device backed by the same
+//! cost model the simulator uses.
+//!
+//! The repo has no physical accelerator, so offloaded queries are
+//! *scheduled* rather than executed: service times come from
+//! [`drs_platform::ModelCost::gpu_query_us`] — host serialization,
+//! PCIe transfer, kernel launches, device compute — and the executor
+//! serves its queue FIFO, one query at a time, exactly like the
+//! simulator's GPU. Because both layers share one formula, the server
+//! and the simulator can be cross-validated against each other (see
+//! `tests/cross_validation.rs`).
+
+use drs_core::{us_to_ns, SimTime};
+use drs_platform::{CpuPlatform, GpuPlatform, ModelCost};
+
+/// Virtual-time FIFO executor for GPU-offloaded queries.
+///
+/// # Examples
+///
+/// ```
+/// use drs_models::zoo;
+/// use drs_platform::{CpuPlatform, GpuPlatform, ModelCost};
+/// use drs_server::GpuExecutor;
+///
+/// let mut gx = GpuExecutor::new(
+///     ModelCost::new(&zoo::dlrm_rmc1()),
+///     CpuPlatform::skylake(),
+///     GpuPlatform::gtx_1080ti(),
+/// );
+/// let first = gx.schedule(0, 800);
+/// let second = gx.schedule(0, 800);
+/// assert_eq!(second, 2 * first, "FIFO: the second query queues");
+/// ```
+#[derive(Debug, Clone)]
+pub struct GpuExecutor {
+    cost: ModelCost,
+    cpu: CpuPlatform,
+    gpu: GpuPlatform,
+    busy_until: SimTime,
+    busy_ns: u128,
+    completed: u64,
+}
+
+impl GpuExecutor {
+    /// Creates an idle executor for one model on one host/device pair.
+    pub fn new(cost: ModelCost, cpu: CpuPlatform, gpu: GpuPlatform) -> Self {
+        GpuExecutor {
+            cost,
+            cpu,
+            gpu,
+            busy_until: 0,
+            busy_ns: 0,
+            completed: 0,
+        }
+    }
+
+    /// End-to-end service time of one whole query of `size` items, in
+    /// microseconds — byte-for-byte the simulator's cost math.
+    pub fn service_us(&self, size: u32) -> f64 {
+        self.cost.gpu_query_us(&self.cpu, &self.gpu, size as usize)
+    }
+
+    /// [`service_us`](GpuExecutor::service_us) in nanoseconds.
+    pub fn service_ns(&self, size: u32) -> SimTime {
+        us_to_ns(self.service_us(size))
+    }
+
+    /// FIFO-schedules a query arriving at `now` and returns its
+    /// completion time: it starts when the device frees up and holds
+    /// the device for its full service time.
+    pub fn schedule(&mut self, now: SimTime, size: u32) -> SimTime {
+        let start = self.busy_until.max(now);
+        let done = start + self.service_ns(size);
+        self.busy_ns += (done - start) as u128;
+        self.busy_until = done;
+        self.completed += 1;
+        done
+    }
+
+    /// Total device-busy virtual time, nanoseconds.
+    pub fn busy_ns(&self) -> u128 {
+        self.busy_ns
+    }
+
+    /// Queries scheduled so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drs_models::zoo;
+
+    fn gx() -> GpuExecutor {
+        GpuExecutor::new(
+            ModelCost::new(&zoo::ncf()),
+            CpuPlatform::skylake(),
+            GpuPlatform::gtx_1080ti(),
+        )
+    }
+
+    #[test]
+    fn idle_device_serves_at_cost() {
+        let mut g = gx();
+        let done = g.schedule(5_000, 256);
+        assert_eq!(done, 5_000 + g.service_ns(256));
+        assert_eq!(g.completed(), 1);
+    }
+
+    #[test]
+    fn busy_device_queues_fifo() {
+        let mut g = gx();
+        let d1 = g.schedule(0, 512);
+        let d2 = g.schedule(1, 512); // arrives while busy
+        assert_eq!(d2, d1 + g.service_ns(512));
+        assert_eq!(g.busy_ns(), 2 * g.service_ns(512) as u128);
+    }
+
+    #[test]
+    fn gap_leaves_device_idle() {
+        let mut g = gx();
+        let d1 = g.schedule(0, 64);
+        let late = d1 + 1_000_000;
+        let d2 = g.schedule(late, 64);
+        assert_eq!(d2, late + g.service_ns(64));
+        // Busy time excludes the idle gap.
+        assert_eq!(g.busy_ns(), 2 * g.service_ns(64) as u128);
+    }
+
+    #[test]
+    fn service_grows_with_query_size() {
+        let g = gx();
+        assert!(g.service_us(1000) > g.service_us(10));
+    }
+}

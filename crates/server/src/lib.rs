@@ -1,0 +1,72 @@
+//! `drs-server` — an open-loop serving runtime for recommendation
+//! inference.
+//!
+//! Everything end-to-end in this repo used to live in the simulator:
+//! the real engine (`drs-engine`) only ran closed-loop at a fixed
+//! batch size. This crate is the missing execution layer — the live
+//! half of DeepRecSys (Sections IV–VI): queries arrive under a
+//! Poisson/diurnal process and flow through
+//!
+//! 1. a **dynamic batching queue** ([`BatchQueue`]) — queries are
+//!    split per the policy's `max_batch`, and sub-batch residuals are
+//!    coalesced across queries until a batch fills or a configurable
+//!    timeout expires;
+//! 2. a **GPU offload executor** ([`GpuExecutor`]) — queries above the
+//!    policy's size threshold bypass the CPU queue and are scheduled
+//!    FIFO on a virtual-time device driven by the *same*
+//!    [`drs_platform::ModelCost`] math the simulator uses, which is
+//!    what makes sim-vs-server cross-validation a test instead of a
+//!    hope;
+//! 3. a **CPU worker pool** — real forward passes on
+//!    [`drs_engine::InferenceEngine`] with a bounded request queue, so
+//!    overload surfaces as backpressure at the dispatcher rather than
+//!    unbounded buffering;
+//! 4. an **online controller** ([`OnlineController`]) — samples the
+//!    live p95 tail over sliding windows and re-runs the offline
+//!    tuner's hill-climb rules ([`drs_core::LadderClimb`]) at runtime,
+//!    retuning `max_batch`/`gpu_threshold` when load shifts (the
+//!    paper's diurnal production scenario, Figure 13).
+//!
+//! [`Server::serve_virtual`] runs the identical scheduling brain in
+//! deterministic virtual time (byte-reproducible reports, CI-speed);
+//! [`Server::serve_real`] paces the same stream onto physical worker
+//! threads.
+//!
+//! # Examples
+//!
+//! ```
+//! use drs_core::SchedulerPolicy;
+//! use drs_models::zoo;
+//! use drs_platform::CpuPlatform;
+//! use drs_query::{ArrivalProcess, QueryGenerator, SizeDistribution};
+//! use drs_server::{ControllerConfig, Server, ServerOptions};
+//!
+//! let queries: Vec<_> = QueryGenerator::new(
+//!     ArrivalProcess::poisson(800.0),
+//!     SizeDistribution::production(),
+//!     42,
+//! )
+//! .take(600)
+//! .collect();
+//! // The controller pilots its climb from the paper's unit batch.
+//! let opts = ServerOptions::new(40, SchedulerPolicy::cpu_only(1))
+//!     .with_controller(ControllerConfig::smoke());
+//! let server = Server::new(&zoo::dlrm_rmc1(), CpuPlatform::skylake(), None, opts);
+//! let report = server.serve_virtual(&queries);
+//! assert!(report.completed > 0);
+//! assert!(report.final_policy.max_batch >= 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod batcher;
+mod controller;
+mod gpu;
+mod report;
+mod server;
+
+pub use batcher::{Batch, BatchQueue, BatchSegment, BatchStats};
+pub use controller::{ControllerConfig, OnlineController};
+pub use gpu::GpuExecutor;
+pub use report::ServerReport;
+pub use server::{BatchingConfig, Server, ServerOptions};

@@ -1,0 +1,125 @@
+//! Serving output: the open-loop counterpart of `SimReport`.
+
+use drs_core::SchedulerPolicy;
+use drs_metrics::LatencySummary;
+
+/// Results of one open-loop serving run.
+///
+/// Mirrors [`drs_core::SimReport`]'s axes (throughput, tail latency,
+/// GPU work share, utilization, power) so simulator and server numbers
+/// drop into the same tables, and adds the serving-layer counters the
+/// simulator has no notion of: batching behaviour, backpressure, and
+/// the online controller's trajectory.
+#[derive(Debug, Clone)]
+pub struct ServerReport {
+    /// Offered load (mean arrival rate over the stream), QPS.
+    pub offered_qps: f64,
+    /// Queries completed inside the measurement window (post-warm-up).
+    pub completed: u64,
+    /// Sustained throughput: completed queries / measured span.
+    pub qps: f64,
+    /// End-to-end query latency statistics (queueing + batching delay +
+    /// service).
+    pub latency: LatencySummary,
+    /// Latency statistics restricted to queries completed after the
+    /// online controller settled (equals `latency` when no controller
+    /// ran; empty when the controller never settled).
+    pub settled_latency: LatencySummary,
+    /// Fraction of candidate items processed on the GPU.
+    pub gpu_work_fraction: f64,
+    /// Mean busy fraction of the CPU worker pool.
+    pub cpu_utilization: f64,
+    /// Mean busy fraction of the GPU.
+    pub gpu_utilization: f64,
+    /// Average node power draw over the window, watts.
+    pub avg_power_w: f64,
+    /// Power efficiency: sustained QPS per average watt.
+    pub qps_per_watt: f64,
+    /// Duration of the measured window, seconds (virtual or scaled
+    /// wall time depending on the serving mode).
+    pub window_s: f64,
+    /// CPU batches dispatched.
+    pub batches: u64,
+    /// Batches dispatched exactly at the batch-size knob.
+    pub full_batches: u64,
+    /// Batches that coalesced residuals from two or more queries.
+    pub coalesced_batches: u64,
+    /// Coalesce buffers flushed by timeout rather than by filling.
+    pub timeout_flushes: u64,
+    /// Mean items per dispatched batch.
+    pub mean_batch_items: f64,
+    /// Batches that met a dispatch queue already at its bound — each
+    /// counted once, at the moment it was first held back (virtual
+    /// mode: enqueued beyond the bound; real mode: first refusal by
+    /// the engine's bounded queue).
+    pub backpressure_stalls: u64,
+    /// Deepest the dispatch queue ever got.
+    pub max_queue_depth: usize,
+    /// The policy in force when the run ended.
+    pub final_policy: SchedulerPolicy,
+    /// Times the online controller restarted its climb after a load
+    /// shift (zero without a controller).
+    pub retunes: u64,
+    /// The controller's batch-phase observations: `(rung, window p95)`.
+    pub batch_trajectory: Vec<(u32, f64)>,
+    /// The controller's threshold-phase observations.
+    pub threshold_trajectory: Vec<(u32, f64)>,
+    /// Per-query latencies in milliseconds (measurement window only),
+    /// in completion order.
+    pub latencies_ms: Vec<f64>,
+}
+
+impl ServerReport {
+    /// Whether the window met a p95 SLA target, requiring a minimally
+    /// meaningful sample — same contract as `SimReport::meets_sla`.
+    pub fn meets_sla(&self, sla_ms: f64) -> bool {
+        self.completed >= 20 && self.latency.p95_ms <= sla_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sla_check_matches_sim_contract() {
+        let mut r = ServerReport {
+            offered_qps: 100.0,
+            completed: 1000,
+            qps: 99.0,
+            latency: LatencySummary {
+                count: 1000,
+                mean_ms: 40.0,
+                p50_ms: 40.0,
+                p75_ms: 60.0,
+                p95_ms: 80.0,
+                p99_ms: 96.0,
+                max_ms: 160.0,
+                min_ms: 0.1,
+            },
+            settled_latency: LatencySummary::empty(),
+            gpu_work_fraction: 0.0,
+            cpu_utilization: 0.5,
+            gpu_utilization: 0.0,
+            avg_power_w: 100.0,
+            qps_per_watt: 0.99,
+            window_s: 10.0,
+            batches: 100,
+            full_batches: 50,
+            coalesced_batches: 10,
+            timeout_flushes: 5,
+            mean_batch_items: 32.0,
+            backpressure_stalls: 0,
+            max_queue_depth: 3,
+            final_policy: SchedulerPolicy::cpu_only(64),
+            retunes: 0,
+            batch_trajectory: Vec::new(),
+            threshold_trajectory: Vec::new(),
+            latencies_ms: Vec::new(),
+        };
+        assert!(r.meets_sla(100.0));
+        assert!(!r.meets_sla(50.0));
+        r.completed = 5;
+        assert!(!r.meets_sla(100.0), "tiny samples are not trustworthy");
+    }
+}

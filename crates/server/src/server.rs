@@ -1,0 +1,767 @@
+//! The open-loop serving runtime: arrivals → batching queue → CPU
+//! worker pool / GPU offload, with the online controller in the loop.
+
+use crate::batcher::{Batch, BatchQueue};
+use crate::controller::{ControllerConfig, OnlineController};
+use crate::gpu::GpuExecutor;
+use crate::report::ServerReport;
+use drs_core::{secs_to_ns, us_to_ns, EventQueue, SchedulerPolicy, SimTime, NS_PER_SEC};
+use drs_engine::{EngineCompletion, EngineRequest, InferenceEngine};
+use drs_metrics::LatencyRecorder;
+use drs_models::{ModelConfig, RecModel};
+use drs_platform::{CpuPlatform, GpuPlatform, ModelCost};
+use drs_query::Query;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Dynamic-batching parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchingConfig {
+    /// How long a sub-batch residual may wait for company before the
+    /// open batch ships anyway, microseconds. `0` disables coalescing.
+    pub coalesce_timeout_us: f64,
+    /// Dispatch-queue depth at which the server counts backpressure
+    /// (and, on the real engine, stops submitting until workers catch
+    /// up).
+    pub queue_bound: usize,
+}
+
+impl BatchingConfig {
+    /// Serving defaults: a 200 µs coalesce window, 64 pending requests.
+    pub fn standard() -> Self {
+        BatchingConfig {
+            coalesce_timeout_us: 200.0,
+            queue_bound: 64,
+        }
+    }
+}
+
+/// Configuration of one serving run.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// CPU worker slots (threads on the real engine, modelled cores in
+    /// virtual time).
+    pub workers: usize,
+    /// Scheduling policy served when no controller is attached. With a
+    /// controller, only its `gpu_threshold` is kept (for the batch
+    /// phase): the controller pilots `max_batch` from the ladder base,
+    /// per the paper's unit-batch starting point (Section IV-C).
+    pub policy: SchedulerPolicy,
+    /// Dynamic-batching parameters.
+    pub batching: BatchingConfig,
+    /// Online controller; `None` serves the fixed policy.
+    pub controller: Option<ControllerConfig>,
+    /// Leading fraction of queries excluded from statistics (warm-up).
+    pub warmup_frac: f64,
+    /// Seed for synthetic input generation (real engine only).
+    pub seed: u64,
+    /// Real-mode pacing compression: 2.0 replays arrivals (and the
+    /// GPU's virtual clock) at twice real time. CPU forward passes are
+    /// physical and do not scale.
+    pub time_scale: f64,
+}
+
+impl ServerOptions {
+    /// Defaults: standard batching, no controller, 10 % warm-up, real
+    /// time.
+    pub fn new(workers: usize, policy: SchedulerPolicy) -> Self {
+        ServerOptions {
+            workers,
+            policy,
+            batching: BatchingConfig::standard(),
+            controller: None,
+            warmup_frac: 0.1,
+            seed: 0,
+            time_scale: 1.0,
+        }
+    }
+
+    /// Attaches an online controller.
+    pub fn with_controller(mut self, cfg: ControllerConfig) -> Self {
+        self.controller = Some(cfg);
+        self
+    }
+
+    /// Overrides the batching parameters.
+    pub fn with_batching(mut self, batching: BatchingConfig) -> Self {
+        self.batching = batching;
+        self
+    }
+}
+
+/// An open-loop recommendation inference server for one model on one
+/// node.
+///
+/// Two execution substrates share one scheduling brain (batching
+/// queue, offload routing, online controller):
+///
+/// * [`Server::serve_virtual`] — deterministic virtual time; CPU and
+///   GPU service times come from [`drs_platform::ModelCost`], so runs
+///   are byte-reproducible and cross-validate against `drs-sim`.
+/// * [`Server::serve_real`] — wall-clock time; CPU batches execute as
+///   real forward passes on a [`drs_engine::InferenceEngine`] worker
+///   pool (with bounded-queue backpressure), while GPU offloads run on
+///   the virtual-time cost model.
+///
+/// # Examples
+///
+/// ```
+/// use drs_core::SchedulerPolicy;
+/// use drs_models::zoo;
+/// use drs_platform::CpuPlatform;
+/// use drs_query::{ArrivalProcess, QueryGenerator, SizeDistribution};
+/// use drs_server::{Server, ServerOptions};
+///
+/// let queries: Vec<_> = QueryGenerator::new(
+///     ArrivalProcess::poisson(500.0),
+///     SizeDistribution::production(),
+///     7,
+/// )
+/// .take(400)
+/// .collect();
+/// let server = Server::new(
+///     &zoo::dlrm_rmc1(),
+///     CpuPlatform::skylake(),
+///     None,
+///     ServerOptions::new(40, SchedulerPolicy::cpu_only(64)),
+/// );
+/// let report = server.serve_virtual(&queries);
+/// assert!(report.completed > 0);
+/// assert!(report.latency.p95_ms > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct Server {
+    cost: ModelCost,
+    cpu: CpuPlatform,
+    gpu: Option<GpuPlatform>,
+    opts: ServerOptions,
+}
+
+impl Server {
+    /// Builds a server for one model on one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if options are degenerate or the policy offloads without
+    /// a GPU on the node.
+    pub fn new(
+        cfg: &ModelConfig,
+        cpu: CpuPlatform,
+        gpu: Option<GpuPlatform>,
+        opts: ServerOptions,
+    ) -> Self {
+        assert!(opts.workers > 0, "need at least one worker");
+        assert!(opts.time_scale > 0.0, "time scale must be positive");
+        assert!(
+            (0.0..1.0).contains(&opts.warmup_frac),
+            "warm-up fraction must be in [0, 1)"
+        );
+        assert!(
+            opts.batching.queue_bound > 0,
+            "queue bound must be positive"
+        );
+        assert!(
+            opts.policy.gpu_threshold.is_none() || gpu.is_some(),
+            "policy offloads to a GPU the node does not have"
+        );
+        Server {
+            cost: ModelCost::new(cfg),
+            cpu,
+            gpu,
+            opts,
+        }
+    }
+
+    /// The options this server runs with.
+    pub fn options(&self) -> &ServerOptions {
+        &self.opts
+    }
+
+    /// The cost model in use (shared with the simulator's math).
+    pub fn cost(&self) -> &ModelCost {
+        &self.cost
+    }
+
+    /// Serves `queries` in deterministic virtual time and reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries` is empty.
+    pub fn serve_virtual(&self, queries: &[Query]) -> ServerReport {
+        assert!(!queries.is_empty(), "no queries to serve");
+        let mut core = RunCore::new(self, queries.len());
+        let mut events: EventQueue<Ev> = EventQueue::new();
+        for (idx, q) in queries.iter().enumerate() {
+            events.push(secs_to_ns(q.arrival_s), Ev::Arrival { idx });
+        }
+
+        let workers = self.opts.workers;
+        let queue_bound = self.opts.batching.queue_bound;
+        let mut ready: VecDeque<Batch> = VecDeque::new();
+        let mut inflight: HashMap<u64, Batch> = HashMap::new();
+        let mut busy = 0usize;
+        let mut last_ns: SimTime = 0;
+        let mut busy_core_ns: u128 = 0;
+        let mut end_ns: SimTime = 0;
+
+        macro_rules! dispatch {
+            ($now:expr) => {
+                while busy < workers {
+                    let Some(b) = ready.pop_front() else { break };
+                    busy += 1;
+                    let service = self.cost.cpu_request_us(&self.cpu, b.items as usize, busy);
+                    events.push($now + us_to_ns(service), Ev::CpuDone { batch: b.id });
+                    inflight.insert(b.id, b);
+                }
+                core.note_queue_depth(ready.len());
+            };
+        }
+
+        // Enqueues freshly formed batches, counting each one that meets
+        // a dispatch queue already at its bound (the backpressure
+        // signal — same per-batch semantics as serve_real's refusals).
+        macro_rules! enqueue {
+            ($batches:expr) => {
+                for b in $batches {
+                    if ready.len() >= queue_bound {
+                        core.backpressure_stalls += 1;
+                    }
+                    ready.push_back(b);
+                }
+            };
+        }
+
+        while let Some((now, ev)) = events.pop() {
+            busy_core_ns += (now - last_ns) as u128 * busy as u128;
+            last_ns = now;
+            end_ns = now;
+            match ev {
+                Ev::Arrival { idx } => {
+                    let q = &queries[idx];
+                    let deadline_before = core.batcher.deadline();
+                    match core.on_arrival(now, q) {
+                        Route::Gpu(done) => events.push(done, Ev::GpuDone { qid: q.id }),
+                        Route::Cpu(batches) => {
+                            enqueue!(batches);
+                            // Schedule a flush only when this arrival
+                            // opened a fresh coalesce buffer; an
+                            // unchanged deadline already has its event.
+                            match core.batcher.deadline() {
+                                Some(d) if deadline_before != Some(d) => {
+                                    events.push(d, Ev::Coalesce)
+                                }
+                                _ => {}
+                            }
+                            dispatch!(now);
+                        }
+                    }
+                }
+                Ev::Coalesce => {
+                    let mut out = Vec::new();
+                    core.batcher.flush_due(now, &mut out);
+                    if !out.is_empty() {
+                        enqueue!(out);
+                        dispatch!(now);
+                    }
+                }
+                Ev::CpuDone { batch } => {
+                    busy -= 1;
+                    let b = inflight.remove(&batch).expect("known batch");
+                    for seg in &b.segments {
+                        core.complete_items(now, seg.query_id, seg.items);
+                    }
+                    dispatch!(now);
+                }
+                Ev::GpuDone { qid } => {
+                    let items = core.remaining_items(qid);
+                    core.complete_items(now, qid, items);
+                }
+            }
+            if core.take_policy_dirty() {
+                // The controller retuned: re-batch the queued backlog
+                // at the new size so it drains at the new knob's cost.
+                // (Repacked batches are the same queued work, not new
+                // pressure — no backpressure accounting here.)
+                let pol = core.policy();
+                let mut out = Vec::new();
+                core.batcher.set_max_batch(pol.max_batch, &mut out);
+                let queued: Vec<Batch> = ready.drain(..).collect();
+                core.batcher.reform(queued, &mut out);
+                ready.extend(out);
+                dispatch!(now);
+            }
+        }
+
+        let cpu_util = if end_ns > 0 {
+            busy_core_ns as f64 / (workers as f64 * end_ns as f64)
+        } else {
+            0.0
+        };
+        let gpu_util = match (&core.gpu, end_ns) {
+            (Some(g), e) if e > 0 => g.busy_ns() as f64 / e as f64,
+            _ => 0.0,
+        };
+        core.into_report(self, offered_qps(queries), cpu_util, gpu_util)
+    }
+
+    /// Serves `queries` on the real inference engine: arrivals are
+    /// paced by the wall clock (compressed by `time_scale`), CPU
+    /// batches run as physical forward passes through a bounded worker
+    /// pool, GPU offloads complete on the cost model's virtual clock.
+    ///
+    /// Latencies are reported on the (scaled) arrival clock, so at
+    /// `time_scale = 1.0` they are wall-clock milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries` is empty or the model geometry disagrees
+    /// with the server's configuration.
+    pub fn serve_real(&self, model: Arc<RecModel>, queries: &[Query]) -> ServerReport {
+        assert!(!queries.is_empty(), "no queries to serve");
+        let engine = InferenceEngine::start(Arc::clone(&model), self.opts.workers)
+            .with_queue_bound(self.opts.batching.queue_bound);
+        let mut rt = RealRuntime {
+            core: RunCore::new(self, queries.len()),
+            engine,
+            model,
+            rng: StdRng::seed_from_u64(self.opts.seed),
+            pending: VecDeque::new(),
+            inflight: HashMap::new(),
+            gpu_heap: BinaryHeap::new(),
+            outstanding: 0,
+            busy_service_ns: 0,
+            t0: Instant::now(),
+            scale: self.opts.time_scale,
+        };
+        let base_s = queries[0].arrival_s;
+
+        for q in queries {
+            let due = secs_to_ns(q.arrival_s - base_s); // model-time ns
+            loop {
+                rt.pump();
+                let now = rt.now();
+                if now >= due {
+                    break;
+                }
+                let mut next = due;
+                if let Some(&Reverse((t, _))) = rt.gpu_heap.peek() {
+                    next = next.min(t.max(now));
+                }
+                if let Some(d) = rt.core.batcher.deadline() {
+                    next = next.min(d.max(now));
+                }
+                // Floor the wait so a cluster of imminent deadlines
+                // cannot spin the submitter.
+                let wait_model_ns = (next - now).max(20_000);
+                let wait = Duration::from_secs_f64(wait_model_ns as f64 / rt.scale / 1e9);
+                if let Ok(c) = rt.engine.completions().recv_timeout(wait) {
+                    rt.handle_cpu(c);
+                }
+            }
+            let now = rt.now();
+            rt.outstanding += 1;
+            match rt.core.on_arrival(now, q) {
+                Route::Gpu(done) => rt.gpu_heap.push(Reverse((done, q.id))),
+                Route::Cpu(batches) => rt.queue_batches(batches),
+            }
+        }
+
+        // Drain the tail: everything still queued, batching, in flight
+        // on the engine, or ticking down on the GPU's virtual clock.
+        while rt.outstanding > 0 {
+            rt.pump();
+            if rt.outstanding == 0 {
+                break;
+            }
+            if let Ok(c) = rt
+                .engine
+                .completions()
+                .recv_timeout(Duration::from_micros(200))
+            {
+                rt.handle_cpu(c);
+            }
+        }
+
+        let end_model_ns = rt.now();
+        let wall_elapsed_ns = rt.t0.elapsed().as_nanos().max(1);
+        let cpu_util =
+            rt.busy_service_ns as f64 / (self.opts.workers as f64 * wall_elapsed_ns as f64);
+        let gpu_util = match (&rt.core.gpu, end_model_ns) {
+            (Some(g), e) if e > 0 => (g.busy_ns() as f64 / e as f64).min(1.0),
+            _ => 0.0,
+        };
+        let RealRuntime { core, engine, .. } = rt;
+        engine.shutdown();
+        core.into_report(self, offered_qps(queries), cpu_util, gpu_util)
+    }
+}
+
+/// Mean offered load over a query stream, QPS.
+fn offered_qps(queries: &[Query]) -> f64 {
+    if queries.len() < 2 {
+        return 0.0;
+    }
+    let span = queries[queries.len() - 1].arrival_s - queries[0].arrival_s;
+    if span > 0.0 {
+        (queries.len() - 1) as f64 / span
+    } else {
+        0.0
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Arrival { idx: usize },
+    Coalesce,
+    CpuDone { batch: u64 },
+    GpuDone { qid: u64 },
+}
+
+enum Route {
+    /// Offloaded whole; completes at the given virtual time.
+    Gpu(SimTime),
+    /// Split/coalesced; these batches are ready to dispatch now.
+    Cpu(Vec<Batch>),
+}
+
+#[derive(Debug)]
+struct QueryState {
+    arrival: SimTime,
+    items_left: u32,
+    measured: bool,
+}
+
+/// Scheduling state shared by the virtual and real serving loops.
+struct RunCore {
+    fallback_policy: SchedulerPolicy,
+    warmup_n: u64,
+    queries: HashMap<u64, QueryState>,
+    controller: Option<OnlineController>,
+    batcher: BatchQueue,
+    gpu: Option<GpuExecutor>,
+    latency: LatencyRecorder,
+    settled: LatencyRecorder,
+    latencies_ms: Vec<f64>,
+    completed_measured: u64,
+    items_total: u64,
+    items_gpu: u64,
+    backpressure_stalls: u64,
+    max_queue_depth: usize,
+    window_start: Option<SimTime>,
+    window_end: SimTime,
+    /// Set when the controller changed the policy; the serving loop
+    /// must re-read it and re-batch any queued backlog.
+    policy_dirty: bool,
+}
+
+impl RunCore {
+    fn new(server: &Server, num_queries: usize) -> Self {
+        let controller = server
+            .opts
+            .controller
+            .clone()
+            .map(|c| OnlineController::new(c, server.opts.policy, server.gpu.is_some()));
+        let initial = controller
+            .as_ref()
+            .map_or(server.opts.policy, |c| c.policy());
+        // Round, do not floor-at-1: a zero timeout must stay zero
+        // (coalescing disabled).
+        let timeout_ns = (server.opts.batching.coalesce_timeout_us * 1e3).round() as SimTime;
+        RunCore {
+            fallback_policy: server.opts.policy,
+            warmup_n: (num_queries as f64 * server.opts.warmup_frac) as u64,
+            queries: HashMap::new(),
+            controller,
+            batcher: BatchQueue::new(initial.max_batch, timeout_ns),
+            gpu: server
+                .gpu
+                .map(|g| GpuExecutor::new(server.cost.clone(), server.cpu, g)),
+            latency: LatencyRecorder::with_capacity(num_queries),
+            settled: LatencyRecorder::new(),
+            latencies_ms: Vec::new(),
+            completed_measured: 0,
+            items_total: 0,
+            items_gpu: 0,
+            backpressure_stalls: 0,
+            max_queue_depth: 0,
+            window_start: None,
+            window_end: 0,
+            policy_dirty: false,
+        }
+    }
+
+    fn policy(&self) -> SchedulerPolicy {
+        self.controller
+            .as_ref()
+            .map_or(self.fallback_policy, |c| c.policy())
+    }
+
+    fn on_arrival(&mut self, now: SimTime, q: &Query) -> Route {
+        if let Some(c) = &mut self.controller {
+            c.on_arrival(now);
+        }
+        let pol = self.policy();
+        let measured = q.id >= self.warmup_n;
+        let prev = self.queries.insert(
+            q.id,
+            QueryState {
+                arrival: now,
+                items_left: q.size,
+                measured,
+            },
+        );
+        assert!(prev.is_none(), "duplicate query id {}", q.id);
+        if measured {
+            self.items_total += q.size as u64;
+            self.window_start.get_or_insert(now);
+        }
+        if let Some(gpu) = self.gpu.as_mut().filter(|_| pol.offloads(q.size)) {
+            if measured {
+                self.items_gpu += q.size as u64;
+            }
+            Route::Gpu(gpu.schedule(now, q.size))
+        } else {
+            let mut out = Vec::new();
+            self.batcher.set_max_batch(pol.max_batch, &mut out);
+            self.batcher.push(now, q.id, q.size, &mut out);
+            Route::Cpu(out)
+        }
+    }
+
+    fn remaining_items(&self, qid: u64) -> u32 {
+        self.queries.get(&qid).expect("known query").items_left
+    }
+
+    /// Credits `items` of a query as done; returns `true` when the
+    /// query finished end to end.
+    fn complete_items(&mut self, now: SimTime, qid: u64, items: u32) -> bool {
+        let st = self.queries.get_mut(&qid).expect("known query");
+        st.items_left -= items;
+        if st.items_left > 0 {
+            return false;
+        }
+        let st = self.queries.remove(&qid).expect("known query");
+        let ms = (now - st.arrival) as f64 / 1e6;
+        let mut settled = true;
+        if let Some(c) = &mut self.controller {
+            if c.on_complete(now, ms) {
+                self.policy_dirty = true;
+            }
+            settled = c.is_settled();
+        }
+        if st.measured {
+            self.latency.record_ms(ms);
+            self.latencies_ms.push(ms);
+            if settled {
+                self.settled.record_ms(ms);
+            }
+            self.completed_measured += 1;
+            self.window_end = self.window_end.max(now);
+        }
+        true
+    }
+
+    /// Whether the policy changed since the last check (clears the
+    /// flag).
+    fn take_policy_dirty(&mut self) -> bool {
+        std::mem::take(&mut self.policy_dirty)
+    }
+
+    fn note_queue_depth(&mut self, depth: usize) {
+        self.max_queue_depth = self.max_queue_depth.max(depth);
+    }
+
+    fn into_report(
+        self,
+        server: &Server,
+        offered_qps: f64,
+        cpu_utilization: f64,
+        gpu_utilization: f64,
+    ) -> ServerReport {
+        let window_s = match self.window_start {
+            Some(start) if self.window_end > start => {
+                (self.window_end - start) as f64 / NS_PER_SEC as f64
+            }
+            _ => 0.0,
+        };
+        let qps = if window_s > 0.0 {
+            self.completed_measured as f64 / window_s
+        } else {
+            0.0
+        };
+        let mut avg_power_w = server.cpu.power_w(cpu_utilization);
+        if let Some(g) = &server.gpu {
+            avg_power_w += g.power_w(gpu_utilization);
+        }
+        let stats = self.batcher.stats();
+        let final_policy = self.policy();
+        let (retunes, batch_trajectory, threshold_trajectory) = match self.controller {
+            Some(c) => (c.retunes, c.batch_trajectory, c.threshold_trajectory),
+            None => (0, Vec::new(), Vec::new()),
+        };
+        ServerReport {
+            offered_qps,
+            completed: self.completed_measured,
+            qps,
+            latency: self.latency.summary(),
+            settled_latency: self.settled.summary(),
+            gpu_work_fraction: if self.items_total > 0 {
+                self.items_gpu as f64 / self.items_total as f64
+            } else {
+                0.0
+            },
+            cpu_utilization,
+            gpu_utilization,
+            avg_power_w,
+            qps_per_watt: if avg_power_w > 0.0 {
+                qps / avg_power_w
+            } else {
+                0.0
+            },
+            window_s,
+            batches: stats.batches,
+            full_batches: stats.full_batches,
+            coalesced_batches: stats.coalesced_batches,
+            timeout_flushes: stats.timeout_flushes,
+            mean_batch_items: if stats.batches > 0 {
+                stats.items as f64 / stats.batches as f64
+            } else {
+                0.0
+            },
+            backpressure_stalls: self.backpressure_stalls,
+            max_queue_depth: self.max_queue_depth,
+            final_policy,
+            retunes,
+            batch_trajectory,
+            threshold_trajectory,
+            latencies_ms: self.latencies_ms,
+        }
+    }
+}
+
+/// Wall-clock serving state for [`Server::serve_real`].
+struct RealRuntime {
+    core: RunCore,
+    engine: InferenceEngine,
+    model: Arc<RecModel>,
+    rng: StdRng,
+    /// Batches awaiting engine admission (head may carry its already
+    /// generated request after a backpressure refusal).
+    pending: VecDeque<(Batch, Option<EngineRequest>)>,
+    inflight: HashMap<u64, Batch>,
+    /// GPU completions on the virtual clock, earliest first.
+    gpu_heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    outstanding: usize,
+    /// Sum of worker-side service durations (wall ns) — the CPU busy
+    /// integral.
+    busy_service_ns: u128,
+    t0: Instant,
+    scale: f64,
+}
+
+impl RealRuntime {
+    /// Model-time now: scaled wall nanoseconds since start.
+    fn now(&self) -> SimTime {
+        (self.t0.elapsed().as_secs_f64() * self.scale * 1e9) as SimTime
+    }
+
+    /// Drains everything that is ready without blocking: engine
+    /// completions, due GPU completions, due coalesce flushes, and
+    /// pending submissions.
+    fn pump(&mut self) {
+        loop {
+            if let Some(c) = self.engine.try_completion() {
+                self.handle_cpu(c);
+                continue;
+            }
+            let now = self.now();
+            if let Some(&Reverse((t, qid))) = self.gpu_heap.peek() {
+                if t <= now {
+                    self.gpu_heap.pop();
+                    let items = self.core.remaining_items(qid);
+                    // Complete at the scheduled virtual time, not the
+                    // (slightly later) drain time.
+                    if self.core.complete_items(t, qid, items) {
+                        self.outstanding -= 1;
+                    }
+                    continue;
+                }
+            }
+            if self.core.batcher.deadline().is_some_and(|d| d <= now) {
+                let mut out = Vec::new();
+                self.core.batcher.flush_due(now, &mut out);
+                self.queue_batches(out);
+                continue;
+            }
+            break;
+        }
+        if self.core.take_policy_dirty() {
+            // The controller retuned: re-batch everything not yet
+            // admitted to the engine (in-flight requests are
+            // committed). Cached requests are stale and regenerated.
+            let pol = self.core.policy();
+            let mut out = Vec::new();
+            self.core.batcher.set_max_batch(pol.max_batch, &mut out);
+            let queued: Vec<Batch> = self.pending.drain(..).map(|(b, _)| b).collect();
+            self.core.batcher.reform(queued, &mut out);
+            for b in out {
+                self.pending.push_back((b, None));
+            }
+        }
+        self.submit_pending();
+    }
+
+    fn queue_batches(&mut self, batches: Vec<Batch>) {
+        for b in batches {
+            self.pending.push_back((b, None));
+        }
+        self.submit_pending();
+    }
+
+    fn submit_pending(&mut self) {
+        while let Some((batch, cached)) = self.pending.pop_front() {
+            // A cached request means this batch was already refused
+            // once: retries are not fresh backpressure.
+            let first_attempt = cached.is_none();
+            let req = cached.unwrap_or_else(|| EngineRequest {
+                query_id: batch.id,
+                inputs: self
+                    .model
+                    .generate_inputs(batch.items as usize, &mut self.rng),
+            });
+            match self.engine.try_submit(req) {
+                Ok(()) => {
+                    self.inflight.insert(batch.id, batch);
+                }
+                Err(req) => {
+                    if first_attempt {
+                        self.core.backpressure_stalls += 1;
+                    }
+                    self.pending.push_front((batch, Some(req)));
+                    break;
+                }
+            }
+        }
+        // Backpressure itself is counted at each refusal above; the
+        // gauge tracks total unadmitted depth (engine queue + held
+        // batches).
+        let depth = self.engine.queue_depth() + self.pending.len();
+        self.core.max_queue_depth = self.core.max_queue_depth.max(depth);
+    }
+
+    fn handle_cpu(&mut self, c: EngineCompletion) {
+        self.busy_service_ns += c.service.as_nanos();
+        let b = self.inflight.remove(&c.query_id).expect("known batch");
+        debug_assert_eq!(b.items as usize, c.batch);
+        let now = self.now();
+        for seg in &b.segments {
+            if self.core.complete_items(now, seg.query_id, seg.items) {
+                self.outstanding -= 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Cross-validation: the server's GPU virtual-time path must agree
+//! with the discrete-event simulator, because both are built on the
+//! same `ModelCost` math. This is the test that keeps the two
+//! execution layers from silently drifting apart.
+
+use drs_core::SchedulerPolicy;
+use drs_models::zoo;
+use drs_platform::{CpuPlatform, GpuPlatform, ModelCost};
+use drs_query::{ArrivalProcess, QueryGenerator, SizeDistribution};
+use drs_server::{GpuExecutor, Server, ServerOptions};
+use drs_sim::{ClusterConfig, RunOptions, Simulation};
+
+#[test]
+fn gpu_executor_uses_exactly_the_simulator_cost_math() {
+    for cfg in zoo::all() {
+        let cost = ModelCost::new(&cfg);
+        let cpu = CpuPlatform::skylake();
+        let gpu = GpuPlatform::gtx_1080ti();
+        let gx = GpuExecutor::new(cost.clone(), cpu, gpu);
+        for size in [1u32, 7, 64, 150, 400, 1000] {
+            assert_eq!(
+                gx.service_us(size),
+                cost.gpu_query_us(&cpu, &gpu, size as usize),
+                "{} size {size}",
+                cfg.name
+            );
+        }
+    }
+}
+
+/// With every query offloaded (threshold 0), the server's GPU FIFO and
+/// the simulator's GPU queue are the same machine: identical arrivals
+/// must produce identical per-query latencies.
+#[test]
+fn offload_all_latencies_match_simulator_within_tolerance() {
+    let cfg = zoo::dlrm_rmc1();
+    let policy = SchedulerPolicy::with_gpu(64, 0);
+    let mk_gen = || {
+        QueryGenerator::new(
+            ArrivalProcess::poisson(150.0),
+            SizeDistribution::production(),
+            23,
+        )
+    };
+    let n = 600;
+
+    let sim = Simulation::new(&cfg, ClusterConfig::skylake_with_gpu(), policy);
+    let sim_report = sim.run(&mut mk_gen(), RunOptions::queries(n));
+
+    let queries: Vec<_> = mk_gen().take(n).collect();
+    let server = Server::new(
+        &cfg,
+        CpuPlatform::skylake(),
+        Some(GpuPlatform::gtx_1080ti()),
+        ServerOptions::new(40, policy),
+    );
+    let server_report = server.serve_virtual(&queries);
+
+    assert_eq!(server_report.completed, sim_report.completed);
+    assert!(
+        (server_report.gpu_work_fraction - 1.0).abs() < 1e-12,
+        "threshold 0 offloads every item"
+    );
+    assert_eq!(
+        server_report.latencies_ms.len(),
+        sim_report.latencies_ms.len()
+    );
+    for (i, (a, b)) in server_report
+        .latencies_ms
+        .iter()
+        .zip(&sim_report.latencies_ms)
+        .enumerate()
+    {
+        let tol = 1e-9 * b.abs().max(1.0);
+        assert!(
+            (a - b).abs() <= tol,
+            "query {i}: server {a} ms vs sim {b} ms"
+        );
+    }
+    assert!(
+        (server_report.latency.p95_ms - sim_report.latency.p95_ms).abs() < 1e-6,
+        "p95 server {} vs sim {}",
+        server_report.latency.p95_ms,
+        sim_report.latency.p95_ms
+    );
+}
+
+/// With coalescing disabled the server's CPU path is the simulator's
+/// split-and-queue discipline; tails should land in the same band even
+/// though dispatch details differ (shared ready queue vs. per-machine
+/// queues are identical for one machine).
+#[test]
+fn cpu_only_tail_tracks_simulator() {
+    let cfg = zoo::ncf();
+    let policy = SchedulerPolicy::cpu_only(64);
+    let mk_gen = || {
+        QueryGenerator::new(
+            ArrivalProcess::poisson(400.0),
+            SizeDistribution::production(),
+            31,
+        )
+    };
+    let n = 800;
+    let sim = Simulation::new(&cfg, ClusterConfig::single_skylake(), policy);
+    let sim_report = sim.run(&mut mk_gen(), RunOptions::queries(n));
+
+    let queries: Vec<_> = mk_gen().take(n).collect();
+    let mut opts = ServerOptions::new(CpuPlatform::skylake().cores, policy);
+    opts.batching.coalesce_timeout_us = 0.0;
+    let server = Server::new(&cfg, CpuPlatform::skylake(), None, opts);
+    let server_report = server.serve_virtual(&queries);
+
+    assert_eq!(server_report.completed, sim_report.completed);
+    let ratio = server_report.latency.p95_ms / sim_report.latency.p95_ms;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "server p95 {} vs sim p95 {}",
+        server_report.latency.p95_ms,
+        sim_report.latency.p95_ms
+    );
+}

@@ -50,12 +50,11 @@
 
 #![warn(missing_docs)]
 
-mod event;
-mod policy;
-mod report;
 mod runner;
 
-pub use event::{EventQueue, SimTime, NS_PER_SEC};
-pub use policy::SchedulerPolicy;
-pub use report::SimReport;
+// The scheduling/report/event vocabulary lives in `drs-core` so the
+// offline tuner and the open-loop server (`drs-server`) share it
+// without depending on this simulator; re-exported here so existing
+// `drs_sim::` paths keep working.
+pub use drs_core::{EventQueue, SchedulerPolicy, SimReport, SimTime, NS_PER_SEC};
 pub use runner::{ClusterConfig, RunOptions, Simulation};

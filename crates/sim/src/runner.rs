@@ -1,8 +1,6 @@
 //! The simulation loop.
 
-use crate::event::{secs_to_ns, us_to_ns, EventQueue, SimTime, NS_PER_SEC};
-use crate::policy::SchedulerPolicy;
-use crate::report::SimReport;
+use drs_core::{secs_to_ns, us_to_ns, EventQueue, SchedulerPolicy, SimReport, SimTime, NS_PER_SEC};
 use drs_metrics::LatencyRecorder;
 use drs_models::ModelConfig;
 use drs_platform::{CpuPlatform, GpuPlatform, ModelCost};
