@@ -7,10 +7,10 @@
 //! once per ablation — the tuned QPS with the effect present vs absent.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use drs_core::ClusterConfig;
 use drs_models::zoo;
 use drs_platform::CpuPlatform;
 use drs_sched::{DeepRecSched, SearchOptions};
-use drs_sim::ClusterConfig;
 use std::sync::Once;
 
 static PRINT_ONCE: Once = Once::new();

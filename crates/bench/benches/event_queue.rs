@@ -2,9 +2,10 @@
 //! and a full end-to-end simulation window.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use drs_core::ClusterConfig;
 use drs_models::zoo;
 use drs_query::{ArrivalProcess, QueryGenerator, SizeDistribution};
-use drs_sim::{ClusterConfig, EventQueue, RunOptions, SchedulerPolicy, Simulation};
+use drs_sim::{EventQueue, RunOptions, SchedulerPolicy, Simulation};
 
 fn bench_event_queue(c: &mut Criterion) {
     let mut group = c.benchmark_group("event_queue");

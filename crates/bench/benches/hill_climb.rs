@@ -2,9 +2,9 @@
 //! control-plane overhead of the scheduler itself).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use drs_core::ClusterConfig;
 use drs_models::zoo;
 use drs_sched::{DeepRecSched, SearchOptions};
-use drs_sim::ClusterConfig;
 
 fn bench_tune(c: &mut Criterion) {
     let mut group = c.benchmark_group("deeprecsched_tune");

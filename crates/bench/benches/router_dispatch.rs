@@ -1,0 +1,61 @@
+//! Micro-benchmark: the cluster router's per-query hot path — one
+//! policy decision plus the outstanding-gauge charge/release cycle.
+//!
+//! The router sits in front of every query a cluster serves, so its
+//! dispatch cost bounds the front end's attainable throughput. The
+//! interesting comparison is the policy's read pattern: round-robin is
+//! O(1), power-of-two-choices reads d sampled gauges, and
+//! least-outstanding scans all N.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use drs_core::{NodeId, RoutingPolicy};
+use drs_query::{QueryGenerator, SizeDistribution};
+use drs_server::Router;
+
+fn bench_route(c: &mut Criterion) {
+    // Production-shaped query sizes, pre-generated outside the loop.
+    let sizes: Vec<u32> = QueryGenerator::new(
+        drs_query::ArrivalProcess::poisson(10_000.0),
+        SizeDistribution::production(),
+        7,
+    )
+    .take(10_000)
+    .map(|q| q.size)
+    .collect();
+    let nodes = 16;
+    // Half the fleet GPU-attached, for the size-aware class split.
+    let gpu_nodes: Vec<bool> = (0..nodes).map(|i| i % 2 == 0).collect();
+
+    let mut group = c.benchmark_group("router_dispatch");
+    group.throughput(Throughput::Elements(sizes.len() as u64));
+    for routing in [
+        RoutingPolicy::RoundRobin,
+        RoutingPolicy::LeastOutstanding,
+        RoutingPolicy::PowerOfTwoChoices { d: 2 },
+        RoutingPolicy::SizeAware,
+    ] {
+        group.bench_function(format!("route_10k_{}_16_nodes", routing.label()), |b| {
+            b.iter(|| {
+                let mut router = Router::new(routing, &gpu_nodes, 250, 11);
+                // Steady state: each query routes, and an older one
+                // completes — gauges stay populated, as in a live
+                // cluster.
+                let mut inflight: Vec<NodeId> = Vec::with_capacity(64);
+                let mut acc = 0usize;
+                for &size in &sizes {
+                    let n = router.route(size);
+                    acc += n.0;
+                    inflight.push(n);
+                    if inflight.len() >= 64 {
+                        router.complete(inflight.remove(0));
+                    }
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_route);
+criterion_main!(benches);

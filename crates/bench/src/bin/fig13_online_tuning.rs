@@ -67,13 +67,16 @@ fn main() {
     } else {
         ControllerConfig::standard()
     };
+    // The backend is constructed and driven through the unified
+    // `ServingStack` entry point; the associated report type keeps the
+    // server-specific counters (trajectory, retunes) available.
     let serve = |policy: SchedulerPolicy, controller: Option<ControllerConfig>| {
         let mut server_opts = ServerOptions::new(workers, policy);
         if let Some(c) = controller {
             server_opts = server_opts.with_controller(c);
         }
         let server = Server::new(&cfg, cluster.cpu, None, server_opts);
-        server.serve_virtual(&queries)
+        ServingStack::serve_queries(&server, &queries)
     };
 
     let baseline = serve(baseline_policy, None);

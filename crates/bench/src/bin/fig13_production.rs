@@ -50,15 +50,20 @@ fn main() {
         let tuned_policy = DeepRecSched::new(opts.search)
             .tune_cpu(&cfg, cluster, SlaTier::Medium.sla_ms(&cfg))
             .policy;
-        let run = |policy: SchedulerPolicy| {
-            let sim = Simulation::new(&cfg, cluster, policy);
-            let mut gen = QueryGenerator::new(
-                ArrivalProcess::diurnal(base_qps, 0.3, day_s),
-                SizeDistribution::production(),
-                opts.search.seed,
-            );
-            sim.run(&mut gen, RunOptions::queries(queries))
-        };
+        // The simulator backend is selected through the unified
+        // `ServingStack` constructor — swapping `StackSpec::Sim` for
+        // `StackSpec::Cluster(..)` reruns the figure on the real
+        // serving path.
+        let stream: Vec<_> = QueryGenerator::new(
+            ArrivalProcess::diurnal(base_qps, 0.3, day_s),
+            SizeDistribution::production(),
+            opts.search.seed,
+        )
+        .take(queries)
+        .collect();
+        let infra = DeepRecInfra::new(cfg.clone()).with_cluster(cluster);
+        let run =
+            |policy: SchedulerPolicy| infra.stack(policy, StackSpec::Sim).serve_queries(&stream);
         let base = run(SchedulerPolicy::static_baseline(cluster.cpu.cores));
         let tuned = run(tuned_policy);
         for &x in &base.latencies_ms {

@@ -52,22 +52,32 @@ pub use drs_models::zoo;
 
 /// Everything needed for typical experiments, in one import.
 pub mod prelude {
-    pub use crate::DeepRecInfra;
+    pub use crate::{DeepRecInfra, ServingHandle, StackSpec};
+    pub use drs_core::{
+        ClusterConfig, ClusterTopology, NodeId, NodeSpec, ReportView, RoutingPolicy, ServingStack,
+    };
     pub use drs_engine::{serve_closed_loop, InferenceEngine, ServeOptions};
     pub use drs_metrics::{geomean, LatencyRecorder, LatencySummary};
     pub use drs_models::{zoo, ModelConfig, ModelScale, RecModel};
     pub use drs_nn::{OpKind, OpProfiler};
     pub use drs_platform::{CpuPlatform, GpuPlatform, ModelCost};
     pub use drs_query::{ArrivalProcess, QueryGenerator, SizeDistribution};
-    pub use drs_sched::{max_qps_under_sla, DeepRecSched, SearchOptions, SlaTier, TunedConfig};
-    pub use drs_server::{BatchingConfig, ControllerConfig, Server, ServerOptions, ServerReport};
-    pub use drs_sim::{ClusterConfig, RunOptions, SchedulerPolicy, SimReport, Simulation};
+    pub use drs_sched::{
+        max_qps_under_sla, max_qps_under_sla_stack, DeepRecSched, SearchOptions, SlaTier,
+        TunedConfig,
+    };
+    pub use drs_server::{
+        BatchingConfig, Cluster, ControllerConfig, Router, Server, ServerOptions, ServerReport,
+    };
+    pub use drs_sim::{RunOptions, SchedulerPolicy, SimReport, Simulation};
 }
 
+use drs_core::{ClusterConfig, ReportView, RoutingPolicy, ServingStack};
 use drs_models::ModelConfig;
-use drs_query::{ArrivalProcess, QueryGenerator, SizeDistribution};
+use drs_query::{ArrivalProcess, Query, QueryGenerator, SizeDistribution, Trace};
 use drs_sched::{max_qps_under_sla, DeepRecSched, QpsSearchResult, SearchOptions, TunedConfig};
-use drs_sim::{ClusterConfig, RunOptions, SchedulerPolicy, SimReport, Simulation};
+use drs_server::{Cluster, Server, ServerOptions};
+use drs_sim::{RunOptions, SchedulerPolicy, SimReport, Simulation};
 
 /// One model + one workload + one cluster: the unit every experiment in
 /// the paper is run on (Figure 8's left half).
@@ -151,6 +161,110 @@ impl DeepRecInfra {
     pub fn tune(&self, sla_ms: f64, opts: &SearchOptions) -> TunedConfig {
         let opts = opts.with_size_dist(self.size_dist);
         DeepRecSched::new(opts).tune(&self.model, self.cluster, sla_ms)
+    }
+
+    /// The one constructor for every execution layer: builds the
+    /// serving stack described by `spec` over this infra's model and
+    /// cluster, serving `policy`. Replaces the three bespoke call
+    /// sites (simulator constructor, server constructor, cluster
+    /// constructor) for experiments that only need the common
+    /// [`ReportView`] measurements.
+    ///
+    /// ```
+    /// use deeprecsys::prelude::*;
+    ///
+    /// let infra = DeepRecInfra::new(zoo::ncf())
+    ///     .with_cluster(ClusterConfig::cluster(2, CpuPlatform::skylake(), None));
+    /// let queries: Vec<_> = QueryGenerator::new(
+    ///     ArrivalProcess::poisson(400.0),
+    ///     SizeDistribution::production(),
+    ///     7,
+    /// )
+    /// .take(300)
+    /// .collect();
+    /// for spec in [
+    ///     StackSpec::Sim,
+    ///     StackSpec::Server,
+    ///     StackSpec::Cluster(RoutingPolicy::PowerOfTwoChoices { d: 2 }),
+    /// ] {
+    ///     let stack = infra.stack(SchedulerPolicy::cpu_only(64), spec);
+    ///     let report = stack.serve_queries(&queries);
+    ///     assert!(report.completed > 0, "{}", stack.label());
+    /// }
+    /// ```
+    pub fn stack(&self, policy: SchedulerPolicy, spec: StackSpec) -> ServingHandle {
+        let server_opts = || ServerOptions::new(self.cluster.cpu.cores, policy);
+        match spec {
+            StackSpec::Sim => {
+                ServingHandle::Sim(Simulation::new(&self.model, self.cluster, policy))
+            }
+            StackSpec::Server => ServingHandle::Server(Box::new(Server::new(
+                &self.model,
+                self.cluster.cpu,
+                self.cluster.gpu,
+                server_opts(),
+            ))),
+            StackSpec::Cluster(routing) => ServingHandle::Cluster(Box::new(Cluster::new(
+                &self.model,
+                self.cluster.topology(),
+                routing,
+                server_opts(),
+            ))),
+        }
+    }
+}
+
+/// Which execution layer a [`DeepRecInfra::stack`] should build.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StackSpec {
+    /// The discrete-event simulator over the infra's cluster.
+    Sim,
+    /// The open-loop virtual-time server on one node of the infra's
+    /// cluster (its CPU core count as the worker pool).
+    Server,
+    /// A router-fronted [`Cluster`] over the infra's whole topology,
+    /// dispatching under the given routing policy.
+    Cluster(RoutingPolicy),
+}
+
+/// A serving stack built by [`DeepRecInfra::stack`]: one of the three
+/// execution layers behind the common [`ServingStack`] face, reporting
+/// the shared [`SimReport`] view.
+#[derive(Debug)]
+pub enum ServingHandle {
+    /// Discrete-event simulator.
+    Sim(Simulation),
+    /// Open-loop single-node server (virtual time).
+    Server(Box<Server>),
+    /// Router-fronted cluster of servers (virtual time).
+    Cluster(Box<Cluster>),
+}
+
+impl ServingStack for ServingHandle {
+    type Report = SimReport;
+
+    fn label(&self) -> String {
+        match self {
+            ServingHandle::Sim(s) => s.label(),
+            ServingHandle::Server(s) => s.label(),
+            ServingHandle::Cluster(c) => c.label(),
+        }
+    }
+
+    fn serve_queries(&self, queries: &[Query]) -> SimReport {
+        match self {
+            ServingHandle::Sim(s) => s.serve_queries(queries),
+            ServingHandle::Server(s) => s.serve_virtual(queries).to_common(),
+            ServingHandle::Cluster(c) => c.serve_virtual(queries).to_common(),
+        }
+    }
+
+    fn serve_trace(&self, trace: &Trace) -> SimReport {
+        match self {
+            ServingHandle::Sim(s) => ServingStack::serve_trace(s, trace),
+            ServingHandle::Server(s) => s.serve_trace(trace).to_common(),
+            ServingHandle::Cluster(c) => c.serve_trace(trace).to_common(),
+        }
     }
 }
 

@@ -7,7 +7,13 @@
 //!
 //! * [`SchedulerPolicy`] — the two knobs every scheduler tunes
 //!   (per-request batch size, GPU query-size threshold),
+//! * [`ClusterConfig`]/[`ClusterTopology`]/[`NodeId`] — the hardware
+//!   description of a fleet, homogeneous or per-node,
+//! * [`RoutingPolicy`] — how a front-end router spreads arrivals
+//!   across nodes,
 //! * [`SimReport`] — the measurement shape every experiment consumes,
+//! * [`ServingStack`]/[`ReportView`] — the unified *serve this stream,
+//!   report measurements* entry point all three layers implement,
 //! * [`EventQueue`] — the deterministic virtual-time event queue,
 //! * [`LadderClimb`] — the incremental hill-climb stepper whose
 //!   accept/tie/patience rules are shared by the offline tuner and the
@@ -19,11 +25,15 @@
 #![warn(missing_docs)]
 
 mod climb;
+mod cluster;
 mod event;
 mod policy;
 mod report;
+mod stack;
 
 pub use climb::{canonical_batch_ladder, canonical_threshold_ladder, ClimbStep, LadderClimb};
+pub use cluster::{ClusterConfig, ClusterTopology, NodeId, NodeSpec, RoutingPolicy};
 pub use event::{secs_to_ns, us_to_ns, EventQueue, SimTime, NS_PER_SEC};
 pub use policy::SchedulerPolicy;
 pub use report::SimReport;
+pub use stack::{stream_offered_qps, ReportView, ServingStack};

@@ -33,9 +33,10 @@ pub struct SimReport {
 
 impl SimReport {
     /// Whether the window met a p95 SLA target, requiring a minimally
-    /// meaningful sample.
+    /// meaningful sample — delegates to the shared
+    /// [`crate::ReportView::sla_met`] contract.
     pub fn meets_sla(&self, sla_ms: f64) -> bool {
-        self.completed >= 20 && self.latency.p95_ms <= sla_ms
+        crate::ReportView::sla_met(self, sla_ms)
     }
 }
 

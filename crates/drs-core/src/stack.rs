@@ -1,0 +1,211 @@
+//! The unified serving entry point: one trait every execution layer
+//! implements.
+//!
+//! The repo grew three ways to turn a query stream into measurements —
+//! the discrete-event simulator (`drs-sim`), the open-loop single-node
+//! server (`drs-server`), and the router-fronted cluster — each with
+//! its own constructor and its own report shape. [`ServingStack`] is
+//! the common face: *serve this prepared arrival stream, return a
+//! report*. [`ReportView`] is the common measurement view those
+//! reports share (the axes of [`SimReport`]), so figure/table binaries
+//! and the tuner can swap backends without touching their measurement
+//! code.
+
+use crate::report::SimReport;
+use drs_query::{Query, Trace};
+
+/// The measurement axes every serving report exposes — the common
+/// denominator of `SimReport` and the server's richer report.
+pub trait ReportView {
+    /// Offered load (mean arrival rate) in queries per second.
+    fn offered_qps(&self) -> f64;
+    /// Queries completed inside the measurement window.
+    fn completed(&self) -> u64;
+    /// Sustained throughput: completed queries / measured span.
+    fn qps(&self) -> f64;
+    /// End-to-end query latency statistics.
+    fn latency(&self) -> &drs_metrics::LatencySummary;
+    /// Fraction of candidate items processed on the GPU.
+    fn gpu_work_fraction(&self) -> f64;
+    /// Mean busy fraction of CPU cores/workers.
+    fn cpu_utilization(&self) -> f64;
+    /// Mean busy fraction of the GPU(s).
+    fn gpu_utilization(&self) -> f64;
+    /// Average power draw over the window, watts.
+    fn avg_power_w(&self) -> f64;
+    /// Power efficiency: sustained QPS per average watt.
+    fn qps_per_watt(&self) -> f64;
+    /// Duration of the measured window, seconds.
+    fn window_s(&self) -> f64;
+    /// Per-query latencies in milliseconds (measurement window only).
+    fn latencies_ms(&self) -> &[f64];
+
+    /// Whether the window met a p95 SLA target, requiring a minimally
+    /// meaningful sample — the contract shared by every report.
+    fn sla_met(&self, sla_ms: f64) -> bool {
+        self.completed() >= 20 && self.latency().p95_ms <= sla_ms
+    }
+
+    /// Projects this report onto the common [`SimReport`] shape
+    /// (dropping any backend-specific counters).
+    fn to_common(&self) -> SimReport {
+        SimReport {
+            offered_qps: self.offered_qps(),
+            completed: self.completed(),
+            qps: self.qps(),
+            latency: *self.latency(),
+            gpu_work_fraction: self.gpu_work_fraction(),
+            cpu_utilization: self.cpu_utilization(),
+            gpu_utilization: self.gpu_utilization(),
+            avg_power_w: self.avg_power_w(),
+            qps_per_watt: self.qps_per_watt(),
+            window_s: self.window_s(),
+            latencies_ms: self.latencies_ms().to_vec(),
+        }
+    }
+}
+
+impl ReportView for SimReport {
+    fn offered_qps(&self) -> f64 {
+        self.offered_qps
+    }
+    fn completed(&self) -> u64 {
+        self.completed
+    }
+    fn qps(&self) -> f64 {
+        self.qps
+    }
+    fn latency(&self) -> &drs_metrics::LatencySummary {
+        &self.latency
+    }
+    fn gpu_work_fraction(&self) -> f64 {
+        self.gpu_work_fraction
+    }
+    fn cpu_utilization(&self) -> f64 {
+        self.cpu_utilization
+    }
+    fn gpu_utilization(&self) -> f64 {
+        self.gpu_utilization
+    }
+    fn avg_power_w(&self) -> f64 {
+        self.avg_power_w
+    }
+    fn qps_per_watt(&self) -> f64 {
+        self.qps_per_watt
+    }
+    fn window_s(&self) -> f64 {
+        self.window_s
+    }
+    fn latencies_ms(&self) -> &[f64] {
+        &self.latencies_ms
+    }
+    fn to_common(&self) -> SimReport {
+        self.clone()
+    }
+}
+
+/// Mean offered load over a prepared query stream, QPS — the shared
+/// definition every [`ServingStack`] reports for pre-collected
+/// arrivals.
+pub fn stream_offered_qps(queries: &[Query]) -> f64 {
+    if queries.len() < 2 {
+        return 0.0;
+    }
+    let span = queries[queries.len() - 1].arrival_s - queries[0].arrival_s;
+    if span > 0.0 {
+        (queries.len() - 1) as f64 / span
+    } else {
+        0.0
+    }
+}
+
+/// One execution layer that can serve a prepared arrival stream:
+/// implemented by the simulator (`drs_sim::Simulation`), the open-loop
+/// server (`drs_server::Server`), and the router-fronted cluster
+/// (`drs_server::Cluster`).
+///
+/// `serve_queries` is deterministic for every implementor (virtual
+/// time), so A/B comparisons across backends are paired: the same
+/// `Vec<Query>` goes in, and only the execution layer changes.
+pub trait ServingStack {
+    /// The report this stack produces; always exposes the common
+    /// [`ReportView`] axes, and may carry backend-specific counters.
+    type Report: ReportView;
+
+    /// Human-readable backend label for tables and legends (e.g.
+    /// `"sim"`, `"server"`, `"cluster[po2c x4]"`).
+    fn label(&self) -> String;
+
+    /// Serves a prepared arrival stream and reports measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries` is empty.
+    fn serve_queries(&self, queries: &[Query]) -> Self::Report;
+
+    /// Replays a recorded trace through this stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    fn serve_trace(&self, trace: &Trace) -> Self::Report {
+        assert!(!trace.is_empty(), "cannot replay an empty trace");
+        let queries: Vec<Query> = trace.replay().collect();
+        self.serve_queries(&queries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drs_metrics::LatencySummary;
+
+    fn report() -> SimReport {
+        SimReport {
+            offered_qps: 100.0,
+            completed: 50,
+            qps: 99.0,
+            latency: LatencySummary {
+                count: 50,
+                mean_ms: 1.0,
+                p50_ms: 1.0,
+                p75_ms: 1.5,
+                p95_ms: 2.0,
+                p99_ms: 3.0,
+                max_ms: 4.0,
+                min_ms: 0.5,
+            },
+            gpu_work_fraction: 0.25,
+            cpu_utilization: 0.5,
+            gpu_utilization: 0.1,
+            avg_power_w: 120.0,
+            qps_per_watt: 0.825,
+            window_s: 0.5,
+            latencies_ms: vec![1.0, 2.0],
+        }
+    }
+
+    #[test]
+    fn sim_report_views_itself() {
+        let r = report();
+        assert_eq!(r.qps(), r.qps);
+        assert_eq!(r.latency().p95_ms, 2.0);
+        assert!(r.sla_met(2.0));
+        assert!(!r.sla_met(1.9));
+        let c = r.to_common();
+        assert_eq!(format!("{c:?}"), format!("{r:?}"));
+    }
+
+    #[test]
+    fn stream_rate_is_span_based() {
+        let qs: Vec<Query> = (0..11)
+            .map(|i| Query {
+                id: i,
+                size: 1,
+                arrival_s: i as f64 * 0.1,
+            })
+            .collect();
+        assert!((stream_offered_qps(&qs) - 10.0).abs() < 1e-9);
+        assert_eq!(stream_offered_qps(&qs[..1]), 0.0);
+    }
+}

@@ -1,9 +1,11 @@
 //! The two-phase hill climber (Section IV-C).
 
-use crate::search::{max_qps_under_sla, QpsSearchResult, SearchOptions};
-use drs_core::{canonical_batch_ladder, canonical_threshold_ladder, LadderClimb};
+use crate::search::{max_qps_under_sla_stack, QpsSearchResult, SearchOptions};
+use drs_core::{
+    canonical_batch_ladder, canonical_threshold_ladder, ClusterConfig, LadderClimb, ServingStack,
+};
 use drs_models::ModelConfig;
-use drs_sim::{ClusterConfig, SchedulerPolicy, SimReport};
+use drs_sim::{SchedulerPolicy, SimReport, Simulation};
 
 /// Generic 1-D hill climb over an ascending `ladder`.
 ///
@@ -165,14 +167,20 @@ impl DeepRecSched {
 
     /// Phase 1: tune the per-request batch size on a CPU-only path.
     pub fn tune_cpu(&self, cfg: &ModelConfig, cluster: ClusterConfig, sla_ms: f64) -> TunedConfig {
+        self.tune_cpu_on(|p| Simulation::new(cfg, cluster, p), sla_ms)
+    }
+
+    /// Phase 1 over any serving backend: `mk` builds the
+    /// [`ServingStack`] (simulator, open-loop server, cluster) that
+    /// evaluates each candidate policy. This is how one tuner serves
+    /// sim-vs-real-vs-cluster without bespoke search code per backend.
+    pub fn tune_cpu_on<S, F>(&self, mk: F, sla_ms: f64) -> TunedConfig
+    where
+        S: ServingStack,
+        F: Fn(SchedulerPolicy) -> S,
+    {
         let (batch, result, trajectory) = self.climb(&self.batch_ladder, |b| {
-            max_qps_under_sla(
-                cfg,
-                cluster,
-                SchedulerPolicy::cpu_only(b),
-                sla_ms,
-                &self.opts,
-            )
+            max_qps_under_sla_stack(&mk(SchedulerPolicy::cpu_only(b)), sla_ms, &self.opts)
         });
         TunedConfig {
             policy: SchedulerPolicy::cpu_only(batch),
@@ -196,14 +204,19 @@ impl DeepRecSched {
         batch: u32,
     ) -> TunedConfig {
         assert!(cluster.gpu.is_some(), "tune_gpu needs a GPU in the cluster");
+        self.tune_gpu_on(|p| Simulation::new(cfg, cluster, p), sla_ms, batch)
+    }
+
+    /// Phase 2 over any serving backend (see
+    /// [`DeepRecSched::tune_cpu_on`]); the backend built by `mk` must
+    /// accept offloading policies.
+    pub fn tune_gpu_on<S, F>(&self, mk: F, sla_ms: f64, batch: u32) -> TunedConfig
+    where
+        S: ServingStack,
+        F: Fn(SchedulerPolicy) -> S,
+    {
         let (threshold, result, trajectory) = self.climb(&self.threshold_ladder, |t| {
-            max_qps_under_sla(
-                cfg,
-                cluster,
-                SchedulerPolicy::with_gpu(batch, t),
-                sla_ms,
-                &self.opts,
-            )
+            max_qps_under_sla_stack(&mk(SchedulerPolicy::with_gpu(batch, t)), sla_ms, &self.opts)
         });
         TunedConfig {
             policy: SchedulerPolicy::with_gpu(batch, threshold),
@@ -217,11 +230,26 @@ impl DeepRecSched {
     /// when the cluster has a GPU — the offload threshold. Keeps the
     /// CPU-only policy if offloading never beats it.
     pub fn tune(&self, cfg: &ModelConfig, cluster: ClusterConfig, sla_ms: f64) -> TunedConfig {
-        let cpu = self.tune_cpu(cfg, cluster, sla_ms);
-        if cluster.gpu.is_none() {
+        self.tune_on(
+            |p| Simulation::new(cfg, cluster, p),
+            sla_ms,
+            cluster.gpu.is_some(),
+        )
+    }
+
+    /// Full two-phase tune over any serving backend: batch size first,
+    /// then — when `gpu_present` — the offload threshold, keeping the
+    /// CPU-only policy if offloading never beats it.
+    pub fn tune_on<S, F>(&self, mk: F, sla_ms: f64, gpu_present: bool) -> TunedConfig
+    where
+        S: ServingStack,
+        F: Fn(SchedulerPolicy) -> S,
+    {
+        let cpu = self.tune_cpu_on(&mk, sla_ms);
+        if !gpu_present {
             return cpu;
         }
-        let gpu = self.tune_gpu(cfg, cluster, sla_ms, cpu.policy.max_batch);
+        let gpu = self.tune_gpu_on(&mk, sla_ms, cpu.policy.max_batch);
         if gpu.qps > cpu.qps {
             gpu
         } else {
@@ -233,8 +261,8 @@ impl DeepRecSched {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::search::max_qps_under_sla;
     use drs_models::zoo;
-    use drs_sim::ClusterConfig;
 
     fn quick() -> DeepRecSched {
         DeepRecSched::new(SearchOptions::quick())

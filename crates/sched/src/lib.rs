@@ -13,7 +13,11 @@
 //!
 //! "Maximum QPS under the SLA" is itself a measurement:
 //! [`max_qps_under_sla`] binary-searches the offered Poisson load,
-//! running a deterministic simulation window per probe.
+//! running a deterministic simulation window per probe. Both the
+//! search and the climbs are generic over the execution layer: any
+//! [`drs_core::ServingStack`] — the simulator, the open-loop server,
+//! or a router-fronted cluster — can sit under the tuner
+//! ([`max_qps_under_sla_stack`], [`DeepRecSched::tune_on`]).
 //!
 //! The production comparison point is
 //! [`drs_sim::SchedulerPolicy::static_baseline`], the fixed batch
@@ -22,9 +26,9 @@
 //! # Examples
 //!
 //! ```no_run
+//! use drs_core::ClusterConfig;
 //! use drs_models::zoo;
 //! use drs_sched::{DeepRecSched, SearchOptions, SlaTier};
-//! use drs_sim::ClusterConfig;
 //!
 //! let cfg = zoo::dlrm_rmc1();
 //! let sched = DeepRecSched::new(SearchOptions::quick());
@@ -40,5 +44,5 @@ mod search;
 mod sla;
 
 pub use climber::{hill_climb_1d, hill_climb_1d_rel, DeepRecSched, TunedConfig};
-pub use search::{max_qps_under_sla, QpsSearchResult, SearchOptions};
+pub use search::{max_qps_under_sla, max_qps_under_sla_stack, QpsSearchResult, SearchOptions};
 pub use sla::SlaTier;

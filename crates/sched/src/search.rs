@@ -1,8 +1,15 @@
 //! Maximum sustainable QPS under a tail-latency SLA.
+//!
+//! The search is generic over the execution layer: any
+//! [`ServingStack`] (the simulator, the open-loop server, a
+//! router-fronted cluster) can sit under the binary search via
+//! [`max_qps_under_sla_stack`]; [`max_qps_under_sla`] is the classic
+//! simulator-backed entry point, now a thin wrapper.
 
+use drs_core::{ClusterConfig, ReportView, ServingStack};
 use drs_models::ModelConfig;
 use drs_query::{ArrivalProcess, QueryGenerator, SizeDistribution};
-use drs_sim::{ClusterConfig, RunOptions, SchedulerPolicy, SimReport, Simulation};
+use drs_sim::{SchedulerPolicy, SimReport, Simulation};
 
 /// Parameters of the load search shared by every tuner and experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -92,22 +99,25 @@ pub struct QpsSearchResult {
     pub at_max: Option<SimReport>,
 }
 
-fn probe(
-    cfg: &ModelConfig,
-    cluster: ClusterConfig,
-    policy: SchedulerPolicy,
-    rate_qps: f64,
-    opts: &SearchOptions,
-) -> SimReport {
-    let sim = Simulation::new(cfg, cluster, policy);
-    let mut gen = QueryGenerator::new(ArrivalProcess::poisson(rate_qps), opts.size_dist, opts.seed);
-    sim.run(&mut gen, RunOptions::queries(opts.queries_per_probe))
+/// One load probe against an arbitrary serving stack: a fresh seeded
+/// Poisson stream at `rate_qps`, served in the stack's (virtual) time.
+/// The report's offered load is pinned to the probed rate, matching
+/// the historical simulator-backed probe exactly.
+fn probe_stack<S: ServingStack>(stack: &S, rate_qps: f64, opts: &SearchOptions) -> SimReport {
+    let queries: Vec<drs_query::Query> =
+        QueryGenerator::new(ArrivalProcess::poisson(rate_qps), opts.size_dist, opts.seed)
+            .take(opts.queries_per_probe)
+            .collect();
+    let mut report = stack.serve_queries(&queries).to_common();
+    report.offered_qps = rate_qps;
+    report
 }
 
 /// Binary-searches the offered Poisson load for the largest QPS whose
 /// p95 latency meets `sla_ms` (Section III-B: "we measure throughput as
 /// the number of queries per second that can be processed under a p95
-/// tail-latency requirement").
+/// tail-latency requirement") — the classic simulator-backed entry
+/// point, delegating to [`max_qps_under_sla_stack`].
 ///
 /// Deterministic: every probe replays the same seeded workload at a
 /// different rate.
@@ -118,9 +128,22 @@ pub fn max_qps_under_sla(
     sla_ms: f64,
     opts: &SearchOptions,
 ) -> QpsSearchResult {
+    max_qps_under_sla_stack(&Simulation::new(cfg, cluster, policy), sla_ms, opts)
+}
+
+/// [`max_qps_under_sla`] over any [`ServingStack`]: the same floor /
+/// exponential-bracket / binary-search ladder, with each probe served
+/// by `stack` instead of a freshly built simulator. This is how the
+/// tuner evaluates the open-loop server or a whole cluster without a
+/// bespoke search per backend.
+pub fn max_qps_under_sla_stack<S: ServingStack>(
+    stack: &S,
+    sla_ms: f64,
+    opts: &SearchOptions,
+) -> QpsSearchResult {
     assert!(sla_ms > 0.0, "SLA must be positive");
     let feasible = |rate: f64| -> Option<SimReport> {
-        let r = probe(cfg, cluster, policy, rate, opts);
+        let r = probe_stack(stack, rate, opts);
         // Two conditions: the tail meets the SLA, and the system
         // actually *keeps up* with the offered load. The second guards
         // against the finite-window artifact where a short burst at an

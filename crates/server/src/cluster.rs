@@ -1,0 +1,655 @@
+//! Cluster serving: a front-end [`Router`] dispatching the arrival
+//! stream across N per-node serving brains.
+//!
+//! The paper's production deployments hide a fleet of heterogeneous
+//! machines behind a load balancer; the scale-out literature (Lui et
+//! al.) shows the *routing policy* of that front end dominates cluster
+//! tail latency. This module puts that knob on the real execution
+//! path:
+//!
+//! * [`Router`] — consumes the arrival stream, tracks a per-node
+//!   outstanding-work gauge, and picks a node per query under a
+//!   [`RoutingPolicy`]; every tie breaks toward the smaller
+//!   [`NodeId`], so cluster runs stay byte-deterministic.
+//! * [`Cluster`] — N instances of the per-node brain (batching queue +
+//!   offload executor + online controller) behind one router.
+//!   [`Cluster::serve_virtual`] runs the whole fleet in deterministic
+//!   virtual time; [`Cluster::serve_real`] runs every node's CPU work
+//!   on its own real thread pool.
+
+use crate::batcher::Batch;
+use crate::node::{
+    self, CpuUtilOverride, NodeCore, NodeSetup, NodeUtilization, Route, RunOutcome, StreamStats,
+};
+use crate::report::ServerReport;
+use crate::server::ServerOptions;
+use drs_core::{
+    secs_to_ns, stream_offered_qps, ClusterTopology, NodeId, RoutingPolicy, ServingStack, SimTime,
+};
+use drs_engine::{EngineCompletion, EngineRequest, InferenceEngine};
+use drs_models::{ModelConfig, RecModel};
+use drs_platform::ModelCost;
+use drs_query::{Query, Trace, MAX_QUERY_SIZE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default "large query" boundary for [`RoutingPolicy::SizeAware`]
+/// when the serving policy has no offload threshold to borrow: the top
+/// quartile of the production size distribution carries roughly half
+/// the work (Figure 6), and 250 items is that quartile's boundary.
+const DEFAULT_SIZE_AWARE_THRESHOLD: u32 = MAX_QUERY_SIZE / 4;
+
+/// The cluster front end: picks a node per query under a
+/// [`RoutingPolicy`], tracking per-node outstanding queries.
+///
+/// The router is deliberately tiny — a gauge vector, a round-robin
+/// cursor, and a seeded RNG for sampled policies — because it sits on
+/// the per-query hot path (see `benches/router_dispatch.rs`).
+///
+/// # Examples
+///
+/// ```
+/// use drs_core::{NodeId, RoutingPolicy};
+/// use drs_server::Router;
+///
+/// let mut r = Router::new(RoutingPolicy::LeastOutstanding, &[false, false], 250, 7);
+/// let a = r.route(10);
+/// assert_eq!(a, NodeId(0), "empty gauges tie toward the smaller id");
+/// assert_eq!(r.route(10), NodeId(1), "node 0 now has one outstanding");
+/// r.complete(a);
+/// assert_eq!(r.route(10), NodeId(0));
+/// ```
+#[derive(Debug)]
+pub struct Router {
+    policy: RoutingPolicy,
+    /// Queries routed to each node and not yet completed.
+    outstanding: Vec<u64>,
+    /// Queries routed to each node over the whole run.
+    dispatched: Vec<u64>,
+    gpu_nodes: Vec<bool>,
+    size_threshold: u32,
+    rr_next: usize,
+    rng: StdRng,
+    /// Reusable candidate marks for the sampled policies (hot path:
+    /// no per-query allocation).
+    scratch: Vec<bool>,
+}
+
+impl Router {
+    /// Builds a router over `gpu_nodes.len()` nodes. `size_threshold`
+    /// is the "large query" boundary [`RoutingPolicy::SizeAware`]
+    /// steers by; `seed` drives the sampled policies deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no nodes, or if a
+    /// [`RoutingPolicy::PowerOfTwoChoices`] has `d == 0`.
+    pub fn new(policy: RoutingPolicy, gpu_nodes: &[bool], size_threshold: u32, seed: u64) -> Self {
+        assert!(!gpu_nodes.is_empty(), "a router needs nodes");
+        if let RoutingPolicy::PowerOfTwoChoices { d } = policy {
+            assert!(d >= 1, "power-of-d-choices needs d >= 1");
+        }
+        Router {
+            policy,
+            outstanding: vec![0; gpu_nodes.len()],
+            dispatched: vec![0; gpu_nodes.len()],
+            gpu_nodes: gpu_nodes.to_vec(),
+            size_threshold,
+            rr_next: 0,
+            rng: StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15),
+            scratch: vec![false; gpu_nodes.len()],
+        }
+    }
+
+    /// Number of nodes behind the router.
+    pub fn nodes(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Picks the node for a query of `size` items and charges its
+    /// gauge. Ties always break toward the smaller [`NodeId`].
+    pub fn route(&mut self, size: u32) -> NodeId {
+        let n = self.outstanding.len();
+        let pick = match self.policy {
+            RoutingPolicy::RoundRobin => {
+                let pick = self.rr_next;
+                self.rr_next = (self.rr_next + 1) % n;
+                pick
+            }
+            RoutingPolicy::LeastOutstanding => self.least_loaded(|_| true),
+            RoutingPolicy::PowerOfTwoChoices { d } => {
+                if d >= n {
+                    self.least_loaded(|_| true)
+                } else {
+                    // Sample d distinct candidates, then scan in id
+                    // order so equal gauges keep the deterministic
+                    // smaller-NodeId tie-break.
+                    self.scratch.fill(false);
+                    let mut chosen = 0usize;
+                    while chosen < d {
+                        let i = self.rng.gen_range(0..n);
+                        if !self.scratch[i] {
+                            self.scratch[i] = true;
+                            chosen += 1;
+                        }
+                    }
+                    let marks = std::mem::take(&mut self.scratch);
+                    let pick = self.least_loaded(|i| marks[i]);
+                    self.scratch = marks;
+                    pick
+                }
+            }
+            RoutingPolicy::SizeAware => {
+                // Large queries prefer accelerator-attached nodes (the
+                // tail is exactly what the GPU amortizes); small
+                // queries balance over the whole fleet.
+                if size > self.size_threshold && self.gpu_nodes.contains(&true) {
+                    self.least_loaded(|i| self.gpu_nodes[i])
+                } else {
+                    self.least_loaded(|_| true)
+                }
+            }
+        };
+        self.outstanding[pick] += 1;
+        self.dispatched[pick] += 1;
+        NodeId(pick)
+    }
+
+    /// Releases one outstanding query from `node`'s gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has no outstanding queries.
+    pub fn complete(&mut self, node: NodeId) {
+        assert!(self.outstanding[node.0] > 0, "gauge underflow at {node}");
+        self.outstanding[node.0] -= 1;
+    }
+
+    /// The current outstanding-query gauge of `node`.
+    pub fn outstanding(&self, node: NodeId) -> u64 {
+        self.outstanding[node.0]
+    }
+
+    /// Queries dispatched to each node so far, in [`NodeId`] order.
+    pub fn dispatched(&self) -> &[u64] {
+        &self.dispatched
+    }
+
+    /// First index minimizing the gauge among nodes accepted by
+    /// `admit` — scanning in id order makes ties deterministic.
+    fn least_loaded(&self, admit: impl Fn(usize) -> bool) -> usize {
+        let mut best: Option<usize> = None;
+        for i in 0..self.outstanding.len() {
+            if !admit(i) {
+                continue;
+            }
+            match best {
+                Some(b) if self.outstanding[b] <= self.outstanding[i] => {}
+                _ => best = Some(i),
+            }
+        }
+        best.expect("admit accepted at least one node")
+    }
+}
+
+/// N per-node serving brains behind a front-end [`Router`] — the
+/// cluster-first serving stack.
+///
+/// Every node runs the same scheduling brain as a single
+/// [`crate::Server`] (dynamic batching queue, GPU offload above the
+/// policy threshold, optional online controller); the router spreads
+/// the arrival stream across them under a [`RoutingPolicy`]. Nodes
+/// without an accelerator serve the policy with its offload knob
+/// stripped, so one policy drives a mixed fleet.
+///
+/// * [`Cluster::serve_virtual`] — deterministic virtual time across
+///   the whole fleet; byte-reproducible per seed (router ties break by
+///   [`NodeId`]).
+/// * [`Cluster::serve_real`] — every node's CPU batches execute as
+///   real forward passes on its own
+///   [`drs_engine::InferenceEngine`] worker pool.
+///
+/// # Examples
+///
+/// ```
+/// use drs_core::{ClusterTopology, NodeSpec, RoutingPolicy, SchedulerPolicy};
+/// use drs_models::zoo;
+/// use drs_platform::CpuPlatform;
+/// use drs_query::{ArrivalProcess, QueryGenerator, SizeDistribution};
+/// use drs_server::{Cluster, ServerOptions};
+///
+/// let queries: Vec<_> = QueryGenerator::new(
+///     ArrivalProcess::poisson(800.0),
+///     SizeDistribution::production(),
+///     7,
+/// )
+/// .take(400)
+/// .collect();
+/// let cluster = Cluster::new(
+///     &zoo::dlrm_rmc1(),
+///     ClusterTopology::uniform(2, CpuPlatform::skylake(), None),
+///     RoutingPolicy::PowerOfTwoChoices { d: 2 },
+///     ServerOptions::new(40, SchedulerPolicy::cpu_only(64)),
+/// );
+/// let report = cluster.serve_virtual(&queries);
+/// assert!(report.completed > 0);
+/// assert_eq!(report.node_queries.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct Cluster {
+    cost: ModelCost,
+    topology: ClusterTopology,
+    routing: RoutingPolicy,
+    opts: ServerOptions,
+}
+
+impl Cluster {
+    /// Builds a cluster for one model over `topology`, dispatching
+    /// under `routing`. Each node gets `opts.workers` worker slots,
+    /// capped at its own core count (heterogeneous fleets keep their
+    /// hardware shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics if options are degenerate or the policy offloads while no
+    /// node carries a GPU.
+    pub fn new(
+        cfg: &ModelConfig,
+        topology: ClusterTopology,
+        routing: RoutingPolicy,
+        opts: ServerOptions,
+    ) -> Self {
+        opts.validate();
+        assert!(
+            opts.policy.gpu_threshold.is_none() || topology.has_gpu(),
+            "policy offloads to a GPU no node has"
+        );
+        Cluster {
+            cost: ModelCost::new(cfg),
+            topology,
+            routing,
+            opts,
+        }
+    }
+
+    /// The fleet behind the router.
+    pub fn topology(&self) -> &ClusterTopology {
+        &self.topology
+    }
+
+    /// The front-end dispatch policy.
+    pub fn routing(&self) -> RoutingPolicy {
+        self.routing
+    }
+
+    /// The options every node runs with.
+    pub fn options(&self) -> &ServerOptions {
+        &self.opts
+    }
+
+    /// The cost model in use (shared with the simulator's math).
+    pub fn cost(&self) -> &ModelCost {
+        &self.cost
+    }
+
+    fn setups(&self) -> Vec<NodeSetup> {
+        self.topology
+            .nodes()
+            .iter()
+            .map(|n| NodeSetup {
+                cpu: n.cpu,
+                gpu: n.gpu,
+                workers: self.opts.workers.min(n.cpu.cores),
+            })
+            .collect()
+    }
+
+    fn router(&self) -> Router {
+        // The size-aware boundary is fixed at run start from the
+        // *configured* policy. With an online controller attached,
+        // node-local retunes move each node's offload threshold at
+        // runtime but do not feed back into the router — the front end
+        // keeps steering by the static boundary. Threshold-following
+        // routing is deliberately out of scope until the controller
+        // grows a cluster-level view (see ROADMAP: shard-aware
+        // routing).
+        Router::new(
+            self.routing,
+            &self.topology.gpu_nodes(),
+            self.opts
+                .policy
+                .gpu_threshold
+                .unwrap_or(DEFAULT_SIZE_AWARE_THRESHOLD),
+            self.opts.seed,
+        )
+    }
+
+    /// Serves `queries` across the fleet in deterministic virtual time
+    /// and reports; byte-identical per seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries` is empty.
+    pub fn serve_virtual(&self, queries: &[Query]) -> ServerReport {
+        node::serve_virtual_multi(
+            &self.cost,
+            &self.setups(),
+            &self.opts,
+            self.router(),
+            queries,
+        )
+    }
+
+    /// Replays a recorded trace across the fleet in virtual time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn serve_trace(&self, trace: &Trace) -> ServerReport {
+        assert!(!trace.is_empty(), "cannot replay an empty trace");
+        let queries: Vec<Query> = trace.replay().collect();
+        self.serve_virtual(&queries)
+    }
+
+    /// Serves `queries` with every node's CPU work on its own real
+    /// thread pool: arrivals are paced by the wall clock (compressed by
+    /// `time_scale`), the router dispatches each query to a node, and
+    /// that node's batches run as physical forward passes through its
+    /// own bounded [`InferenceEngine`]. GPU offloads complete on each
+    /// node's virtual-clock executor, as in [`crate::Server::serve_real`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries` is empty or the model geometry disagrees
+    /// with the cluster's configuration.
+    pub fn serve_real(&self, model: Arc<RecModel>, queries: &[Query]) -> ServerReport {
+        assert!(!queries.is_empty(), "no queries to serve");
+        let setups = self.setups();
+        let mut rt = ClusterRealRuntime {
+            stats: StreamStats::new(queries.len(), self.opts.warmup_frac),
+            router: self.router(),
+            nodes: setups
+                .iter()
+                .map(|s| RealNode {
+                    core: NodeCore::new(&self.cost, s, &self.opts),
+                    engine: InferenceEngine::start(Arc::clone(&model), s.workers)
+                        .with_queue_bound(self.opts.batching.queue_bound),
+                    pending: VecDeque::new(),
+                    inflight: HashMap::new(),
+                    gpu_heap: BinaryHeap::new(),
+                })
+                .collect(),
+            model,
+            rng: StdRng::seed_from_u64(self.opts.seed),
+            outstanding: 0,
+            busy_service_ns: vec![0; setups.len()],
+            t0: Instant::now(),
+            scale: self.opts.time_scale,
+        };
+        let base_s = queries[0].arrival_s;
+
+        for q in queries {
+            let due = secs_to_ns(q.arrival_s - base_s); // model-time ns
+            loop {
+                rt.pump();
+                let now = rt.now();
+                if now >= due {
+                    break;
+                }
+                // Earliest wake among all nodes' GPU heads and
+                // coalesce deadlines; bounded so a completion on any
+                // engine is picked up within a short poll interval.
+                let mut next = due;
+                for node in &rt.nodes {
+                    if let Some(&Reverse((t, _))) = node.gpu_heap.peek() {
+                        next = next.min(t.max(now));
+                    }
+                    if let Some(d) = node.core.batcher.deadline() {
+                        next = next.min(d.max(now));
+                    }
+                }
+                let wait_model_ns = (next - now).max(20_000);
+                let wait = Duration::from_secs_f64(wait_model_ns as f64 / rt.scale / 1e9);
+                std::thread::sleep(wait.min(Duration::from_micros(200)));
+            }
+            let now = rt.now();
+            rt.outstanding += 1;
+            let NodeId(n) = rt.router.route(q.size);
+            let measured = rt.stats.note_arrival(now, q, n);
+            match rt.nodes[n].core.on_arrival(now, q) {
+                Route::Gpu(done) => {
+                    rt.stats.note_gpu_items(measured, q.size);
+                    rt.nodes[n].gpu_heap.push(Reverse((done, q.id)));
+                }
+                Route::Cpu(batches) => rt.queue_batches(n, batches),
+            }
+        }
+
+        // Drain the tail: everything still queued, batching, in flight
+        // on any engine, or ticking down on a GPU's virtual clock.
+        while rt.outstanding > 0 {
+            rt.pump();
+            if rt.outstanding == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+
+        let end_model_ns = rt.now();
+        let wall_elapsed_ns = rt.t0.elapsed().as_nanos().max(1);
+        let total_workers: usize = setups.iter().map(|s| s.workers).sum();
+        let total_busy: u128 = rt.busy_service_ns.iter().sum();
+        let cpu_util = CpuUtilOverride {
+            per_node: rt
+                .busy_service_ns
+                .iter()
+                .zip(&setups)
+                .map(|(&busy, s)| busy as f64 / (s.workers.max(1) as f64 * wall_elapsed_ns as f64))
+                .collect(),
+            overall: total_busy as f64 / (total_workers as f64 * wall_elapsed_ns as f64),
+        };
+        let ClusterRealRuntime {
+            stats,
+            router,
+            nodes,
+            ..
+        } = rt;
+        let node_queries = router.dispatched().to_vec();
+        let mut cores = Vec::with_capacity(nodes.len());
+        let mut utilization = Vec::with_capacity(nodes.len());
+        for (node, setup) in nodes.into_iter().zip(&setups) {
+            node.engine.shutdown();
+            cores.push(node.core);
+            utilization.push(NodeUtilization {
+                busy_core_ns: 0,
+                workers: setup.workers,
+            });
+        }
+        node::assemble_report(
+            RunOutcome {
+                stats,
+                cores,
+                setups,
+                utilization,
+                end_ns: end_model_ns,
+                node_queries,
+                cpu_utilization_override: Some(cpu_util),
+            },
+            stream_offered_qps(queries),
+        )
+    }
+}
+
+impl ServingStack for Cluster {
+    type Report = ServerReport;
+
+    fn label(&self) -> String {
+        format!("cluster[{} x{}]", self.routing.label(), self.topology.len())
+    }
+
+    fn serve_queries(&self, queries: &[Query]) -> ServerReport {
+        self.serve_virtual(queries)
+    }
+
+    fn serve_trace(&self, trace: &Trace) -> ServerReport {
+        Cluster::serve_trace(self, trace)
+    }
+}
+
+// The cluster's wall-clock runtime intentionally parallels the
+// single-node `RealRuntime` in `server.rs` rather than sharing it: the
+// single-node path blocks on its one engine's completion channel
+// (lowest handling latency), while N engines force a polling loop.
+// The scheduling brain both paths drive lives in `node.rs`
+// (`NodeCore`/`StreamStats`); only the I/O pacing differs here.
+
+/// One node's wall-clock execution state.
+struct RealNode {
+    core: NodeCore,
+    engine: InferenceEngine,
+    /// Batches awaiting engine admission (head may carry its already
+    /// generated request after a backpressure refusal).
+    pending: VecDeque<(Batch, Option<EngineRequest>)>,
+    inflight: HashMap<u64, Batch>,
+    /// GPU completions on the virtual clock, earliest first.
+    gpu_heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+}
+
+/// Wall-clock serving state for [`Cluster::serve_real`].
+struct ClusterRealRuntime {
+    stats: StreamStats,
+    router: Router,
+    nodes: Vec<RealNode>,
+    model: Arc<RecModel>,
+    rng: StdRng,
+    outstanding: usize,
+    /// Per-node sums of worker-side service durations (wall ns) — the
+    /// per-node CPU busy integrals.
+    busy_service_ns: Vec<u128>,
+    t0: Instant,
+    scale: f64,
+}
+
+impl ClusterRealRuntime {
+    /// Model-time now: scaled wall nanoseconds since start.
+    fn now(&self) -> SimTime {
+        (self.t0.elapsed().as_secs_f64() * self.scale * 1e9) as SimTime
+    }
+
+    /// Drains everything that is ready on every node without blocking.
+    fn pump(&mut self) {
+        for n in 0..self.nodes.len() {
+            loop {
+                if let Some(c) = self.nodes[n].engine.try_completion() {
+                    self.handle_cpu(n, c);
+                    continue;
+                }
+                let now = self.now();
+                if let Some(&Reverse((t, qid))) = self.nodes[n].gpu_heap.peek() {
+                    if t <= now {
+                        self.nodes[n].gpu_heap.pop();
+                        let items = self.stats.remaining_items(qid);
+                        // Complete at the scheduled virtual time, not
+                        // the (slightly later) drain time.
+                        self.finish_items(t, qid, items);
+                        continue;
+                    }
+                }
+                if self.nodes[n]
+                    .core
+                    .batcher
+                    .deadline()
+                    .is_some_and(|d| d <= now)
+                {
+                    let mut out = Vec::new();
+                    self.nodes[n].core.batcher.flush_due(now, &mut out);
+                    self.queue_batches(n, out);
+                    continue;
+                }
+                break;
+            }
+            if self.nodes[n].core.take_policy_dirty() {
+                // The controller retuned: re-batch everything not yet
+                // admitted to this node's engine (in-flight requests
+                // are committed). Cached requests are stale and
+                // regenerated.
+                let pol = self.nodes[n].core.policy();
+                let mut out = Vec::new();
+                self.nodes[n]
+                    .core
+                    .batcher
+                    .set_max_batch(pol.max_batch, &mut out);
+                let queued: Vec<Batch> = self.nodes[n].pending.drain(..).map(|(b, _)| b).collect();
+                self.nodes[n].core.batcher.reform(queued, &mut out);
+                for b in out {
+                    self.nodes[n].pending.push_back((b, None));
+                }
+            }
+            self.submit_pending(n);
+        }
+    }
+
+    fn queue_batches(&mut self, n: usize, batches: Vec<Batch>) {
+        for b in batches {
+            self.nodes[n].pending.push_back((b, None));
+        }
+        self.submit_pending(n);
+    }
+
+    fn submit_pending(&mut self, n: usize) {
+        while let Some((batch, cached)) = self.nodes[n].pending.pop_front() {
+            // A cached request means this batch was already refused
+            // once: retries are not fresh backpressure.
+            let first_attempt = cached.is_none();
+            let req = cached.unwrap_or_else(|| EngineRequest {
+                query_id: batch.id,
+                inputs: self
+                    .model
+                    .generate_inputs(batch.items as usize, &mut self.rng),
+            });
+            match self.nodes[n].engine.try_submit(req) {
+                Ok(()) => {
+                    self.nodes[n].inflight.insert(batch.id, batch);
+                }
+                Err(req) => {
+                    if first_attempt {
+                        self.nodes[n].core.backpressure_stalls += 1;
+                    }
+                    self.nodes[n].pending.push_front((batch, Some(req)));
+                    break;
+                }
+            }
+        }
+        // Backpressure itself is counted at each refusal above; the
+        // gauge tracks total unadmitted depth (engine queue + held
+        // batches).
+        let depth = self.nodes[n].engine.queue_depth() + self.nodes[n].pending.len();
+        self.nodes[n].core.note_queue_depth(depth);
+    }
+
+    fn handle_cpu(&mut self, n: usize, c: EngineCompletion) {
+        self.busy_service_ns[n] += c.service.as_nanos();
+        let b = self.nodes[n]
+            .inflight
+            .remove(&c.query_id)
+            .expect("known batch");
+        debug_assert_eq!(b.items as usize, c.batch);
+        let now = self.now();
+        for seg in &b.segments {
+            self.finish_items(now, seg.query_id, seg.items);
+        }
+    }
+
+    fn finish_items(&mut self, now: SimTime, qid: u64, items: u32) {
+        if let Some(f) = self.stats.complete_items(now, qid, items) {
+            let settled = self.nodes[f.node].core.on_query_done(now, f.latency_ms);
+            self.stats.record(now, &f, settled);
+            self.router.complete(NodeId(f.node));
+            self.outstanding -= 1;
+        }
+    }
+}

@@ -54,6 +54,11 @@ pub struct ControllerConfig {
     /// Relative arrival-rate drift (vs. the rate at settle time) that
     /// triggers a re-tune.
     pub shift_tolerance: f64,
+    /// Consecutive out-of-band windows required before a re-climb
+    /// triggers. At the default of 2, one noisy window (a burst of
+    /// large queries, a scheduling hiccup) cannot thrash the knobs —
+    /// only a *sustained* shift retunes.
+    pub hysteresis: usize,
     /// The p95 target the score normalizes latency against: a rung at
     /// a tenth of the SLA scores visibly better than one at half of
     /// it, while sub-millisecond differences stay inside `rel_tol`.
@@ -62,7 +67,8 @@ pub struct ControllerConfig {
 
 impl ControllerConfig {
     /// Serving-grade defaults: 200-query windows, the offline tuner's
-    /// canonical ladders, ±25 % load-shift tolerance.
+    /// canonical ladders, ±25 % load-shift tolerance, two consecutive
+    /// out-of-band windows before a re-climb.
     pub fn standard() -> Self {
         ControllerConfig {
             window: 200,
@@ -71,6 +77,7 @@ impl ControllerConfig {
             patience: 1,
             rel_tol: 0.05,
             shift_tolerance: 0.25,
+            hysteresis: 2,
             sla_ms: 100.0,
         }
     }
@@ -111,15 +118,26 @@ fn anchored_ladder(full: &[u32], current: u32, below: usize) -> Vec<u32> {
     full[pos.saturating_sub(below)..].to_vec()
 }
 
-/// The rungs of `full` from the one holding `current` back down to the
-/// base — the walk-down used when load falls or an over-climbed knob
-/// should be re-judged on clean measurements.
-fn descending_ladder(full: &[u32], current: u32) -> Vec<u32> {
+/// The rungs of `full` from the one holding `current` down through at
+/// most `depth` rungs below it — the walk-down used when load falls or
+/// an over-climbed knob should be re-judged on clean measurements.
+///
+/// The descent is depth-bounded on purpose: piloting the ladder's
+/// bottom rungs (unit-ish batches) under live load builds real backlog
+/// that poisons every window after the walk-down, including the next
+/// settle's baseline. A far-off optimum is still reached — each
+/// walk-down moves the incumbent down up to `depth` rungs, and the
+/// next staleness signal continues from there.
+fn descending_ladder(full: &[u32], current: u32, depth: usize) -> Vec<u32> {
     let pos = full
         .iter()
         .position(|&v| v >= current)
         .unwrap_or(full.len() - 1);
-    full[..=pos].iter().rev().copied().collect()
+    full[pos.saturating_sub(depth)..=pos]
+        .iter()
+        .rev()
+        .copied()
+        .collect()
 }
 
 /// Live hill-climbing retuner for one server's [`SchedulerPolicy`].
@@ -138,6 +156,16 @@ pub struct OnlineController {
     settled_rate_qps: f64,
     /// Window p95 observed when the controller last settled.
     settled_p95_ms: f64,
+    /// Consecutive settled windows that looked out of band (load
+    /// shifted or tail drifted); a re-climb needs `cfg.hysteresis` of
+    /// them in a row.
+    stale_streak: usize,
+    /// Whether the current climb is a walk-down re-judgment (its score
+    /// caps the over-completion credit; see `on_complete`).
+    walkdown: bool,
+    /// Set at settle time; the next settled window re-baselines the
+    /// drift detector against the *chosen* policy's clean behaviour.
+    baseline_pending: bool,
     /// `(batch rung, window p95 ms)` per batch-phase observation.
     pub batch_trajectory: Vec<(u32, f64)>,
     /// `(threshold rung, window p95 ms)` per threshold-phase
@@ -158,6 +186,7 @@ impl OnlineController {
     pub fn new(cfg: ControllerConfig, initial: SchedulerPolicy, gpu_present: bool) -> Self {
         assert!(cfg.window > 0, "control window must be positive");
         assert!(cfg.shift_tolerance >= 0.0, "negative tolerance");
+        assert!(cfg.hysteresis >= 1, "hysteresis needs at least one window");
         let climb = LadderClimb::new(cfg.batch_ladder.clone(), cfg.patience, cfg.rel_tol);
         let policy = SchedulerPolicy {
             max_batch: climb.current(),
@@ -174,6 +203,9 @@ impl OnlineController {
             window_arrivals: 0,
             settled_rate_qps: 0.0,
             settled_p95_ms: 0.0,
+            stale_streak: 0,
+            walkdown: false,
+            baseline_pending: false,
             batch_trajectory: Vec::new(),
             threshold_trajectory: Vec::new(),
             retunes: 0,
@@ -219,12 +251,29 @@ impl OnlineController {
         } else {
             1.0
         };
+        // A *walk-down* re-judgment caps the ratio at 1: it asks which
+        // rung has the best clean tail, and crediting over-completion
+        // would let the incumbent win off the very drain window that
+        // triggered the re-judgment (it completes the backlog it built
+        // itself). The cold-start climb stays uncapped — there the
+        // drain credit is what lets a high-capacity rung outscore the
+        // underprovisioned rung that poisoned the measurements.
+        let raw = if self.walkdown { raw.min(1.0) } else { raw };
         let sustained = if (raw - 1.0).abs() <= 0.15 { 1.0 } else { raw };
         // Latency term normalized to a tenth of the SLA: rungs well
         // inside the target are strongly preferred, rungs past it all
         // look equally bad, and sub-scale jitter stays inside rel_tol.
         let tail_factor = 1.0 + 1.0 / (1.0 + 10.0 * p95.max(0.0) / self.cfg.sla_ms);
-        let score = sustained * tail_factor;
+        // A walk-down is a pure latency re-judgment between rungs that
+        // all keep up (the capped ratio only demotes underprovisioned
+        // ones), so it drops the 1+ offset: the unbounded relative
+        // spread lets a 9-vs-13 ms difference clear rel_tol, where the
+        // bounded tiebreaker would compress it into the noise.
+        let score = if self.walkdown {
+            sustained / (1.0 + 10.0 * p95.max(0.0) / self.cfg.sla_ms)
+        } else {
+            sustained * tail_factor
+        };
         match self.phase {
             Phase::TuningBatch => {
                 self.batch_trajectory.push((self.climb.current(), p95));
@@ -249,6 +298,20 @@ impl OnlineController {
                 true
             }
             Phase::Settled => {
+                // The first settled window establishes the drift
+                // baseline: the climb's final window was measured
+                // under the last *piloted* rung (often the worst one
+                // on the ladder), and judging drift against that
+                // would make every clean window under the chosen
+                // incumbent look like a 2x improvement — an endless
+                // walk-down loop.
+                if self.baseline_pending {
+                    self.baseline_pending = false;
+                    self.settled_rate_qps = rate;
+                    self.settled_p95_ms = p95;
+                    self.stale_streak = 0;
+                    return false;
+                }
                 // Two staleness signals. (1) Load shifted past the
                 // tolerance: rising load explores upward from the
                 // incumbent (never piloting a smaller, sooner-
@@ -265,7 +328,23 @@ impl OnlineController {
                         > self.cfg.shift_tolerance;
                 let tail_drift = self.settled_p95_ms > 0.0
                     && (p95 > 2.0 * self.settled_p95_ms || p95 < 0.5 * self.settled_p95_ms);
-                if rate_shift || tail_drift {
+                if !(rate_shift || tail_drift) {
+                    self.stale_streak = 0;
+                    return false;
+                }
+                // Hysteresis: a single out-of-band window can be pure
+                // noise (one burst of tail queries moves a 200-query
+                // window's p95 well past 2x, and one quiet window can
+                // halve it); only `hysteresis` consecutive stale
+                // windows commit to a re-climb. Retuning is expensive
+                // precisely because the re-climb *pilots* its rungs
+                // under live load — a spurious walk-down builds real
+                // backlog — so a second confirming window is cheap
+                // insurance. The direction is judged on the latest
+                // window, the most current view of the shift.
+                self.stale_streak += 1;
+                if self.stale_streak >= self.cfg.hysteresis {
+                    self.stale_streak = 0;
                     self.retunes += 1;
                     let downward = if rate_shift {
                         rate < self.settled_rate_qps
@@ -273,11 +352,22 @@ impl OnlineController {
                         p95 < self.settled_p95_ms
                     };
                     let ladder = if downward {
-                        descending_ladder(&self.cfg.batch_ladder, self.policy.max_batch)
+                        descending_ladder(&self.cfg.batch_ladder, self.policy.max_batch, 3)
                     } else {
                         anchored_ladder(&self.cfg.batch_ladder, self.policy.max_batch, 0)
                     };
-                    self.climb = LadderClimb::new(ladder, self.cfg.patience, self.cfg.rel_tol);
+                    self.walkdown = downward;
+                    // One extra rung of patience on the way down: a
+                    // single noisy window must not end the descent one
+                    // rung short of the clean optimum (the pilots get
+                    // *smaller* on this ladder, so the extra probe is
+                    // cheap until the very bottom).
+                    let patience = if downward {
+                        self.cfg.patience + 1
+                    } else {
+                        self.cfg.patience
+                    };
+                    self.climb = LadderClimb::new(ladder, patience, self.cfg.rel_tol);
                     self.policy.max_batch = self.climb.current();
                     self.phase = Phase::TuningBatch;
                     return true;
@@ -288,6 +378,8 @@ impl OnlineController {
     }
 
     fn enter_next_phase(&mut self, rate: f64, p95: f64) {
+        // The threshold climb (when it runs) ascends from its anchor.
+        self.walkdown = false;
         if self.gpu_present {
             // First tune walks from a unit threshold (all queries on
             // the accelerator, Section IV-C); after a load shift the
@@ -311,8 +403,11 @@ impl OnlineController {
 
     fn settle(&mut self, rate: f64, p95: f64) {
         self.phase = Phase::Settled;
+        // Provisional values only: the next settled window — the first
+        // measured wholly under the chosen policy — re-baselines both.
         self.settled_rate_qps = rate;
         self.settled_p95_ms = p95;
+        self.baseline_pending = true;
     }
 
     /// Resets window state, returning the window's mean arrival rate
@@ -347,6 +442,9 @@ mod tests {
             patience: 1,
             rel_tol: 0.0,
             shift_tolerance: 0.25,
+            // Single-window reaction keeps the climb-shape tests
+            // direct; the hysteresis tests below exercise the default.
+            hysteresis: 1,
             sla_ms: 100.0,
         }
     }
@@ -432,6 +530,90 @@ mod tests {
             c.policy().max_batch,
             4,
             "rising load: re-climb anchored at the incumbent (4)"
+        );
+    }
+
+    /// Settles a fresh CPU-only controller at 1 ms pacing, then feeds
+    /// one clean 10 ms window so the drift baseline is established
+    /// (rate 1000 QPS, p95 10 ms).
+    fn settled_controller(window: usize, hysteresis: usize) -> (OnlineController, SimTime) {
+        let mut c = OnlineController::new(
+            ControllerConfig {
+                hysteresis,
+                ..cfg(window)
+            },
+            SchedulerPolicy::cpu_only(1),
+            false,
+        );
+        let mut t = 0;
+        for ms in [40.0, 20.0, 10.0, 15.0] {
+            t = feed(&mut c, t, window, ms);
+        }
+        assert!(c.is_settled());
+        t = feed(&mut c, t, window, 10.0); // baseline window
+        assert!(c.is_settled());
+        (c, t)
+    }
+
+    #[test]
+    fn single_noisy_window_does_not_retune() {
+        let (mut c, mut t) = settled_controller(5, 2);
+        // One window with a 3x tail spike (out of band), then back in
+        // band: the streak resets and no re-climb ever triggers.
+        t = feed(&mut c, t, 5, 40.0);
+        assert_eq!(c.retunes, 0, "first stale window only arms the streak");
+        assert!(c.is_settled());
+        t = feed(&mut c, t, 5, 10.0);
+        assert_eq!(c.retunes, 0, "in-band window disarms the streak");
+        // And the next isolated spike starts counting from scratch.
+        feed(&mut c, t, 5, 40.0);
+        assert_eq!(c.retunes, 0);
+        assert!(c.is_settled());
+    }
+
+    #[test]
+    fn sustained_shift_retunes_after_hysteresis_windows() {
+        let (mut c, mut t) = settled_controller(5, 2);
+        // Two consecutive out-of-band windows commit to the re-climb.
+        t = feed(&mut c, t, 5, 40.0);
+        assert!(c.is_settled());
+        feed(&mut c, t, 5, 40.0);
+        assert_eq!(c.retunes, 1);
+        assert!(!c.is_settled(), "re-climb in progress");
+    }
+
+    #[test]
+    fn tail_improvement_also_needs_the_streak() {
+        // Baseline p95 is 10 ms; windows at 4 ms (< 0.5x) signal the
+        // baseline is stale, but the walk-down still waits for two of
+        // them — a single quiet window must not pilot a smaller batch
+        // under live load.
+        let (mut c, mut t) = settled_controller(5, 2);
+        t = feed(&mut c, t, 5, 4.0);
+        assert_eq!(c.retunes, 0);
+        assert!(c.is_settled());
+        feed(&mut c, t, 5, 4.0);
+        assert_eq!(c.retunes, 1, "second improved window commits");
+        assert!(!c.is_settled());
+    }
+
+    #[test]
+    fn hysteresis_one_reacts_immediately() {
+        let (mut c, t) = settled_controller(5, 1);
+        feed(&mut c, t, 5, 40.0);
+        assert_eq!(c.retunes, 1, "hysteresis 1 preserves the old behavior");
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis needs at least one window")]
+    fn zero_hysteresis_rejected() {
+        let _ = OnlineController::new(
+            ControllerConfig {
+                hysteresis: 0,
+                ..cfg(5)
+            },
+            SchedulerPolicy::cpu_only(1),
+            false,
         );
     }
 

@@ -32,6 +32,15 @@
 //! [`Server::serve_real`] paces the same stream onto physical worker
 //! threads.
 //!
+//! The per-node brain is instantiable N times: a [`Cluster`] puts a
+//! front-end [`Router`] over any [`drs_core::ClusterTopology`],
+//! dispatching the arrival stream under a
+//! [`drs_core::RoutingPolicy`] (round-robin, least-outstanding,
+//! power-of-two-choices, size-aware) with per-node outstanding-work
+//! gauges. `Simulation`, [`Server`], and [`Cluster`] all implement
+//! [`drs_core::ServingStack`], so experiments select their execution
+//! layer through one entry point.
+//!
 //! # Examples
 //!
 //! ```
@@ -60,12 +69,15 @@
 #![warn(missing_docs)]
 
 mod batcher;
+mod cluster;
 mod controller;
 mod gpu;
+mod node;
 mod report;
 mod server;
 
 pub use batcher::{Batch, BatchQueue, BatchSegment, BatchStats};
+pub use cluster::{Cluster, Router};
 pub use controller::{ControllerConfig, OnlineController};
 pub use gpu::GpuExecutor;
 pub use report::ServerReport;

@@ -1,0 +1,647 @@
+//! The per-node serving brain, instantiable N times behind a cluster
+//! router.
+//!
+//! PR 2's `Server` fused three things into one run loop: per-node
+//! scheduling state (batching queue, offload executor, online
+//! controller), stream-wide measurement (per-query latency accounting,
+//! warm-up windows), and the event loop itself. Cluster serving needs
+//! the first to exist once *per node* while the second stays global, so
+//! this module splits them:
+//!
+//! * [`NodeCore`] — one node's scheduling brain: its batching queue,
+//!   its GPU offload executor, its online controller, and its
+//!   backpressure gauges. A [`crate::Server`] owns one; a
+//!   [`crate::Cluster`] owns N.
+//! * [`StreamStats`] — stream-wide measurement shared across nodes:
+//!   which queries are in flight, where each was routed, and the
+//!   latency/throughput recorders the final report is cut from.
+//! * [`serve_virtual_multi`] — the deterministic virtual-time event
+//!   loop over N nodes behind a [`crate::Router`]; `Server` runs it
+//!   with a single node, `Cluster` with the whole topology.
+
+use crate::batcher::{Batch, BatchQueue};
+use crate::cluster::Router;
+use crate::controller::OnlineController;
+use crate::gpu::GpuExecutor;
+use crate::report::ServerReport;
+use crate::server::ServerOptions;
+use drs_core::{
+    secs_to_ns, stream_offered_qps, us_to_ns, EventQueue, NodeId, SchedulerPolicy, SimTime,
+    NS_PER_SEC,
+};
+use drs_metrics::LatencyRecorder;
+use drs_platform::{CpuPlatform, GpuPlatform, ModelCost};
+use drs_query::Query;
+use std::collections::{HashMap, VecDeque};
+
+/// One node's hardware and worker allocation.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NodeSetup {
+    pub cpu: CpuPlatform,
+    pub gpu: Option<GpuPlatform>,
+    pub workers: usize,
+}
+
+/// `(retunes, batch trajectory, threshold trajectory)` extracted from
+/// one node's controller at report time.
+pub(crate) type ControllerOutputs = (u64, Vec<(u32, f64)>, Vec<(u32, f64)>);
+
+/// Where one arrival went inside a node.
+pub(crate) enum Route {
+    /// Offloaded whole; completes at the given virtual time.
+    Gpu(SimTime),
+    /// Split/coalesced; these batches are ready to dispatch now.
+    Cpu(Vec<Batch>),
+}
+
+/// One node's scheduling brain: batching queue + offload executor +
+/// online controller + backpressure gauges. No measurement state —
+/// that lives in [`StreamStats`].
+pub(crate) struct NodeCore {
+    fallback_policy: SchedulerPolicy,
+    controller: Option<OnlineController>,
+    pub batcher: BatchQueue,
+    pub gpu: Option<GpuExecutor>,
+    /// Set when the controller changed the policy; the serving loop
+    /// must re-read it and re-batch any queued backlog.
+    policy_dirty: bool,
+    pub backpressure_stalls: u64,
+    pub max_queue_depth: usize,
+}
+
+impl NodeCore {
+    /// Builds the brain for one node. A node without an accelerator
+    /// serves the options' policy with the offload knob stripped (its
+    /// controller then skips the threshold phase), so one cluster-wide
+    /// policy can drive a mixed fleet.
+    pub fn new(cost: &ModelCost, setup: &NodeSetup, opts: &ServerOptions) -> Self {
+        let node_policy = if setup.gpu.is_some() {
+            opts.policy
+        } else {
+            SchedulerPolicy {
+                max_batch: opts.policy.max_batch,
+                gpu_threshold: None,
+            }
+        };
+        let controller = opts
+            .controller
+            .clone()
+            .map(|c| OnlineController::new(c, node_policy, setup.gpu.is_some()));
+        let initial = controller.as_ref().map_or(node_policy, |c| c.policy());
+        // Round, do not floor-at-1: a zero timeout must stay zero
+        // (coalescing disabled).
+        let timeout_ns = (opts.batching.coalesce_timeout_us * 1e3).round() as SimTime;
+        NodeCore {
+            fallback_policy: node_policy,
+            controller,
+            batcher: BatchQueue::new(initial.max_batch, timeout_ns),
+            gpu: setup
+                .gpu
+                .map(|g| GpuExecutor::new(cost.clone(), setup.cpu, g)),
+            policy_dirty: false,
+            backpressure_stalls: 0,
+            max_queue_depth: 0,
+        }
+    }
+
+    /// The policy this node applies right now.
+    pub fn policy(&self) -> SchedulerPolicy {
+        self.controller
+            .as_ref()
+            .map_or(self.fallback_policy, |c| c.policy())
+    }
+
+    /// Routes one arrival inside the node: GPU offload or batch/split
+    /// onto the CPU queue.
+    pub fn on_arrival(&mut self, now: SimTime, q: &Query) -> Route {
+        if let Some(c) = &mut self.controller {
+            c.on_arrival(now);
+        }
+        let pol = self.policy();
+        if let Some(gpu) = self.gpu.as_mut().filter(|_| pol.offloads(q.size)) {
+            Route::Gpu(gpu.schedule(now, q.size))
+        } else {
+            let mut out = Vec::new();
+            self.batcher.set_max_batch(pol.max_batch, &mut out);
+            self.batcher.push(now, q.id, q.size, &mut out);
+            Route::Cpu(out)
+        }
+    }
+
+    /// Feeds one finished query's latency to the node's controller;
+    /// returns whether the controller is settled (for the settled-tail
+    /// recorder).
+    pub fn on_query_done(&mut self, now: SimTime, latency_ms: f64) -> bool {
+        match &mut self.controller {
+            Some(c) => {
+                if c.on_complete(now, latency_ms) {
+                    self.policy_dirty = true;
+                }
+                c.is_settled()
+            }
+            None => true,
+        }
+    }
+
+    /// Whether the policy changed since the last check (clears the
+    /// flag).
+    pub fn take_policy_dirty(&mut self) -> bool {
+        std::mem::take(&mut self.policy_dirty)
+    }
+
+    pub fn note_queue_depth(&mut self, depth: usize) {
+        self.max_queue_depth = self.max_queue_depth.max(depth);
+    }
+
+    /// Consumes the brain, returning the controller's outputs:
+    /// `(retunes, batch trajectory, threshold trajectory)`.
+    pub fn into_controller_outputs(self) -> ControllerOutputs {
+        match self.controller {
+            Some(c) => (c.retunes, c.batch_trajectory, c.threshold_trajectory),
+            None => (0, Vec::new(), Vec::new()),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct QueryState {
+    arrival: SimTime,
+    items_left: u32,
+    measured: bool,
+    node: usize,
+}
+
+/// One fully completed query, as reported by
+/// [`StreamStats::complete_items`].
+pub(crate) struct FinishedQuery {
+    pub node: usize,
+    pub latency_ms: f64,
+    pub measured: bool,
+}
+
+/// Stream-wide measurement shared by every node of a run.
+pub(crate) struct StreamStats {
+    warmup_n: u64,
+    queries: HashMap<u64, QueryState>,
+    latency: LatencyRecorder,
+    settled: LatencyRecorder,
+    latencies_ms: Vec<f64>,
+    completed_measured: u64,
+    items_total: u64,
+    items_gpu: u64,
+    window_start: Option<SimTime>,
+    window_end: SimTime,
+}
+
+impl StreamStats {
+    pub fn new(num_queries: usize, warmup_frac: f64) -> Self {
+        StreamStats {
+            warmup_n: (num_queries as f64 * warmup_frac) as u64,
+            queries: HashMap::new(),
+            latency: LatencyRecorder::with_capacity(num_queries),
+            settled: LatencyRecorder::new(),
+            latencies_ms: Vec::new(),
+            completed_measured: 0,
+            items_total: 0,
+            items_gpu: 0,
+            window_start: None,
+            window_end: 0,
+        }
+    }
+
+    /// Registers an arrival routed to `node`; returns whether the query
+    /// is inside the measurement window.
+    pub fn note_arrival(&mut self, now: SimTime, q: &Query, node: usize) -> bool {
+        let measured = q.id >= self.warmup_n;
+        let prev = self.queries.insert(
+            q.id,
+            QueryState {
+                arrival: now,
+                items_left: q.size,
+                measured,
+                node,
+            },
+        );
+        assert!(prev.is_none(), "duplicate query id {}", q.id);
+        if measured {
+            self.items_total += q.size as u64;
+            self.window_start.get_or_insert(now);
+        }
+        measured
+    }
+
+    /// Credits offloaded items to the GPU work share.
+    pub fn note_gpu_items(&mut self, measured: bool, size: u32) {
+        if measured {
+            self.items_gpu += size as u64;
+        }
+    }
+
+    pub fn remaining_items(&self, qid: u64) -> u32 {
+        self.queries.get(&qid).expect("known query").items_left
+    }
+
+    /// Credits `items` of a query as done; returns the finished query
+    /// when it completed end to end. The caller must then feed the
+    /// latency to the owning node's controller and call
+    /// [`StreamStats::record`].
+    pub fn complete_items(&mut self, now: SimTime, qid: u64, items: u32) -> Option<FinishedQuery> {
+        let st = self.queries.get_mut(&qid).expect("known query");
+        st.items_left -= items;
+        if st.items_left > 0 {
+            return None;
+        }
+        let st = self.queries.remove(&qid).expect("known query");
+        Some(FinishedQuery {
+            node: st.node,
+            latency_ms: (now - st.arrival) as f64 / 1e6,
+            measured: st.measured,
+        })
+    }
+
+    /// Records a finished query's latency (after its node's controller
+    /// saw it, so the settled flag is current).
+    pub fn record(&mut self, now: SimTime, f: &FinishedQuery, settled: bool) {
+        if f.measured {
+            self.latency.record_ms(f.latency_ms);
+            self.latencies_ms.push(f.latency_ms);
+            if settled {
+                self.settled.record_ms(f.latency_ms);
+            }
+            self.completed_measured += 1;
+            self.window_end = self.window_end.max(now);
+        }
+    }
+}
+
+/// Per-node utilization integrals accumulated by a serving loop.
+pub(crate) struct NodeUtilization {
+    pub busy_core_ns: u128,
+    pub workers: usize,
+}
+
+/// Directly measured CPU utilization from a wall-clock run, replacing
+/// the virtual-time busy integrals: one value per node (prices each
+/// node's power at its own load) plus the fleet-wide figure reported.
+pub(crate) struct CpuUtilOverride {
+    pub per_node: Vec<f64>,
+    pub overall: f64,
+}
+
+/// Everything a serving loop hands back for report assembly.
+pub(crate) struct RunOutcome {
+    pub stats: StreamStats,
+    pub cores: Vec<NodeCore>,
+    pub setups: Vec<NodeSetup>,
+    pub utilization: Vec<NodeUtilization>,
+    /// Measurement horizon in virtual ns (or model-time ns for real
+    /// runs) the utilization integrals are normalized against.
+    pub end_ns: SimTime,
+    /// Queries dispatched to each node by the router.
+    pub node_queries: Vec<u64>,
+    /// Overrides the per-node busy-integral CPU utilization when the
+    /// caller measured it directly (the real engine's wall-clock
+    /// integral).
+    pub cpu_utilization_override: Option<CpuUtilOverride>,
+}
+
+/// Cuts the final [`ServerReport`] from a finished run: aggregates
+/// batching stats across nodes, averages utilization, sums power, and
+/// reports node 0's controller trajectory (the representative brain —
+/// every node climbs the same ladders).
+pub(crate) fn assemble_report(outcome: RunOutcome, offered_qps: f64) -> ServerReport {
+    let RunOutcome {
+        stats,
+        cores,
+        setups,
+        utilization,
+        end_ns,
+        node_queries,
+        cpu_utilization_override,
+    } = outcome;
+    let end = end_ns.max(1);
+
+    let per_node_cpu_util: Vec<f64> = match &cpu_utilization_override {
+        Some(o) => o.per_node.clone(),
+        None => utilization
+            .iter()
+            .map(|u| u.busy_core_ns as f64 / (u.workers.max(1) as f64 * end as f64))
+            .collect(),
+    };
+    let cpu_utilization = match &cpu_utilization_override {
+        Some(o) => o.overall,
+        None => per_node_cpu_util.iter().sum::<f64>() / per_node_cpu_util.len().max(1) as f64,
+    };
+
+    let per_node_gpu_util: Vec<Option<f64>> = cores
+        .iter()
+        .map(|c| {
+            c.gpu
+                .as_ref()
+                .map(|g| (g.busy_ns() as f64 / end as f64).min(1.0))
+        })
+        .collect();
+    let gpu_node_count = per_node_gpu_util.iter().flatten().count();
+    let gpu_utilization = if gpu_node_count > 0 {
+        per_node_gpu_util.iter().flatten().sum::<f64>() / gpu_node_count as f64
+    } else {
+        0.0
+    };
+
+    let mut avg_power_w = 0.0;
+    for ((setup, cpu_util), gpu_util) in setups
+        .iter()
+        .zip(&per_node_cpu_util)
+        .zip(&per_node_gpu_util)
+    {
+        avg_power_w += setup.cpu.power_w(*cpu_util);
+        if let (Some(g), Some(u)) = (&setup.gpu, gpu_util) {
+            avg_power_w += g.power_w(*u);
+        }
+    }
+
+    let window_s = match stats.window_start {
+        Some(start) if stats.window_end > start => {
+            (stats.window_end - start) as f64 / NS_PER_SEC as f64
+        }
+        _ => 0.0,
+    };
+    let qps = if window_s > 0.0 {
+        stats.completed_measured as f64 / window_s
+    } else {
+        0.0
+    };
+
+    let mut batch_stats = crate::batcher::BatchStats::default();
+    for c in &cores {
+        let s = c.batcher.stats();
+        batch_stats.batches += s.batches;
+        batch_stats.full_batches += s.full_batches;
+        batch_stats.coalesced_batches += s.coalesced_batches;
+        batch_stats.timeout_flushes += s.timeout_flushes;
+        batch_stats.items += s.items;
+    }
+    let backpressure_stalls: u64 = cores.iter().map(|c| c.backpressure_stalls).sum();
+    let max_queue_depth = cores.iter().map(|c| c.max_queue_depth).max().unwrap_or(0);
+    let final_policy = cores[0].policy();
+
+    let mut retunes = 0;
+    let mut batch_trajectory = Vec::new();
+    let mut threshold_trajectory = Vec::new();
+    for (i, core) in cores.into_iter().enumerate() {
+        let (r, bt, tt) = core.into_controller_outputs();
+        retunes += r;
+        if i == 0 {
+            batch_trajectory = bt;
+            threshold_trajectory = tt;
+        }
+    }
+
+    ServerReport {
+        offered_qps,
+        completed: stats.completed_measured,
+        qps,
+        latency: stats.latency.summary(),
+        settled_latency: stats.settled.summary(),
+        gpu_work_fraction: if stats.items_total > 0 {
+            stats.items_gpu as f64 / stats.items_total as f64
+        } else {
+            0.0
+        },
+        cpu_utilization,
+        gpu_utilization,
+        avg_power_w,
+        qps_per_watt: if avg_power_w > 0.0 {
+            qps / avg_power_w
+        } else {
+            0.0
+        },
+        window_s,
+        batches: batch_stats.batches,
+        full_batches: batch_stats.full_batches,
+        coalesced_batches: batch_stats.coalesced_batches,
+        timeout_flushes: batch_stats.timeout_flushes,
+        mean_batch_items: if batch_stats.batches > 0 {
+            batch_stats.items as f64 / batch_stats.batches as f64
+        } else {
+            0.0
+        },
+        backpressure_stalls,
+        max_queue_depth,
+        final_policy,
+        retunes,
+        batch_trajectory,
+        threshold_trajectory,
+        node_queries,
+        latencies_ms: stats.latencies_ms,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Arrival { idx: usize },
+    Coalesce { node: usize },
+    CpuDone { node: usize, batch: u64 },
+    GpuDone { node: usize, qid: u64 },
+}
+
+/// One node's virtual-time execution state around its [`NodeCore`].
+struct VirtualNode {
+    core: NodeCore,
+    ready: VecDeque<Batch>,
+    inflight: HashMap<u64, Batch>,
+    busy: usize,
+    workers: usize,
+    cpu: CpuPlatform,
+    last_ns: SimTime,
+    busy_core_ns: u128,
+}
+
+impl VirtualNode {
+    fn new(cost: &ModelCost, setup: &NodeSetup, opts: &ServerOptions) -> Self {
+        VirtualNode {
+            core: NodeCore::new(cost, setup, opts),
+            ready: VecDeque::new(),
+            inflight: HashMap::new(),
+            busy: 0,
+            workers: setup.workers,
+            cpu: setup.cpu,
+            last_ns: 0,
+            busy_core_ns: 0,
+        }
+    }
+
+    /// Advances the busy-core integral to `now`.
+    fn advance(&mut self, now: SimTime) {
+        self.busy_core_ns += now.saturating_sub(self.last_ns) as u128 * self.busy as u128;
+        self.last_ns = now;
+    }
+
+    /// Enqueues freshly formed batches, counting each one that meets a
+    /// dispatch queue already at its bound (the backpressure signal —
+    /// same per-batch semantics as the real engine's refusals).
+    fn enqueue(&mut self, batches: Vec<Batch>, bound: usize) {
+        for b in batches {
+            if self.ready.len() >= bound {
+                self.core.backpressure_stalls += 1;
+            }
+            self.ready.push_back(b);
+        }
+    }
+
+    fn dispatch(&mut self, now: SimTime, cost: &ModelCost, n: usize, events: &mut EventQueue<Ev>) {
+        while self.busy < self.workers {
+            let Some(b) = self.ready.pop_front() else {
+                break;
+            };
+            self.busy += 1;
+            let service = cost.cpu_request_us(&self.cpu, b.items as usize, self.busy);
+            events.push(
+                now + us_to_ns(service),
+                Ev::CpuDone {
+                    node: n,
+                    batch: b.id,
+                },
+            );
+            self.inflight.insert(b.id, b);
+        }
+        self.core.note_queue_depth(self.ready.len());
+    }
+
+    /// The controller retuned: re-batch the queued backlog at the new
+    /// size so it drains at the new knob's cost. (Repacked batches are
+    /// the same queued work, not new pressure — no backpressure
+    /// accounting here.)
+    fn retune(&mut self, now: SimTime, cost: &ModelCost, n: usize, events: &mut EventQueue<Ev>) {
+        let pol = self.core.policy();
+        let mut out = Vec::new();
+        self.core.batcher.set_max_batch(pol.max_batch, &mut out);
+        let queued: Vec<Batch> = self.ready.drain(..).collect();
+        self.core.batcher.reform(queued, &mut out);
+        self.ready.extend(out);
+        self.dispatch(now, cost, n, events);
+    }
+}
+
+/// Serves `queries` across `setups.len()` nodes behind `router` in
+/// deterministic virtual time. The single-node [`crate::Server`] and
+/// the N-node [`crate::Cluster`] are both thin fronts over this loop.
+pub(crate) fn serve_virtual_multi(
+    cost: &ModelCost,
+    setups: &[NodeSetup],
+    opts: &ServerOptions,
+    mut router: Router,
+    queries: &[Query],
+) -> ServerReport {
+    assert!(!queries.is_empty(), "no queries to serve");
+    let queue_bound = opts.batching.queue_bound;
+    let mut stats = StreamStats::new(queries.len(), opts.warmup_frac);
+    let mut nodes: Vec<VirtualNode> = setups
+        .iter()
+        .map(|s| VirtualNode::new(cost, s, opts))
+        .collect();
+    let mut events: EventQueue<Ev> = EventQueue::new();
+    for (idx, q) in queries.iter().enumerate() {
+        events.push(secs_to_ns(q.arrival_s), Ev::Arrival { idx });
+    }
+
+    let mut end_ns: SimTime = 0;
+    while let Some((now, ev)) = events.pop() {
+        end_ns = now;
+        let touched = match ev {
+            Ev::Arrival { idx } => {
+                let q = &queries[idx];
+                let NodeId(n) = router.route(q.size);
+                nodes[n].advance(now);
+                let measured = stats.note_arrival(now, q, n);
+                let deadline_before = nodes[n].core.batcher.deadline();
+                match nodes[n].core.on_arrival(now, q) {
+                    Route::Gpu(done) => {
+                        stats.note_gpu_items(measured, q.size);
+                        events.push(done, Ev::GpuDone { node: n, qid: q.id });
+                    }
+                    Route::Cpu(batches) => {
+                        nodes[n].enqueue(batches, queue_bound);
+                        // Schedule a flush only when this arrival opened
+                        // a fresh coalesce buffer; an unchanged deadline
+                        // already has its event.
+                        match nodes[n].core.batcher.deadline() {
+                            Some(d) if deadline_before != Some(d) => {
+                                events.push(d, Ev::Coalesce { node: n })
+                            }
+                            _ => {}
+                        }
+                        nodes[n].dispatch(now, cost, n, &mut events);
+                    }
+                }
+                n
+            }
+            Ev::Coalesce { node: n } => {
+                nodes[n].advance(now);
+                let mut out = Vec::new();
+                nodes[n].core.batcher.flush_due(now, &mut out);
+                if !out.is_empty() {
+                    nodes[n].enqueue(out, queue_bound);
+                    nodes[n].dispatch(now, cost, n, &mut events);
+                }
+                n
+            }
+            Ev::CpuDone { node: n, batch } => {
+                nodes[n].advance(now);
+                nodes[n].busy -= 1;
+                let b = nodes[n].inflight.remove(&batch).expect("known batch");
+                for seg in &b.segments {
+                    if let Some(f) = stats.complete_items(now, seg.query_id, seg.items) {
+                        let settled = nodes[f.node].core.on_query_done(now, f.latency_ms);
+                        stats.record(now, &f, settled);
+                        router.complete(NodeId(f.node));
+                    }
+                }
+                nodes[n].dispatch(now, cost, n, &mut events);
+                n
+            }
+            Ev::GpuDone { node: n, qid } => {
+                nodes[n].advance(now);
+                let items = stats.remaining_items(qid);
+                if let Some(f) = stats.complete_items(now, qid, items) {
+                    let settled = nodes[f.node].core.on_query_done(now, f.latency_ms);
+                    stats.record(now, &f, settled);
+                    router.complete(NodeId(f.node));
+                }
+                n
+            }
+        };
+        if nodes[touched].core.take_policy_dirty() {
+            nodes[touched].retune(now, cost, touched, &mut events);
+        }
+    }
+
+    for node in &mut nodes {
+        node.advance(end_ns);
+    }
+    let node_queries = router.dispatched().to_vec();
+    let (cores, utilization): (Vec<NodeCore>, Vec<NodeUtilization>) = nodes
+        .into_iter()
+        .map(|v| {
+            (
+                v.core,
+                NodeUtilization {
+                    busy_core_ns: v.busy_core_ns,
+                    workers: v.workers,
+                },
+            )
+        })
+        .unzip();
+    assemble_report(
+        RunOutcome {
+            stats,
+            cores,
+            setups: setups.to_vec(),
+            utilization,
+            end_ns,
+            node_queries,
+            cpu_utilization_override: None,
+        },
+        stream_offered_qps(queries),
+    )
+}

@@ -1,6 +1,6 @@
 //! Serving output: the open-loop counterpart of `SimReport`.
 
-use drs_core::SchedulerPolicy;
+use drs_core::{ReportView, SchedulerPolicy};
 use drs_metrics::LatencySummary;
 
 /// Results of one open-loop serving run.
@@ -61,9 +61,14 @@ pub struct ServerReport {
     /// shift (zero without a controller).
     pub retunes: u64,
     /// The controller's batch-phase observations: `(rung, window p95)`.
+    /// On a cluster this is node 0's trajectory (every node climbs the
+    /// same ladders).
     pub batch_trajectory: Vec<(u32, f64)>,
     /// The controller's threshold-phase observations.
     pub threshold_trajectory: Vec<(u32, f64)>,
+    /// Queries the front-end router dispatched to each node, in
+    /// `NodeId` order (a single server reports one entry).
+    pub node_queries: Vec<u64>,
     /// Per-query latencies in milliseconds (measurement window only),
     /// in completion order.
     pub latencies_ms: Vec<f64>,
@@ -71,9 +76,46 @@ pub struct ServerReport {
 
 impl ServerReport {
     /// Whether the window met a p95 SLA target, requiring a minimally
-    /// meaningful sample — same contract as `SimReport::meets_sla`.
+    /// meaningful sample — delegates to the shared
+    /// [`ReportView::sla_met`] contract (same as `SimReport`).
     pub fn meets_sla(&self, sla_ms: f64) -> bool {
-        self.completed >= 20 && self.latency.p95_ms <= sla_ms
+        ReportView::sla_met(self, sla_ms)
+    }
+}
+
+impl ReportView for ServerReport {
+    fn offered_qps(&self) -> f64 {
+        self.offered_qps
+    }
+    fn completed(&self) -> u64 {
+        self.completed
+    }
+    fn qps(&self) -> f64 {
+        self.qps
+    }
+    fn latency(&self) -> &LatencySummary {
+        &self.latency
+    }
+    fn gpu_work_fraction(&self) -> f64 {
+        self.gpu_work_fraction
+    }
+    fn cpu_utilization(&self) -> f64 {
+        self.cpu_utilization
+    }
+    fn gpu_utilization(&self) -> f64 {
+        self.gpu_utilization
+    }
+    fn avg_power_w(&self) -> f64 {
+        self.avg_power_w
+    }
+    fn qps_per_watt(&self) -> f64 {
+        self.qps_per_watt
+    }
+    fn window_s(&self) -> f64 {
+        self.window_s
+    }
+    fn latencies_ms(&self) -> &[f64] {
+        &self.latencies_ms
     }
 }
 
@@ -115,6 +157,7 @@ mod tests {
             retunes: 0,
             batch_trajectory: Vec::new(),
             threshold_trajectory: Vec::new(),
+            node_queries: vec![1000],
             latencies_ms: Vec::new(),
         };
         assert!(r.meets_sla(100.0));

@@ -1,16 +1,20 @@
 //! The open-loop serving runtime: arrivals → batching queue → CPU
 //! worker pool / GPU offload, with the online controller in the loop.
 
-use crate::batcher::{Batch, BatchQueue};
-use crate::controller::{ControllerConfig, OnlineController};
-use crate::gpu::GpuExecutor;
+use crate::batcher::Batch;
+use crate::cluster::Router;
+use crate::controller::ControllerConfig;
+use crate::node::{
+    self, CpuUtilOverride, NodeCore, NodeSetup, NodeUtilization, Route, RunOutcome, StreamStats,
+};
 use crate::report::ServerReport;
-use drs_core::{secs_to_ns, us_to_ns, EventQueue, SchedulerPolicy, SimTime, NS_PER_SEC};
+use drs_core::{
+    secs_to_ns, stream_offered_qps, RoutingPolicy, SchedulerPolicy, ServingStack, SimTime,
+};
 use drs_engine::{EngineCompletion, EngineRequest, InferenceEngine};
-use drs_metrics::LatencyRecorder;
 use drs_models::{ModelConfig, RecModel};
 use drs_platform::{CpuPlatform, GpuPlatform, ModelCost};
-use drs_query::Query;
+use drs_query::{Query, Trace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
@@ -44,7 +48,8 @@ impl BatchingConfig {
 #[derive(Debug, Clone)]
 pub struct ServerOptions {
     /// CPU worker slots (threads on the real engine, modelled cores in
-    /// virtual time).
+    /// virtual time). A [`crate::Cluster`] grants this many slots per
+    /// node, capped at each node's core count.
     pub workers: usize,
     /// Scheduling policy served when no controller is attached. With a
     /// controller, only its `gpu_threshold` is kept (for the batch
@@ -57,7 +62,8 @@ pub struct ServerOptions {
     pub controller: Option<ControllerConfig>,
     /// Leading fraction of queries excluded from statistics (warm-up).
     pub warmup_frac: f64,
-    /// Seed for synthetic input generation (real engine only).
+    /// Seed for synthetic input generation (real engine) and the
+    /// router's sampled dispatch policies (cluster).
     pub seed: u64,
     /// Real-mode pacing compression: 2.0 replays arrivals (and the
     /// GPU's virtual clock) at twice real time. CPU forward passes are
@@ -91,6 +97,25 @@ impl ServerOptions {
         self.batching = batching;
         self
     }
+
+    /// Validates the hardware-independent invariants shared by every
+    /// constructor (`Server::new`, `Cluster::new`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any option is degenerate.
+    pub(crate) fn validate(&self) {
+        assert!(self.workers > 0, "need at least one worker");
+        assert!(self.time_scale > 0.0, "time scale must be positive");
+        assert!(
+            (0.0..1.0).contains(&self.warmup_frac),
+            "warm-up fraction must be in [0, 1)"
+        );
+        assert!(
+            self.batching.queue_bound > 0,
+            "queue bound must be positive"
+        );
+    }
 }
 
 /// An open-loop recommendation inference server for one model on one
@@ -106,6 +131,9 @@ impl ServerOptions {
 ///   real forward passes on a [`drs_engine::InferenceEngine`] worker
 ///   pool (with bounded-queue backpressure), while GPU offloads run on
 ///   the virtual-time cost model.
+///
+/// The per-node brain itself lives in `node.rs`; a [`crate::Cluster`]
+/// instantiates it N times behind a front-end [`crate::Router`].
 ///
 /// # Examples
 ///
@@ -154,16 +182,7 @@ impl Server {
         gpu: Option<GpuPlatform>,
         opts: ServerOptions,
     ) -> Self {
-        assert!(opts.workers > 0, "need at least one worker");
-        assert!(opts.time_scale > 0.0, "time scale must be positive");
-        assert!(
-            (0.0..1.0).contains(&opts.warmup_frac),
-            "warm-up fraction must be in [0, 1)"
-        );
-        assert!(
-            opts.batching.queue_bound > 0,
-            "queue bound must be positive"
-        );
+        opts.validate();
         assert!(
             opts.policy.gpu_threshold.is_none() || gpu.is_some(),
             "policy offloads to a GPU the node does not have"
@@ -186,126 +205,54 @@ impl Server {
         &self.cost
     }
 
+    fn setup(&self) -> NodeSetup {
+        NodeSetup {
+            cpu: self.cpu,
+            gpu: self.gpu,
+            workers: self.opts.workers,
+        }
+    }
+
     /// Serves `queries` in deterministic virtual time and reports.
     ///
     /// # Panics
     ///
     /// Panics if `queries` is empty.
     pub fn serve_virtual(&self, queries: &[Query]) -> ServerReport {
-        assert!(!queries.is_empty(), "no queries to serve");
-        let mut core = RunCore::new(self, queries.len());
-        let mut events: EventQueue<Ev> = EventQueue::new();
-        for (idx, q) in queries.iter().enumerate() {
-            events.push(secs_to_ns(q.arrival_s), Ev::Arrival { idx });
-        }
+        // A single node behind a trivial router: the same loop a
+        // Cluster runs, with N = 1.
+        let router = Router::new(
+            RoutingPolicy::LeastOutstanding,
+            &[self.gpu.is_some()],
+            0,
+            self.opts.seed,
+        );
+        node::serve_virtual_multi(&self.cost, &[self.setup()], &self.opts, router, queries)
+    }
 
-        let workers = self.opts.workers;
-        let queue_bound = self.opts.batching.queue_bound;
-        let mut ready: VecDeque<Batch> = VecDeque::new();
-        let mut inflight: HashMap<u64, Batch> = HashMap::new();
-        let mut busy = 0usize;
-        let mut last_ns: SimTime = 0;
-        let mut busy_core_ns: u128 = 0;
-        let mut end_ns: SimTime = 0;
+    /// Replays a recorded [`Trace`] through the virtual-time serving
+    /// path — deterministic, production-shaped replay (ROADMAP
+    /// "Trace-driven serving").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn serve_trace(&self, trace: &Trace) -> ServerReport {
+        assert!(!trace.is_empty(), "cannot replay an empty trace");
+        let queries: Vec<Query> = trace.replay().collect();
+        self.serve_virtual(&queries)
+    }
 
-        macro_rules! dispatch {
-            ($now:expr) => {
-                while busy < workers {
-                    let Some(b) = ready.pop_front() else { break };
-                    busy += 1;
-                    let service = self.cost.cpu_request_us(&self.cpu, b.items as usize, busy);
-                    events.push($now + us_to_ns(service), Ev::CpuDone { batch: b.id });
-                    inflight.insert(b.id, b);
-                }
-                core.note_queue_depth(ready.len());
-            };
-        }
-
-        // Enqueues freshly formed batches, counting each one that meets
-        // a dispatch queue already at its bound (the backpressure
-        // signal — same per-batch semantics as serve_real's refusals).
-        macro_rules! enqueue {
-            ($batches:expr) => {
-                for b in $batches {
-                    if ready.len() >= queue_bound {
-                        core.backpressure_stalls += 1;
-                    }
-                    ready.push_back(b);
-                }
-            };
-        }
-
-        while let Some((now, ev)) = events.pop() {
-            busy_core_ns += (now - last_ns) as u128 * busy as u128;
-            last_ns = now;
-            end_ns = now;
-            match ev {
-                Ev::Arrival { idx } => {
-                    let q = &queries[idx];
-                    let deadline_before = core.batcher.deadline();
-                    match core.on_arrival(now, q) {
-                        Route::Gpu(done) => events.push(done, Ev::GpuDone { qid: q.id }),
-                        Route::Cpu(batches) => {
-                            enqueue!(batches);
-                            // Schedule a flush only when this arrival
-                            // opened a fresh coalesce buffer; an
-                            // unchanged deadline already has its event.
-                            match core.batcher.deadline() {
-                                Some(d) if deadline_before != Some(d) => {
-                                    events.push(d, Ev::Coalesce)
-                                }
-                                _ => {}
-                            }
-                            dispatch!(now);
-                        }
-                    }
-                }
-                Ev::Coalesce => {
-                    let mut out = Vec::new();
-                    core.batcher.flush_due(now, &mut out);
-                    if !out.is_empty() {
-                        enqueue!(out);
-                        dispatch!(now);
-                    }
-                }
-                Ev::CpuDone { batch } => {
-                    busy -= 1;
-                    let b = inflight.remove(&batch).expect("known batch");
-                    for seg in &b.segments {
-                        core.complete_items(now, seg.query_id, seg.items);
-                    }
-                    dispatch!(now);
-                }
-                Ev::GpuDone { qid } => {
-                    let items = core.remaining_items(qid);
-                    core.complete_items(now, qid, items);
-                }
-            }
-            if core.take_policy_dirty() {
-                // The controller retuned: re-batch the queued backlog
-                // at the new size so it drains at the new knob's cost.
-                // (Repacked batches are the same queued work, not new
-                // pressure — no backpressure accounting here.)
-                let pol = core.policy();
-                let mut out = Vec::new();
-                core.batcher.set_max_batch(pol.max_batch, &mut out);
-                let queued: Vec<Batch> = ready.drain(..).collect();
-                core.batcher.reform(queued, &mut out);
-                ready.extend(out);
-                dispatch!(now);
-            }
-        }
-
-        let cpu_util = if end_ns > 0 {
-            busy_core_ns as f64 / (workers as f64 * end_ns as f64)
-        } else {
-            0.0
-        };
-        let gpu_util = match (&core.gpu, end_ns) {
-            (Some(g), e) if e > 0 => g.busy_ns() as f64 / e as f64,
-            _ => 0.0,
-        };
-        core.into_report(self, offered_qps(queries), cpu_util, gpu_util)
+    /// Replays a recorded [`Trace`] through [`Server::serve_real`]: a
+    /// wall-clock soak run shaped by captured production traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn serve_trace_real(&self, model: Arc<RecModel>, trace: &Trace) -> ServerReport {
+        assert!(!trace.is_empty(), "cannot replay an empty trace");
+        let queries: Vec<Query> = trace.replay().collect();
+        self.serve_real(model, &queries)
     }
 
     /// Serves `queries` on the real inference engine: arrivals are
@@ -322,10 +269,12 @@ impl Server {
     /// with the server's configuration.
     pub fn serve_real(&self, model: Arc<RecModel>, queries: &[Query]) -> ServerReport {
         assert!(!queries.is_empty(), "no queries to serve");
+        let setup = self.setup();
         let engine = InferenceEngine::start(Arc::clone(&model), self.opts.workers)
             .with_queue_bound(self.opts.batching.queue_bound);
         let mut rt = RealRuntime {
-            core: RunCore::new(self, queries.len()),
+            stats: StreamStats::new(queries.len(), self.opts.warmup_frac),
+            node: NodeCore::new(&self.cost, &setup, &self.opts),
             engine,
             model,
             rng: StdRng::seed_from_u64(self.opts.seed),
@@ -351,7 +300,7 @@ impl Server {
                 if let Some(&Reverse((t, _))) = rt.gpu_heap.peek() {
                     next = next.min(t.max(now));
                 }
-                if let Some(d) = rt.core.batcher.deadline() {
+                if let Some(d) = rt.node.batcher.deadline() {
                     next = next.min(d.max(now));
                 }
                 // Floor the wait so a cluster of imminent deadlines
@@ -364,8 +313,12 @@ impl Server {
             }
             let now = rt.now();
             rt.outstanding += 1;
-            match rt.core.on_arrival(now, q) {
-                Route::Gpu(done) => rt.gpu_heap.push(Reverse((done, q.id))),
+            let measured = rt.stats.note_arrival(now, q, 0);
+            match rt.node.on_arrival(now, q) {
+                Route::Gpu(done) => {
+                    rt.stats.note_gpu_items(measured, q.size);
+                    rt.gpu_heap.push(Reverse((done, q.id)));
+                }
                 Route::Cpu(batches) => rt.queue_batches(batches),
             }
         }
@@ -390,262 +343,54 @@ impl Server {
         let wall_elapsed_ns = rt.t0.elapsed().as_nanos().max(1);
         let cpu_util =
             rt.busy_service_ns as f64 / (self.opts.workers as f64 * wall_elapsed_ns as f64);
-        let gpu_util = match (&rt.core.gpu, end_model_ns) {
-            (Some(g), e) if e > 0 => (g.busy_ns() as f64 / e as f64).min(1.0),
-            _ => 0.0,
-        };
-        let RealRuntime { core, engine, .. } = rt;
+        let RealRuntime {
+            stats,
+            node,
+            engine,
+            ..
+        } = rt;
         engine.shutdown();
-        core.into_report(self, offered_qps(queries), cpu_util, gpu_util)
-    }
-}
-
-/// Mean offered load over a query stream, QPS.
-fn offered_qps(queries: &[Query]) -> f64 {
-    if queries.len() < 2 {
-        return 0.0;
-    }
-    let span = queries[queries.len() - 1].arrival_s - queries[0].arrival_s;
-    if span > 0.0 {
-        (queries.len() - 1) as f64 / span
-    } else {
-        0.0
-    }
-}
-
-#[derive(Debug, Clone, Copy)]
-enum Ev {
-    Arrival { idx: usize },
-    Coalesce,
-    CpuDone { batch: u64 },
-    GpuDone { qid: u64 },
-}
-
-enum Route {
-    /// Offloaded whole; completes at the given virtual time.
-    Gpu(SimTime),
-    /// Split/coalesced; these batches are ready to dispatch now.
-    Cpu(Vec<Batch>),
-}
-
-#[derive(Debug)]
-struct QueryState {
-    arrival: SimTime,
-    items_left: u32,
-    measured: bool,
-}
-
-/// Scheduling state shared by the virtual and real serving loops.
-struct RunCore {
-    fallback_policy: SchedulerPolicy,
-    warmup_n: u64,
-    queries: HashMap<u64, QueryState>,
-    controller: Option<OnlineController>,
-    batcher: BatchQueue,
-    gpu: Option<GpuExecutor>,
-    latency: LatencyRecorder,
-    settled: LatencyRecorder,
-    latencies_ms: Vec<f64>,
-    completed_measured: u64,
-    items_total: u64,
-    items_gpu: u64,
-    backpressure_stalls: u64,
-    max_queue_depth: usize,
-    window_start: Option<SimTime>,
-    window_end: SimTime,
-    /// Set when the controller changed the policy; the serving loop
-    /// must re-read it and re-batch any queued backlog.
-    policy_dirty: bool,
-}
-
-impl RunCore {
-    fn new(server: &Server, num_queries: usize) -> Self {
-        let controller = server
-            .opts
-            .controller
-            .clone()
-            .map(|c| OnlineController::new(c, server.opts.policy, server.gpu.is_some()));
-        let initial = controller
-            .as_ref()
-            .map_or(server.opts.policy, |c| c.policy());
-        // Round, do not floor-at-1: a zero timeout must stay zero
-        // (coalescing disabled).
-        let timeout_ns = (server.opts.batching.coalesce_timeout_us * 1e3).round() as SimTime;
-        RunCore {
-            fallback_policy: server.opts.policy,
-            warmup_n: (num_queries as f64 * server.opts.warmup_frac) as u64,
-            queries: HashMap::new(),
-            controller,
-            batcher: BatchQueue::new(initial.max_batch, timeout_ns),
-            gpu: server
-                .gpu
-                .map(|g| GpuExecutor::new(server.cost.clone(), server.cpu, g)),
-            latency: LatencyRecorder::with_capacity(num_queries),
-            settled: LatencyRecorder::new(),
-            latencies_ms: Vec::new(),
-            completed_measured: 0,
-            items_total: 0,
-            items_gpu: 0,
-            backpressure_stalls: 0,
-            max_queue_depth: 0,
-            window_start: None,
-            window_end: 0,
-            policy_dirty: false,
-        }
-    }
-
-    fn policy(&self) -> SchedulerPolicy {
-        self.controller
-            .as_ref()
-            .map_or(self.fallback_policy, |c| c.policy())
-    }
-
-    fn on_arrival(&mut self, now: SimTime, q: &Query) -> Route {
-        if let Some(c) = &mut self.controller {
-            c.on_arrival(now);
-        }
-        let pol = self.policy();
-        let measured = q.id >= self.warmup_n;
-        let prev = self.queries.insert(
-            q.id,
-            QueryState {
-                arrival: now,
-                items_left: q.size,
-                measured,
+        node::assemble_report(
+            RunOutcome {
+                stats,
+                cores: vec![node],
+                setups: vec![setup],
+                utilization: vec![NodeUtilization {
+                    busy_core_ns: 0,
+                    workers: self.opts.workers,
+                }],
+                end_ns: end_model_ns,
+                node_queries: vec![queries.len() as u64],
+                cpu_utilization_override: Some(CpuUtilOverride {
+                    per_node: vec![cpu_util],
+                    overall: cpu_util,
+                }),
             },
-        );
-        assert!(prev.is_none(), "duplicate query id {}", q.id);
-        if measured {
-            self.items_total += q.size as u64;
-            self.window_start.get_or_insert(now);
-        }
-        if let Some(gpu) = self.gpu.as_mut().filter(|_| pol.offloads(q.size)) {
-            if measured {
-                self.items_gpu += q.size as u64;
-            }
-            Route::Gpu(gpu.schedule(now, q.size))
-        } else {
-            let mut out = Vec::new();
-            self.batcher.set_max_batch(pol.max_batch, &mut out);
-            self.batcher.push(now, q.id, q.size, &mut out);
-            Route::Cpu(out)
-        }
+            stream_offered_qps(queries),
+        )
+    }
+}
+
+impl ServingStack for Server {
+    type Report = ServerReport;
+
+    fn label(&self) -> String {
+        "server".to_string()
     }
 
-    fn remaining_items(&self, qid: u64) -> u32 {
-        self.queries.get(&qid).expect("known query").items_left
+    fn serve_queries(&self, queries: &[Query]) -> ServerReport {
+        self.serve_virtual(queries)
     }
 
-    /// Credits `items` of a query as done; returns `true` when the
-    /// query finished end to end.
-    fn complete_items(&mut self, now: SimTime, qid: u64, items: u32) -> bool {
-        let st = self.queries.get_mut(&qid).expect("known query");
-        st.items_left -= items;
-        if st.items_left > 0 {
-            return false;
-        }
-        let st = self.queries.remove(&qid).expect("known query");
-        let ms = (now - st.arrival) as f64 / 1e6;
-        let mut settled = true;
-        if let Some(c) = &mut self.controller {
-            if c.on_complete(now, ms) {
-                self.policy_dirty = true;
-            }
-            settled = c.is_settled();
-        }
-        if st.measured {
-            self.latency.record_ms(ms);
-            self.latencies_ms.push(ms);
-            if settled {
-                self.settled.record_ms(ms);
-            }
-            self.completed_measured += 1;
-            self.window_end = self.window_end.max(now);
-        }
-        true
-    }
-
-    /// Whether the policy changed since the last check (clears the
-    /// flag).
-    fn take_policy_dirty(&mut self) -> bool {
-        std::mem::take(&mut self.policy_dirty)
-    }
-
-    fn note_queue_depth(&mut self, depth: usize) {
-        self.max_queue_depth = self.max_queue_depth.max(depth);
-    }
-
-    fn into_report(
-        self,
-        server: &Server,
-        offered_qps: f64,
-        cpu_utilization: f64,
-        gpu_utilization: f64,
-    ) -> ServerReport {
-        let window_s = match self.window_start {
-            Some(start) if self.window_end > start => {
-                (self.window_end - start) as f64 / NS_PER_SEC as f64
-            }
-            _ => 0.0,
-        };
-        let qps = if window_s > 0.0 {
-            self.completed_measured as f64 / window_s
-        } else {
-            0.0
-        };
-        let mut avg_power_w = server.cpu.power_w(cpu_utilization);
-        if let Some(g) = &server.gpu {
-            avg_power_w += g.power_w(gpu_utilization);
-        }
-        let stats = self.batcher.stats();
-        let final_policy = self.policy();
-        let (retunes, batch_trajectory, threshold_trajectory) = match self.controller {
-            Some(c) => (c.retunes, c.batch_trajectory, c.threshold_trajectory),
-            None => (0, Vec::new(), Vec::new()),
-        };
-        ServerReport {
-            offered_qps,
-            completed: self.completed_measured,
-            qps,
-            latency: self.latency.summary(),
-            settled_latency: self.settled.summary(),
-            gpu_work_fraction: if self.items_total > 0 {
-                self.items_gpu as f64 / self.items_total as f64
-            } else {
-                0.0
-            },
-            cpu_utilization,
-            gpu_utilization,
-            avg_power_w,
-            qps_per_watt: if avg_power_w > 0.0 {
-                qps / avg_power_w
-            } else {
-                0.0
-            },
-            window_s,
-            batches: stats.batches,
-            full_batches: stats.full_batches,
-            coalesced_batches: stats.coalesced_batches,
-            timeout_flushes: stats.timeout_flushes,
-            mean_batch_items: if stats.batches > 0 {
-                stats.items as f64 / stats.batches as f64
-            } else {
-                0.0
-            },
-            backpressure_stalls: self.backpressure_stalls,
-            max_queue_depth: self.max_queue_depth,
-            final_policy,
-            retunes,
-            batch_trajectory,
-            threshold_trajectory,
-            latencies_ms: self.latencies_ms,
-        }
+    fn serve_trace(&self, trace: &Trace) -> ServerReport {
+        Server::serve_trace(self, trace)
     }
 }
 
 /// Wall-clock serving state for [`Server::serve_real`].
 struct RealRuntime {
-    core: RunCore,
+    stats: StreamStats,
+    node: NodeCore,
     engine: InferenceEngine,
     model: Arc<RecModel>,
     rng: StdRng,
@@ -682,32 +427,30 @@ impl RealRuntime {
             if let Some(&Reverse((t, qid))) = self.gpu_heap.peek() {
                 if t <= now {
                     self.gpu_heap.pop();
-                    let items = self.core.remaining_items(qid);
+                    let items = self.stats.remaining_items(qid);
                     // Complete at the scheduled virtual time, not the
                     // (slightly later) drain time.
-                    if self.core.complete_items(t, qid, items) {
-                        self.outstanding -= 1;
-                    }
+                    self.finish_items(t, qid, items);
                     continue;
                 }
             }
-            if self.core.batcher.deadline().is_some_and(|d| d <= now) {
+            if self.node.batcher.deadline().is_some_and(|d| d <= now) {
                 let mut out = Vec::new();
-                self.core.batcher.flush_due(now, &mut out);
+                self.node.batcher.flush_due(now, &mut out);
                 self.queue_batches(out);
                 continue;
             }
             break;
         }
-        if self.core.take_policy_dirty() {
+        if self.node.take_policy_dirty() {
             // The controller retuned: re-batch everything not yet
             // admitted to the engine (in-flight requests are
             // committed). Cached requests are stale and regenerated.
-            let pol = self.core.policy();
+            let pol = self.node.policy();
             let mut out = Vec::new();
-            self.core.batcher.set_max_batch(pol.max_batch, &mut out);
+            self.node.batcher.set_max_batch(pol.max_batch, &mut out);
             let queued: Vec<Batch> = self.pending.drain(..).map(|(b, _)| b).collect();
-            self.core.batcher.reform(queued, &mut out);
+            self.node.batcher.reform(queued, &mut out);
             for b in out {
                 self.pending.push_back((b, None));
             }
@@ -739,7 +482,7 @@ impl RealRuntime {
                 }
                 Err(req) => {
                     if first_attempt {
-                        self.core.backpressure_stalls += 1;
+                        self.node.backpressure_stalls += 1;
                     }
                     self.pending.push_front((batch, Some(req)));
                     break;
@@ -750,7 +493,7 @@ impl RealRuntime {
         // gauge tracks total unadmitted depth (engine queue + held
         // batches).
         let depth = self.engine.queue_depth() + self.pending.len();
-        self.core.max_queue_depth = self.core.max_queue_depth.max(depth);
+        self.node.note_queue_depth(depth);
     }
 
     fn handle_cpu(&mut self, c: EngineCompletion) {
@@ -759,9 +502,15 @@ impl RealRuntime {
         debug_assert_eq!(b.items as usize, c.batch);
         let now = self.now();
         for seg in &b.segments {
-            if self.core.complete_items(now, seg.query_id, seg.items) {
-                self.outstanding -= 1;
-            }
+            self.finish_items(now, seg.query_id, seg.items);
+        }
+    }
+
+    fn finish_items(&mut self, now: SimTime, qid: u64, items: u32) {
+        if let Some(f) = self.stats.complete_items(now, qid, items) {
+            let settled = self.node.on_query_done(now, f.latency_ms);
+            self.stats.record(now, &f, settled);
+            self.outstanding -= 1;
         }
     }
 }

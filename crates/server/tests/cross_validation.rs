@@ -3,12 +3,12 @@
 //! same `ModelCost` math. This is the test that keeps the two
 //! execution layers from silently drifting apart.
 
-use drs_core::SchedulerPolicy;
+use drs_core::{ClusterConfig, ClusterTopology, RoutingPolicy, SchedulerPolicy};
 use drs_models::zoo;
 use drs_platform::{CpuPlatform, GpuPlatform, ModelCost};
 use drs_query::{ArrivalProcess, QueryGenerator, SizeDistribution};
-use drs_server::{GpuExecutor, Server, ServerOptions};
-use drs_sim::{ClusterConfig, RunOptions, Simulation};
+use drs_server::{Cluster, GpuExecutor, Server, ServerOptions};
+use drs_sim::{RunOptions, Simulation};
 
 #[test]
 fn gpu_executor_uses_exactly_the_simulator_cost_math() {
@@ -83,6 +83,76 @@ fn offload_all_latencies_match_simulator_within_tolerance() {
         server_report.latency.p95_ms,
         sim_report.latency.p95_ms
     );
+}
+
+/// The multi-node version of the exact-match test: with every query
+/// offloaded (threshold 0), a 4-node cluster under least-outstanding
+/// routing is the *same machine* as the simulator's 4-machine
+/// least-loaded dispatch — each query is one unit of outstanding work
+/// on both sides, ties break toward the lower node id on both sides,
+/// and the GPU FIFOs share one cost formula. Identical arrivals must
+/// produce identical per-query latencies.
+#[test]
+fn cluster_offload_all_latencies_match_simulator() {
+    let cfg = zoo::dlrm_rmc1();
+    let policy = SchedulerPolicy::with_gpu(64, 0);
+    let n_nodes = 4;
+    let mk_gen = || {
+        QueryGenerator::new(
+            ArrivalProcess::poisson(500.0),
+            SizeDistribution::production(),
+            37,
+        )
+    };
+    let n = 800;
+
+    let sim = Simulation::new(
+        &cfg,
+        ClusterConfig::cluster(
+            n_nodes,
+            CpuPlatform::skylake(),
+            Some(GpuPlatform::gtx_1080ti()),
+        ),
+        policy,
+    );
+    let sim_report = sim.run(&mut mk_gen(), RunOptions::queries(n));
+
+    let queries: Vec<_> = mk_gen().take(n).collect();
+    let cluster = Cluster::new(
+        &cfg,
+        ClusterTopology::uniform(
+            n_nodes,
+            CpuPlatform::skylake(),
+            Some(GpuPlatform::gtx_1080ti()),
+        ),
+        RoutingPolicy::LeastOutstanding,
+        ServerOptions::new(40, policy),
+    );
+    let cluster_report = cluster.serve_virtual(&queries);
+
+    assert_eq!(cluster_report.completed, sim_report.completed);
+    assert_eq!(cluster_report.node_queries.len(), n_nodes);
+    assert!(
+        cluster_report.node_queries.iter().all(|&q| q > 0),
+        "least-outstanding spreads offload work across every node: {:?}",
+        cluster_report.node_queries
+    );
+    assert_eq!(
+        cluster_report.latencies_ms.len(),
+        sim_report.latencies_ms.len()
+    );
+    for (i, (a, b)) in cluster_report
+        .latencies_ms
+        .iter()
+        .zip(&sim_report.latencies_ms)
+        .enumerate()
+    {
+        let tol = 1e-9 * b.abs().max(1.0);
+        assert!(
+            (a - b).abs() <= tol,
+            "query {i}: cluster {a} ms vs sim {b} ms"
+        );
+    }
 }
 
 /// With coalescing disabled the server's CPU path is the simulator's

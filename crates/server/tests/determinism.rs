@@ -3,11 +3,11 @@
 //! with dynamic batching, GPU offload, and the online controller all
 //! engaged. Every offline-vs-online comparison rests on this.
 
-use drs_core::SchedulerPolicy;
+use drs_core::{ClusterTopology, NodeSpec, RoutingPolicy, SchedulerPolicy};
 use drs_models::zoo;
 use drs_platform::{CpuPlatform, GpuPlatform};
 use drs_query::{ArrivalProcess, QueryGenerator, SizeDistribution};
-use drs_server::{ControllerConfig, Server, ServerOptions};
+use drs_server::{Cluster, ControllerConfig, Server, ServerOptions};
 
 fn smoke_run(seed: u64) -> String {
     let queries: Vec<_> = QueryGenerator::new(
@@ -34,6 +34,45 @@ fn smoke_run(seed: u64) -> String {
 fn server_report_is_byte_identical_per_seed() {
     assert_eq!(smoke_run(13), smoke_run(13), "same seed must reproduce");
     assert_ne!(smoke_run(13), smoke_run(14), "different seeds must differ");
+}
+
+/// A heterogeneous cluster behind a *sampled* routing policy
+/// (power-of-two-choices) with per-node online controllers — the most
+/// nondeterminism-prone configuration we have — must still reproduce
+/// byte-for-byte per seed: the router's RNG is seeded, and every tie
+/// breaks by `NodeId`.
+fn cluster_run(seed: u64) -> String {
+    let queries: Vec<_> = QueryGenerator::new(
+        ArrivalProcess::diurnal(1_500.0, 0.3, 8.0),
+        SizeDistribution::production(),
+        seed,
+    )
+    .take(1_000)
+    .collect();
+    let mut opts = ServerOptions::new(40, SchedulerPolicy::with_gpu(32, 300))
+        .with_controller(ControllerConfig::smoke());
+    opts.seed = seed;
+    let cluster = Cluster::new(
+        &zoo::dlrm_rmc1(),
+        ClusterTopology::new(vec![
+            NodeSpec::with_gpu(CpuPlatform::skylake(), GpuPlatform::gtx_1080ti()),
+            NodeSpec::cpu_only(CpuPlatform::broadwell()),
+            NodeSpec::cpu_only(CpuPlatform::skylake()),
+        ]),
+        RoutingPolicy::PowerOfTwoChoices { d: 2 },
+        opts,
+    );
+    format!("{:?}", cluster.serve_virtual(&queries))
+}
+
+#[test]
+fn cluster_report_is_byte_identical_per_seed() {
+    assert_eq!(cluster_run(3), cluster_run(3), "same seed must reproduce");
+    assert_ne!(
+        cluster_run(3),
+        cluster_run(4),
+        "different seeds must differ"
+    );
 }
 
 #[test]

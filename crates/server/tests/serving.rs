@@ -1,13 +1,12 @@
 //! End-to-end serving acceptance: the open-loop runtime on the real
 //! engine, and the online controller's convergence contract.
 
-use drs_core::SchedulerPolicy;
+use drs_core::{ClusterConfig, ClusterTopology, RoutingPolicy, SchedulerPolicy, ServingStack};
 use drs_models::{zoo, ModelScale, RecModel};
 use drs_platform::{CpuPlatform, GpuPlatform};
-use drs_query::{ArrivalProcess, QueryGenerator, SizeDistribution};
+use drs_query::{ArrivalProcess, QueryGenerator, SizeDistribution, Trace};
 use drs_sched::{DeepRecSched, SearchOptions};
-use drs_server::{ControllerConfig, Server, ServerOptions};
-use drs_sim::ClusterConfig;
+use drs_server::{Cluster, ControllerConfig, Server, ServerOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -105,13 +104,16 @@ fn online_controller_converges_to_offline_tail() {
     // Serve at half the tuned capacity: enough load that a bad batch
     // size visibly queues, enough headroom that the controller's
     // cold-start backlog (it pilots a unit batch first) can drain.
+    // The horizon covers the cold-start climb plus the hysteresis-paced
+    // walk-down re-judgments (each retune now waits for two confirming
+    // windows before piloting a rung).
     let load = 0.5 * tuned.qps;
     let queries: Vec<_> = QueryGenerator::new(
         ArrivalProcess::poisson(load),
         SizeDistribution::production(),
         29,
     )
-    .take(14_000)
+    .take(24_000)
     .collect();
     let workers = cluster.cpu.cores;
 
@@ -162,6 +164,110 @@ fn online_controller_converges_to_offline_tail() {
         "online {p95_online} must beat the untuned bad policy {}",
         tail_p95(&bad.latencies_ms)
     );
+}
+
+/// Trace replay through the serving path: recording a stream and
+/// replaying it must reproduce the direct run byte-for-byte, on the
+/// single-node server and on a cluster (via the shared `ServingStack`
+/// entry point).
+#[test]
+fn trace_replay_matches_direct_serving() {
+    let cfg = zoo::dlrm_rmc1();
+    let mk_gen = || {
+        QueryGenerator::new(
+            ArrivalProcess::poisson(700.0),
+            SizeDistribution::production(),
+            61,
+        )
+    };
+    let n = 900;
+    let queries: Vec<_> = mk_gen().take(n).collect();
+    let trace = Trace::record(mk_gen(), n);
+
+    let server = Server::new(
+        &cfg,
+        CpuPlatform::skylake(),
+        None,
+        ServerOptions::new(40, SchedulerPolicy::cpu_only(64)),
+    );
+    let direct = server.serve_virtual(&queries);
+    let replayed = server.serve_trace(&trace);
+    assert_eq!(direct.completed, replayed.completed);
+    assert_eq!(direct.latencies_ms, replayed.latencies_ms);
+
+    let cluster = Cluster::new(
+        &cfg,
+        ClusterTopology::uniform(2, CpuPlatform::skylake(), None),
+        RoutingPolicy::LeastOutstanding,
+        ServerOptions::new(40, SchedulerPolicy::cpu_only(64)),
+    );
+    let c_direct = cluster.serve_virtual(&queries);
+    let c_replayed = ServingStack::serve_trace(&cluster, &trace);
+    assert_eq!(c_direct.completed, c_replayed.completed);
+    assert_eq!(c_direct.latencies_ms, c_replayed.latencies_ms);
+    assert_eq!(c_direct.node_queries, c_replayed.node_queries);
+}
+
+/// A recorded trace also drives the *real* serving path end to end
+/// (ROADMAP "Trace-driven serving"): every query in the trace
+/// completes on the physical worker pool.
+#[test]
+fn trace_drives_the_real_engine() {
+    let cfg = zoo::ncf();
+    let model = tiny_model(&cfg, 9);
+    let trace = Trace::record(
+        QueryGenerator::new(
+            ArrivalProcess::poisson(1_200.0),
+            SizeDistribution::production(),
+            19,
+        ),
+        60,
+    );
+    let mut opts = ServerOptions::new(2, SchedulerPolicy::cpu_only(32));
+    opts.warmup_frac = 0.0;
+    opts.time_scale = 4.0;
+    let server = Server::new(&cfg, CpuPlatform::skylake(), None, opts);
+    let report = server.serve_trace_real(model, &trace);
+    assert_eq!(report.completed, trace.len() as u64);
+    assert!(report.latency.p95_ms > 0.0);
+}
+
+/// The cluster's real path: two nodes, each with its own engine worker
+/// pool, behind the router — every query completes and both nodes see
+/// work.
+#[test]
+fn cluster_serves_real_engines_end_to_end() {
+    let cfg = zoo::ncf();
+    let model = tiny_model(&cfg, 13);
+    let queries: Vec<_> = QueryGenerator::new(
+        ArrivalProcess::poisson(1_500.0),
+        SizeDistribution::production(),
+        23,
+    )
+    .take(80)
+    .collect();
+    let mut opts = ServerOptions::new(1, SchedulerPolicy::cpu_only(32));
+    opts.warmup_frac = 0.0;
+    opts.time_scale = 4.0;
+    let cluster = Cluster::new(
+        &cfg,
+        ClusterTopology::uniform(2, CpuPlatform::skylake(), None),
+        RoutingPolicy::LeastOutstanding,
+        opts,
+    );
+    let report = cluster.serve_real(model, &queries);
+    assert_eq!(report.completed, queries.len() as u64);
+    assert_eq!(report.latencies_ms.len(), queries.len());
+    assert_eq!(
+        report.node_queries.iter().sum::<u64>(),
+        queries.len() as u64
+    );
+    assert!(
+        report.node_queries.iter().all(|&n| n > 0),
+        "both nodes served work: {:?}",
+        report.node_queries
+    );
+    assert!(report.qps > 0.0);
 }
 
 /// Under sustained overload the bounded dispatch path must register

@@ -29,9 +29,10 @@
 //! # Examples
 //!
 //! ```
+//! use drs_core::ClusterConfig;
 //! use drs_models::zoo;
 //! use drs_query::{ArrivalProcess, QueryGenerator, SizeDistribution};
-//! use drs_sim::{ClusterConfig, RunOptions, SchedulerPolicy, Simulation};
+//! use drs_sim::{RunOptions, SchedulerPolicy, Simulation};
 //!
 //! let sim = Simulation::new(
 //!     &zoo::dlrm_rmc1(),
@@ -57,4 +58,13 @@ mod runner;
 // without depending on this simulator; re-exported here so existing
 // `drs_sim::` paths keep working.
 pub use drs_core::{EventQueue, SchedulerPolicy, SimReport, SimTime, NS_PER_SEC};
-pub use runner::{ClusterConfig, RunOptions, Simulation};
+pub use runner::{RunOptions, Simulation};
+
+/// The cluster hardware description, moved down to [`drs_core`] so the
+/// serving runtime and the tuner can speak it without depending on the
+/// simulator.
+#[deprecated(
+    since = "0.1.0",
+    note = "ClusterConfig moved to drs-core; import it from `drs_core` (or the deeprecsys prelude)"
+)]
+pub use drs_core::ClusterConfig;

@@ -1,54 +1,14 @@
 //! The simulation loop.
 
-use drs_core::{secs_to_ns, us_to_ns, EventQueue, SchedulerPolicy, SimReport, SimTime, NS_PER_SEC};
+use drs_core::{
+    secs_to_ns, stream_offered_qps, us_to_ns, ClusterConfig, ClusterTopology, EventQueue, NodeSpec,
+    SchedulerPolicy, ServingStack, SimReport, SimTime, NS_PER_SEC,
+};
 use drs_metrics::LatencyRecorder;
 use drs_models::ModelConfig;
 use drs_platform::{CpuPlatform, GpuPlatform, ModelCost};
 use drs_query::{split_query, QueryGenerator};
 use std::collections::{HashMap, VecDeque};
-
-/// The hardware under simulation: `machines` identical servers, each
-/// with one [`CpuPlatform`] and optionally one attached GPU.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ClusterConfig {
-    /// Number of identical machines.
-    pub machines: usize,
-    /// CPU model of every machine.
-    pub cpu: CpuPlatform,
-    /// Accelerator attached to every machine (if any).
-    pub gpu: Option<GpuPlatform>,
-}
-
-impl ClusterConfig {
-    /// One Skylake server, no accelerator — the paper's default
-    /// single-node experimental platform.
-    pub fn single_skylake() -> Self {
-        ClusterConfig {
-            machines: 1,
-            cpu: CpuPlatform::skylake(),
-            gpu: None,
-        }
-    }
-
-    /// One Skylake server with a GTX 1080Ti.
-    pub fn skylake_with_gpu() -> Self {
-        ClusterConfig {
-            machines: 1,
-            cpu: CpuPlatform::skylake(),
-            gpu: Some(GpuPlatform::gtx_1080ti()),
-        }
-    }
-
-    /// A homogeneous cluster of `n` machines.
-    pub fn cluster(n: usize, cpu: CpuPlatform, gpu: Option<GpuPlatform>) -> Self {
-        assert!(n > 0, "a cluster needs machines");
-        ClusterConfig {
-            machines: n,
-            cpu,
-            gpu,
-        }
-    }
-}
 
 /// Length and measurement parameters of one simulation window.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -140,40 +100,55 @@ enum Ev {
 #[derive(Debug, Clone)]
 pub struct Simulation {
     cost: ModelCost,
-    cluster: ClusterConfig,
-    /// Per-machine CPU models (all equal to `cluster.cpu` for
-    /// homogeneous fleets; see [`Simulation::new_heterogeneous`]).
-    cpus: Vec<CpuPlatform>,
+    /// Per-node hardware, in `NodeId` order (see
+    /// [`Simulation::with_topology`]).
+    nodes: Vec<NodeSpec>,
     policy: SchedulerPolicy,
 }
 
 impl Simulation {
-    /// Builds a simulation for one model on one cluster under one
-    /// policy.
+    /// Builds a simulation for one model on one homogeneous cluster
+    /// under one policy.
     ///
     /// # Panics
     ///
     /// Panics if the policy requests GPU offload but the cluster has no
     /// GPU.
     pub fn new(cfg: &ModelConfig, cluster: ClusterConfig, policy: SchedulerPolicy) -> Self {
+        Self::with_topology(cfg, cluster.topology(), policy)
+    }
+
+    /// Builds a simulation over an arbitrary [`ClusterTopology`]: nodes
+    /// may differ in CPU generation and in whether they carry an
+    /// accelerator, as found in production datacenters ("recommendation
+    /// models are run across a variety of server class CPUs such as
+    /// Intel Broadwell and Skylake", Section IV-A). Dispatch remains
+    /// least-outstanding, so faster machines naturally absorb more
+    /// queries; offloadable queries landing on a GPU-less node are
+    /// simply split onto its CPU cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy offloads and no node carries a GPU.
+    pub fn with_topology(
+        cfg: &ModelConfig,
+        topology: ClusterTopology,
+        policy: SchedulerPolicy,
+    ) -> Self {
         assert!(
-            policy.gpu_threshold.is_none() || cluster.gpu.is_some(),
+            policy.gpu_threshold.is_none() || topology.has_gpu(),
             "policy offloads to a GPU the cluster does not have"
         );
         Simulation {
             cost: ModelCost::new(cfg),
-            cluster,
-            cpus: vec![cluster.cpu; cluster.machines],
+            nodes: topology.nodes().to_vec(),
             policy,
         }
     }
 
     /// Builds a simulation over a *heterogeneous* fleet — one CPU model
-    /// per machine, as found in production datacenters ("recommendation
-    /// models are run across a variety of server class CPUs such as
-    /// Intel Broadwell and Skylake", Section IV-A). Dispatch remains
-    /// least-outstanding, so faster machines naturally absorb more
-    /// queries.
+    /// per machine, every machine carrying the same optional GPU.
+    /// Convenience wrapper over [`Simulation::with_topology`].
     ///
     /// # Panics
     ///
@@ -185,21 +160,11 @@ impl Simulation {
         policy: SchedulerPolicy,
     ) -> Self {
         assert!(!cpus.is_empty(), "a fleet needs machines");
-        assert!(
-            policy.gpu_threshold.is_none() || gpu.is_some(),
-            "policy offloads to a GPU the cluster does not have"
-        );
-        let cluster = ClusterConfig {
-            machines: cpus.len(),
-            cpu: cpus[0],
-            gpu,
-        };
-        Simulation {
-            cost: ModelCost::new(cfg),
-            cluster,
-            cpus,
+        Self::with_topology(
+            cfg,
+            ClusterTopology::new(cpus.into_iter().map(|cpu| NodeSpec { cpu, gpu }).collect()),
             policy,
-        }
+        )
     }
 
     /// The scheduling policy under simulation.
@@ -207,9 +172,20 @@ impl Simulation {
         self.policy
     }
 
-    /// The cluster under simulation.
+    /// The homogeneous view of the cluster under simulation (machine
+    /// count plus the *first* node's hardware); heterogeneous fleets
+    /// are fully described by [`Simulation::topology`].
     pub fn cluster(&self) -> ClusterConfig {
-        self.cluster
+        ClusterConfig {
+            machines: self.nodes.len(),
+            cpu: self.nodes[0].cpu,
+            gpu: self.nodes[0].gpu,
+        }
+    }
+
+    /// The per-node hardware under simulation.
+    pub fn topology(&self) -> ClusterTopology {
+        ClusterTopology::new(self.nodes.clone())
     }
 
     /// The per-model cost model in use.
@@ -244,6 +220,21 @@ impl Simulation {
         self.run_queries(&queries, trace.mean_rate_qps(), opts)
     }
 
+    /// Serves a prepared arrival stream with a standard 10 % warm-up
+    /// window — the [`ServingStack`] entry point, also usable directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries` is empty.
+    pub fn serve_queries(&self, queries: &[drs_query::Query]) -> SimReport {
+        assert!(!queries.is_empty(), "no queries to serve");
+        self.run_queries(
+            queries,
+            stream_offered_qps(queries),
+            RunOptions::queries(queries.len()),
+        )
+    }
+
     fn run_queries(
         &self,
         query_list: &[drs_query::Query],
@@ -274,9 +265,9 @@ impl Simulation {
         }
 
         let mut machines: Vec<MachineState> = self
-            .cpus
+            .nodes
             .iter()
-            .map(|cpu| MachineState::new(cpu.cores))
+            .map(|n| MachineState::new(n.cpu.cores))
             .collect();
 
         let mut latency = LatencyRecorder::with_capacity(opts.num_queries);
@@ -304,7 +295,7 @@ impl Simulation {
                             window_start = Some(now);
                         }
                     }
-                    if self.policy.offloads(size) && self.cluster.gpu.is_some() {
+                    if self.policy.offloads(size) && self.nodes[m].gpu.is_some() {
                         state.parts_left = 1;
                         if state.measured {
                             items_gpu += size as u64;
@@ -366,28 +357,32 @@ impl Simulation {
             .map(|m| m.busy_core_ns as f64 / (m.cores as f64 * end_ns.max(1) as f64))
             .sum::<f64>()
             / machines.len() as f64;
-        let gpu_util = if self.cluster.gpu.is_some() {
+        let gpu_node_count = self.nodes.iter().filter(|n| n.gpu.is_some()).count();
+        let gpu_util = if gpu_node_count > 0 {
             machines
                 .iter()
-                .map(|m| m.gpu_busy_ns as f64 / end_ns.max(1) as f64)
+                .zip(&self.nodes)
+                .filter(|(_, n)| n.gpu.is_some())
+                .map(|(m, _)| m.gpu_busy_ns as f64 / end_ns.max(1) as f64)
                 .sum::<f64>()
-                / machines.len() as f64
+                / gpu_node_count as f64
         } else {
             0.0
         };
         // Per-machine power with per-machine utilization (machines in a
         // heterogeneous fleet differ in both TDP and observed load).
-        let mut avg_power_w: f64 = machines
+        let avg_power_w: f64 = machines
             .iter()
-            .zip(&self.cpus)
-            .map(|(m, cpu)| {
+            .zip(&self.nodes)
+            .map(|(m, node)| {
                 let util = m.busy_core_ns as f64 / (m.cores as f64 * end_ns.max(1) as f64);
-                cpu.power_w(util)
+                let mut w = node.cpu.power_w(util);
+                if let Some(gpu) = &node.gpu {
+                    w += gpu.power_w(m.gpu_busy_ns as f64 / end_ns.max(1) as f64);
+                }
+                w
             })
             .sum();
-        if let Some(gpu) = &self.cluster.gpu {
-            avg_power_w += machines.len() as f64 * gpu.power_w(gpu_util);
-        }
 
         let window_s = match window_start {
             Some(start) if window_end > start => (window_end - start) as f64 / NS_PER_SEC as f64,
@@ -432,7 +427,7 @@ impl Simulation {
             mach.cores_busy += 1;
             let service_us =
                 self.cost
-                    .cpu_request_us(&self.cpus[m], req.batch as usize, mach.cores_busy);
+                    .cpu_request_us(&self.nodes[m].cpu, req.batch as usize, mach.cores_busy);
             events.push(
                 now + us_to_ns(service_us),
                 Ev::CpuDone {
@@ -458,8 +453,10 @@ impl Simulation {
             return;
         };
         mach.gpu_busy = true;
-        let gpu = self.cluster.gpu.as_ref().expect("GPU present");
-        let service_us = self.cost.gpu_query_us(&self.cpus[m], gpu, size as usize);
+        let gpu = self.nodes[m].gpu.as_ref().expect("GPU present");
+        let service_us = self
+            .cost
+            .gpu_query_us(&self.nodes[m].cpu, gpu, size as usize);
         events.push(now + us_to_ns(service_us), Ev::GpuDone { machine: m, qid });
     }
 
@@ -482,6 +479,22 @@ impl Simulation {
             *completed_measured += 1;
             *window_end = (*window_end).max(now);
         }
+    }
+}
+
+impl ServingStack for Simulation {
+    type Report = SimReport;
+
+    fn label(&self) -> String {
+        format!("sim x{}", self.nodes.len())
+    }
+
+    fn serve_queries(&self, queries: &[drs_query::Query]) -> SimReport {
+        Simulation::serve_queries(self, queries)
+    }
+
+    fn serve_trace(&self, trace: &drs_query::trace::Trace) -> SimReport {
+        self.run_trace(trace, RunOptions::queries(trace.len().max(1)))
     }
 }
 

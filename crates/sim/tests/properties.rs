@@ -1,9 +1,10 @@
 //! Property-based tests for the discrete-event simulator.
 
+use drs_core::ClusterConfig;
 use drs_models::zoo;
 use drs_platform::{CpuPlatform, ModelCost};
 use drs_query::{ArrivalProcess, QueryGenerator, SizeDistribution};
-use drs_sim::{ClusterConfig, RunOptions, SchedulerPolicy, Simulation};
+use drs_sim::{RunOptions, SchedulerPolicy, Simulation};
 use proptest::prelude::*;
 
 proptest! {
