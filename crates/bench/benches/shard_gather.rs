@@ -1,0 +1,74 @@
+//! Micro-benchmark: sharded gather/merge throughput — the numeric
+//! cost of splitting a model's pooled lookups across shards and
+//! reassembling them, versus the unsharded per-table forward.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use drs_nn::{EmbeddingBag, Pooling, ShardedEmbeddingSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TABLES: usize = 10;
+const ROWS: usize = 100_000;
+const DIM: usize = 32;
+const LOOKUPS: usize = 80;
+
+fn bench_shard_gather(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_gather");
+    let mut rng = StdRng::seed_from_u64(13);
+    let bags: Vec<EmbeddingBag> = (0..TABLES)
+        .map(|_| EmbeddingBag::new(ROWS, DIM, Pooling::Sum, &mut rng))
+        .collect();
+    for &batch in &[16usize, 64] {
+        let indices: Vec<Vec<Vec<u32>>> = (0..TABLES)
+            .map(|_| {
+                (0..batch)
+                    .map(|_| {
+                        (0..LOOKUPS)
+                            .map(|_| rng.gen_range(0..ROWS as u32))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        group.throughput(Throughput::Elements((TABLES * batch * LOOKUPS) as u64));
+
+        // Baseline: every table forwarded in place, no shard plumbing.
+        let unsharded = bags.clone();
+        group.bench_with_input(
+            BenchmarkId::new("unsharded", format!("b{batch}")),
+            &batch,
+            |bch, _| {
+                bch.iter(|| {
+                    unsharded
+                        .iter()
+                        .zip(&indices)
+                        .map(|(bag, idx)| bag.forward_plain(idx))
+                        .collect::<Vec<_>>()
+                })
+            },
+        );
+
+        // Sharded: per-shard partial gathers + merge, round-robin
+        // table placement over 1/2/4 shards.
+        for &shards in &[1usize, 2, 4] {
+            let assignment: Vec<usize> = (0..TABLES).map(|t| t % shards).collect();
+            let set = ShardedEmbeddingSet::new(bags.clone(), &assignment);
+            group.bench_with_input(
+                BenchmarkId::new(format!("sharded_x{shards}"), format!("b{batch}")),
+                &batch,
+                |bch, _| {
+                    bch.iter(|| {
+                        let partials: Vec<_> = (0..set.num_shards())
+                            .map(|s| set.forward_shard(s, &indices))
+                            .collect();
+                        set.merge(partials)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_gather);
+criterion_main!(benches);

@@ -45,6 +45,7 @@ pub use drs_platform as platform;
 pub use drs_query as query;
 pub use drs_sched as sched;
 pub use drs_server as server;
+pub use drs_shard as shard;
 pub use drs_sim as sim;
 pub use drs_tensor as tensor;
 
@@ -59,8 +60,8 @@ pub mod prelude {
     pub use drs_engine::{serve_closed_loop, InferenceEngine, ServeOptions};
     pub use drs_metrics::{geomean, LatencyRecorder, LatencySummary};
     pub use drs_models::{zoo, ModelConfig, ModelScale, RecModel};
-    pub use drs_nn::{OpKind, OpProfiler};
-    pub use drs_platform::{CpuPlatform, GpuPlatform, ModelCost};
+    pub use drs_nn::{OpKind, OpProfiler, ShardedEmbeddingSet};
+    pub use drs_platform::{CpuPlatform, GpuPlatform, InterconnectModel, ModelCost};
     pub use drs_query::{ArrivalProcess, QueryGenerator, SizeDistribution};
     pub use drs_sched::{
         max_qps_under_sla, max_qps_under_sla_stack, DeepRecSched, SearchOptions, SlaTier,
@@ -69,6 +70,7 @@ pub mod prelude {
     pub use drs_server::{
         BatchingConfig, Cluster, ControllerConfig, Router, Server, ServerOptions, ServerReport,
     };
+    pub use drs_shard::{PlacementError, PlacementPolicy, ShardPlan};
     pub use drs_sim::{RunOptions, SchedulerPolicy, SimReport, Simulation};
 }
 
@@ -196,7 +198,7 @@ impl DeepRecInfra {
         let server_opts = || ServerOptions::new(self.cluster.cpu.cores, policy);
         match spec {
             StackSpec::Sim => {
-                ServingHandle::Sim(Simulation::new(&self.model, self.cluster, policy))
+                ServingHandle::Sim(Box::new(Simulation::new(&self.model, self.cluster, policy)))
             }
             StackSpec::Server => ServingHandle::Server(Box::new(Server::new(
                 &self.model,
@@ -233,7 +235,7 @@ pub enum StackSpec {
 #[derive(Debug)]
 pub enum ServingHandle {
     /// Discrete-event simulator.
-    Sim(Simulation),
+    Sim(Box<Simulation>),
     /// Open-loop single-node server (virtual time).
     Server(Box<Server>),
     /// Router-fronted cluster of servers (virtual time).
@@ -261,7 +263,7 @@ impl ServingStack for ServingHandle {
 
     fn serve_trace(&self, trace: &Trace) -> SimReport {
         match self {
-            ServingHandle::Sim(s) => ServingStack::serve_trace(s, trace),
+            ServingHandle::Sim(s) => ServingStack::serve_trace(s.as_ref(), trace),
             ServingHandle::Server(s) => s.serve_trace(trace).to_common(),
             ServingHandle::Cluster(c) => c.serve_trace(trace).to_common(),
         }

@@ -26,28 +26,54 @@ impl fmt::Display for NodeId {
     }
 }
 
-/// The hardware of one node: a CPU and optionally an attached
-/// accelerator.
+/// Default node DRAM capacity: 64 GiB, a representative server-class
+/// provisioning. Embedding-table sharding (`drs-shard`) packs a
+/// model's tables against this budget per node.
+pub const DEFAULT_NODE_MEM_BYTES: u64 = 64 * (1 << 30);
+
+/// The hardware of one node: a CPU, optionally an attached
+/// accelerator, and the DRAM capacity available for model state.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeSpec {
     /// CPU model of the node.
     pub cpu: CpuPlatform,
     /// Accelerator attached to the node, if any.
     pub gpu: Option<GpuPlatform>,
+    /// DRAM available for model state (embedding tables), bytes.
+    /// Capacity, not compute, is what forces models to shard across
+    /// nodes (Lui et al.), so placement treats this as a hard budget.
+    pub mem_bytes: u64,
 }
 
 impl NodeSpec {
-    /// A CPU-only node.
+    /// A CPU-only node with the default memory capacity.
     pub fn cpu_only(cpu: CpuPlatform) -> Self {
-        NodeSpec { cpu, gpu: None }
+        NodeSpec {
+            cpu,
+            gpu: None,
+            mem_bytes: DEFAULT_NODE_MEM_BYTES,
+        }
     }
 
-    /// A node with an attached accelerator.
+    /// A node with an attached accelerator and the default memory
+    /// capacity.
     pub fn with_gpu(cpu: CpuPlatform, gpu: GpuPlatform) -> Self {
         NodeSpec {
             cpu,
             gpu: Some(gpu),
+            mem_bytes: DEFAULT_NODE_MEM_BYTES,
         }
+    }
+
+    /// Overrides the node's DRAM capacity for model state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mem_bytes` is zero.
+    pub fn with_mem_bytes(mut self, mem_bytes: u64) -> Self {
+        assert!(mem_bytes > 0, "a node needs memory");
+        self.mem_bytes = mem_bytes;
+        self
     }
 }
 
@@ -97,14 +123,25 @@ impl ClusterTopology {
     pub fn uniform(n: usize, cpu: CpuPlatform, gpu: Option<GpuPlatform>) -> Self {
         assert!(n > 0, "a cluster needs nodes");
         ClusterTopology {
-            nodes: vec![NodeSpec { cpu, gpu }; n],
+            nodes: vec![
+                NodeSpec {
+                    cpu,
+                    gpu,
+                    mem_bytes: DEFAULT_NODE_MEM_BYTES
+                };
+                n
+            ],
         }
     }
 
     /// One node.
     pub fn single(cpu: CpuPlatform, gpu: Option<GpuPlatform>) -> Self {
         ClusterTopology {
-            nodes: vec![NodeSpec { cpu, gpu }],
+            nodes: vec![NodeSpec {
+                cpu,
+                gpu,
+                mem_bytes: DEFAULT_NODE_MEM_BYTES,
+            }],
         }
     }
 
@@ -227,6 +264,12 @@ pub enum RoutingPolicy {
     /// Falls back to least-outstanding over all nodes when no node
     /// carries a GPU.
     SizeAware,
+    /// Sharded-model dispatch: pick the query's *merge home* by
+    /// least-outstanding among the nodes that hold embedding shards
+    /// (a query must reach every shard holding its tables anyway, so
+    /// the only real choice is where partials merge). Without a shard
+    /// plan this degrades to plain least-outstanding.
+    ShardAware,
 }
 
 impl RoutingPolicy {
@@ -237,6 +280,7 @@ impl RoutingPolicy {
             RoutingPolicy::LeastOutstanding => "least-outstanding".to_string(),
             RoutingPolicy::PowerOfTwoChoices { d } => format!("po{d}c"),
             RoutingPolicy::SizeAware => "size-aware".to_string(),
+            RoutingPolicy::ShardAware => "shard-aware".to_string(),
         }
     }
 }
@@ -274,6 +318,22 @@ mod tests {
     fn routing_labels() {
         assert_eq!(RoutingPolicy::PowerOfTwoChoices { d: 2 }.label(), "po2c");
         assert_eq!(RoutingPolicy::RoundRobin.label(), "round-robin");
+        assert_eq!(RoutingPolicy::ShardAware.label(), "shard-aware");
+    }
+
+    #[test]
+    fn mem_capacity_defaults_and_overrides() {
+        let spec = NodeSpec::cpu_only(CpuPlatform::skylake());
+        assert_eq!(spec.mem_bytes, DEFAULT_NODE_MEM_BYTES);
+        let small = spec.with_mem_bytes(8 << 30);
+        assert_eq!(small.mem_bytes, 8 << 30);
+        assert_eq!(small.cpu, spec.cpu);
+    }
+
+    #[test]
+    #[should_panic(expected = "a node needs memory")]
+    fn zero_mem_rejected() {
+        let _ = NodeSpec::cpu_only(CpuPlatform::skylake()).with_mem_bytes(0);
     }
 
     #[test]

@@ -32,7 +32,9 @@ mod report;
 mod stack;
 
 pub use climb::{canonical_batch_ladder, canonical_threshold_ladder, ClimbStep, LadderClimb};
-pub use cluster::{ClusterConfig, ClusterTopology, NodeId, NodeSpec, RoutingPolicy};
+pub use cluster::{
+    ClusterConfig, ClusterTopology, NodeId, NodeSpec, RoutingPolicy, DEFAULT_NODE_MEM_BYTES,
+};
 pub use event::{secs_to_ns, us_to_ns, EventQueue, SimTime, NS_PER_SEC};
 pub use policy::SchedulerPolicy;
 pub use report::SimReport;

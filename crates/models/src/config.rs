@@ -85,6 +85,14 @@ impl TableConfig {
     pub fn bytes(&self) -> u64 {
         self.rows * self.dim as u64 * 4
     }
+
+    /// Bytes of table rows gathered per scored item — the table's
+    /// access weight (irregular DRAM traffic, `lookups × dim × 4`).
+    /// The lookup-frequency-balanced placement policy in `drs-shard`
+    /// balances shards by this quantity.
+    pub fn gather_bytes_per_item(&self) -> u64 {
+        (self.lookups * self.dim * 4) as u64
+    }
 }
 
 /// Complete architecture description of one recommendation model, at
@@ -146,6 +154,27 @@ impl ModelConfig {
     /// Total embedding-row gathers per scored item.
     pub fn lookups_per_item(&self) -> usize {
         self.tables.iter().map(|t| t.lookups).sum()
+    }
+
+    /// Pooled-output bytes per scored item for table `i` under this
+    /// model's pooling operator — the payload a table-wise shard must
+    /// ship to the merging node. Sum pooling reduces the gathered rows
+    /// to one `dim`-wide row; every other operator keeps the rows
+    /// (concat-shaped), so behavior-sequence tables ship `seq × dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn pooled_bytes_per_item(&self, i: usize) -> u64 {
+        let t = &self.tables[i];
+        let width = match self.pooling {
+            PoolingKind::Sum => t.dim,
+            PoolingKind::Concat
+            | PoolingKind::Gmf
+            | PoolingKind::Attention
+            | PoolingKind::AttentionRnn => t.dim * t.lookups,
+        };
+        (width * 4) as u64
     }
 
     /// Validates internal consistency; called by `RecModel::instantiate`.
@@ -334,6 +363,23 @@ mod tests {
         assert_eq!(c.lookups_per_item(), 81);
         assert_eq!(c.embedding_bytes(), (100 * 8 + 50 * 8) * 4);
         assert_eq!(c.seq_len(), 0);
+    }
+
+    #[test]
+    fn sharding_weights_and_payloads() {
+        let mut c = minimal();
+        c.tables = vec![
+            TableConfig::multi_hot(100, 8, 80),
+            TableConfig::one_hot(50, 8),
+        ];
+        assert_eq!(c.tables[0].gather_bytes_per_item(), 80 * 8 * 4);
+        assert_eq!(c.tables[1].gather_bytes_per_item(), 8 * 4);
+        // Sum pooling reduces to one row per table.
+        assert_eq!(c.pooled_bytes_per_item(0), 8 * 4);
+        // Concat keeps every gathered row in the payload.
+        c.pooling = PoolingKind::Concat;
+        assert_eq!(c.pooled_bytes_per_item(0), 80 * 8 * 4);
+        assert_eq!(c.pooled_bytes_per_item(1), 8 * 4);
     }
 
     #[test]

@@ -2,7 +2,10 @@
 
 use crate::config::{InteractionKind, ModelConfig, ModelScale, PoolingKind, TableRole};
 use crate::inputs::BatchInputs;
-use drs_nn::{AttentionUnit, AuGru, EmbeddingBag, GruCell, Mlp, OpKind, OpProfiler, Pooling};
+use drs_nn::{
+    AttentionUnit, AuGru, EmbeddingBag, GruCell, Mlp, OpKind, OpProfiler, Pooling,
+    ShardedEmbeddingSet,
+};
 use drs_tensor::{Activation, Matrix};
 use rand::Rng;
 
@@ -202,6 +205,64 @@ impl RecModel {
     ///
     /// Panics if `inputs` does not match this model's geometry.
     pub fn forward(&self, inputs: &BatchInputs, prof: &mut OpProfiler) -> Vec<f32> {
+        self.validate_inputs(inputs);
+        // Per-table pooled lookups in declaration order — the step
+        // table-wise sharding distributes (see `forward_sharded`).
+        let pooled: Vec<Matrix> = self
+            .bags
+            .iter()
+            .zip(&inputs.sparse)
+            .map(|(bag, idx)| bag.forward(idx, prof))
+            .collect();
+        self.forward_from_pooled(inputs, pooled, prof)
+    }
+
+    /// Partitions this model's embedding tables table-wise per
+    /// `assignment` (table `t` on shard `assignment[t]`), cloning the
+    /// instantiated weights into a [`ShardedEmbeddingSet`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` does not cover every table.
+    pub fn sharded_embeddings(&self, assignment: &[usize]) -> ShardedEmbeddingSet {
+        ShardedEmbeddingSet::new(self.bags.clone(), assignment)
+    }
+
+    /// Scores the batch through the sharded lookup path: every shard
+    /// computes pooled partials for its local tables, the partials are
+    /// merged, and the rest of the pass (interaction + predictors) runs
+    /// as usual. Numerically identical to [`RecModel::forward`] —
+    /// each table's pooling runs whole on exactly one shard, so
+    /// sharding changes *where* a lookup executes, never its result
+    /// (see `tests/sharded_equivalence.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` or `set` does not match this model's
+    /// geometry.
+    pub fn forward_sharded(
+        &self,
+        inputs: &BatchInputs,
+        set: &ShardedEmbeddingSet,
+        prof: &mut OpProfiler,
+    ) -> Vec<f32> {
+        self.validate_inputs(inputs);
+        assert_eq!(
+            set.num_tables(),
+            self.bags.len(),
+            "{}: shard set covers {} tables, model has {}",
+            self.cfg.name,
+            set.num_tables(),
+            self.bags.len()
+        );
+        let partials: Vec<_> = (0..set.num_shards())
+            .map(|s| prof.time(OpKind::Embedding, || set.forward_shard(s, &inputs.sparse)))
+            .collect();
+        let pooled = set.merge(partials);
+        self.forward_from_pooled(inputs, pooled, prof)
+    }
+
+    fn validate_inputs(&self, inputs: &BatchInputs) {
         inputs.validate();
         assert_eq!(
             inputs.sparse.len(),
@@ -211,6 +272,18 @@ impl RecModel {
             self.bags.len(),
             inputs.sparse.len()
         );
+    }
+
+    /// The pass downstream of the per-table pooled lookups: dense
+    /// path, sparse feature combination, interaction, predictors.
+    /// `pooled[t]` is table `t`'s pooled output, however it was
+    /// computed (locally or gathered from shards).
+    fn forward_from_pooled(
+        &self,
+        inputs: &BatchInputs,
+        pooled: Vec<Matrix>,
+        prof: &mut OpProfiler,
+    ) -> Vec<f32> {
         let batch = inputs.batch;
         let mut feats: Vec<Matrix> = Vec::new();
 
@@ -226,18 +299,10 @@ impl RecModel {
         // Sparse path.
         match self.cfg.pooling {
             PoolingKind::Sum | PoolingKind::Concat => {
-                for (bag, idx) in self.bags.iter().zip(&inputs.sparse) {
-                    feats.push(bag.forward(idx, prof));
-                }
+                feats.extend(pooled);
             }
             PoolingKind::Gmf => {
-                let embs: Vec<Matrix> = self
-                    .bags
-                    .iter()
-                    .zip(&inputs.sparse)
-                    .map(|(bag, idx)| bag.forward(idx, prof))
-                    .collect();
-                for pair in embs.chunks(2) {
+                for pair in pooled.chunks(2) {
                     feats.push(prof.time(OpKind::Interaction, || pair[0].hadamard(&pair[1])));
                 }
             }
@@ -248,16 +313,16 @@ impl RecModel {
                     .iter()
                     .position(|t| t.role == TableRole::Candidate)
                     .expect("validated: candidate exists");
-                let candidate = self.bags[cand_i].forward(&inputs.sparse[cand_i], prof);
+                let candidate = pooled[cand_i].clone();
                 // Profile tables first, in declaration order.
-                for (i, (bag, idx)) in self.bags.iter().zip(&inputs.sparse).enumerate() {
+                for (i, m) in pooled.iter().enumerate() {
                     if self.cfg.tables[i].role == TableRole::Profile {
-                        feats.push(bag.forward(idx, prof));
+                        feats.push(m.clone());
                     }
                 }
                 feats.push(candidate.clone());
                 let att = self.attention.as_ref().expect("attention model");
-                for (i, (bag, idx)) in self.bags.iter().zip(&inputs.sparse).enumerate() {
+                for (i, m) in pooled.into_iter().enumerate() {
                     if self.cfg.tables[i].role != TableRole::Behavior {
                         continue;
                     }
@@ -265,7 +330,7 @@ impl RecModel {
                     let dim = self.cfg.tables[i].dim;
                     // Concat-pooled `B × (seq·dim)` block is row-major
                     // identical to the `(B·seq) × dim` sequence view.
-                    let behaviors = bag.forward(idx, prof).reshaped(batch * seq, dim);
+                    let behaviors = m.reshaped(batch * seq, dim);
                     match self.cfg.pooling {
                         PoolingKind::Attention => {
                             feats.push(att.forward(&candidate, &behaviors, seq, prof));

@@ -1,0 +1,73 @@
+//! Cross-validation: a model served sharded across N nodes must score
+//! **bit-identically** to the same model unsharded on one large node.
+//!
+//! Table-wise sharding moves each table's pooled lookup to its owning
+//! shard and merges the partials; no floating-point operation is
+//! reordered, so the acceptance bar is exact equality, not tolerance.
+
+use drs_models::{zoo, ModelScale, RecModel};
+use drs_nn::OpProfiler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic round-robin table→shard assignment.
+fn round_robin(tables: usize, shards: usize) -> Vec<usize> {
+    (0..tables).map(|t| t % shards).collect()
+}
+
+#[test]
+fn sharded_forward_is_bit_identical_across_zoo() {
+    for cfg in zoo::all() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let model = RecModel::instantiate(&cfg, ModelScale::tiny(), &mut rng);
+        let mut in_rng = StdRng::seed_from_u64(17);
+        for batch in [1usize, 5, 16] {
+            let inputs = model.generate_inputs(batch, &mut in_rng);
+            let mut prof = OpProfiler::new();
+            let reference = model.forward(&inputs, &mut prof);
+            for shards in [1usize, 2, 4, cfg.tables.len()] {
+                let set = model.sharded_embeddings(&round_robin(cfg.tables.len(), shards));
+                let mut sprof = OpProfiler::new();
+                let sharded = model.forward_sharded(&inputs, &set, &mut sprof);
+                assert_eq!(
+                    reference, sharded,
+                    "{} batch {batch} over {shards} shards drifted",
+                    cfg.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn skewed_assignment_is_also_exact() {
+    // All-but-one table on shard 0, the last table alone on shard 3
+    // (with empty shards in between) — placement shape must not
+    // matter, only the table→shard map's totality.
+    let cfg = zoo::dlrm_rmc1();
+    let mut rng = StdRng::seed_from_u64(7);
+    let model = RecModel::instantiate(&cfg, ModelScale::tiny(), &mut rng);
+    let inputs = model.generate_inputs(8, &mut rng);
+    let mut assignment = vec![0usize; cfg.tables.len()];
+    *assignment.last_mut().unwrap() = 3;
+    let set = model.sharded_embeddings(&assignment);
+    assert_eq!(set.num_shards(), 4);
+    let mut p1 = OpProfiler::new();
+    let mut p2 = OpProfiler::new();
+    assert_eq!(
+        model.forward(&inputs, &mut p1),
+        model.forward_sharded(&inputs, &set, &mut p2)
+    );
+}
+
+#[test]
+#[should_panic(expected = "shard set covers")]
+fn mismatched_shard_set_rejected() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let ncf = RecModel::instantiate(&zoo::ncf(), ModelScale::tiny(), &mut rng);
+    let wnd = RecModel::instantiate(&zoo::wide_and_deep(), ModelScale::tiny(), &mut rng);
+    let set = wnd.sharded_embeddings(&round_robin(20, 2));
+    let inputs = ncf.generate_inputs(2, &mut rng);
+    let mut prof = OpProfiler::new();
+    let _ = ncf.forward_sharded(&inputs, &set, &mut prof);
+}

@@ -11,6 +11,9 @@
 //! * [`AttentionUnit`] — DIN's local activation unit (attention over a
 //!   user-behavior sequence against a candidate item),
 //! * [`GruCell`] / [`AuGru`] — DIEN's attention-gated recurrent layers,
+//! * [`ShardedEmbeddingSet`] — table-wise sharded embedding lookup
+//!   (local partial pools + gather/merge) for models whose tables
+//!   exceed one node's memory,
 //! * feature interaction (concat / sum) via `drs-tensor`.
 //!
 //! Every operator reports its execution time to an [`OpProfiler`] keyed
@@ -40,9 +43,11 @@ mod embedding;
 mod gru;
 mod linear;
 mod profile;
+mod shard;
 
 pub use attention::AttentionUnit;
 pub use embedding::{EmbeddingBag, EmbeddingTable, Pooling};
 pub use gru::{AuGru, GruCell};
 pub use linear::{Linear, Mlp};
 pub use profile::{OpKind, OpProfiler};
+pub use shard::{ShardPartial, ShardedEmbeddingSet};

@@ -182,6 +182,52 @@ impl ModelCost {
             + SW_MEMORY_FACTOR * (t_gather + t_stream)
     }
 
+    /// Service time of one *shard-partial* CPU request of `batch`
+    /// items on a node holding `gather_fraction` of the model's
+    /// embedding traffic: the fixed serving overhead plus that share
+    /// of the irregular gather term. The dense stacks are not paid
+    /// here — a table-wise shard only gathers and pools its local
+    /// tables; the merging node runs the dense tail once per query
+    /// ([`ModelCost::dense_tail_us`]).
+    ///
+    /// At `gather_fraction = 1.0` plus the dense tail this is exactly
+    /// [`ModelCost::cpu_request_us`] on an uncontended core (tested),
+    /// so sharded and unsharded service models cannot drift apart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gather_fraction` is outside `[0, 1]`.
+    pub fn shard_gather_request_us(
+        &self,
+        cpu: &CpuPlatform,
+        batch: usize,
+        active_cores: usize,
+        gather_fraction: f64,
+    ) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&gather_fraction),
+            "gather fraction {gather_fraction} outside [0, 1]"
+        );
+        let batch = batch.max(1);
+        let t_gather = self.ch.emb_bytes_per_item * gather_fraction * batch as f64
+            / (cpu.per_core_dram_bw(active_cores) * cpu.gather_efficiency(batch) * 1e3);
+        cpu.request_overhead_us + SW_MEMORY_FACTOR * t_gather
+    }
+
+    /// The dense tail of a sharded query: compute plus
+    /// weight/activation streaming, run once at the merging node after
+    /// the exchange delivers the pooled partials. Modeled as a single
+    /// uncontended pass (the merge node's workers are gathering other
+    /// queries, not blocking on this tail).
+    pub fn dense_tail_us(&self, cpu: &CpuPlatform, batch: usize) -> f64 {
+        let batch = batch.max(1);
+        let eff = cpu.simd_efficiency(batch) * cpu.freq_scale(1);
+        let t_compute = self.ch.flops(batch) / (cpu.peak_core_gflops() * 1e3 * eff);
+        let t_stream = (self.ch.weight_bytes + self.ch.act_bytes_per_item * batch as f64)
+            / (cpu.llc_effective_bw(1) * 1e3);
+        SW_COMPUTE_FACTOR * t_compute + SW_MEMORY_FACTOR * t_stream
+    }
+
     /// End-to-end time to run one whole query of `qsize` items on the
     /// GPU, in microseconds: host serving overhead, per-item tensor
     /// preparation, PCIe transfer, kernel launches, device compute and
@@ -402,6 +448,47 @@ mod tests {
         let s8 = c.gpu_speedup(&skl(), &gpu(), 8);
         let s1024 = c.gpu_speedup(&skl(), &gpu(), 1024);
         assert!(s1024 > s8, "{s8} → {s1024}");
+    }
+
+    #[test]
+    fn shard_terms_recompose_to_full_request() {
+        // gather(frac=1) + dense tail == the unsharded request on an
+        // uncontended core, for every model and several batch sizes:
+        // the sharded service model cannot drift from the real one.
+        for cfg in zoo::all() {
+            let c = cost(&cfg);
+            for b in [1usize, 16, 64, 256] {
+                let whole = c.cpu_request_us(&skl(), b, 1);
+                let recomposed =
+                    c.shard_gather_request_us(&skl(), b, 1, 1.0) + c.dense_tail_us(&skl(), b);
+                assert!(
+                    (whole - recomposed).abs() < 1e-9 * whole,
+                    "{} batch {b}: {whole} vs {recomposed}",
+                    cfg.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_gather_scales_with_fraction() {
+        let c = cost(&zoo::dlrm_rmc2());
+        let full = c.shard_gather_request_us(&skl(), 64, 1, 1.0);
+        let half = c.shard_gather_request_us(&skl(), 64, 1, 0.5);
+        let none = c.shard_gather_request_us(&skl(), 64, 1, 0.0);
+        assert!(full > half && half > none);
+        assert!(
+            (none - skl().request_overhead_us).abs() < 1e-12,
+            "zero-fraction shard pays only the serving overhead"
+        );
+        // The gather term itself halves exactly.
+        assert!((full - none - 2.0 * (half - none)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bad_gather_fraction_rejected() {
+        let _ = cost(&zoo::dlrm_rmc1()).shard_gather_request_us(&skl(), 64, 1, 1.5);
     }
 
     #[test]

@@ -23,6 +23,13 @@
 //!   with the model's operator count (many embedding tables or GRU
 //!   steps ⇒ many launches), and device compute/memory whose efficiency
 //!   depends on the model class.
+//! * **Sharded exchanges** ([`InterconnectModel`]) price the cross-node
+//!   gather step of table-wise embedding sharding: a per-hop fabric
+//!   round-trip, per-peer merge work, and the pooled payload streaming
+//!   through the merging node's NIC, composed with
+//!   [`ModelCost::shard_gather_request_us`] /
+//!   [`ModelCost::dense_tail_us`] so sharded and unsharded service
+//!   models recompose exactly.
 //!
 //! The calibration targets are the *shapes* of Figures 4 and 6 — which
 //! models cross over early vs late and the speedup band at batch 1024 —
@@ -34,7 +41,9 @@
 mod cost;
 mod cpu;
 mod gpu;
+mod net;
 
 pub use cost::{GpuClass, ModelCost, SW_COMPUTE_FACTOR, SW_MEMORY_FACTOR};
 pub use cpu::{CacheKind, CpuPlatform};
 pub use gpu::GpuPlatform;
+pub use net::InterconnectModel;

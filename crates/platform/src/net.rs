@@ -1,0 +1,102 @@
+//! The cluster interconnect: the cost of gathering sharded embedding
+//! partials across nodes.
+//!
+//! Once a model's tables span nodes, every query pays a network
+//! exchange — the merging node must collect pooled partial rows from
+//! each remote shard. The scale-in literature (Krishna & Krishna,
+//! "Accelerating Recommender Systems via Hardware scale-in") quantifies
+//! this gather step as the new bottleneck of capacity-driven scale-out;
+//! we model it the same way the rest of `drs-platform` models hardware:
+//! a small parameter set turned into microseconds.
+
+/// Latency/bandwidth parameters of the node-to-node fabric.
+///
+/// The exchange of one query is modeled as a parallel fan-out to the
+/// remote shards followed by a merge at the home node:
+///
+/// `per_hop_us` — one round-trip through the fabric (NIC + switch +
+/// kernel path), paid once since partial requests fly concurrently;
+/// `per_peer_us` — per-remote-shard serialization/merge work at the
+/// home node (each partial is deserialized and its rows placed);
+/// `bandwidth_gbs` — the home NIC's ingress bandwidth the gathered
+/// payload bytes stream through.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterconnectModel {
+    /// One network round-trip, microseconds.
+    pub per_hop_us: f64,
+    /// Per-remote-peer merge/deserialize cost, microseconds.
+    pub per_peer_us: f64,
+    /// Ingress bandwidth at the merging node, GB/s.
+    pub bandwidth_gbs: f64,
+}
+
+impl InterconnectModel {
+    /// A datacenter rack fabric: 100 GbE (12.5 GB/s), ~50 µs RTT
+    /// through the kernel network stack, ~5 µs to merge one peer's
+    /// partial.
+    pub fn datacenter_100g() -> Self {
+        InterconnectModel {
+            per_hop_us: 50.0,
+            per_peer_us: 5.0,
+            bandwidth_gbs: 12.5,
+        }
+    }
+
+    /// An older 25 GbE fabric (3.125 GB/s) with the same latency
+    /// profile — for sensitivity sweeps over the exchange term.
+    pub fn datacenter_25g() -> Self {
+        InterconnectModel {
+            bandwidth_gbs: 3.125,
+            ..Self::datacenter_100g()
+        }
+    }
+
+    /// Exchange time for gathering `payload_bytes` of pooled partials
+    /// from `peers` remote shards, microseconds. Zero when there are
+    /// no remote peers (a fully local plan exchanges nothing).
+    pub fn exchange_us(&self, peers: usize, payload_bytes: f64) -> f64 {
+        if peers == 0 {
+            return 0.0;
+        }
+        self.per_hop_us
+            + peers as f64 * self.per_peer_us
+            + payload_bytes / (self.bandwidth_gbs * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_peers_no_exchange() {
+        let net = InterconnectModel::datacenter_100g();
+        assert_eq!(net.exchange_us(0, 1e9), 0.0);
+    }
+
+    #[test]
+    fn exchange_grows_with_peers_and_payload() {
+        let net = InterconnectModel::datacenter_100g();
+        let base = net.exchange_us(1, 0.0);
+        assert!(base >= net.per_hop_us);
+        assert!(net.exchange_us(3, 0.0) > base);
+        assert!(net.exchange_us(1, 1e6) > net.exchange_us(1, 1e3));
+    }
+
+    #[test]
+    fn slower_fabric_costs_more() {
+        let fast = InterconnectModel::datacenter_100g();
+        let slow = InterconnectModel::datacenter_25g();
+        let bytes = 1e6;
+        assert!(slow.exchange_us(2, bytes) > fast.exchange_us(2, bytes));
+    }
+
+    #[test]
+    fn bandwidth_term_units() {
+        // 12.5 GB/s = 12.5e3 bytes/µs: 1 MB should take 80 µs of wire
+        // time on top of the fixed terms.
+        let net = InterconnectModel::datacenter_100g();
+        let fixed = net.exchange_us(1, 0.0);
+        assert!((net.exchange_us(1, 1e6) - fixed - 80.0).abs() < 1e-9);
+    }
+}

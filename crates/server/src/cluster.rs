@@ -28,8 +28,9 @@ use drs_core::{
 };
 use drs_engine::{EngineCompletion, EngineRequest, InferenceEngine};
 use drs_models::{ModelConfig, RecModel};
-use drs_platform::ModelCost;
+use drs_platform::{InterconnectModel, ModelCost};
 use drs_query::{Query, Trace, MAX_QUERY_SIZE};
+use drs_shard::ShardPlan;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -71,6 +72,13 @@ pub struct Router {
     /// Queries routed to each node over the whole run.
     dispatched: Vec<u64>,
     gpu_nodes: Vec<bool>,
+    /// Nodes the router may pick at all. All-true by default; a
+    /// sharded cluster restricts it to the shard-holding nodes
+    /// ([`Router::restrict_to`]), since only they can merge a query.
+    eligible: Vec<bool>,
+    /// Indices of eligible nodes, ascending (the sampling universe for
+    /// the randomized policies).
+    eligible_idx: Vec<usize>,
     size_threshold: u32,
     rr_next: usize,
     rng: StdRng,
@@ -98,11 +106,27 @@ impl Router {
             outstanding: vec![0; gpu_nodes.len()],
             dispatched: vec![0; gpu_nodes.len()],
             gpu_nodes: gpu_nodes.to_vec(),
+            eligible: vec![true; gpu_nodes.len()],
+            eligible_idx: (0..gpu_nodes.len()).collect(),
             size_threshold,
             rr_next: 0,
             rng: StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15),
             scratch: vec![false; gpu_nodes.len()],
         }
+    }
+
+    /// Restricts every policy's choice to the nodes marked in `mask`
+    /// (a sharded cluster's shard-holding nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` has the wrong length or admits no node.
+    pub fn restrict_to(mut self, mask: &[bool]) -> Self {
+        assert_eq!(mask.len(), self.outstanding.len(), "mask length mismatch");
+        assert!(mask.contains(&true), "router needs an eligible node");
+        self.eligible = mask.to_vec();
+        self.eligible_idx = (0..mask.len()).filter(|&i| mask[i]).collect();
+        self
     }
 
     /// Number of nodes behind the router.
@@ -113,17 +137,23 @@ impl Router {
     /// Picks the node for a query of `size` items and charges its
     /// gauge. Ties always break toward the smaller [`NodeId`].
     pub fn route(&mut self, size: u32) -> NodeId {
-        let n = self.outstanding.len();
         let pick = match self.policy {
             RoutingPolicy::RoundRobin => {
-                let pick = self.rr_next;
-                self.rr_next = (self.rr_next + 1) % n;
+                // Cycle the eligible universe in id order.
+                let pick = self.eligible_idx[self.rr_next];
+                self.rr_next = (self.rr_next + 1) % self.eligible_idx.len();
                 pick
             }
-            RoutingPolicy::LeastOutstanding => self.least_loaded(|_| true),
+            RoutingPolicy::LeastOutstanding | RoutingPolicy::ShardAware => {
+                // ShardAware: the fan-out is fixed by the plan, so the
+                // routable decision left is the merge home — least
+                // outstanding among the shard nodes.
+                self.least_loaded(|i| self.eligible[i])
+            }
             RoutingPolicy::PowerOfTwoChoices { d } => {
-                if d >= n {
-                    self.least_loaded(|_| true)
+                let universe = self.eligible_idx.len();
+                if d >= universe {
+                    self.least_loaded(|i| self.eligible[i])
                 } else {
                     // Sample d distinct candidates, then scan in id
                     // order so equal gauges keep the deterministic
@@ -131,7 +161,7 @@ impl Router {
                     self.scratch.fill(false);
                     let mut chosen = 0usize;
                     while chosen < d {
-                        let i = self.rng.gen_range(0..n);
+                        let i = self.eligible_idx[self.rng.gen_range(0..universe)];
                         if !self.scratch[i] {
                             self.scratch[i] = true;
                             chosen += 1;
@@ -147,10 +177,15 @@ impl Router {
                 // Large queries prefer accelerator-attached nodes (the
                 // tail is exactly what the GPU amortizes); small
                 // queries balance over the whole fleet.
-                if size > self.size_threshold && self.gpu_nodes.contains(&true) {
-                    self.least_loaded(|i| self.gpu_nodes[i])
+                let has_eligible_gpu = self
+                    .gpu_nodes
+                    .iter()
+                    .zip(&self.eligible)
+                    .any(|(&g, &e)| g && e);
+                if size > self.size_threshold && has_eligible_gpu {
+                    self.least_loaded(|i| self.gpu_nodes[i] && self.eligible[i])
                 } else {
-                    self.least_loaded(|_| true)
+                    self.least_loaded(|i| self.eligible[i])
                 }
             }
         };
@@ -245,6 +280,9 @@ pub struct Cluster {
     topology: ClusterTopology,
     routing: RoutingPolicy,
     opts: ServerOptions,
+    /// Table-wise shard placement + the fabric pricing its exchange;
+    /// `None` serves the model whole on every node.
+    shard: Option<(ShardPlan, InterconnectModel)>,
 }
 
 impl Cluster {
@@ -273,7 +311,67 @@ impl Cluster {
             topology,
             routing,
             opts,
+            shard: None,
         }
+    }
+
+    /// Builds a cluster serving one model *sharded table-wise* per
+    /// `plan`: every query fans to each shard-holding node (which
+    /// gathers and pools its local tables), the partials merge at a
+    /// router-chosen home node, and the cross-node exchange is priced
+    /// by `net`. This is the capacity-driven scale-out path — the only
+    /// way a model whose tables exceed one node's `mem_bytes` serves
+    /// at all.
+    ///
+    /// Sharded serving runs the CPU gather path; accelerator offload
+    /// of sharded queries is a follow-on (the policy must not carry a
+    /// `gpu_threshold`, and node GPUs sit idle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if options are degenerate, the policy offloads, the plan
+    /// was built for a different fleet shape, or the plan overfills a
+    /// node's memory.
+    pub fn new_sharded(
+        cfg: &ModelConfig,
+        topology: ClusterTopology,
+        routing: RoutingPolicy,
+        plan: ShardPlan,
+        net: InterconnectModel,
+        opts: ServerOptions,
+    ) -> Self {
+        opts.validate();
+        assert!(
+            opts.policy.gpu_threshold.is_none(),
+            "sharded serving is CPU-path: the policy must not offload"
+        );
+        assert_eq!(
+            plan.node_count(),
+            topology.len(),
+            "shard plan covers {} nodes, topology has {}",
+            plan.node_count(),
+            topology.len()
+        );
+        for (n, spec) in topology.nodes().iter().enumerate() {
+            assert!(
+                plan.bytes_on(NodeId(n)) <= spec.mem_bytes,
+                "plan overfills node {n}: {} > {} bytes",
+                plan.bytes_on(NodeId(n)),
+                spec.mem_bytes
+            );
+        }
+        Cluster {
+            cost: ModelCost::new(cfg),
+            topology,
+            routing,
+            opts,
+            shard: Some((plan, net)),
+        }
+    }
+
+    /// The shard plan in force, if the cluster serves a sharded model.
+    pub fn shard_plan(&self) -> Option<&ShardPlan> {
+        self.shard.as_ref().map(|(p, _)| p)
     }
 
     /// The fleet behind the router.
@@ -302,7 +400,10 @@ impl Cluster {
             .iter()
             .map(|n| NodeSetup {
                 cpu: n.cpu,
-                gpu: n.gpu,
+                // Sharded serving is CPU-path: node GPUs sit idle so a
+                // per-node controller cannot grow an offload knob for
+                // queries that only carry a fraction of the model.
+                gpu: if self.shard.is_some() { None } else { n.gpu },
                 workers: self.opts.workers.min(n.cpu.cores),
             })
             .collect()
@@ -315,17 +416,36 @@ impl Cluster {
         // runtime but do not feed back into the router — the front end
         // keeps steering by the static boundary. Threshold-following
         // routing is deliberately out of scope until the controller
-        // grows a cluster-level view (see ROADMAP: shard-aware
-        // routing).
-        Router::new(
+        // grows a cluster-level view.
+        // Sharded serving disables the node GPUs (setups() strips
+        // them), so the router must not see them either: SizeAware
+        // would otherwise concentrate large queries' merge homes on
+        // accelerators that sit idle. With an all-false mask it
+        // degrades to least-outstanding, its documented fallback.
+        let gpu_nodes = if self.shard.is_some() {
+            vec![false; self.topology.len()]
+        } else {
+            self.topology.gpu_nodes()
+        };
+        let router = Router::new(
             self.routing,
-            &self.topology.gpu_nodes(),
+            &gpu_nodes,
             self.opts
                 .policy
                 .gpu_threshold
                 .unwrap_or(DEFAULT_SIZE_AWARE_THRESHOLD),
             self.opts.seed,
-        )
+        );
+        match &self.shard {
+            // Only a shard-holding node can merge a query, whatever
+            // the dispatch policy.
+            Some((plan, _)) => router.restrict_to(&plan.shard_mask()),
+            None => router,
+        }
+    }
+
+    fn shard_geometry(&self) -> Option<drs_shard::ShardGeometry> {
+        self.shard.as_ref().map(|(plan, net)| plan.geometry(*net))
     }
 
     /// Serves `queries` across the fleet in deterministic virtual time
@@ -340,6 +460,7 @@ impl Cluster {
             &self.setups(),
             &self.opts,
             self.router(),
+            self.shard_geometry().as_ref(),
             queries,
         )
     }
@@ -368,6 +489,11 @@ impl Cluster {
     /// with the cluster's configuration.
     pub fn serve_real(&self, model: Arc<RecModel>, queries: &[Query]) -> ServerReport {
         assert!(!queries.is_empty(), "no queries to serve");
+        assert!(
+            self.shard.is_none(),
+            "sharded clusters serve in virtual time; a real-engine sharded path \
+             (per-node partial forwards over ShardedEmbeddingSet) is a follow-on"
+        );
         let setups = self.setups();
         let mut rt = ClusterRealRuntime {
             stats: StreamStats::new(queries.len(), self.opts.warmup_frac),
@@ -488,7 +614,15 @@ impl ServingStack for Cluster {
     type Report = ServerReport;
 
     fn label(&self) -> String {
-        format!("cluster[{} x{}]", self.routing.label(), self.topology.len())
+        match &self.shard {
+            Some((plan, _)) => format!(
+                "cluster[{} x{} sharded x{}]",
+                self.routing.label(),
+                self.topology.len(),
+                plan.shard_nodes().len()
+            ),
+            None => format!("cluster[{} x{}]", self.routing.label(), self.topology.len()),
+        }
     }
 
     fn serve_queries(&self, queries: &[Query]) -> ServerReport {
@@ -645,11 +779,17 @@ impl ClusterRealRuntime {
     }
 
     fn finish_items(&mut self, now: SimTime, qid: u64, items: u32) {
-        if let Some(f) = self.stats.complete_items(now, qid, items) {
-            let settled = self.nodes[f.node].core.on_query_done(now, f.latency_ms);
-            self.stats.record(now, &f, settled);
-            self.router.complete(NodeId(f.node));
-            self.outstanding -= 1;
+        match self.stats.credit_items(now, qid, items) {
+            node::Credit::Pending => {}
+            node::Credit::Done(f) => {
+                let settled = self.nodes[f.node].core.on_query_done(now, f.latency_ms);
+                self.stats.record(now, &f, settled);
+                self.router.complete(NodeId(f.node));
+                self.outstanding -= 1;
+            }
+            node::Credit::AwaitExchange { .. } => {
+                unreachable!("real-engine cluster serving never shards")
+            }
         }
     }
 }

@@ -63,6 +63,13 @@ pub struct ControllerConfig {
     /// a tenth of the SLA scores visibly better than one at half of
     /// it, while sub-millisecond differences stay inside `rel_tol`.
     pub sla_ms: f64,
+    /// Confidence weighting: discard the first window closed after a
+    /// re-tune from the online score. That window straddles the
+    /// policy switch — its completions mix the old knob's in-flight
+    /// backlog with the new rung's behaviour — and scoring it poisons
+    /// the re-climb's anchor rung, which then mis-ranks against the
+    /// clean windows that follow (ROADMAP "controller hardening").
+    pub discard_transition_window: bool,
 }
 
 impl ControllerConfig {
@@ -79,6 +86,7 @@ impl ControllerConfig {
             shift_tolerance: 0.25,
             hysteresis: 2,
             sla_ms: 100.0,
+            discard_transition_window: true,
         }
     }
 
@@ -163,6 +171,10 @@ pub struct OnlineController {
     /// Whether the current climb is a walk-down re-judgment (its score
     /// caps the over-completion credit; see `on_complete`).
     walkdown: bool,
+    /// Set when a re-tune commits: the next window to close is a
+    /// transition window (old-policy backlog draining under the new
+    /// rung) and is dropped from the score when the config says so.
+    skip_window: bool,
     /// Set at settle time; the next settled window re-baselines the
     /// drift detector against the *chosen* policy's clean behaviour.
     baseline_pending: bool,
@@ -205,6 +217,7 @@ impl OnlineController {
             settled_p95_ms: 0.0,
             stale_streak: 0,
             walkdown: false,
+            skip_window: false,
             baseline_pending: false,
             batch_trajectory: Vec::new(),
             threshold_trajectory: Vec::new(),
@@ -234,6 +247,15 @@ impl OnlineController {
     pub fn on_complete(&mut self, now: SimTime, latency_ms: f64) -> bool {
         self.window.record_ms(latency_ms);
         if self.window.len() < self.cfg.window {
+            return false;
+        }
+        if self.skip_window {
+            // Confidence weighting: this window straddled the re-tune
+            // (in-flight backlog from the old policy completes under
+            // the new rung). Close it unscored so the climb's anchor
+            // rung is judged on clean measurements only.
+            self.skip_window = false;
+            self.close_window(now);
             return false;
         }
         let p95 = self.window.summary().p95_ms;
@@ -370,6 +392,7 @@ impl OnlineController {
                     self.climb = LadderClimb::new(ladder, patience, self.cfg.rel_tol);
                     self.policy.max_batch = self.climb.current();
                     self.phase = Phase::TuningBatch;
+                    self.skip_window = self.cfg.discard_transition_window;
                     return true;
                 }
                 false
@@ -446,6 +469,9 @@ mod tests {
             // direct; the hysteresis tests below exercise the default.
             hysteresis: 1,
             sla_ms: 100.0,
+            // The climb-shape tests feed exact per-rung windows; the
+            // transition-discard tests below opt in explicitly.
+            discard_transition_window: false,
         }
     }
 
@@ -615,6 +641,98 @@ mod tests {
             SchedulerPolicy::cpu_only(1),
             false,
         );
+    }
+
+    /// Feeds `n` completions at `gap_ns` pacing with the given latency.
+    fn feed_at(
+        c: &mut OnlineController,
+        start: SimTime,
+        n: usize,
+        ms: f64,
+        gap_ns: u64,
+    ) -> SimTime {
+        let mut t = start;
+        for _ in 0..n {
+            t += gap_ns;
+            c.on_arrival(t);
+            c.on_complete(t, ms);
+        }
+        t
+    }
+
+    /// A step load change (arrival rate doubles) whose re-climb's first
+    /// window carries an 80 ms backlog-drain tail. Returns
+    /// `(retunes, settled batch)` after the dust settles.
+    fn step_load_scenario(discard: bool) -> (u64, u32) {
+        let mut c = OnlineController::new(
+            ControllerConfig {
+                discard_transition_window: discard,
+                ..cfg(5)
+            },
+            SchedulerPolicy::cpu_only(1),
+            false,
+        );
+        // Cold climb settles at batch 4; one clean window baselines
+        // the drift detector (rate 1000 QPS, p95 10 ms).
+        let mut t = 0;
+        for ms in [40.0, 20.0, 10.0, 15.0] {
+            t = feed(&mut c, t, 5, ms);
+        }
+        t = feed(&mut c, t, 5, 10.0);
+        assert!(c.is_settled());
+        // Step: the rate doubles; the out-of-band window commits an
+        // upward re-climb anchored at the incumbent (ladder [4, 8]).
+        t = feed_at(&mut c, t, 5, 10.0, 500_000);
+        assert_eq!(c.retunes, 1);
+        assert!(!c.is_settled());
+        // Transition window: the shift's queue drain inflates the tail
+        // far past anything the anchor rung sustains in steady state.
+        t = feed_at(&mut c, t, 5, 80.0, 500_000);
+        // Clean windows thereafter: batch 4 holds a 10 ms tail at the
+        // new rate; batch 8 over-commits and can only manage 22 ms.
+        for _ in 0..8 {
+            if c.is_settled() {
+                break;
+            }
+            let ms = if c.policy().max_batch <= 4 {
+                10.0
+            } else {
+                22.0
+            };
+            t = feed_at(&mut c, t, 5, ms, 500_000);
+        }
+        assert!(c.is_settled(), "re-climb must converge");
+        // Steady traffic under the chosen rung: batch 4 keeps its
+        // clean tail; batch 8 cannot sustain the doubled load and its
+        // backlog doubles the tail window over window.
+        for i in 0..3u32 {
+            let ms = if c.policy().max_batch <= 4 {
+                10.0
+            } else {
+                22.0 + 30.0 * i as f64
+            };
+            t = feed_at(&mut c, t, 5, ms, 500_000);
+        }
+        (c.retunes, c.policy().max_batch)
+    }
+
+    #[test]
+    fn transition_window_discard_prevents_spurious_retune() {
+        // Scored, the polluted transition window dethrones the healthy
+        // incumbent (80 ms at the anchor loses to 22 ms at the next
+        // rung), and the mis-chosen rung's drifting tail forces a
+        // second re-tune. Discarded, the anchor is judged on its clean
+        // window, keeps the climb, and the controller stays settled.
+        let (retunes_scored, batch_scored) = step_load_scenario(false);
+        let (retunes_discarded, batch_discarded) = step_load_scenario(true);
+        assert_eq!(batch_scored, 8, "polluted window crowns the wrong rung");
+        assert_eq!(batch_discarded, 4, "clean judgment keeps the incumbent");
+        assert!(
+            retunes_discarded < retunes_scored,
+            "discarding the transition window must save the spurious re-tune \
+             ({retunes_discarded} vs {retunes_scored})"
+        );
+        assert_eq!(retunes_discarded, 1);
     }
 
     #[test]

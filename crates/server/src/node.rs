@@ -32,6 +32,7 @@ use drs_core::{
 use drs_metrics::LatencyRecorder;
 use drs_platform::{CpuPlatform, GpuPlatform, ModelCost};
 use drs_query::Query;
+use drs_shard::ShardGeometry;
 use std::collections::{HashMap, VecDeque};
 
 /// One node's hardware and worker allocation.
@@ -143,6 +144,27 @@ impl NodeCore {
         }
     }
 
+    /// Feeds one arrival to the node's controller without routing any
+    /// work — the sharded merge home's control-loop signal (the work
+    /// itself lands as partials on every shard node).
+    pub fn note_controller_arrival(&mut self, now: SimTime) {
+        if let Some(c) = &mut self.controller {
+            c.on_arrival(now);
+        }
+    }
+
+    /// Routes one *shard partial* into the node: batch/split onto the
+    /// CPU queue, bypassing both the GPU (sharded serving is CPU-path)
+    /// and the controller's arrival accounting (the merge home owns
+    /// the query's control-loop signal; remote shards just gather).
+    pub fn on_partial_arrival(&mut self, now: SimTime, q: &Query) -> Vec<Batch> {
+        let pol = self.policy();
+        let mut out = Vec::new();
+        self.batcher.set_max_batch(pol.max_batch, &mut out);
+        self.batcher.push(now, q.id, q.size, &mut out);
+        out
+    }
+
     /// Whether the policy changed since the last check (clears the
     /// flag).
     pub fn take_policy_dirty(&mut self) -> bool {
@@ -169,14 +191,34 @@ struct QueryState {
     items_left: u32,
     measured: bool,
     node: usize,
+    /// Virtual time the exchange + merge will take once the last
+    /// partial lands (0 = unsharded: complete immediately).
+    merge_ns: SimTime,
 }
 
 /// One fully completed query, as reported by
-/// [`StreamStats::complete_items`].
+/// [`StreamStats::credit_items`].
 pub(crate) struct FinishedQuery {
     pub node: usize,
     pub latency_ms: f64,
     pub measured: bool,
+}
+
+/// What crediting items against a query produced.
+pub(crate) enum Credit {
+    /// The query still has items in flight.
+    Pending,
+    /// The query completed end to end.
+    Done(FinishedQuery),
+    /// The last shard partial landed; the query completes after its
+    /// exchange/merge delay (caller schedules the merge at the home
+    /// node and later calls [`StreamStats::finish_exchanged`]).
+    AwaitExchange {
+        /// Merge home node.
+        home: usize,
+        /// Exchange + dense-tail delay, virtual ns.
+        delay: SimTime,
+    },
 }
 
 /// Stream-wide measurement shared by every node of a run.
@@ -189,6 +231,10 @@ pub(crate) struct StreamStats {
     completed_measured: u64,
     items_total: u64,
     items_gpu: u64,
+    /// Accumulated exchange + merge delay across measured sharded
+    /// queries, and how many paid one.
+    exchange_ns_total: u128,
+    exchanged: u64,
     window_start: Option<SimTime>,
     window_end: SimTime,
 }
@@ -204,6 +250,8 @@ impl StreamStats {
             completed_measured: 0,
             items_total: 0,
             items_gpu: 0,
+            exchange_ns_total: 0,
+            exchanged: 0,
             window_start: None,
             window_end: 0,
         }
@@ -212,20 +260,46 @@ impl StreamStats {
     /// Registers an arrival routed to `node`; returns whether the query
     /// is inside the measurement window.
     pub fn note_arrival(&mut self, now: SimTime, q: &Query, node: usize) -> bool {
+        self.note_arrival_sharded(now, q, node, 1, 0, 0)
+    }
+
+    /// Registers a sharded arrival: the query fans to `fanout` shard
+    /// nodes (each contributing `q.size` partial items) and, once the
+    /// last partial lands, completes after `merge_ns` of
+    /// exchange + merge at `home`. `exchange_ns` is the cross-node
+    /// (fabric-only) share of that delay — zero for a plan with no
+    /// remote peers — and is what the exchange counters report.
+    /// Returns whether the query is inside the measurement window.
+    pub fn note_arrival_sharded(
+        &mut self,
+        now: SimTime,
+        q: &Query,
+        home: usize,
+        fanout: u32,
+        exchange_ns: SimTime,
+        merge_ns: SimTime,
+    ) -> bool {
+        assert!(fanout >= 1, "a query must reach at least one node");
+        assert!(exchange_ns <= merge_ns, "exchange is part of the merge");
         let measured = q.id >= self.warmup_n;
         let prev = self.queries.insert(
             q.id,
             QueryState {
                 arrival: now,
-                items_left: q.size,
+                items_left: q.size * fanout,
                 measured,
-                node,
+                node: home,
+                merge_ns,
             },
         );
         assert!(prev.is_none(), "duplicate query id {}", q.id);
         if measured {
             self.items_total += q.size as u64;
             self.window_start.get_or_insert(now);
+            if exchange_ns > 0 {
+                self.exchange_ns_total += exchange_ns as u128;
+                self.exchanged += 1;
+            }
         }
         measured
     }
@@ -241,22 +315,43 @@ impl StreamStats {
         self.queries.get(&qid).expect("known query").items_left
     }
 
-    /// Credits `items` of a query as done; returns the finished query
-    /// when it completed end to end. The caller must then feed the
-    /// latency to the owning node's controller and call
-    /// [`StreamStats::record`].
-    pub fn complete_items(&mut self, now: SimTime, qid: u64, items: u32) -> Option<FinishedQuery> {
+    /// Credits `items` of a query as done. On the query's last item:
+    /// unsharded queries finish immediately ([`Credit::Done`] — the
+    /// caller feeds the latency to the owning node's controller and
+    /// calls [`StreamStats::record`]); sharded queries return
+    /// [`Credit::AwaitExchange`] and finish via
+    /// [`StreamStats::finish_exchanged`] after the merge delay.
+    pub fn credit_items(&mut self, now: SimTime, qid: u64, items: u32) -> Credit {
         let st = self.queries.get_mut(&qid).expect("known query");
         st.items_left -= items;
         if st.items_left > 0 {
-            return None;
+            return Credit::Pending;
+        }
+        if st.merge_ns > 0 {
+            let (home, delay) = (st.node, st.merge_ns);
+            // Mark the merge as scheduled so a second crediting cannot
+            // double-fire it.
+            st.merge_ns = 0;
+            return Credit::AwaitExchange { home, delay };
         }
         let st = self.queries.remove(&qid).expect("known query");
-        Some(FinishedQuery {
+        Credit::Done(FinishedQuery {
             node: st.node,
             latency_ms: (now - st.arrival) as f64 / 1e6,
             measured: st.measured,
         })
+    }
+
+    /// Completes a sharded query whose exchange/merge delay elapsed at
+    /// `now`.
+    pub fn finish_exchanged(&mut self, now: SimTime, qid: u64) -> FinishedQuery {
+        let st = self.queries.remove(&qid).expect("known query");
+        debug_assert_eq!(st.items_left, 0, "merge fired with items in flight");
+        FinishedQuery {
+            node: st.node,
+            latency_ms: (now - st.arrival) as f64 / 1e6,
+            measured: st.measured,
+        }
     }
 
     /// Records a finished query's latency (after its node's controller
@@ -433,16 +528,37 @@ pub(crate) fn assemble_report(outcome: RunOutcome, offered_qps: f64) -> ServerRe
         batch_trajectory,
         threshold_trajectory,
         node_queries,
+        exchanged_queries: stats.exchanged,
+        mean_exchange_ms: if stats.exchanged > 0 {
+            stats.exchange_ns_total as f64 / stats.exchanged as f64 / 1e6
+        } else {
+            0.0
+        },
         latencies_ms: stats.latencies_ms,
     }
 }
 
 #[derive(Debug, Clone, Copy)]
 enum Ev {
-    Arrival { idx: usize },
-    Coalesce { node: usize },
-    CpuDone { node: usize, batch: u64 },
-    GpuDone { node: usize, qid: u64 },
+    Arrival {
+        idx: usize,
+    },
+    Coalesce {
+        node: usize,
+    },
+    CpuDone {
+        node: usize,
+        batch: u64,
+    },
+    GpuDone {
+        node: usize,
+        qid: u64,
+    },
+    /// A sharded query's exchange + merge finished at its home node.
+    ExchangeDone {
+        node: usize,
+        qid: u64,
+    },
 }
 
 /// One node's virtual-time execution state around its [`NodeCore`].
@@ -453,12 +569,22 @@ struct VirtualNode {
     busy: usize,
     workers: usize,
     cpu: CpuPlatform,
+    /// Under a shard plan, this node's share of the model's gather
+    /// traffic: its batches cost
+    /// [`ModelCost::shard_gather_request_us`] instead of the whole
+    /// request.
+    gather_fraction: Option<f64>,
     last_ns: SimTime,
     busy_core_ns: u128,
 }
 
 impl VirtualNode {
-    fn new(cost: &ModelCost, setup: &NodeSetup, opts: &ServerOptions) -> Self {
+    fn new(
+        cost: &ModelCost,
+        setup: &NodeSetup,
+        opts: &ServerOptions,
+        gather_fraction: Option<f64>,
+    ) -> Self {
         VirtualNode {
             core: NodeCore::new(cost, setup, opts),
             ready: VecDeque::new(),
@@ -466,6 +592,7 @@ impl VirtualNode {
             busy: 0,
             workers: setup.workers,
             cpu: setup.cpu,
+            gather_fraction,
             last_ns: 0,
             busy_core_ns: 0,
         }
@@ -495,7 +622,10 @@ impl VirtualNode {
                 break;
             };
             self.busy += 1;
-            let service = cost.cpu_request_us(&self.cpu, b.items as usize, self.busy);
+            let service = match self.gather_fraction {
+                Some(f) => cost.shard_gather_request_us(&self.cpu, b.items as usize, self.busy, f),
+                None => cost.cpu_request_us(&self.cpu, b.items as usize, self.busy),
+            };
             events.push(
                 now + us_to_ns(service),
                 Ev::CpuDone {
@@ -526,11 +656,19 @@ impl VirtualNode {
 /// Serves `queries` across `setups.len()` nodes behind `router` in
 /// deterministic virtual time. The single-node [`crate::Server`] and
 /// the N-node [`crate::Cluster`] are both thin fronts over this loop.
+///
+/// With `shard` set, every arrival fans out to each shard-holding
+/// node (which gathers its local tables' share), and the query
+/// completes one exchange + dense-tail delay after its last partial —
+/// partial-completion ties break by [`NodeId`] because arrivals push
+/// partials in id order and the event queue is FIFO within a
+/// timestamp, so runs stay byte-deterministic per seed.
 pub(crate) fn serve_virtual_multi(
     cost: &ModelCost,
     setups: &[NodeSetup],
     opts: &ServerOptions,
     mut router: Router,
+    shard: Option<&ShardGeometry>,
     queries: &[Query],
 ) -> ServerReport {
     assert!(!queries.is_empty(), "no queries to serve");
@@ -538,11 +676,38 @@ pub(crate) fn serve_virtual_multi(
     let mut stats = StreamStats::new(queries.len(), opts.warmup_frac);
     let mut nodes: Vec<VirtualNode> = setups
         .iter()
-        .map(|s| VirtualNode::new(cost, s, opts))
+        .enumerate()
+        .map(|(i, s)| {
+            let fraction = shard.map(|sh| sh.gather_fraction(i));
+            VirtualNode::new(cost, s, opts, fraction)
+        })
         .collect();
     let mut events: EventQueue<Ev> = EventQueue::new();
     for (idx, q) in queries.iter().enumerate() {
         events.push(secs_to_ns(q.arrival_s), Ev::Arrival { idx });
+    }
+
+    // Queues freshly formed batches on node `n`, scheduling a coalesce
+    // flush when the arrival opened a fresh buffer.
+    #[allow(clippy::too_many_arguments)] // one call site's context, bundled
+    fn queue_on(
+        nodes: &mut [VirtualNode],
+        n: usize,
+        batches: Vec<Batch>,
+        deadline_before: Option<SimTime>,
+        queue_bound: usize,
+        now: SimTime,
+        cost: &ModelCost,
+        events: &mut EventQueue<Ev>,
+    ) {
+        nodes[n].enqueue(batches, queue_bound);
+        // Schedule a flush only when this arrival opened a fresh
+        // coalesce buffer; an unchanged deadline already has its event.
+        match nodes[n].core.batcher.deadline() {
+            Some(d) if deadline_before != Some(d) => events.push(d, Ev::Coalesce { node: n }),
+            _ => {}
+        }
+        nodes[n].dispatch(now, cost, n, events);
     }
 
     let mut end_ns: SimTime = 0;
@@ -551,30 +716,76 @@ pub(crate) fn serve_virtual_multi(
         let touched = match ev {
             Ev::Arrival { idx } => {
                 let q = &queries[idx];
-                let NodeId(n) = router.route(q.size);
-                nodes[n].advance(now);
-                let measured = stats.note_arrival(now, q, n);
-                let deadline_before = nodes[n].core.batcher.deadline();
-                match nodes[n].core.on_arrival(now, q) {
-                    Route::Gpu(done) => {
-                        stats.note_gpu_items(measured, q.size);
-                        events.push(done, Ev::GpuDone { node: n, qid: q.id });
-                    }
-                    Route::Cpu(batches) => {
-                        nodes[n].enqueue(batches, queue_bound);
-                        // Schedule a flush only when this arrival opened
-                        // a fresh coalesce buffer; an unchanged deadline
-                        // already has its event.
-                        match nodes[n].core.batcher.deadline() {
-                            Some(d) if deadline_before != Some(d) => {
-                                events.push(d, Ev::Coalesce { node: n })
-                            }
-                            _ => {}
+                let NodeId(home) = router.route(q.size);
+                match shard {
+                    Some(sh) => {
+                        // Fan the query to every shard node; the home
+                        // (router-chosen) merges after the exchange.
+                        // The fabric-only share feeds the exchange
+                        // counters; a peer-less plan exchanges nothing
+                        // but still pays its dense tail at merge.
+                        let exchange_us = sh.exchange_us(home, q.size);
+                        let exchange_ns = if exchange_us > 0.0 {
+                            us_to_ns(exchange_us)
+                        } else {
+                            0
+                        };
+                        let merge_ns =
+                            us_to_ns(sh.merge_delay_us(cost, &setups[home].cpu, home, q.size));
+                        stats.note_arrival_sharded(
+                            now,
+                            q,
+                            home,
+                            sh.shard_nodes().len() as u32,
+                            exchange_ns,
+                            merge_ns,
+                        );
+                        // The home node's controller owns the query's
+                        // control signal (arrival accounting here,
+                        // completion at merge time).
+                        nodes[home].core.note_controller_arrival(now);
+                        for &n in sh.shard_nodes() {
+                            nodes[n].advance(now);
+                            let deadline_before = nodes[n].core.batcher.deadline();
+                            let batches = nodes[n].core.on_partial_arrival(now, q);
+                            queue_on(
+                                &mut nodes,
+                                n,
+                                batches,
+                                deadline_before,
+                                queue_bound,
+                                now,
+                                cost,
+                                &mut events,
+                            );
                         }
-                        nodes[n].dispatch(now, cost, n, &mut events);
+                    }
+                    None => {
+                        let n = home;
+                        nodes[n].advance(now);
+                        let measured = stats.note_arrival(now, q, n);
+                        let deadline_before = nodes[n].core.batcher.deadline();
+                        match nodes[n].core.on_arrival(now, q) {
+                            Route::Gpu(done) => {
+                                stats.note_gpu_items(measured, q.size);
+                                events.push(done, Ev::GpuDone { node: n, qid: q.id });
+                            }
+                            Route::Cpu(batches) => {
+                                queue_on(
+                                    &mut nodes,
+                                    n,
+                                    batches,
+                                    deadline_before,
+                                    queue_bound,
+                                    now,
+                                    cost,
+                                    &mut events,
+                                );
+                            }
+                        }
                     }
                 }
-                n
+                home
             }
             Ev::Coalesce { node: n } => {
                 nodes[n].advance(now);
@@ -591,10 +802,20 @@ pub(crate) fn serve_virtual_multi(
                 nodes[n].busy -= 1;
                 let b = nodes[n].inflight.remove(&batch).expect("known batch");
                 for seg in &b.segments {
-                    if let Some(f) = stats.complete_items(now, seg.query_id, seg.items) {
-                        let settled = nodes[f.node].core.on_query_done(now, f.latency_ms);
-                        stats.record(now, &f, settled);
-                        router.complete(NodeId(f.node));
+                    match stats.credit_items(now, seg.query_id, seg.items) {
+                        Credit::Pending => {}
+                        Credit::Done(f) => {
+                            let settled = nodes[f.node].core.on_query_done(now, f.latency_ms);
+                            stats.record(now, &f, settled);
+                            router.complete(NodeId(f.node));
+                        }
+                        Credit::AwaitExchange { home, delay } => events.push(
+                            now + delay,
+                            Ev::ExchangeDone {
+                                node: home,
+                                qid: seg.query_id,
+                            },
+                        ),
                     }
                 }
                 nodes[n].dispatch(now, cost, n, &mut events);
@@ -603,11 +824,26 @@ pub(crate) fn serve_virtual_multi(
             Ev::GpuDone { node: n, qid } => {
                 nodes[n].advance(now);
                 let items = stats.remaining_items(qid);
-                if let Some(f) = stats.complete_items(now, qid, items) {
-                    let settled = nodes[f.node].core.on_query_done(now, f.latency_ms);
-                    stats.record(now, &f, settled);
-                    router.complete(NodeId(f.node));
+                match stats.credit_items(now, qid, items) {
+                    Credit::Pending => {}
+                    Credit::Done(f) => {
+                        let settled = nodes[f.node].core.on_query_done(now, f.latency_ms);
+                        stats.record(now, &f, settled);
+                        router.complete(NodeId(f.node));
+                    }
+                    Credit::AwaitExchange { .. } => {
+                        unreachable!("GPU offload never serves sharded queries")
+                    }
                 }
+                n
+            }
+            Ev::ExchangeDone { node: n, qid } => {
+                nodes[n].advance(now);
+                let f = stats.finish_exchanged(now, qid);
+                debug_assert_eq!(f.node, n, "merge fired at a non-home node");
+                let settled = nodes[f.node].core.on_query_done(now, f.latency_ms);
+                stats.record(now, &f, settled);
+                router.complete(NodeId(f.node));
                 n
             }
         };

@@ -67,8 +67,19 @@ pub struct ServerReport {
     /// The controller's threshold-phase observations.
     pub threshold_trajectory: Vec<(u32, f64)>,
     /// Queries the front-end router dispatched to each node, in
-    /// `NodeId` order (a single server reports one entry).
+    /// `NodeId` order (a single server reports one entry). On a
+    /// sharded cluster this counts merge homes; every query
+    /// additionally fans partials to all shard nodes.
     pub node_queries: Vec<u64>,
+    /// Measured queries that paid a cross-node shard exchange — zero
+    /// when the model serves whole *or* the plan landed on a single
+    /// node (no remote peers, nothing crosses the fabric).
+    pub exchanged_queries: u64,
+    /// Mean cross-node exchange delay per exchanged query,
+    /// milliseconds: fabric round-trip + per-peer merges + payload
+    /// wire time. The home's local dense tail is excluded — this is
+    /// purely the scale-out price of the shard plan's geometry.
+    pub mean_exchange_ms: f64,
     /// Per-query latencies in milliseconds (measurement window only),
     /// in completion order.
     pub latencies_ms: Vec<f64>,
@@ -158,6 +169,8 @@ mod tests {
             batch_trajectory: Vec::new(),
             threshold_trajectory: Vec::new(),
             node_queries: vec![1000],
+            exchanged_queries: 0,
+            mean_exchange_ms: 0.0,
             latencies_ms: Vec::new(),
         };
         assert!(r.meets_sla(100.0));

@@ -227,7 +227,14 @@ impl Server {
             0,
             self.opts.seed,
         );
-        node::serve_virtual_multi(&self.cost, &[self.setup()], &self.opts, router, queries)
+        node::serve_virtual_multi(
+            &self.cost,
+            &[self.setup()],
+            &self.opts,
+            router,
+            None,
+            queries,
+        )
     }
 
     /// Replays a recorded [`Trace`] through the virtual-time serving
@@ -507,10 +514,16 @@ impl RealRuntime {
     }
 
     fn finish_items(&mut self, now: SimTime, qid: u64, items: u32) {
-        if let Some(f) = self.stats.complete_items(now, qid, items) {
-            let settled = self.node.on_query_done(now, f.latency_ms);
-            self.stats.record(now, &f, settled);
-            self.outstanding -= 1;
+        match self.stats.credit_items(now, qid, items) {
+            node::Credit::Pending => {}
+            node::Credit::Done(f) => {
+                let settled = self.node.on_query_done(now, f.latency_ms);
+                self.stats.record(now, &f, settled);
+                self.outstanding -= 1;
+            }
+            node::Credit::AwaitExchange { .. } => {
+                unreachable!("single-node serving never shards")
+            }
         }
     }
 }

@@ -1,0 +1,535 @@
+//! Table placement under per-node memory budgets, and the exchange
+//! geometry the resulting plan implies.
+
+use drs_core::{ClusterTopology, NodeId};
+use drs_models::ModelConfig;
+use drs_platform::{CpuPlatform, InterconnectModel, ModelCost};
+use std::fmt;
+
+/// How tables are packed onto nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlacementPolicy {
+    /// First-fit-decreasing bin-packing by table *size*: biggest
+    /// tables first, each onto the lowest-[`NodeId`] node with room.
+    /// Minimizes the nodes touched, but concentrates the hot tables —
+    /// and with them the gather traffic — on the early nodes.
+    SizeGreedy,
+    /// Balance per-node *gather traffic*: tables sorted by access
+    /// weight (`lookups × dim × 4` bytes touched per scored item, from
+    /// `drs-models`), each placed on the node with the least
+    /// accumulated weight that still has memory room. Evens out the
+    /// per-query work every shard contributes, which is what bounds
+    /// the fork-join critical path.
+    LookupBalanced,
+}
+
+impl PlacementPolicy {
+    /// Short label for tables and figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlacementPolicy::SizeGreedy => "size-greedy",
+            PlacementPolicy::LookupBalanced => "lookup-balanced",
+        }
+    }
+}
+
+/// Why a placement attempt failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementError {
+    /// A table found no node with enough remaining memory. Carries the
+    /// model, the offending table, its size, and the fleet's total
+    /// budget for context.
+    Capacity {
+        /// Model whose placement failed.
+        model: &'static str,
+        /// Index of the table that found no home.
+        table: usize,
+        /// That table's paper-scale bytes.
+        table_bytes: u64,
+        /// Sum of all tables' bytes.
+        model_bytes: u64,
+        /// Sum of all nodes' `mem_bytes`.
+        fleet_bytes: u64,
+    },
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::Capacity {
+                model,
+                table,
+                table_bytes,
+                model_bytes,
+                fleet_bytes,
+            } => write!(
+                f,
+                "{model}: table {table} ({:.2} GB) fits no node; model needs {:.2} GB, \
+                 fleet offers {:.2} GB",
+                *table_bytes as f64 / 1e9,
+                *model_bytes as f64 / 1e9,
+                *fleet_bytes as f64 / 1e9,
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// A table-wise partitioning of one model's embedding tables across a
+/// cluster, produced by [`ShardPlan::place`].
+///
+/// Every table is assigned to exactly one node (by construction — the
+/// assignment is a total map), and per-node bytes never exceed the
+/// node's `mem_bytes` (tested by property). The plan also precomputes
+/// the quantities serving needs per query: each shard node's share of
+/// the gather traffic, and the pooled payload that must travel to a
+/// merge home.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPlan {
+    policy: PlacementPolicy,
+    /// Table `t` lives on node `assignment[t]`.
+    assignment: Vec<NodeId>,
+    node_count: usize,
+    /// Paper-scale storage bytes per table.
+    table_bytes: Vec<u64>,
+    /// Gather traffic per scored item per table (the access weight).
+    gather_bytes: Vec<u64>,
+    /// Pooled exchange payload per scored item per table.
+    pooled_bytes: Vec<u64>,
+}
+
+impl ShardPlan {
+    /// Partitions `cfg`'s tables across `topology`'s nodes under each
+    /// node's `mem_bytes` budget. Sizes are **paper scale**
+    /// ([`drs_models::TableConfig::bytes`]) — capacity planning must
+    /// reason about the real footprint even when experiments
+    /// instantiate capped weights.
+    ///
+    /// Deterministic: ties in both sort orders break by table index,
+    /// ties between equally-loaded nodes by the smaller [`NodeId`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has no tables.
+    pub fn place(
+        cfg: &ModelConfig,
+        topology: &ClusterTopology,
+        policy: PlacementPolicy,
+    ) -> Result<ShardPlan, PlacementError> {
+        assert!(
+            !cfg.tables.is_empty(),
+            "{}: cannot shard a model without embedding tables",
+            cfg.name
+        );
+        let table_bytes: Vec<u64> = cfg.tables.iter().map(|t| t.bytes()).collect();
+        let gather_bytes: Vec<u64> = cfg
+            .tables
+            .iter()
+            .map(|t| t.gather_bytes_per_item())
+            .collect();
+        let pooled_bytes: Vec<u64> = (0..cfg.tables.len())
+            .map(|i| cfg.pooled_bytes_per_item(i))
+            .collect();
+
+        // Placement order: the policy's key, descending, ties by table
+        // index ascending so runs are reproducible.
+        let mut order: Vec<usize> = (0..cfg.tables.len()).collect();
+        let key: &[u64] = match policy {
+            PlacementPolicy::SizeGreedy => &table_bytes,
+            PlacementPolicy::LookupBalanced => &gather_bytes,
+        };
+        order.sort_by_key(|&t| (std::cmp::Reverse(key[t]), t));
+
+        let mut free: Vec<u64> = topology.nodes().iter().map(|n| n.mem_bytes).collect();
+        let mut load: Vec<u64> = vec![0; free.len()]; // accumulated gather weight
+        let mut assignment: Vec<Option<NodeId>> = vec![None; cfg.tables.len()];
+        for &t in &order {
+            let pick = match policy {
+                PlacementPolicy::SizeGreedy => {
+                    // First fit: lowest NodeId with room.
+                    (0..free.len()).find(|&n| free[n] >= table_bytes[t])
+                }
+                PlacementPolicy::LookupBalanced => {
+                    // Least-loaded by gather weight among nodes with
+                    // room; id-order scan keeps ties deterministic.
+                    (0..free.len())
+                        .filter(|&n| free[n] >= table_bytes[t])
+                        .min_by_key(|&n| (load[n], n))
+                }
+            };
+            let Some(n) = pick else {
+                return Err(PlacementError::Capacity {
+                    model: cfg.name,
+                    table: t,
+                    table_bytes: table_bytes[t],
+                    model_bytes: table_bytes.iter().sum(),
+                    fleet_bytes: topology.nodes().iter().map(|n| n.mem_bytes).sum(),
+                });
+            };
+            free[n] -= table_bytes[t];
+            load[n] += gather_bytes[t];
+            assignment[t] = Some(NodeId(n));
+        }
+
+        Ok(ShardPlan {
+            policy,
+            assignment: assignment.into_iter().map(|a| a.expect("placed")).collect(),
+            node_count: topology.len(),
+            table_bytes,
+            gather_bytes,
+            pooled_bytes,
+        })
+    }
+
+    /// The policy that produced this plan.
+    pub fn policy(&self) -> PlacementPolicy {
+        self.policy
+    }
+
+    /// Which node each table lives on, in table order.
+    pub fn assignment(&self) -> &[NodeId] {
+        &self.assignment
+    }
+
+    /// Tables covered by the plan.
+    pub fn num_tables(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Nodes of the planned topology (shard-holding or not).
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Nodes holding at least one table, ascending by [`NodeId`] —
+    /// the set every query must reach.
+    pub fn shard_nodes(&self) -> Vec<NodeId> {
+        let mask = self.shard_mask();
+        (0..self.node_count)
+            .filter(|&n| mask[n])
+            .map(NodeId)
+            .collect()
+    }
+
+    /// Per-node shard presence, in [`NodeId`] order — the shape the
+    /// router consumes.
+    pub fn shard_mask(&self) -> Vec<bool> {
+        let mut mask = vec![false; self.node_count];
+        for &NodeId(n) in &self.assignment {
+            mask[n] = true;
+        }
+        mask
+    }
+
+    /// Whether the plan actually spans more than one node.
+    pub fn is_sharded(&self) -> bool {
+        self.shard_nodes().len() > 1
+    }
+
+    /// Global table indices on `node`, ascending.
+    pub fn tables_on(&self, node: NodeId) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a == node)
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    /// Paper-scale table bytes resident on `node`.
+    pub fn bytes_on(&self, node: NodeId) -> u64 {
+        self.assignment
+            .iter()
+            .zip(&self.table_bytes)
+            .filter(|&(&a, _)| a == node)
+            .map(|(_, &b)| b)
+            .sum()
+    }
+
+    /// `node`'s share of the model's per-item gather traffic, in
+    /// `[0, 1]` — the scale factor for its partial-request service
+    /// time ([`drs_platform::ModelCost::shard_gather_request_us`]).
+    pub fn gather_fraction(&self, node: NodeId) -> f64 {
+        let total: u64 = self.gather_bytes.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let local: u64 = self
+            .assignment
+            .iter()
+            .zip(&self.gather_bytes)
+            .filter(|&(&a, _)| a == node)
+            .map(|(_, &g)| g)
+            .sum();
+        local as f64 / total as f64
+    }
+
+    /// Pooled partial bytes per scored item that must travel to `home`
+    /// from the other shards — the exchange payload priced by
+    /// [`drs_platform::InterconnectModel::exchange_us`].
+    pub fn exchange_payload_bytes_per_item(&self, home: NodeId) -> f64 {
+        self.assignment
+            .iter()
+            .zip(&self.pooled_bytes)
+            .filter(|&(&a, _)| a != home)
+            .map(|(_, &p)| p as f64)
+            .sum()
+    }
+
+    /// Remote shard peers a query merging at `home` gathers from.
+    pub fn peers(&self, home: NodeId) -> usize {
+        let nodes = self.shard_nodes();
+        nodes.len() - usize::from(nodes.contains(&home))
+    }
+
+    /// The table → dense-shard-index map for
+    /// `drs_nn::ShardedEmbeddingSet::new`: shard `i` is the `i`-th
+    /// shard-holding node in [`NodeId`] order.
+    pub fn dense_assignment(&self) -> Vec<usize> {
+        let nodes = self.shard_nodes();
+        self.assignment
+            .iter()
+            .map(|a| nodes.iter().position(|n| n == a).expect("shard node"))
+            .collect()
+    }
+
+    /// Precomputes the per-node serving geometry of this plan over a
+    /// fabric — the flat vectors a serving loop indexes per query.
+    pub fn geometry(&self, net: InterconnectModel) -> ShardGeometry {
+        let n = self.node_count;
+        ShardGeometry {
+            shard_nodes: self.shard_nodes().iter().map(|&NodeId(i)| i).collect(),
+            gather_fraction: (0..n).map(|i| self.gather_fraction(NodeId(i))).collect(),
+            peers: (0..n).map(|i| self.peers(NodeId(i))).collect(),
+            payload_per_item: (0..n)
+                .map(|i| self.exchange_payload_bytes_per_item(NodeId(i)))
+                .collect(),
+            net,
+        }
+    }
+
+    /// One-line description for tables and logs.
+    pub fn summary(&self) -> String {
+        let nodes = self.shard_nodes();
+        let per_node: Vec<String> = nodes
+            .iter()
+            .map(|&n| {
+                format!(
+                    "{n}:{:.1}GB/{:.0}%",
+                    self.bytes_on(n) as f64 / 1e9,
+                    100.0 * self.gather_fraction(n)
+                )
+            })
+            .collect();
+        format!(
+            "{} over {} nodes [{}]",
+            self.policy.label(),
+            nodes.len(),
+            per_node.join(" ")
+        )
+    }
+}
+
+/// The per-node serving geometry of a [`ShardPlan`] over one fabric,
+/// precomputed once so serving loops index flat vectors per query.
+/// Both the discrete-event simulator and the serving cluster consume
+/// this one type, so the exchange composition cannot drift between
+/// execution layers.
+#[derive(Debug, Clone)]
+pub struct ShardGeometry {
+    /// Shard-holding node indices, ascending — the fan-out set.
+    shard_nodes: Vec<usize>,
+    /// Per-node share of the model's gather traffic.
+    gather_fraction: Vec<f64>,
+    /// Per-home remote peers to gather from.
+    peers: Vec<usize>,
+    /// Per-home pooled payload bytes per item crossing the fabric.
+    payload_per_item: Vec<f64>,
+    net: InterconnectModel,
+}
+
+impl ShardGeometry {
+    /// Shard-holding node indices, ascending — every query fans a
+    /// gather partial to each of these.
+    pub fn shard_nodes(&self) -> &[usize] {
+        &self.shard_nodes
+    }
+
+    /// `node`'s share of the model's gather traffic.
+    pub fn gather_fraction(&self, node: usize) -> f64 {
+        self.gather_fraction[node]
+    }
+
+    /// Cross-node exchange time for a query of `size` items merging at
+    /// `home`, microseconds — zero when the plan has no remote peers.
+    pub fn exchange_us(&self, home: usize, size: u32) -> f64 {
+        self.net
+            .exchange_us(self.peers[home], self.payload_per_item[home] * size as f64)
+    }
+
+    /// Full merge delay for a query of `size` items at `home`,
+    /// microseconds: the cross-node exchange plus the dense tail
+    /// (interaction + predictor stacks) the home runs on the merged
+    /// features.
+    pub fn merge_delay_us(
+        &self,
+        cost: &ModelCost,
+        cpu: &CpuPlatform,
+        home: usize,
+        size: u32,
+    ) -> f64 {
+        self.exchange_us(home, size) + cost.dense_tail_us(cpu, size as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drs_core::NodeSpec;
+    use drs_models::zoo;
+
+    fn fleet(n: usize, gib: u64) -> ClusterTopology {
+        ClusterTopology::new(vec![
+            NodeSpec::cpu_only(CpuPlatform::skylake())
+                .with_mem_bytes(gib << 30);
+            n
+        ])
+    }
+
+    #[test]
+    fn rmc2_needs_two_16gib_nodes() {
+        let cfg = zoo::dlrm_rmc2(); // 40 x 5M x 32 x 4B = 25.6 GB
+        let err = ShardPlan::place(&cfg, &fleet(1, 16), PlacementPolicy::SizeGreedy).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("DLRM-RMC2"), "{msg}");
+        let plan = ShardPlan::place(&cfg, &fleet(2, 16), PlacementPolicy::SizeGreedy).unwrap();
+        assert!(plan.is_sharded());
+        assert_eq!(plan.shard_nodes(), vec![NodeId(0), NodeId(1)]);
+        let total: u64 = (0..2).map(|n| plan.bytes_on(NodeId(n))).sum();
+        assert_eq!(total, cfg.embedding_bytes());
+    }
+
+    #[test]
+    fn capacity_respected_on_every_node() {
+        let cfg = zoo::dlrm_rmc2();
+        for policy in [PlacementPolicy::SizeGreedy, PlacementPolicy::LookupBalanced] {
+            let topo = fleet(4, 8);
+            let plan = ShardPlan::place(&cfg, &topo, policy).unwrap();
+            for (n, spec) in topo.nodes().iter().enumerate() {
+                assert!(
+                    plan.bytes_on(NodeId(n)) <= spec.mem_bytes,
+                    "{policy:?} overfills node {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_balanced_evens_gather_fractions() {
+        // RMC2's 40 identical tables over 4 roomy nodes: the balanced
+        // policy splits the gather traffic evenly; size-greedy
+        // first-fit crams everything onto node 0.
+        let cfg = zoo::dlrm_rmc2();
+        let topo = fleet(4, 32);
+        let bal = ShardPlan::place(&cfg, &topo, PlacementPolicy::LookupBalanced).unwrap();
+        for n in 0..4 {
+            let f = bal.gather_fraction(NodeId(n));
+            assert!((f - 0.25).abs() < 0.01, "node {n} fraction {f}");
+        }
+        let greedy = ShardPlan::place(&cfg, &topo, PlacementPolicy::SizeGreedy).unwrap();
+        assert!(
+            greedy.gather_fraction(NodeId(0)) > 0.9,
+            "first-fit concentrates on node 0"
+        );
+        assert!(!greedy.is_sharded());
+    }
+
+    #[test]
+    fn exchange_geometry() {
+        let cfg = zoo::dlrm_rmc2();
+        let plan = ShardPlan::place(&cfg, &fleet(4, 8), PlacementPolicy::LookupBalanced).unwrap();
+        assert_eq!(plan.shard_nodes().len(), 4);
+        let home = NodeId(0);
+        assert_eq!(plan.peers(home), 3);
+        // Sum pooling: every remote table ships one 32-dim f32 row per
+        // item. 30 remote tables x 128 bytes.
+        let remote_tables = 40 - plan.tables_on(home).len();
+        assert_eq!(
+            plan.exchange_payload_bytes_per_item(home),
+            (remote_tables * 32 * 4) as f64
+        );
+        // Every shard node sees the same peer count in a full spread.
+        assert_eq!(plan.peers(NodeId(3)), 3);
+        // Gather fractions over shard nodes sum to 1.
+        let sum: f64 = plan
+            .shard_nodes()
+            .iter()
+            .map(|&n| plan.gather_fraction(n))
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_assignment_matches_shard_order() {
+        let cfg = zoo::dlrm_rmc1(); // 10 tables, 6.4 GB
+        let plan = ShardPlan::place(&cfg, &fleet(3, 3), PlacementPolicy::LookupBalanced).unwrap();
+        let dense = plan.dense_assignment();
+        assert_eq!(dense.len(), 10);
+        let nodes = plan.shard_nodes();
+        for (t, &d) in dense.iter().enumerate() {
+            assert_eq!(nodes[d], plan.assignment()[t]);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let cfg = zoo::din();
+        let a = ShardPlan::place(&cfg, &fleet(4, 32), PlacementPolicy::LookupBalanced).unwrap();
+        let b = ShardPlan::place(&cfg, &fleet(4, 32), PlacementPolicy::LookupBalanced).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_node_plan_has_no_exchange() {
+        let cfg = zoo::ncf();
+        let plan = ShardPlan::place(&cfg, &fleet(1, 64), PlacementPolicy::SizeGreedy).unwrap();
+        assert!(!plan.is_sharded());
+        assert_eq!(plan.peers(NodeId(0)), 0);
+        assert_eq!(plan.exchange_payload_bytes_per_item(NodeId(0)), 0.0);
+        assert_eq!(plan.gather_fraction(NodeId(0)), 1.0);
+    }
+
+    #[test]
+    fn geometry_mirrors_the_plan() {
+        let cfg = zoo::dlrm_rmc2();
+        let plan = ShardPlan::place(&cfg, &fleet(4, 8), PlacementPolicy::LookupBalanced).unwrap();
+        let geo = plan.geometry(InterconnectModel::datacenter_100g());
+        assert_eq!(geo.shard_nodes(), &[0, 1, 2, 3]);
+        for n in 0..4 {
+            assert_eq!(geo.gather_fraction(n), plan.gather_fraction(NodeId(n)));
+        }
+        // Exchange scales with query size; merge adds the dense tail.
+        let cost = ModelCost::new(&cfg);
+        let cpu = CpuPlatform::skylake();
+        assert!(geo.exchange_us(0, 200) > geo.exchange_us(0, 10));
+        assert!(
+            geo.merge_delay_us(&cost, &cpu, 0, 64)
+                > geo.exchange_us(0, 64) + 0.9 * cost.dense_tail_us(&cpu, 64)
+        );
+        // A single-node plan has a zero exchange but a real dense tail.
+        let single = ShardPlan::place(&cfg, &fleet(1, 64), PlacementPolicy::SizeGreedy).unwrap();
+        let sgeo = single.geometry(InterconnectModel::datacenter_100g());
+        assert_eq!(sgeo.exchange_us(0, 500), 0.0);
+        assert!(sgeo.merge_delay_us(&cost, &cpu, 0, 500) > 0.0);
+    }
+
+    #[test]
+    fn summary_is_informative() {
+        let cfg = zoo::dlrm_rmc2();
+        let plan = ShardPlan::place(&cfg, &fleet(2, 16), PlacementPolicy::LookupBalanced).unwrap();
+        let s = plan.summary();
+        assert!(s.contains("lookup-balanced"), "{s}");
+        assert!(s.contains("2 nodes"), "{s}");
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based contracts of the placement layer: any plan the
+//! planner emits must respect every node's memory budget and cover
+//! every table exactly once — for both policies, over arbitrary table
+//! geometries and fleet shapes.
+
+use drs_core::{ClusterTopology, NodeId, NodeSpec};
+use drs_models::{InteractionKind, ModelConfig, PoolingKind, TableConfig};
+use drs_platform::CpuPlatform;
+use drs_shard::{PlacementPolicy, ShardPlan};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic sum-pooled model with `num_tables` random tables.
+fn model(seed: u64, num_tables: usize) -> ModelConfig {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tables = (0..num_tables)
+        .map(|_| {
+            TableConfig::multi_hot(
+                rng.gen_range(1_000..3_000_000),
+                [16, 32, 64][rng.gen_range(0..3usize)],
+                rng.gen_range(1..120),
+            )
+        })
+        .collect();
+    ModelConfig {
+        name: "prop-shard",
+        domain: "-",
+        dense_input_dim: 16,
+        dense_fc: vec![32, 8],
+        predict_fc: vec![8, 1],
+        num_tasks: 1,
+        tables,
+        pooling: PoolingKind::Sum,
+        interaction: InteractionKind::Concat,
+        attention_hidden: 0,
+        gru_hidden: 0,
+        sla_ms: 100.0,
+        paper_bottleneck: "-",
+    }
+}
+
+/// A fleet whose nodes get random memory budgets in `[lo, hi]` MB.
+fn fleet(seed: u64, nodes: usize, lo_mb: u64, hi_mb: u64) -> ClusterTopology {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A);
+    ClusterTopology::new(
+        (0..nodes)
+            .map(|_| {
+                NodeSpec::cpu_only(CpuPlatform::skylake())
+                    .with_mem_bytes(rng.gen_range(lo_mb..=hi_mb) * (1 << 20))
+            })
+            .collect(),
+    )
+}
+
+proptest! {
+    // Case budget audited so the whole workspace suite stays fast in
+    // debug CI; raise at runtime with PROPTEST_CASES for a deeper soak.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every successful plan (a) covers each table exactly once —
+    /// the assignment is total by type, and the per-node table lists
+    /// partition the index set — and (b) keeps each node's resident
+    /// bytes within its `mem_bytes` budget.
+    #[test]
+    fn plans_respect_capacity_and_cover_tables(
+        seed in 0u64..500,
+        num_tables in 1usize..32,
+        nodes in 1usize..7,
+        policy_bit in 0u8..2,
+    ) {
+        let cfg = model(seed, num_tables);
+        let topo = fleet(seed, nodes, 200, 2_000);
+        let policy = if policy_bit == 0 {
+            PlacementPolicy::SizeGreedy
+        } else {
+            PlacementPolicy::LookupBalanced
+        };
+        let Ok(plan) = ShardPlan::place(&cfg, &topo, policy) else {
+            // Infeasible geometry: nothing to check — feasibility is
+            // the planner's to refuse, not to fudge.
+            return Ok(());
+        };
+
+        // (a) every table exactly once.
+        prop_assert_eq!(plan.assignment().len(), num_tables);
+        let mut seen = vec![false; num_tables];
+        for n in 0..topo.len() {
+            for t in plan.tables_on(NodeId(n)) {
+                prop_assert!(!seen[t], "table {} placed twice", t);
+                seen[t] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "a table was never placed");
+
+        // (b) per-node bytes within budget, and totals conserved.
+        let mut total = 0u64;
+        for (n, spec) in topo.nodes().iter().enumerate() {
+            let bytes = plan.bytes_on(NodeId(n));
+            prop_assert!(
+                bytes <= spec.mem_bytes,
+                "node {} holds {} of {} budget", n, bytes, spec.mem_bytes
+            );
+            total += bytes;
+        }
+        prop_assert_eq!(total, cfg.embedding_bytes());
+
+        // Derived exchange geometry stays consistent.
+        let fractions: f64 = plan
+            .shard_nodes()
+            .iter()
+            .map(|&n| plan.gather_fraction(n))
+            .sum();
+        prop_assert!((fractions - 1.0).abs() < 1e-9);
+        for &home in &plan.shard_nodes() {
+            let peers = plan.peers(home);
+            prop_assert_eq!(peers, plan.shard_nodes().len() - 1);
+            if peers == 0 {
+                prop_assert_eq!(plan.exchange_payload_bytes_per_item(home), 0.0);
+            }
+        }
+    }
+
+    /// When the model genuinely exceeds the fleet's aggregate memory,
+    /// placement must fail rather than overfill.
+    #[test]
+    fn oversubscribed_fleet_is_refused(seed in 0u64..200, nodes in 1usize..5) {
+        let cfg = model(seed, 24);
+        if cfg.embedding_bytes() == 0 {
+            return Ok(());
+        }
+        // Budget the fleet strictly below the model's footprint.
+        let per_node = (cfg.embedding_bytes() / nodes as u64 / 2).max(1);
+        let topo = ClusterTopology::new(vec![
+            NodeSpec::cpu_only(CpuPlatform::skylake())
+                .with_mem_bytes(per_node);
+            nodes
+        ]);
+        for policy in [PlacementPolicy::SizeGreedy, PlacementPolicy::LookupBalanced] {
+            prop_assert!(ShardPlan::place(&cfg, &topo, policy).is_err());
+        }
+    }
+}

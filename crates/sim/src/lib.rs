@@ -56,15 +56,8 @@ mod runner;
 // The scheduling/report/event vocabulary lives in `drs-core` so the
 // offline tuner and the open-loop server (`drs-server`) share it
 // without depending on this simulator; re-exported here so existing
-// `drs_sim::` paths keep working.
+// `drs_sim::` paths keep working. (`ClusterConfig` also lives there —
+// its deprecated re-export here was removed once every in-repo caller
+// migrated to `drs_core::ClusterConfig`.)
 pub use drs_core::{EventQueue, SchedulerPolicy, SimReport, SimTime, NS_PER_SEC};
 pub use runner::{RunOptions, Simulation};
-
-/// The cluster hardware description, moved down to [`drs_core`] so the
-/// serving runtime and the tuner can speak it without depending on the
-/// simulator.
-#[deprecated(
-    since = "0.1.0",
-    note = "ClusterConfig moved to drs-core; import it from `drs_core` (or the deeprecsys prelude)"
-)]
-pub use drs_core::ClusterConfig;

@@ -1,13 +1,14 @@
 //! The simulation loop.
 
 use drs_core::{
-    secs_to_ns, stream_offered_qps, us_to_ns, ClusterConfig, ClusterTopology, EventQueue, NodeSpec,
-    SchedulerPolicy, ServingStack, SimReport, SimTime, NS_PER_SEC,
+    secs_to_ns, stream_offered_qps, us_to_ns, ClusterConfig, ClusterTopology, EventQueue, NodeId,
+    NodeSpec, SchedulerPolicy, ServingStack, SimReport, SimTime, NS_PER_SEC,
 };
 use drs_metrics::LatencyRecorder;
 use drs_models::ModelConfig;
-use drs_platform::{CpuPlatform, GpuPlatform, ModelCost};
+use drs_platform::{CpuPlatform, GpuPlatform, InterconnectModel, ModelCost};
 use drs_query::{split_query, QueryGenerator};
+use drs_shard::{ShardGeometry, ShardPlan};
 use std::collections::{HashMap, VecDeque};
 
 /// Length and measurement parameters of one simulation window.
@@ -84,13 +85,29 @@ struct QueryState {
     arrival_ns: SimTime,
     parts_left: u32,
     measured: bool,
+    /// Exchange + merge delay once the last shard partial lands
+    /// (0 = unsharded: complete with the last part).
+    merge_ns: SimTime,
 }
 
 #[derive(Debug, Clone, Copy)]
 enum Ev {
-    Arrival { qid: u64, size: u32 },
-    CpuDone { machine: usize, qid: u64 },
-    GpuDone { machine: usize, qid: u64 },
+    Arrival {
+        qid: u64,
+        size: u32,
+    },
+    CpuDone {
+        machine: usize,
+        qid: u64,
+    },
+    GpuDone {
+        machine: usize,
+        qid: u64,
+    },
+    /// A sharded query's exchange + merge at its home finished.
+    ExchangeDone {
+        qid: u64,
+    },
 }
 
 /// A configured simulation: model cost + cluster + scheduling policy.
@@ -104,6 +121,8 @@ pub struct Simulation {
     /// [`Simulation::with_topology`]).
     nodes: Vec<NodeSpec>,
     policy: SchedulerPolicy,
+    /// Table-wise shard geometry, when the model serves sharded.
+    shard: Option<ShardGeometry>,
 }
 
 impl Simulation {
@@ -143,7 +162,44 @@ impl Simulation {
             cost: ModelCost::new(cfg),
             nodes: topology.nodes().to_vec(),
             policy,
+            shard: None,
         }
+    }
+
+    /// Serves the model *sharded table-wise* per `plan`: every query
+    /// fans a gather partial to each shard-holding machine, and
+    /// completes one exchange + dense-tail delay (priced by `net` and
+    /// the cost model) after its last partial. The merge home is the
+    /// least-outstanding shard machine at arrival, ties toward the
+    /// smaller id — runs stay byte-deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was built for a different fleet shape,
+    /// overfills a node's memory, or the policy offloads (sharded
+    /// serving is CPU-path).
+    pub fn with_shard_plan(mut self, plan: &ShardPlan, net: InterconnectModel) -> Self {
+        assert_eq!(
+            plan.node_count(),
+            self.nodes.len(),
+            "shard plan covers {} nodes, simulation has {}",
+            plan.node_count(),
+            self.nodes.len()
+        );
+        assert!(
+            self.policy.gpu_threshold.is_none(),
+            "sharded serving is CPU-path: the policy must not offload"
+        );
+        for (n, spec) in self.nodes.iter().enumerate() {
+            assert!(
+                plan.bytes_on(NodeId(n)) <= spec.mem_bytes,
+                "plan overfills node {n}: {} > {} bytes",
+                plan.bytes_on(NodeId(n)),
+                spec.mem_bytes
+            );
+        }
+        self.shard = Some(plan.geometry(net));
+        self
     }
 
     /// Builds a simulation over a *heterogeneous* fleet — one CPU model
@@ -162,7 +218,14 @@ impl Simulation {
         assert!(!cpus.is_empty(), "a fleet needs machines");
         Self::with_topology(
             cfg,
-            ClusterTopology::new(cpus.into_iter().map(|cpu| NodeSpec { cpu, gpu }).collect()),
+            ClusterTopology::new(
+                cpus.into_iter()
+                    .map(|cpu| match gpu {
+                        Some(g) => NodeSpec::with_gpu(cpu, g),
+                        None => NodeSpec::cpu_only(cpu),
+                    })
+                    .collect(),
+            ),
             policy,
         )
     }
@@ -253,6 +316,7 @@ impl Simulation {
                     arrival_ns: t,
                     parts_left: 0,
                     measured: q.id >= warmup_n,
+                    merge_ns: 0,
                 },
             );
             events.push(
@@ -283,11 +347,6 @@ impl Simulation {
             end_ns = now;
             match ev {
                 Ev::Arrival { qid, size } => {
-                    // Least-loaded dispatch (stable tie-break by index).
-                    let m = (0..machines.len())
-                        .min_by_key(|&i| machines[i].outstanding)
-                        .expect("non-empty cluster");
-                    machines[m].advance(now);
                     let state = queries.get_mut(&qid).expect("known query");
                     if state.measured {
                         items_total += size as u64;
@@ -295,6 +354,40 @@ impl Simulation {
                             window_start = Some(now);
                         }
                     }
+                    if let Some(sh) = &self.shard {
+                        // Sharded: the merge home is the
+                        // least-outstanding shard machine (ties toward
+                        // the smaller id); every shard machine gathers
+                        // its partial.
+                        let home = sh
+                            .shard_nodes()
+                            .iter()
+                            .copied()
+                            .min_by_key(|&i| (machines[i].outstanding, i))
+                            .expect("plans hold at least one shard");
+                        let merge_us =
+                            sh.merge_delay_us(&self.cost, &self.nodes[home].cpu, home, size);
+                        state.merge_ns = us_to_ns(merge_us);
+                        state.parts_left = 0;
+                        for &m in sh.shard_nodes() {
+                            machines[m].advance(now);
+                            let parts = split_query(size, self.policy.max_batch);
+                            queries.get_mut(&qid).expect("known query").parts_left +=
+                                parts.len() as u32;
+                            machines[m].outstanding += parts.len();
+                            for batch in parts {
+                                machines[m].cpu_queue.push_back(CpuRequest { qid, batch });
+                            }
+                            self.try_dispatch_cpu(m, now, &mut machines, &mut events);
+                        }
+                        continue;
+                    }
+                    // Least-loaded dispatch (stable tie-break by index).
+                    let m = (0..machines.len())
+                        .min_by_key(|&i| machines[i].outstanding)
+                        .expect("non-empty cluster");
+                    machines[m].advance(now);
+                    let state = queries.get_mut(&qid).expect("known query");
                     if self.policy.offloads(size) && self.nodes[m].gpu.is_some() {
                         state.parts_left = 1;
                         if state.measured {
@@ -321,6 +414,7 @@ impl Simulation {
                         qid,
                         now,
                         &mut queries,
+                        &mut events,
                         &mut latency,
                         &mut latencies_ms,
                         &mut completed_measured,
@@ -336,12 +430,24 @@ impl Simulation {
                         qid,
                         now,
                         &mut queries,
+                        &mut events,
                         &mut latency,
                         &mut latencies_ms,
                         &mut completed_measured,
                         &mut window_end,
                     );
                     self.try_start_gpu(machine, now, &mut machines, &mut events);
+                }
+                Ev::ExchangeDone { qid } => {
+                    Self::record_completion(
+                        qid,
+                        now,
+                        &mut queries,
+                        &mut latency,
+                        &mut latencies_ms,
+                        &mut completed_measured,
+                        &mut window_end,
+                    );
                 }
             }
         }
@@ -425,9 +531,19 @@ impl Simulation {
                 break;
             };
             mach.cores_busy += 1;
-            let service_us =
-                self.cost
-                    .cpu_request_us(&self.nodes[m].cpu, req.batch as usize, mach.cores_busy);
+            let service_us = match &self.shard {
+                Some(sh) => self.cost.shard_gather_request_us(
+                    &self.nodes[m].cpu,
+                    req.batch as usize,
+                    mach.cores_busy,
+                    sh.gather_fraction(m),
+                ),
+                None => self.cost.cpu_request_us(
+                    &self.nodes[m].cpu,
+                    req.batch as usize,
+                    mach.cores_busy,
+                ),
+            };
             events.push(
                 now + us_to_ns(service_us),
                 Ev::CpuDone {
@@ -465,6 +581,7 @@ impl Simulation {
         qid: u64,
         now: SimTime,
         queries: &mut HashMap<u64, QueryState>,
+        events: &mut EventQueue<Ev>,
         latency: &mut LatencyRecorder,
         latencies_ms: &mut Vec<f64>,
         completed_measured: &mut u64,
@@ -472,7 +589,41 @@ impl Simulation {
     ) {
         let state = queries.get_mut(&qid).expect("known query");
         state.parts_left -= 1;
-        if state.parts_left == 0 && state.measured {
+        if state.parts_left > 0 {
+            return;
+        }
+        if state.merge_ns > 0 {
+            // Sharded: the last partial landed; the query completes
+            // after its exchange + merge delay.
+            let delay = state.merge_ns;
+            state.merge_ns = 0;
+            events.push(now + delay, Ev::ExchangeDone { qid });
+            return;
+        }
+        Self::record_completion(
+            qid,
+            now,
+            queries,
+            latency,
+            latencies_ms,
+            completed_measured,
+            window_end,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record_completion(
+        qid: u64,
+        now: SimTime,
+        queries: &mut HashMap<u64, QueryState>,
+        latency: &mut LatencyRecorder,
+        latencies_ms: &mut Vec<f64>,
+        completed_measured: &mut u64,
+        window_end: &mut SimTime,
+    ) {
+        let state = queries.get_mut(&qid).expect("known query");
+        debug_assert_eq!(state.parts_left, 0, "completion with parts in flight");
+        if state.measured {
             let ms = (now - state.arrival_ns) as f64 / 1e6;
             latency.record_ms(ms);
             latencies_ms.push(ms);
@@ -486,7 +637,14 @@ impl ServingStack for Simulation {
     type Report = SimReport;
 
     fn label(&self) -> String {
-        format!("sim x{}", self.nodes.len())
+        match &self.shard {
+            Some(sh) => format!(
+                "sim x{} sharded x{}",
+                self.nodes.len(),
+                sh.shard_nodes().len()
+            ),
+            None => format!("sim x{}", self.nodes.len()),
+        }
     }
 
     fn serve_queries(&self, queries: &[drs_query::Query]) -> SimReport {
@@ -804,6 +962,107 @@ mod hetero_tests {
     fn empty_fleet_rejected() {
         let _ =
             Simulation::new_heterogeneous(&zoo::ncf(), vec![], None, SchedulerPolicy::cpu_only(64));
+    }
+}
+
+#[cfg(test)]
+mod shard_tests {
+    use super::*;
+    use drs_core::NodeSpec;
+    use drs_models::zoo;
+    use drs_query::{ArrivalProcess, SizeDistribution};
+    use drs_shard::{PlacementPolicy, ShardPlan};
+
+    fn fleet(n: usize, gib: u64) -> ClusterTopology {
+        ClusterTopology::new(vec![
+            NodeSpec::cpu_only(CpuPlatform::skylake())
+                .with_mem_bytes(gib << 30);
+            n
+        ])
+    }
+
+    fn sharded_sim(nodes: usize, gib: u64) -> Simulation {
+        let cfg = zoo::dlrm_rmc2();
+        let topo = fleet(nodes, gib);
+        let plan = ShardPlan::place(&cfg, &topo, PlacementPolicy::LookupBalanced).unwrap();
+        Simulation::with_topology(&cfg, topo, SchedulerPolicy::cpu_only(64))
+            .with_shard_plan(&plan, InterconnectModel::datacenter_100g())
+    }
+
+    fn gen(rate: f64, seed: u64) -> QueryGenerator {
+        QueryGenerator::new(
+            ArrivalProcess::poisson(rate),
+            SizeDistribution::production(),
+            seed,
+        )
+    }
+
+    #[test]
+    fn sharded_sim_completes_every_measured_query() {
+        let sim = sharded_sim(2, 16);
+        assert!(sim.label().contains("sharded x2"), "{}", sim.label());
+        let r = sim.run(&mut gen(400.0, 5), RunOptions::queries(1000));
+        assert_eq!(r.completed, 900);
+        assert!(r.latency.p95_ms > 0.0);
+    }
+
+    #[test]
+    fn sharded_sim_is_deterministic() {
+        let mk = || {
+            sharded_sim(4, 8)
+                .run(&mut gen(1_000.0, 23), RunOptions::queries(1200))
+                .latencies_ms
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn sharded_latency_carries_the_exchange_floor() {
+        // At near-zero load every query's latency includes at least the
+        // fabric round-trip + dense tail: the minimum cannot dip below
+        // the interconnect's fixed cost.
+        let sim = sharded_sim(2, 16);
+        let r = sim.run(&mut gen(5.0, 9), RunOptions::queries(200));
+        let floor_ms = InterconnectModel::datacenter_100g().per_hop_us / 1e3;
+        assert!(
+            r.latency.min_ms > floor_ms,
+            "min {} below exchange floor {}",
+            r.latency.min_ms,
+            floor_ms
+        );
+    }
+
+    #[test]
+    fn more_shards_sustain_more_load() {
+        // The capacity-scale-out effect in the simulator: the same
+        // saturating stream sees a far lower tail when the gather
+        // traffic spreads over 8 nodes instead of 2.
+        let heavy = 2_500.0;
+        let r2 = sharded_sim(2, 16).run(&mut gen(heavy, 31), RunOptions::queries(1500));
+        let r8 = sharded_sim(8, 16).run(&mut gen(heavy, 31), RunOptions::queries(1500));
+        assert!(
+            r8.latency.p95_ms < r2.latency.p95_ms / 2.0,
+            "8 shards p95 {} vs 2 shards {}",
+            r8.latency.p95_ms,
+            r2.latency.p95_ms
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "policy must not offload")]
+    fn sharded_offload_rejected() {
+        let cfg = zoo::dlrm_rmc2();
+        let topo = ClusterTopology::new(vec![
+            NodeSpec::with_gpu(
+                CpuPlatform::skylake(),
+                GpuPlatform::gtx_1080ti()
+            )
+            .with_mem_bytes(16 << 30);
+            2
+        ]);
+        let plan = ShardPlan::place(&cfg, &topo, PlacementPolicy::SizeGreedy).unwrap();
+        let _ = Simulation::with_topology(&cfg, topo, SchedulerPolicy::with_gpu(64, 200))
+            .with_shard_plan(&plan, InterconnectModel::datacenter_100g());
     }
 }
 
