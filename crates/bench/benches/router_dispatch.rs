@@ -8,7 +8,7 @@
 //! least-outstanding scans all N.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use drs_core::{NodeId, RoutingPolicy};
+use drs_core::{NodeId, RoutingPolicy, TenantId};
 use drs_query::{QueryGenerator, SizeDistribution};
 use drs_server::Router;
 
@@ -43,7 +43,7 @@ fn bench_route(c: &mut Criterion) {
                 let mut inflight: Vec<NodeId> = Vec::with_capacity(64);
                 let mut acc = 0usize;
                 for &size in &sizes {
-                    let n = router.route(size);
+                    let n = router.route(TenantId::SOLO, size);
                     acc += n.0;
                     inflight.push(n);
                     if inflight.len() >= 64 {

@@ -60,6 +60,7 @@ bin_smoke_tests! {
     fig13_production => "fig13_production",
     fig13_online_tuning => "fig13_online_tuning",
     fig14_gpu_tradeoff => "fig14_gpu_tradeoff",
+    fig_multitenant => "fig_multitenant",
     fig_sharded_capacity => "fig_sharded_capacity",
     probe_capacity => "probe_capacity",
     table1_models => "table1_models",

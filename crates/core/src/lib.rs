@@ -55,14 +55,15 @@ pub use drs_models::zoo;
 pub mod prelude {
     pub use crate::{DeepRecInfra, ServingHandle, StackSpec};
     pub use drs_core::{
-        ClusterConfig, ClusterTopology, NodeId, NodeSpec, ReportView, RoutingPolicy, ServingStack,
+        ClusterConfig, ClusterTopology, MultiModelSpec, NodeId, NodeSpec, ReportView,
+        RoutingPolicy, ServingStack, TenantBreakdown, TenantSpec,
     };
     pub use drs_engine::{serve_closed_loop, InferenceEngine, ServeOptions};
     pub use drs_metrics::{geomean, LatencyRecorder, LatencySummary};
     pub use drs_models::{zoo, ModelConfig, ModelScale, RecModel};
     pub use drs_nn::{OpKind, OpProfiler, ShardedEmbeddingSet};
     pub use drs_platform::{CpuPlatform, GpuPlatform, InterconnectModel, ModelCost};
-    pub use drs_query::{ArrivalProcess, QueryGenerator, SizeDistribution};
+    pub use drs_query::{ArrivalProcess, MixedStream, QueryGenerator, SizeDistribution, TenantId};
     pub use drs_sched::{
         max_qps_under_sla, max_qps_under_sla_stack, DeepRecSched, SearchOptions, SlaTier,
         TunedConfig,

@@ -11,7 +11,11 @@
 //!   description of a fleet, homogeneous or per-node,
 //! * [`RoutingPolicy`] — how a front-end router spreads arrivals
 //!   across nodes,
+//! * [`MultiModelSpec`]/[`TenantSpec`]/[`TenantId`] — the multi-tenant
+//!   vocabulary: which co-located services share an engine pool, each
+//!   with its own model, SLA tier, and fair-share weight,
 //! * [`SimReport`] — the measurement shape every experiment consumes,
+//!   with per-tenant slices in [`TenantBreakdown`],
 //! * [`ServingStack`]/[`ReportView`] — the unified *serve this stream,
 //!   report measurements* entry point all three layers implement,
 //! * [`EventQueue`] — the deterministic virtual-time event queue,
@@ -30,6 +34,7 @@ mod event;
 mod policy;
 mod report;
 mod stack;
+mod tenant;
 
 pub use climb::{canonical_batch_ladder, canonical_threshold_ladder, ClimbStep, LadderClimb};
 pub use cluster::{
@@ -37,5 +42,6 @@ pub use cluster::{
 };
 pub use event::{secs_to_ns, us_to_ns, EventQueue, SimTime, NS_PER_SEC};
 pub use policy::SchedulerPolicy;
-pub use report::SimReport;
+pub use report::{met_sla, SimReport, TenantBreakdown, MIN_SLA_SAMPLES};
 pub use stack::{stream_offered_qps, ReportView, ServingStack};
+pub use tenant::{MultiModelSpec, TenantId, TenantSpec};

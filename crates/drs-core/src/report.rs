@@ -1,6 +1,58 @@
 //! Simulation output: the measurements every experiment consumes.
 
 use drs_metrics::LatencySummary;
+use drs_query::TenantId;
+
+/// Minimum completions before an SLA verdict is trusted: below this the
+/// p95 of a window is sampling noise, so `met_sla` refuses to pass it.
+/// One definition shared by every report shape and the tuner, so the
+/// floor cannot drift between call sites.
+pub const MIN_SLA_SAMPLES: u64 = 20;
+
+/// The one SLA check every layer uses: a window meets a p95 target iff
+/// it completed a minimally meaningful sample *and* its p95 is inside
+/// the target. `SimReport::meets_sla`, `ServerReport::meets_sla`, the
+/// [`crate::ReportView::sla_met`] trait default, and per-tenant
+/// breakdowns all delegate here.
+pub fn met_sla(completed: u64, p95_ms: f64, sla_ms: f64) -> bool {
+    completed >= MIN_SLA_SAMPLES && p95_ms <= sla_ms
+}
+
+/// One tenant's slice of a serving report: its completions, sustained
+/// throughput, latency distribution, and the SLA tier it is judged
+/// against. Single-tenant runs report exactly one breakdown.
+#[derive(Debug, Clone)]
+pub struct TenantBreakdown {
+    /// Which tenant this slice describes.
+    pub tenant: TenantId,
+    /// The tenant's queries completed inside the measurement window.
+    pub completed: u64,
+    /// The tenant's sustained throughput over the shared window, QPS.
+    pub qps: f64,
+    /// The tenant's end-to-end latency statistics.
+    pub latency: LatencySummary,
+    /// The p95 SLA tier this tenant is served under, milliseconds.
+    pub sla_ms: f64,
+}
+
+impl TenantBreakdown {
+    /// Whether this tenant met its own SLA tier (the shared
+    /// [`met_sla`] contract).
+    pub fn met_sla(&self) -> bool {
+        met_sla(self.completed, self.latency.p95_ms, self.sla_ms)
+    }
+
+    /// The tenant's SLA-bounded throughput: its sustained QPS when it
+    /// met its tier, zero otherwise — the summand of the co-location
+    /// headline metric (aggregate SLA-bounded QPS).
+    pub fn sla_bounded_qps(&self) -> f64 {
+        if self.met_sla() {
+            self.qps
+        } else {
+            0.0
+        }
+    }
+}
 
 /// Results of one simulation window.
 #[derive(Debug, Clone)]
@@ -29,6 +81,10 @@ pub struct SimReport {
     /// Per-query latencies in milliseconds (measurement window only),
     /// for distribution-level experiments (Figure 7). In record order.
     pub latencies_ms: Vec<f64>,
+    /// Per-tenant slices of the window, in [`TenantId`] order
+    /// (single-tenant runs carry one entry; legacy constructors may
+    /// leave it empty).
+    pub tenant_breakdowns: Vec<TenantBreakdown>,
 }
 
 impl SimReport {
@@ -66,6 +122,7 @@ mod tests {
             qps_per_watt: 0.99,
             window_s: 10.0,
             latencies_ms: Vec::new(),
+            tenant_breakdowns: Vec::new(),
         }
     }
 
@@ -77,5 +134,32 @@ mod tests {
             !report(1.0, 5).meets_sla(100.0),
             "tiny samples are not trustworthy"
         );
+    }
+
+    #[test]
+    fn shared_floor_is_the_named_constant() {
+        assert!(met_sla(MIN_SLA_SAMPLES, 50.0, 100.0));
+        assert!(!met_sla(MIN_SLA_SAMPLES - 1, 50.0, 100.0));
+        assert!(!met_sla(MIN_SLA_SAMPLES, 150.0, 100.0));
+    }
+
+    #[test]
+    fn tenant_breakdown_judged_against_its_own_tier() {
+        let r = report(80.0, 1000);
+        let mut b = TenantBreakdown {
+            tenant: TenantId(1),
+            completed: 500,
+            qps: 50.0,
+            latency: r.latency,
+            sla_ms: 100.0,
+        };
+        assert!(b.met_sla());
+        assert_eq!(b.sla_bounded_qps(), 50.0);
+        b.sla_ms = 60.0;
+        assert!(!b.met_sla(), "p95 80 ms misses a 60 ms tier");
+        assert_eq!(b.sla_bounded_qps(), 0.0);
+        b.sla_ms = 100.0;
+        b.completed = 5;
+        assert!(!b.met_sla(), "tiny tenant samples are not trustworthy");
     }
 }

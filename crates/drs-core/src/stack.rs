@@ -11,7 +11,7 @@
 //! and the tuner can swap backends without touching their measurement
 //! code.
 
-use crate::report::SimReport;
+use crate::report::{met_sla, SimReport, TenantBreakdown};
 use drs_query::{Query, Trace};
 
 /// The measurement axes every serving report exposes — the common
@@ -40,10 +40,17 @@ pub trait ReportView {
     /// Per-query latencies in milliseconds (measurement window only).
     fn latencies_ms(&self) -> &[f64];
 
+    /// Per-tenant slices of the window, in tenant order. Empty for
+    /// reports that predate multi-tenant serving.
+    fn tenant_breakdowns(&self) -> &[TenantBreakdown] {
+        &[]
+    }
+
     /// Whether the window met a p95 SLA target, requiring a minimally
-    /// meaningful sample — the contract shared by every report.
+    /// meaningful sample — the contract shared by every report
+    /// (see [`crate::met_sla`] and [`crate::MIN_SLA_SAMPLES`]).
     fn sla_met(&self, sla_ms: f64) -> bool {
-        self.completed() >= 20 && self.latency().p95_ms <= sla_ms
+        met_sla(self.completed(), self.latency().p95_ms, sla_ms)
     }
 
     /// Projects this report onto the common [`SimReport`] shape
@@ -61,6 +68,7 @@ pub trait ReportView {
             qps_per_watt: self.qps_per_watt(),
             window_s: self.window_s(),
             latencies_ms: self.latencies_ms().to_vec(),
+            tenant_breakdowns: self.tenant_breakdowns().to_vec(),
         }
     }
 }
@@ -98,6 +106,9 @@ impl ReportView for SimReport {
     }
     fn latencies_ms(&self) -> &[f64] {
         &self.latencies_ms
+    }
+    fn tenant_breakdowns(&self) -> &[TenantBreakdown] {
+        &self.tenant_breakdowns
     }
     fn to_common(&self) -> SimReport {
         self.clone()
@@ -182,6 +193,7 @@ mod tests {
             qps_per_watt: 0.825,
             window_s: 0.5,
             latencies_ms: vec![1.0, 2.0],
+            tenant_breakdowns: Vec::new(),
         }
     }
 
@@ -203,6 +215,7 @@ mod tests {
                 id: i,
                 size: 1,
                 arrival_s: i as f64 * 0.1,
+                tenant: drs_query::TenantId::SOLO,
             })
             .collect();
         assert!((stream_offered_qps(&qs) - 10.0).abs() < 1e-9);

@@ -4,6 +4,32 @@ use crate::{ArrivalProcess, SizeDistribution};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Identity of the recommendation service (tenant) a query belongs to.
+///
+/// Datacenters co-locate many recommendation services on shared
+/// hardware (PAPER §III); a multi-tenant serving stack batches and
+/// tunes each service independently, so every query carries the tenant
+/// it was issued against. Single-service streams use
+/// [`TenantId::SOLO`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The lone tenant of a single-service stream.
+    pub const SOLO: TenantId = TenantId(0);
+
+    /// The tenant's index into per-tenant vectors.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
 /// One inference query: rank `size` candidate items for one user.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Query {
@@ -13,6 +39,8 @@ pub struct Query {
     pub size: u32,
     /// Absolute arrival time in seconds since the stream started.
     pub arrival_s: f64,
+    /// The recommendation service this query was issued against.
+    pub tenant: TenantId,
 }
 
 /// Infinite, seeded stream of [`Query`] values combining an
@@ -42,6 +70,7 @@ pub struct QueryGenerator {
     rng: StdRng,
     now_s: f64,
     next_id: u64,
+    tenant: TenantId,
 }
 
 impl QueryGenerator {
@@ -53,7 +82,16 @@ impl QueryGenerator {
             rng: StdRng::seed_from_u64(seed),
             now_s: 0.0,
             next_id: 0,
+            tenant: TenantId::SOLO,
         }
+    }
+
+    /// Tags every generated query with `tenant` (the default is
+    /// [`TenantId::SOLO`]); see [`crate::MixedStream`] for merging
+    /// several tenants' streams into one arrival-ordered stream.
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
     }
 
     /// The arrival process driving this stream.
@@ -92,6 +130,7 @@ impl Iterator for QueryGenerator {
             id: self.next_id,
             size: self.size.sample(&mut self.rng),
             arrival_s: self.now_s,
+            tenant: self.tenant,
         };
         self.next_id += 1;
         Some(q)

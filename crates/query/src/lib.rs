@@ -41,13 +41,15 @@
 
 mod arrival;
 mod generator;
+mod mixed;
 pub mod sampler;
 mod size;
 mod split;
 pub mod trace;
 
 pub use arrival::ArrivalProcess;
-pub use generator::{Query, QueryGenerator};
+pub use generator::{Query, QueryGenerator, TenantId};
+pub use mixed::MixedStream;
 pub use size::{tail_work_share, SizeDistribution};
 pub use split::split_query;
 pub use trace::{ParseTraceError, Trace};

@@ -1,0 +1,176 @@
+//! Multi-tenant arrival streams: several services' query generators
+//! merged into one arrival-ordered, tenant-tagged stream.
+//!
+//! The paper's datacenter setting co-locates many recommendation
+//! services on shared hardware (PAPER §III), each with its own traffic
+//! shape: a compute-heavy ranking model may see a few hundred QPS of
+//! large queries while an embedding-heavy one sees thousands of small
+//! ones. [`MixedStream`] models that front door: one seeded
+//! [`QueryGenerator`] per tenant, merged by arrival time into a single
+//! stream whose queries carry their [`TenantId`] — the input every
+//! multi-tenant serving layer consumes.
+
+use crate::generator::{Query, QueryGenerator, TenantId};
+
+/// Merges per-tenant query streams into one arrival-ordered stream.
+///
+/// Generator `k` is tenant `k` (its own `with_tenant` tag is
+/// overridden); global query ids are reassigned in merged arrival
+/// order, so downstream warm-up windows (`id >= warmup_n`) keep their
+/// meaning. Arrival ties break toward the smaller tenant, keeping the
+/// merge byte-deterministic per seed.
+///
+/// # Examples
+///
+/// ```
+/// use drs_query::{ArrivalProcess, MixedStream, QueryGenerator, SizeDistribution, TenantId};
+///
+/// let stream = MixedStream::new(vec![
+///     QueryGenerator::new(ArrivalProcess::poisson(500.0), SizeDistribution::production(), 7),
+///     QueryGenerator::new(ArrivalProcess::poisson(100.0), SizeDistribution::production(), 8),
+/// ]);
+/// let queries: Vec<_> = stream.take(100).collect();
+/// assert!(queries.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+/// assert!(queries.windows(2).all(|w| w[1].id == w[0].id + 1));
+/// assert!(queries.iter().any(|q| q.tenant == TenantId(0)));
+/// assert!(queries.iter().any(|q| q.tenant == TenantId(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MixedStream {
+    /// One lane per tenant: its generator and the next query it will
+    /// emit (the merge head).
+    lanes: Vec<(QueryGenerator, Option<Query>)>,
+    next_id: u64,
+}
+
+impl MixedStream {
+    /// Builds a mixed stream over `generators`; generator `k` becomes
+    /// tenant `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `generators` is empty.
+    pub fn new(generators: Vec<QueryGenerator>) -> Self {
+        assert!(!generators.is_empty(), "a mixed stream needs tenants");
+        let lanes = generators
+            .into_iter()
+            .enumerate()
+            .map(|(k, gen)| {
+                let mut gen = gen.with_tenant(TenantId(k as u32));
+                let head = gen.next();
+                (gen, head)
+            })
+            .collect();
+        MixedStream { lanes, next_id: 0 }
+    }
+
+    /// Number of tenants in the mix.
+    pub fn tenants(&self) -> usize {
+        self.lanes.len()
+    }
+}
+
+impl Iterator for MixedStream {
+    type Item = Query;
+
+    fn next(&mut self) -> Option<Query> {
+        // The earliest head wins; ties break toward the smaller tenant
+        // (scan order), so the merge is deterministic.
+        let lane = self
+            .lanes
+            .iter()
+            .enumerate()
+            .filter_map(|(k, (_, head))| head.map(|q| (k, q.arrival_s)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(k, _)| k)?;
+        let (gen, head) = &mut self.lanes[lane];
+        let mut q = head.take().expect("selected lane has a head");
+        *head = gen.next();
+        q.id = self.next_id;
+        self.next_id += 1;
+        Some(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArrivalProcess, SizeDistribution};
+
+    fn gen(rate: f64, seed: u64) -> QueryGenerator {
+        QueryGenerator::new(
+            ArrivalProcess::poisson(rate),
+            SizeDistribution::production(),
+            seed,
+        )
+    }
+
+    #[test]
+    fn merge_is_arrival_ordered_with_sequential_ids() {
+        let qs: Vec<_> = MixedStream::new(vec![gen(800.0, 1), gen(200.0, 2), gen(50.0, 3)])
+            .take(500)
+            .collect();
+        for w in qs.windows(2) {
+            assert!(w[1].arrival_s >= w[0].arrival_s);
+            assert_eq!(w[1].id, w[0].id + 1);
+        }
+    }
+
+    #[test]
+    fn tenants_tagged_by_lane_index() {
+        let qs: Vec<_> = MixedStream::new(vec![gen(500.0, 1), gen(500.0, 2)])
+            .take(400)
+            .collect();
+        let t0 = qs.iter().filter(|q| q.tenant == TenantId(0)).count();
+        let t1 = qs.iter().filter(|q| q.tenant == TenantId(1)).count();
+        assert_eq!(t0 + t1, 400);
+        assert!(t0 > 100 && t1 > 100, "equal rates split roughly evenly");
+    }
+
+    #[test]
+    fn per_tenant_marginals_match_solo_streams() {
+        // Each tenant's subsequence must be exactly the stream its own
+        // generator would have produced alone (sizes and arrivals; only
+        // the global ids are reassigned by the merge).
+        let mixed: Vec<_> = MixedStream::new(vec![gen(600.0, 9), gen(150.0, 10)])
+            .take(600)
+            .collect();
+        for (k, seed) in [(0u32, 9u64), (1, 10)] {
+            let lane: Vec<_> = mixed.iter().filter(|q| q.tenant == TenantId(k)).collect();
+            let solo: Vec<_> = gen(if k == 0 { 600.0 } else { 150.0 }, seed)
+                .take(lane.len())
+                .collect();
+            for (m, s) in lane.iter().zip(&solo) {
+                assert_eq!(m.size, s.size);
+                assert_eq!(m.arrival_s, s.arrival_s);
+            }
+        }
+    }
+
+    #[test]
+    fn rate_ratio_shows_in_counts() {
+        let qs: Vec<_> = MixedStream::new(vec![gen(900.0, 5), gen(100.0, 6)])
+            .take(2_000)
+            .collect();
+        let t0 = qs.iter().filter(|q| q.tenant == TenantId(0)).count() as f64;
+        let share = t0 / qs.len() as f64;
+        assert!((share - 0.9).abs() < 0.05, "tenant 0 share {share}");
+    }
+
+    #[test]
+    fn same_seeds_same_mix() {
+        let a: Vec<_> = MixedStream::new(vec![gen(500.0, 11), gen(250.0, 12)])
+            .take(300)
+            .collect();
+        let b: Vec<_> = MixedStream::new(vec![gen(500.0, 11), gen(250.0, 12)])
+            .take(300)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "a mixed stream needs tenants")]
+    fn empty_mix_rejected() {
+        let _ = MixedStream::new(vec![]);
+    }
+}

@@ -6,11 +6,14 @@
 //! inspect it, and replay it byte-for-byte through the engine or the
 //! simulator instead of a synthetic distribution.
 //!
-//! The format is one query per line — `arrival_seconds,size` — with `#`
-//! comments, so traces can be produced by anything that can print two
-//! numbers.
+//! The format is one query per line — `arrival_seconds,size` with an
+//! optional trailing `,tenant` column for multi-tenant captures — plus
+//! `#` comments, so traces can be produced by anything that can print
+//! two numbers. Two-column lines parse as tenant 0, and single-tenant
+//! traces are written without the column, so existing traces and
+//! producers keep working.
 
-use crate::generator::Query;
+use crate::generator::{Query, TenantId};
 use std::io::{BufRead, Write};
 
 /// An in-memory query trace: arrival-ordered queries.
@@ -104,11 +107,26 @@ impl Trace {
     ///
     /// Panics if arrivals are not non-decreasing or any size is zero.
     pub fn from_pairs(pairs: &[(f64, u32)]) -> Self {
+        Self::from_tagged(
+            &pairs
+                .iter()
+                .map(|&(a, s)| (a, s, TenantId::SOLO))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Builds a multi-tenant trace from raw `(arrival_s, size, tenant)`
+    /// triples (ids are assigned sequentially).
+    ///
+    /// # Panics
+    ///
+    /// Panics if arrivals are not non-decreasing or any size is zero.
+    pub fn from_tagged(triples: &[(f64, u32, TenantId)]) -> Self {
         let mut prev = 0.0f64;
-        let queries = pairs
+        let queries = triples
             .iter()
             .enumerate()
-            .map(|(i, &(arrival_s, size))| {
+            .map(|(i, &(arrival_s, size, tenant))| {
                 assert!(arrival_s >= prev, "arrivals must be non-decreasing");
                 assert!(size > 0, "query size must be positive");
                 prev = arrival_s;
@@ -116,6 +134,7 @@ impl Trace {
                     id: i as u64,
                     size,
                     arrival_s,
+                    tenant,
                 }
             })
             .collect();
@@ -147,15 +166,25 @@ impl Trace {
         }
     }
 
-    /// Serializes as `arrival_seconds,size` lines.
+    /// Serializes as `arrival_seconds,size` lines; a multi-tenant trace
+    /// (any query tagged beyond [`TenantId::SOLO`]) carries a third
+    /// `,tenant` column on every line.
     ///
     /// # Errors
     ///
     /// Propagates writer failures.
     pub fn write(&self, mut w: impl Write) -> std::io::Result<()> {
-        writeln!(w, "# deeprecsys query trace: arrival_seconds,size")?;
-        for q in &self.queries {
-            writeln!(w, "{:.9},{}", q.arrival_s, q.size)?;
+        let tenanted = self.queries.iter().any(|q| q.tenant != TenantId::SOLO);
+        if tenanted {
+            writeln!(w, "# deeprecsys query trace: arrival_seconds,size,tenant")?;
+            for q in &self.queries {
+                writeln!(w, "{:.9},{},{}", q.arrival_s, q.size, q.tenant.0)?;
+            }
+        } else {
+            writeln!(w, "# deeprecsys query trace: arrival_seconds,size")?;
+            for q in &self.queries {
+                writeln!(w, "{:.9},{}", q.arrival_s, q.size)?;
+            }
         }
         Ok(())
     }
@@ -175,13 +204,19 @@ impl Trace {
             if text.is_empty() || text.starts_with('#') {
                 continue;
             }
-            let parse = || -> Option<(f64, u32)> {
-                let (a, s) = text.split_once(',')?;
+            let parse = || -> Option<(f64, u32, TenantId)> {
+                let (a, rest) = text.split_once(',')?;
                 let arrival: f64 = a.trim().parse().ok()?;
+                // Optional third column: the tenant (default 0).
+                let (s, tenant) = match rest.split_once(',') {
+                    Some((s, t)) => (s, TenantId(t.trim().parse().ok()?)),
+                    None => (rest, TenantId::SOLO),
+                };
                 let size: u32 = s.trim().parse().ok()?;
-                (arrival.is_finite() && arrival >= 0.0 && size > 0).then_some((arrival, size))
+                (arrival.is_finite() && arrival >= 0.0 && size > 0)
+                    .then_some((arrival, size, tenant))
             };
-            let (arrival_s, size) = parse().ok_or_else(|| ParseTraceError::Malformed {
+            let (arrival_s, size, tenant) = parse().ok_or_else(|| ParseTraceError::Malformed {
                 line: i + 1,
                 content: text.to_string(),
             })?;
@@ -193,6 +228,7 @@ impl Trace {
                 id: queries.len() as u64,
                 size,
                 arrival_s,
+                tenant,
             });
         }
         Ok(Trace { queries })
@@ -272,6 +308,40 @@ mod tests {
             Trace::read(text.as_bytes()),
             Err(ParseTraceError::Malformed { .. })
         ));
+    }
+
+    #[test]
+    fn tenant_column_round_trips() {
+        let t = Trace::from_tagged(&[(0.0, 5, TenantId(0)), (0.1, 7, TenantId(3))]);
+        let mut buf = Vec::new();
+        t.write(&mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(
+            text.contains("0.100000000,7,3"),
+            "tenant column written:\n{text}"
+        );
+        let back = Trace::read(buf.as_slice()).unwrap();
+        assert_eq!(back.queries()[0].tenant, TenantId(0));
+        assert_eq!(back.queries()[1].tenant, TenantId(3));
+    }
+
+    #[test]
+    fn single_tenant_trace_keeps_two_column_format() {
+        let t = Trace::from_pairs(&[(0.0, 5), (0.1, 7)]);
+        let mut buf = Vec::new();
+        t.write(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(
+            text.contains("0.100000000,7\n"),
+            "no tenant column:\n{text}"
+        );
+    }
+
+    #[test]
+    fn two_column_lines_parse_as_solo_tenant() {
+        let t = Trace::read("0.5,10\n1.0,20,2\n".as_bytes()).unwrap();
+        assert_eq!(t.queries()[0].tenant, TenantId::SOLO);
+        assert_eq!(t.queries()[1].tenant, TenantId(2));
     }
 
     #[test]

@@ -52,6 +52,19 @@ pub struct BatchStats {
     pub items: u64,
 }
 
+impl BatchStats {
+    /// Accumulates another queue's counters into this one — the single
+    /// definition report assembly uses to aggregate across tenant
+    /// lanes and nodes.
+    pub fn merge(&mut self, other: BatchStats) {
+        self.batches += other.batches;
+        self.full_batches += other.full_batches;
+        self.coalesced_batches += other.coalesced_batches;
+        self.timeout_flushes += other.timeout_flushes;
+        self.items += other.items;
+    }
+}
+
 /// Per-model dynamic batching queue.
 ///
 /// # Examples

@@ -20,11 +20,13 @@
 use crate::batcher::Batch;
 use crate::node::{
     self, CpuUtilOverride, NodeCore, NodeSetup, NodeUtilization, Route, RunOutcome, StreamStats,
+    TenantSetup,
 };
 use crate::report::ServerReport;
 use crate::server::ServerOptions;
 use drs_core::{
-    secs_to_ns, stream_offered_qps, ClusterTopology, NodeId, RoutingPolicy, ServingStack, SimTime,
+    secs_to_ns, stream_offered_qps, ClusterTopology, MultiModelSpec, NodeId, RoutingPolicy,
+    ServingStack, SimTime, TenantId,
 };
 use drs_engine::{EngineCompletion, EngineRequest, InferenceEngine};
 use drs_models::{ModelConfig, RecModel};
@@ -44,6 +46,15 @@ use std::time::{Duration, Instant};
 /// the work (Figure 6), and 250 items is that quartile's boundary.
 const DEFAULT_SIZE_AWARE_THRESHOLD: u32 = MAX_QUERY_SIZE / 4;
 
+/// One pinned tenant's routable node set, with its own round-robin
+/// cursor.
+#[derive(Debug)]
+struct TenantUniverse {
+    mask: Vec<bool>,
+    idx: Vec<usize>,
+    rr_next: usize,
+}
+
 /// The cluster front end: picks a node per query under a
 /// [`RoutingPolicy`], tracking per-node outstanding queries.
 ///
@@ -54,15 +65,15 @@ const DEFAULT_SIZE_AWARE_THRESHOLD: u32 = MAX_QUERY_SIZE / 4;
 /// # Examples
 ///
 /// ```
-/// use drs_core::{NodeId, RoutingPolicy};
+/// use drs_core::{NodeId, RoutingPolicy, TenantId};
 /// use drs_server::Router;
 ///
 /// let mut r = Router::new(RoutingPolicy::LeastOutstanding, &[false, false], 250, 7);
-/// let a = r.route(10);
+/// let a = r.route(TenantId::SOLO, 10);
 /// assert_eq!(a, NodeId(0), "empty gauges tie toward the smaller id");
-/// assert_eq!(r.route(10), NodeId(1), "node 0 now has one outstanding");
+/// assert_eq!(r.route(TenantId::SOLO, 10), NodeId(1), "node 0 now has one outstanding");
 /// r.complete(a);
-/// assert_eq!(r.route(10), NodeId(0));
+/// assert_eq!(r.route(TenantId::SOLO, 10), NodeId(0));
 /// ```
 #[derive(Debug)]
 pub struct Router {
@@ -79,7 +90,15 @@ pub struct Router {
     /// Indices of eligible nodes, ascending (the sampling universe for
     /// the randomized policies).
     eligible_idx: Vec<usize>,
+    /// Per-tenant placement constraints ([`Router::pin_tenant_to`]):
+    /// tenant `k`'s queries only route inside `tenant_masks[k]` when
+    /// set, further intersected with the global eligibility. Each pin
+    /// carries its own round-robin cursor so rotation inside one
+    /// tenant's universe is never disturbed by another tenant's
+    /// routes.
+    tenant_masks: Vec<Option<TenantUniverse>>,
     size_threshold: u32,
+    /// Round-robin cursor of the default (unpinned) universe.
     rr_next: usize,
     rng: StdRng,
     /// Reusable candidate marks for the sampled policies (hot path:
@@ -108,6 +127,7 @@ impl Router {
             gpu_nodes: gpu_nodes.to_vec(),
             eligible: vec![true; gpu_nodes.len()],
             eligible_idx: (0..gpu_nodes.len()).collect(),
+            tenant_masks: Vec::new(),
             size_threshold,
             rr_next: 0,
             rng: StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15),
@@ -129,31 +149,88 @@ impl Router {
         self
     }
 
+    /// Pins one tenant's queries to the nodes marked in `mask`
+    /// (intersected with the global eligibility) — tenant-aware
+    /// placement, e.g. an isolation tier that keeps a noisy service
+    /// off latency-critical nodes. Unpinned tenants keep the full
+    /// eligible universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` has the wrong length or admits no eligible
+    /// node.
+    pub fn pin_tenant_to(mut self, tenant: TenantId, mask: &[bool]) -> Self {
+        assert_eq!(mask.len(), self.outstanding.len(), "mask length mismatch");
+        let combined: Vec<bool> = mask
+            .iter()
+            .zip(&self.eligible)
+            .map(|(&m, &e)| m && e)
+            .collect();
+        let idx: Vec<usize> = (0..combined.len()).filter(|&i| combined[i]).collect();
+        assert!(!idx.is_empty(), "tenant pin admits no eligible node");
+        self.tenant_masks.resize_with(tenant.index() + 1, || None);
+        self.tenant_masks[tenant.index()] = Some(TenantUniverse {
+            mask: combined,
+            idx,
+            rr_next: 0,
+        });
+        self
+    }
+
     /// Number of nodes behind the router.
     pub fn nodes(&self) -> usize {
         self.outstanding.len()
     }
 
-    /// Picks the node for a query of `size` items and charges its
-    /// gauge. Ties always break toward the smaller [`NodeId`].
-    pub fn route(&mut self, size: u32) -> NodeId {
+    /// Whether node `i` may serve tenant `t`'s queries: the tenant's
+    /// pin when set, the global eligibility otherwise.
+    fn admits(&self, t: usize, i: usize) -> bool {
+        match self.tenant_masks.get(t).and_then(|m| m.as_ref()) {
+            Some(u) => u.mask[i],
+            None => self.eligible[i],
+        }
+    }
+
+    /// Tenant `t`'s routable universe as an index list, ascending.
+    fn universe(&self, t: usize) -> &[usize] {
+        match self.tenant_masks.get(t).and_then(|m| m.as_ref()) {
+            Some(u) => &u.idx,
+            None => &self.eligible_idx,
+        }
+    }
+
+    /// Picks the node for `tenant`'s query of `size` items and charges
+    /// its gauge. Ties always break toward the smaller [`NodeId`].
+    pub fn route(&mut self, tenant: TenantId, size: u32) -> NodeId {
+        let t = tenant.index();
         let pick = match self.policy {
             RoutingPolicy::RoundRobin => {
-                // Cycle the eligible universe in id order.
-                let pick = self.eligible_idx[self.rr_next];
-                self.rr_next = (self.rr_next + 1) % self.eligible_idx.len();
-                pick
+                // Cycle the tenant's universe in id order. Pinned
+                // tenants carry their own cursor, so one tenant's
+                // routes never perturb another's rotation.
+                match self.tenant_masks.get_mut(t).and_then(|m| m.as_mut()) {
+                    Some(u) => {
+                        let pick = u.idx[u.rr_next];
+                        u.rr_next = (u.rr_next + 1) % u.idx.len();
+                        pick
+                    }
+                    None => {
+                        let pick = self.eligible_idx[self.rr_next];
+                        self.rr_next = (self.rr_next + 1) % self.eligible_idx.len();
+                        pick
+                    }
+                }
             }
             RoutingPolicy::LeastOutstanding | RoutingPolicy::ShardAware => {
                 // ShardAware: the fan-out is fixed by the plan, so the
                 // routable decision left is the merge home — least
                 // outstanding among the shard nodes.
-                self.least_loaded(|i| self.eligible[i])
+                self.least_loaded(|i| self.admits(t, i))
             }
             RoutingPolicy::PowerOfTwoChoices { d } => {
-                let universe = self.eligible_idx.len();
-                if d >= universe {
-                    self.least_loaded(|i| self.eligible[i])
+                let universe_len = self.universe(t).len();
+                if d >= universe_len {
+                    self.least_loaded(|i| self.admits(t, i))
                 } else {
                     // Sample d distinct candidates, then scan in id
                     // order so equal gauges keep the deterministic
@@ -161,7 +238,8 @@ impl Router {
                     self.scratch.fill(false);
                     let mut chosen = 0usize;
                     while chosen < d {
-                        let i = self.eligible_idx[self.rng.gen_range(0..universe)];
+                        let pos = self.rng.gen_range(0..universe_len);
+                        let i = self.universe(t)[pos];
                         if !self.scratch[i] {
                             self.scratch[i] = true;
                             chosen += 1;
@@ -177,15 +255,12 @@ impl Router {
                 // Large queries prefer accelerator-attached nodes (the
                 // tail is exactly what the GPU amortizes); small
                 // queries balance over the whole fleet.
-                let has_eligible_gpu = self
-                    .gpu_nodes
-                    .iter()
-                    .zip(&self.eligible)
-                    .any(|(&g, &e)| g && e);
+                let has_eligible_gpu =
+                    (0..self.gpu_nodes.len()).any(|i| self.gpu_nodes[i] && self.admits(t, i));
                 if size > self.size_threshold && has_eligible_gpu {
-                    self.least_loaded(|i| self.gpu_nodes[i] && self.eligible[i])
+                    self.least_loaded(|i| self.gpu_nodes[i] && self.admits(t, i))
                 } else {
-                    self.least_loaded(|i| self.eligible[i])
+                    self.least_loaded(|i| self.admits(t, i))
                 }
             }
         };
@@ -276,10 +351,16 @@ impl Router {
 /// ```
 #[derive(Debug)]
 pub struct Cluster {
-    cost: ModelCost,
+    /// Per-tenant cost models, in tenant order.
+    costs: Vec<ModelCost>,
+    /// Per-tenant serving parameters, in tenant order.
+    tenants: Vec<TenantSetup>,
     topology: ClusterTopology,
     routing: RoutingPolicy,
     opts: ServerOptions,
+    /// Per-tenant node pins applied to the router
+    /// ([`Cluster::pin_tenant_to`]).
+    tenant_pins: Vec<(TenantId, Vec<bool>)>,
     /// Table-wise shard placement + the fabric pricing its exchange;
     /// `None` serves the model whole on every node.
     shard: Option<(ShardPlan, InterconnectModel)>,
@@ -307,12 +388,79 @@ impl Cluster {
             "policy offloads to a GPU no node has"
         );
         Cluster {
-            cost: ModelCost::new(cfg),
+            costs: vec![ModelCost::new(cfg)],
+            tenants: vec![TenantSetup::solo(opts.policy, cfg.sla_ms)],
             topology,
             routing,
             opts,
+            tenant_pins: Vec::new(),
             shard: None,
         }
+    }
+
+    /// Builds a cluster co-locating the spec's models on every node's
+    /// shared worker pool: each node runs one batching queue and
+    /// (when `opts.controller` is set) one online controller per
+    /// tenant, tuned against its own SLA tier, with deficit
+    /// round-robin arbitrating the pool across tenants. The router
+    /// dispatches each query among the nodes its tenant may use (all,
+    /// unless pinned via [`Cluster::pin_tenant_to`]).
+    ///
+    /// `opts.policy` is ignored; each tenant serves its spec policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if options are degenerate or any tenant's policy
+    /// offloads while no node carries a GPU.
+    pub fn new_multi(
+        spec: &MultiModelSpec,
+        topology: ClusterTopology,
+        routing: RoutingPolicy,
+        opts: ServerOptions,
+    ) -> Self {
+        opts.validate();
+        for t in spec.tenants() {
+            assert!(
+                t.policy.gpu_threshold.is_none() || topology.has_gpu(),
+                "tenant {} offloads to a GPU no node has",
+                t.name
+            );
+        }
+        Cluster {
+            costs: spec
+                .tenants()
+                .iter()
+                .map(|t| ModelCost::new(&t.model))
+                .collect(),
+            tenants: spec
+                .tenants()
+                .iter()
+                .map(|t| TenantSetup {
+                    policy: t.policy,
+                    weight: t.weight,
+                    report_sla_ms: t.sla_ms,
+                    controller_sla_ms: Some(t.sla_ms),
+                })
+                .collect(),
+            topology,
+            routing,
+            opts,
+            tenant_pins: Vec::new(),
+            shard: None,
+        }
+    }
+
+    /// Pins one tenant's queries to the nodes marked in `mask` —
+    /// tenant-aware placement on top of the dispatch policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` has the wrong length or admits no node (checked
+    /// when the router is built at serve time).
+    pub fn pin_tenant_to(mut self, tenant: TenantId, mask: &[bool]) -> Self {
+        assert_eq!(mask.len(), self.topology.len(), "mask length mismatch");
+        self.tenant_pins.push((tenant, mask.to_vec()));
+        self
     }
 
     /// Builds a cluster serving one model *sharded table-wise* per
@@ -361,10 +509,12 @@ impl Cluster {
             );
         }
         Cluster {
-            cost: ModelCost::new(cfg),
+            costs: vec![ModelCost::new(cfg)],
+            tenants: vec![TenantSetup::solo(opts.policy, cfg.sla_ms)],
             topology,
             routing,
             opts,
+            tenant_pins: Vec::new(),
             shard: Some((plan, net)),
         }
     }
@@ -389,9 +539,15 @@ impl Cluster {
         &self.opts
     }
 
-    /// The cost model in use (shared with the simulator's math).
+    /// The cost model in use (the first tenant's, on a multi-tenant
+    /// cluster; shared with the simulator's math).
     pub fn cost(&self) -> &ModelCost {
-        &self.cost
+        &self.costs[0]
+    }
+
+    /// Number of co-located tenants this cluster serves.
+    pub fn tenants(&self) -> usize {
+        self.tenants.len()
     }
 
     fn setups(&self) -> Vec<NodeSetup> {
@@ -436,12 +592,16 @@ impl Cluster {
                 .unwrap_or(DEFAULT_SIZE_AWARE_THRESHOLD),
             self.opts.seed,
         );
-        match &self.shard {
+        let mut router = match &self.shard {
             // Only a shard-holding node can merge a query, whatever
             // the dispatch policy.
             Some((plan, _)) => router.restrict_to(&plan.shard_mask()),
             None => router,
+        };
+        for (tenant, mask) in &self.tenant_pins {
+            router = router.pin_tenant_to(*tenant, mask);
         }
+        router
     }
 
     fn shard_geometry(&self) -> Option<drs_shard::ShardGeometry> {
@@ -456,7 +616,8 @@ impl Cluster {
     /// Panics if `queries` is empty.
     pub fn serve_virtual(&self, queries: &[Query]) -> ServerReport {
         node::serve_virtual_multi(
-            &self.cost,
+            &self.costs,
+            &self.tenants,
             &self.setups(),
             &self.opts,
             self.router(),
@@ -494,14 +655,20 @@ impl Cluster {
             "sharded clusters serve in virtual time; a real-engine sharded path \
              (per-node partial forwards over ShardedEmbeddingSet) is a follow-on"
         );
+        assert_eq!(
+            self.tenants.len(),
+            1,
+            "multi-tenant serving runs in virtual time; a real-engine multi-model \
+             worker pool is a follow-on"
+        );
         let setups = self.setups();
         let mut rt = ClusterRealRuntime {
-            stats: StreamStats::new(queries.len(), self.opts.warmup_frac),
+            stats: StreamStats::new(queries.len(), self.opts.warmup_frac, 1),
             router: self.router(),
             nodes: setups
                 .iter()
                 .map(|s| RealNode {
-                    core: NodeCore::new(&self.cost, s, &self.opts),
+                    core: NodeCore::new(&self.costs, &self.tenants, s, &self.opts),
                     engine: InferenceEngine::start(Arc::clone(&model), s.workers)
                         .with_queue_bound(self.opts.batching.queue_bound),
                     pending: VecDeque::new(),
@@ -534,7 +701,7 @@ impl Cluster {
                     if let Some(&Reverse((t, _))) = node.gpu_heap.peek() {
                         next = next.min(t.max(now));
                     }
-                    if let Some(d) = node.core.batcher.deadline() {
+                    if let Some(d) = node.core.earliest_deadline() {
                         next = next.min(d.max(now));
                     }
                 }
@@ -544,7 +711,7 @@ impl Cluster {
             }
             let now = rt.now();
             rt.outstanding += 1;
-            let NodeId(n) = rt.router.route(q.size);
+            let NodeId(n) = rt.router.route(q.tenant, q.size);
             let measured = rt.stats.note_arrival(now, q, n);
             match rt.nodes[n].core.on_arrival(now, q) {
                 Route::Gpu(done) => {
@@ -600,6 +767,7 @@ impl Cluster {
                 stats,
                 cores,
                 setups,
+                tenant_setups: self.tenants.clone(),
                 utilization,
                 end_ns: end_model_ns,
                 node_queries,
@@ -620,6 +788,12 @@ impl ServingStack for Cluster {
                 self.routing.label(),
                 self.topology.len(),
                 plan.shard_nodes().len()
+            ),
+            None if self.tenants.len() > 1 => format!(
+                "cluster[{} x{} multi x{}]",
+                self.routing.label(),
+                self.topology.len(),
+                self.tenants.len()
             ),
             None => format!("cluster[{} x{}]", self.routing.label(), self.topology.len()),
         }
@@ -695,31 +869,25 @@ impl ClusterRealRuntime {
                 }
                 if self.nodes[n]
                     .core
-                    .batcher
+                    .batcher(0)
                     .deadline()
                     .is_some_and(|d| d <= now)
                 {
                     let mut out = Vec::new();
-                    self.nodes[n].core.batcher.flush_due(now, &mut out);
+                    self.nodes[n].core.batcher_mut(0).flush_due(now, &mut out);
                     self.queue_batches(n, out);
                     continue;
                 }
                 break;
             }
-            if self.nodes[n].core.take_policy_dirty() {
-                // The controller retuned: re-batch everything not yet
-                // admitted to this node's engine (in-flight requests
-                // are committed). Cached requests are stale and
-                // regenerated.
-                let pol = self.nodes[n].core.policy();
-                let mut out = Vec::new();
-                self.nodes[n]
-                    .core
-                    .batcher
-                    .set_max_batch(pol.max_batch, &mut out);
+            if self.nodes[n].core.take_policy_dirty(0) {
+                // The controller retuned: `rebatch_lane` repacks
+                // everything not yet admitted to this node's engine
+                // (in-flight requests are committed) plus the open
+                // coalesce residual at the new knob. Cached requests
+                // are stale and regenerated.
                 let queued: Vec<Batch> = self.nodes[n].pending.drain(..).map(|(b, _)| b).collect();
-                self.nodes[n].core.batcher.reform(queued, &mut out);
-                for b in out {
+                for b in self.nodes[n].core.rebatch_lane(0, queued) {
                     self.nodes[n].pending.push_back((b, None));
                 }
             }
@@ -782,7 +950,9 @@ impl ClusterRealRuntime {
         match self.stats.credit_items(now, qid, items) {
             node::Credit::Pending => {}
             node::Credit::Done(f) => {
-                let settled = self.nodes[f.node].core.on_query_done(now, f.latency_ms);
+                let settled = self.nodes[f.node]
+                    .core
+                    .on_query_done(now, f.tenant, f.latency_ms);
                 self.stats.record(now, &f, settled);
                 self.router.complete(NodeId(f.node));
                 self.outstanding -= 1;

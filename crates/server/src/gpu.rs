@@ -9,11 +9,16 @@
 //! simulator's GPU. Because both layers share one formula, the server
 //! and the simulator can be cross-validated against each other (see
 //! `tests/cross_validation.rs`).
+//!
+//! Under multi-tenant serving one physical device is shared by every
+//! co-located model, so the executor carries one [`ModelCost`] per
+//! tenant and each offload is priced by its owner's model.
 
 use drs_core::{us_to_ns, SimTime};
 use drs_platform::{CpuPlatform, GpuPlatform, ModelCost};
 
-/// Virtual-time FIFO executor for GPU-offloaded queries.
+/// Virtual-time FIFO executor for GPU-offloaded queries, shared by
+/// every tenant of a node.
 ///
 /// # Examples
 ///
@@ -27,13 +32,14 @@ use drs_platform::{CpuPlatform, GpuPlatform, ModelCost};
 ///     CpuPlatform::skylake(),
 ///     GpuPlatform::gtx_1080ti(),
 /// );
-/// let first = gx.schedule(0, 800);
-/// let second = gx.schedule(0, 800);
+/// let first = gx.schedule(0, 0, 800);
+/// let second = gx.schedule(0, 0, 800);
 /// assert_eq!(second, 2 * first, "FIFO: the second query queues");
 /// ```
 #[derive(Debug, Clone)]
 pub struct GpuExecutor {
-    cost: ModelCost,
+    /// Per-tenant cost models, in tenant order.
+    costs: Vec<ModelCost>,
     cpu: CpuPlatform,
     gpu: GpuPlatform,
     busy_until: SimTime,
@@ -44,8 +50,19 @@ pub struct GpuExecutor {
 impl GpuExecutor {
     /// Creates an idle executor for one model on one host/device pair.
     pub fn new(cost: ModelCost, cpu: CpuPlatform, gpu: GpuPlatform) -> Self {
+        Self::new_multi(vec![cost], cpu, gpu)
+    }
+
+    /// Creates an idle executor shared by several co-located models:
+    /// `costs[k]` prices tenant `k`'s offloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `costs` is empty.
+    pub fn new_multi(costs: Vec<ModelCost>, cpu: CpuPlatform, gpu: GpuPlatform) -> Self {
+        assert!(!costs.is_empty(), "an executor needs a tenant");
         GpuExecutor {
-            cost,
+            costs,
             cpu,
             gpu,
             busy_until: 0,
@@ -54,23 +71,24 @@ impl GpuExecutor {
         }
     }
 
-    /// End-to-end service time of one whole query of `size` items, in
-    /// microseconds — byte-for-byte the simulator's cost math.
-    pub fn service_us(&self, size: u32) -> f64 {
-        self.cost.gpu_query_us(&self.cpu, &self.gpu, size as usize)
+    /// End-to-end service time of one whole query of `size` items for
+    /// `tenant`, in microseconds — byte-for-byte the simulator's cost
+    /// math.
+    pub fn service_us(&self, tenant: usize, size: u32) -> f64 {
+        self.costs[tenant].gpu_query_us(&self.cpu, &self.gpu, size as usize)
     }
 
     /// [`service_us`](GpuExecutor::service_us) in nanoseconds.
-    pub fn service_ns(&self, size: u32) -> SimTime {
-        us_to_ns(self.service_us(size))
+    pub fn service_ns(&self, tenant: usize, size: u32) -> SimTime {
+        us_to_ns(self.service_us(tenant, size))
     }
 
-    /// FIFO-schedules a query arriving at `now` and returns its
-    /// completion time: it starts when the device frees up and holds
-    /// the device for its full service time.
-    pub fn schedule(&mut self, now: SimTime, size: u32) -> SimTime {
+    /// FIFO-schedules `tenant`'s query arriving at `now` and returns
+    /// its completion time: it starts when the device frees up and
+    /// holds the device for its full service time.
+    pub fn schedule(&mut self, now: SimTime, tenant: usize, size: u32) -> SimTime {
         let start = self.busy_until.max(now);
-        let done = start + self.service_ns(size);
+        let done = start + self.service_ns(tenant, size);
         self.busy_ns += (done - start) as u128;
         self.busy_until = done;
         self.completed += 1;
@@ -104,34 +122,52 @@ mod tests {
     #[test]
     fn idle_device_serves_at_cost() {
         let mut g = gx();
-        let done = g.schedule(5_000, 256);
-        assert_eq!(done, 5_000 + g.service_ns(256));
+        let done = g.schedule(5_000, 0, 256);
+        assert_eq!(done, 5_000 + g.service_ns(0, 256));
         assert_eq!(g.completed(), 1);
     }
 
     #[test]
     fn busy_device_queues_fifo() {
         let mut g = gx();
-        let d1 = g.schedule(0, 512);
-        let d2 = g.schedule(1, 512); // arrives while busy
-        assert_eq!(d2, d1 + g.service_ns(512));
-        assert_eq!(g.busy_ns(), 2 * g.service_ns(512) as u128);
+        let d1 = g.schedule(0, 0, 512);
+        let d2 = g.schedule(1, 0, 512); // arrives while busy
+        assert_eq!(d2, d1 + g.service_ns(0, 512));
+        assert_eq!(g.busy_ns(), 2 * g.service_ns(0, 512) as u128);
     }
 
     #[test]
     fn gap_leaves_device_idle() {
         let mut g = gx();
-        let d1 = g.schedule(0, 64);
+        let d1 = g.schedule(0, 0, 64);
         let late = d1 + 1_000_000;
-        let d2 = g.schedule(late, 64);
-        assert_eq!(d2, late + g.service_ns(64));
+        let d2 = g.schedule(late, 0, 64);
+        assert_eq!(d2, late + g.service_ns(0, 64));
         // Busy time excludes the idle gap.
-        assert_eq!(g.busy_ns(), 2 * g.service_ns(64) as u128);
+        assert_eq!(g.busy_ns(), 2 * g.service_ns(0, 64) as u128);
     }
 
     #[test]
     fn service_grows_with_query_size() {
         let g = gx();
-        assert!(g.service_us(1000) > g.service_us(10));
+        assert!(g.service_us(0, 1000) > g.service_us(0, 10));
+    }
+
+    #[test]
+    fn tenants_share_one_device_fifo() {
+        // Two models on one device: tenant 1's query queues behind
+        // tenant 0's and is priced by its *own* model.
+        let mut g = GpuExecutor::new_multi(
+            vec![
+                ModelCost::new(&zoo::dlrm_rmc1()),
+                ModelCost::new(&zoo::ncf()),
+            ],
+            CpuPlatform::skylake(),
+            GpuPlatform::gtx_1080ti(),
+        );
+        assert_ne!(g.service_ns(0, 400), g.service_ns(1, 400));
+        let d0 = g.schedule(0, 0, 400);
+        let d1 = g.schedule(0, 1, 400);
+        assert_eq!(d1, d0 + g.service_ns(1, 400), "queued behind tenant 0");
     }
 }

@@ -8,18 +8,28 @@
 //! the first to exist once *per node* while the second stays global, so
 //! this module splits them:
 //!
-//! * [`NodeCore`] — one node's scheduling brain: its batching queue,
-//!   its GPU offload executor, its online controller, and its
+//! * [`NodeCore`] — one node's scheduling brain: one [`TenantLane`]
+//!   per co-located service (its batching queue and its online
+//!   controller), a shared GPU offload executor, and the node's
 //!   backpressure gauges. A [`crate::Server`] owns one; a
 //!   [`crate::Cluster`] owns N.
 //! * [`StreamStats`] — stream-wide measurement shared across nodes:
 //!   which queries are in flight, where each was routed, and the
-//!   latency/throughput recorders the final report is cut from.
+//!   latency/throughput recorders (global and per-tenant) the final
+//!   report is cut from.
 //! * [`serve_virtual_multi`] — the deterministic virtual-time event
 //!   loop over N nodes behind a [`crate::Router`]; `Server` runs it
 //!   with a single node, `Cluster` with the whole topology.
+//!
+//! Multi-tenancy is the paper's co-located-services setting (§III):
+//! several zoo models share one engine pool, each batching and tuning
+//! its own knobs. The pool itself is arbitrated by deficit round-robin
+//! across the per-tenant ready queues, so a heavy tenant's backlog
+//! cannot starve a light tenant of workers — each lane earns
+//! `weight × quantum` items of service per round and banks what it
+//! does not use.
 
-use crate::batcher::{Batch, BatchQueue};
+use crate::batcher::{Batch, BatchQueue, BatchStats};
 use crate::cluster::Router;
 use crate::controller::OnlineController;
 use crate::gpu::GpuExecutor;
@@ -27,7 +37,7 @@ use crate::report::ServerReport;
 use crate::server::ServerOptions;
 use drs_core::{
     secs_to_ns, stream_offered_qps, us_to_ns, EventQueue, NodeId, SchedulerPolicy, SimTime,
-    NS_PER_SEC,
+    TenantBreakdown, TenantId, NS_PER_SEC,
 };
 use drs_metrics::LatencyRecorder;
 use drs_platform::{CpuPlatform, GpuPlatform, ModelCost};
@@ -43,100 +53,211 @@ pub(crate) struct NodeSetup {
     pub workers: usize,
 }
 
+/// One tenant's serving parameters, as a node's lanes are built from
+/// them.
+#[derive(Debug, Clone)]
+pub(crate) struct TenantSetup {
+    /// Knobs served when no controller is attached (and the seed of
+    /// the controller's threshold phase).
+    pub policy: SchedulerPolicy,
+    /// Fair-share weight on the shared-pool arbiter.
+    pub weight: u32,
+    /// The p95 tier the tenant's report breakdown is judged against.
+    pub report_sla_ms: f64,
+    /// Overrides the controller's SLA normalization with the tenant's
+    /// own tier; `None` keeps the `ControllerConfig` value (the
+    /// single-tenant constructors' historical behaviour).
+    pub controller_sla_ms: Option<f64>,
+}
+
+impl TenantSetup {
+    /// The single-service tenant every legacy constructor reduces to.
+    pub fn solo(policy: SchedulerPolicy, report_sla_ms: f64) -> Self {
+        TenantSetup {
+            policy,
+            weight: 1,
+            report_sla_ms,
+            controller_sla_ms: None,
+        }
+    }
+}
+
 /// `(retunes, batch trajectory, threshold trajectory)` extracted from
-/// one node's controller at report time.
+/// one lane's controller at report time.
 pub(crate) type ControllerOutputs = (u64, Vec<(u32, f64)>, Vec<(u32, f64)>);
 
 /// Where one arrival went inside a node.
 pub(crate) enum Route {
     /// Offloaded whole; completes at the given virtual time.
     Gpu(SimTime),
-    /// Split/coalesced; these batches are ready to dispatch now.
+    /// Split/coalesced; these batches (of the query's tenant lane) are
+    /// ready to dispatch now.
     Cpu(Vec<Batch>),
 }
 
-/// One node's scheduling brain: batching queue + offload executor +
-/// online controller + backpressure gauges. No measurement state —
-/// that lives in [`StreamStats`].
-pub(crate) struct NodeCore {
+/// One tenant's scheduling lane inside a node: its own batching queue
+/// and its own online controller, tuning independently of every other
+/// lane (the paper's per-model knobs).
+#[derive(Debug)]
+struct TenantLane {
     fallback_policy: SchedulerPolicy,
     controller: Option<OnlineController>,
-    pub batcher: BatchQueue,
-    pub gpu: Option<GpuExecutor>,
-    /// Set when the controller changed the policy; the serving loop
-    /// must re-read it and re-batch any queued backlog.
+    batcher: BatchQueue,
+    /// Set when the lane's controller changed its policy; the serving
+    /// loop must re-read it and re-batch the lane's queued backlog.
     policy_dirty: bool,
+}
+
+impl TenantLane {
+    fn policy(&self) -> SchedulerPolicy {
+        self.controller
+            .as_ref()
+            .map_or(self.fallback_policy, |c| c.policy())
+    }
+}
+
+/// One node's scheduling brain: per-tenant lanes + shared offload
+/// executor + backpressure gauges. No measurement state — that lives
+/// in [`StreamStats`].
+pub(crate) struct NodeCore {
+    lanes: Vec<TenantLane>,
+    pub gpu: Option<GpuExecutor>,
     pub backpressure_stalls: u64,
     pub max_queue_depth: usize,
 }
 
 impl NodeCore {
-    /// Builds the brain for one node. A node without an accelerator
-    /// serves the options' policy with the offload knob stripped (its
-    /// controller then skips the threshold phase), so one cluster-wide
-    /// policy can drive a mixed fleet.
-    pub fn new(cost: &ModelCost, setup: &NodeSetup, opts: &ServerOptions) -> Self {
-        let node_policy = if setup.gpu.is_some() {
-            opts.policy
-        } else {
-            SchedulerPolicy {
-                max_batch: opts.policy.max_batch,
-                gpu_threshold: None,
-            }
-        };
-        let controller = opts
-            .controller
-            .clone()
-            .map(|c| OnlineController::new(c, node_policy, setup.gpu.is_some()));
-        let initial = controller.as_ref().map_or(node_policy, |c| c.policy());
+    /// Builds the brain for one node, one lane per tenant. A node
+    /// without an accelerator serves each tenant's policy with the
+    /// offload knob stripped (its controllers then skip the threshold
+    /// phase), so one cluster-wide spec can drive a mixed fleet.
+    pub fn new(
+        costs: &[ModelCost],
+        tenants: &[TenantSetup],
+        setup: &NodeSetup,
+        opts: &ServerOptions,
+    ) -> Self {
+        assert_eq!(costs.len(), tenants.len(), "one cost model per tenant");
         // Round, do not floor-at-1: a zero timeout must stay zero
         // (coalescing disabled).
         let timeout_ns = (opts.batching.coalesce_timeout_us * 1e3).round() as SimTime;
+        let lanes = tenants
+            .iter()
+            .map(|t| {
+                let node_policy = if setup.gpu.is_some() {
+                    t.policy
+                } else {
+                    SchedulerPolicy {
+                        max_batch: t.policy.max_batch,
+                        gpu_threshold: None,
+                    }
+                };
+                let controller = opts.controller.clone().map(|c| {
+                    let c = match t.controller_sla_ms {
+                        Some(sla) => c.with_sla_ms(sla),
+                        None => c,
+                    };
+                    OnlineController::new(c, node_policy, setup.gpu.is_some())
+                });
+                let initial = controller.as_ref().map_or(node_policy, |c| c.policy());
+                TenantLane {
+                    fallback_policy: node_policy,
+                    controller,
+                    batcher: BatchQueue::new(initial.max_batch, timeout_ns),
+                    policy_dirty: false,
+                }
+            })
+            .collect();
         NodeCore {
-            fallback_policy: node_policy,
-            controller,
-            batcher: BatchQueue::new(initial.max_batch, timeout_ns),
+            lanes,
             gpu: setup
                 .gpu
-                .map(|g| GpuExecutor::new(cost.clone(), setup.cpu, g)),
-            policy_dirty: false,
+                .map(|g| GpuExecutor::new_multi(costs.to_vec(), setup.cpu, g)),
             backpressure_stalls: 0,
             max_queue_depth: 0,
         }
     }
 
-    /// The policy this node applies right now.
-    pub fn policy(&self) -> SchedulerPolicy {
-        self.controller
-            .as_ref()
-            .map_or(self.fallback_policy, |c| c.policy())
+    /// The policy lane `t` applies right now.
+    pub fn policy(&self, t: usize) -> SchedulerPolicy {
+        self.lanes[t].policy()
+    }
+
+    /// Lane `t`'s batching queue.
+    pub fn batcher(&self, t: usize) -> &BatchQueue {
+        &self.lanes[t].batcher
+    }
+
+    /// Lane `t`'s batching queue, mutably.
+    pub fn batcher_mut(&mut self, t: usize) -> &mut BatchQueue {
+        &mut self.lanes[t].batcher
+    }
+
+    /// The earliest coalesce deadline across all lanes (the real
+    /// runtimes' wake-up bound).
+    pub fn earliest_deadline(&self) -> Option<SimTime> {
+        self.lanes.iter().filter_map(|l| l.batcher.deadline()).min()
+    }
+
+    /// Batching counters summed over every lane.
+    pub fn batch_stats(&self) -> BatchStats {
+        let mut total = BatchStats::default();
+        for lane in &self.lanes {
+            total.merge(lane.batcher.stats());
+        }
+        total
+    }
+
+    /// Re-batches everything lane `t` has not dispatched yet at its
+    /// retuned knob: re-reads the policy, flushes the open coalesce
+    /// residual (a retune collapses the residual's remaining window to
+    /// *now* — old work must not wait out a window formed under the
+    /// old knob), and repacks `backlog` followed by that residual at
+    /// the new batch size. All three runtimes route their retune
+    /// through here so the stale-coalesce fix cannot drift between
+    /// them. (Backlog first, then the flushed residual: its items
+    /// arrived after the backlog's, and `reform` preserves per-query
+    /// item order.)
+    pub fn rebatch_lane(&mut self, t: usize, mut backlog: Vec<Batch>) -> Vec<Batch> {
+        let pol = self.lanes[t].policy();
+        let batcher = &mut self.lanes[t].batcher;
+        let mut flushed = Vec::new();
+        batcher.set_max_batch(pol.max_batch, &mut flushed);
+        batcher.flush_all(&mut flushed);
+        backlog.extend(flushed);
+        let mut out = Vec::new();
+        batcher.reform(backlog, &mut out);
+        out
     }
 
     /// Routes one arrival inside the node: GPU offload or batch/split
-    /// onto the CPU queue.
+    /// onto the query's tenant lane.
     pub fn on_arrival(&mut self, now: SimTime, q: &Query) -> Route {
-        if let Some(c) = &mut self.controller {
+        let t = q.tenant.index();
+        if let Some(c) = &mut self.lanes[t].controller {
             c.on_arrival(now);
         }
-        let pol = self.policy();
+        let pol = self.lanes[t].policy();
         if let Some(gpu) = self.gpu.as_mut().filter(|_| pol.offloads(q.size)) {
-            Route::Gpu(gpu.schedule(now, q.size))
+            Route::Gpu(gpu.schedule(now, t, q.size))
         } else {
             let mut out = Vec::new();
-            self.batcher.set_max_batch(pol.max_batch, &mut out);
-            self.batcher.push(now, q.id, q.size, &mut out);
+            let batcher = &mut self.lanes[t].batcher;
+            batcher.set_max_batch(pol.max_batch, &mut out);
+            batcher.push(now, q.id, q.size, &mut out);
             Route::Cpu(out)
         }
     }
 
-    /// Feeds one finished query's latency to the node's controller;
-    /// returns whether the controller is settled (for the settled-tail
+    /// Feeds one finished query's latency to its lane's controller;
+    /// returns whether that controller is settled (for the settled-tail
     /// recorder).
-    pub fn on_query_done(&mut self, now: SimTime, latency_ms: f64) -> bool {
-        match &mut self.controller {
+    pub fn on_query_done(&mut self, now: SimTime, t: usize, latency_ms: f64) -> bool {
+        let lane = &mut self.lanes[t];
+        match &mut lane.controller {
             Some(c) => {
                 if c.on_complete(now, latency_ms) {
-                    self.policy_dirty = true;
+                    lane.policy_dirty = true;
                 }
                 c.is_settled()
             }
@@ -144,44 +265,51 @@ impl NodeCore {
         }
     }
 
-    /// Feeds one arrival to the node's controller without routing any
+    /// Feeds one arrival to lane `t`'s controller without routing any
     /// work — the sharded merge home's control-loop signal (the work
     /// itself lands as partials on every shard node).
-    pub fn note_controller_arrival(&mut self, now: SimTime) {
-        if let Some(c) = &mut self.controller {
+    pub fn note_controller_arrival(&mut self, now: SimTime, t: usize) {
+        if let Some(c) = &mut self.lanes[t].controller {
             c.on_arrival(now);
         }
     }
 
     /// Routes one *shard partial* into the node: batch/split onto the
-    /// CPU queue, bypassing both the GPU (sharded serving is CPU-path)
-    /// and the controller's arrival accounting (the merge home owns
-    /// the query's control-loop signal; remote shards just gather).
+    /// query's tenant lane, bypassing both the GPU (sharded serving is
+    /// CPU-path) and the controller's arrival accounting (the merge
+    /// home owns the query's control-loop signal; remote shards just
+    /// gather).
     pub fn on_partial_arrival(&mut self, now: SimTime, q: &Query) -> Vec<Batch> {
-        let pol = self.policy();
+        let t = q.tenant.index();
+        let pol = self.lanes[t].policy();
         let mut out = Vec::new();
-        self.batcher.set_max_batch(pol.max_batch, &mut out);
-        self.batcher.push(now, q.id, q.size, &mut out);
+        let batcher = &mut self.lanes[t].batcher;
+        batcher.set_max_batch(pol.max_batch, &mut out);
+        batcher.push(now, q.id, q.size, &mut out);
         out
     }
 
-    /// Whether the policy changed since the last check (clears the
-    /// flag).
-    pub fn take_policy_dirty(&mut self) -> bool {
-        std::mem::take(&mut self.policy_dirty)
+    /// Whether lane `t`'s policy changed since the last check (clears
+    /// the flag).
+    pub fn take_policy_dirty(&mut self, t: usize) -> bool {
+        std::mem::take(&mut self.lanes[t].policy_dirty)
     }
 
     pub fn note_queue_depth(&mut self, depth: usize) {
         self.max_queue_depth = self.max_queue_depth.max(depth);
     }
 
-    /// Consumes the brain, returning the controller's outputs:
-    /// `(retunes, batch trajectory, threshold trajectory)`.
-    pub fn into_controller_outputs(self) -> ControllerOutputs {
-        match self.controller {
-            Some(c) => (c.retunes, c.batch_trajectory, c.threshold_trajectory),
-            None => (0, Vec::new(), Vec::new()),
-        }
+    /// Consumes the brain, returning each lane's controller outputs:
+    /// `(retunes, batch trajectory, threshold trajectory)`, in tenant
+    /// order.
+    pub fn into_controller_outputs(self) -> Vec<ControllerOutputs> {
+        self.lanes
+            .into_iter()
+            .map(|lane| match lane.controller {
+                Some(c) => (c.retunes, c.batch_trajectory, c.threshold_trajectory),
+                None => (0, Vec::new(), Vec::new()),
+            })
+            .collect()
     }
 }
 
@@ -191,6 +319,7 @@ struct QueryState {
     items_left: u32,
     measured: bool,
     node: usize,
+    tenant: usize,
     /// Virtual time the exchange + merge will take once the last
     /// partial lands (0 = unsharded: complete immediately).
     merge_ns: SimTime,
@@ -200,6 +329,7 @@ struct QueryState {
 /// [`StreamStats::credit_items`].
 pub(crate) struct FinishedQuery {
     pub node: usize,
+    pub tenant: usize,
     pub latency_ms: f64,
     pub measured: bool,
 }
@@ -229,6 +359,9 @@ pub(crate) struct StreamStats {
     settled: LatencyRecorder,
     latencies_ms: Vec<f64>,
     completed_measured: u64,
+    /// Per-tenant slices of the window, in tenant order.
+    tenant_latency: Vec<LatencyRecorder>,
+    tenant_completed: Vec<u64>,
     items_total: u64,
     items_gpu: u64,
     /// Accumulated exchange + merge delay across measured sharded
@@ -240,7 +373,7 @@ pub(crate) struct StreamStats {
 }
 
 impl StreamStats {
-    pub fn new(num_queries: usize, warmup_frac: f64) -> Self {
+    pub fn new(num_queries: usize, warmup_frac: f64, tenants: usize) -> Self {
         StreamStats {
             warmup_n: (num_queries as f64 * warmup_frac) as u64,
             queries: HashMap::new(),
@@ -248,6 +381,8 @@ impl StreamStats {
             settled: LatencyRecorder::new(),
             latencies_ms: Vec::new(),
             completed_measured: 0,
+            tenant_latency: (0..tenants).map(|_| LatencyRecorder::new()).collect(),
+            tenant_completed: vec![0; tenants],
             items_total: 0,
             items_gpu: 0,
             exchange_ns_total: 0,
@@ -281,6 +416,13 @@ impl StreamStats {
     ) -> bool {
         assert!(fanout >= 1, "a query must reach at least one node");
         assert!(exchange_ns <= merge_ns, "exchange is part of the merge");
+        assert!(
+            q.tenant.index() < self.tenant_completed.len(),
+            "query {} tagged {} but the stack serves {} tenant(s)",
+            q.id,
+            q.tenant,
+            self.tenant_completed.len()
+        );
         let measured = q.id >= self.warmup_n;
         let prev = self.queries.insert(
             q.id,
@@ -289,6 +431,7 @@ impl StreamStats {
                 items_left: q.size * fanout,
                 measured,
                 node: home,
+                tenant: q.tenant.index(),
                 merge_ns,
             },
         );
@@ -317,7 +460,7 @@ impl StreamStats {
 
     /// Credits `items` of a query as done. On the query's last item:
     /// unsharded queries finish immediately ([`Credit::Done`] — the
-    /// caller feeds the latency to the owning node's controller and
+    /// caller feeds the latency to the owning lane's controller and
     /// calls [`StreamStats::record`]); sharded queries return
     /// [`Credit::AwaitExchange`] and finish via
     /// [`StreamStats::finish_exchanged`] after the merge delay.
@@ -337,6 +480,7 @@ impl StreamStats {
         let st = self.queries.remove(&qid).expect("known query");
         Credit::Done(FinishedQuery {
             node: st.node,
+            tenant: st.tenant,
             latency_ms: (now - st.arrival) as f64 / 1e6,
             measured: st.measured,
         })
@@ -349,12 +493,13 @@ impl StreamStats {
         debug_assert_eq!(st.items_left, 0, "merge fired with items in flight");
         FinishedQuery {
             node: st.node,
+            tenant: st.tenant,
             latency_ms: (now - st.arrival) as f64 / 1e6,
             measured: st.measured,
         }
     }
 
-    /// Records a finished query's latency (after its node's controller
+    /// Records a finished query's latency (after its lane's controller
     /// saw it, so the settled flag is current).
     pub fn record(&mut self, now: SimTime, f: &FinishedQuery, settled: bool) {
         if f.measured {
@@ -363,6 +508,8 @@ impl StreamStats {
             if settled {
                 self.settled.record_ms(f.latency_ms);
             }
+            self.tenant_latency[f.tenant].record_ms(f.latency_ms);
+            self.tenant_completed[f.tenant] += 1;
             self.completed_measured += 1;
             self.window_end = self.window_end.max(now);
         }
@@ -388,6 +535,7 @@ pub(crate) struct RunOutcome {
     pub stats: StreamStats,
     pub cores: Vec<NodeCore>,
     pub setups: Vec<NodeSetup>,
+    pub tenant_setups: Vec<TenantSetup>,
     pub utilization: Vec<NodeUtilization>,
     /// Measurement horizon in virtual ns (or model-time ns for real
     /// runs) the utilization integrals are normalized against.
@@ -401,14 +549,16 @@ pub(crate) struct RunOutcome {
 }
 
 /// Cuts the final [`ServerReport`] from a finished run: aggregates
-/// batching stats across nodes, averages utilization, sums power, and
-/// reports node 0's controller trajectory (the representative brain —
-/// every node climbs the same ladders).
+/// batching stats across nodes and lanes, averages utilization, sums
+/// power, slices the window per tenant, and reports node 0's
+/// controller trajectory for tenant 0 (the representative lane — every
+/// node climbs the same ladders).
 pub(crate) fn assemble_report(outcome: RunOutcome, offered_qps: f64) -> ServerReport {
     let RunOutcome {
         stats,
         cores,
         setups,
+        tenant_setups,
         utilization,
         end_ns,
         node_queries,
@@ -467,28 +617,43 @@ pub(crate) fn assemble_report(outcome: RunOutcome, offered_qps: f64) -> ServerRe
         0.0
     };
 
-    let mut batch_stats = crate::batcher::BatchStats::default();
+    let mut batch_stats = BatchStats::default();
     for c in &cores {
-        let s = c.batcher.stats();
-        batch_stats.batches += s.batches;
-        batch_stats.full_batches += s.full_batches;
-        batch_stats.coalesced_batches += s.coalesced_batches;
-        batch_stats.timeout_flushes += s.timeout_flushes;
-        batch_stats.items += s.items;
+        batch_stats.merge(c.batch_stats());
     }
     let backpressure_stalls: u64 = cores.iter().map(|c| c.backpressure_stalls).sum();
     let max_queue_depth = cores.iter().map(|c| c.max_queue_depth).max().unwrap_or(0);
-    let final_policy = cores[0].policy();
+    let final_policy = cores[0].policy(0);
+    let tenant_final_policies: Vec<SchedulerPolicy> = (0..tenant_setups.len())
+        .map(|t| cores[0].policy(t))
+        .collect();
+
+    let tenant_breakdowns: Vec<TenantBreakdown> = tenant_setups
+        .iter()
+        .enumerate()
+        .map(|(t, ts)| TenantBreakdown {
+            tenant: TenantId(t as u32),
+            completed: stats.tenant_completed[t],
+            qps: if window_s > 0.0 {
+                stats.tenant_completed[t] as f64 / window_s
+            } else {
+                0.0
+            },
+            latency: stats.tenant_latency[t].summary(),
+            sla_ms: ts.report_sla_ms,
+        })
+        .collect();
 
     let mut retunes = 0;
     let mut batch_trajectory = Vec::new();
     let mut threshold_trajectory = Vec::new();
     for (i, core) in cores.into_iter().enumerate() {
-        let (r, bt, tt) = core.into_controller_outputs();
-        retunes += r;
-        if i == 0 {
-            batch_trajectory = bt;
-            threshold_trajectory = tt;
+        for (t, (r, bt, tt)) in core.into_controller_outputs().into_iter().enumerate() {
+            retunes += r;
+            if i == 0 && t == 0 {
+                batch_trajectory = bt;
+                threshold_trajectory = tt;
+            }
         }
     }
 
@@ -530,10 +695,15 @@ pub(crate) fn assemble_report(outcome: RunOutcome, offered_qps: f64) -> ServerRe
         node_queries,
         exchanged_queries: stats.exchanged,
         mean_exchange_ms: if stats.exchanged > 0 {
+            // Completion-weighted across nodes: one global accumulator
+            // over every exchanged query, never an average of per-node
+            // means (pinned by `tests/sharding.rs`).
             stats.exchange_ns_total as f64 / stats.exchanged as f64 / 1e6
         } else {
             0.0
         },
+        tenant_breakdowns,
+        tenant_final_policies,
         latencies_ms: stats.latencies_ms,
     }
 }
@@ -545,9 +715,11 @@ enum Ev {
     },
     Coalesce {
         node: usize,
+        tenant: usize,
     },
     CpuDone {
         node: usize,
+        tenant: usize,
         batch: u64,
     },
     GpuDone {
@@ -561,11 +733,28 @@ enum Ev {
     },
 }
 
-/// One node's virtual-time execution state around its [`NodeCore`].
+/// Items of shared-pool service a weight-1 tenant earns per
+/// deficit-round-robin round. Any value at or above the largest batch
+/// guarantees a lane drains at least one batch per round; smaller
+/// values simply bank across rounds (classic DRR), at a few extra
+/// arbiter iterations.
+const DRR_QUANTUM_ITEMS: u64 = 256;
+
+/// One node's virtual-time execution state around its [`NodeCore`]:
+/// per-tenant ready queues arbitrated by deficit round-robin onto the
+/// shared worker pool.
 struct VirtualNode {
     core: NodeCore,
-    ready: VecDeque<Batch>,
-    inflight: HashMap<u64, Batch>,
+    /// Per-tenant dispatch queues, in tenant order.
+    ready: Vec<VecDeque<Batch>>,
+    /// Batches queued across all lanes (the backpressure gauge).
+    ready_total: usize,
+    /// DRR state: banked service per lane, per-lane quantum
+    /// (`weight × DRR_QUANTUM_ITEMS`), and the rotation cursor.
+    deficit: Vec<u64>,
+    quantum: Vec<u64>,
+    drr_cursor: usize,
+    inflight: HashMap<(usize, u64), Batch>,
     busy: usize,
     workers: usize,
     cpu: CpuPlatform,
@@ -580,14 +769,22 @@ struct VirtualNode {
 
 impl VirtualNode {
     fn new(
-        cost: &ModelCost,
+        costs: &[ModelCost],
+        tenants: &[TenantSetup],
         setup: &NodeSetup,
         opts: &ServerOptions,
         gather_fraction: Option<f64>,
     ) -> Self {
         VirtualNode {
-            core: NodeCore::new(cost, setup, opts),
-            ready: VecDeque::new(),
+            core: NodeCore::new(costs, tenants, setup, opts),
+            ready: tenants.iter().map(|_| VecDeque::new()).collect(),
+            ready_total: 0,
+            deficit: vec![0; tenants.len()],
+            quantum: tenants
+                .iter()
+                .map(|t| t.weight as u64 * DRR_QUANTUM_ITEMS)
+                .collect(),
+            drr_cursor: 0,
             inflight: HashMap::new(),
             busy: 0,
             workers: setup.workers,
@@ -604,58 +801,123 @@ impl VirtualNode {
         self.last_ns = now;
     }
 
-    /// Enqueues freshly formed batches, counting each one that meets a
-    /// dispatch queue already at its bound (the backpressure signal —
-    /// same per-batch semantics as the real engine's refusals).
-    fn enqueue(&mut self, batches: Vec<Batch>, bound: usize) {
+    /// Enqueues freshly formed batches on lane `t`, counting each one
+    /// that meets a dispatch pool already at its bound (the
+    /// backpressure signal — same per-batch semantics as the real
+    /// engine's refusals). The bound spans all lanes: the pool is
+    /// shared, so one tenant's backlog is every tenant's pressure.
+    fn enqueue(&mut self, t: usize, batches: Vec<Batch>, bound: usize) {
         for b in batches {
-            if self.ready.len() >= bound {
+            if self.ready_total >= bound {
                 self.core.backpressure_stalls += 1;
             }
-            self.ready.push_back(b);
+            self.ready[t].push_back(b);
+            self.ready_total += 1;
         }
     }
 
-    fn dispatch(&mut self, now: SimTime, cost: &ModelCost, n: usize, events: &mut EventQueue<Ev>) {
+    /// The deficit-round-robin pick: the next `(tenant, batch)` the
+    /// shared pool should serve. Each visit to a lane that cannot
+    /// afford its head batch banks one quantum and moves on; an
+    /// emptied lane forfeits its bank (no hoarding while idle). Ties
+    /// and rotation order are fixed by tenant index, so the arbiter is
+    /// deterministic.
+    fn drr_next(&mut self) -> Option<(usize, Batch)> {
+        if self.ready_total == 0 {
+            return None;
+        }
+        loop {
+            let t = self.drr_cursor;
+            if self.ready[t].is_empty() {
+                self.deficit[t] = 0;
+                self.drr_cursor = (t + 1) % self.ready.len();
+                continue;
+            }
+            let head_items = self.ready[t].front().expect("non-empty lane").items as u64;
+            if self.deficit[t] >= head_items {
+                self.deficit[t] -= head_items;
+                self.ready_total -= 1;
+                let b = self.ready[t].pop_front().expect("non-empty lane");
+                if self.ready[t].is_empty() {
+                    self.deficit[t] = 0;
+                }
+                return Some((t, b));
+            }
+            self.deficit[t] += self.quantum[t];
+            self.drr_cursor = (t + 1) % self.ready.len();
+        }
+    }
+
+    fn dispatch(
+        &mut self,
+        now: SimTime,
+        costs: &[ModelCost],
+        n: usize,
+        events: &mut EventQueue<Ev>,
+    ) {
         while self.busy < self.workers {
-            let Some(b) = self.ready.pop_front() else {
+            let Some((t, b)) = self.drr_next() else {
                 break;
             };
             self.busy += 1;
             let service = match self.gather_fraction {
-                Some(f) => cost.shard_gather_request_us(&self.cpu, b.items as usize, self.busy, f),
-                None => cost.cpu_request_us(&self.cpu, b.items as usize, self.busy),
+                Some(f) => {
+                    costs[t].shard_gather_request_us(&self.cpu, b.items as usize, self.busy, f)
+                }
+                None => costs[t].cpu_request_us(&self.cpu, b.items as usize, self.busy),
             };
             events.push(
                 now + us_to_ns(service),
                 Ev::CpuDone {
                     node: n,
+                    tenant: t,
                     batch: b.id,
                 },
             );
-            self.inflight.insert(b.id, b);
+            self.inflight.insert((t, b.id), b);
         }
-        self.core.note_queue_depth(self.ready.len());
+        self.core.note_queue_depth(self.ready_total);
     }
 
-    /// The controller retuned: re-batch the queued backlog at the new
-    /// size so it drains at the new knob's cost. (Repacked batches are
-    /// the same queued work, not new pressure — no backpressure
-    /// accounting here.)
-    fn retune(&mut self, now: SimTime, cost: &ModelCost, n: usize, events: &mut EventQueue<Ev>) {
-        let pol = self.core.policy();
-        let mut out = Vec::new();
-        self.core.batcher.set_max_batch(pol.max_batch, &mut out);
-        let queued: Vec<Batch> = self.ready.drain(..).collect();
-        self.core.batcher.reform(queued, &mut out);
-        self.ready.extend(out);
-        self.dispatch(now, cost, n, events);
+    /// Lane `t`'s controller retuned: [`NodeCore::rebatch_lane`]
+    /// repacks the queued backlog and the open coalesce residual at
+    /// the new knob, so old work drains at the new knob's cost and
+    /// nothing keeps waiting out a window formed under the old one
+    /// (the residual's remaining window collapses to *now*, so the
+    /// stale timer — armed for the old, later deadline — has nothing
+    /// left to strand). Should a future reform path leave a live
+    /// deadline instead, the re-arm below schedules its flush against
+    /// the *new* `BatchQueue::deadline()` — the same guard the push
+    /// paths use. (Repacked batches are the same queued work, not new
+    /// pressure — no backpressure accounting here.)
+    fn retune(
+        &mut self,
+        t: usize,
+        now: SimTime,
+        costs: &[ModelCost],
+        n: usize,
+        events: &mut EventQueue<Ev>,
+    ) {
+        let deadline_before = self.core.batcher(t).deadline();
+        let queued: Vec<Batch> = self.ready[t].drain(..).collect();
+        self.ready_total -= queued.len();
+        let out = self.core.rebatch_lane(t, queued);
+        self.ready_total += out.len();
+        self.ready[t].extend(out);
+        match self.core.batcher(t).deadline() {
+            Some(d) if deadline_before != Some(d) => {
+                events.push(d, Ev::Coalesce { node: n, tenant: t })
+            }
+            _ => {}
+        }
+        self.dispatch(now, costs, n, events);
     }
 }
 
 /// Serves `queries` across `setups.len()` nodes behind `router` in
-/// deterministic virtual time. The single-node [`crate::Server`] and
-/// the N-node [`crate::Cluster`] are both thin fronts over this loop.
+/// deterministic virtual time, with one tenant lane per entry of
+/// `tenants` on every node. The single-node [`crate::Server`] and the
+/// N-node [`crate::Cluster`] are both thin fronts over this loop.
 ///
 /// With `shard` set, every arrival fans out to each shard-holding
 /// node (which gathers its local tables' share), and the query
@@ -664,7 +926,8 @@ impl VirtualNode {
 /// partials in id order and the event queue is FIFO within a
 /// timestamp, so runs stay byte-deterministic per seed.
 pub(crate) fn serve_virtual_multi(
-    cost: &ModelCost,
+    costs: &[ModelCost],
+    tenants: &[TenantSetup],
     setups: &[NodeSetup],
     opts: &ServerOptions,
     mut router: Router,
@@ -673,13 +936,13 @@ pub(crate) fn serve_virtual_multi(
 ) -> ServerReport {
     assert!(!queries.is_empty(), "no queries to serve");
     let queue_bound = opts.batching.queue_bound;
-    let mut stats = StreamStats::new(queries.len(), opts.warmup_frac);
+    let mut stats = StreamStats::new(queries.len(), opts.warmup_frac, tenants.len());
     let mut nodes: Vec<VirtualNode> = setups
         .iter()
         .enumerate()
         .map(|(i, s)| {
             let fraction = shard.map(|sh| sh.gather_fraction(i));
-            VirtualNode::new(cost, s, opts, fraction)
+            VirtualNode::new(costs, tenants, s, opts, fraction)
         })
         .collect();
     let mut events: EventQueue<Ev> = EventQueue::new();
@@ -687,27 +950,30 @@ pub(crate) fn serve_virtual_multi(
         events.push(secs_to_ns(q.arrival_s), Ev::Arrival { idx });
     }
 
-    // Queues freshly formed batches on node `n`, scheduling a coalesce
-    // flush when the arrival opened a fresh buffer.
+    // Queues freshly formed batches on node `n`'s lane `t`, scheduling
+    // a coalesce flush when the arrival opened a fresh buffer.
     #[allow(clippy::too_many_arguments)] // one call site's context, bundled
     fn queue_on(
         nodes: &mut [VirtualNode],
         n: usize,
+        t: usize,
         batches: Vec<Batch>,
         deadline_before: Option<SimTime>,
         queue_bound: usize,
         now: SimTime,
-        cost: &ModelCost,
+        costs: &[ModelCost],
         events: &mut EventQueue<Ev>,
     ) {
-        nodes[n].enqueue(batches, queue_bound);
+        nodes[n].enqueue(t, batches, queue_bound);
         // Schedule a flush only when this arrival opened a fresh
         // coalesce buffer; an unchanged deadline already has its event.
-        match nodes[n].core.batcher.deadline() {
-            Some(d) if deadline_before != Some(d) => events.push(d, Ev::Coalesce { node: n }),
+        match nodes[n].core.batcher(t).deadline() {
+            Some(d) if deadline_before != Some(d) => {
+                events.push(d, Ev::Coalesce { node: n, tenant: t })
+            }
             _ => {}
         }
-        nodes[n].dispatch(now, cost, n, events);
+        nodes[n].dispatch(now, costs, n, events);
     }
 
     let mut end_ns: SimTime = 0;
@@ -716,7 +982,8 @@ pub(crate) fn serve_virtual_multi(
         let touched = match ev {
             Ev::Arrival { idx } => {
                 let q = &queries[idx];
-                let NodeId(home) = router.route(q.size);
+                let t = q.tenant.index();
+                let NodeId(home) = router.route(q.tenant, q.size);
                 match shard {
                     Some(sh) => {
                         // Fan the query to every shard node; the home
@@ -731,7 +998,7 @@ pub(crate) fn serve_virtual_multi(
                             0
                         };
                         let merge_ns =
-                            us_to_ns(sh.merge_delay_us(cost, &setups[home].cpu, home, q.size));
+                            us_to_ns(sh.merge_delay_us(&costs[t], &setups[home].cpu, home, q.size));
                         stats.note_arrival_sharded(
                             now,
                             q,
@@ -743,19 +1010,20 @@ pub(crate) fn serve_virtual_multi(
                         // The home node's controller owns the query's
                         // control signal (arrival accounting here,
                         // completion at merge time).
-                        nodes[home].core.note_controller_arrival(now);
+                        nodes[home].core.note_controller_arrival(now, t);
                         for &n in sh.shard_nodes() {
                             nodes[n].advance(now);
-                            let deadline_before = nodes[n].core.batcher.deadline();
+                            let deadline_before = nodes[n].core.batcher(t).deadline();
                             let batches = nodes[n].core.on_partial_arrival(now, q);
                             queue_on(
                                 &mut nodes,
                                 n,
+                                t,
                                 batches,
                                 deadline_before,
                                 queue_bound,
                                 now,
-                                cost,
+                                costs,
                                 &mut events,
                             );
                         }
@@ -764,7 +1032,7 @@ pub(crate) fn serve_virtual_multi(
                         let n = home;
                         nodes[n].advance(now);
                         let measured = stats.note_arrival(now, q, n);
-                        let deadline_before = nodes[n].core.batcher.deadline();
+                        let deadline_before = nodes[n].core.batcher(t).deadline();
                         match nodes[n].core.on_arrival(now, q) {
                             Route::Gpu(done) => {
                                 stats.note_gpu_items(measured, q.size);
@@ -774,11 +1042,12 @@ pub(crate) fn serve_virtual_multi(
                                 queue_on(
                                     &mut nodes,
                                     n,
+                                    t,
                                     batches,
                                     deadline_before,
                                     queue_bound,
                                     now,
-                                    cost,
+                                    costs,
                                     &mut events,
                                 );
                             }
@@ -787,25 +1056,32 @@ pub(crate) fn serve_virtual_multi(
                 }
                 home
             }
-            Ev::Coalesce { node: n } => {
+            Ev::Coalesce { node: n, tenant: t } => {
                 nodes[n].advance(now);
                 let mut out = Vec::new();
-                nodes[n].core.batcher.flush_due(now, &mut out);
+                nodes[n].core.batcher_mut(t).flush_due(now, &mut out);
                 if !out.is_empty() {
-                    nodes[n].enqueue(out, queue_bound);
-                    nodes[n].dispatch(now, cost, n, &mut events);
+                    nodes[n].enqueue(t, out, queue_bound);
+                    nodes[n].dispatch(now, costs, n, &mut events);
                 }
                 n
             }
-            Ev::CpuDone { node: n, batch } => {
+            Ev::CpuDone {
+                node: n,
+                tenant: t,
+                batch,
+            } => {
                 nodes[n].advance(now);
                 nodes[n].busy -= 1;
-                let b = nodes[n].inflight.remove(&batch).expect("known batch");
+                let b = nodes[n].inflight.remove(&(t, batch)).expect("known batch");
                 for seg in &b.segments {
                     match stats.credit_items(now, seg.query_id, seg.items) {
                         Credit::Pending => {}
                         Credit::Done(f) => {
-                            let settled = nodes[f.node].core.on_query_done(now, f.latency_ms);
+                            let settled =
+                                nodes[f.node]
+                                    .core
+                                    .on_query_done(now, f.tenant, f.latency_ms);
                             stats.record(now, &f, settled);
                             router.complete(NodeId(f.node));
                         }
@@ -818,7 +1094,7 @@ pub(crate) fn serve_virtual_multi(
                         ),
                     }
                 }
-                nodes[n].dispatch(now, cost, n, &mut events);
+                nodes[n].dispatch(now, costs, n, &mut events);
                 n
             }
             Ev::GpuDone { node: n, qid } => {
@@ -827,7 +1103,9 @@ pub(crate) fn serve_virtual_multi(
                 match stats.credit_items(now, qid, items) {
                     Credit::Pending => {}
                     Credit::Done(f) => {
-                        let settled = nodes[f.node].core.on_query_done(now, f.latency_ms);
+                        let settled = nodes[f.node]
+                            .core
+                            .on_query_done(now, f.tenant, f.latency_ms);
                         stats.record(now, &f, settled);
                         router.complete(NodeId(f.node));
                     }
@@ -841,14 +1119,18 @@ pub(crate) fn serve_virtual_multi(
                 nodes[n].advance(now);
                 let f = stats.finish_exchanged(now, qid);
                 debug_assert_eq!(f.node, n, "merge fired at a non-home node");
-                let settled = nodes[f.node].core.on_query_done(now, f.latency_ms);
+                let settled = nodes[f.node]
+                    .core
+                    .on_query_done(now, f.tenant, f.latency_ms);
                 stats.record(now, &f, settled);
                 router.complete(NodeId(f.node));
                 n
             }
         };
-        if nodes[touched].core.take_policy_dirty() {
-            nodes[touched].retune(now, cost, touched, &mut events);
+        for t in 0..tenants.len() {
+            if nodes[touched].core.take_policy_dirty(t) {
+                nodes[touched].retune(t, now, costs, touched, &mut events);
+            }
         }
     }
 
@@ -873,6 +1155,7 @@ pub(crate) fn serve_virtual_multi(
             stats,
             cores,
             setups: setups.to_vec(),
+            tenant_setups: tenants.to_vec(),
             utilization,
             end_ns,
             node_queries,
@@ -880,4 +1163,115 @@ pub(crate) fn serve_virtual_multi(
         },
         stream_offered_qps(queries),
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(id: u64, items: u32) -> Batch {
+        Batch {
+            id,
+            segments: vec![crate::batcher::BatchSegment {
+                query_id: id,
+                items,
+            }],
+            items,
+            opened_at: 0,
+        }
+    }
+
+    fn arbiter(weights: &[u32]) -> VirtualNode {
+        let opts = ServerOptions::new(1, SchedulerPolicy::cpu_only(64));
+        let cost = ModelCost::new(&drs_models::zoo::ncf());
+        let costs: Vec<ModelCost> = weights.iter().map(|_| cost.clone()).collect();
+        let tenants: Vec<TenantSetup> = weights
+            .iter()
+            .map(|&w| {
+                let mut t = TenantSetup::solo(SchedulerPolicy::cpu_only(64), 100.0);
+                t.weight = w;
+                t
+            })
+            .collect();
+        let setup = NodeSetup {
+            cpu: CpuPlatform::skylake(),
+            gpu: None,
+            workers: 1,
+        };
+        VirtualNode::new(&costs, &tenants, &setup, &opts, None)
+    }
+
+    #[test]
+    fn drr_interleaves_equal_weights() {
+        let mut v = arbiter(&[1, 1]);
+        for i in 0..4 {
+            v.enqueue(0, vec![batch(i, 64)], 1024);
+            v.enqueue(1, vec![batch(100 + i, 64)], 1024);
+        }
+        let mut order = Vec::new();
+        while let Some((t, _)) = v.drr_next() {
+            order.push(t);
+        }
+        // Quantum (256) covers four 64-item batches per visit, so each
+        // lane drains its bank before the cursor rotates — but neither
+        // lane serves more than its share ahead of the other.
+        let served_0_first_half: usize = order[..4].iter().filter(|&&t| t == 0).count();
+        assert_eq!(order.len(), 8);
+        assert!(
+            (1..=4).contains(&served_0_first_half),
+            "lane 0 within its share early: {order:?}"
+        );
+        assert_eq!(order.iter().filter(|&&t| t == 0).count(), 4);
+    }
+
+    #[test]
+    fn drr_weight_skews_service_under_contention() {
+        let mut v = arbiter(&[2, 1]);
+        for i in 0..12 {
+            v.enqueue(0, vec![batch(i, 256)], 1024);
+            v.enqueue(1, vec![batch(100 + i, 256)], 1024);
+        }
+        let mut order = Vec::new();
+        for _ in 0..9 {
+            order.push(v.drr_next().expect("backlog remains").0);
+        }
+        let t0 = order.iter().filter(|&&t| t == 0).count();
+        assert_eq!(t0, 6, "weight 2 earns two thirds of the pool: {order:?}");
+    }
+
+    #[test]
+    fn drr_big_batches_bank_across_rounds() {
+        // Lane 0 queues 1024-item batches (4 quanta each); lane 1
+        // queues 64-item ones. Lane 1 must keep being served while
+        // lane 0 banks up — one big batch cannot monopolize the pool.
+        let mut v = arbiter(&[1, 1]);
+        for i in 0..2 {
+            v.enqueue(0, vec![batch(i, 1024)], 1024);
+        }
+        for i in 0..8 {
+            v.enqueue(1, vec![batch(100 + i, 64)], 1024);
+        }
+        let mut order = Vec::new();
+        while let Some((t, b)) = v.drr_next() {
+            order.push((t, b.items));
+        }
+        assert_eq!(order.len(), 10);
+        let first_big = order
+            .iter()
+            .position(|&(t, _)| t == 0)
+            .expect("lane 0 served");
+        assert!(
+            order[..first_big].iter().filter(|&&(t, _)| t == 1).count() >= 4,
+            "lane 1 served while lane 0 banks: {order:?}"
+        );
+    }
+
+    #[test]
+    fn drr_idle_lane_forfeits_bank() {
+        let mut v = arbiter(&[1, 1]);
+        v.enqueue(0, vec![batch(0, 64)], 1024);
+        while v.drr_next().is_some() {}
+        // Lane 0 drained; its leftover deficit must not persist.
+        assert_eq!(v.deficit[0], 0, "emptied lane resets its bank");
+    }
 }

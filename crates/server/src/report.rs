@@ -1,6 +1,6 @@
 //! Serving output: the open-loop counterpart of `SimReport`.
 
-use drs_core::{ReportView, SchedulerPolicy};
+use drs_core::{ReportView, SchedulerPolicy, TenantBreakdown};
 use drs_metrics::LatencySummary;
 
 /// Results of one open-loop serving run.
@@ -79,7 +79,15 @@ pub struct ServerReport {
     /// milliseconds: fabric round-trip + per-peer merges + payload
     /// wire time. The home's local dense tail is excluded — this is
     /// purely the scale-out price of the shard plan's geometry.
+    /// Completion-weighted over every exchanged query (a single global
+    /// accumulator), never an average of per-node means.
     pub mean_exchange_ms: f64,
+    /// Per-tenant slices of the window, in tenant order (single-tenant
+    /// runs carry one entry).
+    pub tenant_breakdowns: Vec<TenantBreakdown>,
+    /// The policy each tenant's lane held when the run ended, in
+    /// tenant order (node 0's lanes on a cluster).
+    pub tenant_final_policies: Vec<SchedulerPolicy>,
     /// Per-query latencies in milliseconds (measurement window only),
     /// in completion order.
     pub latencies_ms: Vec<f64>,
@@ -128,6 +136,9 @@ impl ReportView for ServerReport {
     fn latencies_ms(&self) -> &[f64] {
         &self.latencies_ms
     }
+    fn tenant_breakdowns(&self) -> &[TenantBreakdown] {
+        &self.tenant_breakdowns
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +182,8 @@ mod tests {
             node_queries: vec![1000],
             exchanged_queries: 0,
             mean_exchange_ms: 0.0,
+            tenant_breakdowns: Vec::new(),
+            tenant_final_policies: Vec::new(),
             latencies_ms: Vec::new(),
         };
         assert!(r.meets_sla(100.0));

@@ -6,10 +6,12 @@ use crate::cluster::Router;
 use crate::controller::ControllerConfig;
 use crate::node::{
     self, CpuUtilOverride, NodeCore, NodeSetup, NodeUtilization, Route, RunOutcome, StreamStats,
+    TenantSetup,
 };
 use crate::report::ServerReport;
 use drs_core::{
-    secs_to_ns, stream_offered_qps, RoutingPolicy, SchedulerPolicy, ServingStack, SimTime,
+    secs_to_ns, stream_offered_qps, MultiModelSpec, RoutingPolicy, SchedulerPolicy, ServingStack,
+    SimTime,
 };
 use drs_engine::{EngineCompletion, EngineRequest, InferenceEngine};
 use drs_models::{ModelConfig, RecModel};
@@ -163,7 +165,10 @@ impl ServerOptions {
 /// ```
 #[derive(Debug)]
 pub struct Server {
-    cost: ModelCost,
+    /// Per-tenant cost models, in tenant order.
+    costs: Vec<ModelCost>,
+    /// Per-tenant serving parameters, in tenant order.
+    tenants: Vec<TenantSetup>,
     cpu: CpuPlatform,
     gpu: Option<GpuPlatform>,
     opts: ServerOptions,
@@ -188,7 +193,57 @@ impl Server {
             "policy offloads to a GPU the node does not have"
         );
         Server {
-            cost: ModelCost::new(cfg),
+            costs: vec![ModelCost::new(cfg)],
+            tenants: vec![TenantSetup::solo(opts.policy, cfg.sla_ms)],
+            cpu,
+            gpu,
+            opts,
+        }
+    }
+
+    /// Builds a server co-locating the spec's models on one node's
+    /// shared worker pool: each tenant gets its own batching queue and
+    /// (when `opts.controller` is set) its own online controller tuned
+    /// against its own SLA tier, while the pool is arbitrated by
+    /// deficit round-robin across tenants (PAPER §III: per-model
+    /// knobs on shared hardware).
+    ///
+    /// `opts.policy` is ignored; each tenant serves its spec policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if options are degenerate or any tenant's policy
+    /// offloads without a GPU on the node.
+    pub fn new_multi(
+        spec: &MultiModelSpec,
+        cpu: CpuPlatform,
+        gpu: Option<GpuPlatform>,
+        opts: ServerOptions,
+    ) -> Self {
+        opts.validate();
+        for t in spec.tenants() {
+            assert!(
+                t.policy.gpu_threshold.is_none() || gpu.is_some(),
+                "tenant {} offloads to a GPU the node does not have",
+                t.name
+            );
+        }
+        Server {
+            costs: spec
+                .tenants()
+                .iter()
+                .map(|t| ModelCost::new(&t.model))
+                .collect(),
+            tenants: spec
+                .tenants()
+                .iter()
+                .map(|t| TenantSetup {
+                    policy: t.policy,
+                    weight: t.weight,
+                    report_sla_ms: t.sla_ms,
+                    controller_sla_ms: Some(t.sla_ms),
+                })
+                .collect(),
             cpu,
             gpu,
             opts,
@@ -200,9 +255,15 @@ impl Server {
         &self.opts
     }
 
-    /// The cost model in use (shared with the simulator's math).
+    /// The cost model in use (the first tenant's, on a multi-tenant
+    /// server; shared with the simulator's math).
     pub fn cost(&self) -> &ModelCost {
-        &self.cost
+        &self.costs[0]
+    }
+
+    /// Number of co-located tenants this server serves.
+    pub fn tenants(&self) -> usize {
+        self.tenants.len()
     }
 
     fn setup(&self) -> NodeSetup {
@@ -228,7 +289,8 @@ impl Server {
             self.opts.seed,
         );
         node::serve_virtual_multi(
-            &self.cost,
+            &self.costs,
+            &self.tenants,
             &[self.setup()],
             &self.opts,
             router,
@@ -276,12 +338,18 @@ impl Server {
     /// with the server's configuration.
     pub fn serve_real(&self, model: Arc<RecModel>, queries: &[Query]) -> ServerReport {
         assert!(!queries.is_empty(), "no queries to serve");
+        assert_eq!(
+            self.tenants.len(),
+            1,
+            "multi-tenant serving runs in virtual time; a real-engine multi-model \
+             worker pool is a follow-on"
+        );
         let setup = self.setup();
         let engine = InferenceEngine::start(Arc::clone(&model), self.opts.workers)
             .with_queue_bound(self.opts.batching.queue_bound);
         let mut rt = RealRuntime {
-            stats: StreamStats::new(queries.len(), self.opts.warmup_frac),
-            node: NodeCore::new(&self.cost, &setup, &self.opts),
+            stats: StreamStats::new(queries.len(), self.opts.warmup_frac, 1),
+            node: NodeCore::new(&self.costs, &self.tenants, &setup, &self.opts),
             engine,
             model,
             rng: StdRng::seed_from_u64(self.opts.seed),
@@ -307,7 +375,7 @@ impl Server {
                 if let Some(&Reverse((t, _))) = rt.gpu_heap.peek() {
                     next = next.min(t.max(now));
                 }
-                if let Some(d) = rt.node.batcher.deadline() {
+                if let Some(d) = rt.node.earliest_deadline() {
                     next = next.min(d.max(now));
                 }
                 // Floor the wait so a cluster of imminent deadlines
@@ -362,6 +430,7 @@ impl Server {
                 stats,
                 cores: vec![node],
                 setups: vec![setup],
+                tenant_setups: self.tenants.clone(),
                 utilization: vec![NodeUtilization {
                     busy_core_ns: 0,
                     workers: self.opts.workers,
@@ -382,7 +451,11 @@ impl ServingStack for Server {
     type Report = ServerReport;
 
     fn label(&self) -> String {
-        "server".to_string()
+        if self.tenants.len() > 1 {
+            format!("server multi x{}", self.tenants.len())
+        } else {
+            "server".to_string()
+        }
     }
 
     fn serve_queries(&self, queries: &[Query]) -> ServerReport {
@@ -441,24 +514,21 @@ impl RealRuntime {
                     continue;
                 }
             }
-            if self.node.batcher.deadline().is_some_and(|d| d <= now) {
+            if self.node.batcher(0).deadline().is_some_and(|d| d <= now) {
                 let mut out = Vec::new();
-                self.node.batcher.flush_due(now, &mut out);
+                self.node.batcher_mut(0).flush_due(now, &mut out);
                 self.queue_batches(out);
                 continue;
             }
             break;
         }
-        if self.node.take_policy_dirty() {
-            // The controller retuned: re-batch everything not yet
-            // admitted to the engine (in-flight requests are
-            // committed). Cached requests are stale and regenerated.
-            let pol = self.node.policy();
-            let mut out = Vec::new();
-            self.node.batcher.set_max_batch(pol.max_batch, &mut out);
+        if self.node.take_policy_dirty(0) {
+            // The controller retuned: `rebatch_lane` repacks everything
+            // not yet admitted to the engine (in-flight requests are
+            // committed) plus the open coalesce residual at the new
+            // knob. Cached requests are stale and regenerated.
             let queued: Vec<Batch> = self.pending.drain(..).map(|(b, _)| b).collect();
-            self.node.batcher.reform(queued, &mut out);
-            for b in out {
+            for b in self.node.rebatch_lane(0, queued) {
                 self.pending.push_back((b, None));
             }
         }
@@ -517,7 +587,7 @@ impl RealRuntime {
         match self.stats.credit_items(now, qid, items) {
             node::Credit::Pending => {}
             node::Credit::Done(f) => {
-                let settled = self.node.on_query_done(now, f.latency_ms);
+                let settled = self.node.on_query_done(now, f.tenant, f.latency_ms);
                 self.stats.record(now, &f, settled);
                 self.outstanding -= 1;
             }

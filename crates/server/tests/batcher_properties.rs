@@ -1,0 +1,77 @@
+//! Property contracts of the dynamic batching queue's retune path.
+//!
+//! Items-conservation across `reform` is already pinned by the unit
+//! tests in `batcher.rs`; what they do not pin is *ordering*: a retune
+//! repack must keep every query's items in the order they were queued
+//! — per-query FIFO — or a re-batched backlog could complete a query's
+//! later chunk before an earlier one and skew its latency accounting.
+
+use drs_server::{Batch, BatchQueue};
+use proptest::prelude::*;
+
+/// Flattens batches into the per-item sequence of owning query ids —
+/// the total order the pool will serve items in.
+fn item_sequence(batches: &[Batch]) -> Vec<u64> {
+    batches
+        .iter()
+        .flat_map(|b| &b.segments)
+        .flat_map(|s| std::iter::repeat_n(s.query_id, s.items as usize))
+        .collect()
+}
+
+proptest! {
+    /// Reforming a backlog at any new batch size is a pure repack: the
+    /// item-level sequence (which query each served item belongs to,
+    /// in order) is exactly the queued sequence. This subsumes both
+    /// per-query segment order and cross-query FIFO.
+    #[test]
+    fn reform_preserves_per_query_item_order(
+        sizes in prop::collection::vec(1u32..600, 1..40),
+        old_max in 1u32..200,
+        new_max in 1u32..200,
+    ) {
+        let mut q = BatchQueue::new(old_max, 1_000_000);
+        let mut queued = Vec::new();
+        for (i, &s) in sizes.iter().enumerate() {
+            q.push(i as u64 * 10, i as u64, s, &mut queued);
+        }
+        q.flush_all(&mut queued);
+        let before = item_sequence(&queued);
+
+        let mut reformed = Vec::new();
+        q.set_max_batch(new_max, &mut reformed);
+        prop_assert!(reformed.is_empty(), "nothing open after flush_all");
+        q.reform(queued, &mut reformed);
+
+        prop_assert_eq!(item_sequence(&reformed), before);
+        // And the repack honours the new knob.
+        prop_assert!(reformed.iter().all(|b| b.items <= new_max));
+    }
+
+    /// Batch ids stay unique across the original formation and the
+    /// repack (the engine keys in-flight requests by them).
+    #[test]
+    fn reform_issues_fresh_unique_ids(
+        sizes in prop::collection::vec(1u32..300, 1..20),
+        new_max in 1u32..100,
+    ) {
+        let mut q = BatchQueue::new(64, 1_000_000);
+        let mut queued = Vec::new();
+        for (i, &s) in sizes.iter().enumerate() {
+            q.push(i as u64, i as u64, s, &mut queued);
+        }
+        q.flush_all(&mut queued);
+        let old_ids: Vec<u64> = queued.iter().map(|b| b.id).collect();
+        let mut reformed = Vec::new();
+        q.set_max_batch(new_max, &mut reformed);
+        q.reform(queued, &mut reformed);
+        let mut ids: Vec<u64> = old_ids
+            .iter()
+            .copied()
+            .chain(reformed.iter().map(|b| b.id))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), old_ids.len() + reformed.len());
+    }
+}

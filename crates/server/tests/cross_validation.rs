@@ -19,7 +19,7 @@ fn gpu_executor_uses_exactly_the_simulator_cost_math() {
         let gx = GpuExecutor::new(cost.clone(), cpu, gpu);
         for size in [1u32, 7, 64, 150, 400, 1000] {
             assert_eq!(
-                gx.service_us(size),
+                gx.service_us(0, size),
                 cost.gpu_query_us(&cpu, &gpu, size as usize),
                 "{} size {size}",
                 cfg.name

@@ -5,6 +5,7 @@
 
 use drs_core::{
     ClusterTopology, NodeId, NodeSpec, ReportView, RoutingPolicy, SchedulerPolicy, ServingStack,
+    TenantId,
 };
 use drs_models::zoo;
 use drs_platform::{CpuPlatform, GpuPlatform};
@@ -116,12 +117,12 @@ fn power_of_two_choices_beats_round_robin_p95_on_mixed_fleet() {
 fn size_aware_concentrates_large_queries_on_gpu_nodes() {
     let mut router = Router::new(RoutingPolicy::SizeAware, &[true, false, false], 250, 1);
     for _ in 0..50 {
-        let n = router.route(800); // large: must go to the GPU node
+        let n = router.route(TenantId::SOLO, 800); // large: must go to the GPU node
         assert_eq!(n, NodeId(0));
         router.complete(n);
     }
     // Small queries balance across the whole fleet.
-    let picks: Vec<NodeId> = (0..3).map(|_| router.route(10)).collect();
+    let picks: Vec<NodeId> = (0..3).map(|_| router.route(TenantId::SOLO, 10)).collect();
     assert_eq!(picks, vec![NodeId(0), NodeId(1), NodeId(2)]);
 }
 
@@ -135,13 +136,17 @@ fn router_gauges_and_tie_breaks() {
         0,
         9,
     );
-    let a = r.route(1);
-    let b = r.route(1);
-    let c = r.route(1);
+    let a = r.route(TenantId::SOLO, 1);
+    let b = r.route(TenantId::SOLO, 1);
+    let c = r.route(TenantId::SOLO, 1);
     assert_eq!((a, b, c), (NodeId(0), NodeId(1), NodeId(2)));
     r.complete(NodeId(1));
-    assert_eq!(r.route(1), NodeId(1), "freed node wins");
-    assert_eq!(r.route(1), NodeId(0), "then the tie breaks low");
+    assert_eq!(r.route(TenantId::SOLO, 1), NodeId(1), "freed node wins");
+    assert_eq!(
+        r.route(TenantId::SOLO, 1),
+        NodeId(0),
+        "then the tie breaks low"
+    );
     assert_eq!(r.dispatched(), &[2, 2, 1]);
 }
 
@@ -149,6 +154,59 @@ fn router_gauges_and_tie_breaks() {
 #[test]
 fn round_robin_cycles() {
     let mut r = Router::new(RoutingPolicy::RoundRobin, &[false, false], 0, 9);
-    let picks: Vec<usize> = (0..5).map(|_| r.route(1).0).collect();
+    let picks: Vec<usize> = (0..5).map(|_| r.route(TenantId::SOLO, 1).0).collect();
     assert_eq!(picks, vec![0, 1, 0, 1, 0]);
+}
+
+/// Tenant pins confine one tenant to its node set while other tenants
+/// keep the whole fleet — tenant-aware placement on top of the
+/// dispatch policy.
+#[test]
+fn tenant_pins_confine_routing() {
+    let mut r = Router::new(
+        RoutingPolicy::LeastOutstanding,
+        &[false, false, false],
+        0,
+        3,
+    )
+    .pin_tenant_to(TenantId(1), &[false, false, true]);
+    for _ in 0..5 {
+        assert_eq!(
+            r.route(TenantId(1), 10),
+            NodeId(2),
+            "pinned tenant stays put"
+        );
+    }
+    // The unpinned tenant balances over the whole fleet — and node 2's
+    // gauge (inflated by the pinned tenant) steers it away.
+    let picks: Vec<usize> = (0..4).map(|_| r.route(TenantId(0), 10).0).collect();
+    assert_eq!(picks, vec![0, 1, 0, 1]);
+}
+
+/// Round-robin rotation is per universe: a pinned tenant's routes
+/// (whose universe is a single node) must not reset or advance the
+/// unpinned tenants' cursor — interleaved arrivals still alternate
+/// cleanly over the full fleet.
+#[test]
+fn round_robin_rotation_survives_interleaved_pinned_tenant() {
+    let mut r = Router::new(RoutingPolicy::RoundRobin, &[false, false], 0, 9)
+        .pin_tenant_to(TenantId(1), &[false, true]);
+    let mut unpinned = Vec::new();
+    for _ in 0..4 {
+        unpinned.push(r.route(TenantId(0), 1).0);
+        assert_eq!(r.route(TenantId(1), 1), NodeId(1), "pin holds");
+    }
+    assert_eq!(
+        unpinned,
+        vec![0, 1, 0, 1],
+        "unpinned rotation must be undisturbed by the pinned tenant's routes"
+    );
+}
+
+/// A pin that admits no eligible node is a configuration error.
+#[test]
+#[should_panic(expected = "tenant pin admits no eligible node")]
+fn empty_tenant_pin_rejected() {
+    let _ = Router::new(RoutingPolicy::LeastOutstanding, &[false, false], 0, 1)
+        .pin_tenant_to(TenantId(0), &[false, false]);
 }

@@ -178,6 +178,65 @@ fn exchange_overhead_prices_the_scale_out() {
 }
 
 #[test]
+fn mean_exchange_is_completion_weighted_across_homes() {
+    // An asymmetric 2-node plan: node 0 holds far more tables than
+    // node 1, so a query merging at home 0 pays a different exchange
+    // price (it pulls node 1's small remote share) than one merging at
+    // home 1 (which pulls node 0's large share). Under round-robin
+    // homes with an odd query count the per-home populations are
+    // unequal too, so `mean_exchange_ms` only comes out right if it is
+    // completion-weighted over every exchanged query — an average of
+    // per-home means gives a measurably different number. Pin the
+    // weighted definition exactly.
+    let cfg = zoo::dlrm_rmc2();
+    let topo = ClusterTopology::new(vec![
+        NodeSpec::cpu_only(CpuPlatform::skylake()).with_mem_bytes(20 << 30),
+        NodeSpec::cpu_only(CpuPlatform::skylake()).with_mem_bytes(8 << 30),
+    ]);
+    let plan = ShardPlan::place(&cfg, &topo, PlacementPolicy::SizeGreedy).unwrap();
+    assert!(plan.is_sharded());
+    assert_ne!(
+        plan.tables_on(drs_core::NodeId(0)).len(),
+        plan.tables_on(drs_core::NodeId(1)).len(),
+        "placement must be asymmetric for this pin to bite"
+    );
+    let net = InterconnectModel::datacenter_100g();
+    let geo = plan.geometry(net);
+
+    // Three queries, distinct sizes, round-robin homes 0, 1, 0.
+    let sizes = [100u32, 700, 40];
+    let trace =
+        drs_query::Trace::from_pairs(&[(0.00, sizes[0]), (0.05, sizes[1]), (0.10, sizes[2])]);
+    let mut opts = ServerOptions::new(40, SchedulerPolicy::cpu_only(64));
+    opts.warmup_frac = 0.0;
+    let cluster = Cluster::new_sharded(&cfg, topo, RoutingPolicy::RoundRobin, plan, net, opts);
+    let r = cluster.serve_trace(&trace);
+    assert_eq!(r.exchanged_queries, 3);
+
+    // Recompute both candidate definitions from the plan's geometry,
+    // quantized exactly as the serving loop prices them.
+    let ns_of = |home: usize, size: u32| drs_core::us_to_ns(geo.exchange_us(home, size)) as f64;
+    let per_query = [ns_of(0, sizes[0]), ns_of(1, sizes[1]), ns_of(0, sizes[2])];
+    let weighted_ms = per_query.iter().sum::<f64>() / 3.0 / 1e6;
+    let home0_mean = (per_query[0] + per_query[2]) / 2.0;
+    let home1_mean = per_query[1];
+    let avg_of_means_ms = (home0_mean + home1_mean) / 2.0 / 1e6;
+
+    assert!(
+        (r.mean_exchange_ms - weighted_ms).abs() < 1e-9,
+        "report {} vs completion-weighted {}",
+        r.mean_exchange_ms,
+        weighted_ms
+    );
+    assert!(
+        (weighted_ms - avg_of_means_ms).abs() > 1e-6,
+        "scenario too symmetric to distinguish the definitions: {} vs {}",
+        weighted_ms,
+        avg_of_means_ms
+    );
+}
+
+#[test]
 fn single_shard_node_plan_exchanges_nothing() {
     // A roomy fleet lets size-greedy first-fit put every table on
     // node 0: the "sharded" cluster degenerates to one shard node.

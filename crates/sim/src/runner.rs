@@ -1,8 +1,9 @@
 //! The simulation loop.
 
 use drs_core::{
-    secs_to_ns, stream_offered_qps, us_to_ns, ClusterConfig, ClusterTopology, EventQueue, NodeId,
-    NodeSpec, SchedulerPolicy, ServingStack, SimReport, SimTime, NS_PER_SEC,
+    secs_to_ns, stream_offered_qps, us_to_ns, ClusterConfig, ClusterTopology, EventQueue,
+    MultiModelSpec, NodeId, NodeSpec, SchedulerPolicy, ServingStack, SimReport, SimTime,
+    TenantBreakdown, TenantId, NS_PER_SEC,
 };
 use drs_metrics::LatencyRecorder;
 use drs_models::ModelConfig;
@@ -31,11 +32,12 @@ impl RunOptions {
     }
 }
 
-/// Pending CPU request: (query id, batch items).
+/// Pending CPU request: (query id, batch items, owning tenant).
 #[derive(Debug, Clone, Copy)]
 struct CpuRequest {
     qid: u64,
     batch: u32,
+    tenant: usize,
 }
 
 #[derive(Debug)]
@@ -44,7 +46,7 @@ struct MachineState {
     cores_busy: usize,
     cpu_queue: VecDeque<CpuRequest>,
     gpu_busy: bool,
-    gpu_queue: VecDeque<(u64, u32)>,
+    gpu_queue: VecDeque<(u64, u32, usize)>,
     /// Requests (CPU parts or GPU queries) dispatched here and not yet
     /// finished — the least-loaded dispatch metric.
     outstanding: usize,
@@ -85,6 +87,9 @@ struct QueryState {
     arrival_ns: SimTime,
     parts_left: u32,
     measured: bool,
+    /// The tenant the query was issued against (index into the
+    /// simulation's tenant table).
+    tenant: usize,
     /// Exchange + merge delay once the last shard partial lands
     /// (0 = unsharded: complete with the last part).
     merge_ns: SimTime,
@@ -110,17 +115,31 @@ enum Ev {
     },
 }
 
-/// A configured simulation: model cost + cluster + scheduling policy.
+/// One co-located service inside the simulator: its cost model, its
+/// scheduling knobs, and the SLA tier its breakdown is judged against.
+#[derive(Debug, Clone)]
+struct SimTenant {
+    cost: ModelCost,
+    policy: SchedulerPolicy,
+    sla_ms: f64,
+}
+
+/// A configured simulation: per-tenant model costs + cluster +
+/// scheduling policies.
 ///
 /// `run` is `&self`, so one `Simulation` can evaluate many workloads
 /// (the hill climber re-runs it with different generators).
+/// Single-model constructors build the one-tenant special case;
+/// [`Simulation::new_multi`] co-locates several models on the same
+/// fleet, each serving queries tagged with its [`TenantId`] under its
+/// own knobs (the paper's per-model tuning result, §III).
 #[derive(Debug, Clone)]
 pub struct Simulation {
-    cost: ModelCost,
+    /// Co-located services, in [`TenantId`] order.
+    tenants: Vec<SimTenant>,
     /// Per-node hardware, in `NodeId` order (see
     /// [`Simulation::with_topology`]).
     nodes: Vec<NodeSpec>,
-    policy: SchedulerPolicy,
     /// Table-wise shard geometry, when the model serves sharded.
     shard: Option<ShardGeometry>,
 }
@@ -159,9 +178,45 @@ impl Simulation {
             "policy offloads to a GPU the cluster does not have"
         );
         Simulation {
-            cost: ModelCost::new(cfg),
+            tenants: vec![SimTenant {
+                cost: ModelCost::new(cfg),
+                policy,
+                sla_ms: cfg.sla_ms,
+            }],
             nodes: topology.nodes().to_vec(),
-            policy,
+            shard: None,
+        }
+    }
+
+    /// Builds a simulation co-locating the spec's models on one fleet:
+    /// queries tagged with [`TenantId`] `k` are scheduled under tenant
+    /// `k`'s policy and priced by its cost model, mirroring the
+    /// multi-tenant serving runtime in virtual time. The report carries
+    /// one [`TenantBreakdown`] per tenant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tenant's policy offloads and no node carries a
+    /// GPU.
+    pub fn new_multi(spec: &MultiModelSpec, topology: ClusterTopology) -> Self {
+        for t in spec.tenants() {
+            assert!(
+                t.policy.gpu_threshold.is_none() || topology.has_gpu(),
+                "tenant {} offloads to a GPU the cluster does not have",
+                t.name
+            );
+        }
+        Simulation {
+            tenants: spec
+                .tenants()
+                .iter()
+                .map(|t| SimTenant {
+                    cost: ModelCost::new(&t.model),
+                    policy: t.policy,
+                    sla_ms: t.sla_ms,
+                })
+                .collect(),
+            nodes: topology.nodes().to_vec(),
             shard: None,
         }
     }
@@ -186,8 +241,13 @@ impl Simulation {
             plan.node_count(),
             self.nodes.len()
         );
+        assert_eq!(
+            self.tenants.len(),
+            1,
+            "sharded serving is single-tenant; multi-tenant shard plans are a follow-on"
+        );
         assert!(
-            self.policy.gpu_threshold.is_none(),
+            self.tenants[0].policy.gpu_threshold.is_none(),
             "sharded serving is CPU-path: the policy must not offload"
         );
         for (n, spec) in self.nodes.iter().enumerate() {
@@ -230,9 +290,10 @@ impl Simulation {
         )
     }
 
-    /// The scheduling policy under simulation.
+    /// The scheduling policy under simulation (the first tenant's, on
+    /// a multi-tenant simulation).
     pub fn policy(&self) -> SchedulerPolicy {
-        self.policy
+        self.tenants[0].policy
     }
 
     /// The homogeneous view of the cluster under simulation (machine
@@ -251,9 +312,10 @@ impl Simulation {
         ClusterTopology::new(self.nodes.clone())
     }
 
-    /// The per-model cost model in use.
+    /// The per-model cost model in use (the first tenant's, on a
+    /// multi-tenant simulation).
     pub fn cost(&self) -> &ModelCost {
-        &self.cost
+        &self.tenants[0].cost
     }
 
     /// Runs one window of queries drawn from `gen` and reports
@@ -309,6 +371,13 @@ impl Simulation {
         let mut events: EventQueue<Ev> = EventQueue::new();
         let mut queries: HashMap<u64, QueryState> = HashMap::new();
         for q in query_list.iter().copied() {
+            assert!(
+                q.tenant.index() < self.tenants.len(),
+                "query {} tagged {} but the simulation serves {} tenant(s)",
+                q.id,
+                q.tenant,
+                self.tenants.len()
+            );
             let t = secs_to_ns(q.arrival_s);
             queries.insert(
                 q.id,
@@ -316,6 +385,7 @@ impl Simulation {
                     arrival_ns: t,
                     parts_left: 0,
                     measured: q.id >= warmup_n,
+                    tenant: q.tenant.index(),
                     merge_ns: 0,
                 },
             );
@@ -336,6 +406,10 @@ impl Simulation {
 
         let mut latency = LatencyRecorder::with_capacity(opts.num_queries);
         let mut latencies_ms: Vec<f64> = Vec::new();
+        let mut tenant_latency: Vec<LatencyRecorder> = (0..self.tenants.len())
+            .map(|_| LatencyRecorder::new())
+            .collect();
+        let mut tenant_completed: Vec<u64> = vec![0; self.tenants.len()];
         let mut completed_measured: u64 = 0;
         let mut items_gpu: u64 = 0;
         let mut items_total: u64 = 0;
@@ -348,6 +422,8 @@ impl Simulation {
             match ev {
                 Ev::Arrival { qid, size } => {
                     let state = queries.get_mut(&qid).expect("known query");
+                    let tenant = state.tenant;
+                    let policy = self.tenants[tenant].policy;
                     if state.measured {
                         items_total += size as u64;
                         if window_start.is_none() {
@@ -365,18 +441,24 @@ impl Simulation {
                             .copied()
                             .min_by_key(|&i| (machines[i].outstanding, i))
                             .expect("plans hold at least one shard");
-                        let merge_us =
-                            sh.merge_delay_us(&self.cost, &self.nodes[home].cpu, home, size);
+                        let merge_us = sh.merge_delay_us(
+                            &self.tenants[tenant].cost,
+                            &self.nodes[home].cpu,
+                            home,
+                            size,
+                        );
                         state.merge_ns = us_to_ns(merge_us);
                         state.parts_left = 0;
                         for &m in sh.shard_nodes() {
                             machines[m].advance(now);
-                            let parts = split_query(size, self.policy.max_batch);
+                            let parts = split_query(size, policy.max_batch);
                             queries.get_mut(&qid).expect("known query").parts_left +=
                                 parts.len() as u32;
                             machines[m].outstanding += parts.len();
                             for batch in parts {
-                                machines[m].cpu_queue.push_back(CpuRequest { qid, batch });
+                                machines[m]
+                                    .cpu_queue
+                                    .push_back(CpuRequest { qid, batch, tenant });
                             }
                             self.try_dispatch_cpu(m, now, &mut machines, &mut events);
                         }
@@ -388,20 +470,22 @@ impl Simulation {
                         .expect("non-empty cluster");
                     machines[m].advance(now);
                     let state = queries.get_mut(&qid).expect("known query");
-                    if self.policy.offloads(size) && self.nodes[m].gpu.is_some() {
+                    if policy.offloads(size) && self.nodes[m].gpu.is_some() {
                         state.parts_left = 1;
                         if state.measured {
                             items_gpu += size as u64;
                         }
                         machines[m].outstanding += 1;
-                        machines[m].gpu_queue.push_back((qid, size));
+                        machines[m].gpu_queue.push_back((qid, size, tenant));
                         self.try_start_gpu(m, now, &mut machines, &mut events);
                     } else {
-                        let parts = split_query(size, self.policy.max_batch);
+                        let parts = split_query(size, policy.max_batch);
                         state.parts_left = parts.len() as u32;
                         machines[m].outstanding += parts.len();
                         for batch in parts {
-                            machines[m].cpu_queue.push_back(CpuRequest { qid, batch });
+                            machines[m]
+                                .cpu_queue
+                                .push_back(CpuRequest { qid, batch, tenant });
                         }
                         self.try_dispatch_cpu(m, now, &mut machines, &mut events);
                     }
@@ -417,6 +501,8 @@ impl Simulation {
                         &mut events,
                         &mut latency,
                         &mut latencies_ms,
+                        &mut tenant_latency,
+                        &mut tenant_completed,
                         &mut completed_measured,
                         &mut window_end,
                     );
@@ -433,6 +519,8 @@ impl Simulation {
                         &mut events,
                         &mut latency,
                         &mut latencies_ms,
+                        &mut tenant_latency,
+                        &mut tenant_completed,
                         &mut completed_measured,
                         &mut window_end,
                     );
@@ -445,6 +533,8 @@ impl Simulation {
                         &mut queries,
                         &mut latency,
                         &mut latencies_ms,
+                        &mut tenant_latency,
+                        &mut tenant_completed,
                         &mut completed_measured,
                         &mut window_end,
                     );
@@ -495,6 +585,18 @@ impl Simulation {
             _ => span_s,
         };
         let qps = completed_measured as f64 / window_s.max(1e-9);
+        let tenant_breakdowns = self
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(k, t)| TenantBreakdown {
+                tenant: TenantId(k as u32),
+                completed: tenant_completed[k],
+                qps: tenant_completed[k] as f64 / window_s.max(1e-9),
+                latency: tenant_latency[k].summary(),
+                sla_ms: t.sla_ms,
+            })
+            .collect();
         SimReport {
             offered_qps,
             completed: completed_measured,
@@ -515,6 +617,7 @@ impl Simulation {
             },
             window_s,
             latencies_ms,
+            tenant_breakdowns,
         }
     }
 
@@ -531,18 +634,17 @@ impl Simulation {
                 break;
             };
             mach.cores_busy += 1;
+            let cost = &self.tenants[req.tenant].cost;
             let service_us = match &self.shard {
-                Some(sh) => self.cost.shard_gather_request_us(
+                Some(sh) => cost.shard_gather_request_us(
                     &self.nodes[m].cpu,
                     req.batch as usize,
                     mach.cores_busy,
                     sh.gather_fraction(m),
                 ),
-                None => self.cost.cpu_request_us(
-                    &self.nodes[m].cpu,
-                    req.batch as usize,
-                    mach.cores_busy,
-                ),
+                None => {
+                    cost.cpu_request_us(&self.nodes[m].cpu, req.batch as usize, mach.cores_busy)
+                }
             };
             events.push(
                 now + us_to_ns(service_us),
@@ -565,14 +667,15 @@ impl Simulation {
         if mach.gpu_busy {
             return;
         }
-        let Some((qid, size)) = mach.gpu_queue.pop_front() else {
+        let Some((qid, size, tenant)) = mach.gpu_queue.pop_front() else {
             return;
         };
         mach.gpu_busy = true;
         let gpu = self.nodes[m].gpu.as_ref().expect("GPU present");
-        let service_us = self
-            .cost
-            .gpu_query_us(&self.nodes[m].cpu, gpu, size as usize);
+        let service_us =
+            self.tenants[tenant]
+                .cost
+                .gpu_query_us(&self.nodes[m].cpu, gpu, size as usize);
         events.push(now + us_to_ns(service_us), Ev::GpuDone { machine: m, qid });
     }
 
@@ -584,6 +687,8 @@ impl Simulation {
         events: &mut EventQueue<Ev>,
         latency: &mut LatencyRecorder,
         latencies_ms: &mut Vec<f64>,
+        tenant_latency: &mut [LatencyRecorder],
+        tenant_completed: &mut [u64],
         completed_measured: &mut u64,
         window_end: &mut SimTime,
     ) {
@@ -606,6 +711,8 @@ impl Simulation {
             queries,
             latency,
             latencies_ms,
+            tenant_latency,
+            tenant_completed,
             completed_measured,
             window_end,
         );
@@ -618,6 +725,8 @@ impl Simulation {
         queries: &mut HashMap<u64, QueryState>,
         latency: &mut LatencyRecorder,
         latencies_ms: &mut Vec<f64>,
+        tenant_latency: &mut [LatencyRecorder],
+        tenant_completed: &mut [u64],
         completed_measured: &mut u64,
         window_end: &mut SimTime,
     ) {
@@ -627,6 +736,8 @@ impl Simulation {
             let ms = (now - state.arrival_ns) as f64 / 1e6;
             latency.record_ms(ms);
             latencies_ms.push(ms);
+            tenant_latency[state.tenant].record_ms(ms);
+            tenant_completed[state.tenant] += 1;
             *completed_measured += 1;
             *window_end = (*window_end).max(now);
         }
@@ -643,6 +754,9 @@ impl ServingStack for Simulation {
                 self.nodes.len(),
                 sh.shard_nodes().len()
             ),
+            None if self.tenants.len() > 1 => {
+                format!("sim x{} multi x{}", self.nodes.len(), self.tenants.len())
+            }
             None => format!("sim x{}", self.nodes.len()),
         }
     }
@@ -1063,6 +1177,108 @@ mod shard_tests {
         let plan = ShardPlan::place(&cfg, &topo, PlacementPolicy::SizeGreedy).unwrap();
         let _ = Simulation::with_topology(&cfg, topo, SchedulerPolicy::with_gpu(64, 200))
             .with_shard_plan(&plan, InterconnectModel::datacenter_100g());
+    }
+}
+
+#[cfg(test)]
+mod multitenant_tests {
+    use super::*;
+    use drs_core::TenantSpec;
+    use drs_models::zoo;
+    use drs_query::{ArrivalProcess, MixedStream, SizeDistribution, TenantId};
+
+    fn mixed(rates: &[f64], seed: u64, n: usize) -> Vec<drs_query::Query> {
+        MixedStream::new(
+            rates
+                .iter()
+                .enumerate()
+                .map(|(k, &r)| {
+                    QueryGenerator::new(
+                        ArrivalProcess::poisson(r),
+                        SizeDistribution::production(),
+                        seed + k as u64,
+                    )
+                })
+                .collect(),
+        )
+        .take(n)
+        .collect()
+    }
+
+    fn two_tenant_sim() -> Simulation {
+        Simulation::new_multi(
+            &MultiModelSpec::new(vec![
+                TenantSpec::new(zoo::dlrm_rmc1(), SchedulerPolicy::cpu_only(64)),
+                TenantSpec::new(zoo::ncf(), SchedulerPolicy::cpu_only(128)),
+            ]),
+            ClusterTopology::uniform(1, CpuPlatform::skylake(), None),
+        )
+    }
+
+    #[test]
+    fn co_location_completes_and_reports_per_tenant() {
+        let sim = two_tenant_sim();
+        assert_eq!(sim.label(), "sim x1 multi x2");
+        let qs = mixed(&[300.0, 300.0], 7, 1_000);
+        let r = sim.serve_queries(&qs);
+        assert_eq!(r.completed, 900, "10% warm-up excluded");
+        assert_eq!(r.tenant_breakdowns.len(), 2);
+        let total: u64 = r.tenant_breakdowns.iter().map(|b| b.completed).sum();
+        assert_eq!(total, r.completed, "breakdowns partition the window");
+        assert_eq!(r.tenant_breakdowns[0].tenant, TenantId(0));
+        assert_eq!(r.tenant_breakdowns[0].sla_ms, 100.0, "RMC1 tier");
+        assert_eq!(r.tenant_breakdowns[1].sla_ms, 5.0, "NCF tier");
+        for b in &r.tenant_breakdowns {
+            assert!(
+                b.completed > 200,
+                "tenant {} starved: {}",
+                b.tenant,
+                b.completed
+            );
+            assert!(b.latency.p95_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn multi_tenant_sim_is_deterministic() {
+        let qs = mixed(&[500.0, 120.0], 23, 1_200);
+        let mk = || format!("{:?}", two_tenant_sim().serve_queries(&qs));
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn tenant_costs_differ() {
+        // The same stream priced per tenant: RMC2 (embedding-heavy) is
+        // far slower per query than NCF, and the per-tenant breakdowns
+        // must show it even though both share the machine.
+        let sim = Simulation::new_multi(
+            &MultiModelSpec::new(vec![
+                TenantSpec::new(zoo::dlrm_rmc2(), SchedulerPolicy::cpu_only(64)),
+                TenantSpec::new(zoo::ncf(), SchedulerPolicy::cpu_only(64)),
+            ]),
+            ClusterTopology::uniform(1, CpuPlatform::skylake(), None),
+        );
+        let qs = mixed(&[50.0, 50.0], 11, 600);
+        let r = sim.serve_queries(&qs);
+        let (rmc2, ncf) = (&r.tenant_breakdowns[0], &r.tenant_breakdowns[1]);
+        assert!(
+            rmc2.latency.p95_ms > 3.0 * ncf.latency.p95_ms,
+            "RMC2 p95 {} vs NCF {}",
+            rmc2.latency.p95_ms,
+            ncf.latency.p95_ms
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "tagged t1 but the simulation serves 1 tenant")]
+    fn untracked_tenant_rejected() {
+        let sim = Simulation::new(
+            &zoo::ncf(),
+            ClusterConfig::single_skylake(),
+            SchedulerPolicy::cpu_only(64),
+        );
+        let qs = mixed(&[100.0, 100.0], 3, 50);
+        let _ = sim.serve_queries(&qs);
     }
 }
 
