@@ -1,0 +1,293 @@
+//! **Engine benchmark report** — extracts the three serving-critical
+//! throughput numbers the Criterion suite tracks (real-engine QPS,
+//! router routes/s, shard-gather GB/s) with direct wall-clock
+//! harnesses, and appends them as one JSON line to `BENCH_engine.json`
+//! at the repo root — one entry per PR, so the file accumulates a
+//! performance history the way CHANGES.md accumulates a change log.
+//!
+//! * `bench_report [--smoke|--full] [--label NAME] [--out PATH]` —
+//!   measure and append an entry;
+//! * `bench_report --check [--out PATH]` — parse every line of the
+//!   existing file and fail loudly if any entry is malformed (the CI
+//!   guard that keeps the history machine-readable).
+//!
+//! The JSON is hand-rolled and flat on purpose: no serde dependency,
+//! and `--check` carries its own parser so the format is pinned by
+//! code in this repo rather than by whatever a library tolerates.
+
+use deeprecsys::prelude::*;
+use drs_engine::EngineRequest;
+use drs_nn::{EmbeddingBag, Pooling};
+use drs_query::TenantId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Keys every entry must carry, in emission order.
+const REQUIRED_KEYS: &[&str] = &[
+    "schema",
+    "label",
+    "mode",
+    "engine_qps",
+    "router_routes_per_s",
+    "shard_gather_gbps",
+];
+
+fn main() {
+    let opts = drs_bench::parse_args();
+    let args: Vec<String> = std::env::args().collect();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+
+    if args.iter().any(|a| a == "--check") {
+        check(&out);
+        return;
+    }
+
+    let label = args
+        .iter()
+        .position(|a| a == "--label")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "local".to_string());
+
+    drs_bench::header(
+        "Engine benchmark report — real-engine QPS, router routes/s, shard-gather GB/s",
+        "the serving hot paths the Criterion suite tracks, extracted to one \
+         machine-readable BENCH_engine.json entry per PR",
+        &opts,
+    );
+
+    let engine_qps = measure_engine_qps(&opts);
+    println!("engine           : {engine_qps:.0} requests/s (2-worker pool, batch 16)");
+    let routes = measure_router_routes(&opts);
+    println!("router           : {routes:.0} routes/s (least-outstanding, 16 nodes)");
+    let gather = measure_shard_gather_gbps(&opts);
+    println!("shard gather     : {gather:.2} GB/s (2-way shard, merge included)");
+
+    let entry = format!(
+        "{{\"schema\": 1, \"label\": {}, \"mode\": {}, \"engine_qps\": {engine_qps:.1}, \
+         \"router_routes_per_s\": {routes:.0}, \"shard_gather_gbps\": {gather:.3}}}",
+        json_string(&label),
+        json_string(opts.mode.label()),
+    );
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&out)
+        .unwrap_or_else(|e| panic!("cannot open {out}: {e}"));
+    writeln!(file, "{entry}").expect("append entry");
+    println!("\nappended to {out}:\n{entry}");
+}
+
+/// Closed-loop throughput of the real worker pool: saturating a
+/// 2-worker [`InferenceEngine`] with batch-16 forward requests on a
+/// tiny-scaled NCF and counting completions per wall-clock second.
+fn measure_engine_qps(opts: &drs_bench::ExpOptions) -> f64 {
+    let cfg = zoo::ncf();
+    let mut rng = StdRng::seed_from_u64(11);
+    let model = Arc::new(RecModel::instantiate(&cfg, ModelScale::tiny(), &mut rng));
+    let inputs = model.generate_inputs(16, &mut rng);
+    let n = opts.pick(5_000, 1_000, 200);
+    let engine = InferenceEngine::start(model, 2);
+    // Warm the pool before the timed window.
+    for i in 0..16 {
+        engine.submit(EngineRequest::forward(i, inputs.clone()));
+    }
+    for _ in 0..16 {
+        engine.completions().recv().expect("warmup completion");
+    }
+    let start = Instant::now();
+    for i in 0..n {
+        engine.submit(EngineRequest::forward(i as u64, inputs.clone()));
+    }
+    for _ in 0..n {
+        engine.completions().recv().expect("completion");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    engine.shutdown();
+    n as f64 / elapsed
+}
+
+/// The router's per-query hot path at steady state: one policy
+/// decision plus the outstanding-gauge charge/release cycle, under the
+/// O(N)-scan least-outstanding policy on a 16-node fleet.
+fn measure_router_routes(opts: &drs_bench::ExpOptions) -> f64 {
+    let sizes: Vec<u32> = QueryGenerator::new(
+        ArrivalProcess::poisson(10_000.0),
+        SizeDistribution::production(),
+        7,
+    )
+    .take(10_000)
+    .map(|q| q.size)
+    .collect();
+    let gpu_nodes: Vec<bool> = (0..16).map(|i| i % 2 == 0).collect();
+    let reps = opts.pick(200, 50, 5);
+    let start = Instant::now();
+    let mut acc = 0usize;
+    for rep in 0..reps {
+        let mut router = Router::new(RoutingPolicy::LeastOutstanding, &gpu_nodes, 250, 11);
+        let mut inflight = Vec::with_capacity(64);
+        for &size in &sizes {
+            let n = router.route(TenantId::SOLO, size);
+            acc += n.0;
+            inflight.push(n);
+            if inflight.len() >= 64 {
+                router.complete(inflight.remove(0));
+            }
+        }
+        std::hint::black_box(acc + rep);
+    }
+    (reps * sizes.len()) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Sharded gather+merge bandwidth: per-shard partial forwards over a
+/// 2-way [`ShardedEmbeddingSet`] plus the merge, counting the row
+/// bytes the gathers read.
+fn measure_shard_gather_gbps(opts: &drs_bench::ExpOptions) -> f64 {
+    const TABLES: usize = 8;
+    const ROWS: usize = 20_000;
+    const DIM: usize = 32;
+    const LOOKUPS: usize = 80;
+    const BATCH: usize = 32;
+    let mut rng = StdRng::seed_from_u64(13);
+    let bags: Vec<EmbeddingBag> = (0..TABLES)
+        .map(|_| EmbeddingBag::new(ROWS, DIM, Pooling::Sum, &mut rng))
+        .collect();
+    let indices: Vec<Vec<Vec<u32>>> = (0..TABLES)
+        .map(|_| {
+            (0..BATCH)
+                .map(|_| {
+                    (0..LOOKUPS)
+                        .map(|_| rng.gen_range(0..ROWS as u32))
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let assignment: Vec<usize> = (0..TABLES).map(|t| t % 2).collect();
+    let set = ShardedEmbeddingSet::new(bags, &assignment);
+    let iters = opts.pick(400, 100, 10);
+    let start = Instant::now();
+    for _ in 0..iters {
+        let partials: Vec<_> = (0..set.num_shards())
+            .map(|s| set.forward_shard(s, &indices))
+            .collect();
+        std::hint::black_box(set.merge(partials));
+    }
+    let bytes = (iters * TABLES * BATCH * LOOKUPS * DIM * 4) as f64;
+    bytes / start.elapsed().as_secs_f64() / 1e9
+}
+
+/// `--check`: every line of the history must parse as a flat JSON
+/// object carrying the required keys with numeric measurements.
+fn check(path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e} (run bench_report to create it)"));
+    let mut entries = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let obj = parse_flat_object(line)
+            .unwrap_or_else(|e| panic!("{path}:{}: malformed entry: {e}", lineno + 1));
+        for key in REQUIRED_KEYS {
+            let val = obj
+                .iter()
+                .find(|(k, _)| k == key)
+                .unwrap_or_else(|| panic!("{path}:{}: missing key {key:?}", lineno + 1));
+            let want_numeric = !matches!(*key, "label" | "mode");
+            match &val.1 {
+                JsonVal::Num(x) => {
+                    assert!(
+                        want_numeric && x.is_finite(),
+                        "{path}:{}: key {key:?} must be a finite measurement",
+                        lineno + 1
+                    );
+                }
+                JsonVal::Str(s) => {
+                    assert!(
+                        !want_numeric && !s.is_empty(),
+                        "{path}:{}: key {key:?} must be a non-empty string",
+                        lineno + 1
+                    );
+                }
+            }
+        }
+        entries += 1;
+    }
+    assert!(entries > 0, "{path} holds no entries");
+    println!("{path}: {entries} entries, all parseable");
+}
+
+/// A leaf value in a flat benchmark entry.
+enum JsonVal {
+    Num(f64),
+    Str(String),
+}
+
+/// Parses one flat JSON object (`{"key": value, ...}` with string or
+/// number values — exactly the shape `bench_report` emits).
+fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonVal)>, String> {
+    let inner = line
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or("not wrapped in { }")?;
+    let mut out = Vec::new();
+    let mut rest = inner.trim();
+    while !rest.is_empty() {
+        let (key, after_key) = parse_string(rest)?;
+        rest = after_key
+            .trim_start()
+            .strip_prefix(':')
+            .ok_or("missing : after key")?
+            .trim_start();
+        let (val, after_val) = if rest.starts_with('"') {
+            let (s, r) = parse_string(rest)?;
+            (JsonVal::Str(s), r)
+        } else {
+            let end = rest
+                .find(|c: char| c == ',' || c.is_whitespace())
+                .unwrap_or(rest.len());
+            let num: f64 = rest[..end]
+                .parse()
+                .map_err(|_| format!("bad number {:?}", &rest[..end]))?;
+            (JsonVal::Num(num), &rest[end..])
+        };
+        out.push((key, val));
+        rest = after_val.trim_start();
+        match rest.strip_prefix(',') {
+            Some(r) => rest = r.trim_start(),
+            None if rest.is_empty() => break,
+            None => return Err(format!("trailing garbage: {rest:?}")),
+        }
+    }
+    if out.is_empty() {
+        return Err("empty object".into());
+    }
+    Ok(out)
+}
+
+/// Parses a leading `"..."` (no escapes — labels and modes are plain
+/// identifiers) and returns the remainder.
+fn parse_string(s: &str) -> Result<(String, &str), String> {
+    let body = s.strip_prefix('"').ok_or("expected opening quote")?;
+    let end = body.find('"').ok_or("unterminated string")?;
+    Ok((body[..end].to_string(), &body[end + 1..]))
+}
+
+/// Emits a JSON string literal (labels are plain identifiers; quotes
+/// and backslashes are rejected rather than escaped so `--check`'s
+/// escape-free parser stays honest).
+fn json_string(s: &str) -> String {
+    assert!(
+        !s.contains('"') && !s.contains('\\'),
+        "label must not contain quotes or backslashes: {s:?}"
+    );
+    format!("{s:?}")
+}

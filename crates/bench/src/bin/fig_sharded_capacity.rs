@@ -11,6 +11,9 @@
 
 use deeprecsys::prelude::*;
 use deeprecsys::table::{fmt3, TextTable};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Per-shard-node offered load: comfortably inside one node's gather
 /// capacity for its 1/N table share, so the sweep measures scale-out
@@ -158,5 +161,91 @@ fn main() {
          fleet grows ({QPS_PER_NODE:.0} QPS/node weak scaling), while size-greedy \
          first-fit crams every table onto the first two nodes — they saturate under \
          the 4/8-node load and blow the SLA despite six idle machines",
+    );
+
+    if opts.real {
+        real_cross_validation(&cfg, net, &opts);
+    }
+}
+
+/// `--real`: the 2-node shard on the *physical* engine — per-node
+/// partial gathers over a real `ShardedEmbeddingSet`, exchange booked
+/// on the virtual clock, and a real dense tail at the home node. The
+/// real tail is wall-clock (tiny-scaled model), so latencies are
+/// reported side by side rather than matched; the exact contract here
+/// is output correctness — every CTR vector must equal the unsharded
+/// single-process forward bit for bit.
+fn real_cross_validation(cfg: &ModelConfig, net: InterconnectModel, opts: &drs_bench::ExpOptions) {
+    println!("\n## Real-engine cross-validation (--real)\n");
+    let nodes = 2;
+    let topo = fleet(nodes);
+    let plan = ShardPlan::place(cfg, &topo, PlacementPolicy::LookupBalanced)
+        .expect("RMC2 fits two 16 GiB nodes");
+    let seed = opts.search.seed;
+    let mut so = ServerOptions::new(2, SchedulerPolicy::cpu_only(64));
+    so.seed = seed;
+    so.warmup_frac = 0.0;
+    so.time_scale = 4.0;
+    let cluster = Cluster::new_sharded(cfg, topo, RoutingPolicy::ShardAware, plan, net, so);
+    let n = opts.pick(400, 150, 50);
+    let queries: Vec<_> = QueryGenerator::new(
+        ArrivalProcess::poisson(QPS_PER_NODE * nodes as f64),
+        SizeDistribution::production(),
+        seed,
+    )
+    .take(n)
+    .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = Arc::new(RecModel::instantiate(cfg, ModelScale::tiny(), &mut rng));
+
+    let virt = cluster.serve_virtual(&queries);
+    let (real, outputs) = cluster.serve_real_with_outputs(model.clone(), &queries);
+
+    let mut t = TextTable::new(vec![
+        "clock",
+        "completed",
+        "p95 (ms)",
+        "QPS",
+        "exch (ms)",
+        "home split",
+    ]);
+    for (label, r) in [("virtual", &virt), ("real", &real)] {
+        t.row(vec![
+            label.to_string(),
+            r.completed.to_string(),
+            fmt3(r.latency.p95_ms),
+            fmt3(r.qps),
+            fmt3(r.mean_exchange_ms),
+            r.node_queries
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join("/"),
+        ]);
+    }
+    println!(
+        "{n} queries on a {nodes}-node lookup-balanced shard (tiny-scaled tables, \
+         time compressed 4x): per-shard real gathers, fabric cost on the virtual \
+         clock, real dense tail at the home\n"
+    );
+    println!("{t}");
+
+    let by_id: std::collections::HashMap<u64, &drs_query::Query> =
+        queries.iter().map(|q| (q.id, q)).collect();
+    let exact = outputs
+        .iter()
+        .filter(|(qid, ctrs)| {
+            let inputs = drs_server::sharded_query_inputs(&model, seed, by_id[qid]);
+            *ctrs == model.forward(&inputs, &mut OpProfiler::new())
+        })
+        .count();
+    println!(
+        "CTR bit-identity vs unsharded forward: {exact}/{} queries",
+        outputs.len()
+    );
+    assert_eq!(
+        exact,
+        outputs.len(),
+        "sharded real outputs diverged from the single-process forward"
     );
 }

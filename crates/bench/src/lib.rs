@@ -9,7 +9,11 @@
 //! * `--smoke` — minimal windows (`SearchOptions::smoke()`); numbers
 //!   are meaningless, but every code path runs. Used by the bin smoke
 //!   tests (`tests/bin_smoke.rs`) so figure code cannot silently rot;
-//! * `--seed N` — override the workload seed.
+//! * `--seed N` — override the workload seed;
+//! * `--real` — where the binary supports it, additionally
+//!   cross-validate on the *real* engine: pace the stream onto
+//!   physical worker threads (`serve_real*`) and compare against the
+//!   virtual-time report.
 //!
 //! Criterion micro-benchmarks live under `benches/`.
 
@@ -47,9 +51,13 @@ pub struct ExpOptions {
     pub search: SearchOptions,
     /// The requested run profile.
     pub mode: Mode,
+    /// `--real`: also run the real-engine cross-validation section in
+    /// binaries that support one.
+    pub real: bool,
 }
 
-/// Parses `--full` / `--smoke` / `--seed N` from the process arguments.
+/// Parses `--full` / `--smoke` / `--seed N` / `--real` from the
+/// process arguments.
 pub fn parse_args() -> ExpOptions {
     let args: Vec<String> = std::env::args().collect();
     let mode = if args.iter().any(|a| a == "--full") {
@@ -59,6 +67,7 @@ pub fn parse_args() -> ExpOptions {
     } else {
         Mode::Quick
     };
+    let real = args.iter().any(|a| a == "--real");
     let mut search = match mode {
         Mode::Full => SearchOptions::standard(),
         Mode::Quick => SearchOptions::quick(),
@@ -69,7 +78,7 @@ pub fn parse_args() -> ExpOptions {
             search = search.with_seed(seed);
         }
     }
-    ExpOptions { search, mode }
+    ExpOptions { search, mode, real }
 }
 
 impl ExpOptions {
@@ -112,6 +121,7 @@ mod tests {
         // no --full flag.
         let o = parse_args();
         assert_eq!(o.mode, Mode::Quick);
+        assert!(!o.real, "real cross-validation is opt-in");
         assert_eq!(
             o.search.queries_per_probe,
             SearchOptions::quick().queries_per_probe

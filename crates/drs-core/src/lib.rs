@@ -43,5 +43,8 @@ pub use cluster::{
 pub use event::{secs_to_ns, us_to_ns, EventQueue, SimTime, NS_PER_SEC};
 pub use policy::SchedulerPolicy;
 pub use report::{met_sla, SimReport, TenantBreakdown, MIN_SLA_SAMPLES};
-pub use stack::{stream_offered_qps, ReportView, ServingStack};
+pub use stack::{
+    assert_nonempty_queries, assert_nonempty_trace, stream_offered_qps, ReportView, ServingStack,
+    EMPTY_QUERIES_MSG, EMPTY_TRACE_MSG,
+};
 pub use tenant::{MultiModelSpec, TenantId, TenantSpec};

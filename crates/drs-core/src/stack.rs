@@ -130,6 +130,36 @@ pub fn stream_offered_qps(queries: &[Query]) -> f64 {
     }
 }
 
+/// The stack-wide message for an empty query stream — every serving
+/// entry point panics with exactly this text (see
+/// [`assert_nonempty_queries`]).
+pub const EMPTY_QUERIES_MSG: &str = "no queries to serve";
+
+/// The stack-wide message for an empty trace — every replay entry
+/// point panics with exactly this text (see [`assert_nonempty_trace`]).
+pub const EMPTY_TRACE_MSG: &str = "cannot replay an empty trace";
+
+/// The shared guard behind the [`ServingStack`] panic contract: every
+/// public serving API (`Simulation`, `Server`, `Cluster`, virtual or
+/// real) calls this so an empty stream fails with one consistent
+/// message.
+///
+/// # Panics
+///
+/// Panics with [`EMPTY_QUERIES_MSG`] if `queries` is empty.
+pub fn assert_nonempty_queries(queries: &[Query]) {
+    assert!(!queries.is_empty(), "{}", EMPTY_QUERIES_MSG);
+}
+
+/// The replay counterpart of [`assert_nonempty_queries`].
+///
+/// # Panics
+///
+/// Panics with [`EMPTY_TRACE_MSG`] if `trace` is empty.
+pub fn assert_nonempty_trace(trace: &Trace) {
+    assert!(!trace.is_empty(), "{}", EMPTY_TRACE_MSG);
+}
+
 /// One execution layer that can serve a prepared arrival stream:
 /// implemented by the simulator (`drs_sim::Simulation`), the open-loop
 /// server (`drs_server::Server`), and the router-fronted cluster
@@ -138,6 +168,17 @@ pub fn stream_offered_qps(queries: &[Query]) -> f64 {
 /// `serve_queries` is deterministic for every implementor (virtual
 /// time), so A/B comparisons across backends are paired: the same
 /// `Vec<Query>` goes in, and only the execution layer changes.
+///
+/// # Panic contract
+///
+/// Every serving entry point on every implementor — `serve_queries`,
+/// `serve_trace`, and the real-engine variants (`serve_real`,
+/// `serve_trace_real`, …) — rejects an empty stream by panicking with
+/// [`EMPTY_QUERIES_MSG`] for query slices and [`EMPTY_TRACE_MSG`] for
+/// traces, via the shared guards [`assert_nonempty_queries`] /
+/// [`assert_nonempty_trace`]. An empty stream is always a caller bug
+/// (a degenerate generator or a truncated trace file), never a
+/// measurable run.
 pub trait ServingStack {
     /// The report this stack produces; always exposes the common
     /// [`ReportView`] axes, and may carry backend-specific counters.
@@ -151,16 +192,18 @@ pub trait ServingStack {
     ///
     /// # Panics
     ///
-    /// Panics if `queries` is empty.
+    /// Panics if `queries` is empty (see the trait-level panic
+    /// contract).
     fn serve_queries(&self, queries: &[Query]) -> Self::Report;
 
     /// Replays a recorded trace through this stack.
     ///
     /// # Panics
     ///
-    /// Panics if the trace is empty.
+    /// Panics if the trace is empty (see the trait-level panic
+    /// contract).
     fn serve_trace(&self, trace: &Trace) -> Self::Report {
-        assert!(!trace.is_empty(), "cannot replay an empty trace");
+        assert_nonempty_trace(trace);
         let queries: Vec<Query> = trace.replay().collect();
         self.serve_queries(&queries)
     }

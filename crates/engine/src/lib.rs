@@ -32,7 +32,7 @@ mod pool;
 mod serve;
 
 pub use openloop::{serve_open_loop, OpenLoopOptions, OpenLoopReport};
-pub use pool::{EngineCompletion, EngineRequest, InferenceEngine};
+pub use pool::{EngineCompletion, EngineRequest, EngineWork, InferenceEngine};
 pub use serve::{serve_closed_loop, ServeOptions, ServeReport};
 
 use drs_models::RecModel;

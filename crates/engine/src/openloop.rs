@@ -121,10 +121,7 @@ pub fn serve_open_loop(
         meter.record_completion(); // count items on submit
         for batch in parts {
             let inputs = model.generate_inputs(batch as usize, &mut rng);
-            engine.submit(EngineRequest {
-                query_id: q.id,
-                inputs,
-            });
+            engine.submit(EngineRequest::forward(q.id, inputs));
             outstanding_requests += 1;
         }
     }

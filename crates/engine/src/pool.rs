@@ -2,10 +2,28 @@
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use drs_models::{BatchInputs, RecModel};
-use drs_nn::OpProfiler;
+use drs_nn::{OpKind, OpProfiler, ShardPartial, ShardedEmbeddingSet};
+use drs_tensor::Matrix;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// What a worker does with a request's inputs.
+#[derive(Debug)]
+pub enum EngineWork {
+    /// Full forward pass: embeddings plus the dense tail.
+    Forward,
+    /// Embedding gather for the engine's local shard only: the worker
+    /// runs [`ShardedEmbeddingSet::forward_shard`] and returns the
+    /// pooled partial instead of CTRs. Requires an engine started with
+    /// [`InferenceEngine::start_sharded`].
+    Gather,
+    /// Dense tail over merged pooled partials — the sharded merge
+    /// step. Carries the per-table pooled outputs gathered from the
+    /// shard nodes; the worker runs
+    /// [`RecModel::forward_from_pooled`] on them.
+    Tail(Vec<Matrix>),
+}
 
 /// One inference request: a batch of inputs tagged with the query it
 /// belongs to.
@@ -13,8 +31,50 @@ use std::time::{Duration, Instant};
 pub struct EngineRequest {
     /// The query this request is a split of.
     pub query_id: u64,
+    /// Which of the engine's models to run (the tenant index for
+    /// multi-model pools; 0 on single-model engines).
+    pub model: usize,
+    /// What to execute.
+    pub work: EngineWork,
     /// Batch inputs matching the engine's model geometry.
     pub inputs: BatchInputs,
+}
+
+impl EngineRequest {
+    /// A full forward pass on a single-model engine.
+    pub fn forward(query_id: u64, inputs: BatchInputs) -> Self {
+        Self::forward_for(query_id, 0, inputs)
+    }
+
+    /// A full forward pass on model `model` of a multi-model engine.
+    pub fn forward_for(query_id: u64, model: usize, inputs: BatchInputs) -> Self {
+        EngineRequest {
+            query_id,
+            model,
+            work: EngineWork::Forward,
+            inputs,
+        }
+    }
+
+    /// A local-shard embedding gather (sharded engines only).
+    pub fn gather(query_id: u64, inputs: BatchInputs) -> Self {
+        EngineRequest {
+            query_id,
+            model: 0,
+            work: EngineWork::Gather,
+            inputs,
+        }
+    }
+
+    /// The dense tail over merged pooled partials.
+    pub fn dense_tail(query_id: u64, inputs: BatchInputs, pooled: Vec<Matrix>) -> Self {
+        EngineRequest {
+            query_id,
+            model: 0,
+            work: EngineWork::Tail(pooled),
+            inputs,
+        }
+    }
 }
 
 /// A finished request.
@@ -22,10 +82,14 @@ pub struct EngineRequest {
 pub struct EngineCompletion {
     /// The query this request belonged to.
     pub query_id: u64,
+    /// The model index the request named.
+    pub model: usize,
     /// Items scored in this request.
     pub batch: usize,
-    /// Predicted CTRs, one per item.
+    /// Predicted CTRs, one per item (empty for gather requests).
     pub ctrs: Vec<f32>,
+    /// The pooled partial, for gather requests only.
+    pub partial: Option<ShardPartial>,
     /// Pure service time (excludes queueing).
     pub service: Duration,
     /// Per-operator breakdown of `service`.
@@ -57,7 +121,7 @@ pub struct EngineCompletion {
 /// let model = Arc::new(RecModel::instantiate(&zoo::ncf(), ModelScale::tiny(), &mut rng));
 /// let engine = InferenceEngine::start(Arc::clone(&model), 2);
 /// let inputs = model.generate_inputs(4, &mut rng);
-/// engine.submit(EngineRequest { query_id: 0, inputs });
+/// engine.submit(EngineRequest::forward(0, inputs));
 /// let done = engine.completions().recv().unwrap();
 /// assert_eq!(done.query_id, 0);
 /// assert_eq!(done.ctrs.len(), 4);
@@ -74,6 +138,46 @@ pub struct InferenceEngine {
     workers: Vec<JoinHandle<()>>,
 }
 
+/// Everything a worker thread needs to execute any [`EngineWork`].
+struct WorkerContext {
+    models: Vec<Arc<RecModel>>,
+    shard: Option<(Arc<ShardedEmbeddingSet>, usize)>,
+}
+
+impl WorkerContext {
+    fn execute(&self, req: EngineRequest) -> EngineCompletion {
+        let mut profile = OpProfiler::new();
+        let start = Instant::now();
+        let mut partial = None;
+        let ctrs = match req.work {
+            EngineWork::Forward => self.models[req.model].forward(&req.inputs, &mut profile),
+            EngineWork::Gather => {
+                let (set, shard) = self
+                    .shard
+                    .as_ref()
+                    .expect("gather request on an unsharded engine");
+                partial = Some(profile.time(OpKind::Embedding, || {
+                    set.forward_shard(*shard, &req.inputs.sparse)
+                }));
+                Vec::new()
+            }
+            EngineWork::Tail(pooled) => {
+                self.models[req.model].forward_from_pooled(&req.inputs, pooled, &mut profile)
+            }
+        };
+        let service = start.elapsed();
+        EngineCompletion {
+            query_id: req.query_id,
+            model: req.model,
+            batch: req.inputs.batch,
+            ctrs,
+            partial,
+            service,
+            profile,
+        }
+    }
+}
+
 impl InferenceEngine {
     /// Spawns `workers` threads serving `model`.
     ///
@@ -81,6 +185,57 @@ impl InferenceEngine {
     ///
     /// Panics if `workers` is zero.
     pub fn start(model: Arc<RecModel>, workers: usize) -> Self {
+        Self::start_multi(vec![model], workers)
+    }
+
+    /// Spawns `workers` threads serving several co-located models from
+    /// one shared request queue — the multi-tenant pool shape, where
+    /// [`EngineRequest::model`] selects the tenant's model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero or `models` is empty.
+    pub fn start_multi(models: Vec<Arc<RecModel>>, workers: usize) -> Self {
+        assert!(!models.is_empty(), "need at least one model");
+        Self::spawn(
+            Arc::new(WorkerContext {
+                models,
+                shard: None,
+            }),
+            workers,
+        )
+    }
+
+    /// Spawns `workers` threads serving `model` with shard `shard` of
+    /// `set` resident: [`EngineWork::Gather`] requests run real
+    /// partial forwards over the local tables, and
+    /// [`EngineWork::Tail`] requests run the dense tail over merged
+    /// partials — the two halves of sharded serving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero or `shard` is out of range.
+    pub fn start_sharded(
+        model: Arc<RecModel>,
+        set: Arc<ShardedEmbeddingSet>,
+        shard: usize,
+        workers: usize,
+    ) -> Self {
+        assert!(
+            shard < set.num_shards(),
+            "shard {shard} out of range ({} shards)",
+            set.num_shards()
+        );
+        Self::spawn(
+            Arc::new(WorkerContext {
+                models: vec![model],
+                shard: Some((set, shard)),
+            }),
+            workers,
+        )
+    }
+
+    fn spawn(ctx: Arc<WorkerContext>, workers: usize) -> Self {
         assert!(workers > 0, "need at least one worker");
         let (tx, rx) = unbounded::<EngineRequest>();
         let (tx_done, rx_done) = unbounded::<EngineCompletion>();
@@ -88,20 +243,10 @@ impl InferenceEngine {
             .map(|_| {
                 let rx = rx.clone();
                 let tx_done = tx_done.clone();
-                let model = Arc::clone(&model);
+                let ctx = Arc::clone(&ctx);
                 std::thread::spawn(move || {
                     while let Ok(req) = rx.recv() {
-                        let mut profile = OpProfiler::new();
-                        let start = Instant::now();
-                        let ctrs = model.forward(&req.inputs, &mut profile);
-                        let service = start.elapsed();
-                        let _ = tx_done.send(EngineCompletion {
-                            query_id: req.query_id,
-                            batch: req.inputs.batch,
-                            ctrs,
-                            service,
-                            profile,
-                        });
+                        let _ = tx_done.send(ctx.execute(req));
                     }
                 })
             })
@@ -230,10 +375,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let n = 32;
         for qid in 0..n {
-            engine.submit(EngineRequest {
-                query_id: qid,
-                inputs: model.generate_inputs(3, &mut rng),
-            });
+            engine.submit(EngineRequest::forward(
+                qid,
+                model.generate_inputs(3, &mut rng),
+            ));
         }
         let mut seen = std::collections::HashSet::new();
         for _ in 0..n {
@@ -269,10 +414,7 @@ mod tests {
         let mut accepted = 0u32;
         let mut refused = false;
         for _ in 0..10_000 {
-            let req = EngineRequest {
-                query_id: accepted as u64,
-                inputs: inputs.clone(),
-            };
+            let req = EngineRequest::forward(accepted as u64, inputs.clone());
             match engine.try_submit(req) {
                 Ok(()) => accepted += 1,
                 Err(back) => {
@@ -304,16 +446,91 @@ mod tests {
         let engine = InferenceEngine::start(Arc::clone(&model), 1);
         let mut rng = StdRng::seed_from_u64(9);
         for qid in 0..64 {
-            let req = EngineRequest {
-                query_id: qid,
-                inputs: model.generate_inputs(2, &mut rng),
-            };
+            let req = EngineRequest::forward(qid, model.generate_inputs(2, &mut rng));
             assert!(engine.try_submit(req).is_ok());
         }
         for _ in 0..64 {
             let _ = engine.completions().recv().unwrap();
         }
         engine.shutdown();
+    }
+
+    #[test]
+    fn multi_model_pool_routes_requests_by_model_index() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Arc::new(RecModel::instantiate(
+            &zoo::ncf(),
+            ModelScale::tiny(),
+            &mut rng,
+        ));
+        let b = Arc::new(RecModel::instantiate(
+            &zoo::wide_and_deep(),
+            ModelScale::tiny(),
+            &mut rng,
+        ));
+        let engine = InferenceEngine::start_multi(vec![Arc::clone(&a), Arc::clone(&b)], 2);
+        let mut rng = StdRng::seed_from_u64(12);
+        engine.submit(EngineRequest::forward_for(
+            0,
+            0,
+            a.generate_inputs(3, &mut rng),
+        ));
+        engine.submit(EngineRequest::forward_for(
+            1,
+            1,
+            b.generate_inputs(5, &mut rng),
+        ));
+        for _ in 0..2 {
+            let done = engine.completions().recv().unwrap();
+            let expect = if done.model == 0 { 3 } else { 5 };
+            assert_eq!(done.batch, expect);
+            assert_eq!(done.ctrs.len(), expect);
+            assert!(done.partial.is_none());
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn sharded_gather_plus_tail_matches_full_forward() {
+        // Two shards of one model behind two engines: gathering both
+        // partials and running the dense tail over the merge must be
+        // bit-identical to the plain forward pass on the same inputs.
+        let model = {
+            let mut rng = StdRng::seed_from_u64(21);
+            Arc::new(RecModel::instantiate(
+                &zoo::dlrm_rmc1(),
+                ModelScale::tiny(),
+                &mut rng,
+            ))
+        };
+        let tables = model
+            .generate_inputs(1, &mut StdRng::seed_from_u64(0))
+            .sparse
+            .len();
+        let assignment: Vec<usize> = (0..tables).map(|t| t % 2).collect();
+        let set = Arc::new(model.sharded_embeddings(&assignment));
+        let engines: Vec<_> = (0..2)
+            .map(|s| InferenceEngine::start_sharded(Arc::clone(&model), Arc::clone(&set), s, 1))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(22);
+        let inputs = model.generate_inputs(6, &mut rng);
+
+        let mut partials = Vec::new();
+        for e in &engines {
+            e.submit(EngineRequest::gather(7, inputs.clone()));
+            let done = e.completions().recv().unwrap();
+            assert!(done.ctrs.is_empty(), "gather returns partials, not CTRs");
+            partials.push(done.partial.expect("gather carries a partial"));
+        }
+        let pooled = set.merge(partials);
+        engines[0].submit(EngineRequest::dense_tail(7, inputs.clone(), pooled));
+        let tail = engines[0].completions().recv().unwrap();
+
+        let expect = model.forward(&inputs, &mut OpProfiler::new());
+        assert_eq!(tail.ctrs, expect, "sharded path is bit-identical");
+        for e in engines {
+            e.shutdown();
+        }
     }
 
     #[test]

@@ -106,10 +106,7 @@ pub fn serve_closed_loop(
         *next += 1;
         first_submit.entry(p.qid).or_insert_with(Instant::now);
         let inputs = model.generate_inputs(p.batch as usize, rng);
-        engine.submit(EngineRequest {
-            query_id: p.qid,
-            inputs,
-        });
+        engine.submit(EngineRequest::forward(p.qid, inputs));
         true
     };
 

@@ -277,8 +277,16 @@ impl RecModel {
     /// The pass downstream of the per-table pooled lookups: dense
     /// path, sparse feature combination, interaction, predictors.
     /// `pooled[t]` is table `t`'s pooled output, however it was
-    /// computed (locally or gathered from shards).
-    fn forward_from_pooled(
+    /// computed (locally or gathered from shards). Public so a serving
+    /// runtime that gathers [`ShardedEmbeddingSet`] partials across
+    /// nodes can run the dense tail at the merge point — the real
+    /// counterpart of [`RecModel::forward_sharded`], which keeps every
+    /// shard on one host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pooled` does not match this model's table geometry.
+    pub fn forward_from_pooled(
         &self,
         inputs: &BatchInputs,
         pooled: Vec<Matrix>,

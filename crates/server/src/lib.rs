@@ -77,7 +77,7 @@ mod report;
 mod server;
 
 pub use batcher::{Batch, BatchQueue, BatchSegment, BatchStats};
-pub use cluster::{Cluster, Router};
+pub use cluster::{sharded_query_inputs, Cluster, Router};
 pub use controller::{ControllerConfig, OnlineController};
 pub use gpu::GpuExecutor;
 pub use report::ServerReport;

@@ -36,8 +36,8 @@ use crate::gpu::GpuExecutor;
 use crate::report::ServerReport;
 use crate::server::ServerOptions;
 use drs_core::{
-    secs_to_ns, stream_offered_qps, us_to_ns, EventQueue, NodeId, SchedulerPolicy, SimTime,
-    TenantBreakdown, TenantId, NS_PER_SEC,
+    assert_nonempty_queries, secs_to_ns, stream_offered_qps, us_to_ns, EventQueue, NodeId,
+    SchedulerPolicy, SimTime, TenantBreakdown, TenantId, NS_PER_SEC,
 };
 use drs_metrics::LatencyRecorder;
 use drs_platform::{CpuPlatform, GpuPlatform, ModelCost};
@@ -740,6 +740,73 @@ enum Ev {
 /// arbiter iterations.
 const DRR_QUANTUM_ITEMS: u64 = 256;
 
+/// The deficit-round-robin discipline itself, shared verbatim by the
+/// virtual node and both real-engine runtimes so the two execution
+/// layers cannot drift: banked service per lane, per-lane quantum
+/// (`weight × DRR_QUANTUM_ITEMS`), and the rotation cursor. Lanes are
+/// stored by the caller; the arbiter only owns the fairness state.
+pub(crate) struct DrrArbiter {
+    deficit: Vec<u64>,
+    quantum: Vec<u64>,
+    cursor: usize,
+}
+
+impl DrrArbiter {
+    pub fn new(tenants: &[TenantSetup]) -> Self {
+        DrrArbiter {
+            deficit: vec![0; tenants.len()],
+            quantum: tenants
+                .iter()
+                .map(|t| t.weight as u64 * DRR_QUANTUM_ITEMS)
+                .collect(),
+            cursor: 0,
+        }
+    }
+
+    /// The deficit-round-robin pick: the next `(tenant, item)` the
+    /// shared pool should serve, with `items` pricing a queued entry.
+    /// Each visit to a lane that cannot afford its head banks one
+    /// quantum and moves on; an emptied lane forfeits its bank (no
+    /// hoarding while idle). Ties and rotation order are fixed by
+    /// tenant index, so the arbiter is deterministic.
+    pub fn next<T>(
+        &mut self,
+        lanes: &mut [VecDeque<T>],
+        items: impl Fn(&T) -> u64,
+    ) -> Option<(usize, T)> {
+        if lanes.iter().all(|l| l.is_empty()) {
+            return None;
+        }
+        loop {
+            let t = self.cursor;
+            if lanes[t].is_empty() {
+                self.deficit[t] = 0;
+                self.cursor = (t + 1) % lanes.len();
+                continue;
+            }
+            let head_items = items(lanes[t].front().expect("non-empty lane"));
+            if self.deficit[t] >= head_items {
+                self.deficit[t] -= head_items;
+                let b = lanes[t].pop_front().expect("non-empty lane");
+                if lanes[t].is_empty() {
+                    self.deficit[t] = 0;
+                }
+                return Some((t, b));
+            }
+            self.deficit[t] += self.quantum[t];
+            self.cursor = (t + 1) % lanes.len();
+        }
+    }
+
+    /// Returns a charge taken by [`DrrArbiter::next`] when the picked
+    /// item could not actually be served (engine backpressure) and
+    /// went back to its lane's head — otherwise a refused lane would
+    /// pay twice for one batch.
+    pub fn refund(&mut self, t: usize, items: u64) {
+        self.deficit[t] += items;
+    }
+}
+
 /// One node's virtual-time execution state around its [`NodeCore`]:
 /// per-tenant ready queues arbitrated by deficit round-robin onto the
 /// shared worker pool.
@@ -749,11 +816,7 @@ struct VirtualNode {
     ready: Vec<VecDeque<Batch>>,
     /// Batches queued across all lanes (the backpressure gauge).
     ready_total: usize,
-    /// DRR state: banked service per lane, per-lane quantum
-    /// (`weight × DRR_QUANTUM_ITEMS`), and the rotation cursor.
-    deficit: Vec<u64>,
-    quantum: Vec<u64>,
-    drr_cursor: usize,
+    arbiter: DrrArbiter,
     inflight: HashMap<(usize, u64), Batch>,
     busy: usize,
     workers: usize,
@@ -779,12 +842,7 @@ impl VirtualNode {
             core: NodeCore::new(costs, tenants, setup, opts),
             ready: tenants.iter().map(|_| VecDeque::new()).collect(),
             ready_total: 0,
-            deficit: vec![0; tenants.len()],
-            quantum: tenants
-                .iter()
-                .map(|t| t.weight as u64 * DRR_QUANTUM_ITEMS)
-                .collect(),
-            drr_cursor: 0,
+            arbiter: DrrArbiter::new(tenants),
             inflight: HashMap::new(),
             busy: 0,
             workers: setup.workers,
@@ -816,36 +874,14 @@ impl VirtualNode {
         }
     }
 
-    /// The deficit-round-robin pick: the next `(tenant, batch)` the
-    /// shared pool should serve. Each visit to a lane that cannot
-    /// afford its head batch banks one quantum and moves on; an
-    /// emptied lane forfeits its bank (no hoarding while idle). Ties
-    /// and rotation order are fixed by tenant index, so the arbiter is
-    /// deterministic.
+    /// The next `(tenant, batch)` the shared pool should serve, via
+    /// the shared [`DrrArbiter`] discipline.
     fn drr_next(&mut self) -> Option<(usize, Batch)> {
-        if self.ready_total == 0 {
-            return None;
+        let picked = self.arbiter.next(&mut self.ready, |b| b.items as u64);
+        if picked.is_some() {
+            self.ready_total -= 1;
         }
-        loop {
-            let t = self.drr_cursor;
-            if self.ready[t].is_empty() {
-                self.deficit[t] = 0;
-                self.drr_cursor = (t + 1) % self.ready.len();
-                continue;
-            }
-            let head_items = self.ready[t].front().expect("non-empty lane").items as u64;
-            if self.deficit[t] >= head_items {
-                self.deficit[t] -= head_items;
-                self.ready_total -= 1;
-                let b = self.ready[t].pop_front().expect("non-empty lane");
-                if self.ready[t].is_empty() {
-                    self.deficit[t] = 0;
-                }
-                return Some((t, b));
-            }
-            self.deficit[t] += self.quantum[t];
-            self.drr_cursor = (t + 1) % self.ready.len();
-        }
+        picked
     }
 
     fn dispatch(
@@ -934,7 +970,7 @@ pub(crate) fn serve_virtual_multi(
     shard: Option<&ShardGeometry>,
     queries: &[Query],
 ) -> ServerReport {
-    assert!(!queries.is_empty(), "no queries to serve");
+    assert_nonempty_queries(queries);
     let queue_bound = opts.batching.queue_bound;
     let mut stats = StreamStats::new(queries.len(), opts.warmup_frac, tenants.len());
     let mut nodes: Vec<VirtualNode> = setups
@@ -1272,6 +1308,6 @@ mod tests {
         v.enqueue(0, vec![batch(0, 64)], 1024);
         while v.drr_next().is_some() {}
         // Lane 0 drained; its leftover deficit must not persist.
-        assert_eq!(v.deficit[0], 0, "emptied lane resets its bank");
+        assert_eq!(v.arbiter.deficit[0], 0, "emptied lane resets its bank");
     }
 }

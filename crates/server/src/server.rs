@@ -10,8 +10,8 @@ use crate::node::{
 };
 use crate::report::ServerReport;
 use drs_core::{
-    secs_to_ns, stream_offered_qps, MultiModelSpec, RoutingPolicy, SchedulerPolicy, ServingStack,
-    SimTime,
+    assert_nonempty_queries, assert_nonempty_trace, secs_to_ns, stream_offered_qps, MultiModelSpec,
+    RoutingPolicy, SchedulerPolicy, ServingStack, SimTime,
 };
 use drs_engine::{EngineCompletion, EngineRequest, InferenceEngine};
 use drs_models::{ModelConfig, RecModel};
@@ -307,7 +307,7 @@ impl Server {
     ///
     /// Panics if the trace is empty.
     pub fn serve_trace(&self, trace: &Trace) -> ServerReport {
-        assert!(!trace.is_empty(), "cannot replay an empty trace");
+        assert_nonempty_trace(trace);
         let queries: Vec<Query> = trace.replay().collect();
         self.serve_virtual(&queries)
     }
@@ -319,7 +319,7 @@ impl Server {
     ///
     /// Panics if the trace is empty.
     pub fn serve_trace_real(&self, model: Arc<RecModel>, trace: &Trace) -> ServerReport {
-        assert!(!trace.is_empty(), "cannot replay an empty trace");
+        assert_nonempty_trace(trace);
         let queries: Vec<Query> = trace.replay().collect();
         self.serve_real(model, &queries)
     }
@@ -329,31 +329,57 @@ impl Server {
     /// batches run as physical forward passes through a bounded worker
     /// pool, GPU offloads complete on the cost model's virtual clock.
     ///
-    /// Latencies are reported on the (scaled) arrival clock, so at
-    /// `time_scale = 1.0` they are wall-clock milliseconds.
+    /// Latencies are reported on the (scaled) arrival clock, measured
+    /// from each query's *scheduled* arrival (so submitter jitter
+    /// counts as queueing, not as a shifted arrival), and at
+    /// `time_scale = 1.0` they are wall-clock milliseconds. On a
+    /// multi-tenant server use [`Server::serve_real_multi`] with one
+    /// model per tenant.
     ///
     /// # Panics
     ///
-    /// Panics if `queries` is empty or the model geometry disagrees
-    /// with the server's configuration.
+    /// Panics if `queries` is empty, the server co-locates more than
+    /// one tenant, or the model geometry disagrees with the server's
+    /// configuration.
     pub fn serve_real(&self, model: Arc<RecModel>, queries: &[Query]) -> ServerReport {
-        assert!(!queries.is_empty(), "no queries to serve");
+        self.serve_real_multi(vec![model], queries)
+    }
+
+    /// The multi-tenant real path: one shared [`InferenceEngine`]
+    /// worker pool executes every tenant's lane, with `models[t]`
+    /// serving tenant `t`'s requests. Per-tenant batching queues and
+    /// controllers run exactly as in virtual time, and lanes are
+    /// arbitrated onto the pool by the same deficit-round-robin
+    /// discipline the virtual node uses; GPU offloads share the
+    /// virtual-time device with per-tenant pricing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries` is empty, `models` does not provide exactly
+    /// one model per tenant, or a model's geometry disagrees with its
+    /// tenant's cost model.
+    pub fn serve_real_multi(&self, models: Vec<Arc<RecModel>>, queries: &[Query]) -> ServerReport {
+        assert_nonempty_queries(queries);
         assert_eq!(
+            models.len(),
             self.tenants.len(),
-            1,
-            "multi-tenant serving runs in virtual time; a real-engine multi-model \
-             worker pool is a follow-on"
+            "one model per tenant: got {} models for {} tenants",
+            models.len(),
+            self.tenants.len()
         );
         let setup = self.setup();
-        let engine = InferenceEngine::start(Arc::clone(&model), self.opts.workers)
+        let engine = InferenceEngine::start_multi(models.clone(), self.opts.workers)
             .with_queue_bound(self.opts.batching.queue_bound);
         let mut rt = RealRuntime {
-            stats: StreamStats::new(queries.len(), self.opts.warmup_frac, 1),
+            stats: StreamStats::new(queries.len(), self.opts.warmup_frac, self.tenants.len()),
             node: NodeCore::new(&self.costs, &self.tenants, &setup, &self.opts),
+            arbiter: node::DrrArbiter::new(&self.tenants),
             engine,
-            model,
+            models,
             rng: StdRng::seed_from_u64(self.opts.seed),
-            pending: VecDeque::new(),
+            pending: self.tenants.iter().map(|_| VecDeque::new()).collect(),
+            pending_total: 0,
+            next_req: 0,
             inflight: HashMap::new(),
             gpu_heap: BinaryHeap::new(),
             outstanding: 0,
@@ -361,12 +387,17 @@ impl Server {
             t0: Instant::now(),
             scale: self.opts.time_scale,
         };
-        let base_s = queries[0].arrival_s;
+        // Shift arrivals by an integer nanosecond offset so the paced
+        // clock starts near zero while staying exactly the virtual
+        // clock minus a constant — per-query latencies then match the
+        // virtual path bit for bit wherever service is cost-model
+        // priced.
+        let base_ns = secs_to_ns(queries[0].arrival_s);
 
         for q in queries {
-            let due = secs_to_ns(q.arrival_s - base_s); // model-time ns
+            let due = secs_to_ns(q.arrival_s) - base_ns; // model-time ns
             loop {
-                rt.pump();
+                rt.pump(due);
                 let now = rt.now();
                 if now >= due {
                     break;
@@ -378,30 +409,33 @@ impl Server {
                 if let Some(d) = rt.node.earliest_deadline() {
                     next = next.min(d.max(now));
                 }
-                // Floor the wait so a cluster of imminent deadlines
-                // cannot spin the submitter.
-                let wait_model_ns = (next - now).max(20_000);
-                let wait = Duration::from_secs_f64(wait_model_ns as f64 / rt.scale / 1e9);
+                // Floor the wait in *wall-clock* terms, after scaling:
+                // a model-time floor shrinks toward zero at high
+                // `time_scale` and the submitter busy-spins.
+                let wait = Duration::from_secs_f64((next - now) as f64 / rt.scale / 1e9)
+                    .max(Duration::from_micros(20));
                 if let Ok(c) = rt.engine.completions().recv_timeout(wait) {
                     rt.handle_cpu(c);
                 }
             }
-            let now = rt.now();
+            // Dispatch on the scheduled arrival clock: the virtual
+            // queue state (GPU FIFO, coalesce windows, controller) sees
+            // `due`, not the submitter's overshoot.
             rt.outstanding += 1;
-            let measured = rt.stats.note_arrival(now, q, 0);
-            match rt.node.on_arrival(now, q) {
+            let measured = rt.stats.note_arrival(due, q, 0);
+            match rt.node.on_arrival(due, q) {
                 Route::Gpu(done) => {
                     rt.stats.note_gpu_items(measured, q.size);
                     rt.gpu_heap.push(Reverse((done, q.id)));
                 }
-                Route::Cpu(batches) => rt.queue_batches(batches),
+                Route::Cpu(batches) => rt.queue_batches(q.tenant.index(), batches),
             }
         }
 
         // Drain the tail: everything still queued, batching, in flight
         // on the engine, or ticking down on the GPU's virtual clock.
         while rt.outstanding > 0 {
-            rt.pump();
+            rt.pump(SimTime::MAX);
             if rt.outstanding == 0 {
                 break;
             }
@@ -467,17 +501,26 @@ impl ServingStack for Server {
     }
 }
 
-/// Wall-clock serving state for [`Server::serve_real`].
+/// Wall-clock serving state for [`Server::serve_real`] /
+/// [`Server::serve_real_multi`]: one shared engine pool, one pending
+/// lane per tenant, arbitrated by the same [`node::DrrArbiter`] the
+/// virtual node runs.
 struct RealRuntime {
     stats: StreamStats,
     node: NodeCore,
+    arbiter: node::DrrArbiter,
     engine: InferenceEngine,
-    model: Arc<RecModel>,
+    /// One model per tenant, in tenant order.
+    models: Vec<Arc<RecModel>>,
     rng: StdRng,
-    /// Batches awaiting engine admission (head may carry its already
-    /// generated request after a backpressure refusal).
-    pending: VecDeque<(Batch, Option<EngineRequest>)>,
-    inflight: HashMap<u64, Batch>,
+    /// Per-tenant batches awaiting engine admission (a head may carry
+    /// its already generated request after a backpressure refusal).
+    pending: Vec<VecDeque<(Batch, Option<EngineRequest>)>>,
+    pending_total: usize,
+    /// Engine request ids — globally unique across tenant lanes (batch
+    /// ids are per-lane and collide).
+    next_req: u64,
+    inflight: HashMap<u64, (usize, Batch)>,
     /// GPU completions on the virtual clock, earliest first.
     gpu_heap: BinaryHeap<Reverse<(SimTime, u64)>>,
     outstanding: usize,
@@ -495,73 +538,93 @@ impl RealRuntime {
     }
 
     /// Drains everything that is ready without blocking: engine
-    /// completions, due GPU completions, due coalesce flushes, and
-    /// pending submissions.
-    fn pump(&mut self) {
+    /// completions, GPU completions the virtual clock finishes before
+    /// `gpu_bound` (the next arrival's scheduled time, so offload
+    /// completions interleave with arrivals in exactly the virtual
+    /// event order, independent of wall-clock jitter), due coalesce
+    /// flushes, and pending submissions.
+    fn pump(&mut self, gpu_bound: SimTime) {
         loop {
             if let Some(c) = self.engine.try_completion() {
                 self.handle_cpu(c);
                 continue;
             }
-            let now = self.now();
             if let Some(&Reverse((t, qid))) = self.gpu_heap.peek() {
-                if t <= now {
+                if t < gpu_bound {
                     self.gpu_heap.pop();
                     let items = self.stats.remaining_items(qid);
                     // Complete at the scheduled virtual time, not the
-                    // (slightly later) drain time.
+                    // drain time.
                     self.finish_items(t, qid, items);
                     continue;
                 }
             }
-            if self.node.batcher(0).deadline().is_some_and(|d| d <= now) {
-                let mut out = Vec::new();
-                self.node.batcher_mut(0).flush_due(now, &mut out);
-                self.queue_batches(out);
+            let now = self.now();
+            if self.node.earliest_deadline().is_some_and(|d| d <= now) {
+                for t in 0..self.pending.len() {
+                    if self.node.batcher(t).deadline().is_some_and(|d| d <= now) {
+                        let mut out = Vec::new();
+                        self.node.batcher_mut(t).flush_due(now, &mut out);
+                        self.queue_batches(t, out);
+                    }
+                }
                 continue;
             }
             break;
         }
-        if self.node.take_policy_dirty(0) {
-            // The controller retuned: `rebatch_lane` repacks everything
-            // not yet admitted to the engine (in-flight requests are
-            // committed) plus the open coalesce residual at the new
-            // knob. Cached requests are stale and regenerated.
-            let queued: Vec<Batch> = self.pending.drain(..).map(|(b, _)| b).collect();
-            for b in self.node.rebatch_lane(0, queued) {
-                self.pending.push_back((b, None));
+        for t in 0..self.pending.len() {
+            if self.node.take_policy_dirty(t) {
+                // Tenant `t`'s controller retuned: `rebatch_lane`
+                // repacks everything not yet admitted to the engine
+                // (in-flight requests are committed) plus the open
+                // coalesce residual at the new knob. Cached requests
+                // are stale and regenerated.
+                let queued: Vec<Batch> = self.pending[t].drain(..).map(|(b, _)| b).collect();
+                self.pending_total -= queued.len();
+                for b in self.node.rebatch_lane(t, queued) {
+                    self.pending[t].push_back((b, None));
+                    self.pending_total += 1;
+                }
             }
         }
         self.submit_pending();
     }
 
-    fn queue_batches(&mut self, batches: Vec<Batch>) {
+    fn queue_batches(&mut self, tenant: usize, batches: Vec<Batch>) {
         for b in batches {
-            self.pending.push_back((b, None));
+            self.pending[tenant].push_back((b, None));
+            self.pending_total += 1;
         }
         self.submit_pending();
     }
 
     fn submit_pending(&mut self) {
-        while let Some((batch, cached)) = self.pending.pop_front() {
+        while let Some((t, (batch, cached))) = self
+            .arbiter
+            .next(&mut self.pending, |(b, _)| b.items as u64)
+        {
+            self.pending_total -= 1;
             // A cached request means this batch was already refused
             // once: retries are not fresh backpressure.
             let first_attempt = cached.is_none();
-            let req = cached.unwrap_or_else(|| EngineRequest {
-                query_id: batch.id,
-                inputs: self
-                    .model
-                    .generate_inputs(batch.items as usize, &mut self.rng),
+            let req = cached.unwrap_or_else(|| {
+                let inputs = self.models[t].generate_inputs(batch.items as usize, &mut self.rng);
+                let req = EngineRequest::forward_for(self.next_req, t, inputs);
+                self.next_req += 1;
+                req
             });
+            let rid = req.query_id;
             match self.engine.try_submit(req) {
                 Ok(()) => {
-                    self.inflight.insert(batch.id, batch);
+                    self.inflight.insert(rid, (t, batch));
                 }
                 Err(req) => {
                     if first_attempt {
                         self.node.backpressure_stalls += 1;
                     }
-                    self.pending.push_front((batch, Some(req)));
+                    self.arbiter.refund(t, batch.items as u64);
+                    self.pending[t].push_front((batch, Some(req)));
+                    self.pending_total += 1;
                     break;
                 }
             }
@@ -569,13 +632,14 @@ impl RealRuntime {
         // Backpressure itself is counted at each refusal above; the
         // gauge tracks total unadmitted depth (engine queue + held
         // batches).
-        let depth = self.engine.queue_depth() + self.pending.len();
+        let depth = self.engine.queue_depth() + self.pending_total;
         self.node.note_queue_depth(depth);
     }
 
     fn handle_cpu(&mut self, c: EngineCompletion) {
         self.busy_service_ns += c.service.as_nanos();
-        let b = self.inflight.remove(&c.query_id).expect("known batch");
+        let (t, b) = self.inflight.remove(&c.query_id).expect("known batch");
+        debug_assert_eq!(t, c.model);
         debug_assert_eq!(b.items as usize, c.batch);
         let now = self.now();
         for seg in &b.segments {

@@ -3,12 +3,40 @@
 //! same `ModelCost` math. This is the test that keeps the two
 //! execution layers from silently drifting apart.
 
-use drs_core::{ClusterConfig, ClusterTopology, RoutingPolicy, SchedulerPolicy};
-use drs_models::zoo;
+use drs_core::{
+    ClusterConfig, ClusterTopology, MultiModelSpec, RoutingPolicy, SchedulerPolicy, TenantSpec,
+};
+use drs_models::{zoo, ModelScale, RecModel};
 use drs_platform::{CpuPlatform, GpuPlatform, ModelCost};
-use drs_query::{ArrivalProcess, QueryGenerator, SizeDistribution};
+use drs_query::{ArrivalProcess, MixedStream, QueryGenerator, SizeDistribution, Trace};
 use drs_server::{Cluster, GpuExecutor, Server, ServerOptions};
 use drs_sim::{RunOptions, Simulation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn tiny_model(cfg: &drs_models::ModelConfig, seed: u64) -> Arc<RecModel> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Arc::new(RecModel::instantiate(cfg, ModelScale::tiny(), &mut rng))
+}
+
+fn mixed(rates: &[f64], seed: u64, n: usize) -> Vec<drs_query::Query> {
+    MixedStream::new(
+        rates
+            .iter()
+            .enumerate()
+            .map(|(k, &r)| {
+                QueryGenerator::new(
+                    ArrivalProcess::poisson(r),
+                    SizeDistribution::production(),
+                    seed.wrapping_add(k as u64 * 0x9E37),
+                )
+            })
+            .collect(),
+    )
+    .take(n)
+    .collect()
+}
 
 #[test]
 fn gpu_executor_uses_exactly_the_simulator_cost_math() {
@@ -153,6 +181,154 @@ fn cluster_offload_all_latencies_match_simulator() {
             "query {i}: cluster {a} ms vs sim {b} ms"
         );
     }
+}
+
+/// The real engine against its own virtual twin: with every query
+/// offloaded (threshold 0), completions happen entirely on the
+/// virtual-time GPU, so pacing the identical stream onto physical
+/// worker threads must reproduce the virtual run *bit for bit*. The
+/// real path anchors its clock at the first arrival's integer
+/// nanosecond timestamp and books every arrival at its due time, so
+/// there is no tolerance here — any drift is a scheduling bug, not
+/// jitter.
+#[test]
+fn real_offload_all_matches_virtual_exactly() {
+    let cfg = zoo::dlrm_rmc1();
+    let model = tiny_model(&cfg, 7);
+    let queries: Vec<_> = QueryGenerator::new(
+        ArrivalProcess::poisson(300.0),
+        SizeDistribution::production(),
+        47,
+    )
+    .take(300)
+    .collect();
+    let mut opts = ServerOptions::new(2, SchedulerPolicy::with_gpu(64, 0));
+    opts.warmup_frac = 0.0;
+    opts.time_scale = 8.0;
+    let server = Server::new(
+        &cfg,
+        CpuPlatform::skylake(),
+        Some(GpuPlatform::gtx_1080ti()),
+        opts,
+    );
+    let virt = server.serve_virtual(&queries);
+    let real = server.serve_real(model, &queries);
+
+    assert_eq!(real.completed, virt.completed);
+    assert_eq!(
+        real.latencies_ms, virt.latencies_ms,
+        "offload-all real latencies are the virtual run, exactly"
+    );
+    assert_eq!(real.latency.p95_ms.to_bits(), virt.latency.p95_ms.to_bits());
+}
+
+/// The multi-tenant version of the exact-match contract: two tenants
+/// on one shared pool, both fully offloaded — per-tenant deficit
+/// round-robin, per-tenant GPU pricing, and the shared device FIFO
+/// must all sequence identically whether lanes run in virtual time or
+/// against the physical engine pool.
+#[test]
+fn multi_tenant_real_offload_all_matches_virtual_exactly() {
+    let (cfg_a, cfg_b) = (zoo::ncf(), zoo::wide_and_deep());
+    let spec = MultiModelSpec::new(vec![
+        TenantSpec::new(cfg_a.clone(), SchedulerPolicy::with_gpu(32, 0)),
+        TenantSpec::new(cfg_b.clone(), SchedulerPolicy::with_gpu(32, 0)).with_weight(2),
+    ]);
+    let mut opts = ServerOptions::new(2, SchedulerPolicy::with_gpu(32, 0));
+    opts.warmup_frac = 0.0;
+    opts.time_scale = 8.0;
+    let server = Server::new_multi(
+        &spec,
+        CpuPlatform::skylake(),
+        Some(GpuPlatform::gtx_1080ti()),
+        opts,
+    );
+    let models = vec![tiny_model(&cfg_a, 2), tiny_model(&cfg_b, 3)];
+    let queries = mixed(&[600.0, 300.0], 13, 200);
+
+    let virt = server.serve_virtual(&queries);
+    let real = server.serve_real_multi(models, &queries);
+
+    assert_eq!(real.completed, virt.completed);
+    assert_eq!(real.latencies_ms, virt.latencies_ms);
+    assert_eq!(real.tenant_breakdowns.len(), virt.tenant_breakdowns.len());
+    for (r, v) in real.tenant_breakdowns.iter().zip(&virt.tenant_breakdowns) {
+        assert_eq!(r.completed, v.completed);
+        assert_eq!(
+            r.latency.p95_ms.to_bits(),
+            v.latency.p95_ms.to_bits(),
+            "per-tenant tails agree bit-for-bit"
+        );
+    }
+}
+
+/// Two nodes behind the router, fully offloaded: the real cluster
+/// drains its per-node GPU heaps in global (time, query-id) order,
+/// which is exactly the virtual event queue's ordering — so routing
+/// decisions, per-node counts, and every latency must match the
+/// virtual run with zero tolerance.
+#[test]
+fn cluster_real_offload_all_matches_virtual_exactly() {
+    let cfg = zoo::dlrm_rmc1();
+    let model = tiny_model(&cfg, 11);
+    let queries: Vec<_> = QueryGenerator::new(
+        ArrivalProcess::poisson(500.0),
+        SizeDistribution::production(),
+        53,
+    )
+    .take(300)
+    .collect();
+    let mut opts = ServerOptions::new(1, SchedulerPolicy::with_gpu(64, 0));
+    opts.warmup_frac = 0.0;
+    opts.time_scale = 8.0;
+    let cluster = Cluster::new(
+        &cfg,
+        ClusterTopology::uniform(2, CpuPlatform::skylake(), Some(GpuPlatform::gtx_1080ti())),
+        RoutingPolicy::LeastOutstanding,
+        opts,
+    );
+    let virt = cluster.serve_virtual(&queries);
+    let real = cluster.serve_real(model, &queries);
+
+    assert_eq!(real.completed, virt.completed);
+    assert_eq!(
+        real.node_queries, virt.node_queries,
+        "the router makes the same per-node decisions on both clocks"
+    );
+    assert_eq!(real.latencies_ms, virt.latencies_ms);
+}
+
+/// Satellite regression: `Cluster::serve_trace_real` replays a
+/// recorded trace through the real path and must reproduce the direct
+/// real run exactly (an in-memory trace stores queries verbatim, and
+/// the offload-all cluster is deterministic).
+#[test]
+fn cluster_trace_replay_matches_direct_on_the_real_engine() {
+    let cfg = zoo::dlrm_rmc1();
+    let model = tiny_model(&cfg, 17);
+    let queries: Vec<_> = QueryGenerator::new(
+        ArrivalProcess::poisson(400.0),
+        SizeDistribution::production(),
+        59,
+    )
+    .take(200)
+    .collect();
+    let trace = Trace::record(queries.iter().copied(), queries.len());
+    let mut opts = ServerOptions::new(1, SchedulerPolicy::with_gpu(64, 0));
+    opts.warmup_frac = 0.0;
+    opts.time_scale = 8.0;
+    let cluster = Cluster::new(
+        &cfg,
+        ClusterTopology::uniform(2, CpuPlatform::skylake(), Some(GpuPlatform::gtx_1080ti())),
+        RoutingPolicy::LeastOutstanding,
+        opts,
+    );
+    let direct = cluster.serve_real(model.clone(), &queries);
+    let replayed = cluster.serve_trace_real(model, &trace);
+
+    assert_eq!(replayed.completed, direct.completed);
+    assert_eq!(replayed.node_queries, direct.node_queries);
+    assert_eq!(replayed.latencies_ms, direct.latencies_ms);
 }
 
 /// With coalescing disabled the server's CPU path is the simulator's

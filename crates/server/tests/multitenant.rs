@@ -243,12 +243,49 @@ fn cluster_serves_tenants_and_replays_traces() {
     );
 }
 
-/// The real engine runs one model per worker pool; multi-tenant specs
-/// must be rejected with a pointer instead of silently serving the
-/// wrong model.
+/// Multi-tenant real serving end-to-end: one shared
+/// [`drs_engine::InferenceEngine`] pool executes both tenants' lanes
+/// (arbitrated by the same deficit round-robin as virtual time), with
+/// each tenant's own instantiated model behind the pool — and the
+/// report still partitions per tenant.
 #[test]
-#[should_panic(expected = "multi-tenant serving runs in virtual time")]
-fn real_engine_rejects_multi_tenant() {
+fn real_engine_serves_two_tenants_on_one_pool() {
+    let (cfg_a, cfg_b) = (zoo::ncf(), zoo::wide_and_deep());
+    let spec = MultiModelSpec::new(vec![
+        TenantSpec::new(cfg_a.clone(), SchedulerPolicy::cpu_only(16)),
+        TenantSpec::new(cfg_b.clone(), SchedulerPolicy::cpu_only(16)).with_weight(2),
+    ]);
+    let mut opts = ServerOptions::new(2, SchedulerPolicy::cpu_only(16));
+    opts.warmup_frac = 0.0;
+    opts.time_scale = 4.0;
+    let server = Server::new_multi(&spec, CpuPlatform::skylake(), None, opts);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+    let models = vec![
+        Arc::new(RecModel::instantiate(&cfg_a, ModelScale::tiny(), &mut rng)),
+        Arc::new(RecModel::instantiate(&cfg_b, ModelScale::tiny(), &mut rng)),
+    ];
+    let queries = mixed(&[800.0, 500.0], 3, 80);
+    let per_tenant: Vec<u64> = (0..2)
+        .map(|k| queries.iter().filter(|q| q.tenant == TenantId(k)).count() as u64)
+        .collect();
+    let r = server.serve_real_multi(models, &queries);
+    assert_eq!(r.completed, 80, "every query completes on the real pool");
+    assert_eq!(r.tenant_breakdowns.len(), 2);
+    for (k, b) in r.tenant_breakdowns.iter().enumerate() {
+        assert_eq!(
+            b.completed, per_tenant[k],
+            "tenant {k} completes exactly its own stream"
+        );
+    }
+    assert!(r.latency.p95_ms > 0.0, "real latencies are measured");
+}
+
+/// One model per tenant is a hard contract on the real path: a
+/// single-model call against a two-tenant server is a configuration
+/// error, not a silent mis-serve.
+#[test]
+#[should_panic(expected = "one model per tenant")]
+fn real_engine_rejects_model_count_mismatch() {
     let cfg = zoo::ncf();
     let spec = MultiModelSpec::new(vec![
         TenantSpec::new(cfg.clone(), SchedulerPolicy::cpu_only(16)),

@@ -1,9 +1,9 @@
 //! The simulation loop.
 
 use drs_core::{
-    secs_to_ns, stream_offered_qps, us_to_ns, ClusterConfig, ClusterTopology, EventQueue,
-    MultiModelSpec, NodeId, NodeSpec, SchedulerPolicy, ServingStack, SimReport, SimTime,
-    TenantBreakdown, TenantId, NS_PER_SEC,
+    assert_nonempty_queries, assert_nonempty_trace, secs_to_ns, stream_offered_qps, us_to_ns,
+    ClusterConfig, ClusterTopology, EventQueue, MultiModelSpec, NodeId, NodeSpec, SchedulerPolicy,
+    ServingStack, SimReport, SimTime, TenantBreakdown, TenantId, NS_PER_SEC,
 };
 use drs_metrics::LatencyRecorder;
 use drs_models::ModelConfig;
@@ -335,7 +335,7 @@ impl Simulation {
     ///
     /// Panics if the trace is empty.
     pub fn run_trace(&self, trace: &drs_query::trace::Trace, opts: RunOptions) -> SimReport {
-        assert!(!trace.is_empty(), "cannot replay an empty trace");
+        assert_nonempty_trace(trace);
         let n = opts.num_queries.min(trace.len());
         let opts = RunOptions {
             num_queries: n,
@@ -352,7 +352,7 @@ impl Simulation {
     ///
     /// Panics if `queries` is empty.
     pub fn serve_queries(&self, queries: &[drs_query::Query]) -> SimReport {
-        assert!(!queries.is_empty(), "no queries to serve");
+        assert_nonempty_queries(queries);
         self.run_queries(
             queries,
             stream_offered_qps(queries),
