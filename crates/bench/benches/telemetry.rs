@@ -1,0 +1,101 @@
+//! Micro-benchmark: span-recording overhead — the gate on the
+//! telemetry layer's "free when off, cheap when on" contract.
+//!
+//! * `record/*` measures the raw sink hot path in ns/span (Criterion's
+//!   per-element throughput is the spans/s figure `bench_report`
+//!   republishes).
+//! * `serve/*` runs the same virtual serving window untraced and
+//!   traced with the no-op sink: the two must be indistinguishable,
+//!   because `NoopSink::ENABLED == false` compiles every record site
+//!   out of the monomorphized loop.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use drs_core::SchedulerPolicy;
+use drs_models::zoo;
+use drs_platform::{CpuPlatform, GpuPlatform};
+use drs_query::{ArrivalProcess, QueryGenerator, SizeDistribution};
+use drs_server::{Server, ServerOptions};
+use drs_telemetry::{NoopSink, QuerySpan, RingRecorder, Stage, TraceSink, STAGE_COUNT};
+
+fn spans(n: usize) -> Vec<QuerySpan> {
+    (0..n as u64)
+        .map(|i| {
+            let mut stages = [0u64; STAGE_COUNT];
+            stages[Stage::QueueWait.index()] = 100_000 + i * 13;
+            stages[Stage::EngineService.index()] = 2_000_000 + i * 7;
+            QuerySpan {
+                query_id: i,
+                tenant: (i % 3) as usize,
+                node: (i % 4) as usize,
+                arrival_ns: i * 1_000_000,
+                end_ns: i * 1_000_000 + stages.iter().sum::<u64>(),
+                stages,
+            }
+        })
+        .collect()
+}
+
+fn bench_record(c: &mut Criterion) {
+    let batch = spans(4_096);
+    let mut group = c.benchmark_group("telemetry_record");
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    group.bench_function("noop_sink", |b| {
+        b.iter(|| {
+            let mut sink = NoopSink;
+            for s in &batch {
+                sink.record(s);
+            }
+            sink.breakdown().is_none()
+        })
+    });
+    group.bench_function("ring_recorder", |b| {
+        b.iter(|| {
+            let mut sink = RingRecorder::new(batch.len());
+            for s in &batch {
+                sink.record(s);
+            }
+            sink.recorded()
+        })
+    });
+    group.finish();
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let queries: Vec<_> = QueryGenerator::new(
+        ArrivalProcess::poisson(800.0),
+        SizeDistribution::production(),
+        7,
+    )
+    .take(2_000)
+    .collect();
+    let server = Server::new(
+        &zoo::dlrm_rmc1(),
+        CpuPlatform::skylake(),
+        Some(GpuPlatform::gtx_1080ti()),
+        ServerOptions::new(40, SchedulerPolicy::with_gpu(64, 128)),
+    );
+
+    let mut group = c.benchmark_group("telemetry_serve");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    group.bench_function("untraced", |b| {
+        b.iter(|| server.serve_virtual(&queries).completed)
+    });
+    group.bench_function("noop_traced", |b| {
+        b.iter(|| {
+            server
+                .serve_virtual_traced(&queries, &mut NoopSink)
+                .completed
+        })
+    });
+    group.bench_function("ring_traced", |b| {
+        b.iter(|| {
+            let mut rec = RingRecorder::default();
+            server.serve_virtual_traced(&queries, &mut rec).completed
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_record, bench_serve);
+criterion_main!(benches);

@@ -16,6 +16,7 @@
 //! code in this repo rather than by whatever a library tolerates.
 
 use deeprecsys::prelude::*;
+use deeprecsys::telemetry::STAGE_COUNT;
 use drs_engine::EngineRequest;
 use drs_nn::{EmbeddingBag, Pooling};
 use drs_query::TenantId;
@@ -33,6 +34,17 @@ const REQUIRED_KEYS: &[&str] = &[
     "engine_qps",
     "router_routes_per_s",
     "shard_gather_gbps",
+];
+
+/// Keys added by schema 2 (the telemetry layer): span-recording
+/// throughput/overhead plus the stage-breakdown medians of a traced
+/// serving window. Older schema-1 lines in the history stay valid —
+/// `--check` requires these only when `schema >= 2`.
+const SCHEMA2_KEYS: &[&str] = &[
+    "telemetry_spans_per_s",
+    "telemetry_ns_per_span",
+    "stage_p50_queue_wait_ms",
+    "stage_p50_engine_service_ms",
 ];
 
 fn main() {
@@ -68,10 +80,23 @@ fn main() {
     println!("router           : {routes:.0} routes/s (least-outstanding, 16 nodes)");
     let gather = measure_shard_gather_gbps(&opts);
     println!("shard gather     : {gather:.2} GB/s (2-way shard, merge included)");
+    let (spans_per_s, ns_per_span) = measure_span_record(&opts);
+    println!(
+        "telemetry        : {spans_per_s:.0} spans/s into the ring sink ({ns_per_span:.0} ns/span)"
+    );
+    let (qw_p50, es_p50) = measure_stage_medians(&opts);
+    println!(
+        "stage medians    : queue-wait {qw_p50:.3} ms, engine-service {es_p50:.3} ms \
+         (traced virtual serve)"
+    );
 
     let entry = format!(
-        "{{\"schema\": 1, \"label\": {}, \"mode\": {}, \"engine_qps\": {engine_qps:.1}, \
-         \"router_routes_per_s\": {routes:.0}, \"shard_gather_gbps\": {gather:.3}}}",
+        "{{\"schema\": 2, \"label\": {}, \"mode\": {}, \"engine_qps\": {engine_qps:.1}, \
+         \"router_routes_per_s\": {routes:.0}, \"shard_gather_gbps\": {gather:.3}, \
+         \"telemetry_spans_per_s\": {spans_per_s:.0}, \
+         \"telemetry_ns_per_span\": {ns_per_span:.1}, \
+         \"stage_p50_queue_wait_ms\": {qw_p50:.4}, \
+         \"stage_p50_engine_service_ms\": {es_p50:.4}}}",
         json_string(&label),
         json_string(opts.mode.label()),
     );
@@ -183,6 +208,68 @@ fn measure_shard_gather_gbps(opts: &drs_bench::ExpOptions) -> f64 {
     bytes / start.elapsed().as_secs_f64() / 1e9
 }
 
+/// Span-recording hot path: streaming whole batches of synthetic spans
+/// into a fresh [`RingRecorder`] (ring append + per-stage/tenant/node
+/// digest updates) and counting spans per wall-clock second.
+fn measure_span_record(opts: &drs_bench::ExpOptions) -> (f64, f64) {
+    const BATCH: usize = 4_096;
+    let batch: Vec<QuerySpan> = (0..BATCH as u64)
+        .map(|i| {
+            let mut stages = [0u64; STAGE_COUNT];
+            stages[Stage::QueueWait.index()] = 100_000 + i * 13;
+            stages[Stage::EngineService.index()] = 2_000_000 + i * 7;
+            QuerySpan {
+                query_id: i,
+                tenant: (i % 3) as usize,
+                node: (i % 4) as usize,
+                arrival_ns: i * 1_000_000,
+                end_ns: i * 1_000_000 + stages.iter().sum::<u64>(),
+                stages,
+            }
+        })
+        .collect();
+    let reps = opts.pick(2_000, 500, 50);
+    let start = Instant::now();
+    for rep in 0..reps {
+        let mut sink = RingRecorder::new(batch.len());
+        for s in &batch {
+            sink.record(s);
+        }
+        std::hint::black_box(sink.recorded() + rep as u64);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let total = (reps * BATCH) as f64;
+    (total / elapsed, elapsed * 1e9 / total)
+}
+
+/// Stage-breakdown medians of a traced serving window: the queue-wait
+/// and engine-service p50s a DLRM-RMC1 node pays under GPU offload —
+/// the two stages the paper's batching/offload knobs act on.
+fn measure_stage_medians(opts: &drs_bench::ExpOptions) -> (f64, f64) {
+    let qs: Vec<_> = QueryGenerator::new(
+        ArrivalProcess::poisson(600.0),
+        SizeDistribution::production(),
+        17,
+    )
+    .take(opts.pick(6_000, 2_000, 400))
+    .collect();
+    let server = Server::new(
+        &zoo::dlrm_rmc1(),
+        CpuPlatform::skylake(),
+        Some(GpuPlatform::gtx_1080ti()),
+        ServerOptions::new(16, SchedulerPolicy::with_gpu(64, 128)),
+    );
+    let mut rec = RingRecorder::new(qs.len());
+    let report = server.serve_virtual_traced(&qs, &mut rec);
+    let b = report
+        .stage_breakdown
+        .expect("traced run yields a breakdown");
+    (
+        b.stage(Stage::QueueWait).p50_ms,
+        b.stage(Stage::EngineService).p50_ms,
+    )
+}
+
 /// `--check`: every line of the history must parse as a flat JSON
 /// object carrying the required keys with numeric measurements.
 fn check(path: &str) {
@@ -196,7 +283,14 @@ fn check(path: &str) {
         }
         let obj = parse_flat_object(line)
             .unwrap_or_else(|e| panic!("{path}:{}: malformed entry: {e}", lineno + 1));
-        for key in REQUIRED_KEYS {
+        let schema = match obj.iter().find(|(k, _)| k == "schema") {
+            Some((_, JsonVal::Num(v))) => *v,
+            _ => panic!("{path}:{}: missing numeric schema", lineno + 1),
+        };
+        let required = REQUIRED_KEYS
+            .iter()
+            .chain(if schema >= 2.0 { SCHEMA2_KEYS } else { &[] });
+        for key in required {
             let val = obj
                 .iter()
                 .find(|(k, _)| k == key)

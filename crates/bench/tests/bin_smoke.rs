@@ -46,10 +46,10 @@ macro_rules! bin_smoke_tests {
     };
 }
 
-/// The two serving figures also run their `--real` cross-validation
+/// The serving figures also run their `--real` cross-validation
 /// sections at smoke scale: the multi-tenant stream bit-exact against
 /// virtual time, the sharded run CTR-identical to the unsharded
-/// forward. The assertions live in the binaries; rotting either path
+/// forward, and the tail-anatomy spans bit-exact per query. The assertions live in the binaries; rotting either path
 /// fails here.
 #[test]
 fn real_mode_smokes() {
@@ -59,6 +59,7 @@ fn real_mode_smokes() {
             "fig_sharded_capacity",
             env!("CARGO_BIN_EXE_fig_sharded_capacity"),
         ),
+        ("fig_tail_anatomy", env!("CARGO_BIN_EXE_fig_tail_anatomy")),
     ] {
         let out = Command::new(exe)
             .args(["--smoke", "--seed", "1", "--real"])
@@ -142,6 +143,7 @@ bin_smoke_tests! {
     fig14_gpu_tradeoff => "fig14_gpu_tradeoff",
     fig_multitenant => "fig_multitenant",
     fig_sharded_capacity => "fig_sharded_capacity",
+    fig_tail_anatomy => "fig_tail_anatomy",
     probe_capacity => "probe_capacity",
     table1_models => "table1_models",
     table2_sla => "table2_sla",

@@ -47,6 +47,7 @@ pub use drs_sched as sched;
 pub use drs_server as server;
 pub use drs_shard as shard;
 pub use drs_sim as sim;
+pub use drs_telemetry as telemetry;
 pub use drs_tensor as tensor;
 
 pub use drs_models::zoo;
@@ -73,6 +74,10 @@ pub mod prelude {
     };
     pub use drs_shard::{PlacementError, PlacementPolicy, ShardPlan};
     pub use drs_sim::{RunOptions, SchedulerPolicy, SimReport, Simulation};
+    pub use drs_telemetry::{
+        parse_chrome_trace, to_chrome_trace, NoopSink, QuerySpan, RingRecorder, Stage,
+        StageBreakdown, StageStats, TraceSink,
+    };
 }
 
 use drs_core::{ClusterConfig, ReportView, RoutingPolicy, ServingStack};

@@ -85,6 +85,9 @@ pub struct SimReport {
     /// (single-tenant runs carry one entry; legacy constructors may
     /// leave it empty).
     pub tenant_breakdowns: Vec<TenantBreakdown>,
+    /// Per-stage latency attribution from the run's trace sink —
+    /// `Some` only when the run was traced through a recording sink.
+    pub stage_breakdown: Option<drs_telemetry::StageBreakdown>,
 }
 
 impl SimReport {
@@ -123,6 +126,7 @@ mod tests {
             window_s: 10.0,
             latencies_ms: Vec::new(),
             tenant_breakdowns: Vec::new(),
+            stage_breakdown: None,
         }
     }
 

@@ -46,6 +46,12 @@ pub trait ReportView {
         &[]
     }
 
+    /// Per-stage latency attribution, when the run recorded spans into
+    /// a sink that aggregates them. `None` for untraced runs.
+    fn stage_breakdown(&self) -> Option<&drs_telemetry::StageBreakdown> {
+        None
+    }
+
     /// Whether the window met a p95 SLA target, requiring a minimally
     /// meaningful sample — the contract shared by every report
     /// (see [`crate::met_sla`] and [`crate::MIN_SLA_SAMPLES`]).
@@ -69,6 +75,7 @@ pub trait ReportView {
             window_s: self.window_s(),
             latencies_ms: self.latencies_ms().to_vec(),
             tenant_breakdowns: self.tenant_breakdowns().to_vec(),
+            stage_breakdown: self.stage_breakdown().cloned(),
         }
     }
 }
@@ -109,6 +116,9 @@ impl ReportView for SimReport {
     }
     fn tenant_breakdowns(&self) -> &[TenantBreakdown] {
         &self.tenant_breakdowns
+    }
+    fn stage_breakdown(&self) -> Option<&drs_telemetry::StageBreakdown> {
+        self.stage_breakdown.as_ref()
     }
     fn to_common(&self) -> SimReport {
         self.clone()
@@ -237,6 +247,7 @@ mod tests {
             window_s: 0.5,
             latencies_ms: vec![1.0, 2.0],
             tenant_breakdowns: Vec::new(),
+            stage_breakdown: None,
         }
     }
 

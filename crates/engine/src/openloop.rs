@@ -11,6 +11,7 @@ use crate::pool::{EngineCompletion, EngineRequest, InferenceEngine};
 use drs_metrics::{LatencyRecorder, LatencySummary, ThroughputMeter};
 use drs_models::RecModel;
 use drs_query::{split_query, Query};
+use drs_telemetry::{NoopSink, QuerySpan, Stage, TraceSink, STAGE_COUNT};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -72,6 +73,27 @@ pub fn serve_open_loop(
     queries: &[Query],
     opts: OpenLoopOptions,
 ) -> OpenLoopReport {
+    serve_open_loop_traced(model, queries, opts, &mut NoopSink)
+}
+
+/// [`serve_open_loop`] with one wall-clock [`QuerySpan`] per query
+/// recorded into `sink`: the engine's pure service time of the query's
+/// *last* part becomes [`Stage::EngineService`] and everything else —
+/// channel queueing, worker contention, earlier parts — becomes
+/// [`Stage::QueueWait`], so the two stages sum to the recorded
+/// end-to-end latency exactly. Span clocks are nanosecond offsets from
+/// the run's start. With [`NoopSink`] this is exactly
+/// `serve_open_loop`.
+///
+/// # Panics
+///
+/// Panics if `queries` is empty or options are degenerate.
+pub fn serve_open_loop_traced<S: TraceSink>(
+    model: Arc<RecModel>,
+    queries: &[Query],
+    opts: OpenLoopOptions,
+    sink: &mut S,
+) -> OpenLoopReport {
     assert!(!queries.is_empty(), "no queries to serve");
     assert!(opts.time_scale > 0.0, "time scale must be positive");
     let engine = InferenceEngine::start(Arc::clone(&model), opts.workers);
@@ -81,6 +103,7 @@ pub fn serve_open_loop(
     let base_arrival = queries[0].arrival_s;
     let mut parts_left: HashMap<u64, u32> = HashMap::new();
     let mut arrived_at: HashMap<u64, Instant> = HashMap::new();
+    let mut tenant_of: HashMap<u64, usize> = HashMap::new();
     let mut latency = LatencyRecorder::with_capacity(queries.len());
     let mut meter = ThroughputMeter::new();
     let mut outstanding_requests: usize = 0;
@@ -89,12 +112,31 @@ pub fn serve_open_loop(
                   parts_left: &mut HashMap<u64, u32>,
                   latency: &mut LatencyRecorder,
                   meter: &mut ThroughputMeter,
-                  arrived_at: &HashMap<u64, Instant>| {
+                  arrived_at: &HashMap<u64, Instant>,
+                  tenant_of: &HashMap<u64, usize>,
+                  sink: &mut S| {
         let left = parts_left.get_mut(&done.query_id).expect("known query");
         *left -= 1;
         if *left == 0 {
-            latency.record_duration(arrived_at[&done.query_id].elapsed());
+            let total = arrived_at[&done.query_id].elapsed();
+            latency.record_duration(total);
             meter.record_query(0);
+            if S::ENABLED {
+                let arrival_ns = arrived_at[&done.query_id].duration_since(start).as_nanos() as u64;
+                let total_ns = total.as_nanos() as u64;
+                let service_ns = (done.service.as_nanos() as u64).min(total_ns);
+                let mut stages = [0u64; STAGE_COUNT];
+                stages[Stage::QueueWait.index()] = total_ns - service_ns;
+                stages[Stage::EngineService.index()] = service_ns;
+                sink.record(&QuerySpan {
+                    query_id: done.query_id,
+                    tenant: tenant_of[&done.query_id],
+                    node: 0,
+                    arrival_ns,
+                    end_ns: arrival_ns + total_ns,
+                    stages,
+                });
+            }
         }
     };
 
@@ -110,12 +152,23 @@ pub fn serve_open_loop(
             {
                 Ok(done) => {
                     outstanding_requests -= 1;
-                    absorb(done, &mut parts_left, &mut latency, &mut meter, &arrived_at);
+                    absorb(
+                        done,
+                        &mut parts_left,
+                        &mut latency,
+                        &mut meter,
+                        &arrived_at,
+                        &tenant_of,
+                        sink,
+                    );
                 }
                 Err(_) => break, // timed out: submission is due
             }
         }
         arrived_at.insert(q.id, Instant::now());
+        if S::ENABLED {
+            tenant_of.insert(q.id, q.tenant.index());
+        }
         let parts = split_query(q.size, opts.max_batch);
         parts_left.insert(q.id, parts.len() as u32);
         meter.record_completion(); // count items on submit
@@ -129,7 +182,15 @@ pub fn serve_open_loop(
     // Drain the tail.
     for _ in 0..outstanding_requests {
         let done = engine.completions().recv().expect("workers alive");
-        absorb(done, &mut parts_left, &mut latency, &mut meter, &arrived_at);
+        absorb(
+            done,
+            &mut parts_left,
+            &mut latency,
+            &mut meter,
+            &arrived_at,
+            &tenant_of,
+            sink,
+        );
     }
     engine.shutdown();
 

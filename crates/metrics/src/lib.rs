@@ -9,6 +9,8 @@
 //!   window of latencies,
 //! * [`P2Quantile`] — the P² streaming quantile estimator for
 //!   constant-memory percentile tracking in long simulations,
+//! * [`StreamingLatency`] — a full [`LatencySummary`] digest built on
+//!   P² markers, for per-tenant tails over unbounded soaks,
 //! * [`Histogram`] — log-bucketed latency histograms for distribution
 //!   comparisons (used by the Figure 7 subsampling experiment),
 //! * [`ThroughputMeter`] and [`EnergyMeter`] — QPS and QPS/Watt
@@ -35,12 +37,14 @@ mod energy;
 mod histogram;
 mod p2;
 mod percentile;
+mod streaming;
 mod throughput;
 
 pub use energy::EnergyMeter;
 pub use histogram::Histogram;
 pub use p2::P2Quantile;
 pub use percentile::{percentile_of_sorted, LatencyRecorder, LatencySummary};
+pub use streaming::StreamingLatency;
 pub use throughput::ThroughputMeter;
 
 /// Geometric mean of a slice of positive values.

@@ -20,7 +20,7 @@
 use crate::batcher::Batch;
 use crate::node::{
     self, CpuUtilOverride, NodeCore, NodeSetup, NodeUtilization, Route, RunOutcome, StreamStats,
-    TenantSetup,
+    TenantSetup, TimedBatch,
 };
 use crate::report::ServerReport;
 use crate::server::ServerOptions;
@@ -34,6 +34,7 @@ use drs_nn::{ShardPartial, ShardedEmbeddingSet};
 use drs_platform::{InterconnectModel, ModelCost};
 use drs_query::{Query, Trace, MAX_QUERY_SIZE};
 use drs_shard::{ShardGeometry, ShardPlan};
+use drs_telemetry::{NoopSink, TraceSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -616,6 +617,22 @@ impl Cluster {
     ///
     /// Panics if `queries` is empty.
     pub fn serve_virtual(&self, queries: &[Query]) -> ServerReport {
+        self.serve_virtual_traced(queries, &mut NoopSink)
+    }
+
+    /// [`Cluster::serve_virtual`] with query-lifecycle tracing: every
+    /// measured query's per-stage span (including shard-exchange and
+    /// dense-tail attribution on a sharded fleet) is recorded into
+    /// `sink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries` is empty.
+    pub fn serve_virtual_traced<S: TraceSink>(
+        &self,
+        queries: &[Query],
+        sink: &mut S,
+    ) -> ServerReport {
         node::serve_virtual_multi(
             &self.costs,
             &self.tenants,
@@ -624,6 +641,7 @@ impl Cluster {
             self.router(),
             self.shard_geometry().as_ref(),
             queries,
+            sink,
         )
     }
 
@@ -672,10 +690,27 @@ impl Cluster {
     /// one tenant (use [`Cluster::serve_real_multi`]), or the model
     /// geometry disagrees with the cluster's configuration.
     pub fn serve_real(&self, model: Arc<RecModel>, queries: &[Query]) -> ServerReport {
+        self.serve_real_traced(model, queries, &mut NoopSink)
+    }
+
+    /// [`Cluster::serve_real`] with query-lifecycle tracing into
+    /// `sink`. Cost-model-clocked stages (GPU offloads, shard
+    /// exchanges) carry the same values as the virtual path; stages
+    /// executed on real engines carry scaled wall time.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Cluster::serve_real`] does.
+    pub fn serve_real_traced<S: TraceSink>(
+        &self,
+        model: Arc<RecModel>,
+        queries: &[Query],
+        sink: &mut S,
+    ) -> ServerReport {
         if self.shard.is_some() {
-            self.serve_real_sharded(model, queries).0
+            self.serve_real_sharded(model, queries, sink).0
         } else {
-            self.serve_real_multi(vec![model], queries)
+            self.serve_real_multi_traced(vec![model], queries, sink)
         }
     }
 
@@ -696,7 +731,7 @@ impl Cluster {
             self.shard.is_some(),
             "per-query outputs come from the sharded real path"
         );
-        self.serve_real_sharded(model, queries)
+        self.serve_real_sharded(model, queries, &mut NoopSink)
     }
 
     /// The multi-tenant real path: every node runs one shared
@@ -711,6 +746,21 @@ impl Cluster {
     /// serving is single-tenant), or `models` does not provide exactly
     /// one model per tenant.
     pub fn serve_real_multi(&self, models: Vec<Arc<RecModel>>, queries: &[Query]) -> ServerReport {
+        self.serve_real_multi_traced(models, queries, &mut NoopSink)
+    }
+
+    /// [`Cluster::serve_real_multi`] with query-lifecycle tracing into
+    /// `sink` (see [`Cluster::serve_real_traced`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Cluster::serve_real_multi`] does.
+    pub fn serve_real_multi_traced<S: TraceSink>(
+        &self,
+        models: Vec<Arc<RecModel>>,
+        queries: &[Query],
+        sink: &mut S,
+    ) -> ServerReport {
         assert_nonempty_queries(queries);
         assert!(self.shard.is_none(), "sharded serving is single-tenant");
         assert_eq!(
@@ -744,6 +794,7 @@ impl Cluster {
             busy_service_ns: vec![0; setups.len()],
             t0: Instant::now(),
             scale: self.opts.time_scale,
+            sink: &mut *sink,
         };
         // Integer-ns arrival shift: the paced clock is exactly the
         // virtual clock minus a constant (see `Server::serve_real_multi`).
@@ -783,11 +834,12 @@ impl Cluster {
             let NodeId(n) = rt.router.route(q.tenant, q.size);
             let measured = rt.stats.note_arrival(due, q, n);
             match rt.nodes[n].core.on_arrival(due, q) {
-                Route::Gpu(done) => {
+                Route::Gpu { start, done } => {
+                    rt.stats.span_gpu(q.id, start);
                     rt.stats.note_gpu_items(measured, q.size);
                     rt.nodes[n].gpu_heap.push(Reverse((done, q.id)));
                 }
-                Route::Cpu(batches) => rt.queue_batches(n, q.tenant.index(), batches),
+                Route::Cpu(batches) => rt.queue_batches(due, n, q.tenant.index(), batches),
             }
         }
 
@@ -831,7 +883,7 @@ impl Cluster {
                 workers: setup.workers,
             });
         }
-        node::assemble_report(
+        let mut report = node::assemble_report(
             RunOutcome {
                 stats,
                 cores,
@@ -843,7 +895,11 @@ impl Cluster {
                 cpu_utilization_override: Some(cpu_util),
             },
             stream_offered_qps(queries),
-        )
+        );
+        if S::ENABLED {
+            report.stage_breakdown = sink.breakdown();
+        }
+        report
     }
 
     /// The sharded real runtime behind [`Cluster::serve_real`] /
@@ -852,10 +908,11 @@ impl Cluster {
     /// partials join at the router-chosen home, the cross-node
     /// exchange elapses on the virtual clock, and the dense tail runs
     /// for real on the home's engine over the merged partials.
-    fn serve_real_sharded(
+    fn serve_real_sharded<S: TraceSink>(
         &self,
         model: Arc<RecModel>,
         queries: &[Query],
+        sink: &mut S,
     ) -> (ServerReport, Vec<(u64, Vec<f32>)>) {
         assert_nonempty_queries(queries);
         let geom = self.shard_geometry().expect("sharded cluster");
@@ -896,6 +953,7 @@ impl Cluster {
             busy_service_ns: vec![0; setups.len()],
             t0: Instant::now(),
             scale: self.opts.time_scale,
+            sink: &mut *sink,
         };
         let fanout = geom.shard_nodes().len() as u32;
         // Integer-ns arrival shift, as in `serve_real_multi`.
@@ -998,7 +1056,7 @@ impl Cluster {
                 workers: s.workers,
             })
             .collect();
-        let report = node::assemble_report(
+        let mut report = node::assemble_report(
             RunOutcome {
                 stats,
                 cores,
@@ -1011,6 +1069,9 @@ impl Cluster {
             },
             stream_offered_qps(queries),
         );
+        if S::ENABLED {
+            report.stage_breakdown = sink.breakdown();
+        }
         (report, outputs)
     }
 }
@@ -1071,17 +1132,17 @@ struct RealNode {
     engine: InferenceEngine,
     /// Per-tenant batches awaiting engine admission (a head may carry
     /// its already generated request after a backpressure refusal).
-    pending: Vec<VecDeque<(Batch, Option<EngineRequest>)>>,
+    pending: Vec<VecDeque<(TimedBatch, Option<EngineRequest>)>>,
     pending_total: usize,
     /// Engine request id → (tenant, batch) for admitted requests.
-    inflight: HashMap<u64, (usize, Batch)>,
+    inflight: HashMap<u64, (usize, TimedBatch)>,
     /// GPU completions on the virtual clock, earliest first.
     gpu_heap: BinaryHeap<Reverse<(SimTime, u64)>>,
 }
 
 /// Wall-clock serving state for [`Cluster::serve_real`] /
 /// [`Cluster::serve_real_multi`].
-struct ClusterRealRuntime {
+struct ClusterRealRuntime<'s, S: TraceSink> {
     stats: StreamStats,
     router: Router,
     nodes: Vec<RealNode>,
@@ -1097,9 +1158,11 @@ struct ClusterRealRuntime {
     busy_service_ns: Vec<u128>,
     t0: Instant,
     scale: f64,
+    /// Where completed queries' lifecycle spans go.
+    sink: &'s mut S,
 }
 
-impl ClusterRealRuntime {
+impl<S: TraceSink> ClusterRealRuntime<'_, S> {
     /// Model-time now: scaled wall nanoseconds since start.
     fn now(&self) -> SimTime {
         (self.t0.elapsed().as_secs_f64() * self.scale * 1e9) as SimTime
@@ -1144,7 +1207,7 @@ impl ClusterRealRuntime {
                         {
                             let mut out = Vec::new();
                             self.nodes[n].core.batcher_mut(t).flush_due(now, &mut out);
-                            self.queue_batches(n, t, out);
+                            self.queue_batches(now, n, t, out);
                         }
                     }
                     progressed = true;
@@ -1162,11 +1225,14 @@ impl ClusterRealRuntime {
                     // node's engine (in-flight requests are committed)
                     // plus the open coalesce residual at the new knob.
                     // Cached requests are stale and regenerated.
-                    let queued: Vec<Batch> =
-                        self.nodes[n].pending[t].drain(..).map(|(b, _)| b).collect();
+                    let queued: Vec<Batch> = self.nodes[n].pending[t]
+                        .drain(..)
+                        .map(|(tb, _)| tb.batch)
+                        .collect();
                     self.nodes[n].pending_total -= queued.len();
+                    let now = self.now();
                     for b in self.nodes[n].core.rebatch_lane(t, queued) {
-                        self.nodes[n].pending[t].push_back((b, None));
+                        self.nodes[n].pending[t].push_back((TimedBatch::formed_at(b, now), None));
                         self.nodes[n].pending_total += 1;
                     }
                 }
@@ -1190,26 +1256,29 @@ impl ClusterRealRuntime {
         best.map(|(_, _, n)| n)
     }
 
-    fn queue_batches(&mut self, n: usize, tenant: usize, batches: Vec<Batch>) {
+    /// Queues batches formed at `formed` (model-time ns) on node `n`.
+    fn queue_batches(&mut self, formed: SimTime, n: usize, tenant: usize, batches: Vec<Batch>) {
         for b in batches {
-            self.nodes[n].pending[tenant].push_back((b, None));
+            self.nodes[n].pending[tenant].push_back((TimedBatch::formed_at(b, formed), None));
             self.nodes[n].pending_total += 1;
         }
         self.submit_pending(n);
     }
 
     fn submit_pending(&mut self, n: usize) {
+        let dispatched = self.now();
         let node = &mut self.nodes[n];
-        while let Some((t, (batch, cached))) = node
+        while let Some((t, (mut batch, cached))) = node
             .arbiter
-            .next(&mut node.pending, |(b, _)| b.items as u64)
+            .next(&mut node.pending, |(tb, _)| tb.batch.items as u64)
         {
             node.pending_total -= 1;
             // A cached request means this batch was already refused
             // once: retries are not fresh backpressure.
             let first_attempt = cached.is_none();
             let req = cached.unwrap_or_else(|| {
-                let inputs = self.models[t].generate_inputs(batch.items as usize, &mut self.rng);
+                let inputs =
+                    self.models[t].generate_inputs(batch.batch.items as usize, &mut self.rng);
                 let req = EngineRequest::forward_for(self.next_req, t, inputs);
                 self.next_req += 1;
                 req
@@ -1217,13 +1286,16 @@ impl ClusterRealRuntime {
             let rid = req.query_id;
             match node.engine.try_submit(req) {
                 Ok(()) => {
+                    // Admission is the dispatch mark: residency ends
+                    // when the engine's bounded queue accepts the work.
+                    batch.dispatched = dispatched;
                     node.inflight.insert(rid, (t, batch));
                 }
                 Err(req) => {
                     if first_attempt {
                         node.core.backpressure_stalls += 1;
                     }
-                    node.arbiter.refund(t, batch.items as u64);
+                    node.arbiter.refund(t, batch.batch.items as u64);
                     node.pending[t].push_front((batch, Some(req)));
                     node.pending_total += 1;
                     break;
@@ -1239,14 +1311,16 @@ impl ClusterRealRuntime {
 
     fn handle_cpu(&mut self, n: usize, c: EngineCompletion) {
         self.busy_service_ns[n] += c.service.as_nanos();
-        let (t, b) = self.nodes[n]
+        let (t, tb) = self.nodes[n]
             .inflight
             .remove(&c.query_id)
             .expect("known batch");
         debug_assert_eq!(t, c.model);
-        debug_assert_eq!(b.items as usize, c.batch);
+        debug_assert_eq!(tb.batch.items as usize, c.batch);
         let now = self.now();
-        for seg in &b.segments {
+        for seg in &tb.batch.segments {
+            self.stats
+                .span_batch(seg.query_id, tb.formed, tb.dispatched);
             self.finish_items(now, seg.query_id, seg.items);
         }
     }
@@ -1258,7 +1332,7 @@ impl ClusterRealRuntime {
                 let settled = self.nodes[f.node]
                     .core
                     .on_query_done(now, f.tenant, f.latency_ms);
-                self.stats.record(now, &f, settled);
+                self.stats.record(now, &f, settled, &mut *self.sink);
                 self.router.complete(NodeId(f.node));
                 self.outstanding -= 1;
             }
@@ -1295,7 +1369,7 @@ enum ShardTag {
 /// through the lane coalescer: each query's partials then slice
 /// cleanly for its own merge, which is what keeps the distributed
 /// forward bit-identical to the local one (`tests/sharded_real.rs`).
-struct ShardedRealRuntime {
+struct ShardedRealRuntime<'s, S: TraceSink> {
     stats: StreamStats,
     router: Router,
     cores: Vec<NodeCore>,
@@ -1318,9 +1392,11 @@ struct ShardedRealRuntime {
     busy_service_ns: Vec<u128>,
     t0: Instant,
     scale: f64,
+    /// Where completed queries' lifecycle spans go.
+    sink: &'s mut S,
 }
 
-impl ShardedRealRuntime {
+impl<S: TraceSink> ShardedRealRuntime<'_, S> {
     /// Model-time now: scaled wall nanoseconds since start.
     fn now(&self) -> SimTime {
         (self.t0.elapsed().as_secs_f64() * self.scale * 1e9) as SimTime
@@ -1421,7 +1497,7 @@ impl ShardedRealRuntime {
                 let f = self.stats.finish_exchanged(now, qid);
                 debug_assert_eq!(f.node, n, "dense tail ran off the home node");
                 let settled = self.cores[f.node].on_query_done(now, f.tenant, f.latency_ms);
-                self.stats.record(now, &f, settled);
+                self.stats.record(now, &f, settled, &mut *self.sink);
                 self.router.complete(NodeId(f.node));
                 self.outstanding -= 1;
                 self.outputs.push((qid, c.ctrs));

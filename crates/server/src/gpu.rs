@@ -87,12 +87,20 @@ impl GpuExecutor {
     /// its completion time: it starts when the device frees up and
     /// holds the device for its full service time.
     pub fn schedule(&mut self, now: SimTime, tenant: usize, size: u32) -> SimTime {
+        self.schedule_timed(now, tenant, size).1
+    }
+
+    /// [`schedule`](GpuExecutor::schedule), but also returning when
+    /// service *starts* — `start > now` means the FIFO queued the
+    /// query behind earlier work, which is exactly the span schema's
+    /// queue-wait stage.
+    pub fn schedule_timed(&mut self, now: SimTime, tenant: usize, size: u32) -> (SimTime, SimTime) {
         let start = self.busy_until.max(now);
         let done = start + self.service_ns(tenant, size);
         self.busy_ns += (done - start) as u128;
         self.busy_until = done;
         self.completed += 1;
-        done
+        (start, done)
     }
 
     /// Total device-busy virtual time, nanoseconds.

@@ -39,10 +39,11 @@ use drs_core::{
     assert_nonempty_queries, secs_to_ns, stream_offered_qps, us_to_ns, EventQueue, NodeId,
     SchedulerPolicy, SimTime, TenantBreakdown, TenantId, NS_PER_SEC,
 };
-use drs_metrics::LatencyRecorder;
+use drs_metrics::{LatencyRecorder, StreamingLatency};
 use drs_platform::{CpuPlatform, GpuPlatform, ModelCost};
 use drs_query::Query;
 use drs_shard::ShardGeometry;
+use drs_telemetry::{QuerySpan, Stage, TraceSink, STAGE_COUNT};
 use std::collections::{HashMap, VecDeque};
 
 /// One node's hardware and worker allocation.
@@ -88,8 +89,14 @@ pub(crate) type ControllerOutputs = (u64, Vec<(u32, f64)>, Vec<(u32, f64)>);
 
 /// Where one arrival went inside a node.
 pub(crate) enum Route {
-    /// Offloaded whole; completes at the given virtual time.
-    Gpu(SimTime),
+    /// Offloaded whole; device service runs over `[start, done]` in
+    /// virtual time (`start > now` means the FIFO queued it).
+    Gpu {
+        /// Device service start (FIFO wait ends here).
+        start: SimTime,
+        /// Device completion time.
+        done: SimTime,
+    },
     /// Split/coalesced; these batches (of the query's tenant lane) are
     /// ready to dispatch now.
     Cpu(Vec<Batch>),
@@ -239,7 +246,8 @@ impl NodeCore {
         }
         let pol = self.lanes[t].policy();
         if let Some(gpu) = self.gpu.as_mut().filter(|_| pol.offloads(q.size)) {
-            Route::Gpu(gpu.schedule(now, t, q.size))
+            let (start, done) = gpu.schedule_timed(now, t, q.size);
+            Route::Gpu { start, done }
         } else {
             let mut out = Vec::new();
             let batcher = &mut self.lanes[t].batcher;
@@ -323,6 +331,57 @@ struct QueryState {
     /// Virtual time the exchange + merge will take once the last
     /// partial lands (0 = unsharded: complete immediately).
     merge_ns: SimTime,
+    /// Span bookkeeping: whether the query ran on the offload path,
+    /// and the lifecycle marks of the segment that completed it (last
+    /// credit wins — a deterministic attribution, since event order is
+    /// deterministic).
+    offloaded: bool,
+    /// When the batch carrying the attributed segment was enqueued
+    /// (CPU path) — the end of its coalesce wait.
+    formed: SimTime,
+    /// When that batch was dispatched to a worker, or when device
+    /// service started (GPU path).
+    dispatched: SimTime,
+    /// When compute finished for a sharded query (the last partial's
+    /// credit time), frozen before the exchange/merge delay runs.
+    service_done: SimTime,
+    /// The fabric-only share of `merge_ns`, preserved for the span
+    /// after `merge_ns` itself is zeroed at merge scheduling.
+    span_exchange_ns: SimTime,
+}
+
+impl QueryState {
+    /// Cuts the query's lifecycle span: compute ended at
+    /// `service_end`, the query completed at `end` (for unsharded
+    /// queries the two coincide). Marks are clamped into monotone
+    /// order, so the stage durations decompose `end - arrival`
+    /// *exactly* by construction — also on the real runtimes'
+    /// wall-derived clocks.
+    fn span(&self, query_id: u64, service_end: SimTime, end: SimTime) -> QuerySpan {
+        let mut stages = [0u64; STAGE_COUNT];
+        let service_end = service_end.clamp(self.arrival, end);
+        let dispatched = self.dispatched.clamp(self.arrival, service_end);
+        if self.offloaded {
+            stages[Stage::QueueWait.index()] = dispatched - self.arrival;
+        } else {
+            let formed = self.formed.clamp(self.arrival, dispatched);
+            stages[Stage::CoalesceWait.index()] = formed - self.arrival;
+            stages[Stage::BatchResidency.index()] = dispatched - formed;
+        }
+        stages[Stage::EngineService.index()] = service_end - dispatched;
+        let merge = end - service_end;
+        let exchange = self.span_exchange_ns.min(merge);
+        stages[Stage::ShardExchange.index()] = exchange;
+        stages[Stage::DenseTail.index()] = merge - exchange;
+        QuerySpan {
+            query_id,
+            tenant: self.tenant,
+            node: self.node,
+            arrival_ns: self.arrival,
+            end_ns: end,
+            stages,
+        }
+    }
 }
 
 /// One fully completed query, as reported by
@@ -332,6 +391,8 @@ pub(crate) struct FinishedQuery {
     pub tenant: usize,
     pub latency_ms: f64,
     pub measured: bool,
+    /// The query's stage timeline (`latency_ms` is its exact total).
+    pub span: QuerySpan,
 }
 
 /// What crediting items against a query produced.
@@ -359,8 +420,9 @@ pub(crate) struct StreamStats {
     settled: LatencyRecorder,
     latencies_ms: Vec<f64>,
     completed_measured: u64,
-    /// Per-tenant slices of the window, in tenant order.
-    tenant_latency: Vec<LatencyRecorder>,
+    /// Per-tenant slices of the window, in tenant order — streaming
+    /// digests, so a long soak's tenant tails cost constant memory.
+    tenant_latency: Vec<StreamingLatency>,
     tenant_completed: Vec<u64>,
     items_total: u64,
     items_gpu: u64,
@@ -370,6 +432,13 @@ pub(crate) struct StreamStats {
     exchanged: u64,
     window_start: Option<SimTime>,
     window_end: SimTime,
+    /// The stream's first arrival on this runtime's clock. Recorded
+    /// spans are rebased to it, so span timestamps read "ns since the
+    /// first arrival" on every runtime — the virtual loop clocks
+    /// events at absolute arrival timestamps while the real runtimes
+    /// anchor model time at the first arrival, and the rebase is what
+    /// lets offload-all spans compare bit-for-bit across the two.
+    span_epoch: Option<SimTime>,
 }
 
 impl StreamStats {
@@ -381,7 +450,7 @@ impl StreamStats {
             settled: LatencyRecorder::new(),
             latencies_ms: Vec::new(),
             completed_measured: 0,
-            tenant_latency: (0..tenants).map(|_| LatencyRecorder::new()).collect(),
+            tenant_latency: (0..tenants).map(|_| StreamingLatency::new()).collect(),
             tenant_completed: vec![0; tenants],
             items_total: 0,
             items_gpu: 0,
@@ -389,6 +458,7 @@ impl StreamStats {
             exchanged: 0,
             window_start: None,
             window_end: 0,
+            span_epoch: None,
         }
     }
 
@@ -424,6 +494,7 @@ impl StreamStats {
             self.tenant_completed.len()
         );
         let measured = q.id >= self.warmup_n;
+        self.span_epoch.get_or_insert(now);
         let prev = self.queries.insert(
             q.id,
             QueryState {
@@ -433,6 +504,11 @@ impl StreamStats {
                 node: home,
                 tenant: q.tenant.index(),
                 merge_ns,
+                offloaded: false,
+                formed: now,
+                dispatched: now,
+                service_done: now,
+                span_exchange_ns: exchange_ns,
             },
         );
         assert!(prev.is_none(), "duplicate query id {}", q.id);
@@ -458,6 +534,24 @@ impl StreamStats {
         self.queries.get(&qid).expect("known query").items_left
     }
 
+    /// Marks a query as GPU-offloaded with device service starting at
+    /// `start` (its span then reads queue-wait → engine-service).
+    pub fn span_gpu(&mut self, qid: u64, start: SimTime) {
+        let st = self.queries.get_mut(&qid).expect("known query");
+        st.offloaded = true;
+        st.dispatched = start;
+    }
+
+    /// Stamps the CPU-path lifecycle marks of a batch about to credit
+    /// one of the query's segments: when the batch left the coalesce
+    /// buffer (`formed`) and when a worker picked it up
+    /// (`dispatched`). The last credit's marks win.
+    pub fn span_batch(&mut self, qid: u64, formed: SimTime, dispatched: SimTime) {
+        let st = self.queries.get_mut(&qid).expect("known query");
+        st.formed = formed;
+        st.dispatched = dispatched;
+    }
+
     /// Credits `items` of a query as done. On the query's last item:
     /// unsharded queries finish immediately ([`Credit::Done`] — the
     /// caller feeds the latency to the owning lane's controller and
@@ -473,8 +567,9 @@ impl StreamStats {
         if st.merge_ns > 0 {
             let (home, delay) = (st.node, st.merge_ns);
             // Mark the merge as scheduled so a second crediting cannot
-            // double-fire it.
+            // double-fire it, and freeze the compute end for the span.
             st.merge_ns = 0;
+            st.service_done = now;
             return Credit::AwaitExchange { home, delay };
         }
         let st = self.queries.remove(&qid).expect("known query");
@@ -483,6 +578,7 @@ impl StreamStats {
             tenant: st.tenant,
             latency_ms: (now - st.arrival) as f64 / 1e6,
             measured: st.measured,
+            span: st.span(qid, now, now),
         })
     }
 
@@ -496,22 +592,40 @@ impl StreamStats {
             tenant: st.tenant,
             latency_ms: (now - st.arrival) as f64 / 1e6,
             measured: st.measured,
+            span: st.span(qid, st.service_done, now),
         }
     }
 
     /// Records a finished query's latency (after its lane's controller
-    /// saw it, so the settled flag is current).
-    pub fn record(&mut self, now: SimTime, f: &FinishedQuery, settled: bool) {
+    /// saw it, so the settled flag is current), and its span when the
+    /// sink is live — measured queries only, matching every other
+    /// recorder here.
+    pub fn record<S: TraceSink>(
+        &mut self,
+        now: SimTime,
+        f: &FinishedQuery,
+        settled: bool,
+        sink: &mut S,
+    ) {
         if f.measured {
             self.latency.record_ms(f.latency_ms);
             self.latencies_ms.push(f.latency_ms);
             if settled {
                 self.settled.record_ms(f.latency_ms);
             }
-            self.tenant_latency[f.tenant].record_ms(f.latency_ms);
+            self.tenant_latency[f.tenant].observe_ms(f.latency_ms);
             self.tenant_completed[f.tenant] += 1;
             self.completed_measured += 1;
             self.window_end = self.window_end.max(now);
+            if S::ENABLED {
+                let epoch = self.span_epoch.unwrap_or(0);
+                let mut span = f.span;
+                span.arrival_ns -= epoch;
+                span.end_ns -= epoch;
+                debug_assert_eq!(span.latency_ms().to_bits(), f.latency_ms.to_bits());
+                debug_assert_eq!(span.validate(), Ok(()));
+                sink.record(&span);
+            }
         }
     }
 }
@@ -705,6 +819,9 @@ pub(crate) fn assemble_report(outcome: RunOutcome, offered_qps: f64) -> ServerRe
         tenant_breakdowns,
         tenant_final_policies,
         latencies_ms: stats.latencies_ms,
+        // Attached by the traced entry points from their sink's
+        // streaming digests; untraced runs have nothing to report.
+        stage_breakdown: None,
     }
 }
 
@@ -807,17 +924,39 @@ impl DrrArbiter {
     }
 }
 
+/// A formed batch annotated with its lifecycle marks: when it left
+/// the coalesce buffer onto its ready lane (`formed`) and when a
+/// worker picked it up (`dispatched`, stamped at dispatch time). The
+/// real runtimes wrap their pending lanes the same way so span
+/// attribution cannot drift between execution layers.
+pub(crate) struct TimedBatch {
+    pub batch: Batch,
+    pub formed: SimTime,
+    pub dispatched: SimTime,
+}
+
+impl TimedBatch {
+    pub fn formed_at(batch: Batch, formed: SimTime) -> Self {
+        TimedBatch {
+            batch,
+            formed,
+            dispatched: formed,
+        }
+    }
+}
+
 /// One node's virtual-time execution state around its [`NodeCore`]:
 /// per-tenant ready queues arbitrated by deficit round-robin onto the
 /// shared worker pool.
 struct VirtualNode {
     core: NodeCore,
-    /// Per-tenant dispatch queues, in tenant order.
-    ready: Vec<VecDeque<Batch>>,
+    /// Per-tenant dispatch queues, in tenant order, each batch carrying
+    /// its formation time for span attribution.
+    ready: Vec<VecDeque<TimedBatch>>,
     /// Batches queued across all lanes (the backpressure gauge).
     ready_total: usize,
     arbiter: DrrArbiter,
-    inflight: HashMap<(usize, u64), Batch>,
+    inflight: HashMap<(usize, u64), TimedBatch>,
     busy: usize,
     workers: usize,
     cpu: CpuPlatform,
@@ -859,25 +998,25 @@ impl VirtualNode {
         self.last_ns = now;
     }
 
-    /// Enqueues freshly formed batches on lane `t`, counting each one
+    /// Enqueues batches formed at `now` on lane `t`, counting each one
     /// that meets a dispatch pool already at its bound (the
     /// backpressure signal — same per-batch semantics as the real
     /// engine's refusals). The bound spans all lanes: the pool is
     /// shared, so one tenant's backlog is every tenant's pressure.
-    fn enqueue(&mut self, t: usize, batches: Vec<Batch>, bound: usize) {
+    fn enqueue(&mut self, now: SimTime, t: usize, batches: Vec<Batch>, bound: usize) {
         for b in batches {
             if self.ready_total >= bound {
                 self.core.backpressure_stalls += 1;
             }
-            self.ready[t].push_back(b);
+            self.ready[t].push_back(TimedBatch::formed_at(b, now));
             self.ready_total += 1;
         }
     }
 
     /// The next `(tenant, batch)` the shared pool should serve, via
     /// the shared [`DrrArbiter`] discipline.
-    fn drr_next(&mut self) -> Option<(usize, Batch)> {
-        let picked = self.arbiter.next(&mut self.ready, |b| b.items as u64);
+    fn drr_next(&mut self) -> Option<(usize, TimedBatch)> {
+        let picked = self.arbiter.next(&mut self.ready, |b| b.batch.items as u64);
         if picked.is_some() {
             self.ready_total -= 1;
         }
@@ -892,25 +1031,29 @@ impl VirtualNode {
         events: &mut EventQueue<Ev>,
     ) {
         while self.busy < self.workers {
-            let Some((t, b)) = self.drr_next() else {
+            let Some((t, mut b)) = self.drr_next() else {
                 break;
             };
             self.busy += 1;
+            b.dispatched = now;
             let service = match self.gather_fraction {
-                Some(f) => {
-                    costs[t].shard_gather_request_us(&self.cpu, b.items as usize, self.busy, f)
-                }
-                None => costs[t].cpu_request_us(&self.cpu, b.items as usize, self.busy),
+                Some(f) => costs[t].shard_gather_request_us(
+                    &self.cpu,
+                    b.batch.items as usize,
+                    self.busy,
+                    f,
+                ),
+                None => costs[t].cpu_request_us(&self.cpu, b.batch.items as usize, self.busy),
             };
             events.push(
                 now + us_to_ns(service),
                 Ev::CpuDone {
                     node: n,
                     tenant: t,
-                    batch: b.id,
+                    batch: b.batch.id,
                 },
             );
-            self.inflight.insert((t, b.id), b);
+            self.inflight.insert((t, b.batch.id), b);
         }
         self.core.note_queue_depth(self.ready_total);
     }
@@ -935,11 +1078,13 @@ impl VirtualNode {
         events: &mut EventQueue<Ev>,
     ) {
         let deadline_before = self.core.batcher(t).deadline();
-        let queued: Vec<Batch> = self.ready[t].drain(..).collect();
+        let queued: Vec<Batch> = self.ready[t].drain(..).map(|tb| tb.batch).collect();
         self.ready_total -= queued.len();
         let out = self.core.rebatch_lane(t, queued);
         self.ready_total += out.len();
-        self.ready[t].extend(out);
+        // Repacked work re-forms *now*: its coalesce credit was already
+        // earned under the old knob; residency restarts at the retune.
+        self.ready[t].extend(out.into_iter().map(|b| TimedBatch::formed_at(b, now)));
         match self.core.batcher(t).deadline() {
             Some(d) if deadline_before != Some(d) => {
                 events.push(d, Ev::Coalesce { node: n, tenant: t })
@@ -961,7 +1106,8 @@ impl VirtualNode {
 /// partial-completion ties break by [`NodeId`] because arrivals push
 /// partials in id order and the event queue is FIFO within a
 /// timestamp, so runs stay byte-deterministic per seed.
-pub(crate) fn serve_virtual_multi(
+#[allow(clippy::too_many_arguments)] // the one internal loop every serving front shares
+pub(crate) fn serve_virtual_multi<S: TraceSink>(
     costs: &[ModelCost],
     tenants: &[TenantSetup],
     setups: &[NodeSetup],
@@ -969,6 +1115,7 @@ pub(crate) fn serve_virtual_multi(
     mut router: Router,
     shard: Option<&ShardGeometry>,
     queries: &[Query],
+    sink: &mut S,
 ) -> ServerReport {
     assert_nonempty_queries(queries);
     let queue_bound = opts.batching.queue_bound;
@@ -1000,7 +1147,7 @@ pub(crate) fn serve_virtual_multi(
         costs: &[ModelCost],
         events: &mut EventQueue<Ev>,
     ) {
-        nodes[n].enqueue(t, batches, queue_bound);
+        nodes[n].enqueue(now, t, batches, queue_bound);
         // Schedule a flush only when this arrival opened a fresh
         // coalesce buffer; an unchanged deadline already has its event.
         match nodes[n].core.batcher(t).deadline() {
@@ -1070,7 +1217,8 @@ pub(crate) fn serve_virtual_multi(
                         let measured = stats.note_arrival(now, q, n);
                         let deadline_before = nodes[n].core.batcher(t).deadline();
                         match nodes[n].core.on_arrival(now, q) {
-                            Route::Gpu(done) => {
+                            Route::Gpu { start, done } => {
+                                stats.span_gpu(q.id, start);
                                 stats.note_gpu_items(measured, q.size);
                                 events.push(done, Ev::GpuDone { node: n, qid: q.id });
                             }
@@ -1097,7 +1245,7 @@ pub(crate) fn serve_virtual_multi(
                 let mut out = Vec::new();
                 nodes[n].core.batcher_mut(t).flush_due(now, &mut out);
                 if !out.is_empty() {
-                    nodes[n].enqueue(t, out, queue_bound);
+                    nodes[n].enqueue(now, t, out, queue_bound);
                     nodes[n].dispatch(now, costs, n, &mut events);
                 }
                 n
@@ -1109,8 +1257,9 @@ pub(crate) fn serve_virtual_multi(
             } => {
                 nodes[n].advance(now);
                 nodes[n].busy -= 1;
-                let b = nodes[n].inflight.remove(&(t, batch)).expect("known batch");
-                for seg in &b.segments {
+                let tb = nodes[n].inflight.remove(&(t, batch)).expect("known batch");
+                for seg in &tb.batch.segments {
+                    stats.span_batch(seg.query_id, tb.formed, tb.dispatched);
                     match stats.credit_items(now, seg.query_id, seg.items) {
                         Credit::Pending => {}
                         Credit::Done(f) => {
@@ -1118,7 +1267,7 @@ pub(crate) fn serve_virtual_multi(
                                 nodes[f.node]
                                     .core
                                     .on_query_done(now, f.tenant, f.latency_ms);
-                            stats.record(now, &f, settled);
+                            stats.record(now, &f, settled, sink);
                             router.complete(NodeId(f.node));
                         }
                         Credit::AwaitExchange { home, delay } => events.push(
@@ -1142,7 +1291,7 @@ pub(crate) fn serve_virtual_multi(
                         let settled = nodes[f.node]
                             .core
                             .on_query_done(now, f.tenant, f.latency_ms);
-                        stats.record(now, &f, settled);
+                        stats.record(now, &f, settled, sink);
                         router.complete(NodeId(f.node));
                     }
                     Credit::AwaitExchange { .. } => {
@@ -1158,7 +1307,7 @@ pub(crate) fn serve_virtual_multi(
                 let settled = nodes[f.node]
                     .core
                     .on_query_done(now, f.tenant, f.latency_ms);
-                stats.record(now, &f, settled);
+                stats.record(now, &f, settled, sink);
                 router.complete(NodeId(f.node));
                 n
             }
@@ -1186,7 +1335,7 @@ pub(crate) fn serve_virtual_multi(
             )
         })
         .unzip();
-    assemble_report(
+    let mut report = assemble_report(
         RunOutcome {
             stats,
             cores,
@@ -1198,7 +1347,11 @@ pub(crate) fn serve_virtual_multi(
             cpu_utilization_override: None,
         },
         stream_offered_qps(queries),
-    )
+    );
+    if S::ENABLED {
+        report.stage_breakdown = sink.breakdown();
+    }
+    report
 }
 
 #[cfg(test)]
@@ -1241,8 +1394,8 @@ mod tests {
     fn drr_interleaves_equal_weights() {
         let mut v = arbiter(&[1, 1]);
         for i in 0..4 {
-            v.enqueue(0, vec![batch(i, 64)], 1024);
-            v.enqueue(1, vec![batch(100 + i, 64)], 1024);
+            v.enqueue(0, 0, vec![batch(i, 64)], 1024);
+            v.enqueue(0, 1, vec![batch(100 + i, 64)], 1024);
         }
         let mut order = Vec::new();
         while let Some((t, _)) = v.drr_next() {
@@ -1264,8 +1417,8 @@ mod tests {
     fn drr_weight_skews_service_under_contention() {
         let mut v = arbiter(&[2, 1]);
         for i in 0..12 {
-            v.enqueue(0, vec![batch(i, 256)], 1024);
-            v.enqueue(1, vec![batch(100 + i, 256)], 1024);
+            v.enqueue(0, 0, vec![batch(i, 256)], 1024);
+            v.enqueue(0, 1, vec![batch(100 + i, 256)], 1024);
         }
         let mut order = Vec::new();
         for _ in 0..9 {
@@ -1282,14 +1435,14 @@ mod tests {
         // lane 0 banks up — one big batch cannot monopolize the pool.
         let mut v = arbiter(&[1, 1]);
         for i in 0..2 {
-            v.enqueue(0, vec![batch(i, 1024)], 1024);
+            v.enqueue(0, 0, vec![batch(i, 1024)], 1024);
         }
         for i in 0..8 {
-            v.enqueue(1, vec![batch(100 + i, 64)], 1024);
+            v.enqueue(0, 1, vec![batch(100 + i, 64)], 1024);
         }
         let mut order = Vec::new();
         while let Some((t, b)) = v.drr_next() {
-            order.push((t, b.items));
+            order.push((t, b.batch.items));
         }
         assert_eq!(order.len(), 10);
         let first_big = order
@@ -1305,7 +1458,7 @@ mod tests {
     #[test]
     fn drr_idle_lane_forfeits_bank() {
         let mut v = arbiter(&[1, 1]);
-        v.enqueue(0, vec![batch(0, 64)], 1024);
+        v.enqueue(0, 0, vec![batch(0, 64)], 1024);
         while v.drr_next().is_some() {}
         // Lane 0 drained; its leftover deficit must not persist.
         assert_eq!(v.arbiter.deficit[0], 0, "emptied lane resets its bank");

@@ -2,6 +2,7 @@
 
 use drs_core::{ReportView, SchedulerPolicy, TenantBreakdown};
 use drs_metrics::LatencySummary;
+use drs_telemetry::StageBreakdown;
 
 /// Results of one open-loop serving run.
 ///
@@ -91,6 +92,11 @@ pub struct ServerReport {
     /// Per-query latencies in milliseconds (measurement window only),
     /// in completion order.
     pub latencies_ms: Vec<f64>,
+    /// Per-stage latency attribution from the run's trace sink —
+    /// `Some` only on the `*_traced` entry points with a recording
+    /// sink (the plain entry points trace through a no-op sink, which
+    /// has nothing to report).
+    pub stage_breakdown: Option<StageBreakdown>,
 }
 
 impl ServerReport {
@@ -139,6 +145,9 @@ impl ReportView for ServerReport {
     fn tenant_breakdowns(&self) -> &[TenantBreakdown] {
         &self.tenant_breakdowns
     }
+    fn stage_breakdown(&self) -> Option<&StageBreakdown> {
+        self.stage_breakdown.as_ref()
+    }
 }
 
 #[cfg(test)]
@@ -185,6 +194,7 @@ mod tests {
             tenant_breakdowns: Vec::new(),
             tenant_final_policies: Vec::new(),
             latencies_ms: Vec::new(),
+            stage_breakdown: None,
         };
         assert!(r.meets_sla(100.0));
         assert!(!r.meets_sla(50.0));

@@ -6,7 +6,7 @@ use crate::cluster::Router;
 use crate::controller::ControllerConfig;
 use crate::node::{
     self, CpuUtilOverride, NodeCore, NodeSetup, NodeUtilization, Route, RunOutcome, StreamStats,
-    TenantSetup,
+    TenantSetup, TimedBatch,
 };
 use crate::report::ServerReport;
 use drs_core::{
@@ -17,6 +17,7 @@ use drs_engine::{EngineCompletion, EngineRequest, InferenceEngine};
 use drs_models::{ModelConfig, RecModel};
 use drs_platform::{CpuPlatform, GpuPlatform, ModelCost};
 use drs_query::{Query, Trace};
+use drs_telemetry::{NoopSink, TraceSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
@@ -280,6 +281,22 @@ impl Server {
     ///
     /// Panics if `queries` is empty.
     pub fn serve_virtual(&self, queries: &[Query]) -> ServerReport {
+        self.serve_virtual_traced(queries, &mut NoopSink)
+    }
+
+    /// [`Server::serve_virtual`] with query-lifecycle tracing: every
+    /// measured query's per-stage span is recorded into `sink` (see
+    /// [`drs_telemetry`]). With a recording sink the report also
+    /// carries a [`drs_telemetry::StageBreakdown`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries` is empty.
+    pub fn serve_virtual_traced<S: TraceSink>(
+        &self,
+        queries: &[Query],
+        sink: &mut S,
+    ) -> ServerReport {
         // A single node behind a trivial router: the same loop a
         // Cluster runs, with N = 1.
         let router = Router::new(
@@ -296,6 +313,7 @@ impl Server {
             router,
             None,
             queries,
+            sink,
         )
     }
 
@@ -345,6 +363,23 @@ impl Server {
         self.serve_real_multi(vec![model], queries)
     }
 
+    /// [`Server::serve_real`] with query-lifecycle tracing into `sink`.
+    /// Span stages on the cost-model clock (GPU offloads) are
+    /// identical to the virtual path's; engine-executed stages carry
+    /// scaled wall time.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Server::serve_real`] does.
+    pub fn serve_real_traced<S: TraceSink>(
+        &self,
+        model: Arc<RecModel>,
+        queries: &[Query],
+        sink: &mut S,
+    ) -> ServerReport {
+        self.serve_real_multi_traced(vec![model], queries, sink)
+    }
+
     /// The multi-tenant real path: one shared [`InferenceEngine`]
     /// worker pool executes every tenant's lane, with `models[t]`
     /// serving tenant `t`'s requests. Per-tenant batching queues and
@@ -359,6 +394,21 @@ impl Server {
     /// one model per tenant, or a model's geometry disagrees with its
     /// tenant's cost model.
     pub fn serve_real_multi(&self, models: Vec<Arc<RecModel>>, queries: &[Query]) -> ServerReport {
+        self.serve_real_multi_traced(models, queries, &mut NoopSink)
+    }
+
+    /// [`Server::serve_real_multi`] with query-lifecycle tracing into
+    /// `sink` (see [`Server::serve_real_traced`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Server::serve_real_multi`] does.
+    pub fn serve_real_multi_traced<S: TraceSink>(
+        &self,
+        models: Vec<Arc<RecModel>>,
+        queries: &[Query],
+        sink: &mut S,
+    ) -> ServerReport {
         assert_nonempty_queries(queries);
         assert_eq!(
             models.len(),
@@ -386,6 +436,7 @@ impl Server {
             busy_service_ns: 0,
             t0: Instant::now(),
             scale: self.opts.time_scale,
+            sink: &mut *sink,
         };
         // Shift arrivals by an integer nanosecond offset so the paced
         // clock starts near zero while staying exactly the virtual
@@ -424,11 +475,12 @@ impl Server {
             rt.outstanding += 1;
             let measured = rt.stats.note_arrival(due, q, 0);
             match rt.node.on_arrival(due, q) {
-                Route::Gpu(done) => {
+                Route::Gpu { start, done } => {
+                    rt.stats.span_gpu(q.id, start);
                     rt.stats.note_gpu_items(measured, q.size);
                     rt.gpu_heap.push(Reverse((done, q.id)));
                 }
-                Route::Cpu(batches) => rt.queue_batches(q.tenant.index(), batches),
+                Route::Cpu(batches) => rt.queue_batches(due, q.tenant.index(), batches),
             }
         }
 
@@ -459,7 +511,7 @@ impl Server {
             ..
         } = rt;
         engine.shutdown();
-        node::assemble_report(
+        let mut report = node::assemble_report(
             RunOutcome {
                 stats,
                 cores: vec![node],
@@ -477,7 +529,11 @@ impl Server {
                 }),
             },
             stream_offered_qps(queries),
-        )
+        );
+        if S::ENABLED {
+            report.stage_breakdown = sink.breakdown();
+        }
+        report
     }
 }
 
@@ -505,7 +561,7 @@ impl ServingStack for Server {
 /// [`Server::serve_real_multi`]: one shared engine pool, one pending
 /// lane per tenant, arbitrated by the same [`node::DrrArbiter`] the
 /// virtual node runs.
-struct RealRuntime {
+struct RealRuntime<'s, S: TraceSink> {
     stats: StreamStats,
     node: NodeCore,
     arbiter: node::DrrArbiter,
@@ -515,12 +571,12 @@ struct RealRuntime {
     rng: StdRng,
     /// Per-tenant batches awaiting engine admission (a head may carry
     /// its already generated request after a backpressure refusal).
-    pending: Vec<VecDeque<(Batch, Option<EngineRequest>)>>,
+    pending: Vec<VecDeque<(TimedBatch, Option<EngineRequest>)>>,
     pending_total: usize,
     /// Engine request ids — globally unique across tenant lanes (batch
     /// ids are per-lane and collide).
     next_req: u64,
-    inflight: HashMap<u64, (usize, Batch)>,
+    inflight: HashMap<u64, (usize, TimedBatch)>,
     /// GPU completions on the virtual clock, earliest first.
     gpu_heap: BinaryHeap<Reverse<(SimTime, u64)>>,
     outstanding: usize,
@@ -529,9 +585,11 @@ struct RealRuntime {
     busy_service_ns: u128,
     t0: Instant,
     scale: f64,
+    /// Where completed queries' lifecycle spans go.
+    sink: &'s mut S,
 }
 
-impl RealRuntime {
+impl<S: TraceSink> RealRuntime<'_, S> {
     /// Model-time now: scaled wall nanoseconds since start.
     fn now(&self) -> SimTime {
         (self.t0.elapsed().as_secs_f64() * self.scale * 1e9) as SimTime
@@ -565,7 +623,7 @@ impl RealRuntime {
                     if self.node.batcher(t).deadline().is_some_and(|d| d <= now) {
                         let mut out = Vec::new();
                         self.node.batcher_mut(t).flush_due(now, &mut out);
-                        self.queue_batches(t, out);
+                        self.queue_batches(now, t, out);
                     }
                 }
                 continue;
@@ -579,10 +637,12 @@ impl RealRuntime {
                 // (in-flight requests are committed) plus the open
                 // coalesce residual at the new knob. Cached requests
                 // are stale and regenerated.
-                let queued: Vec<Batch> = self.pending[t].drain(..).map(|(b, _)| b).collect();
+                let queued: Vec<Batch> =
+                    self.pending[t].drain(..).map(|(tb, _)| tb.batch).collect();
                 self.pending_total -= queued.len();
+                let now = self.now();
                 for b in self.node.rebatch_lane(t, queued) {
-                    self.pending[t].push_back((b, None));
+                    self.pending[t].push_back((TimedBatch::formed_at(b, now), None));
                     self.pending_total += 1;
                 }
             }
@@ -590,25 +650,28 @@ impl RealRuntime {
         self.submit_pending();
     }
 
-    fn queue_batches(&mut self, tenant: usize, batches: Vec<Batch>) {
+    /// Queues batches formed at `formed` (model-time ns) for engine
+    /// admission.
+    fn queue_batches(&mut self, formed: SimTime, tenant: usize, batches: Vec<Batch>) {
         for b in batches {
-            self.pending[tenant].push_back((b, None));
+            self.pending[tenant].push_back((TimedBatch::formed_at(b, formed), None));
             self.pending_total += 1;
         }
         self.submit_pending();
     }
 
     fn submit_pending(&mut self) {
-        while let Some((t, (batch, cached))) = self
+        while let Some((t, (mut batch, cached))) = self
             .arbiter
-            .next(&mut self.pending, |(b, _)| b.items as u64)
+            .next(&mut self.pending, |(tb, _)| tb.batch.items as u64)
         {
             self.pending_total -= 1;
             // A cached request means this batch was already refused
             // once: retries are not fresh backpressure.
             let first_attempt = cached.is_none();
             let req = cached.unwrap_or_else(|| {
-                let inputs = self.models[t].generate_inputs(batch.items as usize, &mut self.rng);
+                let inputs =
+                    self.models[t].generate_inputs(batch.batch.items as usize, &mut self.rng);
                 let req = EngineRequest::forward_for(self.next_req, t, inputs);
                 self.next_req += 1;
                 req
@@ -616,13 +679,16 @@ impl RealRuntime {
             let rid = req.query_id;
             match self.engine.try_submit(req) {
                 Ok(()) => {
+                    // Admission is the dispatch mark: residency ends
+                    // when the engine's bounded queue accepts the work.
+                    batch.dispatched = self.now();
                     self.inflight.insert(rid, (t, batch));
                 }
                 Err(req) => {
                     if first_attempt {
                         self.node.backpressure_stalls += 1;
                     }
-                    self.arbiter.refund(t, batch.items as u64);
+                    self.arbiter.refund(t, batch.batch.items as u64);
                     self.pending[t].push_front((batch, Some(req)));
                     self.pending_total += 1;
                     break;
@@ -638,11 +704,13 @@ impl RealRuntime {
 
     fn handle_cpu(&mut self, c: EngineCompletion) {
         self.busy_service_ns += c.service.as_nanos();
-        let (t, b) = self.inflight.remove(&c.query_id).expect("known batch");
+        let (t, tb) = self.inflight.remove(&c.query_id).expect("known batch");
         debug_assert_eq!(t, c.model);
-        debug_assert_eq!(b.items as usize, c.batch);
+        debug_assert_eq!(tb.batch.items as usize, c.batch);
         let now = self.now();
-        for seg in &b.segments {
+        for seg in &tb.batch.segments {
+            self.stats
+                .span_batch(seg.query_id, tb.formed, tb.dispatched);
             self.finish_items(now, seg.query_id, seg.items);
         }
     }
@@ -652,7 +720,7 @@ impl RealRuntime {
             node::Credit::Pending => {}
             node::Credit::Done(f) => {
                 let settled = self.node.on_query_done(now, f.tenant, f.latency_ms);
-                self.stats.record(now, &f, settled);
+                self.stats.record(now, &f, settled, &mut *self.sink);
                 self.outstanding -= 1;
             }
             node::Credit::AwaitExchange { .. } => {

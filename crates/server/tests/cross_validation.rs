@@ -11,9 +11,23 @@ use drs_platform::{CpuPlatform, GpuPlatform, ModelCost};
 use drs_query::{ArrivalProcess, MixedStream, QueryGenerator, SizeDistribution, Trace};
 use drs_server::{Cluster, GpuExecutor, Server, ServerOptions};
 use drs_sim::{RunOptions, Simulation};
+use drs_telemetry::{QuerySpan, RingRecorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
+
+/// The recorder's retained spans in query-id order, validated — the
+/// common setup for exact span cross-checks (every test below sizes
+/// its ring to hold the full run, so retention is complete).
+fn spans_by_id(rec: &RingRecorder) -> Vec<QuerySpan> {
+    assert_eq!(rec.dropped(), 0, "ring sized to retain the whole run");
+    let mut spans: Vec<QuerySpan> = rec.spans().copied().collect();
+    for s in &spans {
+        s.validate().expect("well-formed span");
+    }
+    spans.sort_by_key(|s| s.query_id);
+    spans
+}
 
 fn tiny_model(cfg: &drs_models::ModelConfig, seed: u64) -> Arc<RecModel> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -211,8 +225,10 @@ fn real_offload_all_matches_virtual_exactly() {
         Some(GpuPlatform::gtx_1080ti()),
         opts,
     );
-    let virt = server.serve_virtual(&queries);
-    let real = server.serve_real(model, &queries);
+    let mut virt_rec = RingRecorder::new(queries.len());
+    let mut real_rec = RingRecorder::new(queries.len());
+    let virt = server.serve_virtual_traced(&queries, &mut virt_rec);
+    let real = server.serve_real_traced(model, &queries, &mut real_rec);
 
     assert_eq!(real.completed, virt.completed);
     assert_eq!(
@@ -220,6 +236,28 @@ fn real_offload_all_matches_virtual_exactly() {
         "offload-all real latencies are the virtual run, exactly"
     );
     assert_eq!(real.latency.p95_ms.to_bits(), virt.latency.p95_ms.to_bits());
+
+    // The span timelines agree per query with zero tolerance: every
+    // offload-all stage lives on the virtual clock, so arrival, FIFO
+    // wait, and device service decompose identically on both runtimes.
+    let (vs, rs) = (spans_by_id(&virt_rec), spans_by_id(&real_rec));
+    assert_eq!(vs.len() as u64, virt.completed);
+    assert_eq!(rs, vs, "offload-all real spans are the virtual spans");
+    assert_eq!(
+        real.stage_breakdown
+            .as_ref()
+            .unwrap()
+            .total
+            .p95_ms
+            .to_bits(),
+        virt.stage_breakdown
+            .as_ref()
+            .unwrap()
+            .total
+            .p95_ms
+            .to_bits(),
+        "streaming stage digests see identical observation sequences"
+    );
 }
 
 /// The multi-tenant version of the exact-match contract: two tenants
@@ -246,11 +284,18 @@ fn multi_tenant_real_offload_all_matches_virtual_exactly() {
     let models = vec![tiny_model(&cfg_a, 2), tiny_model(&cfg_b, 3)];
     let queries = mixed(&[600.0, 300.0], 13, 200);
 
-    let virt = server.serve_virtual(&queries);
-    let real = server.serve_real_multi(models, &queries);
+    let mut virt_rec = RingRecorder::new(queries.len());
+    let mut real_rec = RingRecorder::new(queries.len());
+    let virt = server.serve_virtual_traced(&queries, &mut virt_rec);
+    let real = server.serve_real_multi_traced(models, &queries, &mut real_rec);
 
     assert_eq!(real.completed, virt.completed);
     assert_eq!(real.latencies_ms, virt.latencies_ms);
+    assert_eq!(
+        spans_by_id(&real_rec),
+        spans_by_id(&virt_rec),
+        "per-tenant offload-all spans agree per query, zero tolerance"
+    );
     assert_eq!(real.tenant_breakdowns.len(), virt.tenant_breakdowns.len());
     for (r, v) in real.tenant_breakdowns.iter().zip(&virt.tenant_breakdowns) {
         assert_eq!(r.completed, v.completed);
@@ -287,8 +332,10 @@ fn cluster_real_offload_all_matches_virtual_exactly() {
         RoutingPolicy::LeastOutstanding,
         opts,
     );
-    let virt = cluster.serve_virtual(&queries);
-    let real = cluster.serve_real(model, &queries);
+    let mut virt_rec = RingRecorder::new(queries.len());
+    let mut real_rec = RingRecorder::new(queries.len());
+    let virt = cluster.serve_virtual_traced(&queries, &mut virt_rec);
+    let real = cluster.serve_real_traced(model, &queries, &mut real_rec);
 
     assert_eq!(real.completed, virt.completed);
     assert_eq!(
@@ -296,6 +343,12 @@ fn cluster_real_offload_all_matches_virtual_exactly() {
         "the router makes the same per-node decisions on both clocks"
     );
     assert_eq!(real.latencies_ms, virt.latencies_ms);
+    let (vs, rs) = (spans_by_id(&virt_rec), spans_by_id(&real_rec));
+    assert_eq!(rs, vs, "cluster offload-all spans agree, node ids included");
+    assert!(
+        vs.iter().any(|s| s.node == 0) && vs.iter().any(|s| s.node == 1),
+        "spans attribute work to both nodes"
+    );
 }
 
 /// Satellite regression: `Cluster::serve_trace_real` replays a

@@ -10,6 +10,7 @@ use drs_models::ModelConfig;
 use drs_platform::{CpuPlatform, GpuPlatform, InterconnectModel, ModelCost};
 use drs_query::{split_query, QueryGenerator};
 use drs_shard::{ShardGeometry, ShardPlan};
+use drs_telemetry::{NoopSink, QuerySpan, Stage, TraceSink, STAGE_COUNT};
 use std::collections::{HashMap, VecDeque};
 
 /// Length and measurement parameters of one simulation window.
@@ -93,6 +94,47 @@ struct QueryState {
     /// Exchange + merge delay once the last shard partial lands
     /// (0 = unsharded: complete with the last part).
     merge_ns: SimTime,
+    /// Span timeline marks (see `drs_telemetry`): the machine the
+    /// query was dispatched to (sharded: its merge home), whether it
+    /// took the GPU path, when service last started (latest part's
+    /// dispatch wins), when service finished, and the fabric-only
+    /// share of a sharded merge.
+    node: usize,
+    offloaded: bool,
+    dispatched: SimTime,
+    service_done: SimTime,
+    span_exchange_ns: SimTime,
+}
+
+impl QueryState {
+    /// The query's per-stage span, built from the recorded marks with
+    /// the same clamp chain as the serving runtime's (monotone by
+    /// construction, so the stages sum to `end - arrival` exactly).
+    /// The simulator has no coalescing layer, so its CPU-path queueing
+    /// is all batch residency and coalesce-wait stays zero.
+    fn span(&self, query_id: u64, end: SimTime) -> QuerySpan {
+        let mut stages = [0u64; STAGE_COUNT];
+        let service_end = self.service_done.clamp(self.arrival_ns, end);
+        let dispatched = self.dispatched.clamp(self.arrival_ns, service_end);
+        if self.offloaded {
+            stages[Stage::QueueWait.index()] = dispatched - self.arrival_ns;
+        } else {
+            stages[Stage::BatchResidency.index()] = dispatched - self.arrival_ns;
+        }
+        stages[Stage::EngineService.index()] = service_end - dispatched;
+        let merge = end - service_end;
+        let exchange = self.span_exchange_ns.min(merge);
+        stages[Stage::ShardExchange.index()] = exchange;
+        stages[Stage::DenseTail.index()] = merge - exchange;
+        QuerySpan {
+            query_id,
+            tenant: self.tenant,
+            node: self.node,
+            arrival_ns: self.arrival_ns,
+            end_ns: end,
+            stages,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -321,9 +363,22 @@ impl Simulation {
     /// Runs one window of queries drawn from `gen` and reports
     /// measurements. Deterministic given the generator's seed.
     pub fn run(&self, gen: &mut QueryGenerator, opts: RunOptions) -> SimReport {
+        self.run_traced(gen, opts, &mut NoopSink)
+    }
+
+    /// [`Simulation::run`] with every query's span timeline recorded
+    /// into `sink`. With a recording sink the report carries a
+    /// [`drs_telemetry::StageBreakdown`]; with [`NoopSink`] this is
+    /// exactly `run`.
+    pub fn run_traced<S: TraceSink>(
+        &self,
+        gen: &mut QueryGenerator,
+        opts: RunOptions,
+        sink: &mut S,
+    ) -> SimReport {
         let offered_qps = gen.arrival().mean_rate_qps();
         let queries: Vec<drs_query::Query> = gen.take(opts.num_queries).collect();
-        self.run_queries(&queries, offered_qps, opts)
+        self.run_queries(&queries, offered_qps, opts, sink)
     }
 
     /// Replays a recorded [`drs_query::trace::Trace`] through the
@@ -342,7 +397,7 @@ impl Simulation {
             ..opts
         };
         let queries: Vec<drs_query::Query> = trace.replay().take(n).collect();
-        self.run_queries(&queries, trace.mean_rate_qps(), opts)
+        self.run_queries(&queries, trace.mean_rate_qps(), opts, &mut NoopSink)
     }
 
     /// Serves a prepared arrival stream with a standard 10 % warm-up
@@ -352,21 +407,46 @@ impl Simulation {
     ///
     /// Panics if `queries` is empty.
     pub fn serve_queries(&self, queries: &[drs_query::Query]) -> SimReport {
+        self.serve_queries_traced(queries, &mut NoopSink)
+    }
+
+    /// [`Simulation::serve_queries`] with every query's span timeline
+    /// recorded into `sink` — the simulator side of the cross-runtime
+    /// span validation axis. With a recording sink the report carries
+    /// a [`drs_telemetry::StageBreakdown`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries` is empty.
+    pub fn serve_queries_traced<S: TraceSink>(
+        &self,
+        queries: &[drs_query::Query],
+        sink: &mut S,
+    ) -> SimReport {
         assert_nonempty_queries(queries);
         self.run_queries(
             queries,
             stream_offered_qps(queries),
             RunOptions::queries(queries.len()),
+            sink,
         )
     }
 
-    fn run_queries(
+    fn run_queries<S: TraceSink>(
         &self,
         query_list: &[drs_query::Query],
         offered_qps: f64,
         opts: RunOptions,
+        sink: &mut S,
     ) -> SimReport {
         let warmup_n = (opts.num_queries as f64 * opts.warmup_frac) as u64;
+        // Span clocks read "ns since the stream's first arrival" on
+        // every runtime (see `drs_telemetry::QuerySpan`).
+        let span_epoch = query_list
+            .iter()
+            .map(|q| secs_to_ns(q.arrival_s))
+            .min()
+            .unwrap_or(0);
 
         let mut events: EventQueue<Ev> = EventQueue::new();
         let mut queries: HashMap<u64, QueryState> = HashMap::new();
@@ -387,6 +467,11 @@ impl Simulation {
                     measured: q.id >= warmup_n,
                     tenant: q.tenant.index(),
                     merge_ns: 0,
+                    node: 0,
+                    offloaded: false,
+                    dispatched: t,
+                    service_done: t,
+                    span_exchange_ns: 0,
                 },
             );
             events.push(
@@ -449,6 +534,8 @@ impl Simulation {
                         );
                         state.merge_ns = us_to_ns(merge_us);
                         state.parts_left = 0;
+                        state.node = home;
+                        state.span_exchange_ns = us_to_ns(sh.exchange_us(home, size));
                         for &m in sh.shard_nodes() {
                             machines[m].advance(now);
                             let parts = split_query(size, policy.max_batch);
@@ -460,7 +547,7 @@ impl Simulation {
                                     .cpu_queue
                                     .push_back(CpuRequest { qid, batch, tenant });
                             }
-                            self.try_dispatch_cpu(m, now, &mut machines, &mut events);
+                            self.try_dispatch_cpu(m, now, &mut machines, &mut queries, &mut events);
                         }
                         continue;
                     }
@@ -470,14 +557,16 @@ impl Simulation {
                         .expect("non-empty cluster");
                     machines[m].advance(now);
                     let state = queries.get_mut(&qid).expect("known query");
+                    state.node = m;
                     if policy.offloads(size) && self.nodes[m].gpu.is_some() {
                         state.parts_left = 1;
+                        state.offloaded = true;
                         if state.measured {
                             items_gpu += size as u64;
                         }
                         machines[m].outstanding += 1;
                         machines[m].gpu_queue.push_back((qid, size, tenant));
-                        self.try_start_gpu(m, now, &mut machines, &mut events);
+                        self.try_start_gpu(m, now, &mut machines, &mut queries, &mut events);
                     } else {
                         let parts = split_query(size, policy.max_batch);
                         state.parts_left = parts.len() as u32;
@@ -487,7 +576,7 @@ impl Simulation {
                                 .cpu_queue
                                 .push_back(CpuRequest { qid, batch, tenant });
                         }
-                        self.try_dispatch_cpu(m, now, &mut machines, &mut events);
+                        self.try_dispatch_cpu(m, now, &mut machines, &mut queries, &mut events);
                     }
                 }
                 Ev::CpuDone { machine, qid } => {
@@ -505,8 +594,10 @@ impl Simulation {
                         &mut tenant_completed,
                         &mut completed_measured,
                         &mut window_end,
+                        span_epoch,
+                        sink,
                     );
-                    self.try_dispatch_cpu(machine, now, &mut machines, &mut events);
+                    self.try_dispatch_cpu(machine, now, &mut machines, &mut queries, &mut events);
                 }
                 Ev::GpuDone { machine, qid } => {
                     machines[machine].advance(now);
@@ -523,8 +614,10 @@ impl Simulation {
                         &mut tenant_completed,
                         &mut completed_measured,
                         &mut window_end,
+                        span_epoch,
+                        sink,
                     );
-                    self.try_start_gpu(machine, now, &mut machines, &mut events);
+                    self.try_start_gpu(machine, now, &mut machines, &mut queries, &mut events);
                 }
                 Ev::ExchangeDone { qid } => {
                     Self::record_completion(
@@ -537,6 +630,8 @@ impl Simulation {
                         &mut tenant_completed,
                         &mut completed_measured,
                         &mut window_end,
+                        span_epoch,
+                        sink,
                     );
                 }
             }
@@ -618,6 +713,7 @@ impl Simulation {
             window_s,
             latencies_ms,
             tenant_breakdowns,
+            stage_breakdown: if S::ENABLED { sink.breakdown() } else { None },
         }
     }
 
@@ -626,6 +722,7 @@ impl Simulation {
         m: usize,
         now: SimTime,
         machines: &mut [MachineState],
+        queries: &mut HashMap<u64, QueryState>,
         events: &mut EventQueue<Ev>,
     ) {
         let mach = &mut machines[m];
@@ -634,6 +731,10 @@ impl Simulation {
                 break;
             };
             mach.cores_busy += 1;
+            // Service (re)starts now for this query; the latest part's
+            // dispatch wins, so queueing behind earlier parts counts
+            // as residency, not service.
+            queries.get_mut(&req.qid).expect("known query").dispatched = now;
             let cost = &self.tenants[req.tenant].cost;
             let service_us = match &self.shard {
                 Some(sh) => cost.shard_gather_request_us(
@@ -661,6 +762,7 @@ impl Simulation {
         m: usize,
         now: SimTime,
         machines: &mut [MachineState],
+        queries: &mut HashMap<u64, QueryState>,
         events: &mut EventQueue<Ev>,
     ) {
         let mach = &mut machines[m];
@@ -671,6 +773,8 @@ impl Simulation {
             return;
         };
         mach.gpu_busy = true;
+        // The FIFO wait ends here: everything before this is queue-wait.
+        queries.get_mut(&qid).expect("known query").dispatched = now;
         let gpu = self.nodes[m].gpu.as_ref().expect("GPU present");
         let service_us =
             self.tenants[tenant]
@@ -680,7 +784,7 @@ impl Simulation {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn finish_part(
+    fn finish_part<S: TraceSink>(
         qid: u64,
         now: SimTime,
         queries: &mut HashMap<u64, QueryState>,
@@ -691,12 +795,15 @@ impl Simulation {
         tenant_completed: &mut [u64],
         completed_measured: &mut u64,
         window_end: &mut SimTime,
+        span_epoch: SimTime,
+        sink: &mut S,
     ) {
         let state = queries.get_mut(&qid).expect("known query");
         state.parts_left -= 1;
         if state.parts_left > 0 {
             return;
         }
+        state.service_done = now;
         if state.merge_ns > 0 {
             // Sharded: the last partial landed; the query completes
             // after its exchange + merge delay.
@@ -715,11 +822,13 @@ impl Simulation {
             tenant_completed,
             completed_measured,
             window_end,
+            span_epoch,
+            sink,
         );
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn record_completion(
+    fn record_completion<S: TraceSink>(
         qid: u64,
         now: SimTime,
         queries: &mut HashMap<u64, QueryState>,
@@ -729,6 +838,8 @@ impl Simulation {
         tenant_completed: &mut [u64],
         completed_measured: &mut u64,
         window_end: &mut SimTime,
+        span_epoch: SimTime,
+        sink: &mut S,
     ) {
         let state = queries.get_mut(&qid).expect("known query");
         debug_assert_eq!(state.parts_left, 0, "completion with parts in flight");
@@ -740,6 +851,16 @@ impl Simulation {
             tenant_completed[state.tenant] += 1;
             *completed_measured += 1;
             *window_end = (*window_end).max(now);
+            if S::ENABLED {
+                // Rebase to the stream's first arrival so span clocks
+                // read "ns since the first arrival" on every runtime.
+                let mut span = state.span(qid, now);
+                span.arrival_ns -= span_epoch;
+                span.end_ns -= span_epoch;
+                debug_assert_eq!(span.latency_ms().to_bits(), ms.to_bits());
+                debug_assert_eq!(span.validate(), Ok(()));
+                sink.record(&span);
+            }
         }
     }
 }

@@ -1,0 +1,276 @@
+//! The in-memory sink: a bounded span ring plus streaming per-stage
+//! quantiles, snapshotted into the report-facing [`StageBreakdown`].
+
+use crate::sink::TraceSink;
+use crate::span::{QuerySpan, Stage, STAGE_COUNT};
+use drs_metrics::P2Quantile;
+use std::collections::VecDeque;
+
+/// Default span-ring capacity: enough to hold a smoke run whole while
+/// bounding a soak to a few hundred KB.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// Streaming digest for one stage of one group: exact count/mean plus
+/// P² quantile estimators — constant memory regardless of run length.
+#[derive(Clone, Debug)]
+struct StageDigest {
+    count: u64,
+    sum_ms: f64,
+    p50: P2Quantile,
+    p95: P2Quantile,
+    p99: P2Quantile,
+}
+
+impl StageDigest {
+    fn new() -> Self {
+        StageDigest {
+            count: 0,
+            sum_ms: 0.0,
+            p50: P2Quantile::new(0.50),
+            p95: P2Quantile::new(0.95),
+            p99: P2Quantile::new(0.99),
+        }
+    }
+
+    fn observe_ms(&mut self, ms: f64) {
+        self.count += 1;
+        self.sum_ms += ms;
+        self.p50.observe(ms);
+        self.p95.observe(ms);
+        self.p99.observe(ms);
+    }
+
+    fn stats(&self) -> StageStats {
+        StageStats {
+            count: self.count,
+            mean_ms: if self.count == 0 {
+                0.0
+            } else {
+                self.sum_ms / self.count as f64
+            },
+            p50_ms: self.p50.value().unwrap_or(0.0),
+            p95_ms: self.p95.value().unwrap_or(0.0),
+            p99_ms: self.p99.value().unwrap_or(0.0),
+        }
+    }
+}
+
+fn new_digest_row() -> [StageDigest; STAGE_COUNT] {
+    std::array::from_fn(|_| StageDigest::new())
+}
+
+/// Snapshot of one stage's streaming latency statistics,
+/// milliseconds.
+///
+/// Every recorded span contributes to every stage (inactive stages
+/// contribute zero), so the per-stage `mean_ms` values sum to the
+/// end-to-end `mean_ms` and stage *shares* of the mean add up to one.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StageStats {
+    /// Spans observed.
+    pub count: u64,
+    /// Mean stage duration (exact, not estimated).
+    pub mean_ms: f64,
+    /// Streaming median (P² estimate).
+    pub p50_ms: f64,
+    /// Streaming 95th percentile (P² estimate).
+    pub p95_ms: f64,
+    /// Streaming 99th percentile (P² estimate).
+    pub p99_ms: f64,
+}
+
+/// The report-facing stage-latency breakdown: overall, per-stage,
+/// per-tenant, and per-node streaming statistics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StageBreakdown {
+    /// Spans recorded into the snapshot.
+    pub spans: u64,
+    /// End-to-end latency statistics across all recorded spans.
+    pub total: StageStats,
+    /// Per-stage statistics, indexed by [`Stage::index`].
+    pub stages: Vec<StageStats>,
+    /// Per-tenant rows of per-stage statistics (tenant index → row).
+    pub tenants: Vec<Vec<StageStats>>,
+    /// Per-node rows of per-stage statistics (node index → row).
+    pub nodes: Vec<Vec<StageStats>>,
+}
+
+impl StageBreakdown {
+    /// Statistics for one stage.
+    pub fn stage(&self, stage: Stage) -> &StageStats {
+        &self.stages[stage.index()]
+    }
+
+    /// The stage's share of mean end-to-end latency, in `[0, 1]`
+    /// (shares across all stages sum to one).
+    pub fn share_of_mean(&self, stage: Stage) -> f64 {
+        if self.total.mean_ms <= 0.0 {
+            0.0
+        } else {
+            self.stage(stage).mean_ms / self.total.mean_ms
+        }
+    }
+}
+
+/// The in-memory recording sink.
+///
+/// Keeps the most recent `capacity` spans verbatim (for Chrome-trace
+/// export and exact per-query checks) and feeds *every* span — also
+/// the ones that later rotate out of the ring — into streaming
+/// per-stage / per-tenant / per-node digests, so quantiles cover the
+/// whole run in constant memory.
+#[derive(Clone, Debug)]
+pub struct RingRecorder {
+    capacity: usize,
+    ring: VecDeque<QuerySpan>,
+    dropped: u64,
+    total: StageDigest,
+    stages: [StageDigest; STAGE_COUNT],
+    tenants: Vec<[StageDigest; STAGE_COUNT]>,
+    nodes: Vec<[StageDigest; STAGE_COUNT]>,
+}
+
+impl RingRecorder {
+    /// A recorder retaining at most `capacity` spans in the ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RingRecorder {
+            capacity,
+            ring: VecDeque::with_capacity(capacity.min(DEFAULT_RING_CAPACITY)),
+            dropped: 0,
+            total: StageDigest::new(),
+            stages: new_digest_row(),
+            tenants: Vec::new(),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Spans recorded overall (including any rotated out of the ring).
+    pub fn recorded(&self) -> u64 {
+        self.total.count
+    }
+
+    /// Spans that rotated out of the bounded ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained spans, oldest first.
+    pub fn spans(&self) -> impl Iterator<Item = &QuerySpan> {
+        self.ring.iter()
+    }
+
+    /// Snapshot the streaming digests into a [`StageBreakdown`].
+    pub fn snapshot(&self) -> StageBreakdown {
+        let row = |digests: &[StageDigest; STAGE_COUNT]| -> Vec<StageStats> {
+            digests.iter().map(StageDigest::stats).collect()
+        };
+        StageBreakdown {
+            spans: self.total.count,
+            total: self.total.stats(),
+            stages: row(&self.stages),
+            tenants: self.tenants.iter().map(row).collect(),
+            nodes: self.nodes.iter().map(row).collect(),
+        }
+    }
+}
+
+impl Default for RingRecorder {
+    fn default() -> Self {
+        RingRecorder::new(DEFAULT_RING_CAPACITY)
+    }
+}
+
+fn observe_row(row: &mut [StageDigest; STAGE_COUNT], span: &QuerySpan) {
+    for (digest, &ns) in row.iter_mut().zip(&span.stages) {
+        digest.observe_ms(ns as f64 / 1e6);
+    }
+}
+
+impl TraceSink for RingRecorder {
+    fn record(&mut self, span: &QuerySpan) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(*span);
+        self.total.observe_ms(span.latency_ms());
+        observe_row(&mut self.stages, span);
+        if span.tenant >= self.tenants.len() {
+            self.tenants.resize_with(span.tenant + 1, new_digest_row);
+        }
+        observe_row(&mut self.tenants[span.tenant], span);
+        if span.node >= self.nodes.len() {
+            self.nodes.resize_with(span.node + 1, new_digest_row);
+        }
+        observe_row(&mut self.nodes[span.node], span);
+    }
+
+    fn breakdown(&self) -> Option<StageBreakdown> {
+        Some(self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, tenant: usize, node: usize, wait_ns: u64, service_ns: u64) -> QuerySpan {
+        let mut stages = [0u64; STAGE_COUNT];
+        stages[Stage::QueueWait.index()] = wait_ns;
+        stages[Stage::EngineService.index()] = service_ns;
+        QuerySpan {
+            query_id: id,
+            tenant,
+            node,
+            arrival_ns: 1_000 * id,
+            end_ns: 1_000 * id + wait_ns + service_ns,
+            stages,
+        }
+    }
+
+    #[test]
+    fn ring_bounds_retention_but_digests_cover_everything() {
+        let mut rec = RingRecorder::new(4);
+        for i in 0..10 {
+            rec.record(&span(i, 0, 0, 100, 900));
+        }
+        assert_eq!(rec.recorded(), 10);
+        assert_eq!(rec.dropped(), 6);
+        assert_eq!(rec.spans().count(), 4);
+        assert_eq!(rec.spans().next().unwrap().query_id, 6, "oldest kept");
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans, 10);
+        assert_eq!(snap.total.count, 10);
+    }
+
+    #[test]
+    fn stage_means_decompose_the_total_mean() {
+        let mut rec = RingRecorder::new(16);
+        for i in 0..8 {
+            rec.record(&span(i, i as usize % 2, 0, 50 * i, 1_000));
+        }
+        let snap = rec.snapshot();
+        let stage_mean_sum: f64 = Stage::ALL.iter().map(|&s| snap.stage(s).mean_ms).sum();
+        assert!(
+            (stage_mean_sum - snap.total.mean_ms).abs() < 1e-12,
+            "stage means {stage_mean_sum} vs total {}",
+            snap.total.mean_ms
+        );
+        let share_sum: f64 = Stage::ALL.iter().map(|&s| snap.share_of_mean(s)).sum();
+        assert!((share_sum - 1.0).abs() < 1e-12);
+        assert_eq!(snap.tenants.len(), 2);
+        assert_eq!(snap.tenants[0][Stage::EngineService.index()].count, 4);
+    }
+
+    #[test]
+    fn breakdown_via_sink_trait_matches_snapshot() {
+        let mut rec = RingRecorder::default();
+        rec.record(&span(1, 0, 0, 10, 20));
+        assert_eq!(rec.breakdown().unwrap(), rec.snapshot());
+    }
+}

@@ -1,0 +1,194 @@
+//! The per-query span schema: fixed lifecycle stages whose durations
+//! sum to the end-to-end latency exactly.
+
+/// Number of lifecycle stages in the fixed schema.
+pub const STAGE_COUNT: usize = 7;
+
+/// A query's lifecycle stage, in chronological order.
+///
+/// Every query passes through the stages in this order; stages that do
+/// not apply to a given path are simply zero-length. The two execution
+/// disciplines partition like this:
+///
+/// * **CPU path** — `CoalesceWait` (open batch-former window) →
+///   `BatchResidency` (formed batch waiting in the ready/DRR queue) →
+///   `EngineService` (forward pass, virtual-priced or physical);
+/// * **GPU offload** — `QueueWait` (device FIFO) → `EngineService`
+///   (device service time);
+/// * **sharded tail** — after the last partial credits,
+///   `ShardExchange` (interconnect fabric) then `DenseTail` (merge-home
+///   dense layers) run before completion.
+///
+/// `Route` is reserved for front-door routing delay; both runtimes
+/// route instantaneously today, so it records zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Front-door routing decision (instantaneous today).
+    Route,
+    /// Wait in the GPU offload FIFO before device service starts.
+    QueueWait,
+    /// Time in the batch former's open coalesce window before the
+    /// batch carrying this query's last segment was emitted.
+    CoalesceWait,
+    /// Time a formed batch waits in the ready queue (DRR lane or
+    /// machine queue) before dispatch.
+    BatchResidency,
+    /// Service time: the forward pass on CPU workers or the GPU
+    /// device, whichever executed the final segment.
+    EngineService,
+    /// Interconnect share of a sharded query's merge delay.
+    ShardExchange,
+    /// Dense-tail share of a sharded query's merge delay (the
+    /// merge-home forward of the pooled embeddings).
+    DenseTail,
+}
+
+impl Stage {
+    /// All stages, in chronological (and schema-index) order.
+    pub const ALL: [Stage; STAGE_COUNT] = [
+        Stage::Route,
+        Stage::QueueWait,
+        Stage::CoalesceWait,
+        Stage::BatchResidency,
+        Stage::EngineService,
+        Stage::ShardExchange,
+        Stage::DenseTail,
+    ];
+
+    /// The stage's index into [`QuerySpan::stages`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short kebab-case stage name (also the Chrome trace event name).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Route => "route",
+            Stage::QueueWait => "queue-wait",
+            Stage::CoalesceWait => "coalesce-wait",
+            Stage::BatchResidency => "batch-residency",
+            Stage::EngineService => "engine-service",
+            Stage::ShardExchange => "shard-exchange",
+            Stage::DenseTail => "dense-tail",
+        }
+    }
+
+    /// Looks a stage up by its [`name`](Stage::name).
+    pub fn from_name(name: &str) -> Option<Stage> {
+        Stage::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
+/// One query's complete lifecycle timeline.
+///
+/// The invariant every producer upholds (and [`validate`] checks):
+/// the stage durations are non-negative integers that sum to
+/// `end_ns - arrival_ns` **exactly** — no rounding slack — so a span
+/// is a lossless decomposition of the latency the reports record
+/// (`latency_ms == total_ns() as f64 / 1e6`, bit for bit).
+///
+/// [`validate`]: QuerySpan::validate
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuerySpan {
+    /// The query's stream id.
+    pub query_id: u64,
+    /// Owning tenant index.
+    pub tenant: usize,
+    /// Node that served (or, sharded, merged) the query.
+    pub node: usize,
+    /// Arrival timestamp, nanoseconds since the stream's first
+    /// arrival — every runtime (virtual, real, simulator, engine)
+    /// rebases to this epoch so spans compare across clocks.
+    pub arrival_ns: u64,
+    /// Completion timestamp, nanoseconds since the stream's first
+    /// arrival.
+    pub end_ns: u64,
+    /// Per-stage durations in nanoseconds, indexed by
+    /// [`Stage::index`].
+    pub stages: [u64; STAGE_COUNT],
+}
+
+impl QuerySpan {
+    /// End-to-end latency in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.arrival_ns)
+    }
+
+    /// End-to-end latency in milliseconds — the same expression the
+    /// serving reports use, so it matches `latencies_ms` bit for bit.
+    pub fn latency_ms(&self) -> f64 {
+        self.total_ns() as f64 / 1e6
+    }
+
+    /// Duration of one stage, nanoseconds.
+    pub fn stage_ns(&self, stage: Stage) -> u64 {
+        self.stages[stage.index()]
+    }
+
+    /// Checks the span's well-formedness: completion not before
+    /// arrival, and stage durations summing to the end-to-end latency
+    /// exactly.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.end_ns < self.arrival_ns {
+            return Err(format!(
+                "query {}: end {} precedes arrival {}",
+                self.query_id, self.end_ns, self.arrival_ns
+            ));
+        }
+        let sum: u64 = self.stages.iter().sum();
+        if sum != self.total_ns() {
+            return Err(format!(
+                "query {}: stage durations sum to {} ns but end-to-end is {} ns",
+                self.query_id,
+                sum,
+                self.total_ns()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_indices_are_schema_order() {
+        for (i, s) in Stage::ALL.into_iter().enumerate() {
+            assert_eq!(s.index(), i);
+            assert_eq!(Stage::from_name(s.name()), Some(s));
+        }
+        assert_eq!(Stage::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn validate_accepts_exact_decomposition() {
+        let mut stages = [0u64; STAGE_COUNT];
+        stages[Stage::QueueWait.index()] = 300;
+        stages[Stage::EngineService.index()] = 700;
+        let span = QuerySpan {
+            query_id: 1,
+            tenant: 0,
+            node: 0,
+            arrival_ns: 5_000,
+            end_ns: 6_000,
+            stages,
+        };
+        span.validate().expect("well-formed");
+        assert_eq!(span.total_ns(), 1_000);
+        assert_eq!(span.latency_ms(), 1_000.0 / 1e6);
+    }
+
+    #[test]
+    fn validate_rejects_gaps() {
+        let span = QuerySpan {
+            query_id: 2,
+            tenant: 0,
+            node: 0,
+            arrival_ns: 0,
+            end_ns: 100,
+            stages: [0; STAGE_COUNT],
+        };
+        assert!(span.validate().is_err(), "99-ns gap must be rejected");
+    }
+}
