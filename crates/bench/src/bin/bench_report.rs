@@ -47,6 +47,12 @@ const SCHEMA2_KEYS: &[&str] = &[
     "stage_p50_engine_service_ms",
 ];
 
+/// Keys added by schema 3 (the static-analysis gate): wall time of a
+/// full `drs-lint` workspace scan, so analyzer cost is tracked in the
+/// same history as the serving numbers. Required only when
+/// `schema >= 3`.
+const SCHEMA3_KEYS: &[&str] = &["lint_ms"];
+
 fn main() {
     let opts = drs_bench::parse_args();
     let args: Vec<String> = std::env::args().collect();
@@ -89,14 +95,17 @@ fn main() {
         "stage medians    : queue-wait {qw_p50:.3} ms, engine-service {es_p50:.3} ms \
          (traced virtual serve)"
     );
+    let lint_ms = measure_lint_ms(&opts);
+    println!("lint scan        : {lint_ms:.1} ms (full drs-lint workspace pass)");
 
     let entry = format!(
-        "{{\"schema\": 2, \"label\": {}, \"mode\": {}, \"engine_qps\": {engine_qps:.1}, \
+        "{{\"schema\": 3, \"label\": {}, \"mode\": {}, \"engine_qps\": {engine_qps:.1}, \
          \"router_routes_per_s\": {routes:.0}, \"shard_gather_gbps\": {gather:.3}, \
          \"telemetry_spans_per_s\": {spans_per_s:.0}, \
          \"telemetry_ns_per_span\": {ns_per_span:.1}, \
          \"stage_p50_queue_wait_ms\": {qw_p50:.4}, \
-         \"stage_p50_engine_service_ms\": {es_p50:.4}}}",
+         \"stage_p50_engine_service_ms\": {es_p50:.4}, \
+         \"lint_ms\": {lint_ms:.2}}}",
         json_string(&label),
         json_string(opts.mode.label()),
     );
@@ -270,6 +279,31 @@ fn measure_stage_medians(opts: &drs_bench::ExpOptions) -> (f64, f64) {
     )
 }
 
+/// Wall time of one full `drs-lint` workspace scan (discovery, lexing,
+/// parsing, every rule pass) — best of a few repetitions, in
+/// milliseconds. The analyzer must also come back finding-free, so the
+/// benchmark doubles as a cheap self-check.
+fn measure_lint_ms(opts: &drs_bench::ExpOptions) -> f64 {
+    let root = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(|d| std::path::PathBuf::from(d).join("..").join(".."))
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let reps = opts.pick(7, 3, 1);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let report = drs_lint::workspace::analyze_workspace(&root).expect("workspace scan");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            report.findings.is_empty(),
+            "benchmarked workspace must be finding-free, got {} finding(s)",
+            report.findings.len()
+        );
+        std::hint::black_box(report.files_scanned);
+        best = best.min(ms);
+    }
+    best
+}
+
 /// `--check`: every line of the history must parse as a flat JSON
 /// object carrying the required keys with numeric measurements.
 fn check(path: &str) {
@@ -289,7 +323,8 @@ fn check(path: &str) {
         };
         let required = REQUIRED_KEYS
             .iter()
-            .chain(if schema >= 2.0 { SCHEMA2_KEYS } else { &[] });
+            .chain(if schema >= 2.0 { SCHEMA2_KEYS } else { &[] })
+            .chain(if schema >= 3.0 { SCHEMA3_KEYS } else { &[] });
         for key in required {
             let val = obj
                 .iter()

@@ -1,0 +1,18 @@
+//! R1 allowlisted twin — the same iteration sites as `r1_trip.rs`,
+//! each silenced with `lint:allow(hash-iter)`; must produce zero
+//! findings.
+
+use std::collections::HashMap;
+
+fn tally(counts: &HashMap<u64, u32>) -> u32 {
+    let mut total = 0;
+    // lint:allow(hash-iter)
+    for (_k, v) in counts {
+        total += v;
+    }
+    total
+}
+
+fn collect_all(counts: &HashMap<u64, u32>) -> Vec<u32> {
+    counts.values().copied().collect() // lint:allow(hash-iter)
+}

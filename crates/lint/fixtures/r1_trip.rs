@@ -1,0 +1,23 @@
+//! R1 fixture — must trip `hash-iter` twice: once for the `for` loop,
+//! once for the `.values()` chain. Keyed access must stay silent.
+
+use std::collections::HashMap;
+
+fn tally(counts: &HashMap<u64, u32>) -> u32 {
+    let mut total = 0;
+    // Order-hazardous: iteration follows the hash order.
+    for (_k, v) in counts {
+        total += v;
+    }
+    total
+}
+
+fn collect_all(counts: &HashMap<u64, u32>) -> Vec<u32> {
+    counts.values().copied().collect()
+}
+
+fn keyed_is_fine(counts: &mut HashMap<u64, u32>) -> Option<u32> {
+    counts.insert(7, 1);
+    let _ = counts.len();
+    counts.get(&7).copied()
+}

@@ -1,0 +1,10 @@
+//! R2 allowlisted twin — the same clock reads as `r2_trip.rs`, each
+//! silenced with `lint:allow(wall-clock)`; must produce zero findings.
+
+use std::time::Instant;
+
+fn elapsed_since(t0: Instant) -> u128 {
+    // Real-path pacing: this module legitimately reads the clock.
+    let now = Instant::now(); // lint:allow(wall-clock)
+    now.duration_since(t0).as_nanos()
+}

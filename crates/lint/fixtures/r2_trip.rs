@@ -1,0 +1,20 @@
+//! R2 fixture — must trip `wall-clock` four times: the
+//! `Instant::now()` read plus every `SystemTime` mention (the import,
+//! the return type, and the body use — virtual-time code should not
+//! name the type at all). Merely *holding* an `Instant` value must
+//! stay silent.
+
+use std::time::{Instant, SystemTime};
+
+fn elapsed_since(t0: Instant) -> u128 {
+    let now = Instant::now();
+    now.duration_since(t0).as_nanos()
+}
+
+fn stamp() -> SystemTime {
+    SystemTime::UNIX_EPOCH
+}
+
+fn holding_is_fine(t: Instant) -> Instant {
+    t
+}

@@ -1,0 +1,31 @@
+//! R3 fixture — must trip `panic-contract` exactly once:
+//! `serve_unchecked` is a public entry point over `Query` that never
+//! reaches an `assert_nonempty_*` check. `serve_direct` (direct
+//! assert) and `serve_chained` (assert through a helper) must pass,
+//! as must the non-entry-point shapes at the bottom.
+
+pub fn serve_unchecked(queries: &[Query]) -> Report {
+    process(queries)
+}
+
+pub fn serve_direct(queries: &[Query]) -> Report {
+    assert_nonempty_queries(queries);
+    process(queries)
+}
+
+pub fn serve_chained(queries: &[Query]) -> Report {
+    validated(queries)
+}
+
+fn validated(queries: &[Query]) -> Report {
+    assert_nonempty_queries(queries);
+    process(queries)
+}
+
+pub(crate) fn serve_internal(queries: &[Query]) -> Report {
+    process(queries) // not bare-pub: not an entry point
+}
+
+pub fn run_generator(gen: &mut QueryGenerator) -> Report {
+    spin(gen) // no Query/Trace parameter: not an entry point
+}

@@ -1,0 +1,26 @@
+//! R4 fixture — must trip `telemetry-guard` twice: the bare record
+//! call and the one behind an unrelated `if`. The `S::ENABLED`-guarded
+//! site must stay silent.
+
+fn record_bare<S: TraceSink>(sink: &mut S, span: &Span) {
+    sink.record(span);
+}
+
+fn record_wrong_guard<S: TraceSink>(sink: &mut S, span: &Span, hot: bool) {
+    if hot {
+        sink.record(span);
+    }
+}
+
+fn record_guarded<S: TraceSink>(sink: &mut S, span: &Span) {
+    if S::ENABLED {
+        sink.record(span);
+    }
+}
+
+fn record_guarded_compound<S: TraceSink>(sink: &mut S, span: &Span, hot: bool) {
+    if S::ENABLED && hot {
+        finish(span);
+        sink.record(span);
+    }
+}

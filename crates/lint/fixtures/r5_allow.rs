@@ -1,0 +1,10 @@
+//! R5 allowlisted twin — the reductions from `r5_trip.rs` silenced
+//! with `lint:allow(float-reduce)`; must produce zero findings.
+
+use std::collections::HashMap;
+
+fn mean_latency(lat: &HashMap<u64, f64>) -> f64 {
+    // Tolerance-checked aggregate; hash-order rounding is acceptable.
+    let total: f64 = lat.values().sum(); // lint:allow(float-reduce)
+    total / lat.len() as f64
+}

@@ -1,0 +1,24 @@
+//! R5 fixture — must trip `float-reduce` twice: the `.sum()` and the
+//! `.fold(..)` over hash-ordered iterators. The sorted-drain variant
+//! must stay silent.
+
+use std::collections::HashMap;
+
+fn mean_latency(lat: &HashMap<u64, f64>) -> f64 {
+    let total: f64 = lat.values().sum();
+    total / lat.len() as f64
+}
+
+fn weighted(lat: &HashMap<u64, f64>) -> f64 {
+    lat.iter().fold(0.0, |acc, (_, v)| acc + v)
+}
+
+fn sorted_is_fine(lat: &HashMap<u64, f64>) -> f64 {
+    let mut vals: Vec<f64> = Vec::new();
+    for k in 0..lat.len() as u64 {
+        if let Some(v) = lat.get(&k) {
+            vals.push(*v);
+        }
+    }
+    vals.into_iter().sum()
+}

@@ -1,0 +1,398 @@
+//! A hand-rolled Rust tokenizer, just deep enough for linting.
+//!
+//! The lexer's one job is to make the rule passes immune to the
+//! classic grep failure modes: matches inside string literals, inside
+//! comments, or spliced across lines. It understands line/block
+//! comments (returned out-of-band, because the `lint:allow` escape
+//! hatch lives there), all string shapes (plain, raw with `#` fences,
+//! byte), char literals vs. lifetimes, numbers with separators and
+//! suffixes, and identifiers. Punctuation is emitted one character at
+//! a time — multi-character operators like `::` are matched as token
+//! *sequences* by the rule passes, which keeps the lexer trivially
+//! correct.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `queries`, ...).
+    Ident,
+    /// A single punctuation character (`{`, `:`, `.`, ...).
+    Punct,
+    /// A string, char, or numeric literal (content is opaque to rules).
+    Literal,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One lexed token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token's kind.
+    pub kind: TokenKind,
+    /// The token's text (for [`TokenKind::Punct`], one character).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// A comment, kept out-of-band from the token stream (the allowlist
+/// mechanism parses these).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (differs for block comments).
+    pub end_line: u32,
+    /// The comment text, delimiters included.
+    pub text: String,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// Comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `src`. Never fails: unterminated literals are consumed to
+/// end-of-file, and unrecognized bytes are skipped — a lint must keep
+/// going on code the compiler would reject anyway.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    end_line: line,
+                    text: b[start..i].iter().collect(),
+                });
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                let (start, start_line) = (i, line);
+                let mut depth = 0usize;
+                while i < b.len() {
+                    if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    line: start_line,
+                    end_line: line,
+                    text: b[start..i.min(b.len())].iter().collect(),
+                });
+            }
+            '"' => {
+                let start_line = line;
+                i = consume_string(&b, i, &mut line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::from("\"...\""),
+                    line: start_line,
+                });
+            }
+            'r' | 'b' if raw_string_fence(&b, i).is_some() => {
+                let start_line = line;
+                i = consume_raw_string(&b, i, &mut line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::from("r\"...\""),
+                    line: start_line,
+                });
+            }
+            'b' if b.get(i + 1) == Some(&'"') => {
+                let start_line = line;
+                i = consume_string(&b, i + 1, &mut line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::from("b\"...\""),
+                    line: start_line,
+                });
+            }
+            '\'' => {
+                // Lifetime (`'a`, `'static`) vs. char literal (`'a'`,
+                // `'\n'`): an identifier after the quote with no
+                // closing quote right behind it is a lifetime.
+                let is_lifetime = b.get(i + 1).is_some_and(|c| c.is_alphabetic() || *c == '_') && {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    b.get(j) != Some(&'\'')
+                };
+                if is_lifetime {
+                    let start = i;
+                    i += 1;
+                    while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: b[start..i].iter().collect(),
+                        line,
+                    });
+                } else {
+                    // Char literal: consume to the closing quote,
+                    // honoring escapes.
+                    i += 1;
+                    while i < b.len() {
+                        match b[i] {
+                            '\\' => i += 2,
+                            '\'' => {
+                                i += 1;
+                                break;
+                            }
+                            '\n' => {
+                                line += 1;
+                                i += 1;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text: String::from("'.'"),
+                        line,
+                    });
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                // Digits, separators, hex/suffix letters; a `.` only
+                // if followed by a digit (so `0..n` and `1.max()` keep
+                // their punctuation).
+                while i < b.len() {
+                    let d = b[i];
+                    let in_number = d.is_alphanumeric()
+                        || d == '_'
+                        || (d == '.' && b.get(i + 1).is_some_and(|n| n.is_ascii_digit()));
+                    if !in_number {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Consumes a plain string starting at the opening quote index;
+/// returns the index just past the closing quote.
+fn consume_string(b: &[char], open: usize, line: &mut u32) -> usize {
+    let mut i = open + 1;
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// If position `i` starts a raw string (`r"`, `r#"`, `br#"`, ...),
+/// returns the number of `#` fence characters.
+fn raw_string_fence(b: &[char], i: usize) -> Option<usize> {
+    let mut j = i;
+    if b.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if b.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (b.get(j) == Some(&'"')).then_some(hashes)
+}
+
+/// Consumes a raw string starting at `i` (at the `r`/`b`); returns the
+/// index just past the closing fence.
+fn consume_raw_string(b: &[char], i: usize, line: &mut u32) -> usize {
+    let hashes = raw_string_fence(b, i).expect("checked by caller");
+    let mut j = i;
+    while b.get(j) != Some(&'"') {
+        j += 1;
+    }
+    j += 1;
+    while j < b.len() {
+        if b[j] == '\n' {
+            *line += 1;
+        }
+        if b[j] == '"' && (1..=hashes).all(|k| b.get(j + k) == Some(&'#')) {
+            return j + 1 + hashes;
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let l = lex("fn main() { let x: u32 = 1; }");
+        let texts: Vec<&str> = l.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["fn", "main", "(", ")", "{", "let", "x", ":", "u32", "=", "1", ";", "}"]
+        );
+    }
+
+    #[test]
+    fn comments_are_out_of_band() {
+        let l = lex("let a = 1; // trailing HashMap\n/* block\nHashSet */ let b = 2;");
+        assert!(idents("let a = 1; // trailing HashMap").contains(&"a".to_string()));
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert!(l.comments[0].text.contains("HashMap"));
+        assert_eq!(l.comments[1].line, 2);
+        assert_eq!(l.comments[1].end_line, 3);
+        // No HashMap/HashSet token leaked into the code stream.
+        assert!(!l.tokens.iter().any(|t| t.text.contains("Hash")));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        for src in [
+            r#"let s = "Instant::now() HashMap";"#,
+            r##"let s = r#"SystemTime "quoted" HashSet"#;"##,
+            r#"let s = b"HashMap";"#,
+        ] {
+            let l = lex(src);
+            assert!(
+                !l.tokens
+                    .iter()
+                    .any(|t| t.text.contains("Hash") || t.text.contains("Instant")),
+                "literal contents leaked for {src:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        let chars = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal && t.text == "'.'")
+            .count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let l = lex("for i in 0..10 { let x = 1.max(2); let y = 1.5e3; let z = 0x9E_37u64; }");
+        let texts: Vec<&str> = l.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"max"), "1.max parsed as method call");
+        assert!(texts.contains(&"1.5e3"));
+        assert!(texts.contains(&"0x9E_37u64"));
+        let dots = texts.iter().filter(|t| **t == ".").count();
+        assert_eq!(dots, 3, "two range dots + one method dot: {texts:?}");
+    }
+
+    #[test]
+    fn line_numbers_track_every_shape() {
+        let src = "let a = 1;\nlet s = \"multi\nline\";\nlet b = 2;\n";
+        let l = lex(src);
+        let b = l.tokens.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ let x = 1;");
+        assert!(l.tokens.iter().any(|t| t.is_ident("x")));
+        assert_eq!(l.comments.len(), 1);
+    }
+}

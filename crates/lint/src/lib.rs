@@ -1,0 +1,32 @@
+//! `drs-lint` — a workspace invariant checker.
+//!
+//! The reproduction's headline results rest on contracts the compiler
+//! cannot see: byte-identical virtual-time replays, bit-exact
+//! real-vs-virtual cross-validation, and the documented `ServingStack`
+//! panic contract. This crate turns those prose contracts into a
+//! machine-checked pass:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `hash-iter` | no iteration over `HashMap`/`HashSet` state in determinism-critical crates |
+//! | `wall-clock` | `Instant::now`/`SystemTime` only on the real path |
+//! | `panic-contract` | every public `serve*`/`run*` entry point reaches `assert_nonempty_*` |
+//! | `telemetry-guard` | every `sink.record(..)` site is guarded by `S::ENABLED` |
+//! | `float-reduce` | no `f64` reduction over a hash-ordered iterator |
+//! | `docs-parity` | every library crate warns on missing docs and opts into workspace lints |
+//!
+//! Any finding can be silenced at a specific line with a
+//! `// lint:allow(<rule>)` comment (covering that line and the next),
+//! which doubles as an in-source audit trail of every exemption.
+//!
+//! The analyzer is dependency-free by design — the build environment
+//! has no registry access, so the tokenizer ([`lexer`]) and the
+//! structural pass ([`parse`]) are hand-rolled and unit-tested on
+//! fixture files under `fixtures/`.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod parse;
+pub mod rules;
+pub mod workspace;

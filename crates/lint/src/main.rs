@@ -1,0 +1,70 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! cargo run -p drs-lint -- --check [--json] [--root PATH]
+//! ```
+//!
+//! Exit code 0 when the workspace is finding-free, 1 when any
+//! unallowlisted finding exists, 2 on usage or I/O errors.
+
+use drs_lint::workspace::{analyze_workspace, report_json};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: drs-lint --check [--json] [--root PATH]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    if !check {
+        return usage();
+    }
+    // Default to the workspace root: cargo sets CARGO_MANIFEST_DIR to
+    // crates/lint, two levels below it.
+    let root = root
+        .or_else(|| {
+            std::env::var_os("CARGO_MANIFEST_DIR").map(|d| PathBuf::from(d).join("..").join(".."))
+        })
+        .unwrap_or_else(|| PathBuf::from("."));
+    let report = match analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("drs-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        print!("{}", report_json(&report));
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
+        println!(
+            "drs-lint: {} finding(s) across {} file(s) in {} crate(s)",
+            report.findings.len(),
+            report.files_scanned,
+            report.crates.len()
+        );
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

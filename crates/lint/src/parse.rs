@@ -1,0 +1,424 @@
+//! A lightweight structural pass over the token stream.
+//!
+//! Sitting between the lexer and the rules, this module recovers just
+//! enough shape for the invariants to be checkable without a real
+//! parser: the brace-block tree (so a rule can walk *enclosing*
+//! scopes), function items with visibility / parameter / body spans
+//! (the panic-contract pass needs a call graph), the set of
+//! identifiers declared with a `HashMap`/`HashSet` type (the
+//! determinism passes track iteration over those names), and the
+//! `// lint:allow(rule)` escape hatches parsed out of comments.
+
+use crate::lexer::{lex, Comment, Token, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A `{ ... }` block, by token index.
+#[derive(Debug, Clone, Copy)]
+pub struct Block {
+    /// Token index of the opening brace.
+    pub open: usize,
+    /// Token index of the matching closing brace (or the last token if
+    /// unbalanced).
+    pub close: usize,
+    /// Enclosing block, if any.
+    pub parent: Option<usize>,
+}
+
+/// One `fn` item recovered from the stream.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// True for bare `pub` (restricted `pub(crate)`/`pub(super)` does
+    /// not count — those are not workspace entry points).
+    pub is_pub: bool,
+    /// Token range `(open_paren, close_paren)` of the parameter list.
+    pub params: (usize, usize),
+    /// Block id of the body, if the item has one (trait method
+    /// declarations do not).
+    pub body: Option<usize>,
+}
+
+/// Everything the rule passes need to know about one source file.
+#[derive(Debug)]
+pub struct FileInfo {
+    /// Path used in findings (repo-relative when scanned by the
+    /// workspace driver).
+    pub path: String,
+    /// The code tokens.
+    pub tokens: Vec<Token>,
+    /// The brace-block tree.
+    pub blocks: Vec<Block>,
+    /// Innermost enclosing block per token (`None` = file top level).
+    pub token_block: Vec<Option<usize>>,
+    /// Function items, in source order.
+    pub fns: Vec<FnItem>,
+    /// Identifiers declared (anywhere in the file) with a type or
+    /// initializer naming `HashMap`/`HashSet`. Name-based and
+    /// file-wide on purpose: a lint would rather over-approximate and
+    /// be silenced by `lint:allow` than miss a rebinding.
+    pub hash_idents: BTreeSet<String>,
+    /// `line -> rules` allowed on that line by `// lint:allow(...)`
+    /// comments (a directive covers its own line and the next).
+    pub allows: BTreeMap<u32, BTreeSet<String>>,
+}
+
+impl FileInfo {
+    /// Lexes and structures one source file.
+    pub fn parse(path: &str, src: &str) -> Self {
+        let lexed = lex(src);
+        let (blocks, token_block) = build_blocks(&lexed.tokens);
+        let fns = collect_fns(&lexed.tokens, &blocks);
+        let hash_idents = collect_hash_idents(&lexed.tokens);
+        let allows = collect_allows(&lexed.comments);
+        FileInfo {
+            path: path.to_string(),
+            tokens: lexed.tokens,
+            blocks,
+            token_block,
+            fns,
+            hash_idents,
+            allows,
+        }
+    }
+
+    /// True if `rule` is allowed on `line` by an escape-hatch comment.
+    pub fn is_allowed(&self, line: u32, rule: &str) -> bool {
+        self.allows.get(&line).is_some_and(|r| r.contains(rule))
+    }
+
+    /// Walks enclosing blocks from the one containing token `idx`
+    /// outward (innermost first).
+    pub fn enclosing_blocks(&self, idx: usize) -> impl Iterator<Item = &Block> {
+        let mut cur = self.token_block.get(idx).copied().flatten();
+        std::iter::from_fn(move || {
+            let b = cur?;
+            cur = self.blocks[b].parent;
+            Some(&self.blocks[b])
+        })
+    }
+}
+
+/// Builds the brace-block tree and the per-token innermost-block map.
+fn build_blocks(tokens: &[Token]) -> (Vec<Block>, Vec<Option<usize>>) {
+    let mut blocks: Vec<Block> = Vec::new();
+    let mut token_block: Vec<Option<usize>> = Vec::with_capacity(tokens.len());
+    let mut stack: Vec<usize> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.is_punct('{') {
+            let id = blocks.len();
+            blocks.push(Block {
+                open: i,
+                close: tokens.len().saturating_sub(1),
+                parent: stack.last().copied(),
+            });
+            token_block.push(stack.last().copied());
+            stack.push(id);
+            continue;
+        }
+        if t.is_punct('}') {
+            if let Some(id) = stack.pop() {
+                blocks[id].close = i;
+            }
+        }
+        token_block.push(stack.last().copied());
+    }
+    (blocks, token_block)
+}
+
+/// Identifiers that may legally precede `fn` in an item signature.
+const FN_QUALIFIERS: &[&str] = &["const", "async", "unsafe", "extern", "default"];
+
+fn collect_fns(tokens: &[Token], blocks: &[Block]) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("fn") {
+            continue;
+        }
+        // `fn` in function-pointer types (`fn(u32) -> u32`) has no
+        // name identifier after it.
+        let Some(name_tok) = tokens.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let is_pub = detect_pub(tokens, i);
+        // Skip optional generics to the parameter list.
+        let mut j = i + 2;
+        if tokens.get(j).is_some_and(|t| t.is_punct('<')) {
+            let mut depth = 0i32;
+            while j < tokens.len() {
+                if tokens[j].is_punct('<') {
+                    depth += 1;
+                } else if tokens[j].is_punct('>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        if !tokens.get(j).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        let open_paren = j;
+        let mut depth = 0i32;
+        while j < tokens.len() {
+            if tokens[j].is_punct('(') {
+                depth += 1;
+            } else if tokens[j].is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let close_paren = j.min(tokens.len().saturating_sub(1));
+        // Body: the first `{` before a `;` ends the signature (return
+        // types and where clauses never contain braces).
+        let mut body = None;
+        let mut k = close_paren + 1;
+        while k < tokens.len() {
+            if tokens[k].is_punct(';') {
+                break;
+            }
+            if tokens[k].is_punct('{') {
+                body = blocks.iter().position(|b| b.open == k);
+                break;
+            }
+            k += 1;
+        }
+        out.push(FnItem {
+            name: name_tok.text.clone(),
+            line: tokens[i].line,
+            is_pub,
+            params: (open_paren, close_paren),
+            body,
+        });
+    }
+    out
+}
+
+/// Is the `fn` at token index `fn_idx` declared bare-`pub`?
+fn detect_pub(tokens: &[Token], fn_idx: usize) -> bool {
+    let mut k = fn_idx;
+    while k > 0 {
+        k -= 1;
+        let t = &tokens[k];
+        if t.kind == TokenKind::Ident && FN_QUALIFIERS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if t.kind == TokenKind::Literal {
+            continue; // the ABI string of `extern "C"`
+        }
+        if t.is_punct(')') {
+            // Restricted visibility `pub(crate)` / `pub(in path)`:
+            // not a workspace entry point.
+            return false;
+        }
+        return t.is_ident("pub");
+    }
+    false
+}
+
+/// Type/initializer scan horizon for declaration detection.
+const DECL_SCAN_TOKENS: usize = 64;
+
+fn collect_hash_idents(tokens: &[Token]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for i in 0..tokens.len() {
+        // Pattern A — `name : ... HashMap/HashSet ...` up to the end
+        // of the type (covers `let` annotations, struct fields, and
+        // function parameters).
+        if tokens[i].kind == TokenKind::Ident
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && !tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && !tokens
+                .get(i.wrapping_sub(1))
+                .is_some_and(|t| t.is_punct(':'))
+            && region_names_hash_type(tokens, i + 2)
+        {
+            out.insert(tokens[i].text.clone());
+        }
+        // Pattern B — `let [mut] name = ... HashMap/HashSet ...;`
+        // (un-annotated bindings initialized from a constructor or a
+        // collected map).
+        if tokens[i].is_ident("let") {
+            let mut j = i + 1;
+            if tokens.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            if tokens.get(j).is_some_and(|t| t.kind == TokenKind::Ident)
+                && tokens.get(j + 1).is_some_and(|t| t.is_punct('='))
+                && region_names_hash_type(tokens, j + 2)
+            {
+                out.insert(tokens[j].text.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Scans forward from `start` to the end of a type/initializer region
+/// (a top-level `,`, `;`, `=`, `{`, `)`, or `|`), looking for a
+/// `HashMap`/`HashSet` identifier.
+fn region_names_hash_type(tokens: &[Token], start: usize) -> bool {
+    let mut angle = 0i32;
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    for t in tokens.iter().skip(start).take(DECL_SCAN_TOKENS) {
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "(" => paren += 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                ")" => {
+                    if paren == 0 {
+                        return false;
+                    }
+                    paren -= 1;
+                }
+                "," | ";" | "=" | "{" | "|" if angle <= 0 && paren == 0 && bracket == 0 => {
+                    return false;
+                }
+                _ => {}
+            }
+        }
+        if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            return true;
+        }
+    }
+    false
+}
+
+fn collect_allows(comments: &[Comment]) -> BTreeMap<u32, BTreeSet<String>> {
+    let mut out: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+    for c in comments {
+        let Some(pos) = c.text.find("lint:allow(") else {
+            continue;
+        };
+        let rest = &c.text[pos + "lint:allow(".len()..];
+        let Some(end) = rest.find(')') else {
+            continue;
+        };
+        for rule in rest[..end].split(',') {
+            let rule = rule.trim().to_string();
+            if rule.is_empty() {
+                continue;
+            }
+            // The directive covers its own line (trailing comment) and
+            // the line after its end (comment-above style).
+            out.entry(c.line).or_default().insert(rule.clone());
+            out.entry(c.end_line + 1).or_default().insert(rule);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_tree_nests() {
+        let f = FileInfo::parse("t.rs", "fn a() { if x { y(); } } fn b() {}");
+        assert_eq!(f.blocks.len(), 3);
+        assert_eq!(f.blocks[1].parent, Some(0));
+        assert_eq!(f.blocks[2].parent, None);
+        // `y` is enclosed by the `if` block then the fn body.
+        let y = f.tokens.iter().position(|t| t.is_ident("y")).unwrap();
+        assert_eq!(f.enclosing_blocks(y).count(), 2);
+    }
+
+    #[test]
+    fn fn_items_with_visibility() {
+        let src = "pub fn serve_all(q: &[Query]) {} \
+                   pub(crate) fn helper() {} \
+                   fn private() {} \
+                   pub async fn run_async(trace: &Trace) {}";
+        let f = FileInfo::parse("t.rs", src);
+        let names: Vec<(&str, bool)> = f.fns.iter().map(|x| (x.name.as_str(), x.is_pub)).collect();
+        assert_eq!(
+            names,
+            [
+                ("serve_all", true),
+                ("helper", false),
+                ("private", false),
+                ("run_async", true)
+            ]
+        );
+    }
+
+    #[test]
+    fn generic_fn_finds_its_params_and_body() {
+        let src = "pub fn serve<S: TraceSink, const N: usize>(q: &[Query], sink: &mut S) -> Out \
+                   where S: Sized { body(); }";
+        let f = FileInfo::parse("t.rs", src);
+        assert_eq!(f.fns.len(), 1);
+        let item = &f.fns[0];
+        let params: Vec<&str> = f.tokens[item.params.0..=item.params.1]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(params.contains(&"Query"));
+        assert!(!params.contains(&"TraceSink"), "generics excluded");
+        assert!(item.body.is_some());
+    }
+
+    #[test]
+    fn trait_method_declaration_has_no_body() {
+        let f = FileInfo::parse(
+            "t.rs",
+            "trait T { fn serve_queries(&self, q: &[Query]) -> R; }",
+        );
+        assert_eq!(f.fns.len(), 1);
+        assert!(f.fns[0].body.is_none());
+    }
+
+    #[test]
+    fn hash_idents_from_annotations_fields_and_inits() {
+        let src = "struct S { inflight: HashMap<u64, B>, ok: Vec<u64> } \
+                   fn f() { let mut queries: HashMap<u64, Q> = HashMap::new(); \
+                   let tags = HashSet::new(); let plain = Vec::new(); }";
+        let f = FileInfo::parse("t.rs", src);
+        assert!(f.hash_idents.contains("inflight"));
+        assert!(f.hash_idents.contains("queries"));
+        assert!(f.hash_idents.contains("tags"));
+        assert!(!f.hash_idents.contains("ok"));
+        assert!(!f.hash_idents.contains("plain"));
+    }
+
+    #[test]
+    fn fn_params_do_not_leak_into_hash_idents_unless_typed_so() {
+        let f = FileInfo::parse(
+            "t.rs",
+            "fn f(a: &[Query], b: &mut HashMap<u64, u32>) { let c: u32 = 0; }",
+        );
+        assert!(f.hash_idents.contains("b"));
+        assert!(!f.hash_idents.contains("a"));
+        assert!(!f.hash_idents.contains("c"));
+    }
+
+    #[test]
+    fn allow_directives_cover_their_line_and_the_next() {
+        let src = "// lint:allow(wall-clock)\nlet t = now();\nlet u = now(); // lint:allow(hash-iter, wall-clock)\n";
+        let f = FileInfo::parse("t.rs", src);
+        assert!(f.is_allowed(2, "wall-clock"));
+        assert!(!f.is_allowed(2, "hash-iter"));
+        assert!(f.is_allowed(3, "wall-clock"));
+        assert!(f.is_allowed(3, "hash-iter"));
+        assert!(
+            f.is_allowed(4, "hash-iter"),
+            "trailing comment covers the next line too"
+        );
+        assert!(!f.is_allowed(5, "hash-iter"));
+    }
+}

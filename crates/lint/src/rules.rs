@@ -1,0 +1,473 @@
+//! The invariant rules.
+//!
+//! Each rule is a token-pattern pass over a [`FileInfo`] (or, for the
+//! panic-contract rule, over all files of one crate at once). Rules
+//! deliberately over-approximate: a false positive costs one
+//! `// lint:allow(<rule>)` comment, a false negative costs a flaky
+//! cross-validation test three PRs later.
+
+use crate::parse::{FileInfo, FnItem};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The rule that produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// R1 — iteration over `HashMap`/`HashSet` state in a
+    /// determinism-critical crate.
+    HashIter,
+    /// R2 — `Instant::now`/`SystemTime` outside the real-path modules.
+    WallClock,
+    /// R3 — a public `serve*`/`run*` entry point that never reaches an
+    /// `assert_nonempty_*` contract check.
+    PanicContract,
+    /// R4 — a `sink.record(..)` call not guarded by `S::ENABLED`.
+    TelemetryGuard,
+    /// R5 — unordered `f64` reduction over a hash-map iterator.
+    FloatReduce,
+    /// Crate-hygiene parity: `#![warn(missing_docs)]` + workspace
+    /// lints in every library crate.
+    DocsParity,
+}
+
+impl RuleId {
+    /// The name used in reports and in `lint:allow(...)` directives.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::HashIter => "hash-iter",
+            RuleId::WallClock => "wall-clock",
+            RuleId::PanicContract => "panic-contract",
+            RuleId::TelemetryGuard => "telemetry-guard",
+            RuleId::FloatReduce => "float-reduce",
+            RuleId::DocsParity => "docs-parity",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One rule violation at one source location.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// File the finding is in (repo-relative when produced by the
+    /// workspace driver).
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// The violated rule.
+    pub rule: RuleId,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Methods that turn a map into an (order-hazardous) iterator.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+fn push(out: &mut Vec<Finding>, f: &FileInfo, line: u32, rule: RuleId, message: String) {
+    if !f.is_allowed(line, rule.name()) {
+        out.push(Finding {
+            path: f.path.clone(),
+            line,
+            rule,
+            message,
+        });
+    }
+}
+
+/// R1 — flags iteration over identifiers declared with a
+/// `HashMap`/`HashSet` type: `map.iter()`-family calls and `for`-loop
+/// headers naming the map. Keyed access (`get`, `insert`, `remove`,
+/// `len`, ...) never trips.
+pub fn check_hash_iter(f: &FileInfo) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let toks = &f.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != crate::lexer::TokenKind::Ident || !f.hash_idents.contains(&t.text) {
+            continue;
+        }
+        // `map.iter()` / `map.drain()` / ...
+        if toks.get(i + 1).is_some_and(|n| n.is_punct('.')) {
+            if let Some(m) = toks.get(i + 2) {
+                if ITER_METHODS.contains(&m.text.as_str()) {
+                    push(
+                        &mut out,
+                        f,
+                        t.line,
+                        RuleId::HashIter,
+                        format!(
+                            "iteration over hash-ordered `{}` via `.{}()` — order is nondeterministic; use BTreeMap/BTreeSet or a sorted drain",
+                            t.text, m.text
+                        ),
+                    );
+                }
+            }
+            continue;
+        }
+        // `for pat in &map {` / `for pat in map {` — the map ident in a
+        // for-header not followed by `.` is an implicit IntoIterator.
+        if in_for_header(f, i) {
+            push(
+                &mut out,
+                f,
+                t.line,
+                RuleId::HashIter,
+                format!(
+                    "`for` loop over hash-ordered `{}` — order is nondeterministic; use BTreeMap/BTreeSet or a sorted drain",
+                    t.text
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// Is token `i` between a `for ... in` and the loop's opening brace?
+fn in_for_header(f: &FileInfo, i: usize) -> bool {
+    let toks = &f.tokens;
+    let mut saw_in = false;
+    let mut k = i;
+    // Walk back to the `for`, aborting at statement/block boundaries.
+    while k > 0 {
+        k -= 1;
+        let t = &toks[k];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            return false;
+        }
+        if t.is_ident("in") {
+            saw_in = true;
+        }
+        if t.is_ident("for") {
+            return saw_in;
+        }
+        if i - k > 24 {
+            return false;
+        }
+    }
+    false
+}
+
+/// R2 — flags `Instant::now(..)` and any use of `SystemTime` in
+/// virtual-time code. Holding an `Instant` value (e.g. a timestamp
+/// passed in from the real path) is fine; *reading the clock* is not.
+pub fn check_wall_clock(f: &FileInfo) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let toks = &f.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.is_ident("Instant")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|n| n.is_ident("now"))
+        {
+            push(
+                &mut out,
+                f,
+                t.line,
+                RuleId::WallClock,
+                "`Instant::now()` in virtual-time code — wall-clock reads are confined to the real path".to_string(),
+            );
+        }
+        if t.is_ident("SystemTime") {
+            push(
+                &mut out,
+                f,
+                t.line,
+                RuleId::WallClock,
+                "`SystemTime` in virtual-time code — wall-clock reads are confined to the real path".to_string(),
+            );
+        }
+    }
+    out
+}
+
+/// R4 — every `sink.record(..)` call site must sit inside an `if`
+/// whose condition mentions the `ENABLED` associated const, so
+/// `NoopSink` compiles tracing out entirely.
+pub fn check_telemetry_guard(f: &FileInfo) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let toks = &f.tokens;
+    for i in 0..toks.len() {
+        if !(toks[i].is_ident("sink")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('.'))
+            && toks.get(i + 2).is_some_and(|n| n.is_ident("record"))
+            && toks.get(i + 3).is_some_and(|n| n.is_punct('(')))
+        {
+            continue;
+        }
+        let guarded = f
+            .enclosing_blocks(i)
+            .any(|b| if_condition_mentions_enabled(f, b.open));
+        if !guarded {
+            push(
+                &mut out,
+                f,
+                toks[i].line,
+                RuleId::TelemetryGuard,
+                "`sink.record(..)` not guarded by `S::ENABLED` — NoopSink must compile tracing out"
+                    .to_string(),
+            );
+        }
+    }
+    out
+}
+
+/// Does the block opened at token `open` belong to an `if` whose
+/// condition tokens mention `ENABLED`?
+fn if_condition_mentions_enabled(f: &FileInfo, open: usize) -> bool {
+    let toks = &f.tokens;
+    let mut k = open;
+    let mut saw_enabled = false;
+    while k > 0 {
+        k -= 1;
+        let t = &toks[k];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            return false;
+        }
+        if t.is_ident("ENABLED") {
+            saw_enabled = true;
+        }
+        if t.is_ident("if") {
+            return saw_enabled;
+        }
+        if open - k > 48 {
+            return false;
+        }
+    }
+    false
+}
+
+/// R5 — flags `f64` reductions (`.sum()` / `.fold(..)`) chained onto a
+/// hash-map iterator: the accumulation order, and therefore the
+/// floating-point rounding, follows the hash order.
+pub fn check_float_reduce(f: &FileInfo) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let toks = &f.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != crate::lexer::TokenKind::Ident
+            || !f.hash_idents.contains(&t.text)
+            || !toks.get(i + 1).is_some_and(|n| n.is_punct('.'))
+            || !toks
+                .get(i + 2)
+                .is_some_and(|m| ITER_METHODS.contains(&m.text.as_str()))
+        {
+            continue;
+        }
+        // Scan the rest of the method chain for a reduction.
+        for j in i + 3..toks.len().min(i + 48) {
+            if toks[j].is_punct(';') || toks[j].is_punct('{') {
+                break;
+            }
+            if toks[j - 1].is_punct('.') && (toks[j].is_ident("sum") || toks[j].is_ident("fold")) {
+                push(
+                    &mut out,
+                    f,
+                    toks[j].line,
+                    RuleId::FloatReduce,
+                    format!(
+                        "float reduction `.{}` over hash-ordered `{}` — rounding follows hash order; collect and sort first",
+                        toks[j].text, t.text
+                    ),
+                );
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// R3 — crate-wide panic-contract coverage.
+///
+/// A function is *satisfied* when its body names an `assert_nonempty_*`
+/// check, directly or through a chain of same-crate calls (name-based
+/// call-graph fixpoint). Every bare-`pub` `serve*`/`run`/`run_*`
+/// function whose parameter list mentions `Query` or `Trace` must be
+/// satisfied.
+pub fn check_panic_contract(files: &[FileInfo]) -> Vec<Finding> {
+    // fn name -> satisfied, over-approximated across same-named items.
+    let mut satisfied: BTreeMap<&str, bool> = BTreeMap::new();
+    let mut bodies: Vec<(&FileInfo, &FnItem, BTreeSet<&str>)> = Vec::new();
+    for f in files {
+        for item in &f.fns {
+            let Some(body) = item.body else { continue };
+            let b = f.blocks[body];
+            let mut idents: BTreeSet<&str> = BTreeSet::new();
+            let mut direct = false;
+            for t in &f.tokens[b.open..=b.close.min(f.tokens.len() - 1)] {
+                if t.kind == crate::lexer::TokenKind::Ident {
+                    if t.text.starts_with("assert_nonempty_") {
+                        direct = true;
+                    }
+                    idents.insert(t.text.as_str());
+                }
+            }
+            let e = satisfied.entry(item.name.as_str()).or_insert(false);
+            *e = *e || direct;
+            bodies.push((f, item, idents));
+        }
+    }
+    // Propagate satisfaction through same-crate calls to a fixpoint.
+    loop {
+        let mut changed = false;
+        for (_, item, idents) in &bodies {
+            if satisfied[item.name.as_str()] {
+                continue;
+            }
+            let reaches = idents
+                .iter()
+                .any(|id| satisfied.get(id).copied().unwrap_or(false));
+            if reaches {
+                satisfied.insert(item.name.as_str(), true);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut out = Vec::new();
+    for (f, item, _) in &bodies {
+        if !is_entry_point(f, item) {
+            continue;
+        }
+        if !satisfied[item.name.as_str()] {
+            push(
+                &mut out,
+                f,
+                item.line,
+                RuleId::PanicContract,
+                format!(
+                    "public entry point `{}` never reaches an `assert_nonempty_*` contract check",
+                    item.name
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// Is this fn a panic-contract entry point: bare-`pub`, named
+/// `serve*`/`run`/`run_*`, and taking a `Query`/`Trace` parameter?
+fn is_entry_point(f: &FileInfo, item: &FnItem) -> bool {
+    if !item.is_pub {
+        return false;
+    }
+    let n = item.name.as_str();
+    if !(n.starts_with("serve") || n == "run" || n.starts_with("run_")) {
+        return false;
+    }
+    let (a, b) = item.params;
+    f.tokens[a..=b.min(f.tokens.len() - 1)]
+        .iter()
+        .any(|t| t.is_ident("Query") || t.is_ident("Trace"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::FileInfo;
+
+    fn info(src: &str) -> FileInfo {
+        FileInfo::parse("t.rs", src)
+    }
+
+    #[test]
+    fn hash_iter_trips_on_iteration_not_lookup() {
+        let f = info(
+            "fn f() { let mut m: HashMap<u64, u32> = HashMap::new(); \
+             m.insert(1, 2); let _ = m.get(&1); let _ = m.len(); \
+             for (k, v) in &m { use_it(k, v); } \
+             let _: Vec<_> = m.values().collect(); }",
+        );
+        let findings = check_hash_iter(&f);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+    }
+
+    #[test]
+    fn hash_iter_respects_allow() {
+        let f = info(
+            "fn f(m: &HashMap<u64, u32>) {\n\
+             // lint:allow(hash-iter)\n\
+             for k in m.keys() { use_it(k); }\n}",
+        );
+        assert!(check_hash_iter(&f).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_trips_on_now_not_type() {
+        let f = info("fn f(t: Instant) -> bool { let n = Instant::now(); n > t }");
+        let findings = check_wall_clock(&f);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, RuleId::WallClock);
+    }
+
+    #[test]
+    fn telemetry_guard_requires_enabled() {
+        let good = info("fn f() { if S::ENABLED { sink.record(&span); } }");
+        assert!(check_telemetry_guard(&good).is_empty());
+        let bad = info("fn f() { sink.record(&span); }");
+        assert_eq!(check_telemetry_guard(&bad).len(), 1);
+        let wrong_if = info("fn f() { if x > 0 { sink.record(&span); } }");
+        assert_eq!(check_telemetry_guard(&wrong_if).len(), 1);
+    }
+
+    #[test]
+    fn float_reduce_trips_on_sum_over_map() {
+        let f = info("fn f(m: &HashMap<u64, f64>) -> f64 { m.values().sum::<f64>() }");
+        // One float-reduce finding (plus hash-iter if that rule also
+        // ran — rules are independent).
+        assert_eq!(check_float_reduce(&f).len(), 1);
+    }
+
+    #[test]
+    fn panic_contract_fixpoint_through_helper() {
+        let direct = info("pub fn serve_queries(q: &[Query]) { assert_nonempty_queries(q); }");
+        assert!(check_panic_contract(&[direct]).is_empty());
+        let chained = info(
+            "pub fn serve_queries(q: &[Query]) { inner(q); } \
+             fn inner(q: &[Query]) { assert_nonempty_queries(q); }",
+        );
+        assert!(check_panic_contract(&[chained]).is_empty());
+        let missing = info("pub fn serve_queries(q: &[Query]) { just_go(q); }");
+        assert_eq!(check_panic_contract(&[missing]).len(), 1);
+    }
+
+    #[test]
+    fn panic_contract_ignores_non_entry_points() {
+        // No Query/Trace param, pub(crate), or non-matching name.
+        let f = info(
+            "pub fn run_generator(g: &mut QueryGenerator) { go(g); } \
+             pub(crate) fn serve_queries(q: &[Query]) { go(q); } \
+             pub fn helper(q: &[Query]) { go(q); }",
+        );
+        // `QueryGenerator` lexes as one ident, so the exact-ident
+        // `Query` param test does not match it.
+        assert!(check_panic_contract(&[f]).is_empty());
+    }
+}

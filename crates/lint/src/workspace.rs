@@ -1,0 +1,261 @@
+//! Workspace discovery and the full analysis driver.
+//!
+//! Walks `crates/*/src/**/*.rs` (vendored stand-ins under `vendor/`,
+//! integration tests, and the lint fixtures are outside that scope by
+//! construction), classifies each crate against the rule scopes, runs
+//! the rule passes, and renders the findings as text or JSON.
+
+use crate::parse::FileInfo;
+use crate::rules::{
+    check_float_reduce, check_hash_iter, check_panic_contract, check_telemetry_guard,
+    check_wall_clock, Finding, RuleId,
+};
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Crates whose serve/replay loops must be hash-order free (R1).
+const HASH_ITER_CRATES: &[&str] = &["drs-sim", "drs-server", "drs-core", "drs-shard"];
+/// Crates that legitimately read the wall clock (R2 exemption): the
+/// real execution engine and the benchmark harness.
+const WALL_CLOCK_EXEMPT: &[&str] = &["drs-engine", "drs-bench"];
+/// Crates whose public entry points carry the panic contract (R3).
+const PANIC_CONTRACT_CRATES: &[&str] = &["drs-sim", "drs-server", "drs-core"];
+/// Crates with `TraceSink` record sites that must be guarded (R4).
+const TELEMETRY_GUARD_CRATES: &[&str] = &["drs-sim", "drs-server", "drs-engine"];
+
+/// One workspace crate: its name and parsed sources.
+pub struct CrateSources {
+    /// Package name from `Cargo.toml`.
+    pub name: String,
+    /// Parsed `src/**/*.rs` files, in path order.
+    pub files: Vec<FileInfo>,
+    /// Raw `src/lib.rs` contents (for the docs-parity check), if the
+    /// crate is a library.
+    pub lib_rs: Option<(String, String)>,
+    /// Raw `Cargo.toml` contents and its repo-relative path.
+    pub manifest: (String, String),
+}
+
+/// The result of one full workspace analysis.
+pub struct Report {
+    /// All findings, sorted by path then line.
+    pub findings: Vec<Finding>,
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+    /// Names of the crates scanned, in order.
+    pub crates: Vec<String>,
+}
+
+/// Discovers and parses every crate under `<root>/crates/`.
+pub fn discover(root: &Path) -> std::io::Result<Vec<CrateSources>> {
+    let crates_dir = root.join("crates");
+    let mut dirs: BTreeSet<PathBuf> = BTreeSet::new();
+    for entry in fs::read_dir(&crates_dir)? {
+        let p = entry?.path();
+        if p.is_dir() && p.join("Cargo.toml").is_file() {
+            dirs.insert(p);
+        }
+    }
+    let mut out = Vec::new();
+    for dir in dirs {
+        let manifest_path = dir.join("Cargo.toml");
+        let manifest_src = fs::read_to_string(&manifest_path)?;
+        let name = package_name(&manifest_src)
+            .unwrap_or_else(|| dir.file_name().unwrap().to_string_lossy().into_owned());
+        let src_dir = dir.join("src");
+        let mut files = Vec::new();
+        let mut lib_rs = None;
+        if src_dir.is_dir() {
+            let mut paths: BTreeSet<PathBuf> = BTreeSet::new();
+            walk_rs(&src_dir, &mut paths)?;
+            for p in paths {
+                let src = fs::read_to_string(&p)?;
+                let rel = rel_to(root, &p);
+                if p.file_name().is_some_and(|f| f == "lib.rs")
+                    && p.parent() == Some(src_dir.as_path())
+                {
+                    lib_rs = Some((rel.clone(), src.clone()));
+                }
+                files.push(FileInfo::parse(&rel, &src));
+            }
+        }
+        out.push(CrateSources {
+            name,
+            files,
+            lib_rs,
+            manifest: (rel_to(root, &manifest_path), manifest_src),
+        });
+    }
+    Ok(out)
+}
+
+/// Runs every rule pass over the workspace rooted at `root`.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
+    let crates = discover(root)?;
+    let mut findings = Vec::new();
+    let mut files_scanned = 0;
+    for c in &crates {
+        files_scanned += c.files.len();
+        let hash_iter = HASH_ITER_CRATES.contains(&c.name.as_str());
+        let wall_clock = !WALL_CLOCK_EXEMPT.contains(&c.name.as_str());
+        let telemetry = TELEMETRY_GUARD_CRATES.contains(&c.name.as_str());
+        for f in &c.files {
+            if hash_iter {
+                findings.extend(check_hash_iter(f));
+            }
+            if wall_clock {
+                findings.extend(check_wall_clock(f));
+            }
+            if telemetry {
+                findings.extend(check_telemetry_guard(f));
+            }
+            findings.extend(check_float_reduce(f));
+        }
+        if PANIC_CONTRACT_CRATES.contains(&c.name.as_str()) {
+            findings.extend(check_panic_contract(&c.files));
+        }
+        findings.extend(check_docs_parity(c));
+    }
+    findings.sort();
+    Ok(Report {
+        findings,
+        files_scanned,
+        crates: crates.iter().map(|c| c.name.clone()).collect(),
+    })
+}
+
+/// Crate-hygiene parity: every library crate carries
+/// `#![warn(missing_docs)]` in its `lib.rs` and opts into the
+/// workspace lint table in its `Cargo.toml`.
+pub fn check_docs_parity(c: &CrateSources) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if let Some((path, src)) = &c.lib_rs {
+        if src.contains("lint:allow(docs-parity)") {
+            return out;
+        }
+        if !src.contains("#![warn(missing_docs)]") {
+            out.push(Finding {
+                path: path.clone(),
+                line: 1,
+                rule: RuleId::DocsParity,
+                message: format!("library crate `{}` lacks `#![warn(missing_docs)]`", c.name),
+            });
+        }
+        let (mpath, msrc) = &c.manifest;
+        if !(msrc.contains("[lints]") && msrc.contains("workspace = true")) {
+            out.push(Finding {
+                path: mpath.clone(),
+                line: 1,
+                rule: RuleId::DocsParity,
+                message: format!(
+                    "crate `{}` does not opt into `[lints] workspace = true`",
+                    c.name
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Renders the findings as a machine-readable JSON document.
+pub fn report_json(report: &Report) -> String {
+    let mut s = String::from("{\n  \"schema\": 1,\n  \"findings\": [\n");
+    for (i, f) in report.findings.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"path\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}{}\n",
+            json_string(&f.path),
+            f.line,
+            json_string(f.rule.name()),
+            json_string(&f.message),
+            if i + 1 < report.findings.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    s.push_str(&format!(
+        "  ],\n  \"count\": {},\n  \"files_scanned\": {}\n}}\n",
+        report.findings.len(),
+        report.files_scanned
+    ));
+    s
+}
+
+/// JSON-escapes and quotes a string.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Extracts `name = "..."` from a manifest's `[package]` table.
+fn package_name(manifest: &str) -> Option<String> {
+    for line in manifest.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(rest) = rest.strip_prefix('=') {
+                let rest = rest.trim();
+                if rest.len() >= 2 && rest.starts_with('"') {
+                    return rest[1..].split('"').next().map(str::to_string);
+                }
+            }
+        }
+        if line.starts_with('[') && line != "[package]" && !line.is_empty() {
+            // Left the [package] table without seeing a name.
+            if line.starts_with("[dependencies") || line.starts_with("[lints") {
+                break;
+            }
+        }
+    }
+    None
+}
+
+fn walk_rs(dir: &Path, out: &mut BTreeSet<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let p = entry?.path();
+        if p.is_dir() {
+            walk_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.insert(p);
+        }
+    }
+    Ok(())
+}
+
+fn rel_to(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root)
+        .unwrap_or(p)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn package_name_parses() {
+        let m = "[package]\nname = \"drs-sim\"\nversion.workspace = true\n";
+        assert_eq!(package_name(m).as_deref(), Some("drs-sim"));
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -1,0 +1,81 @@
+//! Per-rule fixture contract: every rule trips on its `*_trip.rs`
+//! fixture and stays silent on the allowlisted `*_allow.rs` twin.
+
+use drs_lint::parse::FileInfo;
+use drs_lint::rules::{
+    check_float_reduce, check_hash_iter, check_panic_contract, check_telemetry_guard,
+    check_wall_clock, Finding, RuleId,
+};
+
+fn fixture(name: &str) -> FileInfo {
+    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).expect("fixture readable");
+    FileInfo::parse(name, &src)
+}
+
+fn assert_all(findings: &[Finding], rule: RuleId) {
+    for f in findings {
+        assert_eq!(f.rule, rule, "unexpected rule in {f}");
+    }
+}
+
+#[test]
+fn r1_hash_iter_trips_and_allows() {
+    let trip = check_hash_iter(&fixture("r1_trip.rs"));
+    assert_eq!(trip.len(), 2, "{trip:?}");
+    assert_all(&trip, RuleId::HashIter);
+    let allow = check_hash_iter(&fixture("r1_allow.rs"));
+    assert!(allow.is_empty(), "{allow:?}");
+}
+
+#[test]
+fn r2_wall_clock_trips_and_allows() {
+    let trip = check_wall_clock(&fixture("r2_trip.rs"));
+    assert_eq!(trip.len(), 4, "{trip:?}");
+    assert_all(&trip, RuleId::WallClock);
+    assert!(
+        trip.iter().any(|f| f.message.contains("Instant::now")),
+        "the clock read itself must be flagged: {trip:?}"
+    );
+    let allow = check_wall_clock(&fixture("r2_allow.rs"));
+    assert!(allow.is_empty(), "{allow:?}");
+}
+
+#[test]
+fn r3_panic_contract_trips_and_allows() {
+    let trip = check_panic_contract(&[fixture("r3_trip.rs")]);
+    assert_eq!(trip.len(), 1, "{trip:?}");
+    assert_all(&trip, RuleId::PanicContract);
+    assert!(
+        trip[0].message.contains("serve_unchecked"),
+        "only the unchecked entry point trips: {trip:?}"
+    );
+    let allow = check_panic_contract(&[fixture("r3_allow.rs")]);
+    assert!(allow.is_empty(), "{allow:?}");
+}
+
+#[test]
+fn r4_telemetry_guard_trips_and_allows() {
+    let trip = check_telemetry_guard(&fixture("r4_trip.rs"));
+    assert_eq!(trip.len(), 2, "{trip:?}");
+    assert_all(&trip, RuleId::TelemetryGuard);
+    let allow = check_telemetry_guard(&fixture("r4_allow.rs"));
+    assert!(allow.is_empty(), "{allow:?}");
+}
+
+#[test]
+fn r5_float_reduce_trips_and_allows() {
+    let trip = check_float_reduce(&fixture("r5_trip.rs"));
+    assert_eq!(trip.len(), 2, "{trip:?}");
+    assert_all(&trip, RuleId::FloatReduce);
+    let allow = check_float_reduce(&fixture("r5_allow.rs"));
+    assert!(allow.is_empty(), "{allow:?}");
+}
+
+#[test]
+fn findings_render_with_path_line_and_rule() {
+    let trip = check_hash_iter(&fixture("r1_trip.rs"));
+    let rendered = trip[0].to_string();
+    assert!(rendered.starts_with("r1_trip.rs:"), "{rendered}");
+    assert!(rendered.contains("[hash-iter]"), "{rendered}");
+}

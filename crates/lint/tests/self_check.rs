@@ -1,0 +1,112 @@
+//! The analyzer against reality: the shipped workspace must be
+//! finding-free, and a deliberately seeded violation must fail the
+//! gate — the same property CI relies on.
+
+use drs_lint::rules::RuleId;
+use drs_lint::workspace::{analyze_workspace, report_json};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+/// The acceptance gate itself: `cargo run -p drs-lint -- --check`
+/// exits 0 on the workspace as shipped.
+#[test]
+fn shipped_workspace_is_finding_free() {
+    let report = analyze_workspace(&repo_root()).expect("workspace scan");
+    assert!(
+        report.findings.is_empty(),
+        "workspace must be finding-free, got:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.files_scanned > 50,
+        "the scan must actually cover the workspace, saw {} files",
+        report.files_scanned
+    );
+    assert!(report.crates.iter().any(|c| c == "drs-sim"));
+    assert!(report.crates.iter().any(|c| c == "drs-server"));
+}
+
+/// Seeding a `for`-over-`HashMap` into a determinism-critical crate
+/// must produce an unallowlisted finding (i.e. the CI gate fails).
+/// Runs against a scratch mini-workspace so the real sources stay
+/// untouched.
+#[test]
+fn seeded_violation_fails_the_gate() {
+    let root = std::env::temp_dir().join(format!("drs-lint-selfcheck-{}", std::process::id()));
+    let sim = root.join("crates").join("sim");
+    let _ = fs::remove_dir_all(&root);
+    fs::create_dir_all(sim.join("src")).expect("scratch workspace");
+    fs::write(
+        sim.join("Cargo.toml"),
+        "[package]\nname = \"drs-sim\"\nversion = \"0.0.0\"\n\n[lints]\nworkspace = true\n",
+    )
+    .expect("manifest");
+    fs::write(
+        sim.join("src").join("lib.rs"),
+        "#![warn(missing_docs)]\n//! Seeded violation.\n\
+         use std::collections::HashMap;\n\
+         fn replay(queries: &HashMap<u64, u32>) {\n\
+             for (id, q) in queries {\n        serve(id, q);\n    }\n}\n",
+    )
+    .expect("seeded source");
+
+    let report = analyze_workspace(&root).expect("scratch scan");
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == RuleId::HashIter && f.path.ends_with("lib.rs")),
+        "seeded for-over-HashMap must trip hash-iter, got {:?}",
+        report.findings
+    );
+
+    // The machine-readable report carries the same findings.
+    let json = report_json(&report);
+    assert!(json.contains("\"rule\": \"hash-iter\""), "{json}");
+    assert!(json.contains("\"schema\": 1"), "{json}");
+
+    fs::remove_dir_all(&root).expect("scratch cleanup");
+}
+
+/// A library crate missing `#![warn(missing_docs)]` or the workspace
+/// lint table trips the docs-parity check.
+#[test]
+fn docs_parity_gap_is_flagged() {
+    let root = std::env::temp_dir().join(format!("drs-lint-parity-{}", std::process::id()));
+    let bare = root.join("crates").join("bare");
+    let _ = fs::remove_dir_all(&root);
+    fs::create_dir_all(bare.join("src")).expect("scratch workspace");
+    fs::write(
+        bare.join("Cargo.toml"),
+        "[package]\nname = \"drs-bare\"\nversion = \"0.0.0\"\n",
+    )
+    .expect("manifest");
+    fs::write(
+        bare.join("src").join("lib.rs"),
+        "//! No lint opt-ins here.\n",
+    )
+    .expect("source");
+
+    let report = analyze_workspace(&root).expect("scratch scan");
+    let parity: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == RuleId::DocsParity)
+        .collect();
+    assert_eq!(
+        parity.len(),
+        2,
+        "missing attr AND missing lint table: {parity:?}"
+    );
+
+    fs::remove_dir_all(&root).expect("scratch cleanup");
+}

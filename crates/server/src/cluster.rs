@@ -38,7 +38,7 @@ use drs_telemetry::{NoopSink, TraceSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -783,7 +783,7 @@ impl Cluster {
                         .with_queue_bound(self.opts.batching.queue_bound),
                     pending: self.tenants.iter().map(|_| VecDeque::new()).collect(),
                     pending_total: 0,
-                    inflight: HashMap::new(),
+                    inflight: BTreeMap::new(),
                     gpu_heap: BinaryHeap::new(),
                 })
                 .collect(),
@@ -792,7 +792,8 @@ impl Cluster {
             next_req: 0,
             outstanding: 0,
             busy_service_ns: vec![0; setups.len()],
-            t0: Instant::now(),
+            // Real-path submitter: wall-clock anchors the pacing loop.
+            t0: Instant::now(), // lint:allow(wall-clock)
             scale: self.opts.time_scale,
             sink: &mut *sink,
         };
@@ -944,14 +945,15 @@ impl Cluster {
             engines,
             set,
             held: setups.iter().map(|_| VecDeque::new()).collect(),
-            tags: HashMap::new(),
-            joins: HashMap::new(),
+            tags: BTreeMap::new(),
+            joins: BTreeMap::new(),
             exchange_heap: BinaryHeap::new(),
             outputs: Vec::with_capacity(queries.len()),
             next_req: 0,
             outstanding: 0,
             busy_service_ns: vec![0; setups.len()],
-            t0: Instant::now(),
+            // Real-path submitter: wall-clock anchors the pacing loop.
+            t0: Instant::now(), // lint:allow(wall-clock)
             scale: self.opts.time_scale,
             sink: &mut *sink,
         };
@@ -1135,7 +1137,7 @@ struct RealNode {
     pending: Vec<VecDeque<(TimedBatch, Option<EngineRequest>)>>,
     pending_total: usize,
     /// Engine request id → (tenant, batch) for admitted requests.
-    inflight: HashMap<u64, (usize, TimedBatch)>,
+    inflight: BTreeMap<u64, (usize, TimedBatch)>,
     /// GPU completions on the virtual clock, earliest first.
     gpu_heap: BinaryHeap<Reverse<(SimTime, u64)>>,
 }
@@ -1381,8 +1383,8 @@ struct ShardedRealRuntime<'s, S: TraceSink> {
     /// flag marks a request whose refusal already counted a stall.
     held: Vec<VecDeque<(EngineRequest, bool)>>,
     /// Engine request id → what it computes.
-    tags: HashMap<u64, ShardTag>,
-    joins: HashMap<u64, ShardJoin>,
+    tags: BTreeMap<u64, ShardTag>,
+    joins: BTreeMap<u64, ShardJoin>,
     /// Exchanges waiting out the fabric on the virtual clock.
     exchange_heap: BinaryHeap<Reverse<(SimTime, u64)>>,
     /// `(query id, ctrs)` in completion order.

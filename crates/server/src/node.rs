@@ -44,7 +44,7 @@ use drs_platform::{CpuPlatform, GpuPlatform, ModelCost};
 use drs_query::Query;
 use drs_shard::ShardGeometry;
 use drs_telemetry::{QuerySpan, Stage, TraceSink, STAGE_COUNT};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// One node's hardware and worker allocation.
 #[derive(Debug, Clone, Copy)]
@@ -415,7 +415,7 @@ pub(crate) enum Credit {
 /// Stream-wide measurement shared by every node of a run.
 pub(crate) struct StreamStats {
     warmup_n: u64,
-    queries: HashMap<u64, QueryState>,
+    queries: BTreeMap<u64, QueryState>,
     latency: LatencyRecorder,
     settled: LatencyRecorder,
     latencies_ms: Vec<f64>,
@@ -445,7 +445,7 @@ impl StreamStats {
     pub fn new(num_queries: usize, warmup_frac: f64, tenants: usize) -> Self {
         StreamStats {
             warmup_n: (num_queries as f64 * warmup_frac) as u64,
-            queries: HashMap::new(),
+            queries: BTreeMap::new(),
             latency: LatencyRecorder::with_capacity(num_queries),
             settled: LatencyRecorder::new(),
             latencies_ms: Vec::new(),
@@ -956,7 +956,7 @@ struct VirtualNode {
     /// Batches queued across all lanes (the backpressure gauge).
     ready_total: usize,
     arbiter: DrrArbiter,
-    inflight: HashMap<(usize, u64), TimedBatch>,
+    inflight: BTreeMap<(usize, u64), TimedBatch>,
     busy: usize,
     workers: usize,
     cpu: CpuPlatform,
@@ -982,7 +982,7 @@ impl VirtualNode {
             ready: tenants.iter().map(|_| VecDeque::new()).collect(),
             ready_total: 0,
             arbiter: DrrArbiter::new(tenants),
-            inflight: HashMap::new(),
+            inflight: BTreeMap::new(),
             busy: 0,
             workers: setup.workers,
             cpu: setup.cpu,

@@ -21,7 +21,7 @@ use drs_telemetry::{NoopSink, TraceSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -430,11 +430,12 @@ impl Server {
             pending: self.tenants.iter().map(|_| VecDeque::new()).collect(),
             pending_total: 0,
             next_req: 0,
-            inflight: HashMap::new(),
+            inflight: BTreeMap::new(),
             gpu_heap: BinaryHeap::new(),
             outstanding: 0,
             busy_service_ns: 0,
-            t0: Instant::now(),
+            // Real-path submitter: wall-clock anchors the pacing loop.
+            t0: Instant::now(), // lint:allow(wall-clock)
             scale: self.opts.time_scale,
             sink: &mut *sink,
         };
@@ -576,7 +577,7 @@ struct RealRuntime<'s, S: TraceSink> {
     /// Engine request ids — globally unique across tenant lanes (batch
     /// ids are per-lane and collide).
     next_req: u64,
-    inflight: HashMap<u64, (usize, TimedBatch)>,
+    inflight: BTreeMap<u64, (usize, TimedBatch)>,
     /// GPU completions on the virtual clock, earliest first.
     gpu_heap: BinaryHeap<Reverse<(SimTime, u64)>>,
     outstanding: usize,

@@ -11,7 +11,7 @@ use drs_platform::{CpuPlatform, GpuPlatform, InterconnectModel, ModelCost};
 use drs_query::{split_query, QueryGenerator};
 use drs_shard::{ShardGeometry, ShardPlan};
 use drs_telemetry::{NoopSink, QuerySpan, Stage, TraceSink, STAGE_COUNT};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Length and measurement parameters of one simulation window.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -449,7 +449,7 @@ impl Simulation {
             .unwrap_or(0);
 
         let mut events: EventQueue<Ev> = EventQueue::new();
-        let mut queries: HashMap<u64, QueryState> = HashMap::new();
+        let mut queries: BTreeMap<u64, QueryState> = BTreeMap::new();
         for q in query_list.iter().copied() {
             assert!(
                 q.tenant.index() < self.tenants.len(),
@@ -722,7 +722,7 @@ impl Simulation {
         m: usize,
         now: SimTime,
         machines: &mut [MachineState],
-        queries: &mut HashMap<u64, QueryState>,
+        queries: &mut BTreeMap<u64, QueryState>,
         events: &mut EventQueue<Ev>,
     ) {
         let mach = &mut machines[m];
@@ -762,7 +762,7 @@ impl Simulation {
         m: usize,
         now: SimTime,
         machines: &mut [MachineState],
-        queries: &mut HashMap<u64, QueryState>,
+        queries: &mut BTreeMap<u64, QueryState>,
         events: &mut EventQueue<Ev>,
     ) {
         let mach = &mut machines[m];
@@ -787,7 +787,7 @@ impl Simulation {
     fn finish_part<S: TraceSink>(
         qid: u64,
         now: SimTime,
-        queries: &mut HashMap<u64, QueryState>,
+        queries: &mut BTreeMap<u64, QueryState>,
         events: &mut EventQueue<Ev>,
         latency: &mut LatencyRecorder,
         latencies_ms: &mut Vec<f64>,
@@ -831,7 +831,7 @@ impl Simulation {
     fn record_completion<S: TraceSink>(
         qid: u64,
         now: SimTime,
-        queries: &mut HashMap<u64, QueryState>,
+        queries: &mut BTreeMap<u64, QueryState>,
         latency: &mut LatencyRecorder,
         latencies_ms: &mut Vec<f64>,
         tenant_latency: &mut [LatencyRecorder],

@@ -3,6 +3,11 @@
 //! processes. Every benchmark comparison, paired A/B experiment, and
 //! figure regeneration in this repo rests on this property; if one of
 //! these tests fails, no perf number measured afterwards is trustworthy.
+//!
+//! Regression note (PR 8): `sim/runner.rs` swapped its in-flight
+//! `HashMap<u64, QueryState>` for a `BTreeMap` under `drs-lint`'s
+//! `hash-iter` rule; access is purely keyed, and the simulator's
+//! reports were verified byte-identical across the change.
 
 use deeprecsys::prelude::*;
 use deeprecsys::query::Trace;
