@@ -1,0 +1,92 @@
+//! Micro-benchmark: fleet-pulse overhead — the gate on the metrics
+//! layer's "free when off, cheap when on" contract.
+//!
+//! * `sample/*` measures the raw registry hot path: gauge writes plus
+//!   one snapshot per iteration (ns/sample is what `bench_report`
+//!   republishes as `metrics_ns_per_sample`).
+//! * `serve/*` runs the same virtual serving window unmetered and
+//!   metered with the no-op sink: the two must be indistinguishable,
+//!   because `NoopMetrics::ENABLED == false` compiles every record
+//!   site (gauge computation, tick bookkeeping) out of the
+//!   monomorphized loop. `pulsed` shows the real recording price.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use drs_core::SchedulerPolicy;
+use drs_metrics::MetricsRegistry;
+use drs_models::zoo;
+use drs_platform::{CpuPlatform, GpuPlatform};
+use drs_query::{ArrivalProcess, QueryGenerator, SizeDistribution};
+use drs_server::{Server, ServerOptions};
+use drs_telemetry::{MetricsSink, NoopMetrics, PulseRecorder};
+
+fn bench_sample(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics_sample");
+    const TICKS: usize = 1_024;
+    group.throughput(Throughput::Elements(TICKS as u64));
+    group.bench_function("registry", |b| {
+        b.iter(|| {
+            let mut reg = MetricsRegistry::new();
+            for t in 0..TICKS as u64 {
+                reg.set_gauge("queue_depth_n0", (t % 17) as f64);
+                reg.set_gauge("gpu_backlog_ns_n0", (t * 31) as f64);
+                reg.inc("completed_total", 1);
+                reg.observe("latency_ms", 1.0 + (t % 7) as f64);
+                reg.sample(t * 1_000_000);
+            }
+            reg.samples().len()
+        })
+    });
+    group.bench_function("noop_sink", |b| {
+        b.iter(|| {
+            let mut pulse = NoopMetrics;
+            for t in 0..TICKS as u64 {
+                pulse.gauge("queue_depth_n0", (t % 17) as f64);
+                pulse.inc("completed_total", 1);
+                pulse.observe("latency_ms", 1.0);
+                pulse.tick(t * 1_000_000);
+            }
+            pulse.interval_ns()
+        })
+    });
+    group.finish();
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let queries: Vec<_> = QueryGenerator::new(
+        ArrivalProcess::poisson(800.0),
+        SizeDistribution::production(),
+        7,
+    )
+    .take(2_000)
+    .collect();
+    let server = Server::new(
+        &zoo::dlrm_rmc1(),
+        CpuPlatform::skylake(),
+        Some(GpuPlatform::gtx_1080ti()),
+        ServerOptions::new(40, SchedulerPolicy::with_gpu(64, 128)),
+    );
+
+    let mut group = c.benchmark_group("metrics_serve");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    group.bench_function("unmetered", |b| {
+        b.iter(|| server.serve_virtual(&queries).completed)
+    });
+    group.bench_function("noop_pulsed", |b| {
+        b.iter(|| {
+            server
+                .serve_virtual_pulsed(&queries, &mut NoopMetrics)
+                .completed
+        })
+    });
+    group.bench_function("pulsed", |b| {
+        b.iter(|| {
+            let mut pulse = PulseRecorder::new(1_000_000);
+            server.serve_virtual_pulsed(&queries, &mut pulse).completed
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sample, bench_serve);
+criterion_main!(benches);

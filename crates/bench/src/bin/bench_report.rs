@@ -9,7 +9,8 @@
 //!   measure and append an entry;
 //! * `bench_report --check [--out PATH]` — parse every line of the
 //!   existing file and fail loudly if any entry is malformed (the CI
-//!   guard that keeps the history machine-readable).
+//!   guard that keeps the history machine-readable), warning when a
+//!   shared key drops more than 25% between consecutive entries.
 //!
 //! The JSON is hand-rolled and flat on purpose: no serde dependency,
 //! and `--check` carries its own parser so the format is pinned by
@@ -52,6 +53,22 @@ const SCHEMA2_KEYS: &[&str] = &[
 /// same history as the serving numbers. Required only when
 /// `schema >= 3`.
 const SCHEMA3_KEYS: &[&str] = &["lint_ms"];
+
+/// Keys added by schema 4 (the fleet-pulse metrics layer): the
+/// registry snapshot cost under a representative fleet key load, and
+/// the decision-log volume (retune decisions + DRR grants) of a
+/// pinned controller run — an integer that doubles as a determinism
+/// canary, since the virtual-clock run behind it is seed-exact.
+/// Required only when `schema >= 4`.
+const SCHEMA4_KEYS: &[&str] = &["metrics_ns_per_sample", "decision_log_events"];
+
+/// Fractional drop between consecutive entries of the same key that
+/// `--check` calls out. Wall-clock harnesses on a shared container are
+/// noisy (the pr8 `shard_gather_gbps` dip re-measured firmly inside
+/// the smoke-scale noise band), so a drop warns rather than fails —
+/// but it warns loudly enough that a real regression cannot slip into
+/// the history unremarked.
+const DROP_WARN_FRAC: f64 = 0.25;
 
 fn main() {
     let opts = drs_bench::parse_args();
@@ -97,15 +114,23 @@ fn main() {
     );
     let lint_ms = measure_lint_ms(&opts);
     println!("lint scan        : {lint_ms:.1} ms (full drs-lint workspace pass)");
+    let ns_per_sample = measure_metrics_ns_per_sample(&opts);
+    println!("metrics sample   : {ns_per_sample:.0} ns/sample (fleet-shaped registry snapshot)");
+    let decision_events = measure_decision_log_events(&opts);
+    println!(
+        "decision log     : {decision_events} events (retunes + DRR grants, pinned virtual run)"
+    );
 
     let entry = format!(
-        "{{\"schema\": 3, \"label\": {}, \"mode\": {}, \"engine_qps\": {engine_qps:.1}, \
+        "{{\"schema\": 4, \"label\": {}, \"mode\": {}, \"engine_qps\": {engine_qps:.1}, \
          \"router_routes_per_s\": {routes:.0}, \"shard_gather_gbps\": {gather:.3}, \
          \"telemetry_spans_per_s\": {spans_per_s:.0}, \
          \"telemetry_ns_per_span\": {ns_per_span:.1}, \
          \"stage_p50_queue_wait_ms\": {qw_p50:.4}, \
          \"stage_p50_engine_service_ms\": {es_p50:.4}, \
-         \"lint_ms\": {lint_ms:.2}}}",
+         \"lint_ms\": {lint_ms:.2}, \
+         \"metrics_ns_per_sample\": {ns_per_sample:.1}, \
+         \"decision_log_events\": {decision_events}}}",
         json_string(&label),
         json_string(opts.mode.label()),
     );
@@ -304,12 +329,71 @@ fn measure_lint_ms(opts: &drs_bench::ExpOptions) -> f64 {
     best
 }
 
+/// Registry snapshot cost under a fleet-shaped key load: the ~14
+/// gauge/counter/window series a two-node, two-lane deployment emits,
+/// refreshed and sampled once per tick — nanoseconds per `sample`
+/// call, the number `fig_fleet_pulse` pays at every virtual tick.
+fn measure_metrics_ns_per_sample(opts: &drs_bench::ExpOptions) -> f64 {
+    let ticks = opts.pick(20_000, 5_000, 1_000);
+    let mut reg = MetricsRegistry::new();
+    let start = Instant::now();
+    for t in 0..ticks {
+        for n in 0..2u32 {
+            reg.set_gauge(&format!("queue_depth_n{n}"), (t % 13) as f64);
+            reg.set_gauge(
+                &format!("gpu_backlog_ns_n{n}"),
+                ((t * 31) % 1_000_000) as f64,
+            );
+            for lane in 0..2u32 {
+                reg.set_gauge(&format!("max_batch_n{n}_t{lane}"), 64.0);
+                reg.set_gauge(&format!("drr_deficit_n{n}_t{lane}"), (t % 97) as f64);
+            }
+        }
+        reg.inc("completed_total", 3);
+        reg.observe("latency_ms", 4.0 + (t % 11) as f64);
+        reg.sample(t as u64 * 1_000_000);
+    }
+    let elapsed = start.elapsed().as_nanos() as f64;
+    std::hint::black_box(reg.samples().len());
+    elapsed / ticks as f64
+}
+
+/// Decision-log volume of a pinned controller run: a diurnal
+/// DLRM-RMC1 window on the virtual clock, counting retune decisions
+/// plus DRR grants. The run is seed-exact, so within one mode the
+/// count is an integer that only changes when serving or controller
+/// semantics change — a determinism canary riding in the perf history.
+fn measure_decision_log_events(opts: &drs_bench::ExpOptions) -> u64 {
+    let n = opts.pick(12_000, 4_000, 800);
+    let day_s = opts.pick(20.0, 8.0, 3.0);
+    let queries: Vec<_> = QueryGenerator::new(
+        ArrivalProcess::diurnal(300.0, 0.6, day_s),
+        SizeDistribution::production(),
+        23,
+    )
+    .take(n)
+    .collect();
+    let server = Server::new(
+        &zoo::dlrm_rmc1(),
+        CpuPlatform::skylake(),
+        Some(GpuPlatform::gtx_1080ti()),
+        ServerOptions::new(40, SchedulerPolicy::with_gpu(4, 192))
+            .with_controller(ControllerConfig::smoke()),
+    );
+    let mut pulse = PulseRecorder::new(((day_s * 1e9) / 240.0) as u64);
+    let report = server.serve_virtual_pulsed(&queries, &mut pulse);
+    std::hint::black_box(report.completed);
+    pulse.decisions().len() as u64 + pulse.drr_rounds().len() as u64
+}
+
 /// `--check`: every line of the history must parse as a flat JSON
 /// object carrying the required keys with numeric measurements.
 fn check(path: &str) {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read {path}: {e} (run bench_report to create it)"));
     let mut entries = 0usize;
+    let mut prev: Option<(String, Vec<(String, JsonVal)>)> = None;
+    let mut drops = 0usize;
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
@@ -324,7 +408,8 @@ fn check(path: &str) {
         let required = REQUIRED_KEYS
             .iter()
             .chain(if schema >= 2.0 { SCHEMA2_KEYS } else { &[] })
-            .chain(if schema >= 3.0 { SCHEMA3_KEYS } else { &[] });
+            .chain(if schema >= 3.0 { SCHEMA3_KEYS } else { &[] })
+            .chain(if schema >= 4.0 { SCHEMA4_KEYS } else { &[] });
         for key in required {
             let val = obj
                 .iter()
@@ -348,10 +433,54 @@ fn check(path: &str) {
                 }
             }
         }
+        let label = match obj.iter().find(|(k, _)| k == "label") {
+            Some((_, JsonVal::Str(s))) => s.clone(),
+            _ => format!("line {}", lineno + 1),
+        };
+        if let Some((prev_label, prev_obj)) = &prev {
+            drops += warn_drops(path, lineno + 1, prev_label, prev_obj, &label, &obj);
+        }
+        prev = Some((label, obj));
         entries += 1;
     }
     assert!(entries > 0, "{path} holds no entries");
+    if drops > 0 {
+        println!("{path}: {drops} key(s) dropped >{:.0}% between consecutive entries (warnings above, not failures — wall-clock harnesses are noisy; re-measure before trusting a single dip)", DROP_WARN_FRAC * 100.0);
+    }
     println!("{path}: {entries} entries, all parseable");
+}
+
+/// Warns (to stderr) for every numeric key both entries carry whose
+/// value fell by more than [`DROP_WARN_FRAC`], and returns how many
+/// warnings fired. `schema` is structural, not a measurement, and is
+/// skipped.
+fn warn_drops(
+    path: &str,
+    lineno: usize,
+    prev_label: &str,
+    prev: &[(String, JsonVal)],
+    label: &str,
+    cur: &[(String, JsonVal)],
+) -> usize {
+    let mut n = 0;
+    for (key, val) in cur {
+        if key == "schema" {
+            continue;
+        }
+        let (JsonVal::Num(now), Some(JsonVal::Num(before))) =
+            (val, prev.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+        else {
+            continue;
+        };
+        if *before > 0.0 && *now < *before * (1.0 - DROP_WARN_FRAC) {
+            eprintln!(
+                "{path}:{lineno}: warning: {key} dropped {:.0}% ({before} at {prev_label:?} -> {now} at {label:?})",
+                100.0 * (1.0 - now / before)
+            );
+            n += 1;
+        }
+    }
+    n
 }
 
 /// A leaf value in a flat benchmark entry.

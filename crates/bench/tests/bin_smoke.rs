@@ -60,6 +60,7 @@ fn real_mode_smokes() {
             env!("CARGO_BIN_EXE_fig_sharded_capacity"),
         ),
         ("fig_tail_anatomy", env!("CARGO_BIN_EXE_fig_tail_anatomy")),
+        ("fig_fleet_pulse", env!("CARGO_BIN_EXE_fig_fleet_pulse")),
     ] {
         let out = Command::new(exe)
             .args(["--smoke", "--seed", "1", "--real"])
@@ -141,6 +142,7 @@ bin_smoke_tests! {
     fig13_production => "fig13_production",
     fig13_online_tuning => "fig13_online_tuning",
     fig14_gpu_tradeoff => "fig14_gpu_tradeoff",
+    fig_fleet_pulse => "fig_fleet_pulse",
     fig_multitenant => "fig_multitenant",
     fig_sharded_capacity => "fig_sharded_capacity",
     fig_tail_anatomy => "fig_tail_anatomy",

@@ -60,7 +60,9 @@ pub mod prelude {
         RoutingPolicy, ServingStack, TenantBreakdown, TenantSpec,
     };
     pub use drs_engine::{serve_closed_loop, InferenceEngine, ServeOptions};
-    pub use drs_metrics::{geomean, LatencyRecorder, LatencySummary};
+    pub use drs_metrics::{
+        geomean, parse_prometheus, LatencyRecorder, LatencySummary, MetricsRegistry,
+    };
     pub use drs_models::{zoo, ModelConfig, ModelScale, RecModel};
     pub use drs_nn::{OpKind, OpProfiler, ShardedEmbeddingSet};
     pub use drs_platform::{CpuPlatform, GpuPlatform, InterconnectModel, ModelCost};
@@ -75,7 +77,8 @@ pub mod prelude {
     pub use drs_shard::{PlacementError, PlacementPolicy, ShardPlan};
     pub use drs_sim::{RunOptions, SchedulerPolicy, SimReport, Simulation};
     pub use drs_telemetry::{
-        parse_chrome_trace, to_chrome_trace, NoopSink, QuerySpan, RingRecorder, Stage,
+        parse_chrome_trace, to_chrome_trace, ControlDecision, DrrRound, MetricsSink, NoopMetrics,
+        NoopSink, PulseRecorder, PulseSummary, QuerySpan, RetuneTrigger, RingRecorder, Stage,
         StageBreakdown, StageStats, TraceSink,
     };
 }

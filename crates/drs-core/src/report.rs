@@ -88,6 +88,9 @@ pub struct SimReport {
     /// Per-stage latency attribution from the run's trace sink —
     /// `Some` only when the run was traced through a recording sink.
     pub stage_breakdown: Option<drs_telemetry::StageBreakdown>,
+    /// Fleet-pulse totals from the run's metrics sink — `Some` only
+    /// when the run was metered through a recording pulse.
+    pub pulse: Option<drs_telemetry::PulseSummary>,
 }
 
 impl SimReport {
@@ -127,6 +130,7 @@ mod tests {
             latencies_ms: Vec::new(),
             tenant_breakdowns: Vec::new(),
             stage_breakdown: None,
+            pulse: None,
         }
     }
 

@@ -52,6 +52,13 @@ pub trait ReportView {
         None
     }
 
+    /// Fleet-pulse totals (samples, decisions, DRR grants, peak queue
+    /// depth), when the run was metered through a recording pulse.
+    /// `None` for unmetered runs.
+    fn pulse_summary(&self) -> Option<&drs_telemetry::PulseSummary> {
+        None
+    }
+
     /// Whether the window met a p95 SLA target, requiring a minimally
     /// meaningful sample — the contract shared by every report
     /// (see [`crate::met_sla`] and [`crate::MIN_SLA_SAMPLES`]).
@@ -76,6 +83,7 @@ pub trait ReportView {
             latencies_ms: self.latencies_ms().to_vec(),
             tenant_breakdowns: self.tenant_breakdowns().to_vec(),
             stage_breakdown: self.stage_breakdown().cloned(),
+            pulse: self.pulse_summary().cloned(),
         }
     }
 }
@@ -119,6 +127,9 @@ impl ReportView for SimReport {
     }
     fn stage_breakdown(&self) -> Option<&drs_telemetry::StageBreakdown> {
         self.stage_breakdown.as_ref()
+    }
+    fn pulse_summary(&self) -> Option<&drs_telemetry::PulseSummary> {
+        self.pulse.as_ref()
     }
     fn to_common(&self) -> SimReport {
         self.clone()
@@ -248,6 +259,7 @@ mod tests {
             latencies_ms: vec![1.0, 2.0],
             tenant_breakdowns: Vec::new(),
             stage_breakdown: None,
+            pulse: None,
         }
     }
 

@@ -4,6 +4,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use drs_models::{BatchInputs, RecModel};
 use drs_nn::{OpKind, OpProfiler, ShardPartial, ShardedEmbeddingSet};
 use drs_tensor::Matrix;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -135,6 +136,9 @@ pub struct InferenceEngine {
     rx_requests: Receiver<EngineRequest>,
     rx_done: Receiver<EngineCompletion>,
     queue_bound: Option<usize>,
+    /// High-water mark of the request queue, updated at each submit —
+    /// the fleet-pulse `engine_peak_depth` gauge.
+    peak_depth: AtomicUsize,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -256,6 +260,7 @@ impl InferenceEngine {
             rx_requests: rx,
             rx_done,
             queue_bound: None,
+            peak_depth: AtomicUsize::new(0),
             workers: handles,
         }
     }
@@ -285,6 +290,8 @@ impl InferenceEngine {
             .expect("engine is running")
             .send(request)
             .expect("workers alive");
+        self.peak_depth
+            .fetch_max(self.queue_depth(), Ordering::Relaxed);
     }
 
     /// Bounded submit: enqueues the request unless the pending-request
@@ -314,6 +321,14 @@ impl InferenceEngine {
     /// The configured request-queue bound, if any.
     pub fn queue_bound(&self) -> Option<usize> {
         self.queue_bound
+    }
+
+    /// The deepest the request queue has been since the engine
+    /// started, measured just after each submit. A racing worker can
+    /// dequeue before the measurement, so the mark is a lower bound on
+    /// the true instantaneous peak — fine for a trend gauge.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.peak_depth.load(Ordering::Relaxed)
     }
 
     /// Non-blocking completion drain: returns a finished request if one

@@ -1,0 +1,14 @@
+//! R6 allowlisted twin — the unguarded pulse record sites from
+//! `r6_trip.rs` silenced with `lint:allow(metrics-guard)`; must
+//! produce zero findings.
+
+fn sample_bare<M: MetricsSink>(pulse: &mut M, depth: usize) {
+    pulse.gauge("queue_depth_n0", depth as f64); // lint:allow(metrics-guard)
+}
+
+fn tick_wrong_guard<M: MetricsSink>(pulse: &mut M, due: bool, t: u64) {
+    if due {
+        // lint:allow(metrics-guard)
+        pulse.tick(t);
+    }
+}

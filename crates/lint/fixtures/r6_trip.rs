@@ -1,0 +1,33 @@
+//! R6 fixture — must trip `metrics-guard` twice: the bare gauge write
+//! and the tick behind an unrelated `if`. The `M::ENABLED`-guarded
+//! sites must stay silent, as must the read-only accessor.
+
+fn sample_bare<M: MetricsSink>(pulse: &mut M, depth: usize) {
+    pulse.gauge("queue_depth_n0", depth as f64);
+}
+
+fn tick_wrong_guard<M: MetricsSink>(pulse: &mut M, due: bool, t: u64) {
+    if due {
+        pulse.tick(t);
+    }
+}
+
+fn sample_guarded<M: MetricsSink>(pulse: &mut M, depth: usize, t: u64) {
+    if M::ENABLED {
+        pulse.gauge("queue_depth_n0", depth as f64);
+        pulse.tick(t);
+    }
+}
+
+fn drain_guarded<M: MetricsSink>(pulse: &mut M, next: &mut u64, head: u64, step: u64) {
+    if M::ENABLED {
+        while *next <= head {
+            pulse.tick(*next);
+            *next += step;
+        }
+    }
+}
+
+fn accessor_unguarded<M: MetricsSink>(pulse: &M) -> u64 {
+    pulse.interval_ns().max(1)
+}

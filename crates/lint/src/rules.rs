@@ -25,6 +25,9 @@ pub enum RuleId {
     TelemetryGuard,
     /// R5 — unordered `f64` reduction over a hash-map iterator.
     FloatReduce,
+    /// R6 — a `pulse.<record>(..)` metrics call not guarded by
+    /// `M::ENABLED`.
+    MetricsGuard,
     /// Crate-hygiene parity: `#![warn(missing_docs)]` + workspace
     /// lints in every library crate.
     DocsParity,
@@ -39,6 +42,7 @@ impl RuleId {
             RuleId::PanicContract => "panic-contract",
             RuleId::TelemetryGuard => "telemetry-guard",
             RuleId::FloatReduce => "float-reduce",
+            RuleId::MetricsGuard => "metrics-guard",
             RuleId::DocsParity => "docs-parity",
         }
     }
@@ -262,6 +266,55 @@ fn if_condition_mentions_enabled(f: &FileInfo, open: usize) -> bool {
     false
 }
 
+/// `MetricsSink` methods that record (receiver convention: `pulse`).
+/// `interval_ns`/`summary` are read-only accessors and exempt.
+const PULSE_RECORD_METHODS: &[&str] = &[
+    "set_epoch",
+    "tick",
+    "gauge",
+    "inc",
+    "observe",
+    "decision",
+    "drr_round",
+];
+
+/// R6 — every `pulse.<record>(..)` metrics call site must sit inside
+/// an `if` whose condition mentions the `ENABLED` associated const, so
+/// `NoopMetrics` compiles the fleet-pulse instrumentation out (the
+/// mirror of R4 for the metrics layer; the `pulse` receiver convention
+/// keeps the two rules from colliding).
+pub fn check_metrics_guard(f: &FileInfo) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let toks = &f.tokens;
+    for i in 0..toks.len() {
+        if !(toks[i].is_ident("pulse")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('.'))
+            && toks
+                .get(i + 2)
+                .is_some_and(|m| PULSE_RECORD_METHODS.contains(&m.text.as_str()))
+            && toks.get(i + 3).is_some_and(|n| n.is_punct('(')))
+        {
+            continue;
+        }
+        let guarded = f
+            .enclosing_blocks(i)
+            .any(|b| if_condition_mentions_enabled(f, b.open));
+        if !guarded {
+            push(
+                &mut out,
+                f,
+                toks[i].line,
+                RuleId::MetricsGuard,
+                format!(
+                    "`pulse.{}(..)` not guarded by `M::ENABLED` — NoopMetrics must compile the fleet pulse out",
+                    toks[i + 2].text
+                ),
+            );
+        }
+    }
+    out
+}
+
 /// R5 — flags `f64` reductions (`.sum()` / `.fold(..)`) chained onto a
 /// hash-map iterator: the accumulation order, and therefore the
 /// floating-point rounding, follows the hash order.
@@ -435,6 +488,21 @@ mod tests {
         assert_eq!(check_telemetry_guard(&bad).len(), 1);
         let wrong_if = info("fn f() { if x > 0 { sink.record(&span); } }");
         assert_eq!(check_telemetry_guard(&wrong_if).len(), 1);
+    }
+
+    #[test]
+    fn metrics_guard_requires_enabled() {
+        let good = info("fn f() { if M::ENABLED { pulse.gauge(\"queue_depth_n0\", d); } }");
+        assert!(check_metrics_guard(&good).is_empty());
+        let self_recv = info("fn f(&mut self) { if M::ENABLED { self.pulse.tick(t); } }");
+        assert!(check_metrics_guard(&self_recv).is_empty());
+        let bad = info("fn f() { pulse.inc(\"completed_total\", 1); }");
+        assert_eq!(check_metrics_guard(&bad).len(), 1);
+        let wrong_if = info("fn f() { if hot { pulse.observe(\"latency_ms\", v); } }");
+        assert_eq!(check_metrics_guard(&wrong_if).len(), 1);
+        // Read-only accessors need no guard (they feed the guard).
+        let accessor = info("fn f() { let t = pulse.interval_ns().max(1); }");
+        assert!(check_metrics_guard(&accessor).is_empty());
     }
 
     #[test]

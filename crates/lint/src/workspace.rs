@@ -7,8 +7,8 @@
 
 use crate::parse::FileInfo;
 use crate::rules::{
-    check_float_reduce, check_hash_iter, check_panic_contract, check_telemetry_guard,
-    check_wall_clock, Finding, RuleId,
+    check_float_reduce, check_hash_iter, check_metrics_guard, check_panic_contract,
+    check_telemetry_guard, check_wall_clock, Finding, RuleId,
 };
 use std::collections::BTreeSet;
 use std::fs;
@@ -23,6 +23,8 @@ const WALL_CLOCK_EXEMPT: &[&str] = &["drs-engine", "drs-bench"];
 const PANIC_CONTRACT_CRATES: &[&str] = &["drs-sim", "drs-server", "drs-core"];
 /// Crates with `TraceSink` record sites that must be guarded (R4).
 const TELEMETRY_GUARD_CRATES: &[&str] = &["drs-sim", "drs-server", "drs-engine"];
+/// Crates with `MetricsSink` record sites that must be guarded (R6).
+const METRICS_GUARD_CRATES: &[&str] = &["drs-sim", "drs-server", "drs-engine"];
 
 /// One workspace crate: its name and parsed sources.
 pub struct CrateSources {
@@ -100,6 +102,7 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
         let hash_iter = HASH_ITER_CRATES.contains(&c.name.as_str());
         let wall_clock = !WALL_CLOCK_EXEMPT.contains(&c.name.as_str());
         let telemetry = TELEMETRY_GUARD_CRATES.contains(&c.name.as_str());
+        let metrics = METRICS_GUARD_CRATES.contains(&c.name.as_str());
         for f in &c.files {
             if hash_iter {
                 findings.extend(check_hash_iter(f));
@@ -109,6 +112,9 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
             }
             if telemetry {
                 findings.extend(check_telemetry_guard(f));
+            }
+            if metrics {
+                findings.extend(check_metrics_guard(f));
             }
             findings.extend(check_float_reduce(f));
         }

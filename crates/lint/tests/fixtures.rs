@@ -3,8 +3,8 @@
 
 use drs_lint::parse::FileInfo;
 use drs_lint::rules::{
-    check_float_reduce, check_hash_iter, check_panic_contract, check_telemetry_guard,
-    check_wall_clock, Finding, RuleId,
+    check_float_reduce, check_hash_iter, check_metrics_guard, check_panic_contract,
+    check_telemetry_guard, check_wall_clock, Finding, RuleId,
 };
 
 fn fixture(name: &str) -> FileInfo {
@@ -69,6 +69,19 @@ fn r5_float_reduce_trips_and_allows() {
     assert_eq!(trip.len(), 2, "{trip:?}");
     assert_all(&trip, RuleId::FloatReduce);
     let allow = check_float_reduce(&fixture("r5_allow.rs"));
+    assert!(allow.is_empty(), "{allow:?}");
+}
+
+#[test]
+fn r6_metrics_guard_trips_and_allows() {
+    let trip = check_metrics_guard(&fixture("r6_trip.rs"));
+    assert_eq!(trip.len(), 2, "{trip:?}");
+    assert_all(&trip, RuleId::MetricsGuard);
+    assert!(
+        trip.iter().all(|f| f.message.contains("pulse.")),
+        "findings must name the record call: {trip:?}"
+    );
+    let allow = check_metrics_guard(&fixture("r6_allow.rs"));
     assert!(allow.is_empty(), "{allow:?}");
 }
 

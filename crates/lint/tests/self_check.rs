@@ -77,6 +77,41 @@ fn seeded_violation_fails_the_gate() {
     fs::remove_dir_all(&root).expect("scratch cleanup");
 }
 
+/// An unguarded `pulse.<record>(..)` seeded into a metrics-guard
+/// crate must fail the gate — NoopMetrics only compiles the fleet
+/// pulse out when every record site sits behind `M::ENABLED`.
+#[test]
+fn seeded_pulse_violation_fails_the_gate() {
+    let root = std::env::temp_dir().join(format!("drs-lint-pulse-{}", std::process::id()));
+    let server = root.join("crates").join("server");
+    let _ = fs::remove_dir_all(&root);
+    fs::create_dir_all(server.join("src")).expect("scratch workspace");
+    fs::write(
+        server.join("Cargo.toml"),
+        "[package]\nname = \"drs-server\"\nversion = \"0.0.0\"\n\n[lints]\nworkspace = true\n",
+    )
+    .expect("manifest");
+    fs::write(
+        server.join("src").join("lib.rs"),
+        "#![warn(missing_docs)]\n//! Seeded violation.\n\
+         fn sample<M: MetricsSink>(pulse: &mut M, depth: usize) {\n\
+             pulse.gauge(\"queue_depth_n0\", depth as f64);\n}\n",
+    )
+    .expect("seeded source");
+
+    let report = analyze_workspace(&root).expect("scratch scan");
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == RuleId::MetricsGuard && f.path.ends_with("lib.rs")),
+        "seeded unguarded pulse.gauge must trip metrics-guard, got {:?}",
+        report.findings
+    );
+
+    fs::remove_dir_all(&root).expect("scratch cleanup");
+}
+
 /// A library crate missing `#![warn(missing_docs)]` or the workspace
 /// lint table trips the docs-parity check.
 #[test]

@@ -14,7 +14,11 @@
 //! * [`Histogram`] — log-bucketed latency histograms for distribution
 //!   comparisons (used by the Figure 7 subsampling experiment),
 //! * [`ThroughputMeter`] and [`EnergyMeter`] — QPS and QPS/Watt
-//!   accounting.
+//!   accounting,
+//! * [`MetricsRegistry`] — the fleet-pulse time-series registry
+//!   (counters, gauges, windowed P² histograms) sampled on the virtual
+//!   clock, with byte-deterministic JSONL and Prometheus exporters and
+//!   an in-repo [`parse_prometheus`] proving the exposition lossless.
 //!
 //! # Examples
 //!
@@ -37,6 +41,7 @@ mod energy;
 mod histogram;
 mod p2;
 mod percentile;
+mod registry;
 mod streaming;
 mod throughput;
 
@@ -44,6 +49,9 @@ pub use energy::EnergyMeter;
 pub use histogram::Histogram;
 pub use p2::P2Quantile;
 pub use percentile::{percentile_of_sorted, LatencyRecorder, LatencySummary};
+pub use registry::{
+    parse_prometheus, MetricKind, MetricSample, MetricsRegistry, PromExposition, PromFamily,
+};
 pub use streaming::StreamingLatency;
 pub use throughput::ThroughputMeter;
 

@@ -34,7 +34,7 @@ use drs_nn::{ShardPartial, ShardedEmbeddingSet};
 use drs_platform::{InterconnectModel, ModelCost};
 use drs_query::{Query, Trace, MAX_QUERY_SIZE};
 use drs_shard::{ShardGeometry, ShardPlan};
-use drs_telemetry::{NoopSink, TraceSink};
+use drs_telemetry::{MetricsSink, NoopMetrics, NoopSink, TraceSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -633,6 +633,31 @@ impl Cluster {
         queries: &[Query],
         sink: &mut S,
     ) -> ServerReport {
+        self.serve_virtual_inner(queries, sink, &mut NoopMetrics)
+    }
+
+    /// [`Cluster::serve_virtual`] with fleet-pulse metrics: per-node
+    /// queue depths, device backlogs, and control knobs are sampled
+    /// into `pulse` on the virtual clock, alongside every controller
+    /// retune decision and DRR arbiter grant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries` is empty.
+    pub fn serve_virtual_pulsed<M: MetricsSink>(
+        &self,
+        queries: &[Query],
+        pulse: &mut M,
+    ) -> ServerReport {
+        self.serve_virtual_inner(queries, &mut NoopSink, pulse)
+    }
+
+    fn serve_virtual_inner<S: TraceSink, M: MetricsSink>(
+        &self,
+        queries: &[Query],
+        sink: &mut S,
+        pulse: &mut M,
+    ) -> ServerReport {
         node::serve_virtual_multi(
             &self.costs,
             &self.tenants,
@@ -642,6 +667,7 @@ impl Cluster {
             self.shard_geometry().as_ref(),
             queries,
             sink,
+            pulse,
         )
     }
 
@@ -708,9 +734,33 @@ impl Cluster {
         sink: &mut S,
     ) -> ServerReport {
         if self.shard.is_some() {
-            self.serve_real_sharded(model, queries, sink).0
+            self.serve_real_sharded(model, queries, sink, &mut NoopMetrics)
+                .0
         } else {
             self.serve_real_multi_traced(vec![model], queries, sink)
+        }
+    }
+
+    /// [`Cluster::serve_real`] with fleet-pulse metrics into `pulse`
+    /// (see [`Cluster::serve_virtual_pulsed`]): per-node gauges tick on
+    /// the model-time clock anchored at the first arrival, so an
+    /// offload-all run reproduces the virtual path's sampled series
+    /// bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Cluster::serve_real`] does.
+    pub fn serve_real_pulsed<M: MetricsSink>(
+        &self,
+        model: Arc<RecModel>,
+        queries: &[Query],
+        pulse: &mut M,
+    ) -> ServerReport {
+        if self.shard.is_some() {
+            self.serve_real_sharded(model, queries, &mut NoopSink, pulse)
+                .0
+        } else {
+            self.serve_real_multi_inner(vec![model], queries, &mut NoopSink, pulse)
         }
     }
 
@@ -731,7 +781,7 @@ impl Cluster {
             self.shard.is_some(),
             "per-query outputs come from the sharded real path"
         );
-        self.serve_real_sharded(model, queries, &mut NoopSink)
+        self.serve_real_sharded(model, queries, &mut NoopSink, &mut NoopMetrics)
     }
 
     /// The multi-tenant real path: every node runs one shared
@@ -761,6 +811,31 @@ impl Cluster {
         queries: &[Query],
         sink: &mut S,
     ) -> ServerReport {
+        self.serve_real_multi_inner(models, queries, sink, &mut NoopMetrics)
+    }
+
+    /// [`Cluster::serve_real_multi`] with fleet-pulse metrics into
+    /// `pulse` (see [`Cluster::serve_real_pulsed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Cluster::serve_real_multi`] does.
+    pub fn serve_real_multi_pulsed<M: MetricsSink>(
+        &self,
+        models: Vec<Arc<RecModel>>,
+        queries: &[Query],
+        pulse: &mut M,
+    ) -> ServerReport {
+        self.serve_real_multi_inner(models, queries, &mut NoopSink, pulse)
+    }
+
+    fn serve_real_multi_inner<S: TraceSink, M: MetricsSink>(
+        &self,
+        models: Vec<Arc<RecModel>>,
+        queries: &[Query],
+        sink: &mut S,
+        pulse: &mut M,
+    ) -> ServerReport {
         assert_nonempty_queries(queries);
         assert!(self.shard.is_none(), "sharded serving is single-tenant");
         assert_eq!(
@@ -771,6 +846,10 @@ impl Cluster {
             self.tenants.len()
         );
         let setups = self.setups();
+        // The pulse clock anchors at model-time 0 (the first arrival),
+        // matching the virtual path's epoch rebasing — see
+        // `Server::serve_real_multi`'s runtime for the contract.
+        let pulse_tick_ns = pulse.interval_ns().max(1);
         let mut rt = ClusterRealRuntime {
             stats: StreamStats::new(queries.len(), self.opts.warmup_frac, self.tenants.len()),
             router: self.router(),
@@ -796,6 +875,9 @@ impl Cluster {
             t0: Instant::now(), // lint:allow(wall-clock)
             scale: self.opts.time_scale,
             sink: &mut *sink,
+            pulse: &mut *pulse,
+            tick_ns: pulse_tick_ns,
+            next_tick: pulse_tick_ns,
         };
         // Integer-ns arrival shift: the paced clock is exactly the
         // virtual clock minus a constant (see `Server::serve_real_multi`).
@@ -830,7 +912,9 @@ impl Cluster {
             }
             // Dispatch on the scheduled arrival clock: routing gauges,
             // GPU FIFOs, and coalesce windows see `due`, not the
-            // submitter's overshoot.
+            // submitter's overshoot. Pulse ticks due at or before the
+            // arrival fire first, as in the virtual event loop.
+            rt.drain_ticks(due);
             rt.outstanding += 1;
             let NodeId(n) = rt.router.route(q.tenant, q.size);
             let measured = rt.stats.note_arrival(due, q, n);
@@ -900,6 +984,9 @@ impl Cluster {
         if S::ENABLED {
             report.stage_breakdown = sink.breakdown();
         }
+        if M::ENABLED {
+            report.pulse = pulse.summary();
+        }
         report
     }
 
@@ -909,11 +996,12 @@ impl Cluster {
     /// partials join at the router-chosen home, the cross-node
     /// exchange elapses on the virtual clock, and the dense tail runs
     /// for real on the home's engine over the merged partials.
-    fn serve_real_sharded<S: TraceSink>(
+    fn serve_real_sharded<S: TraceSink, M: MetricsSink>(
         &self,
         model: Arc<RecModel>,
         queries: &[Query],
         sink: &mut S,
+        pulse: &mut M,
     ) -> (ServerReport, Vec<(u64, Vec<f32>)>) {
         assert_nonempty_queries(queries);
         let geom = self.shard_geometry().expect("sharded cluster");
@@ -956,6 +1044,7 @@ impl Cluster {
             t0: Instant::now(), // lint:allow(wall-clock)
             scale: self.opts.time_scale,
             sink: &mut *sink,
+            pulse: &mut *pulse,
         };
         let fanout = geom.shard_nodes().len() as u32;
         // Integer-ns arrival shift, as in `serve_real_multi`.
@@ -1074,6 +1163,9 @@ impl Cluster {
         if S::ENABLED {
             report.stage_breakdown = sink.breakdown();
         }
+        if M::ENABLED {
+            report.pulse = pulse.summary();
+        }
         (report, outputs)
     }
 }
@@ -1144,7 +1236,7 @@ struct RealNode {
 
 /// Wall-clock serving state for [`Cluster::serve_real`] /
 /// [`Cluster::serve_real_multi`].
-struct ClusterRealRuntime<'s, S: TraceSink> {
+struct ClusterRealRuntime<'s, S: TraceSink, M: MetricsSink> {
     stats: StreamStats,
     router: Router,
     nodes: Vec<RealNode>,
@@ -1162,12 +1254,66 @@ struct ClusterRealRuntime<'s, S: TraceSink> {
     scale: f64,
     /// Where completed queries' lifecycle spans go.
     sink: &'s mut S,
+    /// Where fleet-pulse samples, retune decisions, and DRR grants go.
+    pulse: &'s mut M,
+    /// Pulse sampling interval, model-time ns.
+    tick_ns: SimTime,
+    /// Next pulse tick due, on the model-time clock anchored at 0.
+    next_tick: SimTime,
 }
 
-impl<S: TraceSink> ClusterRealRuntime<'_, S> {
+impl<S: TraceSink, M: MetricsSink> ClusterRealRuntime<'_, S, M> {
     /// Model-time now: scaled wall nanoseconds since start.
     fn now(&self) -> SimTime {
         (self.t0.elapsed().as_secs_f64() * self.scale * 1e9) as SimTime
+    }
+
+    /// Fires every pulse tick due at or before model-time `t`, sampling
+    /// per-node gauges at each tick. Ticks fire only on *model-time*
+    /// events (GPU completions at their scheduled instant, arrivals at
+    /// their due instant), never on the raw wall clock, so an
+    /// offload-all run samples exactly the state the virtual event loop
+    /// would — same instants, same values, bit for bit.
+    fn drain_ticks(&mut self, t: SimTime) {
+        if M::ENABLED {
+            while self.next_tick <= t {
+                for (n, node) in self.nodes.iter().enumerate() {
+                    let depth = node.engine.queue_depth() + node.pending_total;
+                    self.pulse.gauge(&format!("queue_depth_n{n}"), depth as f64);
+                    if let Some(g) = &node.core.gpu {
+                        self.pulse.gauge(
+                            &format!("gpu_backlog_ns_n{n}"),
+                            g.busy_until().saturating_sub(self.next_tick) as f64,
+                        );
+                        self.pulse
+                            .gauge(&format!("gpu_completed_n{n}"), g.completed() as f64);
+                    }
+                    for lane in 0..node.pending.len() {
+                        let pol = node.core.policy(lane);
+                        self.pulse
+                            .gauge(&format!("max_batch_n{n}_t{lane}"), pol.max_batch as f64);
+                        self.pulse.gauge(
+                            &format!("gpu_threshold_n{n}_t{lane}"),
+                            pol.gpu_threshold.map_or(-1.0, f64::from),
+                        );
+                        self.pulse.gauge(
+                            &format!("drr_deficit_n{n}_t{lane}"),
+                            node.arbiter.deficits()[lane] as f64,
+                        );
+                    }
+                    self.pulse.gauge(
+                        &format!("engine_queue_depth_n{n}"),
+                        node.engine.queue_depth() as f64,
+                    );
+                    self.pulse.gauge(
+                        &format!("engine_peak_depth_n{n}"),
+                        node.engine.peak_queue_depth() as f64,
+                    );
+                }
+                self.pulse.tick(self.next_tick);
+                self.next_tick += self.tick_ns;
+            }
+        }
     }
 
     /// Drains everything that is ready on every node without blocking.
@@ -1189,7 +1335,9 @@ impl<S: TraceSink> ClusterRealRuntime<'_, S> {
                 let Reverse((t, qid)) = self.nodes[n].gpu_heap.pop().expect("peeked");
                 let items = self.stats.remaining_items(qid);
                 // Complete at the scheduled virtual time, not the
-                // (slightly later) drain time.
+                // (slightly later) drain time; pulse ticks due at or
+                // before that instant fire first.
+                self.drain_ticks(t);
                 self.finish_items(t, qid, items);
                 progressed = true;
             }
@@ -1275,6 +1423,10 @@ impl<S: TraceSink> ClusterRealRuntime<'_, S> {
             .next(&mut node.pending, |(tb, _)| tb.batch.items as u64)
         {
             node.pending_total -= 1;
+            if M::ENABLED {
+                self.pulse
+                    .drr_round(dispatched, n, t, node.arbiter.deficits());
+            }
             // A cached request means this batch was already refused
             // once: retries are not fresh backpressure.
             let first_attempt = cached.is_none();
@@ -1334,7 +1486,14 @@ impl<S: TraceSink> ClusterRealRuntime<'_, S> {
                 let settled = self.nodes[f.node]
                     .core
                     .on_query_done(now, f.tenant, f.latency_ms);
-                self.stats.record(now, &f, settled, &mut *self.sink);
+                if M::ENABLED {
+                    for mut d in self.nodes[f.node].core.drain_decisions() {
+                        d.node = f.node;
+                        self.pulse.decision(d);
+                    }
+                }
+                self.stats
+                    .record(now, &f, settled, &mut *self.sink, &mut *self.pulse);
                 self.router.complete(NodeId(f.node));
                 self.outstanding -= 1;
             }
@@ -1371,7 +1530,7 @@ enum ShardTag {
 /// through the lane coalescer: each query's partials then slice
 /// cleanly for its own merge, which is what keeps the distributed
 /// forward bit-identical to the local one (`tests/sharded_real.rs`).
-struct ShardedRealRuntime<'s, S: TraceSink> {
+struct ShardedRealRuntime<'s, S: TraceSink, M: MetricsSink> {
     stats: StreamStats,
     router: Router,
     cores: Vec<NodeCore>,
@@ -1396,9 +1555,14 @@ struct ShardedRealRuntime<'s, S: TraceSink> {
     scale: f64,
     /// Where completed queries' lifecycle spans go.
     sink: &'s mut S,
+    /// Where completion metrics and retune decisions go. The sharded
+    /// path records latencies and controller decisions only — its
+    /// engines run gather/tail work that has no virtual-time twin, so
+    /// there is no tick-sampled series to cross-validate.
+    pulse: &'s mut M,
 }
 
-impl<S: TraceSink> ShardedRealRuntime<'_, S> {
+impl<S: TraceSink, M: MetricsSink> ShardedRealRuntime<'_, S, M> {
     /// Model-time now: scaled wall nanoseconds since start.
     fn now(&self) -> SimTime {
         (self.t0.elapsed().as_secs_f64() * self.scale * 1e9) as SimTime
@@ -1499,7 +1663,14 @@ impl<S: TraceSink> ShardedRealRuntime<'_, S> {
                 let f = self.stats.finish_exchanged(now, qid);
                 debug_assert_eq!(f.node, n, "dense tail ran off the home node");
                 let settled = self.cores[f.node].on_query_done(now, f.tenant, f.latency_ms);
-                self.stats.record(now, &f, settled, &mut *self.sink);
+                if M::ENABLED {
+                    for mut d in self.cores[f.node].drain_decisions() {
+                        d.node = f.node;
+                        self.pulse.decision(d);
+                    }
+                }
+                self.stats
+                    .record(now, &f, settled, &mut *self.sink, &mut *self.pulse);
                 self.router.complete(NodeId(f.node));
                 self.outstanding -= 1;
                 self.outputs.push((qid, c.ctrs));

@@ -36,6 +36,7 @@ use drs_core::{
     NS_PER_SEC,
 };
 use drs_metrics::LatencyRecorder;
+use drs_telemetry::{ControlDecision, RetuneTrigger};
 
 /// Tuning parameters of the online controller.
 #[derive(Debug, Clone)]
@@ -185,6 +186,11 @@ pub struct OnlineController {
     pub threshold_trajectory: Vec<(u32, f64)>,
     /// Times the controller restarted the climb after a load shift.
     pub retunes: u64,
+    /// Structured log of every committed re-tune, drained by the
+    /// serving loop into the fleet-pulse decision log. Accumulated
+    /// unconditionally — re-tunes are rare (a handful per diurnal
+    /// cycle), so the bookkeeping is free at serving granularity.
+    decisions: Vec<ControlDecision>,
 }
 
 impl OnlineController {
@@ -222,7 +228,15 @@ impl OnlineController {
             batch_trajectory: Vec::new(),
             threshold_trajectory: Vec::new(),
             retunes: 0,
+            decisions: Vec::new(),
         }
+    }
+
+    /// Takes the re-tune decisions committed since the last drain.
+    /// `node` and `tenant` are left at their defaults; the serving
+    /// loop that owns this controller fills them in.
+    pub fn drain_decisions(&mut self) -> Vec<ControlDecision> {
+        std::mem::take(&mut self.decisions)
     }
 
     /// The policy the server should apply right now.
@@ -366,6 +380,7 @@ impl OnlineController {
                 // window, the most current view of the shift.
                 self.stale_streak += 1;
                 if self.stale_streak >= self.cfg.hysteresis {
+                    let streak = self.stale_streak;
                     self.stale_streak = 0;
                     self.retunes += 1;
                     let downward = if rate_shift {
@@ -373,6 +388,25 @@ impl OnlineController {
                     } else {
                         p95 < self.settled_p95_ms
                     };
+                    let old_max_batch = self.policy.max_batch;
+                    self.decisions.push(ControlDecision {
+                        t_ns: now,
+                        node: 0,
+                        tenant: 0,
+                        trigger: if rate_shift {
+                            RetuneTrigger::RateShift
+                        } else {
+                            RetuneTrigger::TailDrift
+                        },
+                        rate_qps: rate,
+                        settled_rate_qps: self.settled_rate_qps,
+                        p95_ms: p95,
+                        settled_p95_ms: self.settled_p95_ms,
+                        streak: streak as u32,
+                        old_max_batch,
+                        new_max_batch: 0, // patched below once the re-climb anchors
+                        downward,
+                    });
                     let ladder = if downward {
                         descending_ladder(&self.cfg.batch_ladder, self.policy.max_batch, 3)
                     } else {
@@ -391,6 +425,10 @@ impl OnlineController {
                     };
                     self.climb = LadderClimb::new(ladder, patience, self.cfg.rel_tol);
                     self.policy.max_batch = self.climb.current();
+                    self.decisions
+                        .last_mut()
+                        .expect("decision pushed above")
+                        .new_max_batch = self.policy.max_batch;
                     self.phase = Phase::TuningBatch;
                     self.skip_window = self.cfg.discard_transition_window;
                     return true;

@@ -112,6 +112,13 @@ impl GpuExecutor {
     pub fn completed(&self) -> u64 {
         self.completed
     }
+
+    /// When the device frees up (virtual time). `busy_until - now`,
+    /// clamped at zero, is the device backlog — the fleet-pulse gauge
+    /// sampled as `gpu_backlog_ns_n{n}`.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
 }
 
 #[cfg(test)]

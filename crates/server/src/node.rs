@@ -43,7 +43,7 @@ use drs_metrics::{LatencyRecorder, StreamingLatency};
 use drs_platform::{CpuPlatform, GpuPlatform, ModelCost};
 use drs_query::Query;
 use drs_shard::ShardGeometry;
-use drs_telemetry::{QuerySpan, Stage, TraceSink, STAGE_COUNT};
+use drs_telemetry::{ControlDecision, MetricsSink, QuerySpan, Stage, TraceSink, STAGE_COUNT};
 use std::collections::{BTreeMap, VecDeque};
 
 /// One node's hardware and worker allocation.
@@ -301,6 +301,23 @@ impl NodeCore {
     /// the flag).
     pub fn take_policy_dirty(&mut self, t: usize) -> bool {
         std::mem::take(&mut self.lanes[t].policy_dirty)
+    }
+
+    /// Drains every lane controller's committed re-tune decisions,
+    /// stamping each with its lane's tenant index. The serving loop
+    /// fills `node` (the brain does not know its own id) and feeds the
+    /// result to the fleet-pulse decision log.
+    pub fn drain_decisions(&mut self) -> Vec<ControlDecision> {
+        let mut out = Vec::new();
+        for (t, lane) in self.lanes.iter_mut().enumerate() {
+            if let Some(c) = &mut lane.controller {
+                for mut d in c.drain_decisions() {
+                    d.tenant = t;
+                    out.push(d);
+                }
+            }
+        }
+        out
     }
 
     pub fn note_queue_depth(&mut self, depth: usize) {
@@ -597,15 +614,17 @@ impl StreamStats {
     }
 
     /// Records a finished query's latency (after its lane's controller
-    /// saw it, so the settled flag is current), and its span when the
-    /// sink is live — measured queries only, matching every other
-    /// recorder here.
-    pub fn record<S: TraceSink>(
+    /// saw it, so the settled flag is current), its fleet-pulse window
+    /// observation when the pulse is live, and its span when the sink
+    /// is live — measured queries only, matching every other recorder
+    /// here.
+    pub fn record<S: TraceSink, M: MetricsSink>(
         &mut self,
         now: SimTime,
         f: &FinishedQuery,
         settled: bool,
         sink: &mut S,
+        pulse: &mut M,
     ) {
         if f.measured {
             self.latency.record_ms(f.latency_ms);
@@ -617,6 +636,10 @@ impl StreamStats {
             self.tenant_completed[f.tenant] += 1;
             self.completed_measured += 1;
             self.window_end = self.window_end.max(now);
+            if M::ENABLED {
+                pulse.observe("latency_ms", f.latency_ms);
+                pulse.inc("completed_total", 1);
+            }
             if S::ENABLED {
                 let epoch = self.span_epoch.unwrap_or(0);
                 let mut span = f.span;
@@ -819,9 +842,10 @@ pub(crate) fn assemble_report(outcome: RunOutcome, offered_qps: f64) -> ServerRe
         tenant_breakdowns,
         tenant_final_policies,
         latencies_ms: stats.latencies_ms,
-        // Attached by the traced entry points from their sink's
+        // Attached by the traced/pulsed entry points from their sinks'
         // streaming digests; untraced runs have nothing to report.
         stage_breakdown: None,
+        pulse: None,
     }
 }
 
@@ -921,6 +945,12 @@ impl DrrArbiter {
     /// pay twice for one batch.
     pub fn refund(&mut self, t: usize, items: u64) {
         self.deficit[t] += items;
+    }
+
+    /// The per-lane banked deficits, in tenant order — snapshotted
+    /// into the fleet-pulse DRR round log after every grant.
+    pub fn deficits(&self) -> &[u64] {
+        &self.deficit
     }
 }
 
@@ -1023,17 +1053,21 @@ impl VirtualNode {
         picked
     }
 
-    fn dispatch(
+    fn dispatch<M: MetricsSink>(
         &mut self,
         now: SimTime,
         costs: &[ModelCost],
         n: usize,
         events: &mut EventQueue<Ev>,
+        pulse: &mut M,
     ) {
         while self.busy < self.workers {
             let Some((t, mut b)) = self.drr_next() else {
                 break;
             };
+            if M::ENABLED {
+                pulse.drr_round(now, n, t, self.arbiter.deficits());
+            }
             self.busy += 1;
             b.dispatched = now;
             let service = match self.gather_fraction {
@@ -1069,13 +1103,14 @@ impl VirtualNode {
     /// the *new* `BatchQueue::deadline()` — the same guard the push
     /// paths use. (Repacked batches are the same queued work, not new
     /// pressure — no backpressure accounting here.)
-    fn retune(
+    fn retune<M: MetricsSink>(
         &mut self,
         t: usize,
         now: SimTime,
         costs: &[ModelCost],
         n: usize,
         events: &mut EventQueue<Ev>,
+        pulse: &mut M,
     ) {
         let deadline_before = self.core.batcher(t).deadline();
         let queued: Vec<Batch> = self.ready[t].drain(..).map(|tb| tb.batch).collect();
@@ -1091,7 +1126,7 @@ impl VirtualNode {
             }
             _ => {}
         }
-        self.dispatch(now, costs, n, events);
+        self.dispatch(now, costs, n, events, pulse);
     }
 }
 
@@ -1107,7 +1142,7 @@ impl VirtualNode {
 /// partials in id order and the event queue is FIFO within a
 /// timestamp, so runs stay byte-deterministic per seed.
 #[allow(clippy::too_many_arguments)] // the one internal loop every serving front shares
-pub(crate) fn serve_virtual_multi<S: TraceSink>(
+pub(crate) fn serve_virtual_multi<S: TraceSink, M: MetricsSink>(
     costs: &[ModelCost],
     tenants: &[TenantSetup],
     setups: &[NodeSetup],
@@ -1116,6 +1151,7 @@ pub(crate) fn serve_virtual_multi<S: TraceSink>(
     shard: Option<&ShardGeometry>,
     queries: &[Query],
     sink: &mut S,
+    pulse: &mut M,
 ) -> ServerReport {
     assert_nonempty_queries(queries);
     let queue_bound = opts.batching.queue_bound;
@@ -1136,7 +1172,7 @@ pub(crate) fn serve_virtual_multi<S: TraceSink>(
     // Queues freshly formed batches on node `n`'s lane `t`, scheduling
     // a coalesce flush when the arrival opened a fresh buffer.
     #[allow(clippy::too_many_arguments)] // one call site's context, bundled
-    fn queue_on(
+    fn queue_on<M: MetricsSink>(
         nodes: &mut [VirtualNode],
         n: usize,
         t: usize,
@@ -1146,6 +1182,7 @@ pub(crate) fn serve_virtual_multi<S: TraceSink>(
         now: SimTime,
         costs: &[ModelCost],
         events: &mut EventQueue<Ev>,
+        pulse: &mut M,
     ) {
         nodes[n].enqueue(now, t, batches, queue_bound);
         // Schedule a flush only when this arrival opened a fresh
@@ -1156,11 +1193,60 @@ pub(crate) fn serve_virtual_multi<S: TraceSink>(
             }
             _ => {}
         }
-        nodes[n].dispatch(now, costs, n, events);
+        nodes[n].dispatch(now, costs, n, events, pulse);
     }
 
+    // Fleet-pulse sampling ticks on the virtual clock, draining before
+    // each event pops so a sample at T reflects every state change
+    // strictly before T and none at or after it — the alignment that
+    // makes exported series byte-identical against the real runtimes'
+    // due-time clocks. Times rebase to the stream's first arrival.
+    let span_epoch = queries
+        .iter()
+        .map(|q| secs_to_ns(q.arrival_s))
+        .min()
+        .expect("non-empty stream");
+    if M::ENABLED {
+        pulse.set_epoch(span_epoch);
+    }
+    let tick_ns = pulse.interval_ns().max(1);
+    let mut next_tick = span_epoch + tick_ns;
+
     let mut end_ns: SimTime = 0;
-    while let Some((now, ev)) = events.pop() {
+    loop {
+        if M::ENABLED {
+            if let Some(head) = events.peek_time() {
+                while next_tick <= head {
+                    for (n, node) in nodes.iter().enumerate() {
+                        pulse.gauge(&format!("queue_depth_n{n}"), node.ready_total as f64);
+                        if let Some(g) = &node.core.gpu {
+                            pulse.gauge(
+                                &format!("gpu_backlog_ns_n{n}"),
+                                g.busy_until().saturating_sub(next_tick) as f64,
+                            );
+                            pulse.gauge(&format!("gpu_completed_n{n}"), g.completed() as f64);
+                        }
+                        for t in 0..tenants.len() {
+                            let pol = node.core.policy(t);
+                            pulse.gauge(&format!("max_batch_n{n}_t{t}"), pol.max_batch as f64);
+                            pulse.gauge(
+                                &format!("gpu_threshold_n{n}_t{t}"),
+                                pol.gpu_threshold.map_or(-1.0, |v| v as f64),
+                            );
+                            pulse.gauge(
+                                &format!("drr_deficit_n{n}_t{t}"),
+                                node.arbiter.deficits()[t] as f64,
+                            );
+                        }
+                    }
+                    pulse.tick(next_tick);
+                    next_tick += tick_ns;
+                }
+            }
+        }
+        let Some((now, ev)) = events.pop() else {
+            break;
+        };
         end_ns = now;
         let touched = match ev {
             Ev::Arrival { idx } => {
@@ -1208,6 +1294,7 @@ pub(crate) fn serve_virtual_multi<S: TraceSink>(
                                 now,
                                 costs,
                                 &mut events,
+                                pulse,
                             );
                         }
                     }
@@ -1233,6 +1320,7 @@ pub(crate) fn serve_virtual_multi<S: TraceSink>(
                                     now,
                                     costs,
                                     &mut events,
+                                    pulse,
                                 );
                             }
                         }
@@ -1246,7 +1334,7 @@ pub(crate) fn serve_virtual_multi<S: TraceSink>(
                 nodes[n].core.batcher_mut(t).flush_due(now, &mut out);
                 if !out.is_empty() {
                     nodes[n].enqueue(now, t, out, queue_bound);
-                    nodes[n].dispatch(now, costs, n, &mut events);
+                    nodes[n].dispatch(now, costs, n, &mut events, pulse);
                 }
                 n
             }
@@ -1267,7 +1355,13 @@ pub(crate) fn serve_virtual_multi<S: TraceSink>(
                                 nodes[f.node]
                                     .core
                                     .on_query_done(now, f.tenant, f.latency_ms);
-                            stats.record(now, &f, settled, sink);
+                            if M::ENABLED {
+                                for mut d in nodes[f.node].core.drain_decisions() {
+                                    d.node = f.node;
+                                    pulse.decision(d);
+                                }
+                            }
+                            stats.record(now, &f, settled, sink, pulse);
                             router.complete(NodeId(f.node));
                         }
                         Credit::AwaitExchange { home, delay } => events.push(
@@ -1279,7 +1373,7 @@ pub(crate) fn serve_virtual_multi<S: TraceSink>(
                         ),
                     }
                 }
-                nodes[n].dispatch(now, costs, n, &mut events);
+                nodes[n].dispatch(now, costs, n, &mut events, pulse);
                 n
             }
             Ev::GpuDone { node: n, qid } => {
@@ -1291,7 +1385,13 @@ pub(crate) fn serve_virtual_multi<S: TraceSink>(
                         let settled = nodes[f.node]
                             .core
                             .on_query_done(now, f.tenant, f.latency_ms);
-                        stats.record(now, &f, settled, sink);
+                        if M::ENABLED {
+                            for mut d in nodes[f.node].core.drain_decisions() {
+                                d.node = f.node;
+                                pulse.decision(d);
+                            }
+                        }
+                        stats.record(now, &f, settled, sink, pulse);
                         router.complete(NodeId(f.node));
                     }
                     Credit::AwaitExchange { .. } => {
@@ -1307,14 +1407,20 @@ pub(crate) fn serve_virtual_multi<S: TraceSink>(
                 let settled = nodes[f.node]
                     .core
                     .on_query_done(now, f.tenant, f.latency_ms);
-                stats.record(now, &f, settled, sink);
+                if M::ENABLED {
+                    for mut d in nodes[f.node].core.drain_decisions() {
+                        d.node = f.node;
+                        pulse.decision(d);
+                    }
+                }
+                stats.record(now, &f, settled, sink, pulse);
                 router.complete(NodeId(f.node));
                 n
             }
         };
         for t in 0..tenants.len() {
             if nodes[touched].core.take_policy_dirty(t) {
-                nodes[touched].retune(t, now, costs, touched, &mut events);
+                nodes[touched].retune(t, now, costs, touched, &mut events, pulse);
             }
         }
     }
@@ -1350,6 +1456,9 @@ pub(crate) fn serve_virtual_multi<S: TraceSink>(
     );
     if S::ENABLED {
         report.stage_breakdown = sink.breakdown();
+    }
+    if M::ENABLED {
+        report.pulse = pulse.summary();
     }
     report
 }

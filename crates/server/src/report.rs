@@ -2,7 +2,7 @@
 
 use drs_core::{ReportView, SchedulerPolicy, TenantBreakdown};
 use drs_metrics::LatencySummary;
-use drs_telemetry::StageBreakdown;
+use drs_telemetry::{PulseSummary, StageBreakdown};
 
 /// Results of one open-loop serving run.
 ///
@@ -97,6 +97,9 @@ pub struct ServerReport {
     /// sink (the plain entry points trace through a no-op sink, which
     /// has nothing to report).
     pub stage_breakdown: Option<StageBreakdown>,
+    /// Fleet-pulse totals from the run's metrics sink — `Some` only on
+    /// the `*_pulsed` entry points with a recording pulse.
+    pub pulse: Option<PulseSummary>,
 }
 
 impl ServerReport {
@@ -148,6 +151,9 @@ impl ReportView for ServerReport {
     fn stage_breakdown(&self) -> Option<&StageBreakdown> {
         self.stage_breakdown.as_ref()
     }
+    fn pulse_summary(&self) -> Option<&PulseSummary> {
+        self.pulse.as_ref()
+    }
 }
 
 #[cfg(test)]
@@ -195,6 +201,7 @@ mod tests {
             tenant_final_policies: Vec::new(),
             latencies_ms: Vec::new(),
             stage_breakdown: None,
+            pulse: None,
         };
         assert!(r.meets_sla(100.0));
         assert!(!r.meets_sla(50.0));

@@ -17,7 +17,7 @@ use drs_engine::{EngineCompletion, EngineRequest, InferenceEngine};
 use drs_models::{ModelConfig, RecModel};
 use drs_platform::{CpuPlatform, GpuPlatform, ModelCost};
 use drs_query::{Query, Trace};
-use drs_telemetry::{NoopSink, TraceSink};
+use drs_telemetry::{MetricsSink, NoopMetrics, NoopSink, TraceSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
@@ -297,6 +297,32 @@ impl Server {
         queries: &[Query],
         sink: &mut S,
     ) -> ServerReport {
+        self.serve_virtual_inner(queries, sink, &mut NoopMetrics)
+    }
+
+    /// [`Server::serve_virtual`] with fleet-pulse metrics: time-series
+    /// gauges sample on the virtual clock at `pulse`'s interval, and
+    /// controller re-tunes / DRR grants land in the decision log (see
+    /// [`drs_telemetry::PulseRecorder`]). With a recording pulse the
+    /// report also carries a [`drs_telemetry::PulseSummary`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries` is empty.
+    pub fn serve_virtual_pulsed<M: MetricsSink>(
+        &self,
+        queries: &[Query],
+        pulse: &mut M,
+    ) -> ServerReport {
+        self.serve_virtual_inner(queries, &mut NoopSink, pulse)
+    }
+
+    fn serve_virtual_inner<S: TraceSink, M: MetricsSink>(
+        &self,
+        queries: &[Query],
+        sink: &mut S,
+        pulse: &mut M,
+    ) -> ServerReport {
         // A single node behind a trivial router: the same loop a
         // Cluster runs, with N = 1.
         let router = Router::new(
@@ -314,6 +340,7 @@ impl Server {
             None,
             queries,
             sink,
+            pulse,
         )
     }
 
@@ -409,6 +436,48 @@ impl Server {
         queries: &[Query],
         sink: &mut S,
     ) -> ServerReport {
+        self.serve_real_multi_inner(models, queries, sink, &mut NoopMetrics)
+    }
+
+    /// [`Server::serve_real`] with fleet-pulse metrics into `pulse`.
+    /// Ticks fire on the model-time clock at event boundaries (GPU
+    /// completions, arrivals), so on the offload-all path the sampled
+    /// series are bit-identical to [`Server::serve_virtual_pulsed`]'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Server::serve_real`] does.
+    pub fn serve_real_pulsed<M: MetricsSink>(
+        &self,
+        model: Arc<RecModel>,
+        queries: &[Query],
+        pulse: &mut M,
+    ) -> ServerReport {
+        self.serve_real_multi_inner(vec![model], queries, &mut NoopSink, pulse)
+    }
+
+    /// [`Server::serve_real_multi`] with fleet-pulse metrics into
+    /// `pulse` (see [`Server::serve_real_pulsed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Server::serve_real_multi`] does.
+    pub fn serve_real_multi_pulsed<M: MetricsSink>(
+        &self,
+        models: Vec<Arc<RecModel>>,
+        queries: &[Query],
+        pulse: &mut M,
+    ) -> ServerReport {
+        self.serve_real_multi_inner(models, queries, &mut NoopSink, pulse)
+    }
+
+    fn serve_real_multi_inner<S: TraceSink, M: MetricsSink>(
+        &self,
+        models: Vec<Arc<RecModel>>,
+        queries: &[Query],
+        sink: &mut S,
+        pulse: &mut M,
+    ) -> ServerReport {
         assert_nonempty_queries(queries);
         assert_eq!(
             models.len(),
@@ -420,6 +489,7 @@ impl Server {
         let setup = self.setup();
         let engine = InferenceEngine::start_multi(models.clone(), self.opts.workers)
             .with_queue_bound(self.opts.batching.queue_bound);
+        let pulse_tick_ns = pulse.interval_ns().max(1);
         let mut rt = RealRuntime {
             stats: StreamStats::new(queries.len(), self.opts.warmup_frac, self.tenants.len()),
             node: NodeCore::new(&self.costs, &self.tenants, &setup, &self.opts),
@@ -438,6 +508,12 @@ impl Server {
             t0: Instant::now(), // lint:allow(wall-clock)
             scale: self.opts.time_scale,
             sink: &mut *sink,
+            pulse: &mut *pulse,
+            tick_ns: pulse_tick_ns,
+            // The real clock anchors at the first arrival (epoch 0), so
+            // the first tick lands one interval in — exactly where the
+            // virtual loop's first rebased tick lands.
+            next_tick: pulse_tick_ns,
         };
         // Shift arrivals by an integer nanosecond offset so the paced
         // clock starts near zero while staying exactly the virtual
@@ -473,6 +549,7 @@ impl Server {
             // Dispatch on the scheduled arrival clock: the virtual
             // queue state (GPU FIFO, coalesce windows, controller) sees
             // `due`, not the submitter's overshoot.
+            rt.drain_ticks(due);
             rt.outstanding += 1;
             let measured = rt.stats.note_arrival(due, q, 0);
             match rt.node.on_arrival(due, q) {
@@ -534,6 +611,9 @@ impl Server {
         if S::ENABLED {
             report.stage_breakdown = sink.breakdown();
         }
+        if M::ENABLED {
+            report.pulse = pulse.summary();
+        }
         report
     }
 }
@@ -562,7 +642,7 @@ impl ServingStack for Server {
 /// [`Server::serve_real_multi`]: one shared engine pool, one pending
 /// lane per tenant, arbitrated by the same [`node::DrrArbiter`] the
 /// virtual node runs.
-struct RealRuntime<'s, S: TraceSink> {
+struct RealRuntime<'s, S: TraceSink, M: MetricsSink> {
     stats: StreamStats,
     node: NodeCore,
     arbiter: node::DrrArbiter,
@@ -588,12 +668,67 @@ struct RealRuntime<'s, S: TraceSink> {
     scale: f64,
     /// Where completed queries' lifecycle spans go.
     sink: &'s mut S,
+    /// Where fleet-pulse samples, window observations, and decisions
+    /// go.
+    pulse: &'s mut M,
+    /// Sampling interval on the model-time clock, ns.
+    tick_ns: SimTime,
+    /// Next due sample time (model-time ns); ticks fire at event
+    /// boundaries via [`RealRuntime::drain_ticks`], mirroring the
+    /// virtual loop's pre-pop drain.
+    next_tick: SimTime,
 }
 
-impl<S: TraceSink> RealRuntime<'_, S> {
+impl<S: TraceSink, M: MetricsSink> RealRuntime<'_, S, M> {
     /// Model-time now: scaled wall nanoseconds since start.
     fn now(&self) -> SimTime {
         (self.t0.elapsed().as_secs_f64() * self.scale * 1e9) as SimTime
+    }
+
+    /// Fires every fleet-pulse tick due at or before `t` (model-time
+    /// ns), sampling the same gauge set at the same tie-break the
+    /// virtual loop uses (a tick at T fires before any event at T).
+    /// Only model-time events drive this — GPU completions at their
+    /// scheduled times and arrivals at their due times — never the raw
+    /// wall clock, so on cost-model-priced paths the sampled series
+    /// are bit-identical to the virtual runtime's. The engine-pool
+    /// depth gauges are real-path extras (the virtual loop has no
+    /// engine) and carry keys no virtual series uses.
+    fn drain_ticks(&mut self, t: SimTime) {
+        if M::ENABLED {
+            while self.next_tick <= t {
+                let depth = self.engine.queue_depth() + self.pending_total;
+                self.pulse.gauge("queue_depth_n0", depth as f64);
+                if let Some(g) = &self.node.gpu {
+                    self.pulse.gauge(
+                        "gpu_backlog_ns_n0",
+                        g.busy_until().saturating_sub(self.next_tick) as f64,
+                    );
+                    self.pulse.gauge("gpu_completed_n0", g.completed() as f64);
+                }
+                for lane in 0..self.pending.len() {
+                    let pol = self.node.policy(lane);
+                    self.pulse
+                        .gauge(&format!("max_batch_n0_t{lane}"), pol.max_batch as f64);
+                    self.pulse.gauge(
+                        &format!("gpu_threshold_n0_t{lane}"),
+                        pol.gpu_threshold.map_or(-1.0, |v| v as f64),
+                    );
+                    self.pulse.gauge(
+                        &format!("drr_deficit_n0_t{lane}"),
+                        self.arbiter.deficits()[lane] as f64,
+                    );
+                }
+                self.pulse
+                    .gauge("engine_queue_depth_n0", self.engine.queue_depth() as f64);
+                self.pulse.gauge(
+                    "engine_peak_depth_n0",
+                    self.engine.peak_queue_depth() as f64,
+                );
+                self.pulse.tick(self.next_tick);
+                self.next_tick += self.tick_ns;
+            }
+        }
     }
 
     /// Drains everything that is ready without blocking: engine
@@ -613,7 +748,8 @@ impl<S: TraceSink> RealRuntime<'_, S> {
                     self.gpu_heap.pop();
                     let items = self.stats.remaining_items(qid);
                     // Complete at the scheduled virtual time, not the
-                    // drain time.
+                    // drain time — ticks due by then fire first.
+                    self.drain_ticks(t);
                     self.finish_items(t, qid, items);
                     continue;
                 }
@@ -667,6 +803,10 @@ impl<S: TraceSink> RealRuntime<'_, S> {
             .next(&mut self.pending, |(tb, _)| tb.batch.items as u64)
         {
             self.pending_total -= 1;
+            if M::ENABLED {
+                self.pulse
+                    .drr_round(self.now(), 0, t, self.arbiter.deficits());
+            }
             // A cached request means this batch was already refused
             // once: retries are not fresh backpressure.
             let first_attempt = cached.is_none();
@@ -721,7 +861,14 @@ impl<S: TraceSink> RealRuntime<'_, S> {
             node::Credit::Pending => {}
             node::Credit::Done(f) => {
                 let settled = self.node.on_query_done(now, f.tenant, f.latency_ms);
-                self.stats.record(now, &f, settled, &mut *self.sink);
+                if M::ENABLED {
+                    // Single node: the controller already stamps node 0.
+                    for d in self.node.drain_decisions() {
+                        self.pulse.decision(d);
+                    }
+                }
+                self.stats
+                    .record(now, &f, settled, &mut *self.sink, &mut *self.pulse);
                 self.outstanding -= 1;
             }
             node::Credit::AwaitExchange { .. } => {

@@ -10,7 +10,7 @@ use drs_models::ModelConfig;
 use drs_platform::{CpuPlatform, GpuPlatform, InterconnectModel, ModelCost};
 use drs_query::{split_query, QueryGenerator};
 use drs_shard::{ShardGeometry, ShardPlan};
-use drs_telemetry::{NoopSink, QuerySpan, Stage, TraceSink, STAGE_COUNT};
+use drs_telemetry::{MetricsSink, NoopMetrics, NoopSink, QuerySpan, Stage, TraceSink, STAGE_COUNT};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Length and measurement parameters of one simulation window.
@@ -378,7 +378,25 @@ impl Simulation {
     ) -> SimReport {
         let offered_qps = gen.arrival().mean_rate_qps();
         let queries: Vec<drs_query::Query> = gen.take(opts.num_queries).collect();
-        self.run_queries(&queries, offered_qps, opts, sink)
+        self.run_queries(&queries, offered_qps, opts, sink, &mut NoopMetrics)
+    }
+
+    /// [`Simulation::run`] with fleet-pulse metrics sampled on the
+    /// virtual clock into `pulse`: per-machine queue depths, busy
+    /// cores, outstanding work, and windowed latency digests, ticked
+    /// every [`MetricsSink::interval_ns`] of virtual time. With a
+    /// recording pulse the report carries a
+    /// [`drs_telemetry::PulseSummary`]; with
+    /// [`drs_telemetry::NoopMetrics`] this is exactly `run`.
+    pub fn run_pulsed<M: MetricsSink>(
+        &self,
+        gen: &mut QueryGenerator,
+        opts: RunOptions,
+        pulse: &mut M,
+    ) -> SimReport {
+        let offered_qps = gen.arrival().mean_rate_qps();
+        let queries: Vec<drs_query::Query> = gen.take(opts.num_queries).collect();
+        self.run_queries(&queries, offered_qps, opts, &mut NoopSink, pulse)
     }
 
     /// Replays a recorded [`drs_query::trace::Trace`] through the
@@ -397,7 +415,13 @@ impl Simulation {
             ..opts
         };
         let queries: Vec<drs_query::Query> = trace.replay().take(n).collect();
-        self.run_queries(&queries, trace.mean_rate_qps(), opts, &mut NoopSink)
+        self.run_queries(
+            &queries,
+            trace.mean_rate_qps(),
+            opts,
+            &mut NoopSink,
+            &mut NoopMetrics,
+        )
     }
 
     /// Serves a prepared arrival stream with a standard 10 % warm-up
@@ -429,15 +453,38 @@ impl Simulation {
             stream_offered_qps(queries),
             RunOptions::queries(queries.len()),
             sink,
+            &mut NoopMetrics,
         )
     }
 
-    fn run_queries<S: TraceSink>(
+    /// [`Simulation::serve_queries`] with fleet-pulse metrics recorded
+    /// into `pulse` (see [`Simulation::run_pulsed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries` is empty.
+    pub fn serve_queries_pulsed<M: MetricsSink>(
+        &self,
+        queries: &[drs_query::Query],
+        pulse: &mut M,
+    ) -> SimReport {
+        assert_nonempty_queries(queries);
+        self.run_queries(
+            queries,
+            stream_offered_qps(queries),
+            RunOptions::queries(queries.len()),
+            &mut NoopSink,
+            pulse,
+        )
+    }
+
+    fn run_queries<S: TraceSink, M: MetricsSink>(
         &self,
         query_list: &[drs_query::Query],
         offered_qps: f64,
         opts: RunOptions,
         sink: &mut S,
+        pulse: &mut M,
     ) -> SimReport {
         let warmup_n = (opts.num_queries as f64 * opts.warmup_frac) as u64;
         // Span clocks read "ns since the stream's first arrival" on
@@ -502,7 +549,39 @@ impl Simulation {
         let mut window_end: SimTime = 0;
         let mut end_ns: SimTime = 0;
 
-        while let Some((now, ev)) = events.pop() {
+        // Fleet-pulse sampling ticks on the virtual clock: before each
+        // event pops, every tick due at or before its time fires, so a
+        // sample reflects all state changes strictly earlier and none
+        // at or after — the alignment that makes exported series
+        // byte-identical across runtimes.
+        if M::ENABLED {
+            pulse.set_epoch(span_epoch);
+        }
+        let tick_ns = pulse.interval_ns().max(1);
+        let mut next_tick = span_epoch + tick_ns;
+
+        loop {
+            if M::ENABLED {
+                if let Some(head) = events.peek_time() {
+                    while next_tick <= head {
+                        for (m, mach) in machines.iter().enumerate() {
+                            let depth = mach.cpu_queue.len() + mach.gpu_queue.len();
+                            pulse.gauge(&format!("queue_depth_n{m}"), depth as f64);
+                            pulse.gauge(&format!("cores_busy_n{m}"), mach.cores_busy as f64);
+                            pulse.gauge(&format!("outstanding_n{m}"), mach.outstanding as f64);
+                            pulse.gauge(
+                                &format!("gpu_busy_n{m}"),
+                                if mach.gpu_busy { 1.0 } else { 0.0 },
+                            );
+                        }
+                        pulse.tick(next_tick);
+                        next_tick += tick_ns;
+                    }
+                }
+            }
+            let Some((now, ev)) = events.pop() else {
+                break;
+            };
             end_ns = now;
             match ev {
                 Ev::Arrival { qid, size } => {
@@ -596,6 +675,7 @@ impl Simulation {
                         &mut window_end,
                         span_epoch,
                         sink,
+                        pulse,
                     );
                     self.try_dispatch_cpu(machine, now, &mut machines, &mut queries, &mut events);
                 }
@@ -616,6 +696,7 @@ impl Simulation {
                         &mut window_end,
                         span_epoch,
                         sink,
+                        pulse,
                     );
                     self.try_start_gpu(machine, now, &mut machines, &mut queries, &mut events);
                 }
@@ -632,6 +713,7 @@ impl Simulation {
                         &mut window_end,
                         span_epoch,
                         sink,
+                        pulse,
                     );
                 }
             }
@@ -714,6 +796,7 @@ impl Simulation {
             latencies_ms,
             tenant_breakdowns,
             stage_breakdown: if S::ENABLED { sink.breakdown() } else { None },
+            pulse: if M::ENABLED { pulse.summary() } else { None },
         }
     }
 
@@ -784,7 +867,7 @@ impl Simulation {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn finish_part<S: TraceSink>(
+    fn finish_part<S: TraceSink, M: MetricsSink>(
         qid: u64,
         now: SimTime,
         queries: &mut BTreeMap<u64, QueryState>,
@@ -797,6 +880,7 @@ impl Simulation {
         window_end: &mut SimTime,
         span_epoch: SimTime,
         sink: &mut S,
+        pulse: &mut M,
     ) {
         let state = queries.get_mut(&qid).expect("known query");
         state.parts_left -= 1;
@@ -824,11 +908,12 @@ impl Simulation {
             window_end,
             span_epoch,
             sink,
+            pulse,
         );
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn record_completion<S: TraceSink>(
+    fn record_completion<S: TraceSink, M: MetricsSink>(
         qid: u64,
         now: SimTime,
         queries: &mut BTreeMap<u64, QueryState>,
@@ -840,6 +925,7 @@ impl Simulation {
         window_end: &mut SimTime,
         span_epoch: SimTime,
         sink: &mut S,
+        pulse: &mut M,
     ) {
         let state = queries.get_mut(&qid).expect("known query");
         debug_assert_eq!(state.parts_left, 0, "completion with parts in flight");
@@ -851,6 +937,10 @@ impl Simulation {
             tenant_completed[state.tenant] += 1;
             *completed_measured += 1;
             *window_end = (*window_end).max(now);
+            if M::ENABLED {
+                pulse.observe("latency_ms", ms);
+                pulse.inc("completed_total", 1);
+            }
             if S::ENABLED {
                 // Rebase to the stream's first arrival so span clocks
                 // read "ns since the first arrival" on every runtime.

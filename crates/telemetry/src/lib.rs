@@ -23,7 +23,13 @@
 //! * [`to_chrome_trace`]/[`parse_chrome_trace`] — export spans as
 //!   Chrome `trace_event` JSON (`chrome://tracing`, Perfetto) and
 //!   re-parse the export, so the format is pinned by code in this
-//!   repo.
+//!   repo;
+//! * [`MetricsSink`]/[`PulseRecorder`] — the fleet-pulse twin of the
+//!   span layer: virtual-clock-sampled time-series metrics
+//!   ([`drs_metrics::MetricsRegistry`]) plus the structured controller
+//!   decision log ([`ControlDecision`]) and DRR grant log
+//!   ([`DrrRound`]), behind the same `const ENABLED` zero-overhead
+//!   contract ([`NoopMetrics`]).
 //!
 //! Because the real runtimes book virtual-clock decisions at due
 //! times (bit-exact against virtual time on the offload path), the
@@ -33,11 +39,15 @@
 #![warn(missing_docs)]
 
 mod chrome;
+mod pulse;
 mod ring;
 mod sink;
 mod span;
 
 pub use chrome::{parse_chrome_trace, to_chrome_trace, ChromeEvent};
+pub use pulse::{
+    ControlDecision, DrrRound, MetricsSink, NoopMetrics, PulseRecorder, PulseSummary, RetuneTrigger,
+};
 pub use ring::{RingRecorder, StageBreakdown, StageStats, DEFAULT_RING_CAPACITY};
 pub use sink::{NoopSink, TraceSink};
 pub use span::{QuerySpan, Stage, STAGE_COUNT};
