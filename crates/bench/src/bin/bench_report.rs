@@ -62,6 +62,14 @@ const SCHEMA3_KEYS: &[&str] = &["lint_ms"];
 /// Required only when `schema >= 4`.
 const SCHEMA4_KEYS: &[&str] = &["metrics_ns_per_sample", "decision_log_events"];
 
+/// Keys added by schema 5 (the interprocedural analyses): wall time of
+/// the semantic passes alone (call-graph construction plus the taint
+/// fixpoint, excluding discovery/lexing already covered by `lint_ms`),
+/// and the workspace call-graph edge count — an integer canary that
+/// moves only when code structure changes. Required only when
+/// `schema >= 5`.
+const SCHEMA5_KEYS: &[&str] = &["taint_ms", "callgraph_edges"];
+
 /// Fractional drop between consecutive entries of the same key that
 /// `--check` calls out. Wall-clock harnesses on a shared container are
 /// noisy (the pr8 `shard_gather_gbps` dip re-measured firmly inside
@@ -120,9 +128,14 @@ fn main() {
     println!(
         "decision log     : {decision_events} events (retunes + DRR grants, pinned virtual run)"
     );
+    let (taint_ms, callgraph_edges) = measure_taint_ms(&opts);
+    println!(
+        "taint analysis   : {taint_ms:.1} ms (call graph + interprocedural fixpoint, \
+         {callgraph_edges} edges)"
+    );
 
     let entry = format!(
-        "{{\"schema\": 4, \"label\": {}, \"mode\": {}, \"engine_qps\": {engine_qps:.1}, \
+        "{{\"schema\": 5, \"label\": {}, \"mode\": {}, \"engine_qps\": {engine_qps:.1}, \
          \"router_routes_per_s\": {routes:.0}, \"shard_gather_gbps\": {gather:.3}, \
          \"telemetry_spans_per_s\": {spans_per_s:.0}, \
          \"telemetry_ns_per_span\": {ns_per_span:.1}, \
@@ -130,7 +143,9 @@ fn main() {
          \"stage_p50_engine_service_ms\": {es_p50:.4}, \
          \"lint_ms\": {lint_ms:.2}, \
          \"metrics_ns_per_sample\": {ns_per_sample:.1}, \
-         \"decision_log_events\": {decision_events}}}",
+         \"decision_log_events\": {decision_events}, \
+         \"taint_ms\": {taint_ms:.2}, \
+         \"callgraph_edges\": {callgraph_edges}}}",
         json_string(&label),
         json_string(opts.mode.label()),
     );
@@ -329,6 +344,42 @@ fn measure_lint_ms(opts: &drs_bench::ExpOptions) -> f64 {
     best
 }
 
+/// Wall time of the semantic passes alone: building the workspace
+/// call graph and running the interprocedural taint fixpoint over the
+/// already-parsed sources. Discovery and lexing are deliberately paid
+/// outside the timed window (that cost is `lint_ms`'s), so this number
+/// isolates what the schema-5 analyses added. Best of a few reps, in
+/// milliseconds, plus the edge count of the graph — an integer canary
+/// that moves only when the code's call structure changes.
+fn measure_taint_ms(opts: &drs_bench::ExpOptions) -> (f64, usize) {
+    use drs_lint::callgraph::CallGraph;
+    use drs_lint::taint::check_taint;
+    use drs_lint::workspace::{crate_views, discover, WALL_CLOCK_EXEMPT};
+    let root = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(|d| std::path::PathBuf::from(d).join("..").join(".."))
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let crates = discover(&root).expect("workspace discovery");
+    let views = crate_views(&crates);
+    let reps = opts.pick(7, 3, 1);
+    let mut best = f64::INFINITY;
+    let mut edges = 0usize;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let graph = CallGraph::build(&views);
+        let out = check_taint(&views, WALL_CLOCK_EXEMPT);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            out.findings.is_empty(),
+            "benchmarked workspace must be taint-free, got {} finding(s)",
+            out.findings.len()
+        );
+        edges = graph.edges.len();
+        std::hint::black_box((edges, out.suppressed.len()));
+        best = best.min(ms);
+    }
+    (best, edges)
+}
+
 /// Registry snapshot cost under a fleet-shaped key load: the ~14
 /// gauge/counter/window series a two-node, two-lane deployment emits,
 /// refreshed and sampled once per tick — nanoseconds per `sample`
@@ -409,7 +460,8 @@ fn check(path: &str) {
             .iter()
             .chain(if schema >= 2.0 { SCHEMA2_KEYS } else { &[] })
             .chain(if schema >= 3.0 { SCHEMA3_KEYS } else { &[] })
-            .chain(if schema >= 4.0 { SCHEMA4_KEYS } else { &[] });
+            .chain(if schema >= 4.0 { SCHEMA4_KEYS } else { &[] })
+            .chain(if schema >= 5.0 { SCHEMA5_KEYS } else { &[] });
         for key in required {
             let val = obj
                 .iter()

@@ -8,6 +8,7 @@
 //! against physical execution at small scale.
 
 use crate::pool::{EngineCompletion, EngineRequest, InferenceEngine};
+use drs_core::assert_nonempty_queries;
 use drs_metrics::{LatencyRecorder, LatencySummary, ThroughputMeter};
 use drs_models::RecModel;
 use drs_query::{split_query, Query};
@@ -94,7 +95,7 @@ pub fn serve_open_loop_traced<S: TraceSink>(
     opts: OpenLoopOptions,
     sink: &mut S,
 ) -> OpenLoopReport {
-    assert!(!queries.is_empty(), "no queries to serve");
+    assert_nonempty_queries(queries);
     assert!(opts.time_scale > 0.0, "time scale must be positive");
     let engine = InferenceEngine::start(Arc::clone(&model), opts.workers);
     let mut rng = StdRng::seed_from_u64(opts.seed);

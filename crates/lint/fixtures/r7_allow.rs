@@ -1,0 +1,29 @@
+//! R7 allowlisted twin — the same interprocedural clock flows as
+//! `r7_trip.rs`, sanctioned where they land (the report field) and
+//! where they convert (the booking's time base); must produce zero
+//! findings, and both directives must register as live.
+
+use std::time::Instant;
+
+fn wall_ns() -> u64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos() as u64
+}
+
+fn relabel(x: u64) -> u64 {
+    let y = x;
+    y
+}
+
+pub fn export() -> PaceReport {
+    let w = relabel(wall_ns());
+    PaceReport {
+        pace_ns: w, // lint:allow(clock-taint)
+    }
+}
+
+pub fn book(events: &mut EventQueue<Ev>) {
+    // Pacing converts wall time to the model clock here, by design.
+    let due = relabel(wall_ns()); // lint:allow(clock-taint)
+    events.push(due, Ev::Tick);
+}

@@ -1,0 +1,27 @@
+//! R7 fixture — wall-clock taint must be tracked *across* calls: the
+//! timestamp is read in `wall_ns`, laundered through a relabeling
+//! helper's parameter and return value, and only reaches a sink two
+//! functions later. Must trip `clock-taint` twice: the report field
+//! and the virtual-clock event booking.
+
+use std::time::Instant;
+
+fn wall_ns() -> u64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos() as u64
+}
+
+fn relabel(x: u64) -> u64 {
+    let y = x;
+    y
+}
+
+pub fn export() -> PaceReport {
+    let w = relabel(wall_ns());
+    PaceReport { pace_ns: w }
+}
+
+pub fn book(events: &mut EventQueue<Ev>) {
+    let due = relabel(wall_ns());
+    events.push(due, Ev::Tick);
+}

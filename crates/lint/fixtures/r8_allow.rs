@@ -1,0 +1,20 @@
+//! R8 allowlisted twin — the same entropy flows as `r8_trip.rs`, each
+//! sanctioned with `lint:allow(entropy-taint)`; must produce zero
+//! findings.
+
+fn jitter() -> u64 {
+    let mut rng = thread_rng();
+    rng.gen_range(0..1_000)
+}
+
+pub fn perturb(state: &mut LoopState) {
+    let j = jitter();
+    state.backoff_ns = j; // lint:allow(entropy-taint)
+}
+
+pub fn record(pulse: &mut Pulse) {
+    if Pulse::ENABLED {
+        // Non-replayed diagnostics channel.
+        pulse.gauge("jitter_ns", jitter() as f64); // lint:allow(entropy-taint)
+    }
+}

@@ -1,0 +1,25 @@
+//! R8 fixture — entropy must come from the seeded RNGs: `thread_rng`
+//! jitter flowing through a helper into serve-loop state or a metrics
+//! record is a replay hazard. Must trip `entropy-taint` twice (the
+//! field store and the gauge); the seeded path must stay silent.
+
+fn jitter() -> u64 {
+    let mut rng = thread_rng();
+    rng.gen_range(0..1_000)
+}
+
+pub fn perturb(state: &mut LoopState) {
+    let j = jitter();
+    state.backoff_ns = j;
+}
+
+pub fn record(pulse: &mut Pulse) {
+    if Pulse::ENABLED {
+        pulse.gauge("jitter_ns", jitter() as f64);
+    }
+}
+
+pub fn seeded_is_fine(state: &mut LoopState, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    state.retry_ns = rng.gen_range(0..1_000);
+}

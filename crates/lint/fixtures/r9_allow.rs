@@ -1,0 +1,23 @@
+//! R9 allowlisted twin — the same order-tainted accumulations as
+//! `r9_trip.rs`, sanctioned where they land; must produce zero
+//! findings. (Real code would sort first — see `float-reduce` — but
+//! the allow documents a reviewed tolerance, e.g. a sum that is
+//! rounded before export.)
+
+pub fn mean_by_tenant(loads: &HashMap<u64, f64>) -> LoadReport {
+    let mut total = 0.0;
+    for (_, v) in loads {
+        total += v;
+    }
+    LoadReport {
+        mean_load: total, // lint:allow(float-order-taint)
+    }
+}
+
+pub fn fan_in(handles: Vec<JoinHandle<f64>>) -> MergeReport {
+    let mut sum = 0.0;
+    for h in handles {
+        sum += h.join().unwrap(); // lint:allow(float-order-taint)
+    }
+    MergeReport { merged: sum }
+}

@@ -1,0 +1,19 @@
+//! R9 fixture — `f64` accumulation in a nondeterministic order must
+//! not reach an exported report: once over a hash-ordered map, once
+//! over thread-join results. Must trip `float-order-taint` twice.
+
+pub fn mean_by_tenant(loads: &HashMap<u64, f64>) -> LoadReport {
+    let mut total = 0.0;
+    for (_, v) in loads {
+        total += v;
+    }
+    LoadReport { mean_load: total }
+}
+
+pub fn fan_in(handles: Vec<JoinHandle<f64>>) -> MergeReport {
+    let mut sum = 0.0;
+    for h in handles {
+        sum += h.join().unwrap();
+    }
+    MergeReport { merged: sum }
+}

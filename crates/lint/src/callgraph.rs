@@ -1,0 +1,406 @@
+//! A workspace-wide, name-based call graph.
+//!
+//! Generalizes the fixpoint that used to live inside the
+//! panic-contract rule: every `fn` item in every scanned crate becomes
+//! a node, and every `callee(..)` / `recv.method(..)` /
+//! `path::to::callee(..)` site becomes edges to the candidate
+//! definitions it may reach. Resolution is name-based with narrowing —
+//! a qualified path pins the crate or impl target, a typed receiver
+//! pins the impl target, and otherwise same-file then same-crate then
+//! `use`-imported candidates are preferred over the whole workspace.
+//! Over-approximate by design: extra edges cost nothing for the rules
+//! built on top (reachability of a contract check), missing edges
+//! cost a false finding.
+//!
+//! The graph is exportable as DOT or JSON via `drs-lint --callgraph`,
+//! and its edge count is recorded in the bench history as a
+//! structure-drift canary.
+
+use crate::lexer::TokenKind;
+use crate::parse::FileInfo;
+use crate::symbols::{crate_of_segment, CrateView, FileSymbols, KEYWORDS};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One function definition in the workspace.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Package name of the defining crate.
+    pub krate: String,
+    /// Repo-relative path of the defining file.
+    pub path: String,
+    /// Function name.
+    pub name: String,
+    /// `impl` target the function is defined on, if any.
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Index of the defining crate in the `CrateView` slice the graph
+    /// was built from.
+    pub crate_idx: usize,
+    /// Index of the defining file within that crate.
+    pub file_idx: usize,
+    /// Index of the item within `FileInfo::fns`.
+    pub fn_idx: usize,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Function nodes, in crate/file/item order.
+    pub nodes: Vec<FnNode>,
+    /// `caller -> callee` edges by node id, deterministically ordered.
+    pub edges: BTreeSet<(usize, usize)>,
+}
+
+impl CallGraph {
+    /// Builds the graph over every crate in `views`.
+    pub fn build(views: &[CrateView]) -> CallGraph {
+        let symbols: Vec<Vec<FileSymbols>> = views
+            .iter()
+            .map(|v| v.files.iter().map(FileSymbols::analyze).collect())
+            .collect();
+        let mut nodes = Vec::new();
+        for (ci, v) in views.iter().enumerate() {
+            for (fi, f) in v.files.iter().enumerate() {
+                for (xi, item) in f.fns.iter().enumerate() {
+                    nodes.push(FnNode {
+                        krate: v.name.clone(),
+                        path: f.path.clone(),
+                        name: item.name.clone(),
+                        owner: symbols[ci][fi].fn_owner[xi].clone(),
+                        line: item.line,
+                        crate_idx: ci,
+                        file_idx: fi,
+                        fn_idx: xi,
+                    });
+                }
+            }
+        }
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (id, n) in nodes.iter().enumerate() {
+            by_name.entry(n.name.as_str()).or_default().push(id);
+        }
+        let mut edges = BTreeSet::new();
+        for caller in 0..nodes.len() {
+            let n = &nodes[caller];
+            let f = &views[n.crate_idx].files[n.file_idx];
+            let Some(body) = f.fns[n.fn_idx].body else {
+                continue;
+            };
+            let b = f.blocks[body];
+            let syms = &symbols[n.crate_idx][n.file_idx];
+            for site in call_sites(f, b.open + 1, b.close) {
+                for callee in resolve(&nodes, &by_name, caller, &site, syms) {
+                    edges.insert((caller, callee));
+                }
+            }
+        }
+        CallGraph { nodes, edges }
+    }
+
+    /// Propagates a per-node boolean property backwards along edges to
+    /// a fixpoint: a caller acquires the property when any callee has
+    /// it. This is the panic-contract "reaches a check" relation.
+    pub fn propagate_from_callees(&self, mut sat: Vec<bool>) -> Vec<bool> {
+        assert_eq!(sat.len(), self.nodes.len());
+        loop {
+            let mut changed = false;
+            for &(caller, callee) in &self.edges {
+                if sat[callee] && !sat[caller] {
+                    sat[caller] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        sat
+    }
+
+    /// Renders the graph as GraphViz DOT (deterministic ordering).
+    pub fn to_dot(&self) -> String {
+        let mut s = String::from("digraph drs_callgraph {\n  rankdir=LR;\n");
+        for (id, n) in self.nodes.iter().enumerate() {
+            s.push_str(&format!(
+                "  n{id} [label=\"{}::{}\\n{}:{}\"];\n",
+                n.krate,
+                n.display_name(),
+                n.path,
+                n.line
+            ));
+        }
+        for (a, b) in &self.edges {
+            s.push_str(&format!("  n{a} -> n{b};\n"));
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    /// Renders the graph as a JSON document (deterministic ordering).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"schema\": 1,\n  \"nodes\": [\n");
+        for (id, n) in self.nodes.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"id\": {id}, \"crate\": \"{}\", \"fn\": \"{}\", \"path\": \"{}\", \"line\": {}}}{}\n",
+                n.krate,
+                n.display_name(),
+                n.path,
+                n.line,
+                if id + 1 < self.nodes.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n  \"edges\": [\n");
+        for (i, (a, b)) in self.edges.iter().enumerate() {
+            s.push_str(&format!(
+                "    [{a}, {b}]{}\n",
+                if i + 1 < self.edges.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+impl FnNode {
+    /// `Owner::name` when defined in an impl block, else just `name`.
+    pub fn display_name(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One syntactic call site inside a function body.
+struct CallSite {
+    /// Callee name (the identifier before the `(`).
+    name: String,
+    /// First segment of a `path::to::callee(..)` qualifier, if any.
+    qualifier: Option<String>,
+    /// Receiver identifier of a `recv.method(..)` call, if the
+    /// receiver is a plain identifier.
+    receiver: Option<String>,
+}
+
+/// Scans a token range for call sites: `name(..)` where `name` is not
+/// a keyword, a macro (`name!(..)`), or a definition (`fn name(..)`).
+fn call_sites(f: &FileInfo, start: usize, end: usize) -> Vec<CallSite> {
+    let toks = &f.tokens;
+    let mut out = Vec::new();
+    for i in start..end.min(toks.len()) {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident
+            || KEYWORDS.contains(&t.text.as_str())
+            || !toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            continue;
+        }
+        if i > 0 && toks[i - 1].is_ident("fn") {
+            continue; // nested definition, not a call
+        }
+        let mut qualifier = None;
+        let mut receiver = None;
+        if i >= 3 && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':') {
+            // Walk `seg :: seg :: name` back to its first segment.
+            let mut j = i;
+            while j >= 3
+                && toks[j - 1].is_punct(':')
+                && toks[j - 2].is_punct(':')
+                && toks[j - 3].kind == TokenKind::Ident
+            {
+                j -= 3;
+            }
+            if j < i {
+                qualifier = Some(toks[j].text.clone());
+            }
+        } else if i >= 2 && toks[i - 1].is_punct('.') && toks[i - 2].kind == TokenKind::Ident {
+            receiver = Some(toks[i - 2].text.clone());
+        }
+        out.push(CallSite {
+            name: t.text.clone(),
+            qualifier,
+            receiver,
+        });
+    }
+    out
+}
+
+/// Resolves a call site to candidate node ids. Narrowing order:
+/// qualified crate/type, then receiver type, then same file, same
+/// crate, imported crate, and finally any same-named definition.
+fn resolve(
+    nodes: &[FnNode],
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    caller: usize,
+    site: &CallSite,
+    syms: &FileSymbols,
+) -> Vec<usize> {
+    let Some(cands) = by_name.get(site.name.as_str()) else {
+        return Vec::new();
+    };
+    let me = &nodes[caller];
+    if let Some(q) = &site.qualifier {
+        // `drs_core::event::push(..)` / `crate::helper(..)` pin the
+        // crate; `EventQueue::push(..)` pins the impl target.
+        if let Some(pkg) = crate_of_segment(q) {
+            return filter(nodes, cands, |n| n.krate == pkg);
+        }
+        if q == "crate" || q == "self" || q == "super" {
+            return filter(nodes, cands, |n| n.crate_idx == me.crate_idx);
+        }
+        if q.chars().next().is_some_and(char::is_uppercase) {
+            let owned = filter(nodes, cands, |n| n.owner.as_deref() == Some(q.as_str()));
+            // An uppercase qualifier that owns no workspace fn is a
+            // foreign type (`Vec::new`): resolve to nothing rather
+            // than to every same-named workspace fn.
+            return owned;
+        }
+        return filter(nodes, cands, |n| n.crate_idx == me.crate_idx);
+    }
+    if let Some(recv) = &site.receiver {
+        if let Some(ty) = syms.binding_types.get(recv) {
+            let owned = filter(nodes, cands, |n| n.owner.as_deref() == Some(ty.as_str()));
+            if !owned.is_empty() {
+                return owned;
+            }
+        }
+    }
+    let same_file = filter(nodes, cands, |n| {
+        n.crate_idx == me.crate_idx && n.file_idx == me.file_idx
+    });
+    if !same_file.is_empty() {
+        return same_file;
+    }
+    let same_crate = filter(nodes, cands, |n| n.crate_idx == me.crate_idx);
+    if !same_crate.is_empty() {
+        return same_crate;
+    }
+    if let Some(pkg) = syms.imports.get(site.name.as_str()) {
+        let imported = filter(nodes, cands, |n| &n.krate == pkg);
+        if !imported.is_empty() {
+            return imported;
+        }
+    }
+    cands.clone()
+}
+
+fn filter(nodes: &[FnNode], cands: &[usize], pred: impl Fn(&FnNode) -> bool) -> Vec<usize> {
+    cands.iter().copied().filter(|&i| pred(&nodes[i])).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(crates: &[(&str, &str)]) -> (CallGraph, Vec<Vec<FileInfo>>) {
+        let files: Vec<Vec<FileInfo>> = crates
+            .iter()
+            .map(|(_, src)| vec![FileInfo::parse("t.rs", src)])
+            .collect();
+        let views: Vec<CrateView> = crates
+            .iter()
+            .zip(&files)
+            .map(|((name, _), fs)| CrateView {
+                name: (*name).to_string(),
+                files: fs,
+            })
+            .collect();
+        (CallGraph::build(&views), files)
+    }
+
+    fn node(g: &CallGraph, krate: &str, name: &str) -> usize {
+        g.nodes
+            .iter()
+            .position(|n| n.krate == krate && n.name == name)
+            .unwrap_or_else(|| panic!("no node {krate}::{name}"))
+    }
+
+    #[test]
+    fn same_crate_edges_and_fixpoint() {
+        let (g, _) = graph(&[(
+            "drs-a",
+            "pub fn serve(q: &[Query]) { inner(q); } \
+             fn inner(q: &[Query]) { assert_nonempty_queries(q); }",
+        )]);
+        let serve = node(&g, "drs-a", "serve");
+        let inner = node(&g, "drs-a", "inner");
+        assert!(g.edges.contains(&(serve, inner)));
+        let mut sat = vec![false; g.nodes.len()];
+        sat[inner] = true;
+        let sat = g.propagate_from_callees(sat);
+        assert!(sat[serve], "satisfaction flows caller-ward");
+    }
+
+    #[test]
+    fn cross_crate_resolution_via_import_and_path() {
+        let (g, _) = graph(&[
+            (
+                "drs-core",
+                "pub fn assert_nonempty_queries(q: &[Query]) {} pub fn helper() {}",
+            ),
+            (
+                "drs-bench",
+                "use drs_core::assert_nonempty_queries; \
+                 pub fn serve_wrapped(q: &[Query]) { assert_nonempty_queries(q); } \
+                 pub fn via_path() { drs_core::helper(); }",
+            ),
+        ]);
+        let wrapped = node(&g, "drs-bench", "serve_wrapped");
+        let check = node(&g, "drs-core", "assert_nonempty_queries");
+        assert!(g.edges.contains(&(wrapped, check)), "import-resolved");
+        let via = node(&g, "drs-bench", "via_path");
+        let helper = node(&g, "drs-core", "helper");
+        assert!(g.edges.contains(&(via, helper)), "path-resolved");
+    }
+
+    #[test]
+    fn typed_receiver_narrows_to_impl_target() {
+        let (g, _) = graph(&[(
+            "drs-a",
+            "struct Q; struct R; \
+             impl Q { fn push(&mut self) {} } \
+             impl R { fn push(&mut self) {} } \
+             fn f() { let mut events: Q = Q::new(); events.push(); }",
+        )]);
+        let f = node(&g, "drs-a", "f");
+        let q_push = g
+            .nodes
+            .iter()
+            .position(|n| n.name == "push" && n.owner.as_deref() == Some("Q"))
+            .unwrap();
+        let r_push = g
+            .nodes
+            .iter()
+            .position(|n| n.name == "push" && n.owner.as_deref() == Some("R"))
+            .unwrap();
+        assert!(g.edges.contains(&(f, q_push)));
+        assert!(!g.edges.contains(&(f, r_push)), "typed receiver narrows");
+    }
+
+    #[test]
+    fn foreign_type_qualifiers_resolve_to_nothing() {
+        let (g, _) = graph(&[(
+            "drs-a",
+            "fn new() {} fn f() { let v = Vec::new(); use_it(v); }",
+        )]);
+        let f = node(&g, "drs-a", "f");
+        let new = node(&g, "drs-a", "new");
+        assert!(
+            !g.edges.contains(&(f, new)),
+            "`Vec::new` must not resolve to a free fn named `new`"
+        );
+    }
+
+    #[test]
+    fn exports_are_deterministic_and_well_formed() {
+        let (g, _) = graph(&[("drs-a", "fn a() { b(); } fn b() {}")]);
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph drs_callgraph {"), "{dot}");
+        assert!(dot.contains("->"), "{dot}");
+        let json = g.to_json();
+        assert!(json.contains("\"schema\": 1"), "{json}");
+        assert!(json.contains("\"edges\""), "{json}");
+        assert_eq!(json, g.to_json(), "stable output");
+    }
+}

@@ -2,28 +2,34 @@
 //!
 //! ```text
 //! cargo run -p drs-lint -- --check [--json] [--root PATH]
+//! cargo run -p drs-lint -- --callgraph [--json] [--root PATH]
 //! ```
 //!
-//! Exit code 0 when the workspace is finding-free, 1 when any
-//! unallowlisted finding exists, 2 on usage or I/O errors.
+//! `--check` runs the full rule set; exit code 0 when the workspace is
+//! finding-free, 1 when any unallowlisted finding exists, 2 on usage
+//! or I/O errors. `--callgraph` prints the workspace call graph —
+//! Graphviz DOT by default, the JSON export with `--json` — and exits
+//! 0 (it is an inspection mode, not a gate).
 
-use drs_lint::workspace::{analyze_workspace, report_json};
+use drs_lint::workspace::{analyze_workspace, report_json, workspace_callgraph};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: drs-lint --check [--json] [--root PATH]");
+    eprintln!("usage: drs-lint (--check | --callgraph) [--json] [--root PATH]");
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let mut check = false;
+    let mut callgraph = false;
     let mut json = false;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--check" => check = true,
+            "--callgraph" => callgraph = true,
             "--json" => json = true,
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
@@ -32,7 +38,8 @@ fn main() -> ExitCode {
             _ => return usage(),
         }
     }
-    if !check {
+    if check == callgraph {
+        // Exactly one mode must be selected.
         return usage();
     }
     // Default to the workspace root: cargo sets CARGO_MANIFEST_DIR to
@@ -42,6 +49,21 @@ fn main() -> ExitCode {
             std::env::var_os("CARGO_MANIFEST_DIR").map(|d| PathBuf::from(d).join("..").join(".."))
         })
         .unwrap_or_else(|| PathBuf::from("."));
+    if callgraph {
+        let graph = match workspace_callgraph(&root) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("drs-lint: cannot scan {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        };
+        if json {
+            print!("{}", graph.to_json());
+        } else {
+            print!("{}", graph.to_dot());
+        }
+        return ExitCode::SUCCESS;
+    }
     let report = match analyze_workspace(&root) {
         Ok(r) => r,
         Err(e) => {

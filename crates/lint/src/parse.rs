@@ -41,6 +41,28 @@ pub struct FnItem {
     pub body: Option<usize>,
 }
 
+/// One `// lint:allow(rule, ...)` comment, kept whole (not just the
+/// per-line projection in [`FileInfo::allows`]) so the stale-allow
+/// audit can ask "does *this directive* still suppress anything?".
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (multi-line block comments).
+    pub end_line: u32,
+    /// Rule names listed inside the parentheses.
+    pub rules: Vec<String>,
+}
+
+impl AllowDirective {
+    /// The source lines this directive suppresses findings on: its own
+    /// line (trailing-comment style) and the line after its end
+    /// (comment-above style).
+    pub fn covered_lines(&self) -> [u32; 2] {
+        [self.line, self.end_line + 1]
+    }
+}
+
 /// Everything the rule passes need to know about one source file.
 #[derive(Debug)]
 pub struct FileInfo {
@@ -63,6 +85,9 @@ pub struct FileInfo {
     /// `line -> rules` allowed on that line by `// lint:allow(...)`
     /// comments (a directive covers its own line and the next).
     pub allows: BTreeMap<u32, BTreeSet<String>>,
+    /// The allow comments themselves, in source order, for the
+    /// stale-allow audit.
+    pub allow_directives: Vec<AllowDirective>,
 }
 
 impl FileInfo {
@@ -72,7 +97,8 @@ impl FileInfo {
         let (blocks, token_block) = build_blocks(&lexed.tokens);
         let fns = collect_fns(&lexed.tokens, &blocks);
         let hash_idents = collect_hash_idents(&lexed.tokens);
-        let allows = collect_allows(&lexed.comments);
+        let allow_directives = collect_allow_directives(&lexed.comments);
+        let allows = allows_by_line(&allow_directives);
         FileInfo {
             path: path.to_string(),
             tokens: lexed.tokens,
@@ -81,6 +107,7 @@ impl FileInfo {
             fns,
             hash_idents,
             allows,
+            allow_directives,
         }
     }
 
@@ -299,9 +326,18 @@ fn region_names_hash_type(tokens: &[Token], start: usize) -> bool {
     false
 }
 
-fn collect_allows(comments: &[Comment]) -> BTreeMap<u32, BTreeSet<String>> {
-    let mut out: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+fn collect_allow_directives(comments: &[Comment]) -> Vec<AllowDirective> {
+    let mut out = Vec::new();
     for c in comments {
+        // Doc comments only talk *about* the allow mechanism; plain
+        // comments are the directives.
+        if c.text.starts_with("///")
+            || c.text.starts_with("//!")
+            || c.text.starts_with("/**")
+            || c.text.starts_with("/*!")
+        {
+            continue;
+        }
         let Some(pos) = c.text.find("lint:allow(") else {
             continue;
         };
@@ -309,15 +345,36 @@ fn collect_allows(comments: &[Comment]) -> BTreeMap<u32, BTreeSet<String>> {
         let Some(end) = rest.find(')') else {
             continue;
         };
-        for rule in rest[..end].split(',') {
-            let rule = rule.trim().to_string();
-            if rule.is_empty() {
-                continue;
+        let rules: Vec<String> = rest[..end]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| {
+                !r.is_empty()
+                    && r.chars()
+                        .all(|ch| ch.is_ascii_lowercase() || ch.is_ascii_digit() || ch == '-')
+            })
+            .collect();
+        if !rules.is_empty() {
+            out.push(AllowDirective {
+                line: c.line,
+                end_line: c.end_line,
+                rules,
+            });
+        }
+    }
+    out
+}
+
+/// Projects directives onto the per-line map the rule passes consult.
+/// A directive covers its own line (trailing comment) and the line
+/// after its end (comment-above style).
+fn allows_by_line(directives: &[AllowDirective]) -> BTreeMap<u32, BTreeSet<String>> {
+    let mut out: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+    for d in directives {
+        for line in d.covered_lines() {
+            for rule in &d.rules {
+                out.entry(line).or_default().insert(rule.clone());
             }
-            // The directive covers its own line (trailing comment) and
-            // the line after its end (comment-above style).
-            out.entry(c.line).or_default().insert(rule.clone());
-            out.entry(c.end_line + 1).or_default().insert(rule);
         }
     }
     out
@@ -420,5 +477,27 @@ mod tests {
             "trailing comment covers the next line too"
         );
         assert!(!f.is_allowed(5, "hash-iter"));
+    }
+
+    #[test]
+    fn doc_comments_and_placeholders_are_not_directives() {
+        let src = "//! silence with `lint:allow(wall-clock)` comments\n\
+                   /// e.g. lint:allow(hash-iter)\n\
+                   fn f() {} // lint:allow(wall-clock)\n\
+                   fn g() {} // lint:allow(<rule>, ...)\n";
+        let f = FileInfo::parse("t.rs", src);
+        assert_eq!(f.allow_directives.len(), 1, "{:?}", f.allow_directives);
+        assert_eq!(f.allow_directives[0].line, 3);
+        assert!(!f.is_allowed(1, "wall-clock"));
+        assert!(!f.is_allowed(2, "hash-iter"));
+    }
+
+    #[test]
+    fn allow_directives_are_kept_whole() {
+        let src = "// lint:allow(wall-clock)\nlet t = now();\nlet u = now(); // lint:allow(hash-iter, wall-clock)\n";
+        let f = FileInfo::parse("t.rs", src);
+        assert_eq!(f.allow_directives.len(), 2);
+        assert_eq!(f.allow_directives[0].covered_lines(), [1, 2]);
+        assert_eq!(f.allow_directives[1].rules, ["hash-iter", "wall-clock"]);
     }
 }

@@ -6,8 +6,9 @@
 //! `// lint:allow(<rule>)` comment, a false negative costs a flaky
 //! cross-validation test three PRs later.
 
+use crate::callgraph::CallGraph;
 use crate::parse::{FileInfo, FnItem};
-use std::collections::{BTreeMap, BTreeSet};
+use crate::symbols::CrateView;
 use std::fmt;
 
 /// The rule that produced a finding.
@@ -28,9 +29,23 @@ pub enum RuleId {
     /// R6 — a `pulse.<record>(..)` metrics call not guarded by
     /// `M::ENABLED`.
     MetricsGuard,
+    /// R7 — a value derived from `Instant::now`/`SystemTime` flows
+    /// (interprocedurally) into a report field, the metrics registry,
+    /// or a virtual-clock event booking.
+    ClockTaint,
+    /// R8 — a value derived from an unseeded entropy source
+    /// (`thread_rng`, `from_entropy`, `OsRng`, ...) flows into
+    /// serve-loop state.
+    EntropyTaint,
+    /// R9 — an `f64` fed from a hash-ordered or thread-join source
+    /// flows into an exported report field.
+    FloatOrderTaint,
     /// Crate-hygiene parity: `#![warn(missing_docs)]` + workspace
     /// lints in every library crate.
     DocsParity,
+    /// Meta-rule: a `// lint:allow(..)` directive that no longer
+    /// suppresses any finding. Cannot itself be allowlisted.
+    StaleAllow,
 }
 
 impl RuleId {
@@ -43,7 +58,11 @@ impl RuleId {
             RuleId::TelemetryGuard => "telemetry-guard",
             RuleId::FloatReduce => "float-reduce",
             RuleId::MetricsGuard => "metrics-guard",
+            RuleId::ClockTaint => "clock-taint",
+            RuleId::EntropyTaint => "entropy-taint",
+            RuleId::FloatOrderTaint => "float-order-taint",
             RuleId::DocsParity => "docs-parity",
+            RuleId::StaleAllow => "stale-allow",
         }
     }
 }
@@ -79,7 +98,7 @@ impl fmt::Display for Finding {
 }
 
 /// Methods that turn a map into an (order-hazardous) iterator.
-const ITER_METHODS: &[&str] = &[
+pub(crate) const ITER_METHODS: &[&str] = &[
     "iter",
     "iter_mut",
     "keys",
@@ -92,14 +111,37 @@ const ITER_METHODS: &[&str] = &[
     "retain",
 ];
 
-fn push(out: &mut Vec<Finding>, f: &FileInfo, line: u32, rule: RuleId, message: String) {
-    if !f.is_allowed(line, rule.name()) {
-        out.push(Finding {
-            path: f.path.clone(),
-            line,
-            rule,
-            message,
-        });
+/// What one rule pass produced: the findings that fail the gate, plus
+/// the findings an escape-hatch comment suppressed. The suppressed
+/// list is what keeps the stale-allow audit honest — a directive is
+/// *live* exactly when some finding lands on a line it covers.
+#[derive(Debug, Default)]
+pub struct RuleOutput {
+    /// Unallowlisted findings (these fail `--check`).
+    pub findings: Vec<Finding>,
+    /// Findings silenced by a `// lint:allow(..)` directive.
+    pub suppressed: Vec<Finding>,
+}
+
+impl RuleOutput {
+    /// Merges another pass's output into this one.
+    pub fn merge(&mut self, other: RuleOutput) {
+        self.findings.extend(other.findings);
+        self.suppressed.extend(other.suppressed);
+    }
+}
+
+pub(crate) fn push(out: &mut RuleOutput, f: &FileInfo, line: u32, rule: RuleId, message: String) {
+    let finding = Finding {
+        path: f.path.clone(),
+        line,
+        rule,
+        message,
+    };
+    if f.is_allowed(line, rule.name()) {
+        out.suppressed.push(finding);
+    } else {
+        out.findings.push(finding);
     }
 }
 
@@ -107,8 +149,8 @@ fn push(out: &mut Vec<Finding>, f: &FileInfo, line: u32, rule: RuleId, message: 
 /// `HashMap`/`HashSet` type: `map.iter()`-family calls and `for`-loop
 /// headers naming the map. Keyed access (`get`, `insert`, `remove`,
 /// `len`, ...) never trips.
-pub fn check_hash_iter(f: &FileInfo) -> Vec<Finding> {
-    let mut out = Vec::new();
+pub fn check_hash_iter(f: &FileInfo) -> RuleOutput {
+    let mut out = RuleOutput::default();
     let toks = &f.tokens;
     for i in 0..toks.len() {
         let t = &toks[i];
@@ -179,8 +221,8 @@ fn in_for_header(f: &FileInfo, i: usize) -> bool {
 /// R2 — flags `Instant::now(..)` and any use of `SystemTime` in
 /// virtual-time code. Holding an `Instant` value (e.g. a timestamp
 /// passed in from the real path) is fine; *reading the clock* is not.
-pub fn check_wall_clock(f: &FileInfo) -> Vec<Finding> {
-    let mut out = Vec::new();
+pub fn check_wall_clock(f: &FileInfo) -> RuleOutput {
+    let mut out = RuleOutput::default();
     let toks = &f.tokens;
     for i in 0..toks.len() {
         let t = &toks[i];
@@ -213,8 +255,8 @@ pub fn check_wall_clock(f: &FileInfo) -> Vec<Finding> {
 /// R4 — every `sink.record(..)` call site must sit inside an `if`
 /// whose condition mentions the `ENABLED` associated const, so
 /// `NoopSink` compiles tracing out entirely.
-pub fn check_telemetry_guard(f: &FileInfo) -> Vec<Finding> {
-    let mut out = Vec::new();
+pub fn check_telemetry_guard(f: &FileInfo) -> RuleOutput {
+    let mut out = RuleOutput::default();
     let toks = &f.tokens;
     for i in 0..toks.len() {
         if !(toks[i].is_ident("sink")
@@ -283,8 +325,8 @@ const PULSE_RECORD_METHODS: &[&str] = &[
 /// `NoopMetrics` compiles the fleet-pulse instrumentation out (the
 /// mirror of R4 for the metrics layer; the `pulse` receiver convention
 /// keeps the two rules from colliding).
-pub fn check_metrics_guard(f: &FileInfo) -> Vec<Finding> {
-    let mut out = Vec::new();
+pub fn check_metrics_guard(f: &FileInfo) -> RuleOutput {
+    let mut out = RuleOutput::default();
     let toks = &f.tokens;
     for i in 0..toks.len() {
         if !(toks[i].is_ident("pulse")
@@ -318,8 +360,8 @@ pub fn check_metrics_guard(f: &FileInfo) -> Vec<Finding> {
 /// R5 — flags `f64` reductions (`.sum()` / `.fold(..)`) chained onto a
 /// hash-map iterator: the accumulation order, and therefore the
 /// floating-point rounding, follows the hash order.
-pub fn check_float_reduce(f: &FileInfo) -> Vec<Finding> {
-    let mut out = Vec::new();
+pub fn check_float_reduce(f: &FileInfo) -> RuleOutput {
+    let mut out = RuleOutput::default();
     let toks = &f.tokens;
     for i in 0..toks.len() {
         let t = &toks[i];
@@ -355,74 +397,61 @@ pub fn check_float_reduce(f: &FileInfo) -> Vec<Finding> {
     out
 }
 
-/// R3 — crate-wide panic-contract coverage.
+/// R3 — workspace-wide panic-contract coverage, on the shared call
+/// graph.
 ///
 /// A function is *satisfied* when its body names an `assert_nonempty_*`
-/// check, directly or through a chain of same-crate calls (name-based
-/// call-graph fixpoint). Every bare-`pub` `serve*`/`run`/`run_*`
-/// function whose parameter list mentions `Query` or `Trace` must be
-/// satisfied.
-pub fn check_panic_contract(files: &[FileInfo]) -> Vec<Finding> {
-    // fn name -> satisfied, over-approximated across same-named items.
-    let mut satisfied: BTreeMap<&str, bool> = BTreeMap::new();
-    let mut bodies: Vec<(&FileInfo, &FnItem, BTreeSet<&str>)> = Vec::new();
-    for f in files {
-        for item in &f.fns {
-            let Some(body) = item.body else { continue };
-            let b = f.blocks[body];
-            let mut idents: BTreeSet<&str> = BTreeSet::new();
-            let mut direct = false;
-            for t in &f.tokens[b.open..=b.close.min(f.tokens.len() - 1)] {
-                if t.kind == crate::lexer::TokenKind::Ident {
-                    if t.text.starts_with("assert_nonempty_") {
-                        direct = true;
-                    }
-                    idents.insert(t.text.as_str());
-                }
-            }
-            let e = satisfied.entry(item.name.as_str()).or_insert(false);
-            *e = *e || direct;
-            bodies.push((f, item, idents));
-        }
+/// check directly, or when any call-graph path from it reaches a
+/// satisfied function — including cross-crate edges, so a `pub serve*`
+/// wrapper in one crate calling a guarded core function in another is
+/// covered. Every bare-`pub` `serve*`/`run`/`run_*` function whose
+/// parameter list mentions `Query` or `Trace` must be satisfied.
+pub fn check_panic_contract_graph(views: &[CrateView], graph: &CallGraph) -> RuleOutput {
+    // Direct satisfaction: the body itself names the contract check.
+    let mut sat = vec![false; graph.nodes.len()];
+    for (id, n) in graph.nodes.iter().enumerate() {
+        let f = &views[n.crate_idx].files[n.file_idx];
+        let Some(body) = f.fns[n.fn_idx].body else {
+            continue;
+        };
+        let b = f.blocks[body];
+        sat[id] = f.tokens[b.open..=b.close.min(f.tokens.len() - 1)]
+            .iter()
+            .any(|t| {
+                t.kind == crate::lexer::TokenKind::Ident && t.text.starts_with("assert_nonempty_")
+            });
     }
-    // Propagate satisfaction through same-crate calls to a fixpoint.
-    loop {
-        let mut changed = false;
-        for (_, item, idents) in &bodies {
-            if satisfied[item.name.as_str()] {
-                continue;
-            }
-            let reaches = idents
-                .iter()
-                .any(|id| satisfied.get(id).copied().unwrap_or(false));
-            if reaches {
-                satisfied.insert(item.name.as_str(), true);
-                changed = true;
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
-    let mut out = Vec::new();
-    for (f, item, _) in &bodies {
-        if !is_entry_point(f, item) {
+    let sat = graph.propagate_from_callees(sat);
+    let mut out = RuleOutput::default();
+    for (id, n) in graph.nodes.iter().enumerate() {
+        let f = &views[n.crate_idx].files[n.file_idx];
+        let item = &f.fns[n.fn_idx];
+        if item.body.is_none() || !is_entry_point(f, item) || sat[id] {
             continue;
         }
-        if !satisfied[item.name.as_str()] {
-            push(
-                &mut out,
-                f,
-                item.line,
-                RuleId::PanicContract,
-                format!(
-                    "public entry point `{}` never reaches an `assert_nonempty_*` contract check",
-                    item.name
-                ),
-            );
-        }
+        push(
+            &mut out,
+            f,
+            item.line,
+            RuleId::PanicContract,
+            format!(
+                "public entry point `{}` never reaches an `assert_nonempty_*` contract check",
+                item.name
+            ),
+        );
     }
     out
+}
+
+/// [`check_panic_contract_graph`] over one crate's files (fixtures and
+/// unit tests); builds the call graph internally.
+pub fn check_panic_contract(files: &[FileInfo]) -> RuleOutput {
+    let views = [CrateView {
+        name: "fixture".to_string(),
+        files,
+    }];
+    let graph = CallGraph::build(&views);
+    check_panic_contract_graph(&views, &graph)
 }
 
 /// Is this fn a panic-contract entry point: bare-`pub`, named
@@ -458,7 +487,7 @@ mod tests {
              for (k, v) in &m { use_it(k, v); } \
              let _: Vec<_> = m.values().collect(); }",
         );
-        let findings = check_hash_iter(&f);
+        let findings = check_hash_iter(&f).findings;
         assert_eq!(findings.len(), 2, "{findings:?}");
     }
 
@@ -469,13 +498,19 @@ mod tests {
              // lint:allow(hash-iter)\n\
              for k in m.keys() { use_it(k); }\n}",
         );
-        assert!(check_hash_iter(&f).is_empty());
+        let out = check_hash_iter(&f);
+        assert!(out.findings.is_empty());
+        assert_eq!(
+            out.suppressed.len(),
+            1,
+            "the allow suppressed a real finding"
+        );
     }
 
     #[test]
     fn wall_clock_trips_on_now_not_type() {
         let f = info("fn f(t: Instant) -> bool { let n = Instant::now(); n > t }");
-        let findings = check_wall_clock(&f);
+        let findings = check_wall_clock(&f).findings;
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].rule, RuleId::WallClock);
     }
@@ -483,26 +518,26 @@ mod tests {
     #[test]
     fn telemetry_guard_requires_enabled() {
         let good = info("fn f() { if S::ENABLED { sink.record(&span); } }");
-        assert!(check_telemetry_guard(&good).is_empty());
+        assert!(check_telemetry_guard(&good).findings.is_empty());
         let bad = info("fn f() { sink.record(&span); }");
-        assert_eq!(check_telemetry_guard(&bad).len(), 1);
+        assert_eq!(check_telemetry_guard(&bad).findings.len(), 1);
         let wrong_if = info("fn f() { if x > 0 { sink.record(&span); } }");
-        assert_eq!(check_telemetry_guard(&wrong_if).len(), 1);
+        assert_eq!(check_telemetry_guard(&wrong_if).findings.len(), 1);
     }
 
     #[test]
     fn metrics_guard_requires_enabled() {
         let good = info("fn f() { if M::ENABLED { pulse.gauge(\"queue_depth_n0\", d); } }");
-        assert!(check_metrics_guard(&good).is_empty());
+        assert!(check_metrics_guard(&good).findings.is_empty());
         let self_recv = info("fn f(&mut self) { if M::ENABLED { self.pulse.tick(t); } }");
-        assert!(check_metrics_guard(&self_recv).is_empty());
+        assert!(check_metrics_guard(&self_recv).findings.is_empty());
         let bad = info("fn f() { pulse.inc(\"completed_total\", 1); }");
-        assert_eq!(check_metrics_guard(&bad).len(), 1);
+        assert_eq!(check_metrics_guard(&bad).findings.len(), 1);
         let wrong_if = info("fn f() { if hot { pulse.observe(\"latency_ms\", v); } }");
-        assert_eq!(check_metrics_guard(&wrong_if).len(), 1);
+        assert_eq!(check_metrics_guard(&wrong_if).findings.len(), 1);
         // Read-only accessors need no guard (they feed the guard).
         let accessor = info("fn f() { let t = pulse.interval_ns().max(1); }");
-        assert!(check_metrics_guard(&accessor).is_empty());
+        assert!(check_metrics_guard(&accessor).findings.is_empty());
     }
 
     #[test]
@@ -510,20 +545,20 @@ mod tests {
         let f = info("fn f(m: &HashMap<u64, f64>) -> f64 { m.values().sum::<f64>() }");
         // One float-reduce finding (plus hash-iter if that rule also
         // ran — rules are independent).
-        assert_eq!(check_float_reduce(&f).len(), 1);
+        assert_eq!(check_float_reduce(&f).findings.len(), 1);
     }
 
     #[test]
     fn panic_contract_fixpoint_through_helper() {
         let direct = info("pub fn serve_queries(q: &[Query]) { assert_nonempty_queries(q); }");
-        assert!(check_panic_contract(&[direct]).is_empty());
+        assert!(check_panic_contract(&[direct]).findings.is_empty());
         let chained = info(
             "pub fn serve_queries(q: &[Query]) { inner(q); } \
              fn inner(q: &[Query]) { assert_nonempty_queries(q); }",
         );
-        assert!(check_panic_contract(&[chained]).is_empty());
+        assert!(check_panic_contract(&[chained]).findings.is_empty());
         let missing = info("pub fn serve_queries(q: &[Query]) { just_go(q); }");
-        assert_eq!(check_panic_contract(&[missing]).len(), 1);
+        assert_eq!(check_panic_contract(&[missing]).findings.len(), 1);
     }
 
     #[test]
@@ -536,6 +571,6 @@ mod tests {
         );
         // `QueryGenerator` lexes as one ident, so the exact-ident
         // `Query` param test does not match it.
-        assert!(check_panic_contract(&[f]).is_empty());
+        assert!(check_panic_contract(&[f]).findings.is_empty());
     }
 }

@@ -1265,7 +1265,7 @@ struct ClusterRealRuntime<'s, S: TraceSink, M: MetricsSink> {
 impl<S: TraceSink, M: MetricsSink> ClusterRealRuntime<'_, S, M> {
     /// Model-time now: scaled wall nanoseconds since start.
     fn now(&self) -> SimTime {
-        (self.t0.elapsed().as_secs_f64() * self.scale * 1e9) as SimTime
+        (self.t0.elapsed().as_secs_f64() * self.scale * 1e9) as SimTime // lint:allow(clock-taint): wall time enters model time here, by design
     }
 
     /// Fires every pulse tick due at or before model-time `t`, sampling
@@ -1565,7 +1565,7 @@ struct ShardedRealRuntime<'s, S: TraceSink, M: MetricsSink> {
 impl<S: TraceSink, M: MetricsSink> ShardedRealRuntime<'_, S, M> {
     /// Model-time now: scaled wall nanoseconds since start.
     fn now(&self) -> SimTime {
-        (self.t0.elapsed().as_secs_f64() * self.scale * 1e9) as SimTime
+        (self.t0.elapsed().as_secs_f64() * self.scale * 1e9) as SimTime // lint:allow(clock-taint): wall time enters model time here, by design
     }
 
     /// Drains ready engine completions and due exchanges on every

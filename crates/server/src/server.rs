@@ -682,7 +682,7 @@ struct RealRuntime<'s, S: TraceSink, M: MetricsSink> {
 impl<S: TraceSink, M: MetricsSink> RealRuntime<'_, S, M> {
     /// Model-time now: scaled wall nanoseconds since start.
     fn now(&self) -> SimTime {
-        (self.t0.elapsed().as_secs_f64() * self.scale * 1e9) as SimTime
+        (self.t0.elapsed().as_secs_f64() * self.scale * 1e9) as SimTime // lint:allow(clock-taint): wall time enters model time here, by design
     }
 
     /// Fires every fleet-pulse tick due at or before `t` (model-time
